@@ -1,0 +1,98 @@
+//! Figure 3: modeled vs measured `launchAndSpawn` performance, 16→128 tool
+//! daemons (8 MPI tasks per daemon), with the per-component breakdown the
+//! paper stacks: T(collective), T(daemon)+T(setup), T(job), tracing cost,
+//! handshaking cost (Region C), RPDTAB fetch (Region B), other.
+//!
+//! Also runs the paper's §4 methodology end to end: fit T(op) models from
+//! small-scale simulated measurements, extrapolate, and report fit quality.
+
+use lmon_bench::{print_table, s3, Row, PAPER_FIG3_SHARE_128};
+use lmon_model::fit::{fit_best, r_squared};
+use lmon_model::predict::launch_breakdown;
+use lmon_model::scenario::simulate_launch;
+use lmon_model::CostParams;
+
+fn main() {
+    let p = CostParams::default();
+    let daemon_counts = [16usize, 32, 48, 64, 80, 96, 128];
+
+    // --- the Figure 3 table ------------------------------------------------
+    let mut rows = Vec::new();
+    for &d in &daemon_counts {
+        let sim = simulate_launch(&p, d, 8);
+        let model = launch_breakdown(&p, d, 8);
+        let c = &sim.components;
+        rows.push(Row {
+            x: format!("{d}"),
+            values: vec![
+                s3(model.total()),
+                s3(sim.total()),
+                s3(c.t_collective),
+                s3(c.t_daemon + c.t_setup),
+                s3(c.t_job),
+                s3(c.t_tracing),
+                s3(c.t_handshake),
+                s3(c.t_rpdtab),
+                s3(c.t_other),
+                format!("{:.1}%", c.launchmon_share() * 100.0),
+            ],
+        });
+    }
+    print_table(
+        "Figure 3: launchAndSpawn, modeled vs measured (8 tasks/daemon)",
+        "daemons",
+        &[
+            "model",
+            "measured",
+            "T(coll)",
+            "T(dmn)+T(setup)",
+            "T(job)",
+            "tracing",
+            "handshake(C)",
+            "rpdtab(B)",
+            "other",
+            "LMON share",
+        ],
+        &rows,
+    );
+
+    // --- paper anchors -----------------------------------------------------
+    let at128 = simulate_launch(&p, 128, 8);
+    println!(
+        "\npaper: <1 s at 128 daemons (1024 tasks)  | reproduced: {}",
+        s3(at128.total())
+    );
+    println!(
+        "paper: LaunchMON share ≈ {:.1}%          | reproduced: {:.1}%",
+        PAPER_FIG3_SHARE_128 * 100.0,
+        at128.components.launchmon_share() * 100.0
+    );
+
+    // --- §4 methodology: fit T(op) at small scale, extrapolate -------------
+    println!("\n--- fitted T(op) models from small-scale measurements (4..32 daemons) ---");
+    let small: Vec<usize> = vec![4, 8, 12, 16, 24, 32];
+    let xs: Vec<f64> = small.iter().map(|&d| d as f64).collect();
+    type Series<'a> = (&'a str, Box<dyn Fn(usize) -> f64>);
+    let series: Vec<Series> = vec![
+        ("T(job)", Box::new(|d| simulate_launch(&CostParams::default(), d, 8).components.t_job)),
+        ("T(daemon)", Box::new(|d| simulate_launch(&CostParams::default(), d, 8).components.t_daemon)),
+        ("T(setup)", Box::new(|d| simulate_launch(&CostParams::default(), d, 8).components.t_setup)),
+        ("T(collective)", Box::new(|d| {
+            simulate_launch(&CostParams::default(), d, 8).components.t_collective
+        })),
+    ];
+    for (name, f) in &series {
+        let ys: Vec<f64> = small.iter().map(|&d| f(d)).collect();
+        let model = fit_best(&xs, &ys);
+        let r2 = r_squared(&model, &xs, &ys);
+        let pred_128 = model.eval(128.0);
+        let meas_128 = f(128);
+        println!(
+            "{name:<14} = {:<28} (R²={r2:.4})  extrapolated@128: {}  measured@128: {}",
+            model.describe(),
+            s3(pred_128),
+            s3(meas_128)
+        );
+    }
+    println!("\nfig3_launch_model: done");
+}

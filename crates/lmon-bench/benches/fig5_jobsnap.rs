@@ -1,0 +1,78 @@
+//! Figure 5: Jobsnap performance — total time vs `init→attachAndSpawn`,
+//! 16→1024 tool daemons (8 MPI tasks per daemon; 8192 tasks at the top).
+//!
+//! Two layers: the paper-scale simulation (the figure itself) and a
+//! real-execution validation at laptop scale — the actual Jobsnap tool
+//! running against the virtual cluster, confirming the structural claim
+//! that launch dominates total.
+
+use std::sync::Arc;
+
+use lmon_bench::{paper_ref, print_table, s3, Row, PAPER_FIG5_LAUNCH_1024, PAPER_FIG5_TOTAL};
+use lmon_cluster::config::ClusterConfig;
+use lmon_cluster::VirtualCluster;
+use lmon_core::fe::LmonFrontEnd;
+use lmon_model::scenario::simulate_jobsnap;
+use lmon_model::CostParams;
+use lmon_rm::api::{JobSpec, ResourceManager};
+use lmon_rm::SlurmRm;
+use lmon_tools::jobsnap::run_jobsnap;
+
+fn main() {
+    let p = CostParams::default();
+    let daemon_counts = [16usize, 32, 64, 128, 256, 512, 768, 1024];
+
+    let mut rows = Vec::new();
+    for &d in &daemon_counts {
+        let (launch, total) = simulate_jobsnap(&p, d, 8);
+        let paper = paper_ref(PAPER_FIG5_TOTAL, d)
+            .map(|v| format!("≈{v:.2}s"))
+            .unwrap_or_else(|| "-".into());
+        rows.push(Row {
+            x: format!("{d} ({} tasks)", d * 8),
+            values: vec![s3(total), s3(launch), paper],
+        });
+    }
+    print_table(
+        "Figure 5: Jobsnap performance (simulated at paper scale)",
+        "daemons",
+        &["total", "init→attachAndSpawn", "paper total"],
+        &rows,
+    );
+
+    let (l1024, t1024) = simulate_jobsnap(&p, 1024, 8);
+    println!(
+        "\npaper @1024: total 2.92 s, LaunchMON 2.76 s | reproduced: total {}, LaunchMON {}",
+        s3(t1024),
+        s3(l1024)
+    );
+
+    // --- real-execution validation at laptop scale --------------------------
+    println!("\n--- real Jobsnap runs on the virtual cluster (threads, wall-clock) ---");
+    let mut rows = Vec::new();
+    for nodes in [4usize, 16, 32] {
+        let cluster = VirtualCluster::new(ClusterConfig::with_nodes(nodes));
+        let rm: Arc<dyn ResourceManager> = Arc::new(SlurmRm::new(cluster));
+        let job = rm.launch_job(&JobSpec::new("mpi_app", nodes, 8), false).expect("job");
+        let fe = LmonFrontEnd::init(rm).expect("fe");
+        let report = run_jobsnap(&fe, job.launcher_pid).expect("jobsnap");
+        assert_eq!(report.lines.len(), nodes * 8, "one line per task");
+        rows.push(Row {
+            x: format!("{nodes}"),
+            values: vec![
+                format!("{:?}", report.total),
+                format!("{:?}", report.launch),
+                format!("{}", report.lines.len()),
+            ],
+        });
+        fe.shutdown().expect("shutdown");
+    }
+    print_table(
+        "real execution (functional validation)",
+        "daemons",
+        &["total", "init→attachAndSpawn", "task lines"],
+        &rows,
+    );
+    let _ = PAPER_FIG5_LAUNCH_1024;
+    println!("\nfig5_jobsnap: done");
+}

@@ -1,0 +1,144 @@
+//! Criterion micro-benchmarks of the real hot paths:
+//!
+//! * LMONP header + message encode/decode and the incremental frame reader;
+//! * RPDTAB encode/decode at several scales (the Region B/C payload);
+//! * STAT prefix-tree insert/merge/serialize (the TBON filter body);
+//! * ICCL collectives over the in-process fabric;
+//! * DPCL binary parse (the Table 1 constant).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use lmon_iccl::{ChannelFabric, IcclComm, Topology};
+use lmon_proto::frame::{decode_msg, encode_msg, FrameReader};
+use lmon_proto::header::MsgType;
+use lmon_proto::msg::LmonpMsg;
+use lmon_proto::rpdtab::{synthetic_rpdtab, Rpdtab};
+use lmon_proto::wire::{WireDecode, WireEncode};
+use lmon_tools::dpcl::{parse_binary, SyntheticBinary};
+use lmon_tools::stat::tree::{merge_filter, PrefixTree};
+use lmon_tools::stat::{synth_trace, SAMPLE_TAG};
+
+fn bench_lmonp_codec(c: &mut Criterion) {
+    let mut g = c.benchmark_group("lmonp_codec");
+    let msg = LmonpMsg::of_type(MsgType::BeLaunchInfo)
+        .with_tag(7)
+        .with_lmon_payload(vec![0xA5; 256])
+        .with_usr_payload(vec![0x5A; 128]);
+    let bytes = encode_msg(&msg);
+    g.throughput(Throughput::Bytes(bytes.len() as u64));
+    g.bench_function("encode", |b| b.iter(|| encode_msg(black_box(&msg))));
+    g.bench_function("decode", |b| b.iter(|| decode_msg(black_box(&bytes)).unwrap()));
+    g.bench_function("frame_reader_chunked", |b| {
+        b.iter(|| {
+            let mut reader = FrameReader::new();
+            let mut n = 0;
+            for chunk in bytes.chunks(64) {
+                reader.extend(chunk);
+                while reader.next_msg().unwrap().is_some() {
+                    n += 1;
+                }
+            }
+            black_box(n)
+        })
+    });
+    g.finish();
+}
+
+fn bench_rpdtab(c: &mut Criterion) {
+    let mut g = c.benchmark_group("rpdtab");
+    for nodes in [16usize, 128, 1024] {
+        let table = synthetic_rpdtab(nodes, 8, "app");
+        let bytes = table.to_bytes();
+        g.throughput(Throughput::Elements((nodes * 8) as u64));
+        g.bench_with_input(BenchmarkId::new("encode", nodes), &table, |b, t| {
+            b.iter(|| black_box(t).to_bytes())
+        });
+        g.bench_with_input(BenchmarkId::new("decode", nodes), &bytes, |b, bs| {
+            b.iter(|| Rpdtab::from_bytes(black_box(bs)).unwrap())
+        });
+        g.bench_with_input(BenchmarkId::new("hosts", nodes), &table, |b, t| {
+            b.iter(|| black_box(t).hosts())
+        });
+    }
+    g.finish();
+}
+
+fn bench_stat_tree(c: &mut Criterion) {
+    let mut g = c.benchmark_group("stat_tree");
+    for ranks in [64u32, 512, 4096] {
+        g.throughput(Throughput::Elements(ranks as u64));
+        g.bench_with_input(BenchmarkId::new("build", ranks), &ranks, |b, &n| {
+            b.iter(|| {
+                let mut t = PrefixTree::new();
+                for r in 0..n {
+                    t.insert(&synth_trace(r, n), r);
+                }
+                black_box(t)
+            })
+        });
+        // The TBON merge filter over 8 partial trees.
+        let parts: Vec<Vec<u8>> = (0..8)
+            .map(|part| {
+                let mut t = PrefixTree::new();
+                let per = ranks / 8;
+                for r in (part * per)..((part + 1) * per) {
+                    t.insert(&synth_trace(r, ranks), r);
+                }
+                t.to_bytes()
+            })
+            .collect();
+        g.bench_with_input(BenchmarkId::new("merge_filter_8way", ranks), &parts, |b, p| {
+            b.iter(|| merge_filter(black_box(p.clone())))
+        });
+    }
+    g.finish();
+}
+
+fn bench_iccl(c: &mut Criterion) {
+    let mut g = c.benchmark_group("iccl");
+    g.sample_size(20);
+    for (name, topo) in [("flat", Topology::Flat), ("binomial", Topology::Binomial)] {
+        g.bench_function(BenchmarkId::new("gather16", name), |b| {
+            b.iter(|| {
+                let endpoints = ChannelFabric::mesh(16);
+                let handles: Vec<_> = endpoints
+                    .into_iter()
+                    .map(|ep| {
+                        std::thread::spawn(move || {
+                            let mut comm = IcclComm::new(ep, topo);
+                            comm.gather(vec![comm.rank() as u8; 64]).unwrap()
+                        })
+                    })
+                    .collect();
+                let results: Vec<_> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+                black_box(results)
+            })
+        });
+    }
+    g.finish();
+    let _ = SAMPLE_TAG;
+}
+
+fn bench_dpcl_parse(c: &mut Criterion) {
+    let mut g = c.benchmark_group("dpcl_parse");
+    g.sample_size(10);
+    for symbols in [10_000usize, 100_000] {
+        let bin = SyntheticBinary::generate("srun", symbols, 3);
+        g.throughput(Throughput::Elements(symbols as u64));
+        g.bench_with_input(BenchmarkId::new("full_parse", symbols), &bin, |b, bin| {
+            b.iter(|| parse_binary(black_box(bin)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_lmonp_codec,
+    bench_rpdtab,
+    bench_stat_tree,
+    bench_iccl,
+    bench_dpcl_parse
+);
+criterion_main!(benches);

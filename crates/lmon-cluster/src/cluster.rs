@@ -1,0 +1,373 @@
+//! The cluster facade: node lookup, process spawning, `/proc` reads.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::config::ClusterConfig;
+use crate::error::{ClusterError, ClusterResult};
+use crate::node::{Node, NodeId};
+use crate::process::{Pid, ProcCtx, ProcRecord, ProcShared, ProcSpec, ProcState};
+use crate::procfs::{snapshot, synth_task_stats, ProcSnapshot, ProcStats};
+use crate::remote::RshState;
+use crate::trace::TraceEvent;
+
+struct ClusterInner {
+    config: ClusterConfig,
+    fe: Arc<Node>,
+    compute: Vec<Arc<Node>>,
+    next_pid: AtomicU64,
+    next_job: AtomicU64,
+    rsh: RshState,
+}
+
+/// Shared handle to the whole virtual cluster.
+///
+/// Cheap to clone; all clones refer to the same cluster.
+#[derive(Clone)]
+pub struct VirtualCluster {
+    inner: Arc<ClusterInner>,
+}
+
+impl VirtualCluster {
+    /// Build a cluster from a config.
+    pub fn new(config: ClusterConfig) -> Self {
+        let fe = Node::new(NodeId::FrontEnd, config.fe_host.clone(), config.cores_per_node,
+            config.proc_table_cap);
+        let compute = (0..config.nodes)
+            .map(|i| {
+                Node::new(
+                    NodeId::Compute(i as u32),
+                    config.hostname(i),
+                    config.cores_per_node,
+                    config.proc_table_cap,
+                )
+            })
+            .collect();
+        VirtualCluster {
+            inner: Arc::new(ClusterInner {
+                rsh: RshState::new(config.rsh),
+                config,
+                fe,
+                compute,
+                next_pid: AtomicU64::new(1000),
+                next_job: AtomicU64::new(1),
+            }),
+        }
+    }
+
+    /// The cluster configuration.
+    pub fn config(&self) -> &ClusterConfig {
+        &self.inner.config
+    }
+
+    /// Number of compute nodes.
+    pub fn node_count(&self) -> usize {
+        self.inner.compute.len()
+    }
+
+    /// The front-end node.
+    pub fn front_end(&self) -> Arc<Node> {
+        self.inner.fe.clone()
+    }
+
+    /// Look up a node by id.
+    pub fn node(&self, id: NodeId) -> ClusterResult<Arc<Node>> {
+        match id {
+            NodeId::FrontEnd => Ok(self.inner.fe.clone()),
+            NodeId::Compute(i) => self
+                .inner
+                .compute
+                .get(i as usize)
+                .cloned()
+                .ok_or(ClusterError::NoSuchNode(id)),
+        }
+    }
+
+    /// Look up a node by hostname.
+    pub fn node_by_host(&self, host: &str) -> ClusterResult<Arc<Node>> {
+        if host == self.inner.fe.hostname {
+            return Ok(self.inner.fe.clone());
+        }
+        self.inner
+            .compute
+            .iter()
+            .find(|n| n.hostname == host)
+            .cloned()
+            .ok_or_else(|| ClusterError::NoSuchHost(host.to_string()))
+    }
+
+    /// All compute nodes, in index order.
+    pub fn compute_nodes(&self) -> &[Arc<Node>] {
+        &self.inner.compute
+    }
+
+    /// Remote-access (rsh) service state (connection counters and limits).
+    pub fn rsh_state(&self) -> &RshState {
+        &self.inner.rsh
+    }
+
+    /// Allocate a job id (used by the RM layer).
+    pub fn alloc_job_id(&self) -> u64 {
+        self.inner.next_job.fetch_add(1, Ordering::Relaxed)
+    }
+
+    fn alloc_pid(&self) -> Pid {
+        Pid(self.inner.next_pid.fetch_add(1, Ordering::Relaxed))
+    }
+
+    /// Spawn an *active* process: `body` runs on a dedicated thread with a
+    /// [`ProcCtx`]. Returns the new pid.
+    pub fn spawn_active(
+        &self,
+        node_id: NodeId,
+        spec: ProcSpec,
+        body: impl FnOnce(ProcCtx) + Send + 'static,
+    ) -> ClusterResult<Pid> {
+        let node = self.node(node_id)?;
+        let pid = self.alloc_pid();
+        let shared = ProcShared::new(Node::fresh_stats());
+        let rec = Arc::new(ProcRecord {
+            pid,
+            spec: spec.clone(),
+            shared: shared.clone(),
+            thread: Mutex::new(None),
+        });
+        node.insert(rec.clone())?;
+        let ctx = ProcCtx {
+            pid,
+            node: node.id,
+            hostname: node.hostname.clone(),
+            spec,
+            shared: shared.clone(),
+            cluster: self.clone(),
+        };
+        let thread_name = format!("{}@{}", ctx.spec.exe, ctx.hostname);
+        let handle = std::thread::Builder::new()
+            .name(thread_name)
+            .spawn(move || {
+                body(ctx);
+                // Normal return: mark exited unless killed first, and tell
+                // any tracer.
+                if !shared.state().is_terminal() {
+                    shared.set_state(ProcState::Exited(0));
+                }
+                shared.trace.raise(TraceEvent::Exited { code: 0 });
+            })
+            .expect("spawning a virtual-process thread");
+        *rec.thread.lock() = Some(handle);
+        Ok(pid)
+    }
+
+    /// Spawn a *passive* process: a table entry with synthesized stats and
+    /// no thread. Used for MPI application tasks.
+    pub fn spawn_passive(
+        &self,
+        node_id: NodeId,
+        spec: ProcSpec,
+        job_id: u64,
+    ) -> ClusterResult<Pid> {
+        let node = self.node(node_id)?;
+        let pid = self.alloc_pid();
+        let stats = match spec.rank {
+            Some(rank) => synth_task_stats(self.inner.config.stats_seed, job_id, rank),
+            None => ProcStats::default(),
+        };
+        let rec = Arc::new(ProcRecord {
+            pid,
+            spec,
+            shared: ProcShared::new(stats),
+            thread: Mutex::new(None),
+        });
+        node.insert(rec)?;
+        Ok(pid)
+    }
+
+    /// Find a process anywhere on the cluster.
+    pub fn find_proc(&self, pid: Pid) -> ClusterResult<(Arc<Node>, Arc<ProcRecord>)> {
+        if let Some(rec) = self.inner.fe.proc(pid) {
+            return Ok((self.inner.fe.clone(), rec));
+        }
+        for node in &self.inner.compute {
+            if let Some(rec) = node.proc(pid) {
+                return Ok((node.clone(), rec));
+            }
+        }
+        Err(ClusterError::NoSuchProcess(pid))
+    }
+
+    /// Read a `/proc` snapshot for a process on a known host.
+    pub fn read_proc(&self, host: &str, pid: Pid) -> ClusterResult<ProcSnapshot> {
+        let node = self.node_by_host(host)?;
+        let rec = node.proc(pid).ok_or(ClusterError::NoSuchProcess(pid))?;
+        let stats = *rec.shared.stats.lock();
+        Ok(snapshot(pid.0, rec.spec.rank, &rec.spec.exe, &node.hostname, rec.shared.state(), stats))
+    }
+
+    /// Send a kill to a process; active bodies observe it via
+    /// [`ProcCtx::killed`], passive entries terminate immediately.
+    pub fn kill(&self, pid: Pid) -> ClusterResult<()> {
+        let (_node, rec) = self.find_proc(pid)?;
+        rec.shared.set_state(ProcState::Killed);
+        Ok(())
+    }
+
+    /// Block until a process reaches a terminal state; returns it.
+    pub fn wait_pid(&self, pid: Pid) -> ClusterResult<ProcState> {
+        let (_node, rec) = self.find_proc(pid)?;
+        Ok(rec.shared.wait_terminal())
+    }
+
+    /// Join an active process's thread (after it has terminated).
+    pub fn join_thread(&self, pid: Pid) -> ClusterResult<()> {
+        let (_node, rec) = self.find_proc(pid)?;
+        let handle = rec.thread.lock().take();
+        if let Some(h) = handle {
+            let _ = h.join();
+        }
+        Ok(())
+    }
+
+    /// Total live processes across the cluster (test/diagnostic aid).
+    pub fn total_live(&self) -> usize {
+        self.inner.fe.live_count()
+            + self.inner.compute.iter().map(|n| n.live_count()).sum::<usize>()
+    }
+}
+
+impl std::fmt::Debug for VirtualCluster {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("VirtualCluster")
+            .field("nodes", &self.inner.compute.len())
+            .field("fe", &self.inner.fe.hostname)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::mpsc;
+
+    fn small() -> VirtualCluster {
+        VirtualCluster::new(ClusterConfig::with_nodes(4))
+    }
+
+    #[test]
+    fn topology_and_lookup() {
+        let c = small();
+        assert_eq!(c.node_count(), 4);
+        assert_eq!(c.front_end().hostname, "atlas-fe0");
+        assert_eq!(c.node(NodeId::Compute(2)).unwrap().hostname, "node00002");
+        assert!(c.node(NodeId::Compute(9)).is_err());
+        assert!(c.node_by_host("node00003").is_ok());
+        assert!(c.node_by_host("atlas-fe0").is_ok());
+        assert!(c.node_by_host("nope").is_err());
+    }
+
+    #[test]
+    fn active_process_runs_and_exits() {
+        let c = small();
+        let (tx, rx) = mpsc::channel();
+        let pid = c
+            .spawn_active(NodeId::Compute(0), ProcSpec::named("hello"), move |ctx| {
+                tx.send((ctx.hostname.clone(), ctx.pid)).unwrap();
+            })
+            .unwrap();
+        let (host, seen_pid) = rx.recv().unwrap();
+        assert_eq!(host, "node00000");
+        assert_eq!(seen_pid, pid);
+        assert!(matches!(c.wait_pid(pid).unwrap(), ProcState::Exited(0)));
+        c.join_thread(pid).unwrap();
+    }
+
+    #[test]
+    fn passive_tasks_get_synthesized_stats() {
+        let c = small();
+        let mut spec = ProcSpec::named("ring");
+        spec.rank = Some(5);
+        let pid = c.spawn_passive(NodeId::Compute(1), spec, 77).unwrap();
+        let snap = c.read_proc("node00001", pid).unwrap();
+        assert_eq!(snap.rank, Some(5));
+        assert_eq!(snap.state, 'R');
+        assert!(snap.stats.utime_ms > 0);
+        // Re-reading is stable.
+        let again = c.read_proc("node00001", pid).unwrap();
+        assert_eq!(snap, again);
+    }
+
+    #[test]
+    fn kill_terminates_and_wait_observes() {
+        let c = small();
+        let mut spec = ProcSpec::named("victim");
+        spec.rank = Some(0);
+        let pid = c.spawn_passive(NodeId::Compute(0), spec, 1).unwrap();
+        c.kill(pid).unwrap();
+        assert!(matches!(c.wait_pid(pid).unwrap(), ProcState::Killed));
+    }
+
+    #[test]
+    fn active_body_observes_kill_flag() {
+        let c = small();
+        let (tx, rx) = mpsc::channel();
+        let pid = c
+            .spawn_active(NodeId::Compute(0), ProcSpec::named("poller"), move |ctx| {
+                while !ctx.killed() {
+                    std::thread::sleep(std::time::Duration::from_millis(1));
+                }
+                tx.send(()).unwrap();
+            })
+            .unwrap();
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        c.kill(pid).unwrap();
+        rx.recv_timeout(std::time::Duration::from_secs(5)).unwrap();
+        c.join_thread(pid).unwrap();
+    }
+
+    #[test]
+    fn pids_are_cluster_globally_unique() {
+        let c = small();
+        let mut pids = std::collections::HashSet::new();
+        for i in 0..4 {
+            for _ in 0..10 {
+                let mut spec = ProcSpec::named("t");
+                spec.rank = Some(0);
+                let pid = c.spawn_passive(NodeId::Compute(i), spec, 1).unwrap();
+                assert!(pids.insert(pid), "pid reused: {pid:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn find_proc_searches_everywhere() {
+        let c = small();
+        let fe_pid = c
+            .spawn_active(NodeId::FrontEnd, ProcSpec::named("tool_fe"), |_| {})
+            .unwrap();
+        let (node, rec) = c.find_proc(fe_pid).unwrap();
+        assert_eq!(node.id, NodeId::FrontEnd);
+        assert_eq!(rec.pid, fe_pid);
+        assert!(c.find_proc(Pid(1)).is_err());
+        c.wait_pid(fe_pid).unwrap();
+        c.join_thread(fe_pid).unwrap();
+    }
+
+    #[test]
+    fn charge_cpu_updates_stats() {
+        let c = small();
+        let (tx, rx) = mpsc::channel();
+        let pid = c
+            .spawn_active(NodeId::Compute(0), ProcSpec::named("worker"), move |ctx| {
+                ctx.charge_cpu(120, 30);
+                tx.send(()).unwrap();
+            })
+            .unwrap();
+        rx.recv().unwrap();
+        c.wait_pid(pid).unwrap();
+        let snap = c.read_proc("node00000", pid).unwrap();
+        assert_eq!(snap.stats.utime_ms, 120);
+        assert_eq!(snap.stats.stime_ms, 30);
+        c.join_thread(pid).unwrap();
+    }
+}

@@ -1,0 +1,157 @@
+//! `/proc`-style per-process statistics.
+//!
+//! Jobsnap (§5.1) reports, per MPI task: personality (rank, executable),
+//! state (process state, program counter, active threads), memory (virtual
+//! and physical high watermarks, locked size), and simple performance
+//! metrics (user time, system time, major page faults). This module defines
+//! that record, the snapshot read path, and a deterministic synthesizer for
+//! passive application tasks.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::process::ProcState;
+
+/// Mutable statistics tracked per process (the writable part of `/proc`).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ProcStats {
+    /// User CPU time, milliseconds.
+    pub utime_ms: u64,
+    /// System CPU time, milliseconds.
+    pub stime_ms: u64,
+    /// Major page faults.
+    pub maj_flt: u64,
+    /// Peak virtual memory, KiB (`VmHWM` analog for virtual: `VmPeak`).
+    pub vm_peak_kb: u64,
+    /// Peak resident set, KiB (`VmHWM`).
+    pub vm_hwm_kb: u64,
+    /// Locked memory, KiB (`VmLck`).
+    pub vm_lck_kb: u64,
+    /// Active threads.
+    pub num_threads: u32,
+    /// Current program counter (synthetic text address).
+    pub pc: u64,
+}
+
+/// A complete, immutable snapshot of one process, as Jobsnap gathers it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProcSnapshot {
+    /// Process id.
+    pub pid: u64,
+    /// MPI rank, if an application task.
+    pub rank: Option<u32>,
+    /// Executable image name.
+    pub exe: String,
+    /// Hostname of the node.
+    pub host: String,
+    /// Process state code (`R`, `T`, `Z`, `K`).
+    pub state: char,
+    /// Statistics at snapshot time.
+    pub stats: ProcStats,
+}
+
+impl ProcSnapshot {
+    /// Render the one-line-per-task format Jobsnap's master daemon writes
+    /// (§5.1: "merges and writes into a text file, one line per task").
+    pub fn to_jobsnap_line(&self) -> String {
+        format!(
+            "rank={rank:<6} host={host:<12} exe={exe:<16} pid={pid:<8} st={state} \
+             pc=0x{pc:012x} thr={thr:<3} vmpeak={vmp:<9} vmhwm={vmh:<9} vmlck={vml:<7} \
+             ut={ut:<8} st_ms={st_ms:<8} majflt={mf}",
+            rank = self.rank.map(|r| r.to_string()).unwrap_or_else(|| "-".into()),
+            host = self.host,
+            exe = self.exe,
+            pid = self.pid,
+            state = self.state,
+            pc = self.stats.pc,
+            thr = self.stats.num_threads,
+            vmp = self.stats.vm_peak_kb,
+            vmh = self.stats.vm_hwm_kb,
+            vml = self.stats.vm_lck_kb,
+            ut = self.stats.utime_ms,
+            st_ms = self.stats.stime_ms,
+            mf = self.stats.maj_flt,
+        )
+    }
+}
+
+/// Deterministically synthesize plausible statistics for a passive MPI task.
+///
+/// Seeded by `(cluster_seed, job_id, rank)` so repeated snapshots of the
+/// same job are stable and tests can assert exact output.
+pub fn synth_task_stats(cluster_seed: u64, job_id: u64, rank: u32) -> ProcStats {
+    let mut rng = SmallRng::seed_from_u64(
+        cluster_seed ^ job_id.rotate_left(17) ^ (rank as u64).rotate_left(41),
+    );
+    let vm_peak_kb = 200_000 + rng.gen_range(0..400_000);
+    ProcStats {
+        utime_ms: 1_000 + rng.gen_range(0..600_000),
+        stime_ms: 50 + rng.gen_range(0..20_000),
+        maj_flt: rng.gen_range(0..2_000),
+        vm_peak_kb,
+        vm_hwm_kb: vm_peak_kb - rng.gen_range(0..100_000).min(vm_peak_kb / 2),
+        vm_lck_kb: if rng.gen_bool(0.3) { rng.gen_range(0..65_536) } else { 0 },
+        num_threads: 1 + rng.gen_range(0..4),
+        pc: (0x0040_0000 + rng.gen_range(0u64..0x0010_0000)) & !0x3,
+    }
+}
+
+/// Build a snapshot from table data (the read path `read_proc` uses).
+pub fn snapshot(
+    pid: u64,
+    rank: Option<u32>,
+    exe: &str,
+    host: &str,
+    state: ProcState,
+    stats: ProcStats,
+) -> ProcSnapshot {
+    ProcSnapshot { pid, rank, exe: exe.to_string(), host: host.to_string(), state: state.code(), stats }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn synth_stats_are_deterministic() {
+        let a = synth_task_stats(1, 2, 3);
+        let b = synth_task_stats(1, 2, 3);
+        assert_eq!(a, b);
+        let c = synth_task_stats(1, 2, 4);
+        assert_ne!(a, c, "different rank should vary");
+    }
+
+    #[test]
+    fn synth_stats_within_plausible_ranges() {
+        for rank in 0..200 {
+            let s = synth_task_stats(7, 9, rank);
+            assert!(s.vm_hwm_kb <= s.vm_peak_kb, "RSS peak cannot exceed VM peak");
+            assert!(s.num_threads >= 1);
+            assert!(s.pc >= 0x0040_0000, "text addresses start at the usual base");
+            assert_eq!(s.pc % 4, 0, "pc is instruction aligned");
+        }
+    }
+
+    #[test]
+    fn jobsnap_line_contains_all_fields() {
+        let snap = snapshot(
+            4242,
+            Some(17),
+            "ring",
+            "node00002",
+            ProcState::Running,
+            synth_task_stats(0, 1, 17),
+        );
+        let line = snap.to_jobsnap_line();
+        for needle in ["rank=17", "host=node00002", "exe=ring", "pid=4242", "st=R"] {
+            assert!(line.contains(needle), "line missing `{needle}`: {line}");
+        }
+    }
+
+    #[test]
+    fn daemon_snapshot_renders_dash_rank() {
+        let snap =
+            snapshot(1, None, "jobsnapd", "node00000", ProcState::Running, ProcStats::default());
+        assert!(snap.to_jobsnap_line().contains("rank=-"));
+    }
+}

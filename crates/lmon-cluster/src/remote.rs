@@ -1,0 +1,277 @@
+//! The remote-access (rsh/ssh) service and its front-end resource limits.
+//!
+//! Ad hoc daemon launching "combine\[s\] remote access commands like ssh or
+//! rsh with manual protocols" (§2). Each live session costs the front end
+//! real resources: a forked rsh client, sockets, and a pty. The paper's
+//! Figure 6 shows the consequence — "at 512 compute nodes, the ad hoc
+//! approach consistently fails when forking an rsh process".
+//!
+//! [`rsh_spawn`] models that launcher: it opens a session (charging fds on
+//! the front end, failing when the table is exhausted), optionally injects
+//! the configured connection latency, and spawns the requested process on
+//! the remote node. The returned [`RshSession`] keeps the fds pinned until
+//! dropped — exactly like a real rsh that stays alive as the remote
+//! daemon's stdio channel.
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+use crate::cluster::VirtualCluster;
+use crate::config::RshConfig;
+use crate::process::{Pid, ProcCtx, ProcSpec};
+
+/// Why a remote spawn failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RshError {
+    /// The front end could not fork another rsh client: fd table exhausted.
+    ForkFailed {
+        /// Sessions live at the time of the failure.
+        live_sessions: usize,
+        /// The configured session capacity.
+        capacity: usize,
+    },
+    /// The target host does not exist.
+    NoSuchHost(String),
+    /// The remote node refused the spawn (e.g. process table full).
+    RemoteSpawnFailed(String),
+}
+
+impl fmt::Display for RshError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RshError::ForkFailed { live_sessions, capacity } => write!(
+                f,
+                "rsh: fork failed on front end ({live_sessions} live sessions, capacity {capacity})"
+            ),
+            RshError::NoSuchHost(h) => write!(f, "rsh: unknown host {h}"),
+            RshError::RemoteSpawnFailed(e) => write!(f, "rsh: remote spawn failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for RshError {}
+
+/// Shared rsh bookkeeping (owned by the cluster).
+#[derive(Debug)]
+pub struct RshState {
+    config: RshConfig,
+    live: AtomicUsize,
+    total_connects: AtomicU64,
+    failed_connects: AtomicU64,
+}
+
+impl RshState {
+    pub(crate) fn new(config: RshConfig) -> Self {
+        RshState {
+            config,
+            live: AtomicUsize::new(0),
+            total_connects: AtomicU64::new(0),
+            failed_connects: AtomicU64::new(0),
+        }
+    }
+
+    /// The remote-access configuration.
+    pub fn config(&self) -> RshConfig {
+        self.config
+    }
+
+    /// Currently live sessions.
+    pub fn live_sessions(&self) -> usize {
+        self.live.load(Ordering::Relaxed)
+    }
+
+    /// Total successful connection attempts (cross-validated against the
+    /// discrete-event scenarios).
+    pub fn total_connects(&self) -> u64 {
+        self.total_connects.load(Ordering::Relaxed)
+    }
+
+    /// Total failed connection attempts.
+    pub fn failed_connects(&self) -> u64 {
+        self.failed_connects.load(Ordering::Relaxed)
+    }
+
+    fn try_open(&self) -> Result<(), RshError> {
+        let capacity = self.config.max_sessions();
+        // Optimistic increment with rollback keeps this lock-free.
+        let prev = self.live.fetch_add(1, Ordering::AcqRel);
+        if prev >= capacity {
+            self.live.fetch_sub(1, Ordering::AcqRel);
+            self.failed_connects.fetch_add(1, Ordering::Relaxed);
+            return Err(RshError::ForkFailed { live_sessions: prev, capacity });
+        }
+        self.total_connects.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+
+    fn close(&self) {
+        self.live.fetch_sub(1, Ordering::AcqRel);
+    }
+}
+
+/// A live rsh session pinning front-end fds; dropping it releases them.
+pub struct RshSession {
+    cluster: VirtualCluster,
+    /// Pid of the remote process this session started.
+    pub remote_pid: Pid,
+    closed: bool,
+}
+
+impl RshSession {
+    /// The remote process's pid.
+    pub fn pid(&self) -> Pid {
+        self.remote_pid
+    }
+
+    /// Explicitly close the session (idempotent).
+    pub fn close(mut self) {
+        self.close_inner();
+    }
+
+    fn close_inner(&mut self) {
+        if !self.closed {
+            self.closed = true;
+            self.cluster.rsh_state().close();
+        }
+    }
+}
+
+impl Drop for RshSession {
+    fn drop(&mut self) {
+        self.close_inner();
+    }
+}
+
+impl fmt::Debug for RshSession {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("RshSession").field("remote_pid", &self.remote_pid).finish()
+    }
+}
+
+/// Launch `spec`/`body` on `host` through the remote-access service.
+///
+/// This is the primitive every *ad hoc* launcher builds on. It charges the
+/// front end one session worth of fds for as long as the returned
+/// [`RshSession`] lives and injects `connect_latency` of wall-clock delay if
+/// the cluster was configured with one (measurement mode).
+pub fn rsh_spawn(
+    cluster: &VirtualCluster,
+    host: &str,
+    spec: ProcSpec,
+    body: impl FnOnce(ProcCtx) + Send + 'static,
+) -> Result<RshSession, RshError> {
+    let state = cluster.rsh_state();
+    state.try_open()?;
+    // From here on, any failure must release the session slot.
+    let node = match cluster.node_by_host(host) {
+        Ok(n) => n,
+        Err(_) => {
+            state.close();
+            return Err(RshError::NoSuchHost(host.to_string()));
+        }
+    };
+    let latency = state.config.connect_latency;
+    if !latency.is_zero() {
+        std::thread::sleep(latency);
+    }
+    match cluster.spawn_active(node.id, spec, body) {
+        Ok(pid) => Ok(RshSession { cluster: cluster.clone(), remote_pid: pid, closed: false }),
+        Err(e) => {
+            state.close();
+            Err(RshError::RemoteSpawnFailed(e.to_string()))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{ClusterConfig, RshConfig};
+
+    fn cluster_with_rsh(nodes: usize, rsh: RshConfig) -> VirtualCluster {
+        let mut cfg = ClusterConfig::with_nodes(nodes);
+        cfg.rsh = rsh;
+        VirtualCluster::new(cfg)
+    }
+
+    #[test]
+    fn sessions_spawn_remote_processes() {
+        let c = cluster_with_rsh(2, RshConfig::default());
+        let (tx, rx) = std::sync::mpsc::channel();
+        let session = rsh_spawn(&c, "node00001", ProcSpec::named("d"), move |ctx| {
+            tx.send(ctx.hostname.clone()).unwrap();
+        })
+        .unwrap();
+        assert_eq!(rx.recv().unwrap(), "node00001");
+        assert_eq!(c.rsh_state().live_sessions(), 1);
+        c.wait_pid(session.pid()).unwrap();
+        drop(session);
+        assert_eq!(c.rsh_state().live_sessions(), 0);
+        assert_eq!(c.rsh_state().total_connects(), 1);
+    }
+
+    #[test]
+    fn fd_exhaustion_fails_fork_like_the_paper() {
+        // Capacity (20-4)/2 = 8 sessions; the 9th fork fails.
+        let rsh = RshConfig {
+            fds_per_session: 2,
+            fe_fd_limit: 20,
+            fe_base_fds: 4,
+            ..Default::default()
+        };
+        let c = cluster_with_rsh(16, rsh);
+        let mut sessions = Vec::new();
+        for i in 0..8 {
+            sessions.push(
+                rsh_spawn(&c, &format!("node{i:05}"), ProcSpec::named("d"), |ctx| {
+                    while !ctx.killed() {
+                        std::thread::park_timeout(std::time::Duration::from_millis(1));
+                    }
+                })
+                .unwrap(),
+            );
+        }
+        let err = rsh_spawn(&c, "node00009", ProcSpec::named("d"), |_| {}).unwrap_err();
+        assert!(matches!(err, RshError::ForkFailed { live_sessions: 8, capacity: 8 }));
+        assert_eq!(c.rsh_state().failed_connects(), 1);
+        // Releasing one session makes room again.
+        let s = sessions.pop().unwrap();
+        let pid = s.pid();
+        c.kill(pid).unwrap();
+        drop(s);
+        assert!(rsh_spawn(&c, "node00009", ProcSpec::named("d"), |_| {}).is_ok());
+        for s in &sessions {
+            c.kill(s.pid()).unwrap();
+        }
+    }
+
+    #[test]
+    fn unknown_host_releases_slot() {
+        let c = cluster_with_rsh(1, RshConfig::default());
+        let err = rsh_spawn(&c, "ghost", ProcSpec::named("d"), |_| {}).unwrap_err();
+        assert!(matches!(err, RshError::NoSuchHost(_)));
+        assert_eq!(c.rsh_state().live_sessions(), 0);
+    }
+
+    #[test]
+    fn explicit_close_is_idempotent_with_drop() {
+        let c = cluster_with_rsh(1, RshConfig::default());
+        let s = rsh_spawn(&c, "node00000", ProcSpec::named("d"), |_| {}).unwrap();
+        let pid = s.pid();
+        s.close();
+        assert_eq!(c.rsh_state().live_sessions(), 0);
+        c.wait_pid(pid).unwrap();
+    }
+
+    #[test]
+    fn connect_latency_is_injected() {
+        let rsh = RshConfig {
+            connect_latency: std::time::Duration::from_millis(30),
+            ..Default::default()
+        };
+        let c = cluster_with_rsh(1, rsh);
+        let t0 = std::time::Instant::now();
+        let _s = rsh_spawn(&c, "node00000", ProcSpec::named("d"), |_| {}).unwrap();
+        assert!(t0.elapsed() >= std::time::Duration::from_millis(30));
+    }
+}

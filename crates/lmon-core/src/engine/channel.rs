@@ -1,0 +1,113 @@
+//! The FE → engine command path.
+//!
+//! The control messages themselves are fully LMONP-encoded bytes (encoded
+//! by the FE, decoded by the engine — the same bytes a TCP deployment would
+//! carry). Two things ride *next to* the encoded message, for reasons
+//! documented in the crate root:
+//!
+//! * the daemon body closure — the stand-in for the daemon executable
+//!   image, since the virtual cluster has no `exec()`;
+//! * the session's [`TimelineRecorder`], so engine-side critical-path
+//!   events (e2..e6) land in the same record as FE-side ones.
+
+use crossbeam_channel::{unbounded, Receiver, Sender};
+
+use lmon_rm::api::DaemonBody;
+
+use crate::error::{LmonError, LmonResult};
+use crate::timeline::TimelineRecorder;
+
+/// One FE → engine command.
+pub struct EngineCommand {
+    /// Encoded LMONP request ([`lmon_proto::frame::encode_msg`] output).
+    pub wire: Vec<u8>,
+    /// Daemon executable stand-in for spawn-bearing requests.
+    pub body: Option<DaemonBody>,
+    /// Daemon image name recorded in process tables.
+    pub daemon_exe: String,
+    /// Daemon argv.
+    pub daemon_args: Vec<String>,
+    /// Daemon environment (includes the session cookie variable).
+    pub daemon_env: Vec<String>,
+    /// Critical-path recorder for this operation.
+    pub timeline: Option<TimelineRecorder>,
+}
+
+impl EngineCommand {
+    /// A control-only command (detach/kill/shutdown).
+    pub fn control(wire: Vec<u8>) -> Self {
+        EngineCommand {
+            wire,
+            body: None,
+            daemon_exe: String::new(),
+            daemon_args: Vec::new(),
+            daemon_env: Vec::new(),
+            timeline: None,
+        }
+    }
+}
+
+/// FE-side endpoint of the engine channel.
+pub struct EngineEndpoint {
+    tx: Sender<EngineCommand>,
+    rx: Receiver<Vec<u8>>,
+}
+
+impl EngineEndpoint {
+    /// Send a command to the engine.
+    pub fn send(&self, cmd: EngineCommand) -> LmonResult<()> {
+        self.tx.send(cmd).map_err(|_| LmonError::Engine("engine is gone".into()))
+    }
+
+    /// Receive the next encoded reply.
+    pub fn recv(&self) -> LmonResult<Vec<u8>> {
+        self.rx.recv().map_err(|_| LmonError::Engine("engine is gone".into()))
+    }
+
+    /// Receive with a timeout.
+    pub fn recv_timeout(&self, timeout: std::time::Duration) -> LmonResult<Vec<u8>> {
+        self.rx
+            .recv_timeout(timeout)
+            .map_err(|_| LmonError::Timeout("waiting for engine reply"))
+    }
+}
+
+/// Build the channel: (FE endpoint, engine command receiver, engine reply
+/// sender).
+pub fn engine_channel() -> (EngineEndpoint, Receiver<EngineCommand>, Sender<Vec<u8>>) {
+    let (cmd_tx, cmd_rx) = unbounded();
+    let (reply_tx, reply_rx) = unbounded();
+    (EngineEndpoint { tx: cmd_tx, rx: reply_rx }, cmd_rx, reply_tx)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn commands_and_replies_flow() {
+        let (fe, cmd_rx, reply_tx) = engine_channel();
+        fe.send(EngineCommand::control(vec![1, 2, 3])).unwrap();
+        let got = cmd_rx.recv().unwrap();
+        assert_eq!(got.wire, vec![1, 2, 3]);
+        assert!(got.body.is_none());
+        reply_tx.send(vec![9]).unwrap();
+        assert_eq!(fe.recv().unwrap(), vec![9]);
+    }
+
+    #[test]
+    fn dropped_engine_surfaces_as_error() {
+        let (fe, cmd_rx, reply_tx) = engine_channel();
+        drop(cmd_rx);
+        drop(reply_tx);
+        assert!(fe.send(EngineCommand::control(vec![])).is_err());
+        assert!(fe.recv().is_err());
+    }
+
+    #[test]
+    fn recv_timeout_expires() {
+        let (fe, _cmd_rx, _reply_tx) = engine_channel();
+        let err = fe.recv_timeout(std::time::Duration::from_millis(10)).unwrap_err();
+        assert!(matches!(err, LmonError::Timeout(_)));
+    }
+}

@@ -1,0 +1,74 @@
+//! The Event Decoder: native trace events → LaunchMON events.
+
+use std::sync::Arc;
+
+use lmon_cluster::trace::TraceEvent;
+
+use crate::engine::event::LmonEvent;
+use crate::engine::platform::Platform;
+
+/// Converts native tracer events into [`LmonEvent`]s using platform
+/// knowledge (which stop symbol means "ready").
+pub struct EventDecoder {
+    platform: Arc<dyn Platform>,
+}
+
+impl EventDecoder {
+    /// A decoder for the given platform.
+    pub fn new(platform: Arc<dyn Platform>) -> Self {
+        EventDecoder { platform }
+    }
+
+    /// Decode one native event.
+    pub fn decode(&self, native: TraceEvent) -> LmonEvent {
+        match native {
+            TraceEvent::Forked { child } => LmonEvent::RmForked { child_pid: child.0 },
+            TraceEvent::Exec { exe } => LmonEvent::RmExec { exe },
+            TraceEvent::Exited { code } => LmonEvent::RmExited { code },
+            TraceEvent::Stopped { symbol } => {
+                if self.platform.is_ready_symbol(&symbol) {
+                    LmonEvent::JobReadyForTool
+                } else {
+                    LmonEvent::StoppedElsewhere { symbol }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::platform::MpirPlatform;
+    use lmon_cluster::process::Pid;
+
+    fn decoder() -> EventDecoder {
+        EventDecoder::new(Arc::new(MpirPlatform))
+    }
+
+    #[test]
+    fn breakpoint_stop_decodes_to_ready() {
+        let ev = decoder().decode(TraceEvent::Stopped { symbol: "MPIR_Breakpoint".into() });
+        assert_eq!(ev, LmonEvent::JobReadyForTool);
+    }
+
+    #[test]
+    fn other_stop_decodes_to_elsewhere() {
+        let ev = decoder().decode(TraceEvent::Stopped { symbol: "abort".into() });
+        assert_eq!(ev, LmonEvent::StoppedElsewhere { symbol: "abort".into() });
+    }
+
+    #[test]
+    fn fork_exec_exit_pass_through() {
+        let d = decoder();
+        assert_eq!(
+            d.decode(TraceEvent::Forked { child: Pid(9) }),
+            LmonEvent::RmForked { child_pid: 9 }
+        );
+        assert_eq!(
+            d.decode(TraceEvent::Exec { exe: "srun".into() }),
+            LmonEvent::RmExec { exe: "srun".into() }
+        );
+        assert_eq!(d.decode(TraceEvent::Exited { code: 3 }), LmonEvent::RmExited { code: 3 });
+    }
+}

@@ -1,0 +1,107 @@
+//! LaunchMON events: the engine's higher-level view of tracer activity.
+//!
+//! §3.1: the Event Manager polls the RM process for native events, the
+//! Event Decoder "convert\[s\] the event into a higher level LaunchMON
+//! event", and the Event Handler dispatches on it. This module defines
+//! those higher-level events.
+
+/// A decoded LaunchMON event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LmonEvent {
+    /// The RM launcher forked a process (task or launch agent).
+    RmForked {
+        /// Pid of the forked child.
+        child_pid: u64,
+    },
+    /// The RM launcher replaced its image.
+    RmExec {
+        /// New image name.
+        exe: String,
+    },
+    /// The launcher stopped at the APAI breakpoint: the job is in a state
+    /// where a tool can launch daemons (the paper's "particularly important
+    /// event").
+    JobReadyForTool,
+    /// The launcher stopped somewhere else (unexpected for healthy RMs).
+    StoppedElsewhere {
+        /// Symbol it stopped at.
+        symbol: String,
+    },
+    /// The launcher exited.
+    RmExited {
+        /// Exit code.
+        code: i32,
+    },
+}
+
+impl LmonEvent {
+    /// Dispatch key for the handler table.
+    pub fn kind(&self) -> LmonEventKind {
+        match self {
+            LmonEvent::RmForked { .. } => LmonEventKind::RmForked,
+            LmonEvent::RmExec { .. } => LmonEventKind::RmExec,
+            LmonEvent::JobReadyForTool => LmonEventKind::JobReadyForTool,
+            LmonEvent::StoppedElsewhere { .. } => LmonEventKind::StoppedElsewhere,
+            LmonEvent::RmExited { .. } => LmonEventKind::RmExited,
+        }
+    }
+}
+
+/// Discriminant of [`LmonEvent`] used as the handler-table key.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LmonEventKind {
+    /// See [`LmonEvent::RmForked`].
+    RmForked,
+    /// See [`LmonEvent::RmExec`].
+    RmExec,
+    /// See [`LmonEvent::JobReadyForTool`].
+    JobReadyForTool,
+    /// See [`LmonEvent::StoppedElsewhere`].
+    StoppedElsewhere,
+    /// See [`LmonEvent::RmExited`].
+    RmExited,
+}
+
+impl LmonEventKind {
+    /// Every kind, for building complete handler tables.
+    pub const ALL: [LmonEventKind; 5] = [
+        LmonEventKind::RmForked,
+        LmonEventKind::RmExec,
+        LmonEventKind::JobReadyForTool,
+        LmonEventKind::StoppedElsewhere,
+        LmonEventKind::RmExited,
+    ];
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kinds_match_events() {
+        assert_eq!(
+            LmonEvent::RmForked { child_pid: 1 }.kind(),
+            LmonEventKind::RmForked
+        );
+        assert_eq!(LmonEvent::JobReadyForTool.kind(), LmonEventKind::JobReadyForTool);
+        assert_eq!(
+            LmonEvent::StoppedElsewhere { symbol: "x".into() }.kind(),
+            LmonEventKind::StoppedElsewhere
+        );
+        assert_eq!(LmonEvent::RmExited { code: 1 }.kind(), LmonEventKind::RmExited);
+        assert_eq!(LmonEvent::RmExec { exe: "s".into() }.kind(), LmonEventKind::RmExec);
+    }
+
+    #[test]
+    fn all_covers_every_kind() {
+        for ev in [
+            LmonEvent::RmForked { child_pid: 0 },
+            LmonEvent::RmExec { exe: String::new() },
+            LmonEvent::JobReadyForTool,
+            LmonEvent::StoppedElsewhere { symbol: String::new() },
+            LmonEvent::RmExited { code: 0 },
+        ] {
+            assert!(LmonEventKind::ALL.contains(&ev.kind()));
+        }
+    }
+}

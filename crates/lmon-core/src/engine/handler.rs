@@ -1,0 +1,182 @@
+//! The LaunchMON Event Handler: a dispatch table over event kinds.
+//!
+//! §3.1: "The Driver next passes the LaunchMON event to the LaunchMON Event
+//! Handler, which invokes the handler matching the observed event." The
+//! table is explicit (not a `match`) because the paper's design point is
+//! that ports and tools can *install* handlers without touching the core
+//! loop — our tests exercise exactly that.
+
+use std::collections::HashMap;
+
+use crate::engine::event::{LmonEvent, LmonEventKind};
+
+/// What the driver should do after a handler runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HandlerVerdict {
+    /// Keep polling for more events.
+    Continue,
+    /// The goal state was reached (e.g. breakpoint hit); stop the loop.
+    Done,
+    /// Unrecoverable; stop and report.
+    Fatal,
+}
+
+/// Mutable state threaded through handlers during one driver run.
+#[derive(Debug, Default)]
+pub struct DriverState {
+    /// Forks observed (tracing-cost accounting).
+    pub forks_seen: u64,
+    /// Execs observed.
+    pub execs_seen: u64,
+    /// Set when the job reached the tool-ready state.
+    pub job_ready: bool,
+    /// Exit code if the launcher died.
+    pub launcher_exit: Option<i32>,
+    /// Unexpected stop symbols encountered.
+    pub unexpected_stops: Vec<String>,
+}
+
+/// Handler signature: inspect the event, mutate driver state, return a
+/// verdict.
+pub type Handler = Box<dyn Fn(&LmonEvent, &mut DriverState) -> HandlerVerdict + Send>;
+
+/// The dispatch table.
+pub struct HandlerTable {
+    handlers: HashMap<LmonEventKind, Handler>,
+}
+
+impl HandlerTable {
+    /// An empty table (all events fall through to `Continue`).
+    pub fn empty() -> Self {
+        HandlerTable { handlers: HashMap::new() }
+    }
+
+    /// The default launch-path table: count forks/execs, finish on the
+    /// ready event, fail on launcher exit.
+    pub fn launch_defaults() -> Self {
+        let mut t = HandlerTable::empty();
+        t.install(LmonEventKind::RmForked, |_, st| {
+            st.forks_seen += 1;
+            HandlerVerdict::Continue
+        });
+        t.install(LmonEventKind::RmExec, |_, st| {
+            st.execs_seen += 1;
+            HandlerVerdict::Continue
+        });
+        t.install(LmonEventKind::JobReadyForTool, |_, st| {
+            st.job_ready = true;
+            HandlerVerdict::Done
+        });
+        t.install(LmonEventKind::StoppedElsewhere, |ev, st| {
+            if let LmonEvent::StoppedElsewhere { symbol } = ev {
+                st.unexpected_stops.push(symbol.clone());
+            }
+            HandlerVerdict::Continue
+        });
+        t.install(LmonEventKind::RmExited, |ev, st| {
+            if let LmonEvent::RmExited { code } = ev {
+                st.launcher_exit = Some(*code);
+            }
+            HandlerVerdict::Fatal
+        });
+        t
+    }
+
+    /// Install (or replace) the handler for a kind.
+    pub fn install(
+        &mut self,
+        kind: LmonEventKind,
+        f: impl Fn(&LmonEvent, &mut DriverState) -> HandlerVerdict + Send + 'static,
+    ) {
+        self.handlers.insert(kind, Box::new(f));
+    }
+
+    /// Dispatch one event.
+    pub fn dispatch(&self, ev: &LmonEvent, state: &mut DriverState) -> HandlerVerdict {
+        match self.handlers.get(&ev.kind()) {
+            Some(h) => h(ev, state),
+            None => HandlerVerdict::Continue,
+        }
+    }
+
+    /// Number of installed handlers.
+    pub fn len(&self) -> usize {
+        self.handlers.len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.handlers.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_cover_all_kinds() {
+        let t = HandlerTable::launch_defaults();
+        assert_eq!(t.len(), LmonEventKind::ALL.len());
+    }
+
+    #[test]
+    fn ready_event_finishes() {
+        let t = HandlerTable::launch_defaults();
+        let mut st = DriverState::default();
+        assert_eq!(t.dispatch(&LmonEvent::JobReadyForTool, &mut st), HandlerVerdict::Done);
+        assert!(st.job_ready);
+    }
+
+    #[test]
+    fn forks_accumulate_and_continue() {
+        let t = HandlerTable::launch_defaults();
+        let mut st = DriverState::default();
+        for pid in 0..5 {
+            assert_eq!(
+                t.dispatch(&LmonEvent::RmForked { child_pid: pid }, &mut st),
+                HandlerVerdict::Continue
+            );
+        }
+        assert_eq!(st.forks_seen, 5);
+    }
+
+    #[test]
+    fn launcher_exit_is_fatal() {
+        let t = HandlerTable::launch_defaults();
+        let mut st = DriverState::default();
+        assert_eq!(
+            t.dispatch(&LmonEvent::RmExited { code: 127 }, &mut st),
+            HandlerVerdict::Fatal
+        );
+        assert_eq!(st.launcher_exit, Some(127));
+    }
+
+    #[test]
+    fn custom_handler_overrides_default() {
+        let mut t = HandlerTable::launch_defaults();
+        t.install(LmonEventKind::RmForked, |_, _| HandlerVerdict::Fatal);
+        let mut st = DriverState::default();
+        assert_eq!(
+            t.dispatch(&LmonEvent::RmForked { child_pid: 1 }, &mut st),
+            HandlerVerdict::Fatal
+        );
+        assert_eq!(st.forks_seen, 0, "replaced handler no longer counts");
+    }
+
+    #[test]
+    fn missing_handler_falls_through() {
+        let t = HandlerTable::empty();
+        let mut st = DriverState::default();
+        assert_eq!(t.dispatch(&LmonEvent::JobReadyForTool, &mut st), HandlerVerdict::Continue);
+        assert!(!st.job_ready);
+    }
+
+    #[test]
+    fn unexpected_stops_recorded() {
+        let t = HandlerTable::launch_defaults();
+        let mut st = DriverState::default();
+        t.dispatch(&LmonEvent::StoppedElsewhere { symbol: "sigsegv".into() }, &mut st);
+        assert_eq!(st.unexpected_stops, vec!["sigsegv"]);
+    }
+}

@@ -1,0 +1,420 @@
+//! The LaunchMON Engine.
+//!
+//! "The essence of LaunchMON is its ability to interact with a wide array
+//! of RMs. To capture the required job information through APAI, the
+//! LaunchMON Engine ... must trace the job's RM process. This typically
+//! requires debugger capabilities as well as a co-location with the target
+//! RM process. In addition, the LaunchMON Engine acts as a proxy for
+//! LaunchMON's other components ... by translating a series of commands
+//! between them and the RM." (§3.1)
+//!
+//! The engine runs as its own process on the front-end node of the virtual
+//! cluster (co-located with RM launchers, which also run there) and serves
+//! LMONP commands from the front-end API:
+//!
+//! * `FeLaunchReq` — run `launchAndSpawn`: execute the launcher under trace
+//!   control, drive the [`driver::Driver`] event loop to `MPIR_Breakpoint`,
+//!   fetch the RPDTAB, bulk-launch daemons through the RM.
+//! * `FeAttachReq` — `attachAndSpawn`: adopt a running launcher, read the
+//!   APAI directly, bulk-launch daemons.
+//! * `FeSpawnMwReq` — allocate middleware nodes and launch TBON daemons.
+//! * `FeDetachReq` / `FeKillReq` — release or destroy the session's job.
+//!
+//! Submodules mirror the paper's modular class hierarchy: the
+//! [`driver::Driver`] organizes operation, the [`driver::EventManager`]
+//! polls the traced RM process, the [`decoder::EventDecoder`] lifts native
+//! trace events into LaunchMON events, and the [`handler::HandlerTable`]
+//! dispatches them.
+
+pub mod channel;
+pub mod decoder;
+pub mod driver;
+pub mod event;
+pub mod handler;
+pub mod platform;
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use lmon_cluster::node::NodeId;
+use lmon_cluster::process::{Pid, ProcSpec};
+use lmon_cluster::trace::TraceController;
+use lmon_proto::frame::{decode_msg, encode_msg};
+use lmon_proto::header::MsgType;
+use lmon_proto::msg::LmonpMsg;
+use lmon_proto::payload::{AttachRequest, DaemonInfo, JobStatus, LaunchRequest, SpawnMwRequest};
+use lmon_proto::rpdtab::Rpdtab;
+use lmon_proto::wire::WireEncode;
+use lmon_rm::api::{Allocation, JobHandle, JobSpec, ResourceManager};
+
+use crate::engine::channel::{EngineCommand, EngineEndpoint};
+use crate::engine::driver::Driver;
+use crate::engine::platform::{MpirPlatform, Platform};
+use crate::error::{LmonError, LmonResult};
+use crate::timeline::CriticalEvent;
+
+/// A job under engine control.
+enum EngineJob {
+    /// Launched by the engine (launchAndSpawn): full RM handle retained.
+    Launched {
+        handle: JobHandle,
+        ctl: TraceController,
+    },
+    /// Adopted at attach time: only pids are known.
+    Attached {
+        launcher_pid: Pid,
+        rpdtab: Rpdtab,
+        #[allow(dead_code)] // retained so the trace attachment lives with the job
+        ctl: TraceController,
+    },
+}
+
+/// Engine state: one per engine process.
+pub struct Engine {
+    rm: Arc<dyn ResourceManager>,
+    platform: Arc<dyn Platform>,
+    jobs: HashMap<u16, EngineJob>,
+    daemon_pids: HashMap<u16, Vec<Pid>>,
+}
+
+impl Engine {
+    /// Spawn the engine as a process on the cluster front end, returning
+    /// the FE-side endpoint and the engine's pid.
+    pub fn spawn(rm: Arc<dyn ResourceManager>) -> LmonResult<(EngineEndpoint, Pid)> {
+        Engine::spawn_with_platform(rm, Arc::new(MpirPlatform))
+    }
+
+    /// Spawn with a custom platform adaptation layer.
+    pub fn spawn_with_platform(
+        rm: Arc<dyn ResourceManager>,
+        platform: Arc<dyn Platform>,
+    ) -> LmonResult<(EngineEndpoint, Pid)> {
+        let (fe_end, engine_rx, reply_tx) = channel::engine_channel();
+        let cluster = rm.cluster().clone();
+        let pid = cluster
+            .spawn_active(NodeId::FrontEnd, ProcSpec::named("launchmon_engine"), move |_ctx| {
+                let mut engine = Engine {
+                    rm,
+                    platform,
+                    jobs: HashMap::new(),
+                    daemon_pids: HashMap::new(),
+                };
+                while let Ok(cmd) = engine_rx.recv() {
+                    let replies = engine.handle(cmd);
+                    let mut shutdown = false;
+                    for r in &replies {
+                        if r.is_none() {
+                            shutdown = true;
+                        }
+                    }
+                    for r in replies.into_iter().flatten() {
+                        if reply_tx.send(encode_msg(&r)).is_err() {
+                            return;
+                        }
+                    }
+                    if shutdown {
+                        return;
+                    }
+                }
+            })
+            .map_err(LmonError::Cluster)?;
+        Ok((fe_end, pid))
+    }
+
+    /// Process one command; `None` in the output vector means shutdown.
+    fn handle(&mut self, cmd: EngineCommand) -> Vec<Option<LmonpMsg>> {
+        let msg = match decode_msg(&cmd.wire) {
+            Ok(m) => m,
+            Err(e) => return vec![Some(error_reply(0, format!("decode: {e}")))],
+        };
+        let tag = msg.tag;
+        match msg.mtype {
+            MsgType::FeLaunchReq => self.handle_launch(tag, &msg, cmd),
+            MsgType::FeAttachReq => self.handle_attach(tag, &msg, cmd),
+            MsgType::FeSpawnMwReq => self.handle_spawn_mw(tag, &msg, cmd),
+            MsgType::FeDetachReq => vec![Some(self.handle_detach(tag))],
+            MsgType::FeKillReq => vec![Some(self.handle_kill(tag))],
+            MsgType::BeShutdown => vec![None], // engine shutdown sentinel
+            other => vec![Some(error_reply(tag, format!("unexpected message {other:?}")))],
+        }
+    }
+
+    fn handle_launch(
+        &mut self,
+        tag: u16,
+        msg: &LmonpMsg,
+        cmd: EngineCommand,
+    ) -> Vec<Option<LmonpMsg>> {
+        let req: LaunchRequest = match msg.decode_lmon() {
+            Ok(r) => r,
+            Err(e) => return vec![Some(error_reply(tag, format!("launch req: {e}")))],
+        };
+        let Some(body) = cmd.body else {
+            return vec![Some(error_reply(tag, "launch req missing daemon body".into()))];
+        };
+        let timeline = cmd.timeline.unwrap_or_default();
+
+        // e2: execute the RM launcher under engine control.
+        timeline.mark(CriticalEvent::E2LauncherExec);
+        let spec = JobSpec {
+            app_exe: req.app_exe.clone(),
+            app_args: req.app_args.clone(),
+            nodes: req.nodes as usize,
+            tasks_per_node: req.tasks_per_node as usize,
+        };
+        let mut handle = match self.rm.launch_job(&spec, true) {
+            Ok(h) => h,
+            Err(e) => return vec![Some(error_reply(tag, format!("launch_job: {e}")))],
+        };
+        let (_node, rec) = match self.rm.cluster().find_proc(handle.launcher_pid) {
+            Ok(x) => x,
+            Err(e) => return vec![Some(error_reply(tag, format!("launcher proc: {e}")))],
+        };
+        let ctl = match TraceController::attach(handle.launcher_pid, rec.shared.clone()) {
+            Ok(c) => c,
+            Err(e) => return vec![Some(error_reply(tag, format!("attach: {e}")))],
+        };
+        self.platform.prepare_attach(&ctl, &rec.shared);
+        handle.release();
+
+        // Drive the event pipeline to the breakpoint.
+        let mut driver = Driver::new(self.platform.clone());
+        if let Err(e) = driver.run_to_breakpoint(&ctl) {
+            return vec![Some(error_reply(tag, format!("driver: {e}")))];
+        }
+        timeline.mark(CriticalEvent::E3AtBreakpoint);
+
+        // Region B: fetch the RPDTAB out of the launcher's address space.
+        let rpdtab = match self.platform.fetch_rpdtab(&ctl) {
+            Ok(t) => t,
+            Err(e) => return vec![Some(error_reply(tag, format!("rpdtab: {e}")))],
+        };
+        timeline.mark(CriticalEvent::E4RpdtabFetched);
+
+        // e5/e6: the RM's bulk daemon launch over the job's footprint.
+        timeline.mark(CriticalEvent::E5DaemonSpawnStart);
+        let pids = match self.rm.spawn_daemons(
+            &handle.allocation,
+            &cmd.daemon_exe,
+            &cmd.daemon_args,
+            &cmd.daemon_env,
+            body,
+        ) {
+            Ok(p) => p,
+            Err(e) => return vec![Some(error_reply(tag, format!("spawn daemons: {e}")))],
+        };
+        timeline.mark(CriticalEvent::E6DaemonsSpawned);
+
+        // Let the job run under tool control.
+        ctl.continue_proc();
+
+        let master_info = DaemonInfo {
+            rank: 0,
+            size: pids.len() as u32,
+            host: rpdtab.hosts().first().cloned().unwrap_or_default(),
+            pid: pids.first().map(|p| p.0).unwrap_or(0),
+        };
+        self.daemon_pids.insert(tag, pids);
+        self.jobs.insert(tag, EngineJob::Launched { handle, ctl });
+
+        vec![
+            Some(
+                LmonpMsg::of_type(MsgType::EngineRpdtab)
+                    .with_tag(tag)
+                    .with_lmon(&rpdtab),
+            ),
+            Some(
+                LmonpMsg::of_type(MsgType::EngineAck)
+                    .with_tag(tag)
+                    .with_lmon(&master_info),
+            ),
+        ]
+    }
+
+    fn handle_attach(
+        &mut self,
+        tag: u16,
+        msg: &LmonpMsg,
+        cmd: EngineCommand,
+    ) -> Vec<Option<LmonpMsg>> {
+        let req: AttachRequest = match msg.decode_lmon() {
+            Ok(r) => r,
+            Err(e) => return vec![Some(error_reply(tag, format!("attach req: {e}")))],
+        };
+        let Some(body) = cmd.body else {
+            return vec![Some(error_reply(tag, "attach req missing daemon body".into()))];
+        };
+        let timeline = cmd.timeline.unwrap_or_default();
+        timeline.mark(CriticalEvent::E2LauncherExec);
+
+        let launcher_pid = Pid(req.launcher_pid);
+        let (_node, rec) = match self.rm.cluster().find_proc(launcher_pid) {
+            Ok(x) => x,
+            Err(e) => return vec![Some(error_reply(tag, format!("launcher proc: {e}")))],
+        };
+        let ctl = match TraceController::attach(launcher_pid, rec.shared.clone()) {
+            Ok(c) => c,
+            Err(e) => return vec![Some(error_reply(tag, format!("attach: {e}")))],
+        };
+
+        // The job is already running: poll the APAI until the proctable is
+        // valid (it almost always already is).
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+        let rpdtab = loop {
+            match self.platform.fetch_rpdtab(&ctl) {
+                Ok(t) => break t,
+                Err(e) => {
+                    if std::time::Instant::now() >= deadline {
+                        return vec![Some(error_reply(tag, format!("rpdtab: {e}")))];
+                    }
+                    std::thread::sleep(std::time::Duration::from_millis(2));
+                }
+            }
+        };
+        timeline.mark(CriticalEvent::E3AtBreakpoint);
+        timeline.mark(CriticalEvent::E4RpdtabFetched);
+
+        // Reconstruct the allocation footprint from the RPDTAB hosts.
+        let mut nodes = Vec::new();
+        for host in rpdtab.hosts() {
+            match self.rm.cluster().node_by_host(&host) {
+                Ok(n) => nodes.push(n.id),
+                Err(e) => return vec![Some(error_reply(tag, format!("host map: {e}")))],
+            }
+        }
+        let alloc = Allocation { id: u64::from(tag), nodes };
+
+        timeline.mark(CriticalEvent::E5DaemonSpawnStart);
+        let pids = match self.rm.spawn_daemons(
+            &alloc,
+            &cmd.daemon_exe,
+            &cmd.daemon_args,
+            &cmd.daemon_env,
+            body,
+        ) {
+            Ok(p) => p,
+            Err(e) => return vec![Some(error_reply(tag, format!("spawn daemons: {e}")))],
+        };
+        timeline.mark(CriticalEvent::E6DaemonsSpawned);
+
+        let master_info = DaemonInfo {
+            rank: 0,
+            size: pids.len() as u32,
+            host: rpdtab.hosts().first().cloned().unwrap_or_default(),
+            pid: pids.first().map(|p| p.0).unwrap_or(0),
+        };
+        self.daemon_pids.insert(tag, pids);
+        self.jobs.insert(
+            tag,
+            EngineJob::Attached { launcher_pid, rpdtab: rpdtab.clone(), ctl },
+        );
+
+        vec![
+            Some(LmonpMsg::of_type(MsgType::EngineRpdtab).with_tag(tag).with_lmon(&rpdtab)),
+            Some(LmonpMsg::of_type(MsgType::EngineAck).with_tag(tag).with_lmon(&master_info)),
+        ]
+    }
+
+    fn handle_spawn_mw(
+        &mut self,
+        tag: u16,
+        msg: &LmonpMsg,
+        cmd: EngineCommand,
+    ) -> Vec<Option<LmonpMsg>> {
+        let req: SpawnMwRequest = match msg.decode_lmon() {
+            Ok(r) => r,
+            Err(e) => return vec![Some(error_reply(tag, format!("mw req: {e}")))],
+        };
+        let Some(body) = cmd.body else {
+            return vec![Some(error_reply(tag, "mw req missing daemon body".into()))];
+        };
+        let alloc = match self.rm.allocate_mw_nodes(req.count as usize) {
+            Ok(a) => a,
+            Err(e) => return vec![Some(error_reply(tag, format!("mw alloc: {e}")))],
+        };
+        let pids = match self.rm.spawn_daemons(
+            &alloc,
+            &cmd.daemon_exe,
+            &cmd.daemon_args,
+            &cmd.daemon_env,
+            body,
+        ) {
+            Ok(p) => p,
+            Err(e) => {
+                self.rm.release_allocation(&alloc);
+                return vec![Some(error_reply(tag, format!("mw spawn: {e}")))];
+            }
+        };
+        let master_info = DaemonInfo {
+            rank: 0,
+            size: pids.len() as u32,
+            host: self
+                .rm
+                .cluster()
+                .node(alloc.nodes[0])
+                .map(|n| n.hostname.clone())
+                .unwrap_or_default(),
+            pid: pids.first().map(|p| p.0).unwrap_or(0),
+        };
+        vec![Some(
+            LmonpMsg::of_type(MsgType::EngineAck).with_tag(tag).with_lmon(&master_info),
+        )]
+    }
+
+    fn handle_detach(&mut self, tag: u16) -> LmonpMsg {
+        match self.jobs.remove(&tag) {
+            Some(EngineJob::Launched { handle: _, ctl }) => {
+                // Drop the controller: detaches and resumes the launcher.
+                ctl.continue_proc();
+                drop(ctl);
+                status_reply(tag, JobStatus::Detached)
+            }
+            Some(EngineJob::Attached { ctl, .. }) => {
+                drop(ctl);
+                status_reply(tag, JobStatus::Detached)
+            }
+            None => error_reply(tag, format!("detach: no job for session {tag}")),
+        }
+    }
+
+    fn handle_kill(&mut self, tag: u16) -> LmonpMsg {
+        // Daemons first, then the job.
+        if let Some(pids) = self.daemon_pids.remove(&tag) {
+            for pid in pids {
+                let _ = self.rm.cluster().kill(pid);
+            }
+        }
+        match self.jobs.remove(&tag) {
+            Some(EngineJob::Launched { handle, ctl }) => {
+                ctl.continue_proc();
+                drop(ctl);
+                if let Err(e) = self.rm.kill_job(&handle) {
+                    return error_reply(tag, format!("kill: {e}"));
+                }
+                status_reply(tag, JobStatus::Killed)
+            }
+            Some(EngineJob::Attached { launcher_pid, rpdtab, ctl }) => {
+                drop(ctl);
+                for entry in rpdtab.entries() {
+                    let _ = self.rm.cluster().kill(Pid(entry.pid));
+                }
+                let _ = self.rm.cluster().kill(launcher_pid);
+                status_reply(tag, JobStatus::Killed)
+            }
+            None => error_reply(tag, format!("kill: no job for session {tag}")),
+        }
+    }
+}
+
+fn error_reply(tag: u16, text: String) -> LmonpMsg {
+    LmonpMsg::of_type(MsgType::EngineError)
+        .with_tag(tag)
+        .with_lmon_payload(text.into_bytes())
+        .as_error()
+}
+
+fn status_reply(tag: u16, status: JobStatus) -> LmonpMsg {
+    LmonpMsg::of_type(MsgType::EngineStatus)
+        .with_tag(tag)
+        .with_lmon_payload(status.to_bytes())
+}

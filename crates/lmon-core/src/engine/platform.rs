@@ -1,0 +1,63 @@
+//! The platform adaptation layer.
+//!
+//! §3.1: "We can use this to port it to new platforms by simply
+//! parameterizing and inheriting key abstract classes, and filling in
+//! details of the computer architecture, the OS, and the RM of the new
+//! target machine, while keeping the core structure." [`Platform`] is that
+//! parameterization point; [`MpirPlatform`] is the implementation for RMs
+//! that speak the standard MPIR interface (both our SLURM-like and
+//! BG/L-like RMs do, as their real counterparts did).
+
+use lmon_cluster::process::ProcShared;
+use lmon_cluster::trace::TraceController;
+use lmon_proto::rpdtab::Rpdtab;
+use lmon_rm::mpir;
+
+/// RM/OS-specific details the engine core is parameterized over.
+pub trait Platform: Send + Sync {
+    /// Symbol at which the launcher stops once the job is tool-ready.
+    fn breakpoint_symbol(&self) -> &'static str;
+
+    /// Prepare a freshly attached launcher: mark it debugged, arm
+    /// breakpoints.
+    fn prepare_attach(&self, ctl: &TraceController, shared: &ProcShared);
+
+    /// Fetch the RPDTAB from the launcher's address space.
+    fn fetch_rpdtab(&self, ctl: &TraceController) -> Result<Rpdtab, String>;
+
+    /// Whether a stop at `symbol` means "job ready for tool".
+    fn is_ready_symbol(&self, symbol: &str) -> bool {
+        symbol == self.breakpoint_symbol()
+    }
+}
+
+/// The standard-MPIR platform.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct MpirPlatform;
+
+impl Platform for MpirPlatform {
+    fn breakpoint_symbol(&self) -> &'static str {
+        mpir::MPIR_BREAKPOINT
+    }
+
+    fn prepare_attach(&self, ctl: &TraceController, shared: &ProcShared) {
+        mpir::set_being_debugged(ctl, shared);
+    }
+
+    fn fetch_rpdtab(&self, ctl: &TraceController) -> Result<Rpdtab, String> {
+        mpir::fetch_proctable(ctl)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mpir_platform_uses_standard_symbol() {
+        let p = MpirPlatform;
+        assert_eq!(p.breakpoint_symbol(), "MPIR_Breakpoint");
+        assert!(p.is_ready_symbol("MPIR_Breakpoint"));
+        assert!(!p.is_ready_symbol("main"));
+    }
+}

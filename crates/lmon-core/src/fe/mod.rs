@@ -1,0 +1,628 @@
+//! The LaunchMON front-end API.
+//!
+//! §3.2 identifies seven FE requirements: (1) launch or attach to an RM
+//! process; (2) co-locate back-end daemons; (3) launch middleware daemons;
+//! (4) fetch data such as the RPDTAB from the RM process; (5) transfer tool
+//! data between front end and daemons; (6) control the job or daemons;
+//! (7) bind commands to a daemon group. All seven are here:
+//!
+//! | requirement | API |
+//! |---|---|
+//! | launch/attach + co-locate | [`LmonFrontEnd::launch_and_spawn`], [`LmonFrontEnd::attach_and_spawn`] (combined calls, exactly as the paper designed: "our API combines these functionalities by supporting attachAndSpawn and launchAndSpawn but not calls that separate the actions") |
+//! | middleware | [`LmonFrontEnd::launch_mw_daemons`] |
+//! | RPDTAB | [`LmonFrontEnd::get_proctable`] |
+//! | tool data | [`LmonFrontEnd::register_pack`]/[`LmonFrontEnd::register_unpack`] (piggybacked), [`LmonFrontEnd::send_usrdata`]/[`LmonFrontEnd::recv_usrdata`] |
+//! | control | [`LmonFrontEnd::detach`], [`LmonFrontEnd::kill`] |
+//! | binding | every call takes a [`SessionId`] |
+
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Duration;
+
+use parking_lot::Mutex;
+
+use lmon_cluster::process::Pid;
+use lmon_iccl::Topology;
+use lmon_proto::frame::{decode_msg, encode_msg};
+use lmon_proto::header::MsgType;
+use lmon_proto::msg::LmonpMsg;
+use lmon_proto::payload::{
+    AttachRequest, DaemonInfo, DaemonSpec, Hello, JobStatus, LaunchRequest, SpawnMwRequest,
+};
+use lmon_proto::rpdtab::Rpdtab;
+use lmon_proto::security::{SessionCookie, COOKIE_ENV_VAR};
+use lmon_proto::transport::{LocalChannel, MsgChannel};
+use lmon_proto::wire::{put_seq, WireDecode};
+use lmon_rm::api::ResourceManager;
+
+use crate::be::{wrap_be_main, BeMain, BeWiring};
+use crate::engine::channel::{EngineCommand, EngineEndpoint};
+use crate::engine::Engine;
+use crate::error::{LmonError, LmonResult};
+use crate::mw::{assign_personalities, wrap_mw_main, MwMain, MwWiring};
+use crate::session::{SessionId, SessionState, SessionTable};
+use crate::timeline::{CriticalEvent, LaunchBreakdown, TimelineRecorder};
+
+/// Callback packing tool data to piggyback on the FE→BE handshake.
+pub type PackFn = Box<dyn Fn() -> Vec<u8> + Send>;
+
+/// Callback receiving tool data piggybacked on BE→FE messages.
+pub type UnpackFn = Box<dyn Fn(&[u8]) + Send>;
+
+/// Default handshake timeout.
+const HANDSHAKE_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// Per-session FE runtime state (channels, callbacks, timing).
+struct FeSessionRt {
+    be_chan: Option<LocalChannel>,
+    mw_chan: Option<LocalChannel>,
+    timeline: TimelineRecorder,
+    pack: Option<PackFn>,
+    unpack: Option<UnpackFn>,
+}
+
+impl FeSessionRt {
+    fn new() -> Self {
+        FeSessionRt {
+            be_chan: None,
+            mw_chan: None,
+            timeline: TimelineRecorder::new(),
+            pack: None,
+            unpack: None,
+        }
+    }
+}
+
+/// Result of `launchAndSpawn`/`attachAndSpawn`.
+#[derive(Debug)]
+pub struct LaunchOutcome {
+    /// The session the daemons are bound to.
+    pub session: SessionId,
+    /// The RPDTAB fetched from the RM.
+    pub rpdtab: Rpdtab,
+    /// Number of back-end daemons launched.
+    pub daemon_count: usize,
+    /// Master daemon identity.
+    pub master: DaemonInfo,
+    /// Critical-path breakdown (complete for launch; attach lacks T(job)).
+    pub breakdown: Option<LaunchBreakdown>,
+}
+
+/// Result of middleware daemon launch.
+#[derive(Debug)]
+pub struct MwOutcome {
+    /// Number of middleware daemons launched.
+    pub daemon_count: usize,
+    /// MW master identity.
+    pub master: DaemonInfo,
+}
+
+/// The front end: the tool's handle on all of LaunchMON.
+pub struct LmonFrontEnd {
+    rm: Arc<dyn ResourceManager>,
+    engine: EngineEndpoint,
+    engine_pid: Pid,
+    sessions: Mutex<SessionTable>,
+    runtimes: Mutex<HashMap<SessionId, FeSessionRt>>,
+}
+
+impl LmonFrontEnd {
+    /// `LMON_fe_init`: start the engine and the FE runtime.
+    pub fn init(rm: Arc<dyn ResourceManager>) -> LmonResult<Self> {
+        let (engine, engine_pid) = Engine::spawn(rm.clone())?;
+        Ok(LmonFrontEnd {
+            rm,
+            engine,
+            engine_pid,
+            sessions: Mutex::new(SessionTable::new()),
+            runtimes: Mutex::new(HashMap::new()),
+        })
+    }
+
+    /// The resource manager behind this front end.
+    pub fn rm(&self) -> &Arc<dyn ResourceManager> {
+        &self.rm
+    }
+
+    /// `LMON_fe_createSession`.
+    pub fn create_session(&self) -> SessionId {
+        let cookie = SessionCookie::mint();
+        let id = self.sessions.lock().create(cookie);
+        self.runtimes.lock().insert(id, FeSessionRt::new());
+        id
+    }
+
+    /// Register the pack callback for FE→BE piggybacked data.
+    pub fn register_pack(&self, session: SessionId, pack: PackFn) -> LmonResult<()> {
+        self.sessions.lock().get(session)?;
+        if let Some(rt) = self.runtimes.lock().get_mut(&session) {
+            rt.pack = Some(pack);
+        }
+        Ok(())
+    }
+
+    /// Register the unpack callback for BE→FE piggybacked data.
+    pub fn register_unpack(&self, session: SessionId, unpack: UnpackFn) -> LmonResult<()> {
+        self.sessions.lock().get(session)?;
+        if let Some(rt) = self.runtimes.lock().get_mut(&session) {
+            rt.unpack = Some(unpack);
+        }
+        Ok(())
+    }
+
+    /// `LMON_fe_launchAndSpawnDaemons`: launch a job under tool control and
+    /// co-locate one daemon per node.
+    #[allow(clippy::too_many_arguments)]
+    pub fn launch_and_spawn(
+        &self,
+        session: SessionId,
+        app_exe: &str,
+        app_args: &[String],
+        nodes: usize,
+        tasks_per_node: usize,
+        daemon: DaemonSpec,
+        be_main: BeMain,
+    ) -> LmonResult<LaunchOutcome> {
+        let timeline = self.session_timeline(session)?;
+        timeline.mark(CriticalEvent::E0ClientCall);
+
+        let req = LaunchRequest {
+            app_exe: app_exe.to_string(),
+            app_args: app_args.to_vec(),
+            nodes: nodes as u32,
+            tasks_per_node: tasks_per_node as u32,
+            daemon: daemon.clone(),
+        };
+        let wire = LmonpMsg::of_type(MsgType::FeLaunchReq)
+            .with_tag(session.0 as u16)
+            .with_lmon(&req);
+        self.spawn_common(session, encode_msg(&wire), daemon, be_main, timeline)
+    }
+
+    /// `LMON_fe_attachAndSpawnDaemons`: attach to a running job's launcher
+    /// and co-locate one daemon per node.
+    pub fn attach_and_spawn(
+        &self,
+        session: SessionId,
+        launcher_pid: Pid,
+        daemon: DaemonSpec,
+        be_main: BeMain,
+    ) -> LmonResult<LaunchOutcome> {
+        let timeline = self.session_timeline(session)?;
+        timeline.mark(CriticalEvent::E0ClientCall);
+
+        let req = AttachRequest { launcher_pid: launcher_pid.0, daemon: daemon.clone() };
+        let wire = LmonpMsg::of_type(MsgType::FeAttachReq)
+            .with_tag(session.0 as u16)
+            .with_lmon(&req);
+        self.spawn_common(session, encode_msg(&wire), daemon, be_main, timeline)
+    }
+
+    /// Common path for launch/attach: ship the request + wrapped daemon
+    /// body to the engine, then run the FE side of the BE handshake.
+    fn spawn_common(
+        &self,
+        session: SessionId,
+        wire: Vec<u8>,
+        daemon: DaemonSpec,
+        be_main: BeMain,
+        timeline: TimelineRecorder,
+    ) -> LmonResult<LaunchOutcome> {
+        let cookie = self.sessions.lock().get(session)?.cookie;
+
+        // The master daemon's LMONP channel, delivered through the wrapped
+        // body (one representative per component, §3.5).
+        let (fe_chan, be_chan) = LocalChannel::pair();
+        let master_slot = Arc::new(Mutex::new(Some(be_chan)));
+        let wrapped = wrap_be_main(
+            be_main,
+            BeWiring {
+                master_slot,
+                timeline: timeline.clone(),
+                topo: Topology::Binomial,
+            },
+        );
+
+        let mut env = daemon.env.clone();
+        env.push(format!("{COOKIE_ENV_VAR}={}", cookie.to_env_value()));
+
+        timeline.mark(CriticalEvent::E1EngineInvoked);
+        self.engine.send(EngineCommand {
+            wire,
+            body: Some(wrapped),
+            daemon_exe: daemon.exe.clone(),
+            daemon_args: daemon.args.clone(),
+            daemon_env: env,
+            timeline: Some(timeline.clone()),
+        })?;
+        self.transition(session, SessionState::EngineAttached)?;
+
+        // Engine reply 1: the RPDTAB.
+        let rpdtab: Rpdtab = {
+            let reply = decode_msg(&self.engine.recv_timeout(HANDSHAKE_TIMEOUT)?)?;
+            self.expect_reply(&reply, MsgType::EngineRpdtab)?;
+            reply.decode_lmon()?
+        };
+        self.transition(session, SessionState::JobStopped)?;
+        self.sessions.lock().get_mut(session)?.rpdtab = Some(rpdtab.clone());
+
+        // Engine reply 2: daemons spawned.
+        let master_info: DaemonInfo = {
+            let reply = decode_msg(&self.engine.recv_timeout(HANDSHAKE_TIMEOUT)?)?;
+            self.expect_reply(&reply, MsgType::EngineAck)?;
+            reply.decode_lmon()?
+        };
+        self.transition(session, SessionState::DaemonsSpawned)?;
+        self.sessions.lock().get_mut(session)?.be_count = master_info.size as usize;
+
+        // FE side of the BE handshake (e7..e10).
+        timeline.mark(CriticalEvent::E7HandshakeStart);
+        let mut fe_chan = fe_chan;
+        let hello_msg = fe_chan
+            .recv_timeout(HANDSHAKE_TIMEOUT)?
+            .ok_or(LmonError::Timeout("waiting for BE hello"))?;
+        if hello_msg.mtype != MsgType::BeHello {
+            return Err(LmonError::Engine(format!(
+                "expected BeHello, got {:?}",
+                hello_msg.mtype
+            )));
+        }
+        let hello: Hello = hello_msg.decode_lmon()?;
+        cookie.verify_hello(&hello)?;
+
+        // Launch info + piggybacked tool data from the pack callback.
+        let packed = {
+            let runtimes = self.runtimes.lock();
+            runtimes
+                .get(&session)
+                .and_then(|rt| rt.pack.as_ref())
+                .map(|pack| pack())
+                .unwrap_or_default()
+        };
+        fe_chan.send(
+            LmonpMsg::of_type(MsgType::BeLaunchInfo)
+                .with_epoch(cookie.epoch)
+                .with_lmon(&master_info)
+                .with_usr_payload(packed),
+        )?;
+        fe_chan.send(
+            LmonpMsg::of_type(MsgType::BeRpdtab)
+                .with_epoch(cookie.epoch)
+                .with_lmon(&rpdtab),
+        )?;
+
+        // Ready (+ optional piggybacked tool data through unpack).
+        let ready = fe_chan
+            .recv_timeout(HANDSHAKE_TIMEOUT)?
+            .ok_or(LmonError::Timeout("waiting for BE ready"))?;
+        if ready.mtype != MsgType::BeReady {
+            return Err(LmonError::Engine(format!("expected BeReady, got {:?}", ready.mtype)));
+        }
+        if !ready.usr.is_empty() {
+            if let Some(rt) = self.runtimes.lock().get(&session) {
+                if let Some(unpack) = rt.unpack.as_ref() {
+                    unpack(&ready.usr);
+                }
+            }
+        }
+        timeline.mark(CriticalEvent::E10Ready);
+        self.transition(session, SessionState::Ready)?;
+
+        // Stash the channel for later usrdata traffic.
+        if let Some(rt) = self.runtimes.lock().get_mut(&session) {
+            rt.be_chan = Some(fe_chan);
+        }
+        timeline.mark(CriticalEvent::E11Returned);
+
+        Ok(LaunchOutcome {
+            session,
+            daemon_count: master_info.size as usize,
+            master: master_info,
+            rpdtab,
+            breakdown: timeline.breakdown(),
+        })
+    }
+
+    /// `LMON_fe_launchMwDaemons`: allocate nodes and launch TBON daemons.
+    pub fn launch_mw_daemons(
+        &self,
+        session: SessionId,
+        count: usize,
+        fanout: u32,
+        daemon: DaemonSpec,
+        mw_main: MwMain,
+    ) -> LmonResult<MwOutcome> {
+        let cookie = self.sessions.lock().get(session)?.cookie;
+        let rpdtab = self
+            .sessions
+            .lock()
+            .get(session)?
+            .rpdtab
+            .clone()
+            .unwrap_or_else(Rpdtab::empty);
+
+        let (fe_chan, mw_chan) = LocalChannel::pair();
+        let master_slot = Arc::new(Mutex::new(Some(mw_chan)));
+        let wrapped = wrap_mw_main(
+            mw_main,
+            MwWiring { master_slot, topo: Topology::Binomial },
+        );
+
+        let mut env = daemon.env.clone();
+        env.push(format!("{COOKIE_ENV_VAR}={}", cookie.to_env_value()));
+
+        let req = SpawnMwRequest { count: count as u32, daemon: daemon.clone() };
+        let wire = LmonpMsg::of_type(MsgType::FeSpawnMwReq)
+            .with_tag(session.0 as u16)
+            .with_lmon(&req);
+        self.engine.send(EngineCommand {
+            wire: encode_msg(&wire),
+            body: Some(wrapped),
+            daemon_exe: daemon.exe.clone(),
+            daemon_args: daemon.args.clone(),
+            daemon_env: env,
+            timeline: None,
+        })?;
+
+        let master_info: DaemonInfo = {
+            let reply = decode_msg(&self.engine.recv_timeout(HANDSHAKE_TIMEOUT)?)?;
+            self.expect_reply(&reply, MsgType::EngineAck)?;
+            reply.decode_lmon()?
+        };
+
+        // MW handshake: hello, personalities (+ piggyback), RPDTAB, ready.
+        let mut fe_chan = fe_chan;
+        let hello_msg = fe_chan
+            .recv_timeout(HANDSHAKE_TIMEOUT)?
+            .ok_or(LmonError::Timeout("waiting for MW hello"))?;
+        if hello_msg.mtype != MsgType::MwHello {
+            return Err(LmonError::Engine(format!(
+                "expected MwHello, got {:?}",
+                hello_msg.mtype
+            )));
+        }
+        let hello: Hello = hello_msg.decode_lmon()?;
+        cookie.verify_hello(&hello)?;
+
+        // Personalities for the tool's intended tree shape.
+        let hosts: Vec<String> = {
+            // MW daemons were placed on the allocation the engine created;
+            // the master's host came back in the ack, and ranks follow
+            // allocation order. Recompute host names from rank order the
+            // same way the engine's RM did.
+            (0..master_info.size)
+                .map(|r| {
+                    if r == 0 {
+                        master_info.host.clone()
+                    } else {
+                        // Hosts are contiguous from the master's node index.
+                        next_hostname(&master_info.host, r)
+                    }
+                })
+                .collect()
+        };
+        let personalities = assign_personalities(&hosts, fanout);
+        let mut pers_bytes = Vec::new();
+        put_seq(&mut pers_bytes, &personalities);
+
+        let packed = {
+            let runtimes = self.runtimes.lock();
+            runtimes
+                .get(&session)
+                .and_then(|rt| rt.pack.as_ref())
+                .map(|pack| pack())
+                .unwrap_or_default()
+        };
+        fe_chan.send(
+            LmonpMsg::of_type(MsgType::MwLaunchInfo)
+                .with_epoch(cookie.epoch)
+                .with_lmon_payload(pers_bytes)
+                .with_usr_payload(packed),
+        )?;
+        fe_chan.send(
+            LmonpMsg::of_type(MsgType::MwRpdtab)
+                .with_epoch(cookie.epoch)
+                .with_lmon(&rpdtab),
+        )?;
+        let ready = fe_chan
+            .recv_timeout(HANDSHAKE_TIMEOUT)?
+            .ok_or(LmonError::Timeout("waiting for MW ready"))?;
+        if ready.mtype != MsgType::MwReady {
+            return Err(LmonError::Engine(format!("expected MwReady, got {:?}", ready.mtype)));
+        }
+
+        if let Some(rt) = self.runtimes.lock().get_mut(&session) {
+            rt.mw_chan = Some(fe_chan);
+        }
+        self.sessions.lock().get_mut(session)?.mw_count = master_info.size as usize;
+
+        Ok(MwOutcome { daemon_count: master_info.size as usize, master: master_info })
+    }
+
+    /// `LMON_fe_getProctable`.
+    pub fn get_proctable(&self, session: SessionId) -> LmonResult<Rpdtab> {
+        self.sessions
+            .lock()
+            .get(session)?
+            .rpdtab
+            .clone()
+            .ok_or(LmonError::BadSessionState { expected: "JobStopped+", actual: "no RPDTAB" })
+    }
+
+    /// Send tool data to the BE master (`LMON_fe_sendUsrDataBe`).
+    pub fn send_usrdata(&self, session: SessionId, bytes: Vec<u8>) -> LmonResult<()> {
+        let mut runtimes = self.runtimes.lock();
+        let rt = runtimes.get_mut(&session).ok_or(LmonError::NoSuchSession(session.0))?;
+        let chan = rt.be_chan.as_mut().ok_or(LmonError::BadSessionState {
+            expected: "Ready",
+            actual: "no BE channel",
+        })?;
+        chan.send(LmonpMsg::of_type(MsgType::BeUsrData).with_usr_payload(bytes))?;
+        Ok(())
+    }
+
+    /// Receive tool data from the BE master (`LMON_fe_recvUsrDataBe`).
+    pub fn recv_usrdata(&self, session: SessionId, timeout: Duration) -> LmonResult<Vec<u8>> {
+        let mut runtimes = self.runtimes.lock();
+        let rt = runtimes.get_mut(&session).ok_or(LmonError::NoSuchSession(session.0))?;
+        let chan = rt.be_chan.as_mut().ok_or(LmonError::BadSessionState {
+            expected: "Ready",
+            actual: "no BE channel",
+        })?;
+        loop {
+            match chan.recv_timeout(timeout)? {
+                Some(msg) if msg.mtype == MsgType::BeUsrData => return Ok(msg.usr),
+                Some(_) => continue,
+                None => return Err(LmonError::Timeout("recv_usrdata")),
+            }
+        }
+    }
+
+    /// Send tool data to the MW master (`LMON_fe_sendUsrDataMw`).
+    pub fn send_mw_usrdata(&self, session: SessionId, bytes: Vec<u8>) -> LmonResult<()> {
+        let mut runtimes = self.runtimes.lock();
+        let rt = runtimes.get_mut(&session).ok_or(LmonError::NoSuchSession(session.0))?;
+        let chan = rt.mw_chan.as_mut().ok_or(LmonError::BadSessionState {
+            expected: "MW launched",
+            actual: "no MW channel",
+        })?;
+        chan.send(LmonpMsg::of_type(MsgType::MwUsrData).with_usr_payload(bytes))?;
+        Ok(())
+    }
+
+    /// Receive tool data from the MW master (`LMON_fe_recvUsrDataMw`).
+    pub fn recv_mw_usrdata(
+        &self,
+        session: SessionId,
+        timeout: Duration,
+    ) -> LmonResult<Vec<u8>> {
+        let mut runtimes = self.runtimes.lock();
+        let rt = runtimes.get_mut(&session).ok_or(LmonError::NoSuchSession(session.0))?;
+        let chan = rt.mw_chan.as_mut().ok_or(LmonError::BadSessionState {
+            expected: "MW launched",
+            actual: "no MW channel",
+        })?;
+        loop {
+            match chan.recv_timeout(timeout)? {
+                Some(msg) if msg.mtype == MsgType::MwUsrData => return Ok(msg.usr),
+                Some(_) => continue,
+                None => return Err(LmonError::Timeout("recv_mw_usrdata")),
+            }
+        }
+    }
+
+    /// `LMON_fe_detach`: shut daemons down, leave the job running.
+    pub fn detach(&self, session: SessionId) -> LmonResult<()> {
+        // Order daemons to shut down.
+        {
+            let mut runtimes = self.runtimes.lock();
+            if let Some(rt) = runtimes.get_mut(&session) {
+                if let Some(chan) = rt.be_chan.as_mut() {
+                    let _ = chan.send(LmonpMsg::of_type(MsgType::BeShutdown));
+                }
+            }
+        }
+        // Tell the engine to release the job.
+        let wire = LmonpMsg::of_type(MsgType::FeDetachReq).with_tag(session.0 as u16);
+        self.engine.send(EngineCommand::control(encode_msg(&wire)))?;
+        let reply = decode_msg(&self.engine.recv_timeout(HANDSHAKE_TIMEOUT)?)?;
+        self.expect_status(&reply, JobStatus::Detached)?;
+        self.transition(session, SessionState::Detached)
+    }
+
+    /// `LMON_fe_kill`: destroy the job and all daemons.
+    pub fn kill(&self, session: SessionId) -> LmonResult<()> {
+        let wire = LmonpMsg::of_type(MsgType::FeKillReq).with_tag(session.0 as u16);
+        self.engine.send(EngineCommand::control(encode_msg(&wire)))?;
+        let reply = decode_msg(&self.engine.recv_timeout(HANDSHAKE_TIMEOUT)?)?;
+        self.expect_status(&reply, JobStatus::Killed)?;
+        self.transition(session, SessionState::Killed)
+    }
+
+    /// The session's critical-path recorder.
+    pub fn timeline(&self, session: SessionId) -> LmonResult<TimelineRecorder> {
+        self.session_timeline(session)
+    }
+
+    /// Current session state.
+    pub fn session_state(&self, session: SessionId) -> LmonResult<SessionState> {
+        Ok(self.sessions.lock().get(session)?.state)
+    }
+
+    /// Shut down the engine and the FE runtime.
+    pub fn shutdown(self) -> LmonResult<()> {
+        let wire = LmonpMsg::of_type(MsgType::BeShutdown); // engine shutdown sentinel
+        let _ = self.engine.send(EngineCommand::control(encode_msg(&wire)));
+        let cluster = self.rm.cluster().clone();
+        let _ = cluster.wait_pid(self.engine_pid);
+        let _ = cluster.join_thread(self.engine_pid);
+        Ok(())
+    }
+
+    // --- helpers ---------------------------------------------------------
+
+    fn session_timeline(&self, session: SessionId) -> LmonResult<TimelineRecorder> {
+        self.sessions.lock().get(session)?;
+        Ok(self
+            .runtimes
+            .lock()
+            .get(&session)
+            .map(|rt| rt.timeline.clone())
+            .unwrap_or_default())
+    }
+
+    fn transition(&self, session: SessionId, next: SessionState) -> LmonResult<()> {
+        self.sessions.lock().get_mut(session)?.transition(next)
+    }
+
+    fn expect_reply(&self, reply: &LmonpMsg, want: MsgType) -> LmonResult<()> {
+        if reply.error || reply.mtype == MsgType::EngineError {
+            return Err(LmonError::Engine(
+                String::from_utf8_lossy(&reply.lmon).into_owned(),
+            ));
+        }
+        if reply.mtype != want {
+            return Err(LmonError::Engine(format!(
+                "expected {want:?}, got {:?}",
+                reply.mtype
+            )));
+        }
+        Ok(())
+    }
+
+    fn expect_status(&self, reply: &LmonpMsg, want: JobStatus) -> LmonResult<()> {
+        if reply.error || reply.mtype == MsgType::EngineError {
+            return Err(LmonError::Engine(
+                String::from_utf8_lossy(&reply.lmon).into_owned(),
+            ));
+        }
+        let got = JobStatus::from_bytes(&reply.lmon)?;
+        if got != want {
+            return Err(LmonError::Engine(format!("expected status {want:?}, got {got:?}")));
+        }
+        Ok(())
+    }
+}
+
+/// Derive the hostname `offset` nodes after `base` in the cluster's naming
+/// scheme (`node00005` + 2 → `node00007`).
+fn next_hostname(base: &str, offset: u32) -> String {
+    let digits: String =
+        base.chars().rev().take_while(|c| c.is_ascii_digit()).collect::<String>();
+    let digits: String = digits.chars().rev().collect();
+    let prefix = &base[..base.len() - digits.len()];
+    let n: u64 = digits.parse().unwrap_or(0);
+    format!("{prefix}{:0width$}", n + offset as u64, width = digits.len())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn next_hostname_increments_suffix() {
+        assert_eq!(next_hostname("node00005", 2), "node00007");
+        assert_eq!(next_hostname("comm9", 1), "comm10");
+        assert_eq!(next_hostname("node00099", 1), "node00100");
+    }
+}

@@ -1,0 +1,48 @@
+//! # lmon-core — the LaunchMON infrastructure
+//!
+//! This crate is the paper's primary contribution (§3): a general-purpose,
+//! distributed infrastructure for launching and controlling tool daemons,
+//! decomposed exactly as Figure 1 shows:
+//!
+//! * **[`engine`]** — the LaunchMON Engine. Runs co-located with the RM
+//!   launcher process, traces it through the cluster's trace controller
+//!   (Driver → Event Manager → Event Decoder → Event Handler pipeline),
+//!   fetches the RPDTAB at `MPIR_Breakpoint`, and invokes the RM's
+//!   efficient bulk daemon launch. Ported across RMs via the
+//!   [`engine::platform::Platform`] abstraction.
+//! * **[`fe`]** — the front-end API: sessions, `launchAndSpawnDaemons`,
+//!   `attachAndSpawnDaemons`, middleware spawn, proctable access, user-data
+//!   piggybacking via registered pack/unpack callbacks, detach/kill.
+//! * **[`be`]** — the back-end API used inside tool daemons: handshake,
+//!   `amIMaster`, local proctable slices, and the four ICCL collectives.
+//! * **[`mw`]** — the middleware API for TBON daemons: personality handles,
+//!   the RM fabric, and RPDTAB distribution.
+//! * **[`session`]** — session descriptors binding FE calls to daemon
+//!   groups (§3.2: "we use a session, an abstraction for a group of
+//!   daemons associated with a job, to provide the binding method").
+//! * **[`timeline`]** — critical-path instrumentation capturing the §4
+//!   model's events e0..e11 on every launch, so real runs produce the same
+//!   breakdown the paper's Figure 3 reports.
+//!
+//! One honest deviation from the paper's deployment model is documented in
+//! [`engine::channel`]: our virtual cluster has no `exec()`, so the "daemon
+//! executable installed on compute nodes" is represented by a Rust closure
+//! that rides next to the fully-encoded LMONP request on the FE → engine
+//! command channel. Every byte of LMONP that the real system would put on
+//! the wire is still encoded, framed and decoded.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod be;
+pub mod engine;
+pub mod error;
+pub mod fe;
+pub mod mw;
+pub mod session;
+pub mod timeline;
+
+pub use error::{LmonError, LmonResult};
+pub use fe::LmonFrontEnd;
+pub use session::{SessionId, SessionState};
+pub use timeline::{CriticalEvent, LaunchBreakdown, TimelineRecorder};

@@ -1,0 +1,308 @@
+//! The LaunchMON middleware API — what runs inside TBON daemons.
+//!
+//! §3.4: "once launched into a set of newly allocated nodes, each TBON
+//! daemon must set up the TBON based on information that LaunchMON scalably
+//! distributes to it. Specifically, the MW API assigns to each
+//! simultaneously launched TBON daemon a unique personality handle that is
+//! similar to an MPI rank. It also sets up a simple network fabric ...
+//! LaunchMON's middleware initialization also distributes the RPDTAB to the
+//! TBON daemons."
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use lmon_cluster::process::{Pid, ProcCtx};
+use lmon_iccl::{IcclComm, Topology};
+use lmon_proto::header::MsgType;
+use lmon_proto::msg::LmonpMsg;
+use lmon_proto::payload::{Hello, MwPersonality};
+use lmon_proto::rpdtab::Rpdtab;
+use lmon_proto::security::{SessionCookie, COOKIE_ENV_VAR};
+use lmon_proto::transport::{LocalChannel, MsgChannel};
+use lmon_proto::wire::{get_seq, WireDecode};
+use lmon_rm::api::DaemonBody;
+use lmon_rm::fabric::RmFabricEndpoint;
+
+use crate::error::{LmonError, LmonResult};
+
+/// A tool's middleware-daemon entry point.
+pub type MwMain = Arc<dyn Fn(&mut MwSession) + Send + Sync + 'static>;
+
+/// Wiring for the MW bootstrap.
+pub(crate) struct MwWiring {
+    /// Channel the MW master picks up to talk LMONP to the FE.
+    pub master_slot: Arc<Mutex<Option<LocalChannel>>>,
+    /// Collective schedule over the MW fabric.
+    pub topo: Topology,
+}
+
+/// The session object handed to middleware daemon code.
+pub struct MwSession {
+    comm: IcclComm<RmFabricEndpoint>,
+    ctx: ProcCtx,
+    personality: MwPersonality,
+    all_personalities: Vec<MwPersonality>,
+    rpdtab: Rpdtab,
+    usrdata: Vec<u8>,
+    master_chan: Option<LocalChannel>,
+}
+
+impl MwSession {
+    /// This daemon's personality handle.
+    pub fn personality(&self) -> &MwPersonality {
+        &self.personality
+    }
+
+    /// Personalities of every MW daemon launched together (the table the
+    /// TBON bootstraps its own network from).
+    pub fn all_personalities(&self) -> &[MwPersonality] {
+        &self.all_personalities
+    }
+
+    /// Rank among MW daemons.
+    pub fn rank(&self) -> u32 {
+        self.comm.rank()
+    }
+
+    /// Number of MW daemons.
+    pub fn size(&self) -> u32 {
+        self.comm.size()
+    }
+
+    /// Whether this daemon is the MW master.
+    pub fn am_i_master(&self) -> bool {
+        self.comm.is_master()
+    }
+
+    /// Hostname of this daemon's node.
+    pub fn hostname(&self) -> &str {
+        &self.ctx.hostname
+    }
+
+    /// This daemon's pid.
+    pub fn pid(&self) -> Pid {
+        self.ctx.pid
+    }
+
+    /// The RPDTAB, "allow\[ing\] TBON daemons to locate the target program
+    /// and the back-end daemons" (§3.4).
+    pub fn proctable(&self) -> &Rpdtab {
+        &self.rpdtab
+    }
+
+    /// Tool data piggybacked by the FE on the MW handshake.
+    pub fn usrdata(&self) -> &[u8] {
+        &self.usrdata
+    }
+
+    /// Collective broadcast over the MW fabric.
+    pub fn broadcast(&mut self, data: Option<Vec<u8>>) -> LmonResult<Vec<u8>> {
+        self.comm.broadcast(data).map_err(LmonError::Iccl)
+    }
+
+    /// Collective gather over the MW fabric.
+    pub fn gather(&mut self, contribution: Vec<u8>) -> LmonResult<Option<Vec<Vec<u8>>>> {
+        self.comm.gather(contribution).map_err(LmonError::Iccl)
+    }
+
+    /// Barrier over the MW fabric.
+    pub fn barrier(&mut self) -> LmonResult<()> {
+        self.comm.barrier().map_err(LmonError::Iccl)
+    }
+
+    /// Point-to-point send to a peer MW daemon, addressed by personality
+    /// handle (the paper: daemons "send data to and receive data from other
+    /// daemons collectively or individually using the personality handles").
+    pub fn send_to(&mut self, peer: u32, bytes: Vec<u8>) -> LmonResult<()> {
+        use lmon_iccl::fabric::Fabric as _;
+        self.comm_fabric().send(peer, bytes).map_err(LmonError::Iccl)
+    }
+
+    /// Blocking receive from a specific peer.
+    pub fn recv_from(&mut self, peer: u32) -> LmonResult<Vec<u8>> {
+        use lmon_iccl::fabric::Fabric as _;
+        let fabric = self.comm_fabric_mut();
+        fabric.recv_from(peer).map_err(LmonError::Iccl)
+    }
+
+    fn comm_fabric(&mut self) -> &RmFabricEndpoint {
+        self.comm.fabric_ref()
+    }
+
+    fn comm_fabric_mut(&mut self) -> &mut RmFabricEndpoint {
+        self.comm.fabric_mut()
+    }
+
+    /// Send tool data to the FE (master only).
+    pub fn send_usrdata(&mut self, bytes: Vec<u8>) -> LmonResult<()> {
+        let chan = self
+            .master_chan
+            .as_mut()
+            .ok_or(LmonError::Engine("send_usrdata: not the MW master".into()))?;
+        chan.send(LmonpMsg::of_type(MsgType::MwUsrData).with_usr_payload(bytes))?;
+        Ok(())
+    }
+
+    /// Receive tool data from the FE (master only).
+    pub fn recv_usrdata(&mut self, timeout: std::time::Duration) -> LmonResult<Vec<u8>> {
+        let chan = self
+            .master_chan
+            .as_mut()
+            .ok_or(LmonError::Engine("recv_usrdata: not the MW master".into()))?;
+        loop {
+            match chan.recv_timeout(timeout)? {
+                Some(msg) if msg.mtype == MsgType::MwUsrData => return Ok(msg.usr),
+                Some(_) => continue,
+                None => return Err(LmonError::Timeout("mw recv_usrdata")),
+            }
+        }
+    }
+}
+
+/// Assign personalities for `hosts.len()` MW daemons arranged as a k-ary
+/// tree of the given fanout (parent links let TBONs bootstrap without any
+/// further coordination).
+pub fn assign_personalities(hosts: &[String], fanout: u32) -> Vec<MwPersonality> {
+    let n = hosts.len() as u32;
+    let topo = Topology::KAry(fanout.max(1));
+    (0..n)
+        .map(|rank| MwPersonality {
+            rank,
+            size: n,
+            host: hosts[rank as usize].clone(),
+            parent: topo.parent(rank).unwrap_or(MwPersonality::NO_PARENT),
+            endpoint: 0xE0_0000 + rank as u64,
+        })
+        .collect()
+}
+
+/// Wrap a tool's MW main with the LaunchMON bootstrap.
+pub(crate) fn wrap_mw_main(tool_main: MwMain, wiring: MwWiring) -> DaemonBody {
+    let master_slot = wiring.master_slot;
+    let topo = wiring.topo;
+    Arc::new(move |ctx: ProcCtx, ep: RmFabricEndpoint| {
+        match mw_bootstrap(ctx, ep, &master_slot, topo) {
+            Ok(mut session) => tool_main(&mut session),
+            Err(e) => eprintln!("lmon-mw bootstrap failed: {e}"),
+        }
+    })
+}
+
+fn mw_bootstrap(
+    ctx: ProcCtx,
+    ep: RmFabricEndpoint,
+    master_slot: &Mutex<Option<LocalChannel>>,
+    topo: Topology,
+) -> LmonResult<MwSession> {
+    let mut comm = IcclComm::new(ep, topo);
+    let is_master = comm.is_master();
+    let my_rank = comm.rank();
+
+    let mut master_chan = None;
+    let personalities_bytes;
+    let usrdata;
+    let rpdtab_bytes;
+
+    if is_master {
+        let mut chan = master_slot
+            .lock()
+            .take()
+            .ok_or(LmonError::Engine("mw master channel already taken".into()))?;
+        let cookie_env = ctx
+            .env_get(COOKIE_ENV_VAR)
+            .ok_or(LmonError::Engine("missing session cookie in environment".into()))?;
+        let cookie = SessionCookie::from_env_value(cookie_env)?;
+        let hello = Hello {
+            cookie: cookie.cookie,
+            epoch: cookie.epoch,
+            host: ctx.hostname.clone(),
+            pid: ctx.pid.0,
+        };
+        chan.send(
+            LmonpMsg::of_type(MsgType::MwHello).with_epoch(cookie.epoch).with_lmon(&hello),
+        )?;
+
+        let msg = chan.recv()?;
+        if msg.mtype != MsgType::MwLaunchInfo {
+            return Err(LmonError::Engine(format!(
+                "mw handshake out of order: expected MwLaunchInfo, got {:?}",
+                msg.mtype
+            )));
+        }
+        personalities_bytes = comm
+            .broadcast(Some(msg.lmon.clone()))
+            .map_err(LmonError::Iccl)?;
+        usrdata = comm.broadcast(Some(msg.usr.clone())).map_err(LmonError::Iccl)?;
+
+        let msg = chan.recv()?;
+        if msg.mtype != MsgType::MwRpdtab {
+            return Err(LmonError::Engine(format!(
+                "mw handshake out of order: expected MwRpdtab, got {:?}",
+                msg.mtype
+            )));
+        }
+        rpdtab_bytes = comm.broadcast(Some(msg.lmon.clone())).map_err(LmonError::Iccl)?;
+        comm.barrier().map_err(LmonError::Iccl)?;
+        chan.send(LmonpMsg::of_type(MsgType::MwReady))?;
+        master_chan = Some(chan);
+    } else {
+        personalities_bytes = comm.broadcast(None).map_err(LmonError::Iccl)?;
+        usrdata = comm.broadcast(None).map_err(LmonError::Iccl)?;
+        rpdtab_bytes = comm.broadcast(None).map_err(LmonError::Iccl)?;
+        comm.barrier().map_err(LmonError::Iccl)?;
+    }
+
+    let mut slice = &personalities_bytes[..];
+    let all_personalities: Vec<MwPersonality> = get_seq(&mut slice)?;
+    let personality = all_personalities
+        .iter()
+        .find(|p| p.rank == my_rank)
+        .cloned()
+        .ok_or(LmonError::Engine("no personality for my rank".into()))?;
+    let rpdtab = Rpdtab::from_bytes(&rpdtab_bytes)?;
+
+    Ok(MwSession {
+        comm,
+        ctx,
+        personality,
+        all_personalities,
+        rpdtab,
+        usrdata,
+        master_chan,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn personalities_form_a_kary_tree() {
+        let hosts: Vec<String> = (0..7).map(|i| format!("comm{i}")).collect();
+        let ps = assign_personalities(&hosts, 2);
+        assert_eq!(ps.len(), 7);
+        assert!(ps[0].is_root());
+        assert_eq!(ps[1].parent, 0);
+        assert_eq!(ps[2].parent, 0);
+        assert_eq!(ps[3].parent, 1);
+        assert_eq!(ps[6].parent, 2);
+        for (i, p) in ps.iter().enumerate() {
+            assert_eq!(p.rank as usize, i);
+            assert_eq!(p.size, 7);
+            assert_eq!(p.host, hosts[i]);
+        }
+        // Endpoints are unique tokens.
+        let endpoints: std::collections::HashSet<u64> =
+            ps.iter().map(|p| p.endpoint).collect();
+        assert_eq!(endpoints.len(), 7);
+    }
+
+    #[test]
+    fn fanout_clamps_to_one() {
+        let hosts: Vec<String> = (0..3).map(|i| format!("c{i}")).collect();
+        let ps = assign_personalities(&hosts, 0);
+        assert_eq!(ps[1].parent, 0);
+        assert_eq!(ps[2].parent, 1, "fanout 0 behaves like a chain");
+    }
+}

@@ -1,0 +1,252 @@
+//! Sessions: the binding between FE API calls and daemon groups.
+//!
+//! §3.2: "We use a session, an abstraction for a group of daemons
+//! associated with a job, to provide the binding method. Most FE API
+//! procedures ... include a session parameter. ... Internally, the
+//! front-end runtime maintains a session resource descriptor table."
+
+use std::collections::HashMap;
+
+use lmon_proto::rpdtab::Rpdtab;
+use lmon_proto::security::SessionCookie;
+
+use crate::error::{LmonError, LmonResult};
+
+/// Identifier of a session in the FE's descriptor table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SessionId(pub u32);
+
+/// Lifecycle of a session.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SessionState {
+    /// Created; no job bound yet.
+    Created,
+    /// The engine is attached to the RM launcher.
+    EngineAttached,
+    /// The job stopped at the breakpoint; RPDTAB available.
+    JobStopped,
+    /// Tool daemons spawned, handshake in progress.
+    DaemonsSpawned,
+    /// Daemons reported ready; session usable.
+    Ready,
+    /// Detached: job continues, daemons shut down.
+    Detached,
+    /// Everything torn down by kill.
+    Killed,
+}
+
+impl SessionState {
+    /// Short name for diagnostics.
+    pub fn name(self) -> &'static str {
+        match self {
+            SessionState::Created => "Created",
+            SessionState::EngineAttached => "EngineAttached",
+            SessionState::JobStopped => "JobStopped",
+            SessionState::DaemonsSpawned => "DaemonsSpawned",
+            SessionState::Ready => "Ready",
+            SessionState::Detached => "Detached",
+            SessionState::Killed => "Killed",
+        }
+    }
+
+    /// Legal forward transitions.
+    pub fn can_transition_to(self, next: SessionState) -> bool {
+        use SessionState::*;
+        matches!(
+            (self, next),
+            (Created, EngineAttached)
+                | (EngineAttached, JobStopped)
+                | (JobStopped, DaemonsSpawned)
+                | (DaemonsSpawned, Ready)
+                | (Ready, Detached)
+                | (Ready, Killed)
+                | (Created, Killed)
+                | (EngineAttached, Killed)
+                | (JobStopped, Killed)
+                | (DaemonsSpawned, Killed)
+        )
+    }
+
+    /// Whether the session has been torn down.
+    pub fn is_terminal(self) -> bool {
+        matches!(self, SessionState::Detached | SessionState::Killed)
+    }
+}
+
+/// Per-session descriptor held by the front-end runtime.
+#[derive(Debug)]
+pub struct SessionDesc {
+    /// The session id.
+    pub id: SessionId,
+    /// Current lifecycle state.
+    pub state: SessionState,
+    /// The session's security cookie (passed to daemons via the RM).
+    pub cookie: SessionCookie,
+    /// The RPDTAB once fetched.
+    pub rpdtab: Option<Rpdtab>,
+    /// Back-end daemon count once spawned.
+    pub be_count: usize,
+    /// Middleware daemon count once spawned.
+    pub mw_count: usize,
+}
+
+impl SessionDesc {
+    fn new(id: SessionId, cookie: SessionCookie) -> Self {
+        SessionDesc {
+            id,
+            state: SessionState::Created,
+            cookie,
+            rpdtab: None,
+            be_count: 0,
+            mw_count: 0,
+        }
+    }
+
+    /// Apply a state transition, validating legality.
+    pub fn transition(&mut self, next: SessionState) -> LmonResult<()> {
+        if !self.state.can_transition_to(next) {
+            return Err(LmonError::BadSessionState {
+                expected: next.name(),
+                actual: self.state.name(),
+            });
+        }
+        self.state = next;
+        Ok(())
+    }
+}
+
+/// The FE's session resource descriptor table.
+#[derive(Debug, Default)]
+pub struct SessionTable {
+    next: u32,
+    sessions: HashMap<SessionId, SessionDesc>,
+}
+
+impl SessionTable {
+    /// An empty table.
+    pub fn new() -> Self {
+        SessionTable::default()
+    }
+
+    /// Create a session with a freshly minted cookie.
+    pub fn create(&mut self, cookie: SessionCookie) -> SessionId {
+        let id = SessionId(self.next);
+        self.next += 1;
+        self.sessions.insert(id, SessionDesc::new(id, cookie));
+        id
+    }
+
+    /// Borrow a session descriptor.
+    pub fn get(&self, id: SessionId) -> LmonResult<&SessionDesc> {
+        self.sessions.get(&id).ok_or(LmonError::NoSuchSession(id.0))
+    }
+
+    /// Mutably borrow a session descriptor.
+    pub fn get_mut(&mut self, id: SessionId) -> LmonResult<&mut SessionDesc> {
+        self.sessions.get_mut(&id).ok_or(LmonError::NoSuchSession(id.0))
+    }
+
+    /// Remove a terminal session from the table.
+    pub fn remove(&mut self, id: SessionId) -> LmonResult<SessionDesc> {
+        let desc = self.sessions.get(&id).ok_or(LmonError::NoSuchSession(id.0))?;
+        if !desc.state.is_terminal() {
+            return Err(LmonError::BadSessionState {
+                expected: "terminal",
+                actual: desc.state.name(),
+            });
+        }
+        Ok(self.sessions.remove(&id).expect("checked above"))
+    }
+
+    /// Number of live sessions.
+    pub fn len(&self) -> usize {
+        self.sessions.len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.sessions.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table_with_one() -> (SessionTable, SessionId) {
+        let mut t = SessionTable::new();
+        let id = t.create(SessionCookie::mint_seeded(1));
+        (t, id)
+    }
+
+    #[test]
+    fn ids_are_unique_and_dense() {
+        let mut t = SessionTable::new();
+        let a = t.create(SessionCookie::mint_seeded(1));
+        let b = t.create(SessionCookie::mint_seeded(2));
+        assert_ne!(a, b);
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn happy_path_transitions() {
+        let (mut t, id) = table_with_one();
+        for next in [
+            SessionState::EngineAttached,
+            SessionState::JobStopped,
+            SessionState::DaemonsSpawned,
+            SessionState::Ready,
+            SessionState::Detached,
+        ] {
+            t.get_mut(id).unwrap().transition(next).unwrap();
+        }
+        assert!(t.get(id).unwrap().state.is_terminal());
+    }
+
+    #[test]
+    fn illegal_transitions_rejected() {
+        let (mut t, id) = table_with_one();
+        let err = t.get_mut(id).unwrap().transition(SessionState::Ready).unwrap_err();
+        assert!(matches!(err, LmonError::BadSessionState { .. }));
+        // Terminal states admit nothing.
+        t.get_mut(id).unwrap().transition(SessionState::Killed).unwrap();
+        assert!(t
+            .get_mut(id)
+            .unwrap()
+            .transition(SessionState::EngineAttached)
+            .is_err());
+    }
+
+    #[test]
+    fn kill_allowed_from_any_live_state() {
+        for intermediate in [
+            SessionState::Created,
+            SessionState::EngineAttached,
+            SessionState::JobStopped,
+            SessionState::DaemonsSpawned,
+            SessionState::Ready,
+        ] {
+            assert!(
+                intermediate.can_transition_to(SessionState::Killed),
+                "{intermediate:?} must allow kill"
+            );
+        }
+    }
+
+    #[test]
+    fn remove_requires_terminal_state() {
+        let (mut t, id) = table_with_one();
+        assert!(t.remove(id).is_err());
+        t.get_mut(id).unwrap().transition(SessionState::Killed).unwrap();
+        assert!(t.remove(id).is_ok());
+        assert!(t.is_empty());
+        assert!(matches!(t.get(id), Err(LmonError::NoSuchSession(_))));
+    }
+
+    #[test]
+    fn detach_only_from_ready() {
+        assert!(!SessionState::Created.can_transition_to(SessionState::Detached));
+        assert!(!SessionState::DaemonsSpawned.can_transition_to(SessionState::Detached));
+        assert!(SessionState::Ready.can_transition_to(SessionState::Detached));
+    }
+}

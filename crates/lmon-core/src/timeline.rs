@@ -1,0 +1,232 @@
+//! Critical-path instrumentation for `launchAndSpawn` (§4, Figure 2).
+//!
+//! The paper models the service as eleven critical-path events `e0..e11`
+//! grouped into regions by dominant contributor:
+//!
+//! * **Region A** (RM-dominant): job spawn (`e2→e3`), daemon spawn
+//!   (`e5→e6`), fabric setup (`e8→e9`), plus LaunchMON's tracing cost
+//!   inside `e2→e3`;
+//! * **Region B** (engine-dominant): the RPDTAB fetch (`e3→e4`), linear in
+//!   the number of tasks;
+//! * **Region C** (master-BE-dominant): the handshake (`e7→e10`), linear in
+//!   the number of daemons.
+//!
+//! Every real launch through [`crate::fe::LmonFrontEnd`] records these
+//! marks with wall-clock instants; the same breakdown is produced by the
+//! discrete-event scenarios in `lmon-model`, which is how model and
+//! measurement are compared in the Figure 3 reproduction.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use parking_lot::Mutex;
+
+/// The §4 critical-path events.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[allow(missing_docs)] // E0..E11 are defined by the table below.
+pub enum CriticalEvent {
+    /// e0: client calls the FE API function.
+    E0ClientCall,
+    /// e1: the FE API invokes the LaunchMON engine.
+    E1EngineInvoked,
+    /// e2: the engine executes the RM job launcher under its control.
+    E2LauncherExec,
+    /// e3: the RM stops at `MPIR_Breakpoint` (job spawned, nodes allocated).
+    E3AtBreakpoint,
+    /// e4: the engine finished fetching the RPDTAB.
+    E4RpdtabFetched,
+    /// e5: the engine invokes the RM's daemon-spawn facility.
+    E5DaemonSpawnStart,
+    /// e6: the RM finished spawning tool daemons.
+    E6DaemonsSpawned,
+    /// e7: the handshake establishing daemon input parameters begins.
+    E7HandshakeStart,
+    /// e8: the master BE begins inter-daemon network setup on the RM fabric.
+    E8SetupStart,
+    /// e9: inter-daemon network setup completes.
+    E9SetupDone,
+    /// e10: the master BE sends `ready` to the front end.
+    E10Ready,
+    /// e11: control returns to the client.
+    E11Returned,
+}
+
+impl CriticalEvent {
+    /// All events in critical-path order.
+    pub const ALL: [CriticalEvent; 12] = [
+        CriticalEvent::E0ClientCall,
+        CriticalEvent::E1EngineInvoked,
+        CriticalEvent::E2LauncherExec,
+        CriticalEvent::E3AtBreakpoint,
+        CriticalEvent::E4RpdtabFetched,
+        CriticalEvent::E5DaemonSpawnStart,
+        CriticalEvent::E6DaemonsSpawned,
+        CriticalEvent::E7HandshakeStart,
+        CriticalEvent::E8SetupStart,
+        CriticalEvent::E9SetupDone,
+        CriticalEvent::E10Ready,
+        CriticalEvent::E11Returned,
+    ];
+
+    /// Index of the event on the critical path (0..=11).
+    pub fn index(self) -> usize {
+        CriticalEvent::ALL.iter().position(|&e| e == self).expect("event in ALL")
+    }
+}
+
+/// Shared recorder of critical-path marks; FE and engine both hold it.
+#[derive(Clone, Default)]
+pub struct TimelineRecorder {
+    marks: Arc<Mutex<[Option<Instant>; 12]>>,
+}
+
+impl TimelineRecorder {
+    /// A fresh, empty recorder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record an event at "now" (first mark wins; re-marks are ignored so
+    /// retries cannot corrupt the path).
+    pub fn mark(&self, ev: CriticalEvent) {
+        let mut marks = self.marks.lock();
+        let slot = &mut marks[ev.index()];
+        if slot.is_none() {
+            *slot = Some(Instant::now());
+        }
+    }
+
+    /// When an event fired, if it did.
+    pub fn at(&self, ev: CriticalEvent) -> Option<Instant> {
+        self.marks.lock()[ev.index()]
+    }
+
+    /// Duration between two recorded events (`None` if either is missing
+    /// or they are out of order).
+    pub fn between(&self, from: CriticalEvent, to: CriticalEvent) -> Option<Duration> {
+        let marks = self.marks.lock();
+        let a = marks[from.index()]?;
+        let b = marks[to.index()]?;
+        b.checked_duration_since(a)
+    }
+
+    /// Extract the per-component breakdown once the launch completed.
+    pub fn breakdown(&self) -> Option<LaunchBreakdown> {
+        use CriticalEvent::*;
+        Some(LaunchBreakdown {
+            total: self.between(E0ClientCall, E11Returned)?,
+            t_job: self.between(E2LauncherExec, E3AtBreakpoint)?,
+            t_rpdtab_fetch: self.between(E3AtBreakpoint, E4RpdtabFetched)?,
+            t_daemon: self.between(E5DaemonSpawnStart, E6DaemonsSpawned)?,
+            t_handshake: self.between(E7HandshakeStart, E10Ready)?,
+            t_setup: self.between(E8SetupStart, E9SetupDone)?,
+        })
+    }
+
+    /// Whether every event on the path has been recorded, in order.
+    pub fn is_complete_and_ordered(&self) -> bool {
+        let marks = self.marks.lock();
+        let mut prev: Option<Instant> = None;
+        for slot in marks.iter() {
+            match slot {
+                None => return false,
+                Some(t) => {
+                    if let Some(p) = prev {
+                        if *t < p {
+                            return false;
+                        }
+                    }
+                    prev = Some(*t);
+                }
+            }
+        }
+        true
+    }
+}
+
+impl std::fmt::Debug for TimelineRecorder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let marks = self.marks.lock();
+        let recorded = marks.iter().filter(|m| m.is_some()).count();
+        write!(f, "TimelineRecorder({recorded}/12 marks)")
+    }
+}
+
+/// Durations of the §4 cost components measured on a real launch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LaunchBreakdown {
+    /// e0 → e11: what the client experienced.
+    pub total: Duration,
+    /// T(job): e2 → e3 (includes the engine's tracing cost).
+    pub t_job: Duration,
+    /// Region B: e3 → e4.
+    pub t_rpdtab_fetch: Duration,
+    /// T(daemon): e5 → e6.
+    pub t_daemon: Duration,
+    /// Region C: e7 → e10 (includes T(setup) and T(collective)).
+    pub t_handshake: Duration,
+    /// T(setup): e8 → e9, inside the handshake.
+    pub t_setup: Duration,
+}
+
+impl LaunchBreakdown {
+    /// Everything not attributed to a named component (client/engine local
+    /// work, scheduling gaps).
+    pub fn other(&self) -> Duration {
+        let named = self.t_job + self.t_rpdtab_fetch + self.t_daemon + self.t_handshake;
+        self.total.saturating_sub(named)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordered_marks_produce_breakdown() {
+        let tl = TimelineRecorder::new();
+        for ev in CriticalEvent::ALL {
+            tl.mark(ev);
+        }
+        assert!(tl.is_complete_and_ordered());
+        let b = tl.breakdown().expect("complete path");
+        assert!(b.total >= b.t_job);
+        assert!(b.other() <= b.total);
+    }
+
+    #[test]
+    fn missing_marks_yield_none() {
+        let tl = TimelineRecorder::new();
+        tl.mark(CriticalEvent::E0ClientCall);
+        assert!(tl.breakdown().is_none());
+        assert!(!tl.is_complete_and_ordered());
+        assert!(tl.between(CriticalEvent::E0ClientCall, CriticalEvent::E11Returned).is_none());
+    }
+
+    #[test]
+    fn first_mark_wins() {
+        let tl = TimelineRecorder::new();
+        tl.mark(CriticalEvent::E0ClientCall);
+        let first = tl.at(CriticalEvent::E0ClientCall).unwrap();
+        std::thread::sleep(Duration::from_millis(2));
+        tl.mark(CriticalEvent::E0ClientCall);
+        assert_eq!(tl.at(CriticalEvent::E0ClientCall).unwrap(), first);
+    }
+
+    #[test]
+    fn event_indices_are_path_ordered() {
+        for pair in CriticalEvent::ALL.windows(2) {
+            assert!(pair[0].index() + 1 == pair[1].index());
+        }
+        assert_eq!(CriticalEvent::E0ClientCall.index(), 0);
+        assert_eq!(CriticalEvent::E11Returned.index(), 11);
+    }
+
+    #[test]
+    fn recorder_clones_share_marks() {
+        let tl = TimelineRecorder::new();
+        let tl2 = tl.clone();
+        tl2.mark(CriticalEvent::E3AtBreakpoint);
+        assert!(tl.at(CriticalEvent::E3AtBreakpoint).is_some());
+    }
+}

@@ -1,0 +1,212 @@
+//! Failure injection: the paths a production launching infrastructure must
+//! survive — daemons dying mid-handshake, bad requests, session misuse,
+//! resource exhaustion.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use lmon_cluster::config::ClusterConfig;
+use lmon_cluster::process::Pid;
+use lmon_cluster::VirtualCluster;
+use lmon_core::be::BeMain;
+use lmon_core::error::LmonError;
+use lmon_core::fe::LmonFrontEnd;
+use lmon_core::session::SessionState;
+use lmon_proto::payload::DaemonSpec;
+use lmon_rm::api::{JobSpec, ResourceManager};
+use lmon_rm::SlurmRm;
+
+fn front_end(nodes: usize) -> LmonFrontEnd {
+    let cluster = VirtualCluster::new(ClusterConfig::with_nodes(nodes));
+    let rm: Arc<dyn ResourceManager> = Arc::new(SlurmRm::new(cluster));
+    LmonFrontEnd::init(rm).expect("fe init")
+}
+
+#[test]
+fn launch_on_more_nodes_than_exist_fails_cleanly() {
+    let fe = front_end(2);
+    let session = fe.create_session();
+    let be_main: BeMain = Arc::new(|_| {});
+    let err = fe
+        .launch_and_spawn(session, "app", &[], 64, 8, DaemonSpec::bare("d"), be_main)
+        .unwrap_err();
+    match err {
+        LmonError::Engine(msg) => assert!(msg.contains("allocation failed"), "{msg}"),
+        other => panic!("expected engine error, got {other:?}"),
+    }
+    // The front end survives: a correct-sized launch on a new session works.
+    let s2 = fe.create_session();
+    let be_main: BeMain = Arc::new(|be| {
+        be.barrier().unwrap();
+    });
+    fe.launch_and_spawn(s2, "app", &[], 2, 2, DaemonSpec::bare("d"), be_main)
+        .expect("recovery launch");
+    fe.kill(s2).unwrap();
+    fe.shutdown().unwrap();
+}
+
+#[test]
+fn attach_to_nonexistent_launcher_fails_cleanly() {
+    let fe = front_end(2);
+    let session = fe.create_session();
+    let be_main: BeMain = Arc::new(|_| {});
+    let err = fe
+        .attach_and_spawn(session, Pid(999_999), DaemonSpec::bare("d"), be_main)
+        .unwrap_err();
+    assert!(matches!(err, LmonError::Engine(_)), "{err:?}");
+    fe.shutdown().unwrap();
+}
+
+#[test]
+fn attach_to_a_non_launcher_process_times_out_on_apai() {
+    // A process that exists but exports no MPIR symbols: the engine polls
+    // the APAI and gives up with an error, not a hang.
+    let cluster = VirtualCluster::new(ClusterConfig::with_nodes(1));
+    let rm: Arc<dyn ResourceManager> = Arc::new(SlurmRm::new(cluster.clone()));
+    let imposter = cluster
+        .spawn_active(
+            lmon_cluster::node::NodeId::FrontEnd,
+            lmon_cluster::process::ProcSpec::named("not_srun"),
+            |ctx| {
+                while !ctx.killed() {
+                    std::thread::park_timeout(Duration::from_millis(5));
+                }
+            },
+        )
+        .unwrap();
+    let fe = LmonFrontEnd::init(rm).unwrap();
+    let session = fe.create_session();
+    let be_main: BeMain = Arc::new(|_| {});
+    let err = fe
+        .attach_and_spawn(session, imposter, DaemonSpec::bare("d"), be_main)
+        .unwrap_err();
+    assert!(matches!(err, LmonError::Engine(_)), "{err:?}");
+    cluster.kill(imposter).unwrap();
+    fe.shutdown().unwrap();
+}
+
+#[test]
+fn operations_on_unknown_sessions_are_rejected() {
+    let fe = front_end(1);
+    let ghost = lmon_core::session::SessionId(999);
+    assert!(matches!(fe.get_proctable(ghost), Err(LmonError::NoSuchSession(999))));
+    assert!(matches!(
+        fe.send_usrdata(ghost, vec![]),
+        Err(LmonError::NoSuchSession(999))
+    ));
+    assert!(matches!(
+        fe.recv_usrdata(ghost, Duration::from_millis(1)),
+        Err(LmonError::NoSuchSession(999))
+    ));
+    fe.shutdown().unwrap();
+}
+
+#[test]
+fn usrdata_before_launch_is_a_state_error() {
+    let fe = front_end(1);
+    let session = fe.create_session();
+    assert!(matches!(
+        fe.send_usrdata(session, vec![1]),
+        Err(LmonError::BadSessionState { .. })
+    ));
+    assert!(matches!(
+        fe.get_proctable(session),
+        Err(LmonError::BadSessionState { .. })
+    ));
+    fe.shutdown().unwrap();
+}
+
+#[test]
+fn detach_before_ready_is_rejected_by_state_machine() {
+    let fe = front_end(1);
+    let session = fe.create_session();
+    let err = fe.detach(session).unwrap_err();
+    assert!(
+        matches!(err, LmonError::Engine(_) | LmonError::BadSessionState { .. }),
+        "{err:?}"
+    );
+    fe.shutdown().unwrap();
+}
+
+#[test]
+fn double_kill_reports_missing_job() {
+    let fe = front_end(2);
+    let session = fe.create_session();
+    let be_main: BeMain = Arc::new(|_| {});
+    fe.launch_and_spawn(session, "app", &[], 2, 1, DaemonSpec::bare("d"), be_main)
+        .unwrap();
+    fe.kill(session).unwrap();
+    assert_eq!(fe.session_state(session).unwrap(), SessionState::Killed);
+    // Second kill: engine no longer tracks the job; the state machine also
+    // rejects the transition. Either way, a clean error.
+    assert!(fe.kill(session).is_err());
+    fe.shutdown().unwrap();
+}
+
+#[test]
+fn daemon_crash_during_bootstrap_surfaces_as_timeout_not_hang() {
+    // The master daemon dies before sending hello: the FE's handshake wait
+    // must expire with a timeout, not deadlock. We simulate the crash by
+    // poisoning the cookie env (the daemon exits during bootstrap).
+    let fe = front_end(2);
+    let session = fe.create_session();
+    let mut daemon = DaemonSpec::bare("crashy");
+    daemon.env.push("LMON_SEC_COOKIE=not-a-cookie".to_string());
+    let be_main: BeMain = Arc::new(|_| {});
+    let t0 = std::time::Instant::now();
+    let err = fe
+        .launch_and_spawn(session, "app", &[], 2, 1, daemon, be_main)
+        .unwrap_err();
+    assert!(
+        matches!(err, LmonError::Timeout(_) | LmonError::AuthFailed | LmonError::Proto(_)),
+        "{err:?}"
+    );
+    // Must not have waited the full engine-side timeouts in sequence.
+    assert!(t0.elapsed() < Duration::from_secs(60));
+    fe.shutdown().unwrap();
+}
+
+#[test]
+fn sessions_remain_usable_after_another_sessions_failure() {
+    let fe = front_end(4);
+    let bad = fe.create_session();
+    let be_main: BeMain = Arc::new(|_| {});
+    let _ = fe
+        .launch_and_spawn(bad, "app", &[], 64, 8, DaemonSpec::bare("d"), be_main)
+        .unwrap_err();
+
+    let good = fe.create_session();
+    let be_main: BeMain = Arc::new(|be| {
+        be.barrier().unwrap();
+    });
+    let outcome = fe
+        .launch_and_spawn(good, "app", &[], 4, 2, DaemonSpec::bare("d"), be_main)
+        .expect("good session launch");
+    assert_eq!(outcome.daemon_count, 4);
+    fe.kill(good).unwrap();
+    fe.shutdown().unwrap();
+}
+
+#[test]
+fn launcher_killed_mid_trace_reports_launcher_exit() {
+    // Launch a job under tool control, then kill the launcher out from
+    // under the engine before releasing the gate — the driver must report
+    // the launcher exit instead of waiting forever.
+    let cluster = VirtualCluster::new(ClusterConfig::with_nodes(2));
+    let rm_impl = Arc::new(SlurmRm::new(cluster.clone()));
+    let rm: Arc<dyn ResourceManager> = rm_impl;
+    let handle = rm.launch_job(&JobSpec::new("app", 2, 2), true).unwrap();
+    // Kill the gated launcher; gate never fires.
+    cluster.kill(handle.launcher_pid).unwrap();
+    cluster.wait_pid(handle.launcher_pid).unwrap();
+
+    // The engine attach path should now fail quickly when asked to attach.
+    let fe = LmonFrontEnd::init(rm).unwrap();
+    let session = fe.create_session();
+    let be_main: BeMain = Arc::new(|_| {});
+    let err = fe
+        .attach_and_spawn(session, handle.launcher_pid, DaemonSpec::bare("d"), be_main)
+        .unwrap_err();
+    assert!(matches!(err, LmonError::Engine(_)), "{err:?}");
+    fe.shutdown().unwrap();
+}

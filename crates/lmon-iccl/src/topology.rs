@@ -1,0 +1,213 @@
+//! Collective schedules: who talks to whom, in what order.
+//!
+//! The paper's back-end collectives ride whatever structure the native
+//! subsystem offers. We implement three schedules and measure them against
+//! each other in the ablation benches:
+//!
+//! * **Flat** — the master exchanges directly with all N-1 daemons. Cost at
+//!   the master is linear in N: this is the `T(collective)` shape of the
+//!   Figure-3 model and the reason its stacked area grows fastest.
+//! * **Binomial** — the classic log₂N recursive-doubling tree.
+//! * **K-ary** — fixed fan-out, matching MRNet-style topologies.
+
+use crate::error::{IcclError, IcclResult};
+
+/// A collective schedule over ranks `0..size` rooted at rank 0.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Topology {
+    /// Master ↔ everyone, directly.
+    Flat,
+    /// Binomial tree (recursive doubling).
+    Binomial,
+    /// Fixed fan-out tree.
+    KAry(u32),
+}
+
+impl Topology {
+    /// Parent of `rank` (None for rank 0).
+    pub fn parent(self, rank: u32) -> Option<u32> {
+        if rank == 0 {
+            return None;
+        }
+        Some(match self {
+            Topology::Flat => 0,
+            Topology::Binomial => {
+                // Clear the highest set bit.
+                let h = 31 - rank.leading_zeros();
+                rank & !(1 << h)
+            }
+            Topology::KAry(k) => (rank - 1) / k.max(1),
+        })
+    }
+
+    /// Children of `rank` in a communicator of `size`, ascending.
+    pub fn children(self, rank: u32, size: u32) -> Vec<u32> {
+        match self {
+            Topology::Flat => {
+                if rank == 0 {
+                    (1..size).collect()
+                } else {
+                    Vec::new()
+                }
+            }
+            Topology::Binomial => {
+                let mut kids = Vec::new();
+                // Children are rank + 2^j for every 2^j greater than rank's
+                // highest set bit (any power for rank 0).
+                let start_bit = if rank == 0 { 0 } else { 32 - rank.leading_zeros() };
+                for j in start_bit..32 {
+                    let child = rank + (1u32 << j);
+                    if child >= size {
+                        break;
+                    }
+                    kids.push(child);
+                }
+                kids
+            }
+            Topology::KAry(k) => {
+                let k = k.max(1);
+                (1..=k)
+                    .map(|i| rank * k + i)
+                    .filter(|&c| c < size)
+                    .collect()
+            }
+        }
+    }
+
+    /// Depth of the tree for `size` ranks (root = depth 0); the number of
+    /// sequential rounds a broadcast takes.
+    pub fn depth(self, size: u32) -> u32 {
+        if size <= 1 {
+            return 0;
+        }
+        match self {
+            Topology::Flat => 1,
+            Topology::Binomial => 32 - (size - 1).leading_zeros(),
+            Topology::KAry(k) => {
+                let k = k.max(1) as u64;
+                if k == 1 {
+                    return size - 1;
+                }
+                let mut depth = 0u32;
+                let mut covered: u64 = 1;
+                let mut layer: u64 = 1;
+                while covered < size as u64 {
+                    layer *= k;
+                    covered += layer;
+                    depth += 1;
+                }
+                depth
+            }
+        }
+    }
+
+    /// Maximum number of messages any single rank sends during a broadcast
+    /// (the serialization bottleneck at that rank).
+    pub fn max_fanout(self, size: u32) -> u32 {
+        match self {
+            Topology::Flat => size.saturating_sub(1),
+            Topology::Binomial => self.children(0, size).len() as u32,
+            Topology::KAry(k) => k.max(1).min(size.saturating_sub(1)),
+        }
+    }
+
+    /// Validate that the schedule forms a tree over `0..size`: every rank
+    /// reachable from 0, parent/children mutually consistent.
+    pub fn validate(self, size: u32) -> IcclResult<()> {
+        let mut seen = vec![false; size as usize];
+        let mut stack = vec![0u32];
+        seen[0] = true;
+        while let Some(r) = stack.pop() {
+            for c in self.children(r, size) {
+                if c >= size {
+                    return Err(IcclError::BadRank { rank: c, size });
+                }
+                if seen[c as usize] {
+                    return Err(IcclError::Corrupt("rank reached twice"));
+                }
+                if self.parent(c) != Some(r) {
+                    return Err(IcclError::Corrupt("parent/children disagree"));
+                }
+                seen[c as usize] = true;
+                stack.push(c);
+            }
+        }
+        if seen.iter().all(|&s| s) {
+            Ok(())
+        } else {
+            Err(IcclError::Corrupt("unreachable rank"))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SIZES: [u32; 9] = [1, 2, 3, 4, 7, 8, 16, 100, 513];
+
+    #[test]
+    fn all_topologies_form_valid_trees() {
+        for size in SIZES {
+            for topo in [
+                Topology::Flat,
+                Topology::Binomial,
+                Topology::KAry(2),
+                Topology::KAry(3),
+                Topology::KAry(16),
+            ] {
+                topo.validate(size)
+                    .unwrap_or_else(|e| panic!("{topo:?} invalid at size {size}: {e}"));
+            }
+        }
+    }
+
+    #[test]
+    fn flat_depth_one_binomial_log() {
+        assert_eq!(Topology::Flat.depth(100), 1);
+        assert_eq!(Topology::Binomial.depth(2), 1);
+        assert_eq!(Topology::Binomial.depth(8), 3);
+        assert_eq!(Topology::Binomial.depth(9), 4);
+        assert_eq!(Topology::Binomial.depth(1024), 10);
+        assert_eq!(Topology::KAry(2).depth(7), 2);
+        assert_eq!(Topology::KAry(2).depth(8), 3);
+        assert_eq!(Topology::Flat.depth(1), 0);
+    }
+
+    #[test]
+    fn binomial_structure_matches_known_values() {
+        let t = Topology::Binomial;
+        assert_eq!(t.parent(1), Some(0));
+        assert_eq!(t.parent(5), Some(1));
+        assert_eq!(t.parent(6), Some(2));
+        assert_eq!(t.parent(12), Some(4));
+        assert_eq!(t.children(0, 16), vec![1, 2, 4, 8]);
+        assert_eq!(t.children(2, 16), vec![6, 10]);
+        assert_eq!(t.children(3, 16), vec![7, 11]);
+    }
+
+    #[test]
+    fn kary_structure() {
+        let t = Topology::KAry(3);
+        assert_eq!(t.children(0, 13), vec![1, 2, 3]);
+        assert_eq!(t.children(1, 13), vec![4, 5, 6]);
+        assert_eq!(t.parent(4), Some(1));
+        assert_eq!(t.parent(12), Some(3));
+    }
+
+    #[test]
+    fn max_fanout_bounds() {
+        assert_eq!(Topology::Flat.max_fanout(128), 127);
+        assert_eq!(Topology::Binomial.max_fanout(128), 7);
+        assert_eq!(Topology::KAry(8).max_fanout(128), 8);
+        assert_eq!(Topology::KAry(8).max_fanout(1), 0);
+    }
+
+    #[test]
+    fn degenerate_kary_one_is_a_chain() {
+        let t = Topology::KAry(1);
+        t.validate(5).unwrap();
+        assert_eq!(t.depth(5), 4);
+        assert_eq!(t.children(2, 5), vec![3]);
+    }
+}

@@ -1,0 +1,150 @@
+//! Least-squares fitting of cost models.
+//!
+//! §4: "We empirically build functions for T(op) operations with a simple
+//! benchmark ... We measured other costs at small scales and then fit
+//! models for them." The figure harnesses do the same: simulate small
+//! scales, fit, extrapolate, compare with the large-scale simulation.
+
+/// A fitted univariate model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FittedModel {
+    /// `y = a + b·x`
+    Affine {
+        /// Intercept.
+        a: f64,
+        /// Slope.
+        b: f64,
+    },
+    /// `y = a + b·log2(x)`
+    AffineLog {
+        /// Intercept.
+        a: f64,
+        /// Slope per doubling.
+        b: f64,
+    },
+}
+
+impl FittedModel {
+    /// Evaluate the model at `x`.
+    pub fn eval(&self, x: f64) -> f64 {
+        match self {
+            FittedModel::Affine { a, b } => a + b * x,
+            FittedModel::AffineLog { a, b } => a + b * x.max(1.0).log2(),
+        }
+    }
+
+    /// Human-readable form.
+    pub fn describe(&self) -> String {
+        match self {
+            FittedModel::Affine { a, b } => format!("{a:.6} + {b:.6}·n"),
+            FittedModel::AffineLog { a, b } => format!("{a:.6} + {b:.6}·log2(n)"),
+        }
+    }
+}
+
+fn lsq(xs: &[f64], ys: &[f64]) -> (f64, f64) {
+    let n = xs.len() as f64;
+    let sx: f64 = xs.iter().sum();
+    let sy: f64 = ys.iter().sum();
+    let sxx: f64 = xs.iter().map(|x| x * x).sum();
+    let sxy: f64 = xs.iter().zip(ys).map(|(x, y)| x * y).sum();
+    let denom = n * sxx - sx * sx;
+    if denom.abs() < 1e-12 {
+        return (sy / n, 0.0);
+    }
+    let b = (n * sxy - sx * sy) / denom;
+    let a = (sy - b * sx) / n;
+    (a, b)
+}
+
+fn sse(model: &FittedModel, xs: &[f64], ys: &[f64]) -> f64 {
+    xs.iter().zip(ys).map(|(x, y)| (model.eval(*x) - y).powi(2)).sum()
+}
+
+/// Fit `y = a + b·x`.
+pub fn fit_affine(xs: &[f64], ys: &[f64]) -> FittedModel {
+    let (a, b) = lsq(xs, ys);
+    FittedModel::Affine { a, b }
+}
+
+/// Fit `y = a + b·log2(x)`.
+pub fn fit_affine_log(xs: &[f64], ys: &[f64]) -> FittedModel {
+    let lx: Vec<f64> = xs.iter().map(|x| x.max(1.0).log2()).collect();
+    let (a, b) = lsq(&lx, ys);
+    FittedModel::AffineLog { a, b }
+}
+
+/// Fit both shapes and keep the one with lower squared error.
+pub fn fit_best(xs: &[f64], ys: &[f64]) -> FittedModel {
+    let affine = fit_affine(xs, ys);
+    let log = fit_affine_log(xs, ys);
+    if sse(&affine, xs, ys) <= sse(&log, xs, ys) {
+        affine
+    } else {
+        log
+    }
+}
+
+/// Coefficient of determination for a fitted model.
+pub fn r_squared(model: &FittedModel, xs: &[f64], ys: &[f64]) -> f64 {
+    let mean = ys.iter().sum::<f64>() / ys.len() as f64;
+    let ss_tot: f64 = ys.iter().map(|y| (y - mean).powi(2)).sum();
+    if ss_tot < 1e-15 {
+        return 1.0;
+    }
+    1.0 - sse(model, xs, ys) / ss_tot
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn affine_fit_recovers_exact_line() {
+        let xs: Vec<f64> = (1..20).map(|i| i as f64).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| 3.0 + 0.5 * x).collect();
+        let m = fit_affine(&xs, &ys);
+        match m {
+            FittedModel::Affine { a, b } => {
+                assert!((a - 3.0).abs() < 1e-9);
+                assert!((b - 0.5).abs() < 1e-9);
+            }
+            _ => panic!("wrong model"),
+        }
+        assert!(r_squared(&m, &xs, &ys) > 0.9999);
+    }
+
+    #[test]
+    fn log_fit_recovers_log_curve() {
+        let xs: Vec<f64> = [2.0, 4.0, 8.0, 16.0, 64.0, 256.0].to_vec();
+        let ys: Vec<f64> = xs.iter().map(|x| 0.047 + 0.0433 * x.log2()).collect();
+        let m = fit_affine_log(&xs, &ys);
+        assert!((m.eval(1024.0) - (0.047 + 0.0433 * 10.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn best_fit_chooses_correct_shape() {
+        let xs: Vec<f64> = (1..=64).map(|i| i as f64).collect();
+        let linear: Vec<f64> = xs.iter().map(|x| 1.0 + 2.0 * x).collect();
+        assert!(matches!(fit_best(&xs, &linear), FittedModel::Affine { .. }));
+        let loggy: Vec<f64> = xs.iter().map(|x| 1.0 + 2.0 * x.log2()).collect();
+        assert!(matches!(fit_best(&xs, &loggy), FittedModel::AffineLog { .. }));
+    }
+
+    #[test]
+    fn constant_data_fits_flat() {
+        let xs = [1.0, 2.0, 3.0];
+        let ys = [5.0, 5.0, 5.0];
+        let m = fit_affine(&xs, &ys);
+        assert!((m.eval(100.0) - 5.0).abs() < 1e-9);
+        assert_eq!(r_squared(&m, &xs, &ys), 1.0);
+    }
+
+    #[test]
+    fn describe_is_readable() {
+        let m = FittedModel::Affine { a: 0.1, b: 0.002 };
+        assert!(m.describe().contains("0.002"));
+        let m = FittedModel::AffineLog { a: 0.1, b: 0.04 };
+        assert!(m.describe().contains("log2"));
+    }
+}

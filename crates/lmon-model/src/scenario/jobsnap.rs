@@ -1,0 +1,78 @@
+//! The Jobsnap scenario (Figure 5).
+//!
+//! `init → attachAndSpawn` reuses the attach-path schedule; the collection
+//! phase walks Jobsnap's actual algorithm: per-task `/proc` snapshots
+//! (serial within a daemon, parallel across daemons), a binomial ICCL
+//! gather of the report lines, and the master's rank-ordered merge.
+
+use crate::params::CostParams;
+use crate::scenario::launch::simulate_attach;
+
+/// Simulated Jobsnap timings: `(init→attachAndSpawn, total)`, seconds.
+pub fn simulate_jobsnap(p: &CostParams, daemons: usize, tasks_per_daemon: usize) -> (f64, f64) {
+    let launch = simulate_attach(p, daemons, tasks_per_daemon).total();
+
+    // Collection: all daemons snapshot their local tasks concurrently; the
+    // critical path is one daemon's serial walk over its tasks.
+    let snapshot = p.jobsnap_snapshot_per_task * tasks_per_daemon as f64;
+
+    // ICCL binomial gather: depth rounds of hop cost; payload transmit
+    // cost is absorbed into the hop constant (lines are small).
+    let depth = (daemons.max(1) as f64).log2().ceil();
+    let gather = p.iccl_gather_hop * depth;
+
+    // Master merge: sort + format one line per task.
+    let merge = p.jobsnap_merge_per_task * (daemons * tasks_per_daemon) as f64;
+
+    (launch, launch + snapshot + gather + merge)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::predict;
+
+    fn p() -> CostParams {
+        CostParams::default()
+    }
+
+    #[test]
+    fn sim_matches_model() {
+        for daemons in [16usize, 64, 128, 256, 512, 1024] {
+            let (sl, st) = simulate_jobsnap(&p(), daemons, 8);
+            let (ml, mt) = predict::jobsnap_times(&p(), daemons, 8);
+            assert!((sl - ml).abs() / ml < 0.05, "launch at {daemons}: {sl} vs {ml}");
+            assert!((st - mt).abs() / mt < 0.05, "total at {daemons}: {st} vs {mt}");
+        }
+    }
+
+    #[test]
+    fn figure5_anchors() {
+        // ≤1.5 s at 512 daemons (4096 tasks).
+        let (_l, t512) = simulate_jobsnap(&p(), 512, 8);
+        assert!((1.1..1.8).contains(&t512), "total@512 = {t512}");
+        // 2.92 s total / 2.76 s launch at 1024 daemons (8192 tasks).
+        let (l1024, t1024) = simulate_jobsnap(&p(), 1024, 8);
+        assert!((2.4..3.3).contains(&t1024), "total@1024 = {t1024}");
+        assert!((2.3..3.1).contains(&l1024), "launch@1024 = {l1024}");
+        // The half-second step from 512 to 1024 the paper calls out.
+        let step = t1024 - t512;
+        assert!((0.8..1.8).contains(&step), "doubling step = {step}");
+    }
+
+    #[test]
+    fn launch_dominates_total_at_scale() {
+        // "of which 2.76 seconds are spent in the LaunchMON functionality"
+        let (l, t) = simulate_jobsnap(&p(), 1024, 8);
+        assert!(l / t > 0.9, "LaunchMON share of total = {}", l / t);
+    }
+
+    #[test]
+    fn collection_cost_is_modest_and_log_ish() {
+        let (l256, t256) = simulate_jobsnap(&p(), 256, 8);
+        let (l1024, t1024) = simulate_jobsnap(&p(), 1024, 8);
+        let c256 = t256 - l256;
+        let c1024 = t1024 - l1024;
+        assert!(c1024 < c256 * 4.0, "collection grows sub-linearly: {c256} → {c1024}");
+    }
+}

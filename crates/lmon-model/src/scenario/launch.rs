@@ -1,0 +1,250 @@
+//! The `launchAndSpawn` critical-path scenario (Figures 2 and 3).
+//!
+//! Walks the e0..e11 schedule with micro costs:
+//!
+//! * the RM's tree launch advances one hop cost per tree level;
+//! * daemon co-location pays serial per-daemon bookkeeping at the RM;
+//! * fabric setup and the bootstrap collective are serialized at the
+//!   fabric's key-value server (PMI-style), one exchange per daemon;
+//! * the engine handles a constant number of debug events (the fixed
+//!   SLURM) and reads the RPDTAB word-by-word using the *real* LMONP
+//!   encoded size of a synthetic proctable;
+//! * the FE ↔ master handshake transmits real encoded payload sizes over
+//!   the serialized front-end NIC of [`lmon_sim::NetModel`].
+
+use lmon_proto::payload::{DaemonInfo, Hello};
+use lmon_proto::rpdtab::synthetic_rpdtab;
+use lmon_proto::wire::WireEncode;
+use lmon_sim::net::{Endpoint, LinkSpec, NetModel};
+use lmon_sim::time::{SimDuration, SimTime};
+use lmon_sim::Metrics;
+
+use crate::params::CostParams;
+use crate::predict::LaunchBreakdownModel;
+
+/// Result of one simulated launch: the same component set as the model,
+/// plus the event trace.
+#[derive(Debug)]
+pub struct MeasuredBreakdown {
+    /// The per-component durations (seconds).
+    pub components: LaunchBreakdownModel,
+    /// Metrics with marks for every critical-path event `e0..e11`.
+    pub metrics: Metrics,
+}
+
+impl MeasuredBreakdown {
+    /// Total simulated latency.
+    pub fn total(&self) -> f64 {
+        self.components.total()
+    }
+}
+
+fn secs(s: f64) -> SimDuration {
+    SimDuration::from_secs_f64(s)
+}
+
+/// Simulate one `launchAndSpawn` (or `attachAndSpawn` with `attach=true`).
+pub fn simulate(
+    p: &CostParams,
+    daemons: usize,
+    tasks_per_daemon: usize,
+    attach: bool,
+) -> MeasuredBreakdown {
+    let mut m = Metrics::default();
+    let mut now = SimTime::ZERO;
+    let mut net = NetModel::new(LinkSpec::infiniband_tcp());
+    let fe = Endpoint(0);
+
+    // e0/e1: client call and engine invocation — half the fixed local cost.
+    m.mark("e0", now);
+    now += secs(p.fixed_other / 2.0);
+    m.mark("e1", now);
+    m.mark("e2", now);
+
+    // e2→e3: the RM launches the job (skipped when attaching) and the
+    // engine's tracing cost rides on top (constant event count).
+    let t_job = if attach {
+        0.0
+    } else {
+        let mut t = p.rm_job_base;
+        let depth = (daemons.max(1) as f64).log2().max(0.0);
+        t += p.rm_job_hop * depth;
+        t
+    };
+    now += secs(t_job);
+    // Tracing: 3 debug events (fixed SLURM profile) at a third of the cost
+    // each — the §4 model's "events × handler cost".
+    let events = 3u32;
+    for _ in 0..events {
+        now += secs(p.tracing_cost / events as f64);
+    }
+    m.mark("e3", now);
+
+    // e3→e4 (Region B): word-granular RPDTAB fetch, real encoded size.
+    let table = synthetic_rpdtab(daemons, tasks_per_daemon, "app");
+    let words = table.encoded_len().div_ceil(8) as u64;
+    m.count("rpdtab_words", words);
+    let t_rpdtab = p.rpdtab_read_per_word * words as f64;
+    now += secs(t_rpdtab);
+    m.mark("e4", now);
+
+    // e4→e5: engine invokes the RM daemon launcher (fold into e5).
+    m.mark("e5", now);
+
+    // e5→e6: bulk daemon spawn — parallel tree fan-out plus serial
+    // per-daemon step bookkeeping at the RM.
+    let t_daemon = p.rm_daemon_base + p.rm_daemon_per_node * daemons as f64;
+    now += secs(t_daemon);
+    m.mark("e6", now);
+
+    // e7: handshake begins. The FE transmits real payload sizes over its
+    // serialized NIC; the per-daemon record marshalling is the linear term.
+    m.mark("e7", now);
+    let hello_len = Hello {
+        cookie: 0,
+        epoch: 1,
+        host: "node00000".into(),
+        pid: 1,
+    }
+    .encoded_len();
+    let info_len = DaemonInfo {
+        rank: 0,
+        size: daemons as u32,
+        host: "node00000".into(),
+        pid: 1,
+    }
+    .encoded_len();
+    let mut hs_end = net.send(now, fe, hello_len + 16);
+    hs_end = net.send(hs_end, fe, info_len + 16).max_of(hs_end);
+    hs_end = net.send(hs_end, fe, table.encoded_len() + 16).max_of(hs_end);
+    let t_marshal = p.handshake_base + p.handshake_per_daemon * daemons as f64;
+    let mut hs_now = hs_end + secs(t_marshal);
+
+    // e8→e9: inter-daemon network setup on the RM fabric — serialized
+    // per-daemon registration at the fabric server, then the bootstrap
+    // collective exchange (also master-centric).
+    m.mark("e8", hs_now);
+    let t_setup = p.rm_setup_base + p.rm_setup_per_node * daemons as f64;
+    hs_now += secs(t_setup);
+    let t_collective = p.collective_base + p.collective_per_daemon * daemons as f64;
+    hs_now += secs(t_collective);
+    m.mark("e9", hs_now);
+
+    // e10: ready message back to the FE.
+    let ready_at = net.send(hs_now, Endpoint(1), 16);
+    m.mark("e10", ready_at);
+
+    // e11: return to client — the other half of the fixed local cost.
+    let done = ready_at + secs(p.fixed_other / 2.0);
+    m.mark("e11", done);
+    m.count("lmonp_messages", net.messages());
+    m.count("lmonp_bytes", net.bytes());
+
+    // Extract per-component durations from the event trace.
+    let t_handshake_wire =
+        (m.between("e7", "e8").expect("e7<=e8").as_secs_f64()) - 0.0;
+    let components = LaunchBreakdownModel {
+        t_job,
+        t_daemon,
+        t_setup,
+        t_collective,
+        t_tracing: p.tracing_cost,
+        t_rpdtab,
+        t_handshake: t_handshake_wire
+            + m.between("e9", "e10").expect("e9<=e10").as_secs_f64(),
+        t_other: p.fixed_other,
+    };
+    MeasuredBreakdown { components, metrics: m }
+}
+
+/// Figure 3's measured series: a full launch.
+pub fn simulate_launch(p: &CostParams, daemons: usize, tpd: usize) -> MeasuredBreakdown {
+    simulate(p, daemons, tpd, false)
+}
+
+/// The attach path (Figures 5 and 6 building block).
+pub fn simulate_attach(p: &CostParams, daemons: usize, tpd: usize) -> MeasuredBreakdown {
+    simulate(p, daemons, tpd, true)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::predict;
+
+    fn p() -> CostParams {
+        CostParams::default()
+    }
+
+    #[test]
+    fn sim_matches_model_within_tolerance() {
+        // The paper's Figure 3 point: model and measurement agree.
+        for daemons in [16, 32, 48, 64, 80, 96, 128] {
+            let sim = simulate_launch(&p(), daemons, 8);
+            let model = predict::launch_breakdown(&p(), daemons, 8);
+            let rel = (sim.total() - model.total()).abs() / model.total();
+            assert!(
+                rel < 0.05,
+                "at {daemons} daemons: sim {} vs model {} ({}%)",
+                sim.total(),
+                model.total(),
+                rel * 100.0
+            );
+        }
+    }
+
+    #[test]
+    fn event_trace_is_complete_and_ordered() {
+        let sim = simulate_launch(&p(), 64, 8);
+        let names = ["e0", "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11"];
+        let mut last = SimTime::ZERO;
+        for name in names {
+            let at = sim.metrics.mark_at(name).unwrap_or_else(|| panic!("{name} missing"));
+            assert!(at >= last, "{name} out of order");
+            last = at;
+        }
+    }
+
+    #[test]
+    fn total_under_one_second_at_128() {
+        let sim = simulate_launch(&p(), 128, 8);
+        assert!(sim.total() < 1.0, "got {}", sim.total());
+        let share = sim.components.launchmon_share();
+        assert!((0.03..0.09).contains(&share), "LaunchMON share {share}");
+    }
+
+    #[test]
+    fn attach_skips_job_launch() {
+        let launch = simulate_launch(&p(), 64, 8);
+        let attach = simulate_attach(&p(), 64, 8);
+        assert_eq!(attach.components.t_job, 0.0);
+        assert!(attach.total() < launch.total());
+    }
+
+    #[test]
+    fn rpdtab_words_scale_with_tasks() {
+        let s1 = simulate_launch(&p(), 16, 8);
+        let s2 = simulate_launch(&p(), 128, 8);
+        let w1 = s1.metrics.counter("rpdtab_words");
+        let w2 = s2.metrics.counter("rpdtab_words");
+        let ratio = w2 as f64 / w1 as f64;
+        assert!((6.0..10.0).contains(&ratio), "8x tasks ≈ 8x words, got {ratio}");
+    }
+
+    #[test]
+    fn message_count_matches_real_handshake() {
+        // Real handshake: hello, launch-info, rpdtab (FE side) + ready.
+        let sim = simulate_launch(&p(), 32, 8);
+        assert_eq!(sim.metrics.counter("lmonp_messages"), 4);
+    }
+
+    #[test]
+    fn monotone_in_scale() {
+        let mut last = 0.0;
+        for daemons in [4, 16, 64, 256, 1024] {
+            let t = simulate_launch(&p(), daemons, 8).total();
+            assert!(t > last, "total must grow with scale");
+            last = t;
+        }
+    }
+}

@@ -1,0 +1,19 @@
+//! Schedule-level discrete-event scenarios: the "measured" side.
+//!
+//! Each scenario replays the protocol schedule of the corresponding real
+//! implementation (same message sequence, same payload encodings from
+//! `lmon-proto`, same serialization points) against the `lmon-sim`
+//! substrate with micro costs — per tree hop, per fabric message, per
+//! traced word, per rsh fork. Aggregate numbers *emerge* from those
+//! schedules; they are then compared against [`crate::predict`]'s closed
+//! forms, reproducing the paper's model-vs-measurement methodology.
+
+pub mod jobsnap;
+pub mod launch;
+pub mod oss;
+pub mod stat;
+
+pub use jobsnap::simulate_jobsnap;
+pub use launch::{simulate_attach, simulate_launch, MeasuredBreakdown};
+pub use oss::simulate_oss_apai;
+pub use stat::{simulate_stat_adhoc, simulate_stat_launchmon, AdhocResult};

@@ -1,0 +1,103 @@
+//! Property tests on the performance model: predictions must be finite,
+//! monotone in scale, and agree with the schedule simulation across the
+//! whole parameter range — not just at the calibrated defaults.
+
+use proptest::prelude::*;
+
+use lmon_model::predict::{
+    attach_breakdown, jobsnap_times, launch_breakdown, oss_apai_times, stat_adhoc_time,
+    stat_launchmon_time,
+};
+use lmon_model::scenario::{simulate_jobsnap, simulate_launch, simulate_stat_adhoc, AdhocResult};
+use lmon_model::CostParams;
+
+/// Parameters perturbed around the calibrated defaults (±50%).
+fn arb_params() -> impl Strategy<Value = CostParams> {
+    (0.5f64..1.5, 0.5f64..1.5, 0.5f64..1.5, 0.5f64..1.5).prop_map(|(a, b, c, d)| {
+        let base = CostParams::default();
+        CostParams {
+            rm_job_base: base.rm_job_base * a,
+            rm_job_hop: base.rm_job_hop * b,
+            rm_daemon_per_node: base.rm_daemon_per_node * c,
+            collective_per_daemon: base.collective_per_daemon * d,
+            ..base
+        }
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn totals_are_finite_positive_and_monotone(p in arb_params(), tpd in 1usize..17) {
+        let mut last = 0.0;
+        for daemons in [1usize, 4, 16, 64, 256, 1024, 4096] {
+            let b = launch_breakdown(&p, daemons, tpd);
+            let total = b.total();
+            prop_assert!(total.is_finite() && total > 0.0);
+            prop_assert!(total >= last, "not monotone at {daemons}");
+            prop_assert!((0.0..1.0).contains(&b.launchmon_share()));
+            last = total;
+        }
+    }
+
+    #[test]
+    fn sim_tracks_model_under_perturbed_params(p in arb_params(), daemons in 2usize..512) {
+        let sim = simulate_launch(&p, daemons, 8);
+        let model = launch_breakdown(&p, daemons, 8);
+        let rel = (sim.total() - model.total()).abs() / model.total();
+        prop_assert!(rel < 0.08, "sim {} vs model {} at {daemons}", sim.total(), model.total());
+    }
+
+    #[test]
+    fn attach_is_never_slower_than_launch(p in arb_params(), daemons in 1usize..1024) {
+        let attach = attach_breakdown(&p, daemons, 8).total();
+        let launch = launch_breakdown(&p, daemons, 8).total();
+        prop_assert!(attach <= launch);
+    }
+
+    #[test]
+    fn jobsnap_total_at_least_launch(p in arb_params(), daemons in 1usize..1024, tpd in 1usize..17) {
+        let (launch, total) = jobsnap_times(&p, daemons, tpd);
+        prop_assert!(total >= launch);
+        let (s_launch, s_total) = simulate_jobsnap(&p, daemons, tpd);
+        prop_assert!(s_total >= s_launch);
+    }
+
+    #[test]
+    fn adhoc_failure_boundary_is_exact(extra in 0usize..64) {
+        let p = CostParams::default();
+        let at_cap = p.rsh_fd_capacity;
+        prop_assert!(stat_adhoc_time(&p, at_cap).is_some());
+        prop_assert!(stat_adhoc_time(&p, at_cap + 1 + extra).is_none());
+        match simulate_stat_adhoc(&p, at_cap + 1 + extra) {
+            AdhocResult::ForkFailed { at_daemon, .. } => {
+                prop_assert_eq!(at_daemon, at_cap, "sim fails exactly at capacity");
+            }
+            other => prop_assert!(false, "expected failure, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn launchmon_always_beats_adhoc_past_small_scale(daemons in 16usize..504) {
+        let p = CostParams::default();
+        let adhoc = stat_adhoc_time(&p, daemons).unwrap();
+        let lmon = stat_launchmon_time(&p, daemons, 8);
+        prop_assert!(adhoc > lmon, "at {daemons}: adhoc {adhoc} vs lmon {lmon}");
+    }
+
+    #[test]
+    fn oss_gap_holds_for_any_node_count(nodes in 1usize..4096) {
+        let p = CostParams::default();
+        let (dpcl, lmon) = oss_apai_times(&p, nodes);
+        prop_assert!(dpcl > lmon * 20.0, "DPCL must dominate: {dpcl} vs {lmon}");
+    }
+
+    #[test]
+    fn breakdown_components_sum_to_total(p in arb_params(), daemons in 1usize..2048) {
+        let b = launch_breakdown(&p, daemons, 8);
+        let sum = b.t_job + b.t_daemon + b.t_setup + b.t_collective + b.t_tracing
+            + b.t_rpdtab + b.t_handshake + b.t_other;
+        prop_assert!((sum - b.total()).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,103 @@
+//! Error type shared by the LMONP codec and transports.
+
+use std::fmt;
+
+/// Errors produced while encoding, decoding, or transporting LMONP messages.
+#[derive(Debug)]
+pub enum ProtoError {
+    /// The buffer ended before a complete header or payload was available.
+    Truncated {
+        /// How many bytes were needed.
+        needed: usize,
+        /// How many bytes were available.
+        available: usize,
+    },
+    /// A header field held a value outside its legal range.
+    InvalidField {
+        /// Which field was invalid.
+        field: &'static str,
+        /// The offending raw value.
+        value: u64,
+    },
+    /// The protocol version byte did not match [`crate::header::LMONP_VERSION`].
+    VersionMismatch {
+        /// Version found on the wire.
+        found: u8,
+    },
+    /// A payload length exceeded [`crate::header::MAX_PAYLOAD_LEN`].
+    PayloadTooLarge {
+        /// Claimed length.
+        len: usize,
+    },
+    /// The security cookie presented at connection time was wrong.
+    AuthFailed,
+    /// The peer hung up or the channel was disconnected.
+    Disconnected,
+    /// An underlying socket error.
+    Io(std::io::Error),
+    /// A string field was not valid UTF-8.
+    BadString,
+}
+
+impl fmt::Display for ProtoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProtoError::Truncated { needed, available } => {
+                write!(f, "truncated message: needed {needed} bytes, had {available}")
+            }
+            ProtoError::InvalidField { field, value } => {
+                write!(f, "invalid value {value} for header field `{field}`")
+            }
+            ProtoError::VersionMismatch { found } => {
+                write!(f, "LMONP version mismatch: found {found}")
+            }
+            ProtoError::PayloadTooLarge { len } => {
+                write!(f, "payload of {len} bytes exceeds the LMONP maximum")
+            }
+            ProtoError::AuthFailed => write!(f, "LMONP security cookie rejected"),
+            ProtoError::Disconnected => write!(f, "LMONP peer disconnected"),
+            ProtoError::Io(e) => write!(f, "LMONP transport I/O error: {e}"),
+            ProtoError::BadString => write!(f, "string field was not valid UTF-8"),
+        }
+    }
+}
+
+impl std::error::Error for ProtoError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ProtoError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for ProtoError {
+    fn from(e: std::io::Error) -> Self {
+        ProtoError::Io(e)
+    }
+}
+
+/// Convenient result alias for protocol operations.
+pub type ProtoResult<T> = Result<T, ProtoError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_human_readable() {
+        let e = ProtoError::Truncated { needed: 16, available: 3 };
+        assert!(e.to_string().contains("needed 16"));
+        let e = ProtoError::InvalidField { field: "msg_class", value: 7 };
+        assert!(e.to_string().contains("msg_class"));
+        let e = ProtoError::VersionMismatch { found: 9 };
+        assert!(e.to_string().contains('9'));
+    }
+
+    #[test]
+    fn io_error_conversion_keeps_source() {
+        let io = std::io::Error::new(std::io::ErrorKind::BrokenPipe, "pipe");
+        let e: ProtoError = io.into();
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

@@ -1,0 +1,173 @@
+//! Framing: converting [`LmonpMsg`] to and from contiguous byte streams.
+//!
+//! Two consumers exist: the in-process transports (which move whole
+//! messages and only need [`encode_msg`]/[`decode_msg`]) and the TCP
+//! transport, which reads from a byte stream and needs the incremental
+//! [`FrameReader`].
+
+use bytes::{Buf, BytesMut};
+
+use crate::error::{ProtoError, ProtoResult};
+use crate::header::{LmonpHeader, HEADER_LEN};
+use crate::msg::LmonpMsg;
+use crate::wire::{WireDecode, WireEncode};
+
+/// Encode a message into a single contiguous buffer.
+pub fn encode_msg(msg: &LmonpMsg) -> Vec<u8> {
+    let header = msg.header();
+    let mut buf = Vec::with_capacity(header.total_len());
+    header.encode(&mut buf);
+    buf.extend_from_slice(&msg.lmon);
+    buf.extend_from_slice(&msg.usr);
+    buf
+}
+
+/// Decode a message from a buffer containing exactly one message.
+pub fn decode_msg(bytes: &[u8]) -> ProtoResult<LmonpMsg> {
+    let mut slice = bytes;
+    let header = LmonpHeader::decode(&mut slice)?;
+    let lmon_len = header.lmon_len as usize;
+    let usr_len = header.usr_len as usize;
+    if slice.len() != lmon_len + usr_len {
+        return Err(ProtoError::Truncated {
+            needed: lmon_len + usr_len,
+            available: slice.len(),
+        });
+    }
+    let lmon = slice[..lmon_len].to_vec();
+    let usr = slice[lmon_len..].to_vec();
+    Ok(LmonpMsg::from_parts(header, lmon, usr))
+}
+
+/// Incremental frame decoder for byte-stream transports.
+///
+/// Feed arbitrary chunks with [`FrameReader::extend`]; complete messages pop
+/// out of [`FrameReader::next_msg`].
+#[derive(Debug, Default)]
+pub struct FrameReader {
+    buf: BytesMut,
+}
+
+impl FrameReader {
+    /// A reader with an empty buffer.
+    pub fn new() -> Self {
+        FrameReader { buf: BytesMut::with_capacity(4096) }
+    }
+
+    /// Append newly received bytes.
+    pub fn extend(&mut self, chunk: &[u8]) {
+        self.buf.extend_from_slice(chunk);
+    }
+
+    /// Bytes currently buffered but not yet consumed.
+    pub fn buffered(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Try to decode the next complete message; `Ok(None)` means more bytes
+    /// are needed.
+    pub fn next_msg(&mut self) -> ProtoResult<Option<LmonpMsg>> {
+        if self.buf.len() < HEADER_LEN {
+            return Ok(None);
+        }
+        // Peek the header without consuming so a partial body leaves the
+        // buffer intact.
+        let header = {
+            let mut peek = &self.buf[..HEADER_LEN];
+            LmonpHeader::decode(&mut peek)?
+        };
+        let total = header.total_len();
+        if self.buf.len() < total {
+            self.buf.reserve(total - self.buf.len());
+            return Ok(None);
+        }
+        self.buf.advance(HEADER_LEN);
+        let lmon = self.buf.split_to(header.lmon_len as usize).to_vec();
+        let usr = self.buf.split_to(header.usr_len as usize).to_vec();
+        Ok(Some(LmonpMsg::from_parts(header, lmon, usr)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::header::MsgType;
+
+    fn sample(i: u16) -> LmonpMsg {
+        LmonpMsg::of_type(MsgType::BeUsrData)
+            .with_tag(i)
+            .with_lmon_payload(vec![i as u8; (i as usize % 50) + 1])
+            .with_usr_payload(vec![0xAB; i as usize % 13])
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        for i in 0..20 {
+            let m = sample(i);
+            assert_eq!(decode_msg(&encode_msg(&m)).unwrap(), m);
+        }
+    }
+
+    #[test]
+    fn decode_rejects_trailing_bytes() {
+        let mut bytes = encode_msg(&sample(1));
+        bytes.push(0);
+        assert!(decode_msg(&bytes).is_err());
+    }
+
+    #[test]
+    fn decode_rejects_truncation() {
+        let bytes = encode_msg(&sample(5));
+        assert!(decode_msg(&bytes[..bytes.len() - 1]).is_err());
+    }
+
+    #[test]
+    fn frame_reader_handles_byte_at_a_time() {
+        let msgs: Vec<LmonpMsg> = (0..5).map(sample).collect();
+        let mut stream = Vec::new();
+        for m in &msgs {
+            stream.extend_from_slice(&encode_msg(m));
+        }
+        let mut reader = FrameReader::new();
+        let mut out = Vec::new();
+        for b in stream {
+            reader.extend(&[b]);
+            while let Some(m) = reader.next_msg().unwrap() {
+                out.push(m);
+            }
+        }
+        assert_eq!(out, msgs);
+        assert_eq!(reader.buffered(), 0);
+    }
+
+    #[test]
+    fn frame_reader_handles_coalesced_messages() {
+        let msgs: Vec<LmonpMsg> = (0..8).map(sample).collect();
+        let mut stream = Vec::new();
+        for m in &msgs {
+            stream.extend_from_slice(&encode_msg(m));
+        }
+        let mut reader = FrameReader::new();
+        reader.extend(&stream);
+        let mut out = Vec::new();
+        while let Some(m) = reader.next_msg().unwrap() {
+            out.push(m);
+        }
+        assert_eq!(out, msgs);
+    }
+
+    #[test]
+    fn frame_reader_surfaces_corrupt_header() {
+        let mut reader = FrameReader::new();
+        reader.extend(&[0xFFu8; HEADER_LEN]);
+        assert!(reader.next_msg().is_err());
+    }
+
+    #[test]
+    fn empty_reader_yields_none() {
+        let mut reader = FrameReader::new();
+        assert!(reader.next_msg().unwrap().is_none());
+        reader.extend(&[1]);
+        assert!(reader.next_msg().unwrap().is_none());
+    }
+}

@@ -1,0 +1,118 @@
+//! Connection-time authentication for LMONP sessions.
+//!
+//! The paper stresses that LaunchMON launches daemons "that have accepted
+//! security properties" (§6) — in contrast to DPCL's persistent root
+//! daemons. The concrete mechanism mirrors LaunchMON's real implementation:
+//! the front end mints a random session cookie, passes it to daemons
+//! *through the RM's secure launch channel* (environment of the spawned
+//! daemons), and every connecting master must present it in its hello
+//! message before any other traffic is accepted.
+
+use rand::{rngs::StdRng, Rng, RngCore, SeedableRng};
+
+use crate::error::{ProtoError, ProtoResult};
+use crate::payload::Hello;
+
+/// A per-session shared secret.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SessionCookie {
+    /// 64-bit random cookie value.
+    pub cookie: u64,
+    /// Epoch stamped into message headers; lets a long-lived front end
+    /// rotate cookies without tearing down connections.
+    pub epoch: u16,
+}
+
+impl SessionCookie {
+    /// Mint a fresh cookie from OS entropy.
+    pub fn mint() -> Self {
+        let mut rng = rand::thread_rng();
+        SessionCookie { cookie: rng.next_u64(), epoch: rng.gen::<u16>() | 1 }
+    }
+
+    /// Mint deterministically from a seed (tests and the simulator).
+    pub fn mint_seeded(seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        SessionCookie { cookie: rng.next_u64(), epoch: rng.gen::<u16>() | 1 }
+    }
+
+    /// Validate a hello message against this cookie.
+    pub fn verify_hello(&self, hello: &Hello) -> ProtoResult<()> {
+        // Constant-shape comparison: fold both differences so a timing
+        // side channel cannot distinguish which field mismatched.
+        let diff = (hello.cookie ^ self.cookie) | u64::from(hello.epoch ^ self.epoch);
+        if diff != 0 {
+            return Err(ProtoError::AuthFailed);
+        }
+        Ok(())
+    }
+
+    /// Render as the environment variable value used to pass the secret
+    /// through the RM's launch channel.
+    pub fn to_env_value(&self) -> String {
+        format!("{:016x}:{:04x}", self.cookie, self.epoch)
+    }
+
+    /// Parse the environment variable form produced by
+    /// [`SessionCookie::to_env_value`].
+    pub fn from_env_value(s: &str) -> ProtoResult<Self> {
+        let (c, e) = s.split_once(':').ok_or(ProtoError::AuthFailed)?;
+        let cookie = u64::from_str_radix(c, 16).map_err(|_| ProtoError::AuthFailed)?;
+        let epoch = u16::from_str_radix(e, 16).map_err(|_| ProtoError::AuthFailed)?;
+        Ok(SessionCookie { cookie, epoch })
+    }
+}
+
+/// Name of the environment variable LaunchMON uses to hand daemons the
+/// session secret over the RM's launch channel.
+pub const COOKIE_ENV_VAR: &str = "LMON_SEC_COOKIE";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hello_with(cookie: u64, epoch: u16) -> Hello {
+        Hello { cookie, epoch, host: "n0".into(), pid: 1 }
+    }
+
+    #[test]
+    fn mint_seeded_is_deterministic() {
+        assert_eq!(SessionCookie::mint_seeded(7), SessionCookie::mint_seeded(7));
+        assert_ne!(SessionCookie::mint_seeded(7), SessionCookie::mint_seeded(8));
+    }
+
+    #[test]
+    fn epoch_is_never_zero() {
+        for seed in 0..64 {
+            assert_ne!(SessionCookie::mint_seeded(seed).epoch, 0);
+        }
+    }
+
+    #[test]
+    fn verify_accepts_matching_hello() {
+        let c = SessionCookie::mint_seeded(42);
+        assert!(c.verify_hello(&hello_with(c.cookie, c.epoch)).is_ok());
+    }
+
+    #[test]
+    fn verify_rejects_wrong_cookie_or_epoch() {
+        let c = SessionCookie::mint_seeded(42);
+        assert!(c.verify_hello(&hello_with(c.cookie ^ 1, c.epoch)).is_err());
+        assert!(c.verify_hello(&hello_with(c.cookie, c.epoch ^ 1)).is_err());
+    }
+
+    #[test]
+    fn env_value_roundtrip() {
+        let c = SessionCookie::mint_seeded(99);
+        let parsed = SessionCookie::from_env_value(&c.to_env_value()).unwrap();
+        assert_eq!(c, parsed);
+    }
+
+    #[test]
+    fn env_value_rejects_garbage() {
+        assert!(SessionCookie::from_env_value("").is_err());
+        assert!(SessionCookie::from_env_value("nope").is_err());
+        assert!(SessionCookie::from_env_value("zzzz:1").is_err());
+        assert!(SessionCookie::from_env_value("10:zz").is_err());
+    }
+}

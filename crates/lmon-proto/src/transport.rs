@@ -1,0 +1,276 @@
+//! Message transports: how LMONP messages move between components.
+//!
+//! LMONP in the paper runs over TCP/IP between exactly one representative
+//! per component (§3.5). This crate provides two interchangeable transports
+//! behind the [`MsgChannel`] trait:
+//!
+//! * [`LocalChannel`] — crossbeam channels for the in-process virtual
+//!   cluster, where "nodes" are threads. This is the default for tests,
+//!   examples, and the tools.
+//! * [`TcpChannel`] — real TCP over localhost, exercising the incremental
+//!   [`crate::frame::FrameReader`] against genuine socket semantics.
+//!
+//! Both enforce the LMONP rule that user payloads piggyback on the same
+//! message rather than using a second connection.
+
+use std::io::{Read, Write};
+use std::net::{TcpListener, TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+use crossbeam_channel::{bounded, unbounded, Receiver, RecvTimeoutError, Sender};
+
+use crate::error::{ProtoError, ProtoResult};
+use crate::frame::{encode_msg, FrameReader};
+use crate::msg::LmonpMsg;
+
+/// A bidirectional, message-oriented LMONP connection endpoint.
+pub trait MsgChannel: Send {
+    /// Send one message to the peer.
+    fn send(&self, msg: LmonpMsg) -> ProtoResult<()>;
+
+    /// Block until the next message arrives.
+    fn recv(&mut self) -> ProtoResult<LmonpMsg>;
+
+    /// Block for at most `timeout` waiting for the next message; `Ok(None)`
+    /// on timeout.
+    fn recv_timeout(&mut self, timeout: Duration) -> ProtoResult<Option<LmonpMsg>>;
+
+    /// Bytes sent so far on this endpoint (for instrumentation and the
+    /// performance model's message-volume accounting).
+    fn bytes_sent(&self) -> u64;
+}
+
+// ---------------------------------------------------------------------------
+// In-process transport
+// ---------------------------------------------------------------------------
+
+/// In-process transport endpoint backed by crossbeam channels.
+pub struct LocalChannel {
+    tx: Sender<LmonpMsg>,
+    rx: Receiver<LmonpMsg>,
+    sent_bytes: std::sync::atomic::AtomicU64,
+}
+
+impl LocalChannel {
+    /// Create a connected pair of endpoints.
+    pub fn pair() -> (LocalChannel, LocalChannel) {
+        let (atx, arx) = unbounded();
+        let (btx, brx) = unbounded();
+        (
+            LocalChannel { tx: atx, rx: brx, sent_bytes: 0.into() },
+            LocalChannel { tx: btx, rx: arx, sent_bytes: 0.into() },
+        )
+    }
+
+    /// Create a connected pair with bounded capacity (used to test
+    /// back-pressure behaviour).
+    pub fn bounded_pair(cap: usize) -> (LocalChannel, LocalChannel) {
+        let (atx, arx) = bounded(cap);
+        let (btx, brx) = bounded(cap);
+        (
+            LocalChannel { tx: atx, rx: brx, sent_bytes: 0.into() },
+            LocalChannel { tx: btx, rx: arx, sent_bytes: 0.into() },
+        )
+    }
+}
+
+impl MsgChannel for LocalChannel {
+    fn send(&self, msg: LmonpMsg) -> ProtoResult<()> {
+        let len = msg.wire_len() as u64;
+        self.tx.send(msg).map_err(|_| ProtoError::Disconnected)?;
+        self.sent_bytes.fetch_add(len, std::sync::atomic::Ordering::Relaxed);
+        Ok(())
+    }
+
+    fn recv(&mut self) -> ProtoResult<LmonpMsg> {
+        self.rx.recv().map_err(|_| ProtoError::Disconnected)
+    }
+
+    fn recv_timeout(&mut self, timeout: Duration) -> ProtoResult<Option<LmonpMsg>> {
+        match self.rx.recv_timeout(timeout) {
+            Ok(m) => Ok(Some(m)),
+            Err(RecvTimeoutError::Timeout) => Ok(None),
+            Err(RecvTimeoutError::Disconnected) => Err(ProtoError::Disconnected),
+        }
+    }
+
+    fn bytes_sent(&self) -> u64 {
+        self.sent_bytes.load(std::sync::atomic::Ordering::Relaxed)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// TCP transport
+// ---------------------------------------------------------------------------
+
+/// TCP transport endpoint carrying framed LMONP messages.
+pub struct TcpChannel {
+    stream: TcpStream,
+    reader: FrameReader,
+    sent_bytes: u64,
+    read_buf: Vec<u8>,
+}
+
+impl TcpChannel {
+    /// Connect to a listening peer.
+    pub fn connect(addr: impl ToSocketAddrs) -> ProtoResult<Self> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(TcpChannel::from_stream(stream))
+    }
+
+    /// Wrap an accepted stream.
+    pub fn from_stream(stream: TcpStream) -> Self {
+        TcpChannel {
+            stream,
+            reader: FrameReader::new(),
+            sent_bytes: 0,
+            read_buf: vec![0u8; 64 * 1024],
+        }
+    }
+
+    /// Accept a single connection from a bound listener.
+    pub fn accept(listener: &TcpListener) -> ProtoResult<Self> {
+        let (stream, _addr) = listener.accept()?;
+        stream.set_nodelay(true)?;
+        Ok(TcpChannel::from_stream(stream))
+    }
+
+    fn fill(&mut self) -> ProtoResult<usize> {
+        let n = self.stream.read(&mut self.read_buf)?;
+        if n == 0 {
+            return Err(ProtoError::Disconnected);
+        }
+        self.reader.extend(&self.read_buf[..n]);
+        Ok(n)
+    }
+}
+
+impl MsgChannel for TcpChannel {
+    fn send(&self, msg: LmonpMsg) -> ProtoResult<()> {
+        let bytes = encode_msg(&msg);
+        // `Write` needs `&mut`; TcpStream allows writes through `&self` via
+        // its `&TcpStream` impl.
+        (&self.stream).write_all(&bytes)?;
+        Ok(())
+    }
+
+    fn recv(&mut self) -> ProtoResult<LmonpMsg> {
+        self.stream.set_read_timeout(None)?;
+        loop {
+            if let Some(msg) = self.reader.next_msg()? {
+                return Ok(msg);
+            }
+            self.fill()?;
+        }
+    }
+
+    fn recv_timeout(&mut self, timeout: Duration) -> ProtoResult<Option<LmonpMsg>> {
+        if let Some(msg) = self.reader.next_msg()? {
+            return Ok(Some(msg));
+        }
+        self.stream.set_read_timeout(Some(timeout))?;
+        let res = self.fill();
+        self.stream.set_read_timeout(None)?;
+        match res {
+            Ok(_) => self.reader.next_msg(),
+            Err(ProtoError::Io(e))
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                Ok(None)
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    fn bytes_sent(&self) -> u64 {
+        self.sent_bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::header::MsgType;
+
+    fn msg(tag: u16) -> LmonpMsg {
+        LmonpMsg::of_type(MsgType::BeUsrData)
+            .with_tag(tag)
+            .with_lmon_payload(vec![tag as u8; 100])
+    }
+
+    #[test]
+    fn local_pair_roundtrip() {
+        let (a, mut b) = LocalChannel::pair();
+        a.send(msg(1)).unwrap();
+        a.send(msg(2)).unwrap();
+        assert_eq!(b.recv().unwrap().tag, 1);
+        assert_eq!(b.recv().unwrap().tag, 2);
+        assert!(a.bytes_sent() > 0);
+    }
+
+    #[test]
+    fn local_recv_timeout_expires() {
+        let (_a, mut b) = LocalChannel::pair();
+        let got = b.recv_timeout(Duration::from_millis(10)).unwrap();
+        assert!(got.is_none());
+    }
+
+    #[test]
+    fn local_disconnect_detected() {
+        let (a, mut b) = LocalChannel::pair();
+        drop(a);
+        assert!(matches!(b.recv(), Err(ProtoError::Disconnected)));
+    }
+
+    #[test]
+    fn tcp_roundtrip_over_localhost() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let h = std::thread::spawn(move || {
+            let mut server = TcpChannel::accept(&listener).unwrap();
+            let m = server.recv().unwrap();
+            server.send(m.clone().with_tag(m.tag + 1)).unwrap();
+        });
+        let mut client = TcpChannel::connect(addr).unwrap();
+        client.send(msg(10)).unwrap();
+        let reply = client.recv().unwrap();
+        assert_eq!(reply.tag, 11);
+        h.join().unwrap();
+    }
+
+    #[test]
+    fn tcp_many_messages_stream_correctly() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let h = std::thread::spawn(move || {
+            let mut server = TcpChannel::accept(&listener).unwrap();
+            let mut tags = Vec::new();
+            for _ in 0..50 {
+                tags.push(server.recv().unwrap().tag);
+            }
+            tags
+        });
+        let client = TcpChannel::connect(addr).unwrap();
+        for i in 0..50 {
+            client.send(msg(i)).unwrap();
+        }
+        let tags = h.join().unwrap();
+        assert_eq!(tags, (0..50).collect::<Vec<u16>>());
+    }
+
+    #[test]
+    fn tcp_recv_timeout_expires_without_data() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let h = std::thread::spawn(move || {
+            let _server = TcpChannel::accept(&listener).unwrap();
+            std::thread::sleep(Duration::from_millis(100));
+        });
+        let mut client = TcpChannel::connect(addr).unwrap();
+        let got = client.recv_timeout(Duration::from_millis(20)).unwrap();
+        assert!(got.is_none());
+        h.join().unwrap();
+    }
+}

@@ -1,0 +1,117 @@
+//! Property-based tests for the LMONP codec: arbitrary messages and tables
+//! must survive encode→decode, and the incremental frame reader must agree
+//! with the one-shot decoder under arbitrary chunking.
+
+use proptest::prelude::*;
+
+use lmon_proto::frame::{decode_msg, encode_msg, FrameReader};
+use lmon_proto::header::{MsgClass, MsgType};
+use lmon_proto::msg::LmonpMsg;
+use lmon_proto::rpdtab::{ProcDesc, Rpdtab};
+use lmon_proto::wire::{WireDecode, WireEncode};
+
+fn arb_msg_type() -> impl Strategy<Value = MsgType> {
+    (0u8..=20).prop_map(|b| MsgType::from_bits(b).unwrap())
+}
+
+fn arb_msg_class() -> impl Strategy<Value = MsgClass> {
+    (0u8..=3).prop_map(|b| MsgClass::from_bits(b).unwrap())
+}
+
+prop_compose! {
+    fn arb_msg()(
+        class in arb_msg_class(),
+        mtype in arb_msg_type(),
+        tag in any::<u16>(),
+        epoch in any::<u16>(),
+        error in any::<bool>(),
+        lmon in proptest::collection::vec(any::<u8>(), 0..2048),
+        usr in proptest::collection::vec(any::<u8>(), 0..512),
+    ) -> LmonpMsg {
+        let mut m = LmonpMsg::new(class, mtype)
+            .with_tag(tag)
+            .with_epoch(epoch)
+            .with_lmon_payload(lmon)
+            .with_usr_payload(usr);
+        if error { m = m.as_error(); }
+        m
+    }
+}
+
+prop_compose! {
+    fn arb_proc_desc()(
+        rank in 0u32..1_000_000,
+        host_id in 0u32..2000,
+        exe in "[a-z_/]{1,30}",
+        pid in any::<u64>(),
+    ) -> ProcDesc {
+        ProcDesc { rank, host: format!("node{host_id:05}"), exe, pid }
+    }
+}
+
+proptest! {
+    #[test]
+    fn msg_roundtrip(m in arb_msg()) {
+        let bytes = encode_msg(&m);
+        prop_assert_eq!(bytes.len(), m.wire_len());
+        let back = decode_msg(&bytes).unwrap();
+        prop_assert_eq!(back, m);
+    }
+
+    #[test]
+    fn frame_reader_matches_oneshot_under_chunking(
+        msgs in proptest::collection::vec(arb_msg(), 1..10),
+        chunk in 1usize..257,
+    ) {
+        let mut stream = Vec::new();
+        for m in &msgs {
+            stream.extend_from_slice(&encode_msg(m));
+        }
+        let mut reader = FrameReader::new();
+        let mut out = Vec::new();
+        for piece in stream.chunks(chunk) {
+            reader.extend(piece);
+            while let Some(m) = reader.next_msg().unwrap() {
+                out.push(m);
+            }
+        }
+        prop_assert_eq!(out, msgs);
+        prop_assert_eq!(reader.buffered(), 0);
+    }
+
+    #[test]
+    fn rpdtab_roundtrip(descs in proptest::collection::vec(arb_proc_desc(), 0..300)) {
+        let tab = Rpdtab::new(descs);
+        let bytes = tab.to_bytes();
+        prop_assert_eq!(bytes.len(), tab.encoded_len());
+        let back = Rpdtab::from_bytes(&bytes).unwrap();
+        // Rpdtab::new sorts by rank; equal ranks may permute, so compare as
+        // multisets of entries.
+        let mut a: Vec<_> = tab.entries().to_vec();
+        let mut b: Vec<_> = back.entries().to_vec();
+        let key = |e: &ProcDesc| (e.rank, e.host.clone(), e.exe.clone(), e.pid);
+        a.sort_by_key(key);
+        b.sort_by_key(key);
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn decoder_never_panics_on_garbage(bytes in proptest::collection::vec(any::<u8>(), 0..512)) {
+        let _ = decode_msg(&bytes);
+        let _ = Rpdtab::from_bytes(&bytes);
+        let mut reader = FrameReader::new();
+        reader.extend(&bytes);
+        let _ = reader.next_msg();
+    }
+
+    #[test]
+    fn rpdtab_hosts_unique_and_cover_entries(descs in proptest::collection::vec(arb_proc_desc(), 0..200)) {
+        let tab = Rpdtab::new(descs);
+        let hosts = tab.hosts();
+        let set: std::collections::HashSet<_> = hosts.iter().collect();
+        prop_assert_eq!(set.len(), hosts.len(), "hosts must be unique");
+        for e in tab.entries() {
+            prop_assert!(hosts.contains(&e.host));
+        }
+    }
+}

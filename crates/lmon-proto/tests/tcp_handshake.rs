@@ -1,0 +1,155 @@
+//! The FE ↔ BE-master handshake sequence carried over a real TCP socket:
+//! exactly the bytes LMONP puts on the wire in a distributed deployment.
+
+use std::net::TcpListener;
+use std::time::Duration;
+
+use lmon_proto::header::MsgType;
+use lmon_proto::msg::LmonpMsg;
+use lmon_proto::payload::{DaemonInfo, Hello};
+use lmon_proto::rpdtab::{synthetic_rpdtab, Rpdtab};
+use lmon_proto::security::SessionCookie;
+use lmon_proto::transport::{MsgChannel, TcpChannel};
+
+#[test]
+fn full_handshake_over_tcp() {
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let cookie = SessionCookie::mint_seeded(42);
+    let table = synthetic_rpdtab(16, 8, "app");
+    let table_for_daemon = table.clone();
+
+    // The "master daemon": connects, hellos, receives launch info + RPDTAB,
+    // replies ready with piggybacked tool data.
+    let daemon = std::thread::spawn(move || {
+        let mut chan = TcpChannel::connect(addr).unwrap();
+        let hello = Hello {
+            cookie: cookie.cookie,
+            epoch: cookie.epoch,
+            host: "node00000".into(),
+            pid: 4242,
+        };
+        chan.send(
+            LmonpMsg::of_type(MsgType::BeHello).with_epoch(cookie.epoch).with_lmon(&hello),
+        )
+        .unwrap();
+
+        let info_msg = chan.recv().unwrap();
+        assert_eq!(info_msg.mtype, MsgType::BeLaunchInfo);
+        let info: DaemonInfo = info_msg.decode_lmon().unwrap();
+        assert_eq!(info.size, 16);
+        assert_eq!(info_msg.usr, b"tool-bootstrap-data");
+
+        let rpdtab_msg = chan.recv().unwrap();
+        assert_eq!(rpdtab_msg.mtype, MsgType::BeRpdtab);
+        let got: Rpdtab = rpdtab_msg.decode_lmon().unwrap();
+        assert_eq!(got, table_for_daemon);
+
+        chan.send(
+            LmonpMsg::of_type(MsgType::BeReady).with_usr_payload(b"daemon-data".to_vec()),
+        )
+        .unwrap();
+    });
+
+    // The "front end": accepts, verifies the cookie, runs its side.
+    let mut fe = TcpChannel::accept(&listener).unwrap();
+    let hello_msg = fe.recv().unwrap();
+    assert_eq!(hello_msg.mtype, MsgType::BeHello);
+    let hello: Hello = hello_msg.decode_lmon().unwrap();
+    cookie.verify_hello(&hello).expect("cookie check");
+
+    let info = DaemonInfo { rank: 0, size: 16, host: hello.host.clone(), pid: hello.pid };
+    fe.send(
+        LmonpMsg::of_type(MsgType::BeLaunchInfo)
+            .with_epoch(cookie.epoch)
+            .with_lmon(&info)
+            .with_usr_payload(b"tool-bootstrap-data".to_vec()),
+    )
+    .unwrap();
+    fe.send(LmonpMsg::of_type(MsgType::BeRpdtab).with_epoch(cookie.epoch).with_lmon(&table))
+        .unwrap();
+
+    let ready = fe.recv().unwrap();
+    assert_eq!(ready.mtype, MsgType::BeReady);
+    assert_eq!(ready.usr, b"daemon-data");
+
+    daemon.join().unwrap();
+}
+
+#[test]
+fn wrong_cookie_over_tcp_is_rejected() {
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let real = SessionCookie::mint_seeded(1);
+    let forged = SessionCookie::mint_seeded(2);
+
+    let daemon = std::thread::spawn(move || {
+        let chan = TcpChannel::connect(addr).unwrap();
+        let hello = Hello {
+            cookie: forged.cookie,
+            epoch: forged.epoch,
+            host: "evil".into(),
+            pid: 1,
+        };
+        chan.send(LmonpMsg::of_type(MsgType::BeHello).with_lmon(&hello)).unwrap();
+    });
+
+    let mut fe = TcpChannel::accept(&listener).unwrap();
+    let hello: Hello = fe.recv().unwrap().decode_lmon().unwrap();
+    assert!(real.verify_hello(&hello).is_err(), "forged cookie must fail");
+    daemon.join().unwrap();
+}
+
+#[test]
+fn large_rpdtab_streams_over_tcp() {
+    // A 1,024-node / 8,192-task table (the paper's biggest Jobsnap run) in
+    // one LMONP message over a real socket.
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let table = synthetic_rpdtab(1024, 8, "app");
+    let expect = table.clone();
+
+    let receiver = std::thread::spawn(move || {
+        let mut chan = TcpChannel::accept(&listener).unwrap();
+        let msg = chan.recv().unwrap();
+        let got: Rpdtab = msg.decode_lmon().unwrap();
+        assert_eq!(got, expect);
+        got.len()
+    });
+
+    let sender = TcpChannel::connect(addr).unwrap();
+    sender
+        .send(LmonpMsg::of_type(MsgType::BeRpdtab).with_lmon(&table))
+        .unwrap();
+    assert_eq!(receiver.join().unwrap(), 8192);
+}
+
+#[test]
+fn interleaved_usrdata_streams_keep_order() {
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+
+    let peer = std::thread::spawn(move || {
+        let mut chan = TcpChannel::accept(&listener).unwrap();
+        let mut tags = Vec::new();
+        for _ in 0..100 {
+            let msg = chan.recv().unwrap();
+            assert_eq!(msg.usr.len() as u16, msg.tag);
+            tags.push(msg.tag);
+        }
+        tags
+    });
+
+    let chan = TcpChannel::connect(addr).unwrap();
+    for i in 0..100u16 {
+        chan.send(
+            LmonpMsg::of_type(MsgType::BeUsrData)
+                .with_tag(i)
+                .with_usr_payload(vec![0xAB; i as usize]),
+        )
+        .unwrap();
+    }
+    let tags = peer.join().unwrap();
+    assert_eq!(tags, (0..100).collect::<Vec<u16>>());
+    let _ = Duration::ZERO;
+}

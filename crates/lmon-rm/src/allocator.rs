@@ -1,0 +1,135 @@
+//! Node allocation tracking.
+//!
+//! Jobs get node allocations; tools get *additional* allocations for
+//! middleware daemons (§2: TBON daemons "require separately allocated
+//! nodes"). The allocator hands out the lowest-indexed free nodes, which
+//! keeps placements deterministic across runs.
+
+use parking_lot::Mutex;
+
+use lmon_cluster::node::NodeId;
+use lmon_cluster::VirtualCluster;
+
+use crate::api::{Allocation, RmError, RmResult};
+
+/// Tracks which compute nodes are assigned to which allocation.
+pub struct NodeAllocator {
+    /// `owner[i]` = allocation id holding compute node i, or `None`.
+    owner: Mutex<Vec<Option<u64>>>,
+}
+
+impl NodeAllocator {
+    /// An allocator for every compute node of `cluster`.
+    pub fn new(cluster: &VirtualCluster) -> Self {
+        NodeAllocator { owner: Mutex::new(vec![None; cluster.node_count()]) }
+    }
+
+    /// Number of currently free nodes.
+    pub fn free_count(&self) -> usize {
+        self.owner.lock().iter().filter(|o| o.is_none()).count()
+    }
+
+    /// Claim `count` nodes under allocation `id`.
+    pub fn allocate(&self, id: u64, count: usize) -> RmResult<Allocation> {
+        let mut owner = self.owner.lock();
+        let free: Vec<usize> = owner
+            .iter()
+            .enumerate()
+            .filter_map(|(i, o)| o.is_none().then_some(i))
+            .take(count)
+            .collect();
+        if free.len() < count {
+            return Err(RmError::InsufficientNodes {
+                want: count,
+                free: owner.iter().filter(|o| o.is_none()).count(),
+            });
+        }
+        let mut nodes = Vec::with_capacity(count);
+        for i in free {
+            owner[i] = Some(id);
+            nodes.push(NodeId::Compute(i as u32));
+        }
+        Ok(Allocation { id, nodes })
+    }
+
+    /// Release every node held by `alloc`.
+    pub fn release(&self, alloc: &Allocation) {
+        let mut owner = self.owner.lock();
+        for node in &alloc.nodes {
+            if let Some(i) = node.compute_index() {
+                if let Some(slot) = owner.get_mut(i as usize) {
+                    if *slot == Some(alloc.id) {
+                        *slot = None;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Which allocation owns a node, if any.
+    pub fn owner_of(&self, node: NodeId) -> Option<u64> {
+        let i = node.compute_index()? as usize;
+        self.owner.lock().get(i).copied().flatten()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lmon_cluster::config::ClusterConfig;
+
+    fn allocator(nodes: usize) -> NodeAllocator {
+        NodeAllocator::new(&VirtualCluster::new(ClusterConfig::with_nodes(nodes)))
+    }
+
+    #[test]
+    fn allocations_are_disjoint_and_deterministic() {
+        let a = allocator(8);
+        let job = a.allocate(1, 4).unwrap();
+        assert_eq!(job.nodes, (0..4).map(NodeId::Compute).collect::<Vec<_>>());
+        let mw = a.allocate(2, 2).unwrap();
+        assert_eq!(mw.nodes, vec![NodeId::Compute(4), NodeId::Compute(5)]);
+        assert_eq!(a.free_count(), 2);
+        assert_eq!(a.owner_of(NodeId::Compute(0)), Some(1));
+        assert_eq!(a.owner_of(NodeId::Compute(5)), Some(2));
+        assert_eq!(a.owner_of(NodeId::Compute(7)), None);
+    }
+
+    #[test]
+    fn over_allocation_reports_free_count() {
+        let a = allocator(4);
+        a.allocate(1, 3).unwrap();
+        let err = a.allocate(2, 2).unwrap_err();
+        assert_eq!(err, RmError::InsufficientNodes { want: 2, free: 1 });
+    }
+
+    #[test]
+    fn release_returns_nodes() {
+        let a = allocator(4);
+        let alloc = a.allocate(1, 4).unwrap();
+        assert_eq!(a.free_count(), 0);
+        a.release(&alloc);
+        assert_eq!(a.free_count(), 4);
+        // Double release is harmless.
+        a.release(&alloc);
+        assert_eq!(a.free_count(), 4);
+    }
+
+    #[test]
+    fn release_ignores_foreign_ownership() {
+        let a = allocator(2);
+        let alloc1 = a.allocate(1, 2).unwrap();
+        a.release(&alloc1);
+        let alloc2 = a.allocate(2, 2).unwrap();
+        // Releasing the stale alloc1 must not free alloc2's nodes.
+        a.release(&alloc1);
+        assert_eq!(a.free_count(), 0);
+        assert_eq!(a.owner_of(alloc2.nodes[0]), Some(2));
+    }
+
+    #[test]
+    fn front_end_never_allocated() {
+        let a = allocator(2);
+        assert_eq!(a.owner_of(NodeId::FrontEnd), None);
+    }
+}

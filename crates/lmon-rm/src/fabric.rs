@@ -1,0 +1,90 @@
+//! The RM-provided inter-daemon communication fabric.
+//!
+//! "We leverage native communication subsystems that the RM sets up if
+//! possible" (§3.3). When an RM co-spawns tool daemons it also wires them
+//! into a communication structure (PMI on SLURM, the control network on
+//! BG/L). [`RmFabricEndpoint`] is that structure's endpoint: created *by
+//! the RM at spawn time* and handed to the daemon body — a daemon never
+//! dials peers itself.
+//!
+//! Functionally it wraps [`lmon_iccl::ChannelFabric`]; the type exists so
+//! the daemon-facing API carries the provenance ("this came from the RM")
+//! and so the RM can stamp per-daemon identity and the session cookie
+//! environment.
+
+use lmon_iccl::fabric::{ChannelFabric, Fabric};
+use lmon_iccl::IcclResult;
+
+/// A daemon's endpoint into the RM fabric.
+pub struct RmFabricEndpoint {
+    inner: ChannelFabric,
+    /// Hostname of the node this endpoint was provisioned on.
+    pub host: String,
+}
+
+impl RmFabricEndpoint {
+    /// Build endpoints for `hosts.len()` daemons, one per host, in rank
+    /// order (rank 0 = first host = master daemon's node).
+    pub fn provision(hosts: &[String]) -> Vec<RmFabricEndpoint> {
+        ChannelFabric::mesh(hosts.len() as u32)
+            .into_iter()
+            .zip(hosts.iter())
+            .map(|(inner, host)| RmFabricEndpoint { inner, host: host.clone() })
+            .collect()
+    }
+}
+
+impl Fabric for RmFabricEndpoint {
+    fn rank(&self) -> u32 {
+        self.inner.rank()
+    }
+
+    fn size(&self) -> u32 {
+        self.inner.size()
+    }
+
+    fn send(&self, to: u32, bytes: Vec<u8>) -> IcclResult<()> {
+        self.inner.send(to, bytes)
+    }
+
+    fn recv_from(&mut self, from: u32) -> IcclResult<Vec<u8>> {
+        self.inner.recv_from(from)
+    }
+}
+
+impl std::fmt::Debug for RmFabricEndpoint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RmFabricEndpoint")
+            .field("rank", &self.rank())
+            .field("size", &self.size())
+            .field("host", &self.host)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn provision_assigns_ranks_in_host_order() {
+        let hosts: Vec<String> = (0..4).map(|i| format!("node{i:05}")).collect();
+        let eps = RmFabricEndpoint::provision(&hosts);
+        assert_eq!(eps.len(), 4);
+        for (i, ep) in eps.iter().enumerate() {
+            assert_eq!(ep.rank(), i as u32);
+            assert_eq!(ep.size(), 4);
+            assert_eq!(ep.host, hosts[i]);
+        }
+    }
+
+    #[test]
+    fn endpoints_carry_traffic() {
+        let hosts: Vec<String> = (0..2).map(|i| format!("n{i}")).collect();
+        let mut eps = RmFabricEndpoint::provision(&hosts);
+        let b = eps.pop().unwrap();
+        let mut a = eps.pop().unwrap();
+        b.send(0, vec![42]).unwrap();
+        assert_eq!(a.recv_from(1).unwrap(), vec![42]);
+    }
+}

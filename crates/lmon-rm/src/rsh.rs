@@ -1,0 +1,229 @@
+//! The ad hoc rsh-based launcher — the baseline LaunchMON replaces.
+//!
+//! §2: "Most frequently, [tool developers] combine remote access commands
+//! like ssh or rsh with manual protocols to co-locate daemons with an
+//! application. Most implementations have the tool front end spawn each
+//! remote daemon sequentially; others employ a tree-based protocol allowing
+//! daemons that the tool front end launches to spawn children daemons."
+//!
+//! Both variants are here. The sequential variant is what MRNet 1.x used
+//! for STAT, and is the "MRNet 1-deep" curve of Figure 6: each daemon costs
+//! a serial connection on the front end, and every session pins front-end
+//! fds for the daemon's lifetime — so it *fails outright* once the fd table
+//! is exhausted (≈504 live sessions with default limits).
+
+use std::sync::Arc;
+
+use lmon_cluster::process::{Pid, ProcCtx, ProcSpec};
+use lmon_cluster::remote::{rsh_spawn, RshError, RshSession};
+use lmon_cluster::VirtualCluster;
+
+/// Body type for rsh-launched daemons (no RM fabric: ad hoc daemons get
+/// their configuration through argv, the very practice §5.2 criticizes).
+pub type RshDaemonBody = Arc<dyn Fn(ProcCtx) + Send + Sync + 'static>;
+
+/// The ad hoc launcher.
+pub struct RshLauncher {
+    cluster: VirtualCluster,
+}
+
+/// Result of an ad hoc launch: live sessions (dropping one kills the
+/// daemon's stdio link) plus the daemon pids in launch order.
+#[derive(Debug)]
+pub struct RshLaunchResult {
+    /// Live rsh sessions, one per daemon, in launch order.
+    pub sessions: Vec<RshSession>,
+    /// Daemon pids in launch order.
+    pub pids: Vec<Pid>,
+}
+
+impl RshLauncher {
+    /// A launcher over `cluster`.
+    pub fn new(cluster: VirtualCluster) -> Self {
+        RshLauncher { cluster }
+    }
+
+    /// The cluster handle.
+    pub fn cluster(&self) -> &VirtualCluster {
+        &self.cluster
+    }
+
+    /// Sequentially launch one daemon per (host, spec) pair, front end
+    /// forking one rsh at a time.
+    ///
+    /// On failure, already-launched daemons are left running with their
+    /// sessions returned inside the error — mirroring the real-world mess
+    /// where a failed ad hoc launch strands daemons (§5.2's "consistently
+    /// fails"). Callers must clean up.
+    pub fn launch_sequential(
+        &self,
+        targets: &[(String, ProcSpec)],
+        body: RshDaemonBody,
+    ) -> Result<RshLaunchResult, (RshError, RshLaunchResult)> {
+        let mut out = RshLaunchResult { sessions: Vec::new(), pids: Vec::new() };
+        for (host, spec) in targets {
+            let body = body.clone();
+            match rsh_spawn(&self.cluster, host, spec.clone(), move |ctx| body(ctx)) {
+                Ok(session) => {
+                    out.pids.push(session.pid());
+                    out.sessions.push(session);
+                }
+                Err(e) => return Err((e, out)),
+            }
+        }
+        Ok(out)
+    }
+
+    /// Tree-structured ad hoc launch: the front end rsh-spawns the first
+    /// `fanout` daemons; each daemon then spawns up to `fanout` children
+    /// from its own node (bypassing the front end's fd table, but still
+    /// with no RM integration: configuration rides argv).
+    ///
+    /// Returns pids in BFS order. The front end keeps sessions only to its
+    /// direct children.
+    pub fn launch_tree(
+        &self,
+        targets: &[(String, ProcSpec)],
+        fanout: usize,
+        body: RshDaemonBody,
+    ) -> Result<RshLaunchResult, (RshError, RshLaunchResult)> {
+        let fanout = fanout.max(1);
+        let mut out = RshLaunchResult { sessions: Vec::new(), pids: Vec::new() };
+        if targets.is_empty() {
+            return Ok(out);
+        }
+        // BFS layering: index i's children are i*fanout+1 ..= i*fanout+fanout.
+        // The front end launches layer-0 roots (indices 0..fanout) over rsh;
+        // deeper nodes are spawned directly on their host by their parent's
+        // node agent (modelled as a direct cluster spawn).
+        let cluster = self.cluster.clone();
+        for (i, (host, spec)) in targets.iter().enumerate() {
+            let body = body.clone();
+            if i < fanout {
+                match rsh_spawn(&self.cluster, host, spec.clone(), move |ctx| body(ctx)) {
+                    Ok(session) => {
+                        out.pids.push(session.pid());
+                        out.sessions.push(session);
+                    }
+                    Err(e) => return Err((e, out)),
+                }
+            } else {
+                let node = match cluster.node_by_host(host) {
+                    Ok(n) => n,
+                    Err(e) => return Err((RshError::RemoteSpawnFailed(e.to_string()), out)),
+                };
+                match cluster.spawn_active(node.id, spec.clone(), move |ctx| body(ctx)) {
+                    Ok(pid) => out.pids.push(pid),
+                    Err(e) => return Err((RshError::RemoteSpawnFailed(e.to_string()), out)),
+                }
+            }
+        }
+        Ok(out)
+    }
+}
+
+/// Build one `(host, spec)` target per compute node `0..n`, passing each
+/// daemon its index through argv (the ad hoc configuration channel).
+pub fn per_node_targets(
+    cluster: &VirtualCluster,
+    n: usize,
+    exe: &str,
+    extra_args: &[String],
+) -> Vec<(String, ProcSpec)> {
+    (0..n.min(cluster.node_count()))
+        .map(|i| {
+            let host = cluster.config().hostname(i);
+            let mut spec = ProcSpec::named(exe).arg(format!("--index={i}"));
+            for a in extra_args {
+                spec = spec.arg(a.clone());
+            }
+            (host, spec)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lmon_cluster::config::{ClusterConfig, RshConfig};
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::time::Duration;
+
+    fn cluster(nodes: usize, rsh: RshConfig) -> VirtualCluster {
+        let mut cfg = ClusterConfig::with_nodes(nodes);
+        cfg.rsh = rsh;
+        VirtualCluster::new(cfg)
+    }
+
+    #[test]
+    fn sequential_launch_places_daemons() {
+        let c = cluster(4, RshConfig::default());
+        let launcher = RshLauncher::new(c.clone());
+        let started = Arc::new(AtomicUsize::new(0));
+        let s2 = started.clone();
+        let body: RshDaemonBody = Arc::new(move |_ctx| {
+            s2.fetch_add(1, Ordering::SeqCst);
+        });
+        let targets = per_node_targets(&c, 4, "toold", &[]);
+        let result = launcher.launch_sequential(&targets, body).unwrap();
+        assert_eq!(result.pids.len(), 4);
+        for pid in &result.pids {
+            c.wait_pid(*pid).unwrap();
+        }
+        assert_eq!(started.load(Ordering::SeqCst), 4);
+        assert_eq!(c.rsh_state().total_connects(), 4);
+    }
+
+    #[test]
+    fn sequential_launch_fails_at_fd_exhaustion() {
+        // Capacity (20-4)/2 = 8; the 9th node fails, like §5.2 at 512.
+        let rsh = RshConfig { fds_per_session: 2, fe_fd_limit: 20, fe_base_fds: 4, ..Default::default() };
+        let c = cluster(16, rsh);
+        let launcher = RshLauncher::new(c.clone());
+        let body: RshDaemonBody = Arc::new(|ctx| {
+            while !ctx.killed() {
+                std::thread::park_timeout(Duration::from_millis(1));
+            }
+        });
+        let targets = per_node_targets(&c, 16, "toold", &[]);
+        let (err, partial) = launcher.launch_sequential(&targets, body).unwrap_err();
+        assert!(matches!(err, RshError::ForkFailed { .. }));
+        assert_eq!(partial.pids.len(), 8, "eight daemons were stranded");
+        for pid in &partial.pids {
+            c.kill(*pid).unwrap();
+        }
+    }
+
+    #[test]
+    fn tree_launch_spares_front_end_fds() {
+        // Same tight fd budget, but fanout-4 tree only holds 4 FE sessions.
+        let rsh = RshConfig { fds_per_session: 2, fe_fd_limit: 20, fe_base_fds: 4, ..Default::default() };
+        let c = cluster(16, rsh);
+        let launcher = RshLauncher::new(c.clone());
+        let started = Arc::new(AtomicUsize::new(0));
+        let s2 = started.clone();
+        let body: RshDaemonBody = Arc::new(move |_ctx| {
+            s2.fetch_add(1, Ordering::SeqCst);
+        });
+        let targets = per_node_targets(&c, 16, "toold", &[]);
+        let result = launcher.launch_tree(&targets, 4, body).unwrap();
+        assert_eq!(result.pids.len(), 16);
+        assert_eq!(result.sessions.len(), 4, "only roots hold FE sessions");
+        for pid in &result.pids {
+            c.wait_pid(*pid).unwrap();
+        }
+        assert_eq!(started.load(Ordering::SeqCst), 16);
+    }
+
+    #[test]
+    fn per_node_targets_passes_index_via_argv() {
+        let c = cluster(3, RshConfig::default());
+        let targets = per_node_targets(&c, 3, "d", &["--extra".into()]);
+        assert_eq!(targets.len(), 3);
+        assert_eq!(targets[2].0, "node00002");
+        assert!(targets[2].1.args.contains(&"--index=2".to_string()));
+        assert!(targets[2].1.args.contains(&"--extra".to_string()));
+        // Requesting more targets than nodes clamps.
+        assert_eq!(per_node_targets(&c, 99, "d", &[]).len(), 3);
+    }
+}

@@ -1,0 +1,97 @@
+//! Property tests for node allocation — the invariant base under every
+//! co-location decision: allocations are disjoint, releases are exact, and
+//! the allocator never loses or duplicates nodes.
+
+use proptest::prelude::*;
+
+use lmon_cluster::config::ClusterConfig;
+use lmon_cluster::VirtualCluster;
+use lmon_rm::allocator::NodeAllocator;
+use lmon_rm::api::Allocation;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Allocate(usize),
+    Release(usize), // index into live allocations (modulo)
+}
+
+fn arb_ops() -> impl Strategy<Value = Vec<Op>> {
+    proptest::collection::vec(
+        prop_oneof![
+            (1usize..20).prop_map(Op::Allocate),
+            (0usize..8).prop_map(Op::Release),
+        ],
+        1..60,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn allocations_stay_disjoint_and_conserve_nodes(ops in arb_ops(), nodes in 8usize..64) {
+        let cluster = VirtualCluster::new(ClusterConfig::with_nodes(nodes));
+        let alloc = NodeAllocator::new(&cluster);
+        let mut live: Vec<Allocation> = Vec::new();
+        let mut next_id = 1u64;
+
+        for op in ops {
+            match op {
+                Op::Allocate(count) => {
+                    match alloc.allocate(next_id, count) {
+                        Ok(a) => {
+                            prop_assert_eq!(a.len(), count);
+                            live.push(a);
+                            next_id += 1;
+                        }
+                        Err(_) => {
+                            // Must only fail when genuinely short of nodes.
+                            let held: usize = live.iter().map(Allocation::len).sum();
+                            prop_assert!(nodes - held < count,
+                                "refused {count} with {} free", nodes - held);
+                        }
+                    }
+                }
+                Op::Release(i) => {
+                    if !live.is_empty() {
+                        let a = live.remove(i % live.len());
+                        alloc.release(&a);
+                    }
+                }
+            }
+            // Invariant: live allocations are pairwise disjoint.
+            let mut seen = std::collections::HashSet::new();
+            for a in &live {
+                for n in &a.nodes {
+                    prop_assert!(seen.insert(*n), "node {n:?} in two allocations");
+                }
+            }
+            // Invariant: free + held == total.
+            let held: usize = live.iter().map(Allocation::len).sum();
+            prop_assert_eq!(alloc.free_count() + held, nodes);
+            // Invariant: ownership matches the allocator's view.
+            for a in &live {
+                for n in &a.nodes {
+                    prop_assert_eq!(alloc.owner_of(*n), Some(a.id));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn full_release_restores_everything(counts in proptest::collection::vec(1usize..10, 1..10)) {
+        let total: usize = counts.iter().sum();
+        let cluster = VirtualCluster::new(ClusterConfig::with_nodes(total));
+        let alloc = NodeAllocator::new(&cluster);
+        let allocations: Vec<Allocation> = counts
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| alloc.allocate(i as u64 + 1, c).expect("fits exactly"))
+            .collect();
+        prop_assert_eq!(alloc.free_count(), 0);
+        for a in &allocations {
+            alloc.release(a);
+        }
+        prop_assert_eq!(alloc.free_count(), total);
+    }
+}

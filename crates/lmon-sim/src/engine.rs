@@ -1,0 +1,377 @@
+//! The actor-based simulation engine.
+//!
+//! Components of a scenario (front end, RM launcher, nodes, daemons) are
+//! [`Actor`]s registered with a [`Sim`]. Actors communicate exclusively by
+//! scheduling typed messages for each other through the [`Ctx`] handed to
+//! their handler; the engine buffers those effects and applies them after
+//! the handler returns, so the actor table is never aliased during dispatch.
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+use crate::metrics::Metrics;
+use crate::queue::EventQueue;
+use crate::time::{SimDuration, SimTime};
+
+/// Identifies an actor within one simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ActorId(pub u32);
+
+impl ActorId {
+    /// Index into the actor table.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A simulation participant handling typed messages `M`.
+pub trait Actor<M> {
+    /// Handle one message delivered at the current virtual time.
+    fn on_message(&mut self, msg: M, ctx: &mut Ctx<'_, M>);
+
+    /// Called once when the simulation starts, in registration order.
+    fn on_start(&mut self, _ctx: &mut Ctx<'_, M>) {}
+
+    /// Diagnostic name used in traces.
+    fn name(&self) -> String {
+        "actor".to_string()
+    }
+}
+
+/// Scheduling context handed to actor handlers.
+///
+/// All effects (sends, spawns) are buffered and applied by the engine after
+/// the handler returns.
+pub struct Ctx<'a, M> {
+    now: SimTime,
+    self_id: ActorId,
+    sends: Vec<(SimTime, ActorId, M)>,
+    /// Metrics sink shared by the whole simulation.
+    pub metrics: &'a mut Metrics,
+    /// Deterministic RNG shared by the whole simulation.
+    pub rng: &'a mut SmallRng,
+    stop_requested: &'a mut bool,
+}
+
+impl<'a, M> Ctx<'a, M> {
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// The actor currently executing.
+    pub fn self_id(&self) -> ActorId {
+        self.self_id
+    }
+
+    /// Deliver `msg` to `to` after `delay`.
+    pub fn send_in(&mut self, delay: SimDuration, to: ActorId, msg: M) {
+        self.sends.push((self.now + delay, to, msg));
+    }
+
+    /// Deliver `msg` to `to` at absolute time `at` (clamped to now).
+    pub fn send_at(&mut self, at: SimTime, to: ActorId, msg: M) {
+        self.sends.push((at.max_of(self.now), to, msg));
+    }
+
+    /// Deliver `msg` to self after `delay` (a timer).
+    pub fn timer(&mut self, delay: SimDuration, msg: M) {
+        let id = self.self_id;
+        self.send_in(delay, id, msg);
+    }
+
+    /// Ask the engine to stop after this dispatch completes.
+    pub fn stop(&mut self) {
+        *self.stop_requested = true;
+    }
+}
+
+struct Pending<M> {
+    to: ActorId,
+    msg: M,
+}
+
+/// The simulation: an actor table, an event queue, and a virtual clock.
+pub struct Sim<M> {
+    actors: Vec<Box<dyn Actor<M>>>,
+    queue: EventQueue<Pending<M>>,
+    now: SimTime,
+    rng: SmallRng,
+    /// Metrics collected across the run.
+    pub metrics: Metrics,
+    started: bool,
+    stop_requested: bool,
+    dispatched: u64,
+}
+
+impl<M> Sim<M> {
+    /// A fresh simulation with the given RNG seed.
+    pub fn new(seed: u64) -> Self {
+        Sim {
+            actors: Vec::new(),
+            queue: EventQueue::new(),
+            now: SimTime::ZERO,
+            rng: SmallRng::seed_from_u64(seed),
+            metrics: Metrics::default(),
+            started: false,
+            stop_requested: false,
+            dispatched: 0,
+        }
+    }
+
+    /// Register an actor, returning its id.
+    pub fn add_actor(&mut self, actor: Box<dyn Actor<M>>) -> ActorId {
+        let id = ActorId(self.actors.len() as u32);
+        self.actors.push(actor);
+        id
+    }
+
+    /// Number of registered actors.
+    pub fn actor_count(&self) -> usize {
+        self.actors.len()
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Total messages dispatched so far.
+    pub fn dispatched(&self) -> u64 {
+        self.dispatched
+    }
+
+    /// Schedule a message from outside any actor (e.g. the scenario driver).
+    pub fn inject(&mut self, at: SimTime, to: ActorId, msg: M) {
+        self.queue.push(at, Pending { to, msg });
+    }
+
+    fn start_if_needed(&mut self) {
+        if self.started {
+            return;
+        }
+        self.started = true;
+        for i in 0..self.actors.len() {
+            let id = ActorId(i as u32);
+            let mut ctx = Ctx {
+                now: self.now,
+                self_id: id,
+                sends: Vec::new(),
+                metrics: &mut self.metrics,
+                rng: &mut self.rng,
+                stop_requested: &mut self.stop_requested,
+            };
+            self.actors[i].on_start(&mut ctx);
+            let sends = ctx.sends;
+            for (at, to, msg) in sends {
+                self.queue.push(at, Pending { to, msg });
+            }
+        }
+    }
+
+    /// Dispatch a single event. Returns false when the queue is empty.
+    pub fn step(&mut self) -> bool {
+        self.start_if_needed();
+        let Some((at, Pending { to, msg })) = self.queue.pop() else {
+            return false;
+        };
+        debug_assert!(at >= self.now, "time must be monotone");
+        self.now = at;
+        self.dispatched += 1;
+        let idx = to.index();
+        assert!(idx < self.actors.len(), "message to unknown actor {to:?}");
+        let mut ctx = Ctx {
+            now: self.now,
+            self_id: to,
+            sends: Vec::new(),
+            metrics: &mut self.metrics,
+            rng: &mut self.rng,
+            stop_requested: &mut self.stop_requested,
+        };
+        self.actors[idx].on_message(msg, &mut ctx);
+        let sends = ctx.sends;
+        for (t, target, m) in sends {
+            self.queue.push(t, Pending { to: target, msg: m });
+        }
+        true
+    }
+
+    /// Run until the queue drains, an actor calls [`Ctx::stop`], or the
+    /// event budget is exhausted. Returns the finishing time.
+    pub fn run(&mut self, max_events: u64) -> SimTime {
+        self.start_if_needed();
+        let mut budget = max_events;
+        while budget > 0 && !self.stop_requested {
+            if !self.step() {
+                break;
+            }
+            budget -= 1;
+        }
+        assert!(budget > 0 || self.stop_requested || self.queue.is_empty(),
+            "simulation exceeded its event budget of {max_events} events — likely a livelock");
+        self.now
+    }
+
+    /// Run until the queue is fully drained (convenience for scenarios with
+    /// a natural end).
+    pub fn run_to_completion(&mut self) -> SimTime {
+        self.run(u64::MAX)
+    }
+
+    /// Immutable access to a registered actor (for post-run inspection).
+    pub fn actor(&self, id: ActorId) -> &dyn Actor<M> {
+        self.actors[id.index()].as_ref()
+    }
+
+    /// Mutable access to a registered actor (for scenario wiring).
+    pub fn actor_mut(&mut self, id: ActorId) -> &mut Box<dyn Actor<M>> {
+        &mut self.actors[id.index()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug, Clone, PartialEq)]
+    enum Msg {
+        Ping(u32),
+        Pong(u32),
+    }
+
+    struct Pinger {
+        peer: Option<ActorId>,
+        remaining: u32,
+        log: Vec<u32>,
+    }
+
+    impl Actor<Msg> for Pinger {
+        fn on_start(&mut self, ctx: &mut Ctx<'_, Msg>) {
+            if let Some(peer) = self.peer {
+                ctx.send_in(SimDuration::from_millis(1), peer, Msg::Ping(self.remaining));
+            }
+        }
+
+        fn on_message(&mut self, msg: Msg, ctx: &mut Ctx<'_, Msg>) {
+            match msg {
+                Msg::Ping(n) => {
+                    self.log.push(n);
+                    // reply to whoever pinged — here we know it's actor 0
+                    ctx.send_in(SimDuration::from_millis(1), ActorId(0), Msg::Pong(n));
+                }
+                Msg::Pong(n) => {
+                    self.log.push(n);
+                    if n > 1 {
+                        if let Some(peer) = self.peer {
+                            ctx.send_in(SimDuration::from_millis(1), peer, Msg::Ping(n - 1));
+                        }
+                    } else {
+                        ctx.stop();
+                    }
+                }
+            }
+        }
+    }
+
+    fn build() -> (Sim<Msg>, ActorId, ActorId) {
+        let mut sim = Sim::new(42);
+        let a = sim.add_actor(Box::new(Pinger { peer: None, remaining: 0, log: vec![] }));
+        let b = sim.add_actor(Box::new(Pinger { peer: None, remaining: 0, log: vec![] }));
+        (sim, a, b)
+    }
+
+    #[test]
+    fn ping_pong_advances_time_and_stops() {
+        let mut sim = Sim::new(1);
+        let _a = sim.add_actor(Box::new(Pinger { peer: None, remaining: 0, log: vec![] }));
+        let b = sim.add_actor(Box::new(Pinger { peer: None, remaining: 0, log: vec![] }));
+        // wire: actor 0 pings b with countdown 3
+        sim.actors[0] = Box::new(Pinger { peer: Some(b), remaining: 3, log: vec![] });
+        let end = sim.run(1000);
+        // 3 rounds of ping+pong at 1ms per hop = 6 ms
+        assert_eq!(end, SimTime(6_000_000));
+        assert!(sim.dispatched() >= 6);
+    }
+
+    #[test]
+    fn injection_without_actors_panics_on_unknown_target() {
+        let (mut sim, _a, _b) = build();
+        sim.inject(SimTime(5), ActorId(99), Msg::Ping(0));
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            sim.run(10);
+        }));
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn same_time_messages_dispatch_in_schedule_order() {
+        struct Collector {
+            seen: std::rc::Rc<std::cell::RefCell<Vec<u32>>>,
+        }
+        impl Actor<u32> for Collector {
+            fn on_message(&mut self, msg: u32, _ctx: &mut Ctx<'_, u32>) {
+                self.seen.borrow_mut().push(msg);
+            }
+        }
+        let seen = std::rc::Rc::new(std::cell::RefCell::new(Vec::new()));
+        let mut sim: Sim<u32> = Sim::new(0);
+        let c = sim.add_actor(Box::new(Collector { seen: seen.clone() }));
+        for i in 0..50 {
+            sim.inject(SimTime(100), c, i);
+        }
+        sim.run_to_completion();
+        assert_eq!(*seen.borrow(), (0..50).collect::<Vec<u32>>());
+    }
+
+    #[test]
+    fn deterministic_across_runs_with_same_seed() {
+        let run = |seed: u64| -> (SimTime, u64) {
+            let mut sim = Sim::new(seed);
+            let b = sim.add_actor(Box::new(Pinger { peer: None, remaining: 0, log: vec![] }));
+            sim.actors[0] = Box::new(Pinger { peer: Some(b), remaining: 5, log: vec![] });
+            // note: actor 0 has been replaced; register b's peer ping target
+            let end = sim.run(10_000);
+            (end, sim.dispatched())
+        };
+        assert_eq!(run(7), run(7));
+    }
+
+    #[test]
+    fn event_budget_panics_on_livelock() {
+        struct Loopy;
+        impl Actor<()> for Loopy {
+            fn on_message(&mut self, _msg: (), ctx: &mut Ctx<'_, ()>) {
+                ctx.timer(SimDuration::from_nanos(1), ());
+            }
+        }
+        let mut sim: Sim<()> = Sim::new(0);
+        let a = sim.add_actor(Box::new(Loopy));
+        sim.inject(SimTime::ZERO, a, ());
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            sim.run(100);
+        }));
+        assert!(result.is_err(), "livelock should trip the event budget");
+    }
+
+    #[test]
+    fn timers_deliver_to_self() {
+        struct T {
+            fired: u32,
+        }
+        impl Actor<()> for T {
+            fn on_start(&mut self, ctx: &mut Ctx<'_, ()>) {
+                ctx.timer(SimDuration::from_secs(1), ());
+            }
+            fn on_message(&mut self, _msg: (), ctx: &mut Ctx<'_, ()>) {
+                self.fired += 1;
+                if self.fired < 3 {
+                    ctx.timer(SimDuration::from_secs(1), ());
+                }
+            }
+        }
+        let mut sim: Sim<()> = Sim::new(0);
+        let _ = sim.add_actor(Box::new(T { fired: 0 }));
+        let end = sim.run_to_completion();
+        assert_eq!(end, SimTime(3_000_000_000));
+    }
+}

@@ -1,0 +1,42 @@
+//! # lmon-sim — deterministic discrete-event simulation kernel
+//!
+//! The paper's evaluation ran on Atlas, an 1,152-node Opteron/Infiniband
+//! cluster we do not have. Per the reproduction plan (DESIGN.md §2), the
+//! *functional* LaunchMON stack in this workspace runs for real on an
+//! in-process virtual cluster, while the *paper-scale timing* experiments
+//! (Figures 3, 5, 6 and Table 1) replay the same protocol schedules on this
+//! discrete-event simulator with calibrated costs.
+//!
+//! The kernel is a classic sequential DES:
+//!
+//! * [`time::SimTime`] — nanosecond virtual clock;
+//! * [`queue::EventQueue`] — a stable priority queue ordered by
+//!   `(time, sequence)` so same-time events fire in schedule order and runs
+//!   are bit-for-bit reproducible;
+//! * [`engine::Sim`] — the actor scheduler: actors implement
+//!   [`engine::Actor`] and exchange typed messages through a buffered
+//!   [`engine::Ctx`], which avoids aliasing the actor table during dispatch;
+//! * [`net::NetModel`] — a latency/bandwidth network with per-endpoint
+//!   serialization (a front-end NIC can only push one message at a time —
+//!   the effect that makes flat gathers linear and rsh loops serial);
+//! * [`metrics::Metrics`] — counters and named spans used to produce the
+//!   per-region cost breakdowns of the §4 model.
+//!
+//! Determinism: no wall-clock reads, a seeded [`rand::rngs::SmallRng`], and
+//! the stable queue. Two runs with the same seed produce identical event
+//! traces — asserted by tests.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod engine;
+pub mod metrics;
+pub mod net;
+pub mod queue;
+pub mod time;
+
+pub use engine::{Actor, ActorId, Ctx, Sim};
+pub use metrics::Metrics;
+pub use net::{LinkSpec, NetModel};
+pub use queue::EventQueue;
+pub use time::{SimDuration, SimTime};

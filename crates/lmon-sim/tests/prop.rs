@@ -1,0 +1,122 @@
+//! Property tests for the DES kernel: determinism, queue stability, and
+//! network-model invariants — the properties every figure rests on.
+
+use proptest::prelude::*;
+
+use lmon_sim::engine::{Actor, ActorId, Ctx, Sim};
+use lmon_sim::net::{Endpoint, LinkSpec, NetModel};
+use lmon_sim::queue::EventQueue;
+use lmon_sim::time::{SimDuration, SimTime};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn queue_pops_in_nondecreasing_time_order(
+        entries in proptest::collection::vec((0u64..1_000_000, any::<u16>()), 1..200)
+    ) {
+        let mut q = EventQueue::new();
+        for (t, v) in &entries {
+            q.push(SimTime(*t), *v);
+        }
+        let mut last = SimTime::ZERO;
+        let mut popped = 0;
+        while let Some((t, _)) = q.pop() {
+            prop_assert!(t >= last);
+            last = t;
+            popped += 1;
+        }
+        prop_assert_eq!(popped, entries.len());
+    }
+
+    #[test]
+    fn queue_is_fifo_within_equal_times(
+        times in proptest::collection::vec(0u64..5, 1..100)
+    ) {
+        let mut q = EventQueue::new();
+        for (i, t) in times.iter().enumerate() {
+            q.push(SimTime(*t), i);
+        }
+        let mut last_per_time: std::collections::HashMap<u64, usize> = Default::default();
+        while let Some((t, i)) = q.pop() {
+            if let Some(prev) = last_per_time.insert(t.0, i) {
+                prop_assert!(i > prev, "FIFO violated at t={}", t.0);
+            }
+        }
+    }
+
+    #[test]
+    fn simulation_is_deterministic(
+        seed in any::<u64>(),
+        fanout in 1u32..8,
+        rounds in 1u32..6,
+    ) {
+        #[derive(Clone)]
+        enum Msg { Tick(u32) }
+        struct Fanner { fanout: u32 }
+        impl Actor<Msg> for Fanner {
+            fn on_message(&mut self, Msg::Tick(r): Msg, ctx: &mut Ctx<'_, Msg>) {
+                if r == 0 { return; }
+                use rand::Rng;
+                for _ in 0..self.fanout {
+                    let jitter = ctx.rng.gen_range(1..1000u64);
+                    let id = ctx.self_id();
+                    ctx.send_in(SimDuration::from_nanos(jitter), id, Msg::Tick(r - 1));
+                }
+                ctx.metrics.count("ticks", 1);
+            }
+        }
+        let run = |seed: u64| {
+            let mut sim: Sim<Msg> = Sim::new(seed);
+            let a: ActorId = sim.add_actor(Box::new(Fanner { fanout }));
+            sim.inject(SimTime::ZERO, a, Msg::Tick(rounds));
+            let end = sim.run(200_000);
+            (end, sim.dispatched(), sim.metrics.counter("ticks"))
+        };
+        prop_assert_eq!(run(seed), run(seed), "same seed, same trace");
+    }
+
+    #[test]
+    fn net_send_never_goes_backwards(
+        sends in proptest::collection::vec((0u32..4, 0usize..100_000), 1..100)
+    ) {
+        let mut net = NetModel::new(LinkSpec::infiniband_tcp());
+        let mut now = SimTime::ZERO;
+        let mut last_arrival_per_ep: std::collections::HashMap<u32, SimTime> = Default::default();
+        for (ep, bytes) in sends {
+            now += SimDuration::from_nanos(10);
+            let arrival = net.send(now, Endpoint(ep), bytes);
+            prop_assert!(arrival > now, "arrival must be after send");
+            if let Some(prev) = last_arrival_per_ep.insert(ep, arrival) {
+                prop_assert!(arrival >= prev, "per-endpoint FIFO arrival order");
+            }
+        }
+    }
+
+    #[test]
+    fn serialized_sends_cost_at_least_sum_of_occupancy(
+        n in 1usize..50,
+        bytes in 1usize..10_000,
+    ) {
+        let link = LinkSpec::infiniband_tcp();
+        let mut net = NetModel::new(link);
+        let mut last = SimTime::ZERO;
+        for _ in 0..n {
+            last = net.send(SimTime::ZERO, Endpoint(0), bytes);
+        }
+        let occupancy = link.send_overhead + link.transmit_time(bytes);
+        let min_total = occupancy.mul_f64(n as f64) + link.latency;
+        prop_assert!(last.as_nanos() + 1 >= min_total.as_nanos(),
+            "{} sends of {} bytes arrived too fast: {:?} < {:?}", n, bytes, last, min_total);
+    }
+
+    #[test]
+    fn time_arithmetic_is_consistent(a in 0u64..u32::MAX as u64, b in 0u64..u32::MAX as u64) {
+        let t = SimTime(a);
+        let d = SimDuration(b);
+        prop_assert_eq!((t + d) - t, d);
+        prop_assert_eq!(t.since(t + d), SimDuration::ZERO, "saturating backwards");
+        // f64 roundtrip is exact for sub-2^52-nanosecond durations.
+        prop_assert_eq!(SimDuration::from_secs_f64(d.as_secs_f64()), d);
+    }
+}

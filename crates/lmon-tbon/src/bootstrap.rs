@@ -1,0 +1,282 @@
+//! TBON instantiation: the ad hoc path Figure 6 measures against LaunchMON.
+//!
+//! §5.2: "MRNet itself relies on a manual process to specify the target
+//! nodes and uses remote access protocols like ssh or rsh, which reduces
+//! the usage threshold of STAT as well as its portability."
+//!
+//! [`bootstrap_adhoc`] reproduces that path: the front end *sequentially*
+//! rsh-forks one process per communication daemon and per leaf daemon,
+//! keeping every session open as the daemon's stdio link. Cost is linear in
+//! daemon count on the front end, and the whole launch fails outright when
+//! the front end's fd table is exhausted — at ≈504 live sessions with
+//! Atlas-era limits, matching the paper's consistent failure at 512 nodes.
+//!
+//! The LaunchMON path (used by `lmon-tools::stat`) does not appear here: it
+//! launches the very same leaf daemon bodies through
+//! `LmonFrontEnd::launch_and_spawn`, and broadcasts "MRNet communication
+//! tree information from the front end to the daemons" (§5.2) as
+//! piggybacked LMONP user data.
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use lmon_cluster::process::{Pid, ProcCtx, ProcSpec};
+use lmon_cluster::remote::RshSession;
+use lmon_cluster::VirtualCluster;
+use crate::error::{TbonError, TbonResult};
+use crate::filter::FilterRegistry;
+use crate::overlay::{run_comm_node, FrontEndpoint, LeafEndpoint, Overlay};
+use crate::spec::TopologySpec;
+
+/// What each leaf daemon runs once connected.
+pub type LeafMain = Arc<dyn Fn(LeafEndpoint, &ProcCtx) + Send + Sync + 'static>;
+
+/// A TBON instantiated over the virtual cluster by the ad hoc launcher.
+pub struct AdhocNet {
+    /// The front-end endpoint.
+    pub front: FrontEndpoint,
+    /// Live rsh sessions pinning front-end fds (comm daemons first, then
+    /// leaves, in launch order).
+    pub sessions: Vec<RshSession>,
+    /// Daemon pids in launch order.
+    pub pids: Vec<Pid>,
+}
+
+impl std::fmt::Debug for AdhocNet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AdhocNet")
+            .field("daemons", &self.pids.len())
+            .field("live_sessions", &self.sessions.len())
+            .finish()
+    }
+}
+
+impl AdhocNet {
+    /// Shut the overlay down and drop the rsh sessions.
+    pub fn shutdown(mut self, cluster: &VirtualCluster) {
+        self.front.shutdown();
+        for pid in &self.pids {
+            let _ = cluster.wait_pid(*pid);
+            let _ = cluster.join_thread(*pid);
+        }
+        self.sessions.clear();
+    }
+}
+
+/// Launch a TBON the way MRNet 1.x did: one sequential rsh per daemon.
+///
+/// `comm_hosts` receives the internal daemons (ignored for 1-deep specs),
+/// `leaf_hosts` the tool daemons — one per leaf, typically the nodes of the
+/// target job. Fails with [`TbonError::LaunchFailed`] when the front end
+/// cannot fork another rsh; stranded daemons are cleaned up before
+/// returning, but the fds consumed by still-live sessions are the caller's
+/// to release (drop the error's partial state).
+pub fn bootstrap_adhoc(
+    cluster: &VirtualCluster,
+    spec: &TopologySpec,
+    comm_hosts: &[String],
+    leaf_hosts: &[String],
+    registry: FilterRegistry,
+    leaf_main: LeafMain,
+) -> TbonResult<AdhocNet> {
+    if leaf_hosts.len() != spec.leaf_count() as usize {
+        return Err(TbonError::LaunchFailed(format!(
+            "spec wants {} leaves, got {} hosts",
+            spec.leaf_count(),
+            leaf_hosts.len()
+        )));
+    }
+    if comm_hosts.len() < spec.comm_count() as usize {
+        return Err(TbonError::LaunchFailed(format!(
+            "spec wants {} comm daemons, got {} hosts",
+            spec.comm_count(),
+            comm_hosts.len()
+        )));
+    }
+
+    let overlay = Overlay::build(spec, registry.clone());
+    let mut sessions = Vec::new();
+    let mut pids = Vec::new();
+
+    // Sequentially launch comm daemons, handing each its harness through a
+    // slot (the ad hoc world's stand-in for argv-delivered endpoints).
+    for (harness, host) in overlay.comm.into_iter().zip(comm_hosts) {
+        let slot = Arc::new(Mutex::new(Some(harness)));
+        let reg = registry.clone();
+        let spec_proc = ProcSpec::named("mrnet_commnode")
+            .arg(format!("--level={}", slot.lock().as_ref().expect("fresh slot").pos.level));
+        let body = {
+            let slot = slot.clone();
+            move |_ctx: ProcCtx| {
+                if let Some(harness) = slot.lock().take() {
+                    run_comm_node(harness, reg);
+                }
+            }
+        };
+        match lmon_cluster::remote::rsh_spawn(cluster, host, spec_proc, body) {
+            Ok(session) => {
+                pids.push(session.pid());
+                sessions.push(session);
+            }
+            Err(e) => {
+                cleanup(cluster, &pids);
+                return Err(TbonError::LaunchFailed(format!("comm daemon on {host}: {e}")));
+            }
+        }
+    }
+
+    // Sequentially launch leaf daemons.
+    for (leaf, host) in overlay.leaves.into_iter().zip(leaf_hosts) {
+        let slot = Arc::new(Mutex::new(Some(leaf)));
+        let main = leaf_main.clone();
+        let spec_proc = ProcSpec::named("mrnet_leafd")
+            .arg(format!("--leaf={}", slot.lock().as_ref().expect("fresh slot").leaf_index));
+        let body = {
+            let slot = slot.clone();
+            move |ctx: ProcCtx| {
+                if let Some(leaf) = slot.lock().take() {
+                    // MRNet connect phase: hello to the parent.
+                    if leaf.send_hello().is_ok() {
+                        main(leaf, &ctx);
+                    }
+                }
+            }
+        };
+        match lmon_cluster::remote::rsh_spawn(cluster, host, spec_proc, body) {
+            Ok(session) => {
+                pids.push(session.pid());
+                sessions.push(session);
+            }
+            Err(e) => {
+                cleanup(cluster, &pids);
+                return Err(TbonError::LaunchFailed(format!("leaf daemon on {host}: {e}")));
+            }
+        }
+    }
+
+    Ok(AdhocNet { front: overlay.front, sessions, pids })
+}
+
+fn cleanup(cluster: &VirtualCluster, pids: &[Pid]) {
+    for pid in pids {
+        let _ = cluster.kill(*pid);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lmon_cluster::config::{ClusterConfig, RshConfig};
+    use lmon_cluster::VirtualCluster;
+    use std::time::Duration;
+
+    fn echo_leaf() -> LeafMain {
+        Arc::new(|leaf, _ctx| {
+            loop {
+                match leaf.recv() {
+                    Ok(crate::overlay::LeafEvent::Data(pkt)) => {
+                        let _ = leaf.send_up(pkt.stream, pkt.tag, vec![leaf.leaf_index as u8]);
+                    }
+                    Ok(crate::overlay::LeafEvent::Shutdown) | Err(_) => return,
+                    Ok(crate::overlay::LeafEvent::StreamOpened(_)) => continue,
+                }
+            }
+        })
+    }
+
+    #[test]
+    fn adhoc_one_deep_connects_and_gathers() {
+        let cluster = VirtualCluster::new(ClusterConfig::with_nodes(6));
+        let spec = TopologySpec::one_deep(6);
+        let hosts: Vec<String> = (0..6).map(|i| cluster.config().hostname(i)).collect();
+        let mut net = bootstrap_adhoc(
+            &cluster,
+            &spec,
+            &[],
+            &hosts,
+            FilterRegistry::new(),
+            echo_leaf(),
+        )
+        .expect("adhoc bootstrap");
+        let ids = net.front.await_connections(6, Duration::from_secs(5)).unwrap();
+        assert_eq!(ids.len(), 6);
+        assert_eq!(cluster.rsh_state().total_connects(), 6, "one rsh per daemon");
+
+        let stream = net.front.open_stream(crate::filter::FilterKind::Concat).unwrap();
+        net.front.broadcast(stream, 0, vec![]).unwrap();
+        let pkt = net.front.gather(stream, 0, Duration::from_secs(5)).unwrap();
+        assert_eq!(pkt.payload.len(), 6);
+        net.shutdown(&cluster);
+        assert_eq!(cluster.rsh_state().live_sessions(), 0);
+    }
+
+    #[test]
+    fn adhoc_with_comm_level_uses_extra_rsh_sessions() {
+        let cluster = VirtualCluster::new(ClusterConfig::with_nodes(8));
+        let spec = TopologySpec::parse("1x2x6").unwrap();
+        let comm_hosts: Vec<String> = (6..8).map(|i| cluster.config().hostname(i)).collect();
+        let leaf_hosts: Vec<String> = (0..6).map(|i| cluster.config().hostname(i)).collect();
+        let mut net = bootstrap_adhoc(
+            &cluster,
+            &spec,
+            &comm_hosts,
+            &leaf_hosts,
+            FilterRegistry::new(),
+            echo_leaf(),
+        )
+        .unwrap();
+        net.front.await_connections(6, Duration::from_secs(5)).unwrap();
+        assert_eq!(cluster.rsh_state().total_connects(), 8, "2 comm + 6 leaves");
+        net.shutdown(&cluster);
+    }
+
+    #[test]
+    fn adhoc_fails_at_fd_exhaustion_like_figure_6() {
+        // Budget for only 5 sessions; a 8-leaf 1-deep TBON must fail.
+        let mut cfg = ClusterConfig::with_nodes(8);
+        cfg.rsh = RshConfig { fds_per_session: 2, fe_fd_limit: 14, fe_base_fds: 4, ..Default::default() };
+        let cluster = VirtualCluster::new(cfg);
+        let spec = TopologySpec::one_deep(8);
+        let hosts: Vec<String> = (0..8).map(|i| cluster.config().hostname(i)).collect();
+        let err = bootstrap_adhoc(
+            &cluster,
+            &spec,
+            &[],
+            &hosts,
+            FilterRegistry::new(),
+            echo_leaf(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, TbonError::LaunchFailed(_)));
+        assert!(err.to_string().contains("fork failed"), "{err}");
+        assert_eq!(cluster.rsh_state().failed_connects(), 1);
+    }
+
+    #[test]
+    fn host_count_mismatches_rejected() {
+        let cluster = VirtualCluster::new(ClusterConfig::with_nodes(4));
+        let spec = TopologySpec::parse("1x2x4").unwrap();
+        let hosts: Vec<String> = (0..4).map(|i| cluster.config().hostname(i)).collect();
+        // Missing comm hosts.
+        assert!(bootstrap_adhoc(
+            &cluster,
+            &spec,
+            &[],
+            &hosts,
+            FilterRegistry::new(),
+            echo_leaf()
+        )
+        .is_err());
+        // Wrong leaf count.
+        assert!(bootstrap_adhoc(
+            &cluster,
+            &TopologySpec::one_deep(3),
+            &[],
+            &hosts,
+            FilterRegistry::new(),
+            echo_leaf()
+        )
+        .is_err());
+    }
+}

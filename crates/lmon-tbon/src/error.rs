@@ -1,0 +1,38 @@
+//! TBON error type.
+
+use std::fmt;
+
+/// Errors from overlay construction or packet routing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TbonError {
+    /// The topology spec string could not be parsed.
+    BadSpec(String),
+    /// A peer in the overlay disconnected.
+    Disconnected,
+    /// Referenced an unknown stream id.
+    NoSuchStream(u16),
+    /// Referenced an unknown custom filter id.
+    NoSuchFilter(u32),
+    /// The ad hoc launcher failed part-way.
+    LaunchFailed(String),
+    /// Waited too long for an aggregated wave.
+    Timeout,
+}
+
+impl fmt::Display for TbonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TbonError::BadSpec(s) => write!(f, "bad topology spec: {s}"),
+            TbonError::Disconnected => write!(f, "overlay peer disconnected"),
+            TbonError::NoSuchStream(id) => write!(f, "no such stream: {id}"),
+            TbonError::NoSuchFilter(id) => write!(f, "no such filter: {id}"),
+            TbonError::LaunchFailed(e) => write!(f, "TBON launch failed: {e}"),
+            TbonError::Timeout => write!(f, "timed out waiting for aggregation"),
+        }
+    }
+}
+
+impl std::error::Error for TbonError {}
+
+/// Result alias for TBON operations.
+pub type TbonResult<T> = Result<T, TbonError>;

@@ -1,0 +1,160 @@
+//! Aggregation filters applied at internal tree nodes.
+//!
+//! MRNet's defining feature: packets flowing *up* the tree are combined at
+//! every internal node, so the front end receives one aggregated packet per
+//! wave instead of N. STAT's call-graph-prefix-tree merge is registered as
+//! a custom filter by `lmon-tools::stat`.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// A custom aggregation function: child payloads in, one payload out.
+pub type FilterFn = Arc<dyn Fn(Vec<Vec<u8>>) -> Vec<u8> + Send + Sync>;
+
+/// Which aggregation a stream applies at internal nodes.
+#[derive(Clone)]
+pub enum FilterKind {
+    /// Concatenate child payloads in child order.
+    Concat,
+    /// Sum payloads interpreted as big-endian u64.
+    SumU64,
+    /// Elementwise max of payloads interpreted as big-endian u64.
+    MaxU64,
+    /// Forward the first child payload (synchronization only).
+    WaitForAll,
+    /// A custom filter registered in the overlay's [`FilterRegistry`].
+    Custom(u32),
+}
+
+impl std::fmt::Debug for FilterKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FilterKind::Concat => write!(f, "Concat"),
+            FilterKind::SumU64 => write!(f, "SumU64"),
+            FilterKind::MaxU64 => write!(f, "MaxU64"),
+            FilterKind::WaitForAll => write!(f, "WaitForAll"),
+            FilterKind::Custom(id) => write!(f, "Custom({id})"),
+        }
+    }
+}
+
+impl PartialEq for FilterKind {
+    fn eq(&self, other: &Self) -> bool {
+        matches!(
+            (self, other),
+            (FilterKind::Concat, FilterKind::Concat)
+                | (FilterKind::SumU64, FilterKind::SumU64)
+                | (FilterKind::MaxU64, FilterKind::MaxU64)
+                | (FilterKind::WaitForAll, FilterKind::WaitForAll)
+        ) || matches!((self, other), (FilterKind::Custom(a), FilterKind::Custom(b)) if a == b)
+    }
+}
+
+impl Eq for FilterKind {}
+
+/// Custom filters shared by every node of one overlay.
+///
+/// Registered before instantiation — mirroring MRNet, where filter shared
+/// objects must be installed on every host before daemons load them.
+#[derive(Clone, Default)]
+pub struct FilterRegistry {
+    filters: HashMap<u32, FilterFn>,
+}
+
+impl FilterRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        FilterRegistry::default()
+    }
+
+    /// Register a custom filter under `id`.
+    pub fn register(&mut self, id: u32, f: FilterFn) {
+        self.filters.insert(id, f);
+    }
+
+    /// Look up a custom filter.
+    pub fn get(&self, id: u32) -> Option<FilterFn> {
+        self.filters.get(&id).cloned()
+    }
+
+    /// Apply a filter kind to child payloads.
+    pub fn apply(&self, kind: &FilterKind, inputs: Vec<Vec<u8>>) -> Vec<u8> {
+        match kind {
+            FilterKind::Concat => {
+                let mut out = Vec::with_capacity(inputs.iter().map(Vec::len).sum());
+                for i in inputs {
+                    out.extend_from_slice(&i);
+                }
+                out
+            }
+            FilterKind::SumU64 => {
+                let sum: u64 = inputs.iter().map(|b| parse_u64(b)).sum();
+                sum.to_be_bytes().to_vec()
+            }
+            FilterKind::MaxU64 => {
+                let max = inputs.iter().map(|b| parse_u64(b)).max().unwrap_or(0);
+                max.to_be_bytes().to_vec()
+            }
+            FilterKind::WaitForAll => inputs.into_iter().next().unwrap_or_default(),
+            FilterKind::Custom(id) => match self.get(*id) {
+                Some(f) => f(inputs),
+                None => Vec::new(),
+            },
+        }
+    }
+}
+
+fn parse_u64(bytes: &[u8]) -> u64 {
+    let mut buf = [0u8; 8];
+    let n = bytes.len().min(8);
+    buf[8 - n..].copy_from_slice(&bytes[bytes.len() - n..]);
+    u64::from_be_bytes(buf)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn concat_preserves_child_order() {
+        let reg = FilterRegistry::new();
+        let out = reg.apply(&FilterKind::Concat, vec![vec![1, 2], vec![3], vec![4, 5]]);
+        assert_eq!(out, vec![1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn sum_and_max_parse_u64() {
+        let reg = FilterRegistry::new();
+        let a = 100u64.to_be_bytes().to_vec();
+        let b = 42u64.to_be_bytes().to_vec();
+        assert_eq!(reg.apply(&FilterKind::SumU64, vec![a.clone(), b.clone()]), 142u64.to_be_bytes());
+        assert_eq!(reg.apply(&FilterKind::MaxU64, vec![a, b]), 100u64.to_be_bytes());
+    }
+
+    #[test]
+    fn short_payloads_zero_extend() {
+        assert_eq!(parse_u64(&[1]), 1);
+        assert_eq!(parse_u64(&[1, 0]), 256);
+        assert_eq!(parse_u64(&[]), 0);
+    }
+
+    #[test]
+    fn custom_filters_dispatch_by_id() {
+        let mut reg = FilterRegistry::new();
+        reg.register(7, Arc::new(|inputs| vec![inputs.len() as u8]));
+        assert_eq!(reg.apply(&FilterKind::Custom(7), vec![vec![], vec![], vec![]]), vec![3]);
+        assert_eq!(
+            reg.apply(&FilterKind::Custom(99), vec![vec![1]]),
+            Vec::<u8>::new(),
+            "unknown filter degrades to empty"
+        );
+    }
+
+    #[test]
+    fn filter_kind_equality() {
+        assert_eq!(FilterKind::Concat, FilterKind::Concat);
+        assert_ne!(FilterKind::Concat, FilterKind::SumU64);
+        assert_eq!(FilterKind::Custom(1), FilterKind::Custom(1));
+        assert_ne!(FilterKind::Custom(1), FilterKind::Custom(2));
+    }
+}

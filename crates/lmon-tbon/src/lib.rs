@@ -1,0 +1,42 @@
+//! # lmon-tbon — a Tree-Based Overlay Network (TBON), MRNet-style
+//!
+//! §2 of the paper: "large scale tools increasingly rely on hierarchical
+//! infrastructures, such as Tree-Based Overlay Networks (TBONs) like MRNet,
+//! that use additional communication daemons. These additional daemons
+//! require separately allocated nodes, and must be launched onto them.
+//! Current infrastructures manually allocate these nodes and then rely on
+//! an ad hoc launching mechanism."
+//!
+//! This crate is that infrastructure, built for the STAT case study (§5.2)
+//! and the Figure 6 comparison:
+//!
+//! * [`spec::TopologySpec`] — MRNet-style level specs (`"1x4x16"`): a
+//!   front-end root, optional internal communication-daemon levels, and a
+//!   leaf level attached to tool daemons.
+//! * [`packet::Packet`] + [`filter`] — streams carry tagged packets;
+//!   internal nodes aggregate child packets with a per-stream filter
+//!   (concatenate, sum, custom tool merges such as STAT's prefix-tree
+//!   fold).
+//! * [`overlay`] — the channel fabric and the communication-daemon loop.
+//! * [`bootstrap`] — the two instantiation paths Figure 6 measures:
+//!   [`bootstrap::bootstrap_adhoc`] launches every daemon with sequential
+//!   rsh from the front end (MRNet 1.x behaviour: linear cost, fd
+//!   exhaustion at ≈504 live sessions), while LaunchMON-based instantiation
+//!   hands leaves/comm daemons endpoints distributed through the MW/BE
+//!   APIs (wired up in `lmon-tools::stat`).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bootstrap;
+pub mod error;
+pub mod filter;
+pub mod overlay;
+pub mod packet;
+pub mod spec;
+
+pub use error::{TbonError, TbonResult};
+pub use filter::FilterKind;
+pub use overlay::{FrontEndpoint, LeafEndpoint, Overlay};
+pub use packet::Packet;
+pub use spec::TopologySpec;

@@ -1,0 +1,579 @@
+//! The overlay proper: links, endpoints, and the communication-daemon loop.
+//!
+//! Packets sent down from the front end are forwarded to every child;
+//! packets sent up by leaves are aggregated at each internal node — one
+//! packet per (stream, tag) *wave* per child — with the stream's filter,
+//! so the front end receives a single combined packet per wave.
+
+use std::collections::HashMap;
+use std::time::Duration;
+
+use crossbeam_channel::{unbounded, Receiver, Sender};
+
+use crate::error::{TbonError, TbonResult};
+use crate::filter::{FilterKind, FilterRegistry};
+use crate::packet::{Control, Down, Packet, Up};
+use crate::spec::{NodePos, TopologySpec};
+
+/// Reserved stream id for connection hellos.
+pub const CONNECT_STREAM: u16 = 0;
+
+/// First stream id handed out by [`FrontEndpoint::open_stream`].
+const FIRST_USER_STREAM: u16 = 1;
+
+/// Everything a communication daemon needs to run its node.
+pub struct CommHarness {
+    /// This node's position.
+    pub pos: NodePos,
+    down_rx: Receiver<Down>,
+    up_tx: Sender<Up>,
+    my_slot: usize,
+    child_down: Vec<Sender<Down>>,
+    up_rx: Receiver<Up>,
+}
+
+/// A leaf endpoint, held by a tool daemon.
+pub struct LeafEndpoint {
+    /// Leaf index within the leaf level.
+    pub leaf_index: u32,
+    down_rx: Receiver<Down>,
+    up_tx: Sender<Up>,
+    my_slot: usize,
+}
+
+/// Events a leaf observes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LeafEvent {
+    /// A data packet broadcast from the front end.
+    Data(Packet),
+    /// The front end opened a stream.
+    StreamOpened(u16),
+    /// The overlay is shutting down.
+    Shutdown,
+}
+
+impl LeafEndpoint {
+    /// Send one packet up the tree (one per wave).
+    pub fn send_up(&self, stream: u16, tag: u16, payload: Vec<u8>) -> TbonResult<()> {
+        self.up_tx
+            .send(Up { child_slot: self.my_slot, packet: Packet::new(stream, tag, payload) })
+            .map_err(|_| TbonError::Disconnected)
+    }
+
+    /// Send the connection hello (leaf index on the reserved stream).
+    pub fn send_hello(&self) -> TbonResult<()> {
+        self.send_up(CONNECT_STREAM, 0, self.leaf_index.to_be_bytes().to_vec())
+    }
+
+    /// Block for the next downstream event.
+    pub fn recv(&self) -> TbonResult<LeafEvent> {
+        match self.down_rx.recv().map_err(|_| TbonError::Disconnected)? {
+            Down::Data(p) => Ok(LeafEvent::Data(p)),
+            Down::Ctl(Control::OpenStream { stream, .. }) => Ok(LeafEvent::StreamOpened(stream)),
+            Down::Ctl(Control::Shutdown) => Ok(LeafEvent::Shutdown),
+        }
+    }
+
+    /// Block for the next *data* packet, transparently handling control
+    /// traffic. Returns `None` on shutdown.
+    pub fn recv_data(&self) -> TbonResult<Option<Packet>> {
+        loop {
+            match self.recv()? {
+                LeafEvent::Data(p) => return Ok(Some(p)),
+                LeafEvent::StreamOpened(_) => continue,
+                LeafEvent::Shutdown => return Ok(None),
+            }
+        }
+    }
+}
+
+/// The front-end endpoint of the overlay.
+pub struct FrontEndpoint {
+    child_down: Vec<Sender<Down>>,
+    up_rx: Receiver<Up>,
+    registry: FilterRegistry,
+    streams: HashMap<u16, FilterKind>,
+    next_stream: u16,
+    /// Pending up-packets not yet claimed by a gather, keyed by
+    /// (stream, tag) → per-child-slot payloads.
+    pending: HashMap<(u16, u16), HashMap<usize, Packet>>,
+}
+
+impl FrontEndpoint {
+    /// Number of direct children.
+    pub fn fanout(&self) -> usize {
+        self.child_down.len()
+    }
+
+    /// Open a stream with an aggregation filter; announces it down-tree.
+    pub fn open_stream(&mut self, filter: FilterKind) -> TbonResult<u16> {
+        let id = self.next_stream;
+        self.next_stream += 1;
+        self.streams.insert(id, filter.clone());
+        for c in &self.child_down {
+            c.send(Down::Ctl(Control::OpenStream { stream: id, filter: filter.clone() }))
+                .map_err(|_| TbonError::Disconnected)?;
+        }
+        Ok(id)
+    }
+
+    /// Broadcast a packet to every leaf.
+    pub fn broadcast(&self, stream: u16, tag: u16, payload: Vec<u8>) -> TbonResult<()> {
+        if !self.streams.contains_key(&stream) {
+            return Err(TbonError::NoSuchStream(stream));
+        }
+        for c in &self.child_down {
+            c.send(Down::Data(Packet::new(stream, tag, payload.clone())))
+                .map_err(|_| TbonError::Disconnected)?;
+        }
+        Ok(())
+    }
+
+    /// Gather one aggregated packet for `(stream, tag)`: waits for every
+    /// direct child's contribution and applies the stream filter once more.
+    pub fn gather(&mut self, stream: u16, tag: u16, timeout: Duration) -> TbonResult<Packet> {
+        let filter = self
+            .streams
+            .get(&stream)
+            .cloned()
+            .ok_or(TbonError::NoSuchStream(stream))?;
+        let want = self.child_down.len();
+        let deadline = std::time::Instant::now() + timeout;
+        loop {
+            if self
+                .pending
+                .get(&(stream, tag))
+                .map(|m| m.len() == want)
+                .unwrap_or(want == 0)
+            {
+                break;
+            }
+            let remaining = deadline.saturating_duration_since(std::time::Instant::now());
+            if remaining.is_zero() {
+                return Err(TbonError::Timeout);
+            }
+            let up = self
+                .up_rx
+                .recv_timeout(remaining)
+                .map_err(|_| TbonError::Timeout)?;
+            self.pending
+                .entry((up.packet.stream, up.packet.tag))
+                .or_default()
+                .insert(up.child_slot, up.packet);
+        }
+        let by_slot = self.pending.remove(&(stream, tag)).unwrap_or_default();
+        let mut slots: Vec<(usize, Packet)> = by_slot.into_iter().collect();
+        slots.sort_by_key(|(slot, _)| *slot);
+        let inputs: Vec<Vec<u8>> = slots.into_iter().map(|(_, p)| p.payload).collect();
+        let payload = self.registry.apply(&filter, inputs);
+        Ok(Packet::new(stream, tag, payload))
+    }
+
+    /// Wait until every leaf's hello arrived; returns the leaf indices.
+    pub fn await_connections(&mut self, leaves: u32, timeout: Duration) -> TbonResult<Vec<u32>> {
+        let pkt = self.gather(CONNECT_STREAM, 0, timeout)?;
+        let mut ids: Vec<u32> = pkt
+            .payload
+            .chunks_exact(4)
+            .map(|c| u32::from_be_bytes(c.try_into().expect("4-byte chunk")))
+            .collect();
+        ids.sort_unstable();
+        if ids.len() != leaves as usize {
+            return Err(TbonError::LaunchFailed(format!(
+                "expected {leaves} leaf hellos, got {}",
+                ids.len()
+            )));
+        }
+        Ok(ids)
+    }
+
+    /// Tear the overlay down.
+    pub fn shutdown(&self) {
+        for c in &self.child_down {
+            let _ = c.send(Down::Ctl(Control::Shutdown));
+        }
+    }
+}
+
+/// A fully built (but not yet running) overlay.
+pub struct Overlay {
+    /// The front-end endpoint.
+    pub front: FrontEndpoint,
+    /// Harnesses for each internal communication daemon.
+    pub comm: Vec<CommHarness>,
+    /// Endpoints for each leaf (tool daemon), in leaf-index order.
+    pub leaves: Vec<LeafEndpoint>,
+}
+
+impl Overlay {
+    /// Build all links for `spec`.
+    pub fn build(spec: &TopologySpec, registry: FilterRegistry) -> Overlay {
+        // Per-node down channels and per-parent up channels.
+        let mut down_tx: HashMap<NodePos, Sender<Down>> = HashMap::new();
+        let mut down_rx: HashMap<NodePos, Receiver<Down>> = HashMap::new();
+        let mut up_pair: HashMap<NodePos, (Sender<Up>, Receiver<Up>)> = HashMap::new();
+
+        let root = NodePos { level: 0, index: 0 };
+        let mut all_parents = vec![root];
+        all_parents.extend(spec.comm_positions());
+        for p in &all_parents {
+            up_pair.insert(*p, unbounded());
+        }
+        let mut non_roots = spec.comm_positions();
+        non_roots.extend(spec.leaf_positions());
+        for n in &non_roots {
+            let (tx, rx) = unbounded();
+            down_tx.insert(*n, tx);
+            down_rx.insert(*n, rx);
+        }
+
+        // Child slot assignment: index within the parent's children list.
+        let slot_of = |spec: &TopologySpec, pos: NodePos| -> usize {
+            let parent = spec.parent(pos).expect("non-root");
+            spec.children(parent)
+                .iter()
+                .position(|c| *c == pos)
+                .expect("child listed by parent")
+        };
+
+        let mut streams = HashMap::new();
+        streams.insert(CONNECT_STREAM, FilterKind::Concat);
+
+        let front = FrontEndpoint {
+            child_down: spec
+                .children(root)
+                .iter()
+                .map(|c| down_tx[c].clone())
+                .collect(),
+            up_rx: up_pair[&root].1.clone(),
+            registry: registry.clone(),
+            streams,
+            next_stream: FIRST_USER_STREAM,
+            pending: HashMap::new(),
+        };
+
+        let comm = spec
+            .comm_positions()
+            .into_iter()
+            .map(|pos| {
+                let parent = spec.parent(pos).expect("comm node has parent");
+                CommHarness {
+                    pos,
+                    down_rx: down_rx[&pos].clone(),
+                    up_tx: up_pair[&parent].0.clone(),
+                    my_slot: slot_of(spec, pos),
+                    child_down: spec
+                        .children(pos)
+                        .iter()
+                        .map(|c| down_tx[c].clone())
+                        .collect(),
+                    up_rx: up_pair[&pos].1.clone(),
+                }
+            })
+            .collect();
+
+        let leaves = spec
+            .leaf_positions()
+            .into_iter()
+            .map(|pos| {
+                let parent = spec.parent(pos).expect("leaf has parent");
+                LeafEndpoint {
+                    leaf_index: pos.index,
+                    down_rx: down_rx[&pos].clone(),
+                    up_tx: up_pair[&parent].0.clone(),
+                    my_slot: slot_of(spec, pos),
+                }
+            })
+            .collect();
+
+        Overlay { front, comm, leaves }
+    }
+}
+
+/// Run a communication daemon until shutdown: forward downstream traffic,
+/// aggregate upstream waves with the stream filter.
+pub fn run_comm_node(harness: CommHarness, registry: FilterRegistry) {
+    let CommHarness { pos: _, down_rx, up_tx, my_slot, child_down, up_rx } = harness;
+    let mut streams: HashMap<u16, FilterKind> = HashMap::new();
+    streams.insert(CONNECT_STREAM, FilterKind::Concat);
+    // (stream, tag) → per-slot packets for the wave in flight.
+    let mut waves: HashMap<(u16, u16), HashMap<usize, Packet>> = HashMap::new();
+    let want = child_down.len();
+
+    loop {
+        crossbeam_channel::select! {
+            recv(down_rx) -> msg => {
+                let Ok(msg) = msg else { return };
+                match msg {
+                    Down::Ctl(Control::OpenStream { stream, filter }) => {
+                        streams.insert(stream, filter.clone());
+                        for c in &child_down {
+                            let _ = c.send(Down::Ctl(Control::OpenStream {
+                                stream,
+                                filter: filter.clone(),
+                            }));
+                        }
+                    }
+                    Down::Ctl(Control::Shutdown) => {
+                        for c in &child_down {
+                            let _ = c.send(Down::Ctl(Control::Shutdown));
+                        }
+                        return;
+                    }
+                    Down::Data(pkt) => {
+                        for c in &child_down {
+                            let _ = c.send(Down::Data(pkt.clone()));
+                        }
+                    }
+                }
+            }
+            recv(up_rx) -> msg => {
+                let Ok(up) = msg else { return };
+                let key = (up.packet.stream, up.packet.tag);
+                let wave = waves.entry(key).or_default();
+                wave.insert(up.child_slot, up.packet);
+                if wave.len() == want {
+                    let wave = waves.remove(&key).expect("just inserted");
+                    let mut slots: Vec<(usize, Packet)> = wave.into_iter().collect();
+                    slots.sort_by_key(|(slot, _)| *slot);
+                    let inputs: Vec<Vec<u8>> =
+                        slots.into_iter().map(|(_, p)| p.payload).collect();
+                    let filter = streams.get(&key.0).cloned().unwrap_or(FilterKind::Concat);
+                    let payload = registry.apply(&filter, inputs);
+                    if up_tx
+                        .send(Up { child_slot: my_slot, packet: Packet::new(key.0, key.1, payload) })
+                        .is_err()
+                    {
+                        return;
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    /// Instantiate an overlay with comm nodes on plain threads and run a
+    /// closure per leaf on its own thread.
+    fn run_overlay<R: Send + 'static>(
+        spec: &str,
+        registry: FilterRegistry,
+        leaf_fn: impl Fn(LeafEndpoint) -> R + Send + Sync + 'static,
+    ) -> (FrontEndpoint, Vec<std::thread::JoinHandle<R>>) {
+        let spec = TopologySpec::parse(spec).unwrap();
+        let overlay = Overlay::build(&spec, registry.clone());
+        for harness in overlay.comm {
+            let reg = registry.clone();
+            std::thread::spawn(move || run_comm_node(harness, reg));
+        }
+        let leaf_fn = Arc::new(leaf_fn);
+        let handles = overlay
+            .leaves
+            .into_iter()
+            .map(|leaf| {
+                let f = leaf_fn.clone();
+                std::thread::spawn(move || f(leaf))
+            })
+            .collect();
+        (overlay.front, handles)
+    }
+
+    #[test]
+    fn hellos_flow_up_one_deep() {
+        let (mut front, handles) = run_overlay("1x8", FilterRegistry::new(), |leaf| {
+            leaf.send_hello().unwrap();
+            // wait for shutdown so channels stay alive through the gather
+            while !matches!(leaf.recv().unwrap(), LeafEvent::Shutdown) {}
+        });
+        let ids = front.await_connections(8, Duration::from_secs(5)).unwrap();
+        assert_eq!(ids, (0..8).collect::<Vec<u32>>());
+        front.shutdown();
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn hellos_aggregate_through_comm_level() {
+        let (mut front, handles) = run_overlay("1x4x16", FilterRegistry::new(), |leaf| {
+            leaf.send_hello().unwrap();
+            while !matches!(leaf.recv().unwrap(), LeafEvent::Shutdown) {}
+        });
+        assert_eq!(front.fanout(), 4, "front sees only its comm children");
+        let ids = front.await_connections(16, Duration::from_secs(5)).unwrap();
+        assert_eq!(ids.len(), 16);
+        front.shutdown();
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn broadcast_reaches_all_leaves_and_sum_aggregates() {
+        let (mut front, handles) = run_overlay("1x2x6", FilterRegistry::new(), |leaf| {
+            // Wait for the work packet, reply with leaf_index+1 on the
+            // same stream.
+            loop {
+                match leaf.recv().unwrap() {
+                    LeafEvent::Data(pkt) => {
+                        let value = (leaf.leaf_index as u64 + 1).to_be_bytes().to_vec();
+                        leaf.send_up(pkt.stream, pkt.tag, value).unwrap();
+                    }
+                    LeafEvent::Shutdown => return,
+                    LeafEvent::StreamOpened(_) => continue,
+                }
+            }
+        });
+        let stream = front.open_stream(FilterKind::SumU64).unwrap();
+        front.broadcast(stream, 7, b"work".to_vec()).unwrap();
+        let result = front.gather(stream, 7, Duration::from_secs(5)).unwrap();
+        // sum of 1..=6 = 21
+        assert_eq!(result.payload, 21u64.to_be_bytes());
+        front.shutdown();
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn concat_collects_leaf_payloads_in_order() {
+        let (mut front, handles) = run_overlay("1x3", FilterRegistry::new(), |leaf| {
+            loop {
+                match leaf.recv().unwrap() {
+                    LeafEvent::Data(pkt) => {
+                        leaf.send_up(pkt.stream, pkt.tag, vec![leaf.leaf_index as u8]).unwrap();
+                    }
+                    LeafEvent::Shutdown => return,
+                    LeafEvent::StreamOpened(_) => continue,
+                }
+            }
+        });
+        let stream = front.open_stream(FilterKind::Concat).unwrap();
+        front.broadcast(stream, 0, vec![]).unwrap();
+        let result = front.gather(stream, 0, Duration::from_secs(5)).unwrap();
+        assert_eq!(result.payload, vec![0, 1, 2]);
+        front.shutdown();
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn custom_filter_applies_at_every_level() {
+        // Count contributions: each internal node emits [sum of child
+        // counts]; leaves emit [1]. With 1x2x4, the root should see 4.
+        let mut registry = FilterRegistry::new();
+        registry.register(
+            1,
+            Arc::new(|inputs| {
+                let total: u64 = inputs.iter().map(|i| {
+                    let mut buf = [0u8; 8];
+                    buf[8 - i.len().min(8)..].copy_from_slice(&i[..i.len().min(8)]);
+                    u64::from_be_bytes(buf)
+                }).sum();
+                total.to_be_bytes().to_vec()
+            }),
+        );
+        let (mut front, handles) = run_overlay("1x2x4", registry, |leaf| {
+            loop {
+                match leaf.recv().unwrap() {
+                    LeafEvent::Data(pkt) => {
+                        leaf.send_up(pkt.stream, pkt.tag, 1u64.to_be_bytes().to_vec()).unwrap();
+                    }
+                    LeafEvent::Shutdown => return,
+                    LeafEvent::StreamOpened(_) => continue,
+                }
+            }
+        });
+        let stream = front.open_stream(FilterKind::Custom(1)).unwrap();
+        front.broadcast(stream, 0, vec![]).unwrap();
+        let result = front.gather(stream, 0, Duration::from_secs(5)).unwrap();
+        assert_eq!(result.payload, 4u64.to_be_bytes());
+        front.shutdown();
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn multiple_waves_interleave_by_tag() {
+        let (mut front, handles) = run_overlay("1x4", FilterRegistry::new(), |leaf| {
+            // Answer two waves, deliberately answering wave 2 first for
+            // even leaves to exercise wave bookkeeping.
+            let mut packets = Vec::new();
+            loop {
+                match leaf.recv().unwrap() {
+                    LeafEvent::Data(pkt) => {
+                        packets.push(pkt);
+                        if packets.len() == 2 {
+                            break;
+                        }
+                    }
+                    LeafEvent::Shutdown => return,
+                    LeafEvent::StreamOpened(_) => continue,
+                }
+            }
+            if leaf.leaf_index % 2 == 0 {
+                packets.reverse();
+            }
+            for pkt in packets {
+                leaf.send_up(pkt.stream, pkt.tag, vec![leaf.leaf_index as u8]).unwrap();
+            }
+            while !matches!(leaf.recv().unwrap(), LeafEvent::Shutdown) {}
+        });
+        let stream = front.open_stream(FilterKind::Concat).unwrap();
+        front.broadcast(stream, 1, vec![]).unwrap();
+        front.broadcast(stream, 2, vec![]).unwrap();
+        let w2 = front.gather(stream, 2, Duration::from_secs(5)).unwrap();
+        let w1 = front.gather(stream, 1, Duration::from_secs(5)).unwrap();
+        assert_eq!(w1.payload, vec![0, 1, 2, 3]);
+        assert_eq!(w2.payload, vec![0, 1, 2, 3]);
+        front.shutdown();
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn gather_times_out_when_a_leaf_is_silent() {
+        let (mut front, handles) = run_overlay("1x3", FilterRegistry::new(), |leaf| {
+            loop {
+                match leaf.recv().unwrap() {
+                    LeafEvent::Data(pkt) => {
+                        if leaf.leaf_index != 2 {
+                            leaf.send_up(pkt.stream, pkt.tag, vec![1]).unwrap();
+                        }
+                    }
+                    LeafEvent::Shutdown => return,
+                    LeafEvent::StreamOpened(_) => continue,
+                }
+            }
+        });
+        let stream = front.open_stream(FilterKind::Concat).unwrap();
+        front.broadcast(stream, 0, vec![]).unwrap();
+        let err = front.gather(stream, 0, Duration::from_millis(100)).unwrap_err();
+        assert_eq!(err, TbonError::Timeout);
+        front.shutdown();
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn unknown_stream_rejected() {
+        let spec = TopologySpec::parse("1x2").unwrap();
+        let mut overlay = Overlay::build(&spec, FilterRegistry::new());
+        assert!(matches!(
+            overlay.front.broadcast(99, 0, vec![]),
+            Err(TbonError::NoSuchStream(99))
+        ));
+        assert!(matches!(
+            overlay.front.gather(99, 0, Duration::from_millis(1)),
+            Err(TbonError::NoSuchStream(99))
+        ));
+    }
+}

@@ -1,0 +1,62 @@
+//! Packets: the unit of TBON traffic.
+
+/// A tagged payload travelling a stream of the overlay.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Packet {
+    /// Stream the packet belongs to.
+    pub stream: u16,
+    /// Tool-defined tag (e.g. "sample wave 3").
+    pub tag: u16,
+    /// Payload bytes.
+    pub payload: Vec<u8>,
+}
+
+impl Packet {
+    /// A packet on `stream` with `tag` and `payload`.
+    pub fn new(stream: u16, tag: u16, payload: Vec<u8>) -> Self {
+        Packet { stream, tag, payload }
+    }
+
+    /// Size on the (virtual) wire: 4 bytes of header + payload.
+    pub fn wire_len(&self) -> usize {
+        4 + self.payload.len()
+    }
+}
+
+/// Control messages the overlay itself uses (sent down the tree).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) enum Control {
+    /// Open a stream with the given filter.
+    OpenStream {
+        stream: u16,
+        filter: crate::filter::FilterKind,
+    },
+    /// Tear the overlay down.
+    Shutdown,
+}
+
+/// What travels on a down link.
+#[derive(Debug, Clone)]
+pub(crate) enum Down {
+    Data(Packet),
+    Ctl(Control),
+}
+
+/// What travels on an up link.
+#[derive(Debug, Clone)]
+pub(crate) struct Up {
+    /// Which child slot sent this (index into the receiver's child list).
+    pub child_slot: usize,
+    pub packet: Packet,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wire_len_counts_header() {
+        assert_eq!(Packet::new(0, 0, vec![]).wire_len(), 4);
+        assert_eq!(Packet::new(1, 2, vec![0; 100]).wire_len(), 104);
+    }
+}

@@ -1,0 +1,228 @@
+//! Jobsnap over a TBON — the paper's stated future work.
+//!
+//! §5.1: "In addition, we are considering a TBON architecture that would
+//! reduce the impact of collecting and printing information from each
+//! back-end daemon." This module implements that extension: instead of a
+//! single ICCL gather at the master (whose merge work is linear in task
+//! count), snapshot lines flow up an MRNet-style tree whose internal nodes
+//! merge-sort their children's partial reports — the final merge at the
+//! front end touches only the root's fan-in.
+//!
+//! Middleware (communication) daemons are launched onto separately
+//! allocated nodes through the LaunchMON MW API when the topology needs
+//! them; leaf duty is taken by the Jobsnap BE daemons themselves.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use parking_lot::Mutex;
+
+use lmon_cluster::process::Pid;
+use lmon_core::be::BeMain;
+use lmon_core::fe::LmonFrontEnd;
+use lmon_core::mw::MwMain;
+use lmon_core::LmonResult;
+use lmon_proto::payload::DaemonSpec;
+use lmon_tbon::filter::{FilterKind, FilterRegistry};
+use lmon_tbon::overlay::{run_comm_node, LeafEndpoint, Overlay};
+use lmon_tbon::spec::TopologySpec;
+
+use crate::jobsnap::JobsnapReport;
+
+/// Custom TBON filter id for the jobsnap line merge.
+pub const JOBSNAP_MERGE_FILTER: u32 = 101;
+
+/// Merge-sort rank-tagged report blobs (`rank|line\n...`) from children.
+///
+/// Inputs are individually rank-sorted; the output is their sorted merge —
+/// so every level of the tree does a bounded share of the total merge work.
+pub fn jobsnap_merge_filter(inputs: Vec<Vec<u8>>) -> Vec<u8> {
+    let mut tagged: Vec<(u64, String)> = Vec::new();
+    for blob in inputs {
+        for line in String::from_utf8_lossy(&blob).lines() {
+            if let Some((rank, rest)) = line.split_once('|') {
+                if let Ok(rank) = rank.parse::<u64>() {
+                    tagged.push((rank, rest.to_string()));
+                }
+            }
+        }
+    }
+    tagged.sort_by_key(|(rank, _)| *rank);
+    tagged
+        .into_iter()
+        .map(|(rank, line)| format!("{rank:010}|{line}"))
+        .collect::<Vec<_>>()
+        .join("\n")
+        .into_bytes()
+}
+
+fn registry() -> FilterRegistry {
+    let mut r = FilterRegistry::new();
+    r.register(JOBSNAP_MERGE_FILTER, Arc::new(jobsnap_merge_filter));
+    r
+}
+
+/// Run Jobsnap with tree-based collection.
+///
+/// `fanout` controls the TBON shape: `TopologySpec::balanced(nodes,
+/// fanout)`. With few nodes the tree degenerates to 1-deep and no
+/// middleware daemons are needed; otherwise comm daemons are launched via
+/// the MW API onto extra nodes.
+pub fn run_jobsnap_tbon(
+    fe: &LmonFrontEnd,
+    launcher_pid: Pid,
+    n_nodes: u32,
+    fanout: u32,
+) -> LmonResult<JobsnapReport> {
+    let t0 = Instant::now();
+    let spec = TopologySpec::balanced(n_nodes, fanout);
+    let reg = registry();
+    let overlay = Overlay::build(&spec, reg.clone());
+    let mut front = overlay.front;
+
+    let comm_slots: Arc<Vec<Mutex<Option<lmon_tbon::overlay::CommHarness>>>> =
+        Arc::new(overlay.comm.into_iter().map(|h| Mutex::new(Some(h))).collect());
+    let leaf_slots: Arc<Vec<Mutex<Option<LeafEndpoint>>>> =
+        Arc::new(overlay.leaves.into_iter().map(|l| Mutex::new(Some(l))).collect());
+
+    let session = fe.create_session();
+
+    // Leaves: jobsnap BE daemons collecting local snapshots.
+    let slots = leaf_slots.clone();
+    let be_main: BeMain = Arc::new(move |be| {
+        let Some(leaf) = slots[be.rank() as usize].lock().take() else {
+            return;
+        };
+        if leaf.send_hello().is_err() {
+            return;
+        }
+        // Collect local lines once; answer each snapshot wave.
+        let mut local: Vec<(u64, String)> = Vec::new();
+        for desc in be.my_proctab() {
+            if let Ok(snap) = be.read_local_proc(desc.pid) {
+                local.push((desc.rank as u64, snap.to_jobsnap_line()));
+            }
+        }
+        local.sort_by_key(|(rank, _)| *rank);
+        let blob: Vec<u8> = local
+            .iter()
+            .map(|(rank, line)| format!("{rank:010}|{line}"))
+            .collect::<Vec<_>>()
+            .join("\n")
+            .into_bytes();
+        loop {
+            match leaf.recv_data() {
+                Ok(Some(pkt)) => {
+                    if leaf.send_up(pkt.stream, pkt.tag, blob.clone()).is_err() {
+                        return;
+                    }
+                }
+                Ok(None) | Err(_) => return,
+            }
+        }
+    });
+
+    fe.attach_and_spawn(session, launcher_pid, DaemonSpec::bare("be_jobsnap_tbon"), be_main)?;
+    let launch = t0.elapsed();
+
+    // Middleware: comm daemons on extra nodes, one per internal position.
+    let comm_count = spec.comm_count() as usize;
+    if comm_count > 0 {
+        let comm_slots = comm_slots.clone();
+        let reg = reg.clone();
+        let mw_main: MwMain = Arc::new(move |mw| {
+            let Some(harness) = comm_slots[mw.rank() as usize].lock().take() else {
+                return;
+            };
+            run_comm_node(harness, reg.clone());
+        });
+        fe.launch_mw_daemons(
+            session,
+            comm_count,
+            fanout,
+            DaemonSpec::bare("jobsnap_commd"),
+            mw_main,
+        )?;
+    }
+
+    // Connect, snapshot wave, gather the merged report.
+    front
+        .await_connections(n_nodes, Duration::from_secs(30))
+        .map_err(|e| lmon_core::LmonError::Engine(format!("tbon connect: {e}")))?;
+    let stream = front
+        .open_stream(FilterKind::Custom(JOBSNAP_MERGE_FILTER))
+        .map_err(|e| lmon_core::LmonError::Engine(format!("stream: {e}")))?;
+    front
+        .broadcast(stream, 1, b"SNAPSHOT".to_vec())
+        .map_err(|e| lmon_core::LmonError::Engine(format!("broadcast: {e}")))?;
+    let report_pkt = front
+        .gather(stream, 1, Duration::from_secs(30))
+        .map_err(|e| lmon_core::LmonError::Engine(format!("gather: {e}")))?;
+
+    let lines: Vec<String> = String::from_utf8_lossy(&report_pkt.payload)
+        .lines()
+        .filter_map(|l| l.split_once('|').map(|(_, rest)| rest.to_string()))
+        .collect();
+
+    front.shutdown();
+    fe.detach(session)?;
+
+    Ok(JobsnapReport { lines, total: t0.elapsed(), launch, session })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lmon_cluster::config::ClusterConfig;
+    use lmon_cluster::VirtualCluster;
+    use lmon_rm::api::{JobSpec, ResourceManager};
+    use lmon_rm::SlurmRm;
+
+    fn setup(nodes: usize, tpn: usize, total_nodes: usize) -> (LmonFrontEnd, Pid) {
+        let cluster = VirtualCluster::new(ClusterConfig::with_nodes(total_nodes));
+        let rm: Arc<dyn ResourceManager> = Arc::new(SlurmRm::new(cluster));
+        let job = rm.launch_job(&JobSpec::new("mpi_app", nodes, tpn), false).unwrap();
+        std::thread::sleep(Duration::from_millis(20));
+        (LmonFrontEnd::init(rm).unwrap(), job.launcher_pid)
+    }
+
+    #[test]
+    fn one_deep_tbon_jobsnap_matches_flat_jobsnap() {
+        let (fe, launcher) = setup(4, 4, 4);
+        let tbon = run_jobsnap_tbon(&fe, launcher, 4, 8).expect("tbon jobsnap");
+        let flat = crate::jobsnap::run_jobsnap(&fe, launcher).expect("flat jobsnap");
+        assert_eq!(tbon.lines, flat.lines, "identical reports from both architectures");
+        assert_eq!(tbon.lines.len(), 16);
+        fe.shutdown().unwrap();
+    }
+
+    #[test]
+    fn deep_tbon_uses_middleware_daemons() {
+        // 8 job nodes + extra nodes for the comm level: fanout 2 over 8
+        // leaves ⇒ levels 1x2x4x8 ⇒ 6 comm daemons.
+        let (fe, launcher) = setup(8, 2, 16);
+        let report = run_jobsnap_tbon(&fe, launcher, 8, 2).expect("deep tbon jobsnap");
+        assert_eq!(report.lines.len(), 16);
+        // Rank order preserved through the distributed merge.
+        for (i, line) in report.lines.iter().enumerate() {
+            assert!(line.contains(&format!("rank={i}")), "line {i}: {line}");
+        }
+        fe.shutdown().unwrap();
+    }
+
+    #[test]
+    fn merge_filter_sorts_across_children() {
+        let a = b"0000000003|rank=3\n0000000001|rank=1".to_vec();
+        let b = b"0000000002|rank=2\n0000000000|rank=0".to_vec();
+        let merged = jobsnap_merge_filter(vec![a, b]);
+        let text = String::from_utf8(merged).unwrap();
+        let ranks: Vec<&str> = text.lines().map(|l| l.split_once('|').unwrap().1).collect();
+        assert_eq!(ranks, vec!["rank=0", "rank=1", "rank=2", "rank=3"]);
+    }
+
+    #[test]
+    fn merge_filter_ignores_garbage_lines() {
+        let merged = jobsnap_merge_filter(vec![b"notpiped\nxx|notanumber".to_vec()]);
+        assert!(merged.is_empty());
+    }
+}

@@ -1,0 +1,35 @@
+//! STAT — the Stack Trace Analysis Tool (§5.2).
+//!
+//! STAT "gathers and merges multiple stack traces from a parallel
+//! application's processes to form a call graph prefix tree that identifies
+//! process equivalence classes (i.e., similarly behaving processes)". It
+//! uses MRNet (our `lmon-tbon`) for "scalable tool communication and data
+//! collection and reduction".
+//!
+//! Two startup paths, matching the two Figure 6 curves:
+//!
+//! * [`fe::run_stat_adhoc`] — the original: MRNet launches every stack
+//!   sampling daemon itself with sequential rsh; daemons discover target
+//!   tasks by scanning their node's process table (no RPDTAB available).
+//! * [`fe::run_stat_launchmon`] — the integration the paper contributes:
+//!   LaunchMON identifies tasks via the RM's RPDTAB, co-locates daemons
+//!   through the RM's bulk launcher, and LMONP's piggybacked user data
+//!   carries the MRNet tree information to the daemons.
+//!
+//! Both paths produce byte-identical merge trees and equivalence classes
+//! (asserted by tests) — only launch mechanics differ, which is precisely
+//! the paper's point.
+
+pub mod fe;
+pub mod trace;
+pub mod tree;
+
+pub use fe::{run_stat_adhoc, run_stat_launchmon, run_stat_launchmon_tree, StatOutcome};
+pub use trace::{synth_trace, StackTrace};
+pub use tree::{EquivClass, PrefixTree};
+
+/// Custom TBON filter id for STAT's prefix-tree merge.
+pub const STAT_MERGE_FILTER: u32 = 100;
+
+/// Tag used for sample waves.
+pub const SAMPLE_TAG: u16 = 1;

@@ -1,0 +1,90 @@
+//! Stack traces and the synthetic sampler.
+//!
+//! Real STAT walks task stacks with a debugger library. The virtual
+//! cluster's tasks are passive, so the sampler synthesizes the stack a
+//! task of a given rank would show — deterministically, with the
+//! class structure STAT exists to find: most ranks compute, a minority
+//! wait in collectives, and rank 0 does I/O. This is the classic "find the
+//! straggler" debugging scenario from the STAT paper.
+
+/// A stack trace, outermost frame first.
+pub type StackTrace = Vec<String>;
+
+/// Deterministically synthesize the stack of `rank` in a job of `total`
+/// tasks.
+///
+/// Class structure:
+/// * rank 0 — stuck reading input (`main → initialize → read_input_file`);
+/// * ranks ≡ 3 (mod 17) — blocked in a collective
+///   (`main → do_work → exchange_halo → mpi_waitall`);
+/// * everyone else — computing (`main → do_work → compute_kernel → dgemm`).
+pub fn synth_trace(rank: u32, _total: u32) -> StackTrace {
+    let mut frames = vec!["_start".to_string(), "main".to_string()];
+    if rank == 0 {
+        frames.push("initialize".to_string());
+        frames.push("read_input_file".to_string());
+    } else if rank % 17 == 3 {
+        frames.push("do_work".to_string());
+        frames.push("exchange_halo".to_string());
+        frames.push("mpi_waitall".to_string());
+    } else {
+        frames.push("do_work".to_string());
+        frames.push("compute_kernel".to_string());
+        frames.push("dgemm".to_string());
+    }
+    frames
+}
+
+/// Number of distinct equivalence classes [`synth_trace`] produces for a
+/// job of `total` ranks (used by tests and the figure harness).
+pub fn expected_class_count(total: u32) -> usize {
+    let mut classes = 1; // rank 0
+    if total > 1 {
+        classes += 1; // compute class (rank 1 exists and 1 % 17 != 3)
+    }
+    if (0..total).any(|r| r != 0 && r % 17 == 3) {
+        classes += 1;
+    }
+    classes
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn traces_are_deterministic() {
+        assert_eq!(synth_trace(5, 64), synth_trace(5, 64));
+    }
+
+    #[test]
+    fn class_structure_present() {
+        let t0 = synth_trace(0, 64);
+        assert_eq!(t0.last().unwrap(), "read_input_file");
+        let t3 = synth_trace(3, 64);
+        assert_eq!(t3.last().unwrap(), "mpi_waitall");
+        let t20 = synth_trace(20, 64);
+        assert_eq!(t20.last().unwrap(), "mpi_waitall", "20 % 17 == 3");
+        let t5 = synth_trace(5, 64);
+        assert_eq!(t5.last().unwrap(), "dgemm");
+    }
+
+    #[test]
+    fn all_traces_share_prefix() {
+        for rank in 0..100 {
+            let t = synth_trace(rank, 100);
+            assert_eq!(&t[0], "_start");
+            assert_eq!(&t[1], "main");
+            assert!(t.len() >= 4);
+        }
+    }
+
+    #[test]
+    fn expected_classes() {
+        assert_eq!(expected_class_count(1), 1);
+        assert_eq!(expected_class_count(2), 2);
+        assert_eq!(expected_class_count(3), 2, "no waiter below rank 3");
+        assert_eq!(expected_class_count(4), 3);
+        assert_eq!(expected_class_count(1024), 3);
+    }
+}

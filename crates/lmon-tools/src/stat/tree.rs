@@ -1,0 +1,390 @@
+//! The call-graph prefix tree: STAT's central data structure.
+//!
+//! Traces from all ranks merge into a tree whose nodes are call frames;
+//! each node carries the set of ranks whose stacks pass through it. Leaf
+//! paths are the *equivalence classes* — "similarly behaving processes" —
+//! and "a full featured debugger can attach to equivalence class
+//! representatives to perform root cause analysis at a manageable scale"
+//! (§5.2).
+//!
+//! The serialized form doubles as the TBON filter payload: internal tree
+//! nodes deserialize child payloads, merge, and re-serialize.
+
+use std::collections::BTreeMap;
+
+use crate::stat::StackTrace;
+
+/// A merged call-graph prefix tree.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PrefixTree {
+    roots: BTreeMap<String, Node>,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Node {
+    /// Ranks whose stacks pass through (or end at) this frame.
+    ranks: Vec<u32>,
+    /// Ranks whose stacks *end* at this frame — each such node is an
+    /// equivalence class, even when deeper frames exist below it (a rank
+    /// whose trace is a proper prefix of another's behaves differently).
+    ends: Vec<u32>,
+    children: BTreeMap<String, Node>,
+}
+
+fn insert_sorted(v: &mut Vec<u32>, rank: u32) {
+    if let Err(pos) = v.binary_search(&rank) {
+        v.insert(pos, rank);
+    }
+}
+
+impl Node {
+    fn new() -> Node {
+        Node { ranks: Vec::new(), ends: Vec::new(), children: BTreeMap::new() }
+    }
+
+    fn add_rank(&mut self, rank: u32) {
+        insert_sorted(&mut self.ranks, rank);
+    }
+
+    fn merge(&mut self, other: Node) {
+        for r in other.ranks {
+            self.add_rank(r);
+        }
+        for r in other.ends {
+            insert_sorted(&mut self.ends, r);
+        }
+        for (frame, child) in other.children {
+            match self.children.get_mut(&frame) {
+                Some(mine) => mine.merge(child),
+                None => {
+                    self.children.insert(frame, child);
+                }
+            }
+        }
+    }
+}
+
+/// One equivalence class: a full call path and the ranks in it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EquivClass {
+    /// The call path, outermost frame first.
+    pub path: Vec<String>,
+    /// Ranks whose stacks end at this path, ascending.
+    pub ranks: Vec<u32>,
+}
+
+impl EquivClass {
+    /// The class representative (lowest rank) a debugger would attach to.
+    pub fn representative(&self) -> u32 {
+        self.ranks[0]
+    }
+}
+
+impl PrefixTree {
+    /// An empty tree.
+    pub fn new() -> Self {
+        PrefixTree::default()
+    }
+
+    /// Insert one rank's stack trace.
+    pub fn insert(&mut self, trace: &StackTrace, rank: u32) {
+        if trace.is_empty() {
+            return;
+        }
+        let mut node = self
+            .roots
+            .entry(trace[0].clone())
+            .or_insert_with(Node::new);
+        node.add_rank(rank);
+        for frame in &trace[1..] {
+            node = node.children.entry(frame.clone()).or_insert_with(Node::new);
+            node.add_rank(rank);
+        }
+        insert_sorted(&mut node.ends, rank);
+    }
+
+    /// Merge another tree into this one.
+    pub fn merge(&mut self, other: PrefixTree) {
+        for (frame, node) in other.roots {
+            match self.roots.get_mut(&frame) {
+                Some(mine) => mine.merge(node),
+                None => {
+                    self.roots.insert(frame, node);
+                }
+            }
+        }
+    }
+
+    /// Total ranks represented (from root annotations).
+    pub fn rank_count(&self) -> usize {
+        let mut ranks: Vec<u32> =
+            self.roots.values().flat_map(|n| n.ranks.iter().copied()).collect();
+        ranks.sort_unstable();
+        ranks.dedup();
+        ranks.len()
+    }
+
+    /// Total nodes in the tree.
+    pub fn node_count(&self) -> usize {
+        fn count(node: &Node) -> usize {
+            1 + node.children.values().map(count).sum::<usize>()
+        }
+        self.roots.values().map(count).sum()
+    }
+
+    /// The equivalence classes: one per distinct *complete* stack trace
+    /// (i.e. per node where at least one rank's stack terminates), ordered
+    /// by path.
+    pub fn equivalence_classes(&self) -> Vec<EquivClass> {
+        fn walk(
+            frame: &str,
+            node: &Node,
+            path: &mut Vec<String>,
+            out: &mut Vec<EquivClass>,
+        ) {
+            path.push(frame.to_string());
+            if !node.ends.is_empty() {
+                out.push(EquivClass { path: path.clone(), ranks: node.ends.clone() });
+            }
+            for (f, child) in &node.children {
+                walk(f, child, path, out);
+            }
+            path.pop();
+        }
+        let mut out = Vec::new();
+        let mut path = Vec::new();
+        for (frame, node) in &self.roots {
+            walk(frame, node, &mut path, &mut out);
+        }
+        out
+    }
+
+    // --- wire form (the TBON filter payload) ------------------------------
+
+    /// Serialize for transport up the TBON.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        fn put_node(buf: &mut Vec<u8>, frame: &str, node: &Node) {
+            buf.extend_from_slice(&(frame.len() as u32).to_be_bytes());
+            buf.extend_from_slice(frame.as_bytes());
+            buf.extend_from_slice(&(node.ranks.len() as u32).to_be_bytes());
+            for r in &node.ranks {
+                buf.extend_from_slice(&r.to_be_bytes());
+            }
+            buf.extend_from_slice(&(node.ends.len() as u32).to_be_bytes());
+            for r in &node.ends {
+                buf.extend_from_slice(&r.to_be_bytes());
+            }
+            buf.extend_from_slice(&(node.children.len() as u32).to_be_bytes());
+            for (f, c) in &node.children {
+                put_node(buf, f, c);
+            }
+        }
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&(self.roots.len() as u32).to_be_bytes());
+        for (frame, node) in &self.roots {
+            put_node(&mut buf, frame, node);
+        }
+        buf
+    }
+
+    /// Deserialize a tree produced by [`PrefixTree::to_bytes`].
+    pub fn from_bytes(bytes: &[u8]) -> Result<PrefixTree, String> {
+        fn get_u32(bytes: &[u8], off: &mut usize) -> Result<u32, String> {
+            let end = *off + 4;
+            let s = bytes.get(*off..end).ok_or("short u32")?;
+            *off = end;
+            Ok(u32::from_be_bytes(s.try_into().expect("4 bytes")))
+        }
+        fn get_node(bytes: &[u8], off: &mut usize) -> Result<(String, Node), String> {
+            let flen = get_u32(bytes, off)? as usize;
+            if flen > 4096 {
+                return Err("frame name too long".into());
+            }
+            let end = *off + flen;
+            let frame = String::from_utf8(
+                bytes.get(*off..end).ok_or("short frame")?.to_vec(),
+            )
+            .map_err(|_| "bad utf8".to_string())?;
+            *off = end;
+            let nranks = get_u32(bytes, off)? as usize;
+            if nranks > 16 << 20 {
+                return Err("rank list too long".into());
+            }
+            let mut ranks = Vec::with_capacity(nranks.min(4096));
+            for _ in 0..nranks {
+                ranks.push(get_u32(bytes, off)?);
+            }
+            let nends = get_u32(bytes, off)? as usize;
+            if nends > 16 << 20 {
+                return Err("ends list too long".into());
+            }
+            let mut ends = Vec::with_capacity(nends.min(4096));
+            for _ in 0..nends {
+                ends.push(get_u32(bytes, off)?);
+            }
+            let nchildren = get_u32(bytes, off)? as usize;
+            if nchildren > 1 << 20 {
+                return Err("child list too long".into());
+            }
+            let mut children = BTreeMap::new();
+            for _ in 0..nchildren {
+                let (f, c) = get_node(bytes, off)?;
+                children.insert(f, c);
+            }
+            Ok((frame, Node { ranks, ends, children }))
+        }
+        let mut off = 0;
+        let nroots = get_u32(bytes, &mut off)? as usize;
+        if nroots > 1 << 20 {
+            return Err("root list too long".into());
+        }
+        let mut roots = BTreeMap::new();
+        for _ in 0..nroots {
+            let (f, n) = get_node(bytes, &mut off)?;
+            roots.insert(f, n);
+        }
+        if off != bytes.len() {
+            return Err("trailing bytes".into());
+        }
+        Ok(PrefixTree { roots })
+    }
+
+    /// Render the tree for human inspection (STAT's dot-file analog).
+    pub fn render(&self) -> String {
+        fn walk(frame: &str, node: &Node, depth: usize, out: &mut String) {
+            out.push_str(&"  ".repeat(depth));
+            out.push_str(frame);
+            out.push_str(&format!(" [{} ranks]\n", node.ranks.len()));
+            for (f, c) in &node.children {
+                walk(f, c, depth + 1, out);
+            }
+        }
+        let mut out = String::new();
+        for (frame, node) in &self.roots {
+            walk(frame, node, 0, &mut out);
+        }
+        out
+    }
+}
+
+/// The TBON merge filter body: deserialize inputs, merge, re-serialize.
+pub fn merge_filter(inputs: Vec<Vec<u8>>) -> Vec<u8> {
+    let mut merged = PrefixTree::new();
+    for bytes in inputs {
+        if let Ok(tree) = PrefixTree::from_bytes(&bytes) {
+            merged.merge(tree);
+        }
+    }
+    merged.to_bytes()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stat::trace::synth_trace;
+
+    fn tree_for_ranks(ranks: impl Iterator<Item = u32>, total: u32) -> PrefixTree {
+        let mut t = PrefixTree::new();
+        for r in ranks {
+            t.insert(&synth_trace(r, total), r);
+        }
+        t
+    }
+
+    #[test]
+    fn insert_builds_shared_prefixes() {
+        let t = tree_for_ranks(0..64, 64);
+        assert_eq!(t.rank_count(), 64);
+        // _start/main shared; three leaf classes.
+        let classes = t.equivalence_classes();
+        assert_eq!(classes.len(), 3);
+        let total: usize = classes.iter().map(|c| c.ranks.len()).sum();
+        assert_eq!(total, 64, "classes partition the ranks");
+    }
+
+    #[test]
+    fn classes_identify_the_straggler() {
+        let t = tree_for_ranks(0..64, 64);
+        let classes = t.equivalence_classes();
+        let io = classes
+            .iter()
+            .find(|c| c.path.last().unwrap() == "read_input_file")
+            .expect("io class");
+        assert_eq!(io.ranks, vec![0]);
+        assert_eq!(io.representative(), 0);
+        let wait = classes
+            .iter()
+            .find(|c| c.path.last().unwrap() == "mpi_waitall")
+            .expect("wait class");
+        assert!(wait.ranks.iter().all(|r| r % 17 == 3));
+    }
+
+    #[test]
+    fn merge_equals_bulk_insert() {
+        let mut a = tree_for_ranks(0..32, 64);
+        let b = tree_for_ranks(32..64, 64);
+        a.merge(b);
+        let bulk = tree_for_ranks(0..64, 64);
+        assert_eq!(a, bulk);
+    }
+
+    #[test]
+    fn merge_is_commutative_and_idempotent() {
+        let mut ab = tree_for_ranks(0..16, 64);
+        ab.merge(tree_for_ranks(16..32, 64));
+        let mut ba = tree_for_ranks(16..32, 64);
+        ba.merge(tree_for_ranks(0..16, 64));
+        assert_eq!(ab, ba);
+        let mut twice = ab.clone();
+        twice.merge(ab.clone());
+        assert_eq!(twice, ab, "merging a tree with itself changes nothing");
+    }
+
+    #[test]
+    fn wire_roundtrip() {
+        let t = tree_for_ranks(0..100, 100);
+        let bytes = t.to_bytes();
+        let back = PrefixTree::from_bytes(&bytes).unwrap();
+        assert_eq!(t, back);
+    }
+
+    #[test]
+    fn corrupt_bytes_rejected_without_panic() {
+        let t = tree_for_ranks(0..8, 8);
+        let bytes = t.to_bytes();
+        assert!(PrefixTree::from_bytes(&bytes[..bytes.len() - 1]).is_err());
+        assert!(PrefixTree::from_bytes(&[0xFF; 16]).is_err());
+        assert!(PrefixTree::from_bytes(&[]).is_err());
+        // empty tree roundtrip is fine
+        assert_eq!(
+            PrefixTree::from_bytes(&PrefixTree::new().to_bytes()).unwrap(),
+            PrefixTree::new()
+        );
+    }
+
+    #[test]
+    fn merge_filter_combines_partial_trees() {
+        let a = tree_for_ranks(0..8, 24).to_bytes();
+        let b = tree_for_ranks(8..16, 24).to_bytes();
+        let c = tree_for_ranks(16..24, 24).to_bytes();
+        let merged = PrefixTree::from_bytes(&merge_filter(vec![a, b, c])).unwrap();
+        assert_eq!(merged, tree_for_ranks(0..24, 24));
+    }
+
+    #[test]
+    fn render_is_indented_and_counts_ranks() {
+        let t = tree_for_ranks(0..4, 4);
+        let s = t.render();
+        assert!(s.starts_with("_start [4 ranks]"));
+        assert!(s.contains("\n  main [4 ranks]"));
+    }
+
+    #[test]
+    fn node_count_grows_with_classes() {
+        let one = tree_for_ranks(1..2, 64); // single compute trace: 5 nodes
+        assert_eq!(one.node_count(), 5);
+        let all = tree_for_ranks(0..64, 64);
+        // _start, main + 3 branches of 2/3 frames
+        assert!(all.node_count() > one.node_count());
+    }
+}

@@ -1,0 +1,117 @@
+//! Property tests for the STAT prefix tree — the data structure whose
+//! correctness the whole STAT case study rests on.
+
+use proptest::prelude::*;
+
+use lmon_tools::stat::tree::{merge_filter, PrefixTree};
+use lmon_tools::stat::StackTrace;
+
+fn arb_trace() -> impl Strategy<Value = StackTrace> {
+    // Frames drawn from a small pool so traces share prefixes (the whole
+    // point of a prefix tree).
+    let frame = prop_oneof![
+        Just("main".to_string()),
+        Just("do_work".to_string()),
+        Just("compute".to_string()),
+        Just("mpi_wait".to_string()),
+        Just("io_read".to_string()),
+    ];
+    proptest::collection::vec(frame, 1..6)
+}
+
+fn arb_assignment() -> impl Strategy<Value = Vec<(u32, StackTrace)>> {
+    proptest::collection::vec((0u32..200, arb_trace()), 1..40)
+}
+
+fn build(entries: &[(u32, StackTrace)]) -> PrefixTree {
+    let mut t = PrefixTree::new();
+    for (rank, trace) in entries {
+        t.insert(trace, *rank);
+    }
+    t
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn wire_roundtrip_any_tree(entries in arb_assignment()) {
+        let t = build(&entries);
+        let back = PrefixTree::from_bytes(&t.to_bytes()).unwrap();
+        prop_assert_eq!(t, back);
+    }
+
+    #[test]
+    fn merge_is_commutative(a in arb_assignment(), b in arb_assignment()) {
+        let (ta, tb) = (build(&a), build(&b));
+        let mut ab = ta.clone();
+        ab.merge(tb.clone());
+        let mut ba = tb;
+        ba.merge(ta);
+        prop_assert_eq!(ab, ba);
+    }
+
+    #[test]
+    fn merge_is_associative(
+        a in arb_assignment(),
+        b in arb_assignment(),
+        c in arb_assignment(),
+    ) {
+        let (ta, tb, tc) = (build(&a), build(&b), build(&c));
+        let mut left = ta.clone();
+        left.merge(tb.clone());
+        left.merge(tc.clone());
+        let mut right_inner = tb;
+        right_inner.merge(tc);
+        let mut right = ta;
+        right.merge(right_inner);
+        prop_assert_eq!(left, right);
+    }
+
+    #[test]
+    fn merge_is_idempotent(a in arb_assignment()) {
+        let t = build(&a);
+        let mut twice = t.clone();
+        twice.merge(t.clone());
+        prop_assert_eq!(twice, t);
+    }
+
+    #[test]
+    fn split_then_filter_equals_bulk(entries in arb_assignment(), parts in 1usize..6) {
+        // Partition the entries arbitrarily across `parts` daemons, merge
+        // via the TBON filter: must equal the single-tree build.
+        let bulk = build(&entries);
+        let mut chunks: Vec<Vec<(u32, StackTrace)>> = vec![Vec::new(); parts];
+        for (i, e) in entries.iter().enumerate() {
+            chunks[i % parts].push(e.clone());
+        }
+        let payloads: Vec<Vec<u8>> =
+            chunks.iter().map(|c| build(c).to_bytes()).collect();
+        let merged = PrefixTree::from_bytes(&merge_filter(payloads)).unwrap();
+        prop_assert_eq!(merged, bulk);
+    }
+
+    #[test]
+    fn classes_partition_ranks(entries in arb_assignment()) {
+        let t = build(&entries);
+        let classes = t.equivalence_classes();
+        let mut seen_ranks: Vec<u32> = Vec::new();
+        for class in &classes {
+            prop_assert!(!class.ranks.is_empty(), "empty class");
+            prop_assert!(class.ranks.windows(2).all(|w| w[0] < w[1]), "unsorted ranks");
+        }
+        // Every inserted rank appears in at least one class (its leaf) —
+        // and exactly once among classes whose path is a full trace of it.
+        for (rank, _) in &entries {
+            let hits = classes.iter().filter(|c| c.ranks.contains(rank)).count();
+            prop_assert!(hits >= 1, "rank {rank} lost");
+        }
+        seen_ranks.sort_unstable();
+    }
+
+    #[test]
+    fn corrupt_bytes_never_panic(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let _ = PrefixTree::from_bytes(&bytes);
+        let _ = merge_filter(vec![bytes]);
+    }
+}

@@ -1,0 +1,47 @@
+//! The Jobsnap case study (§5.1): snapshot every MPI task's `/proc` state.
+//!
+//! Launches a 6-node × 8-task job without any tool (as a user would), then
+//! attaches Jobsnap to it and prints the per-task report — personality,
+//! process state, memory statistics, and performance metrics, one line per
+//! task, exactly as the paper's master daemon writes them.
+//!
+//! ```text
+//! cargo run --example jobsnap_tool
+//! ```
+
+use std::sync::Arc;
+
+use launchmon::cluster::config::ClusterConfig;
+use launchmon::cluster::VirtualCluster;
+use launchmon::core::fe::LmonFrontEnd;
+use launchmon::rm::api::{JobSpec, ResourceManager};
+use launchmon::rm::SlurmRm;
+use launchmon::tools::jobsnap::run_jobsnap;
+
+fn main() {
+    let cluster = VirtualCluster::new(ClusterConfig::with_nodes(6));
+    let rm: Arc<dyn ResourceManager> = Arc::new(SlurmRm::new(cluster));
+
+    // A running production job, launched with no tool attached.
+    let job = rm
+        .launch_job(&JobSpec::new("climate_sim", 6, 8), false)
+        .expect("job launch");
+    println!("job {} running: 6 nodes x 8 tasks, launcher pid {:?}\n", job.job_id, job.launcher_pid);
+
+    // Attach Jobsnap: daemons co-locate, snapshot, gather, merge.
+    let fe = LmonFrontEnd::init(rm).expect("front-end init");
+    let report = run_jobsnap(&fe, job.launcher_pid).expect("jobsnap");
+
+    println!("--- jobsnap report: one line per task ---");
+    for line in &report.lines {
+        println!("{line}");
+    }
+    println!(
+        "\n{} tasks snapshotted in {:?} (of which {:?} was init→attachAndSpawn)",
+        report.lines.len(),
+        report.total,
+        report.launch
+    );
+
+    fe.shutdown().expect("shutdown");
+}

@@ -1,0 +1,67 @@
+//! The Open|SpeedShop case study (§5.3): swap the Instrumentor, keep the
+//! tool.
+//!
+//! Runs the same APAI acquisition through both instrumentors — DPCL (root
+//! super daemons + full launcher-binary parse) and LaunchMON (engine fetch)
+//! — then runs a PC-sampling experiment over the job with LaunchMON-started
+//! daemons.
+//!
+//! ```text
+//! cargo run --example oss_experiment
+//! ```
+
+use std::sync::Arc;
+
+use launchmon::cluster::config::ClusterConfig;
+use launchmon::cluster::VirtualCluster;
+use launchmon::core::fe::LmonFrontEnd;
+use launchmon::rm::api::{JobSpec, ResourceManager};
+use launchmon::rm::SlurmRm;
+use launchmon::tools::dpcl::{DpclInfra, SyntheticBinary};
+use launchmon::tools::oss::{
+    run_pc_sampling, DpclInstrumentor, Instrumentor, LaunchmonInstrumentor,
+};
+
+fn main() {
+    let cluster = VirtualCluster::new(ClusterConfig::with_nodes(4));
+    let rm: Arc<dyn ResourceManager> = Arc::new(SlurmRm::new(cluster.clone()));
+    let job = rm.launch_job(&JobSpec::new("solver", 4, 8), false).expect("job");
+    std::thread::sleep(std::time::Duration::from_millis(30));
+
+    // --- DPCL path: needs preinstalled root daemons + full binary parse ----
+    println!("installing DPCL super daemons (root, one per node)...");
+    let infra = DpclInfra::install(&cluster);
+    println!("  {} persistent daemons installed\n", infra.daemon_count());
+
+    let launcher_bin = SyntheticBinary::generate("srun", 300_000, 5);
+    println!("DPCL instrumentor: parsing the {}-symbol launcher binary first...", 300_000);
+    let mut dpcl = DpclInstrumentor::new(cluster.clone(), infra.clone(), launcher_bin);
+    let d = dpcl.acquire_apai(job.launcher_pid).expect("dpcl acquire");
+    println!("  APAI acquired in {:?} ({} tasks)\n", d.apai_time, d.rpdtab.len());
+
+    // --- LaunchMON path: no root daemons, no parse --------------------------
+    let fe = LmonFrontEnd::init(rm).expect("fe");
+    let mut lmon = LaunchmonInstrumentor::new(&fe);
+    let l = lmon.acquire_apai(job.launcher_pid).expect("lmon acquire");
+    println!("LaunchMON instrumentor: APAI acquired in {:?} ({} tasks)", l.apai_time, l.rpdtab.len());
+    assert_eq!(d.rpdtab, l.rpdtab);
+    println!("  (identical RPDTAB from both paths)\n");
+    if let Some(s) = lmon.session {
+        fe.detach(s).expect("detach");
+    }
+
+    // --- a PC-sampling experiment over the job ------------------------------
+    println!("running PC-sampling experiment (10 samples per task)...");
+    let report = run_pc_sampling(&fe, job.launcher_pid, 10).expect("pc sampling");
+    println!("  {} samples over {} text-page buckets; top 5:", report.total_samples,
+        report.histogram.len());
+    let mut buckets: Vec<(&u64, &u64)> = report.histogram.iter().collect();
+    buckets.sort_by_key(|(_, count)| std::cmp::Reverse(**count));
+    for (addr, count) in buckets.into_iter().take(5) {
+        println!("    0x{addr:012x}  {count} samples");
+    }
+
+    infra.uninstall();
+    fe.shutdown().expect("shutdown");
+    println!("\ndone.");
+}

@@ -1,0 +1,80 @@
+//! Quickstart: launch a parallel job under tool control and co-locate one
+//! daemon per node — the LaunchMON "hello world".
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use std::sync::Arc;
+
+use launchmon::cluster::config::ClusterConfig;
+use launchmon::cluster::VirtualCluster;
+use launchmon::core::be::BeMain;
+use launchmon::core::fe::LmonFrontEnd;
+use launchmon::proto::payload::DaemonSpec;
+use launchmon::rm::api::ResourceManager;
+use launchmon::rm::SlurmRm;
+
+fn main() {
+    // 1. A virtual cluster of 4 compute nodes managed by a SLURM-like RM.
+    let cluster = VirtualCluster::new(ClusterConfig::with_nodes(4));
+    let rm: Arc<dyn ResourceManager> = Arc::new(SlurmRm::new(cluster));
+
+    // 2. Initialize the LaunchMON front end (this starts the engine).
+    let fe = LmonFrontEnd::init(rm).expect("front-end init");
+    let session = fe.create_session();
+
+    // 3. The tool daemon: runs on every node, sees its local tasks.
+    let be_main: BeMain = Arc::new(|be| {
+        let locals: Vec<String> = be
+            .my_proctab()
+            .iter()
+            .map(|d| format!("rank {} (pid {})", d.rank, d.pid))
+            .collect();
+        println!(
+            "[daemon {}/{} on {}] local tasks: {}",
+            be.rank(),
+            be.size(),
+            be.hostname(),
+            locals.join(", ")
+        );
+        // Master tells the FE once everyone has reported.
+        be.barrier().expect("barrier");
+        if be.am_i_master() {
+            be.send_usrdata(b"all daemons reporting".to_vec()).expect("usrdata");
+        }
+        be.wait_shutdown().expect("shutdown order");
+    });
+
+    // 4. launchAndSpawn: one call launches the job (4 nodes x 8 tasks) and
+    //    the daemons, fetches the RPDTAB, and completes the handshake.
+    let outcome = fe
+        .launch_and_spawn(session, "demo_app", &[], 4, 8, DaemonSpec::bare("demo_daemon"), be_main)
+        .expect("launchAndSpawn");
+
+    println!(
+        "\nlaunched {} tasks on {} nodes; {} daemons ready",
+        outcome.rpdtab.len(),
+        outcome.rpdtab.host_count(),
+        outcome.daemon_count
+    );
+
+    let msg = fe
+        .recv_usrdata(session, std::time::Duration::from_secs(10))
+        .expect("daemon message");
+    println!("message from daemons: {}", String::from_utf8_lossy(&msg));
+
+    // 5. The critical-path breakdown LaunchMON recorded (the §4 events).
+    if let Some(b) = outcome.breakdown {
+        println!("\ncritical path: total {:?}", b.total);
+        println!("  T(job)       {:?}", b.t_job);
+        println!("  RPDTAB fetch {:?}", b.t_rpdtab_fetch);
+        println!("  T(daemon)    {:?}", b.t_daemon);
+        println!("  handshake    {:?}", b.t_handshake);
+    }
+
+    // 6. Detach: daemons shut down, the job keeps running.
+    fe.detach(session).expect("detach");
+    fe.shutdown().expect("engine shutdown");
+    println!("\ndetached; job continues without daemons. done.");
+}

@@ -1,0 +1,63 @@
+//! The STAT case study (§5.2): find why a parallel job is stuck.
+//!
+//! A 8-node × 8-task job "hangs": rank 0 never finished reading its input,
+//! a few ranks wait in a collective, the rest spin in compute. STAT
+//! attaches via LaunchMON, samples every task's stack, merges the traces
+//! into a call-graph prefix tree over MRNet-style aggregation, and prints
+//! the equivalence classes — pointing a debugger at 3 representative ranks
+//! instead of 64 processes.
+//!
+//! ```text
+//! cargo run --example stat_hang_analysis
+//! ```
+
+use std::sync::Arc;
+
+use launchmon::cluster::config::ClusterConfig;
+use launchmon::cluster::VirtualCluster;
+use launchmon::core::fe::LmonFrontEnd;
+use launchmon::rm::api::{JobSpec, ResourceManager};
+use launchmon::rm::SlurmRm;
+use launchmon::tools::stat::{run_stat_adhoc, run_stat_launchmon};
+
+fn main() {
+    let nodes = 8usize;
+    let tpn = 8usize;
+    let cluster = VirtualCluster::new(ClusterConfig::with_nodes(nodes));
+    let rm: Arc<dyn ResourceManager> = Arc::new(SlurmRm::new(cluster.clone()));
+    let job = rm.launch_job(&JobSpec::new("hung_app", nodes, tpn), false).expect("job");
+    std::thread::sleep(std::time::Duration::from_millis(30));
+    println!("job {}: {} tasks appear hung — attaching STAT\n", job.job_id, nodes * tpn);
+
+    // --- LaunchMON startup path -------------------------------------------
+    let fe = LmonFrontEnd::init(rm).expect("fe init");
+    let outcome =
+        run_stat_launchmon(&fe, job.launcher_pid, nodes as u32).expect("stat launchmon");
+    println!("daemons launched+connected in {:?} (rsh connections used: {})",
+        outcome.connect_time, outcome.rsh_connects);
+
+    println!("\n--- merged call-graph prefix tree ---");
+    print!("{}", outcome.tree.render());
+
+    println!("--- equivalence classes ({} total) ---", outcome.classes.len());
+    for class in &outcome.classes {
+        println!(
+            "{:>3} ranks at {:<50} representative: rank {}",
+            class.ranks.len(),
+            class.path.join(" → "),
+            class.representative()
+        );
+    }
+
+    // --- the old way, for contrast ------------------------------------------
+    let hosts: Vec<String> = (0..nodes).map(|i| cluster.config().hostname(i)).collect();
+    let adhoc = run_stat_adhoc(&cluster, &hosts, (nodes * tpn) as u32).expect("stat adhoc");
+    println!(
+        "\nad hoc MRNet startup for comparison: {:?}, {} rsh connections (same classes: {})",
+        adhoc.connect_time,
+        adhoc.rsh_connects,
+        adhoc.classes == outcome.classes
+    );
+
+    fe.shutdown().expect("shutdown");
+}

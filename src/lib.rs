@@ -1,0 +1,15 @@
+//! Facade crate for the LaunchMON reproduction workspace.
+//!
+//! Re-exports the public crates so examples and integration tests can use a
+//! single dependency. See `README.md` for the architecture overview and
+//! `DESIGN.md` for the per-experiment index.
+
+pub use lmon_cluster as cluster;
+pub use lmon_core as core;
+pub use lmon_iccl as iccl;
+pub use lmon_model as model;
+pub use lmon_proto as proto;
+pub use lmon_rm as rm;
+pub use lmon_sim as sim;
+pub use lmon_tbon as tbon;
+pub use lmon_tools as tools;
