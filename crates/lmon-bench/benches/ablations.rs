@@ -73,10 +73,7 @@ fn main() {
         let rtt = 2.0 * link.latency.as_secs_f64() + 2.0 * link.send_overhead.as_secs_f64();
         let piggy = 0.0; // rides the handshake: no extra round trips
         let separate = round_trips as f64 * rtt;
-        rows.push(Row {
-            x: format!("{round_trips}"),
-            values: vec![s3(piggy), s3(separate)],
-        });
+        rows.push(Row { x: format!("{round_trips}"), values: vec![s3(piggy), s3(separate)] });
     }
     print_table(
         "Ablation 3: tool bootstrap data — piggybacked vs separate exchanges",

@@ -58,10 +58,7 @@ fn main() {
 
     // --- paper anchors -----------------------------------------------------
     let at128 = simulate_launch(&p, 128, 8);
-    println!(
-        "\npaper: <1 s at 128 daemons (1024 tasks)  | reproduced: {}",
-        s3(at128.total())
-    );
+    println!("\npaper: <1 s at 128 daemons (1024 tasks)  | reproduced: {}", s3(at128.total()));
     println!(
         "paper: LaunchMON share ≈ {:.1}%          | reproduced: {:.1}%",
         PAPER_FIG3_SHARE_128 * 100.0,
@@ -75,11 +72,18 @@ fn main() {
     type Series<'a> = (&'a str, Box<dyn Fn(usize) -> f64>);
     let series: Vec<Series> = vec![
         ("T(job)", Box::new(|d| simulate_launch(&CostParams::default(), d, 8).components.t_job)),
-        ("T(daemon)", Box::new(|d| simulate_launch(&CostParams::default(), d, 8).components.t_daemon)),
-        ("T(setup)", Box::new(|d| simulate_launch(&CostParams::default(), d, 8).components.t_setup)),
-        ("T(collective)", Box::new(|d| {
-            simulate_launch(&CostParams::default(), d, 8).components.t_collective
-        })),
+        (
+            "T(daemon)",
+            Box::new(|d| simulate_launch(&CostParams::default(), d, 8).components.t_daemon),
+        ),
+        (
+            "T(setup)",
+            Box::new(|d| simulate_launch(&CostParams::default(), d, 8).components.t_setup),
+        ),
+        (
+            "T(collective)",
+            Box::new(|d| simulate_launch(&CostParams::default(), d, 8).components.t_collective),
+        ),
     ];
     for (name, f) in &series {
         let ys: Vec<f64> = small.iter().map(|&d| f(d)).collect();

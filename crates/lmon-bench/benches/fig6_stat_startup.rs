@@ -40,9 +40,8 @@ fn main() {
         let paper_m = paper_ref(PAPER_FIG6_MRNET, n)
             .map(|v| format!("{v}s"))
             .unwrap_or_else(|| if n == 512 { "FAILS".into() } else { "-".into() });
-        let paper_l = paper_ref(PAPER_FIG6_LMON, n)
-            .map(|v| format!("{v}s"))
-            .unwrap_or_else(|| "-".into());
+        let paper_l =
+            paper_ref(PAPER_FIG6_LMON, n).map(|v| format!("{v}s")).unwrap_or_else(|| "-".into());
         rows.push(Row {
             x: format!("{n}"),
             values: vec![adhoc_str, s3(lmon), s3(handshake), speedup, paper_m, paper_l],
@@ -55,9 +54,7 @@ fn main() {
         &rows,
     );
 
-    println!(
-        "\npaper @256: 60.8 s vs 3.57 s (>17x, 0.77 s of which is MRNet handshake)"
-    );
+    println!("\npaper @256: 60.8 s vs 3.57 s (>17x, 0.77 s of which is MRNet handshake)");
     println!("paper @512: ad hoc consistently fails forking rsh; LaunchMON: 5.6 s");
 
     // --- real execution at laptop scale -------------------------------------
@@ -95,13 +92,12 @@ fn main() {
 
     // --- the 512-failure, demonstrated for real with a scaled-down budget ---
     let mut cfg = ClusterConfig::with_nodes(12);
-    cfg.rsh = RshConfig { fds_per_session: 2, fe_fd_limit: 20, fe_base_fds: 4, ..Default::default() };
+    cfg.rsh =
+        RshConfig { fds_per_session: 2, fe_fd_limit: 20, fe_base_fds: 4, ..Default::default() };
     let cluster = VirtualCluster::new(cfg);
     let hosts: Vec<String> = (0..12).map(|i| cluster.config().hostname(i)).collect();
     match run_stat_adhoc(&cluster, &hosts, 96) {
-        Err(e) => println!(
-            "\nreal fd-exhaustion demo (capacity 8 sessions, 12 daemons): {e}"
-        ),
+        Err(e) => println!("\nreal fd-exhaustion demo (capacity 8 sessions, 12 daemons): {e}"),
         Ok(_) => println!("\nERROR: expected the scaled-down ad hoc launch to fail"),
     }
     println!("\nfig6_stat_startup: done");

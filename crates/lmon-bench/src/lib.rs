@@ -32,12 +32,8 @@ pub struct Row {
 pub fn print_table(title: &str, x_label: &str, columns: &[&str], rows: &[Row]) {
     println!("\n=== {title} ===");
     let mut widths: Vec<usize> = columns.iter().map(|c| c.len()).collect();
-    let x_width = rows
-        .iter()
-        .map(|r| r.x.len())
-        .chain(std::iter::once(x_label.len()))
-        .max()
-        .unwrap_or(8);
+    let x_width =
+        rows.iter().map(|r| r.x.len()).chain(std::iter::once(x_label.len())).max().unwrap_or(8);
     for row in rows {
         for (i, v) in row.values.iter().enumerate() {
             if i < widths.len() {

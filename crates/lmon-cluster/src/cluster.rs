@@ -33,8 +33,12 @@ pub struct VirtualCluster {
 impl VirtualCluster {
     /// Build a cluster from a config.
     pub fn new(config: ClusterConfig) -> Self {
-        let fe = Node::new(NodeId::FrontEnd, config.fe_host.clone(), config.cores_per_node,
-            config.proc_table_cap);
+        let fe = Node::new(
+            NodeId::FrontEnd,
+            config.fe_host.clone(),
+            config.cores_per_node,
+            config.proc_table_cap,
+        );
         let compute = (0..config.nodes)
             .map(|i| {
                 Node::new(
@@ -76,12 +80,9 @@ impl VirtualCluster {
     pub fn node(&self, id: NodeId) -> ClusterResult<Arc<Node>> {
         match id {
             NodeId::FrontEnd => Ok(self.inner.fe.clone()),
-            NodeId::Compute(i) => self
-                .inner
-                .compute
-                .get(i as usize)
-                .cloned()
-                .ok_or(ClusterError::NoSuchNode(id)),
+            NodeId::Compute(i) => {
+                self.inner.compute.get(i as usize).cloned().ok_or(ClusterError::NoSuchNode(id))
+            }
         }
     }
 
@@ -342,9 +343,7 @@ mod tests {
     #[test]
     fn find_proc_searches_everywhere() {
         let c = small();
-        let fe_pid = c
-            .spawn_active(NodeId::FrontEnd, ProcSpec::named("tool_fe"), |_| {})
-            .unwrap();
+        let fe_pid = c.spawn_active(NodeId::FrontEnd, ProcSpec::named("tool_fe"), |_| {}).unwrap();
         let (node, rec) = c.find_proc(fe_pid).unwrap();
         assert_eq!(node.id, NodeId::FrontEnd);
         assert_eq!(rec.pid, fe_pid);

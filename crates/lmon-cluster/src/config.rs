@@ -112,7 +112,8 @@ mod tests {
     fn max_sessions_handles_degenerate_configs() {
         let cfg = RshConfig { fe_fd_limit: 10, fe_base_fds: 20, ..Default::default() };
         assert_eq!(cfg.max_sessions(), 0);
-        let cfg = RshConfig { fds_per_session: 0, fe_fd_limit: 8, fe_base_fds: 0, ..Default::default() };
+        let cfg =
+            RshConfig { fds_per_session: 0, fe_fd_limit: 8, fe_base_fds: 0, ..Default::default() };
         assert_eq!(cfg.max_sessions(), 8, "zero fds/session clamps to 1");
     }
 }

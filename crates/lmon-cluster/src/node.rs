@@ -74,13 +74,8 @@ impl Node {
 
     /// Pids whose spec matches a predicate (e.g. all tasks of one job).
     pub fn pids_matching(&self, pred: impl Fn(&ProcSpec) -> bool) -> Vec<Pid> {
-        let mut v: Vec<Pid> = self
-            .table
-            .lock()
-            .values()
-            .filter(|r| pred(&r.spec))
-            .map(|r| r.pid)
-            .collect();
+        let mut v: Vec<Pid> =
+            self.table.lock().values().filter(|r| pred(&r.spec)).map(|r| r.pid).collect();
         v.sort();
         v
     }
@@ -145,10 +140,7 @@ mod tests {
         node.insert(record(10, "app", Some(0))).unwrap();
         node.insert(record(20, "daemon", None)).unwrap();
         assert_eq!(node.pids(), vec![Pid(10), Pid(20), Pid(30)]);
-        assert_eq!(
-            node.pids_matching(|s| s.rank.is_some()),
-            vec![Pid(10), Pid(30)]
-        );
+        assert_eq!(node.pids_matching(|s| s.rank.is_some()), vec![Pid(10), Pid(30)]);
     }
 
     #[test]

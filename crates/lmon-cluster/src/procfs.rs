@@ -83,15 +83,15 @@ pub fn synth_task_stats(cluster_seed: u64, job_id: u64, rank: u32) -> ProcStats 
     let mut rng = SmallRng::seed_from_u64(
         cluster_seed ^ job_id.rotate_left(17) ^ (rank as u64).rotate_left(41),
     );
-    let vm_peak_kb = 200_000 + rng.gen_range(0..400_000);
+    let vm_peak_kb = 200_000 + rng.gen_range(0u64..400_000);
     ProcStats {
-        utime_ms: 1_000 + rng.gen_range(0..600_000),
-        stime_ms: 50 + rng.gen_range(0..20_000),
-        maj_flt: rng.gen_range(0..2_000),
+        utime_ms: 1_000 + rng.gen_range(0u64..600_000),
+        stime_ms: 50 + rng.gen_range(0u64..20_000),
+        maj_flt: rng.gen_range(0u64..2_000),
         vm_peak_kb,
-        vm_hwm_kb: vm_peak_kb - rng.gen_range(0..100_000).min(vm_peak_kb / 2),
-        vm_lck_kb: if rng.gen_bool(0.3) { rng.gen_range(0..65_536) } else { 0 },
-        num_threads: 1 + rng.gen_range(0..4),
+        vm_hwm_kb: vm_peak_kb - rng.gen_range(0u64..100_000).min(vm_peak_kb / 2),
+        vm_lck_kb: if rng.gen_bool(0.3) { rng.gen_range(0u64..65_536) } else { 0 },
+        num_threads: 1 + rng.gen_range(0u32..4),
         pc: (0x0040_0000 + rng.gen_range(0u64..0x0010_0000)) & !0x3,
     }
 }
@@ -105,7 +105,14 @@ pub fn snapshot(
     state: ProcState,
     stats: ProcStats,
 ) -> ProcSnapshot {
-    ProcSnapshot { pid, rank, exe: exe.to_string(), host: host.to_string(), state: state.code(), stats }
+    ProcSnapshot {
+        pid,
+        rank,
+        exe: exe.to_string(),
+        host: host.to_string(),
+        state: state.code(),
+        stats,
+    }
 }
 
 #[cfg(test)]

@@ -213,12 +213,8 @@ mod tests {
     #[test]
     fn fd_exhaustion_fails_fork_like_the_paper() {
         // Capacity (20-4)/2 = 8 sessions; the 9th fork fails.
-        let rsh = RshConfig {
-            fds_per_session: 2,
-            fe_fd_limit: 20,
-            fe_base_fds: 4,
-            ..Default::default()
-        };
+        let rsh =
+            RshConfig { fds_per_session: 2, fe_fd_limit: 20, fe_base_fds: 4, ..Default::default() };
         let c = cluster_with_rsh(16, rsh);
         let mut sessions = Vec::new();
         for i in 0..8 {

@@ -173,8 +173,7 @@ impl TraceController {
             if remaining.is_zero() {
                 return Err(ClusterError::TraceTimeout(self.pid));
             }
-            if cell.event_cv.wait_for(&mut inner, remaining).timed_out()
-                && inner.events.is_empty()
+            if cell.event_cv.wait_for(&mut inner, remaining).timed_out() && inner.events.is_empty()
             {
                 return Err(ClusterError::TraceTimeout(self.pid));
             }
@@ -289,10 +288,7 @@ mod tests {
         let bytes = ctl.read_symbol("MPIR_proctable").unwrap();
         assert_eq!(bytes.len(), 100);
         assert_eq!(ctl.words_read(), 13, "ceil(100/8) = 13 words");
-        assert!(matches!(
-            ctl.read_symbol("missing"),
-            Err(ClusterError::NoSuchSymbol { .. })
-        ));
+        assert!(matches!(ctl.read_symbol("missing"), Err(ClusterError::NoSuchSymbol { .. })));
     }
 
     #[test]

@@ -105,10 +105,7 @@ impl BeSession {
 
     /// Read a `/proc` snapshot of a local process (Jobsnap's data source).
     pub fn read_local_proc(&self, pid: u64) -> LmonResult<ProcSnapshot> {
-        self.ctx
-            .cluster
-            .read_proc(&self.ctx.hostname, Pid(pid))
-            .map_err(LmonError::Cluster)
+        self.ctx.cluster.read_proc(&self.ctx.hostname, Pid(pid)).map_err(LmonError::Cluster)
     }
 
     // --- collectives ----------------------------------------------------
@@ -238,9 +235,7 @@ fn be_bootstrap(
             host: ctx.hostname.clone(),
             pid: ctx.pid.0,
         };
-        chan.send(
-            LmonpMsg::of_type(MsgType::BeHello).with_epoch(cookie.epoch).with_lmon(&hello),
-        )?;
+        chan.send(LmonpMsg::of_type(MsgType::BeHello).with_epoch(cookie.epoch).with_lmon(&hello))?;
 
         // Launch info (+ piggybacked tool data).
         let msg = chan.recv()?;

@@ -66,9 +66,7 @@ impl EngineEndpoint {
 
     /// Receive with a timeout.
     pub fn recv_timeout(&self, timeout: std::time::Duration) -> LmonResult<Vec<u8>> {
-        self.rx
-            .recv_timeout(timeout)
-            .map_err(|_| LmonError::Timeout("waiting for engine reply"))
+        self.rx.recv_timeout(timeout).map_err(|_| LmonError::Timeout("waiting for engine reply"))
     }
 }
 

@@ -87,10 +87,8 @@ impl Driver {
     /// resuming the launcher after any intermediate stop.
     pub fn run_to_breakpoint(&mut self, ctl: &TraceController) -> Result<(), String> {
         loop {
-            let native = self
-                .event_mgr
-                .next_event(ctl)
-                .map_err(|e| format!("event manager: {e}"))?;
+            let native =
+                self.event_mgr.next_event(ctl).map_err(|e| format!("event manager: {e}"))?;
             let was_stop = matches!(native, TraceEvent::Stopped { .. });
             let event = self.decoder.decode(native);
             match self.handlers.dispatch(&event, &mut self.state) {

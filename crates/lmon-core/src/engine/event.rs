@@ -79,10 +79,7 @@ mod tests {
 
     #[test]
     fn kinds_match_events() {
-        assert_eq!(
-            LmonEvent::RmForked { child_pid: 1 }.kind(),
-            LmonEventKind::RmForked
-        );
+        assert_eq!(LmonEvent::RmForked { child_pid: 1 }.kind(), LmonEventKind::RmForked);
         assert_eq!(LmonEvent::JobReadyForTool.kind(), LmonEventKind::JobReadyForTool);
         assert_eq!(
             LmonEvent::StoppedElsewhere { symbol: "x".into() }.kind(),

@@ -145,10 +145,7 @@ mod tests {
     fn launcher_exit_is_fatal() {
         let t = HandlerTable::launch_defaults();
         let mut st = DriverState::default();
-        assert_eq!(
-            t.dispatch(&LmonEvent::RmExited { code: 127 }, &mut st),
-            HandlerVerdict::Fatal
-        );
+        assert_eq!(t.dispatch(&LmonEvent::RmExited { code: 127 }, &mut st), HandlerVerdict::Fatal);
         assert_eq!(st.launcher_exit, Some(127));
     }
 

@@ -56,10 +56,7 @@ use crate::timeline::CriticalEvent;
 /// A job under engine control.
 enum EngineJob {
     /// Launched by the engine (launchAndSpawn): full RM handle retained.
-    Launched {
-        handle: JobHandle,
-        ctl: TraceController,
-    },
+    Launched { handle: JobHandle, ctl: TraceController },
     /// Adopted at attach time: only pids are known.
     Attached {
         launcher_pid: Pid,
@@ -93,12 +90,8 @@ impl Engine {
         let cluster = rm.cluster().clone();
         let pid = cluster
             .spawn_active(NodeId::FrontEnd, ProcSpec::named("launchmon_engine"), move |_ctx| {
-                let mut engine = Engine {
-                    rm,
-                    platform,
-                    jobs: HashMap::new(),
-                    daemon_pids: HashMap::new(),
-                };
+                let mut engine =
+                    Engine { rm, platform, jobs: HashMap::new(), daemon_pids: HashMap::new() };
                 while let Ok(cmd) = engine_rx.recv() {
                     let replies = engine.handle(cmd);
                     let mut shutdown = false;
@@ -218,16 +211,8 @@ impl Engine {
         self.jobs.insert(tag, EngineJob::Launched { handle, ctl });
 
         vec![
-            Some(
-                LmonpMsg::of_type(MsgType::EngineRpdtab)
-                    .with_tag(tag)
-                    .with_lmon(&rpdtab),
-            ),
-            Some(
-                LmonpMsg::of_type(MsgType::EngineAck)
-                    .with_tag(tag)
-                    .with_lmon(&master_info),
-            ),
+            Some(LmonpMsg::of_type(MsgType::EngineRpdtab).with_tag(tag).with_lmon(&rpdtab)),
+            Some(LmonpMsg::of_type(MsgType::EngineAck).with_tag(tag).with_lmon(&master_info)),
         ]
     }
 
@@ -304,10 +289,7 @@ impl Engine {
             pid: pids.first().map(|p| p.0).unwrap_or(0),
         };
         self.daemon_pids.insert(tag, pids);
-        self.jobs.insert(
-            tag,
-            EngineJob::Attached { launcher_pid, rpdtab: rpdtab.clone(), ctl },
-        );
+        self.jobs.insert(tag, EngineJob::Attached { launcher_pid, rpdtab: rpdtab.clone(), ctl });
 
         vec![
             Some(LmonpMsg::of_type(MsgType::EngineRpdtab).with_tag(tag).with_lmon(&rpdtab)),
@@ -356,9 +338,7 @@ impl Engine {
                 .unwrap_or_default(),
             pid: pids.first().map(|p| p.0).unwrap_or(0),
         };
-        vec![Some(
-            LmonpMsg::of_type(MsgType::EngineAck).with_tag(tag).with_lmon(&master_info),
-        )]
+        vec![Some(LmonpMsg::of_type(MsgType::EngineAck).with_tag(tag).with_lmon(&master_info))]
     }
 
     fn handle_detach(&mut self, tag: u16) -> LmonpMsg {
@@ -414,7 +394,5 @@ fn error_reply(tag: u16, text: String) -> LmonpMsg {
 }
 
 fn status_reply(tag: u16, status: JobStatus) -> LmonpMsg {
-    LmonpMsg::of_type(MsgType::EngineStatus)
-        .with_tag(tag)
-        .with_lmon_payload(status.to_bytes())
+    LmonpMsg::of_type(MsgType::EngineStatus).with_tag(tag).with_lmon_payload(status.to_bytes())
 }

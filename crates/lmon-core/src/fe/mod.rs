@@ -173,9 +173,8 @@ impl LmonFrontEnd {
             tasks_per_node: tasks_per_node as u32,
             daemon: daemon.clone(),
         };
-        let wire = LmonpMsg::of_type(MsgType::FeLaunchReq)
-            .with_tag(session.0 as u16)
-            .with_lmon(&req);
+        let wire =
+            LmonpMsg::of_type(MsgType::FeLaunchReq).with_tag(session.0 as u16).with_lmon(&req);
         self.spawn_common(session, encode_msg(&wire), daemon, be_main, timeline)
     }
 
@@ -192,9 +191,8 @@ impl LmonFrontEnd {
         timeline.mark(CriticalEvent::E0ClientCall);
 
         let req = AttachRequest { launcher_pid: launcher_pid.0, daemon: daemon.clone() };
-        let wire = LmonpMsg::of_type(MsgType::FeAttachReq)
-            .with_tag(session.0 as u16)
-            .with_lmon(&req);
+        let wire =
+            LmonpMsg::of_type(MsgType::FeAttachReq).with_tag(session.0 as u16).with_lmon(&req);
         self.spawn_common(session, encode_msg(&wire), daemon, be_main, timeline)
     }
 
@@ -216,11 +214,7 @@ impl LmonFrontEnd {
         let master_slot = Arc::new(Mutex::new(Some(be_chan)));
         let wrapped = wrap_be_main(
             be_main,
-            BeWiring {
-                master_slot,
-                timeline: timeline.clone(),
-                topo: Topology::Binomial,
-            },
+            BeWiring { master_slot, timeline: timeline.clone(), topo: Topology::Binomial },
         );
 
         let mut env = daemon.env.clone();
@@ -262,10 +256,7 @@ impl LmonFrontEnd {
             .recv_timeout(HANDSHAKE_TIMEOUT)?
             .ok_or(LmonError::Timeout("waiting for BE hello"))?;
         if hello_msg.mtype != MsgType::BeHello {
-            return Err(LmonError::Engine(format!(
-                "expected BeHello, got {:?}",
-                hello_msg.mtype
-            )));
+            return Err(LmonError::Engine(format!("expected BeHello, got {:?}", hello_msg.mtype)));
         }
         let hello: Hello = hello_msg.decode_lmon()?;
         cookie.verify_hello(&hello)?;
@@ -286,9 +277,7 @@ impl LmonFrontEnd {
                 .with_usr_payload(packed),
         )?;
         fe_chan.send(
-            LmonpMsg::of_type(MsgType::BeRpdtab)
-                .with_epoch(cookie.epoch)
-                .with_lmon(&rpdtab),
+            LmonpMsg::of_type(MsgType::BeRpdtab).with_epoch(cookie.epoch).with_lmon(&rpdtab),
         )?;
 
         // Ready (+ optional piggybacked tool data through unpack).
@@ -333,28 +322,19 @@ impl LmonFrontEnd {
         mw_main: MwMain,
     ) -> LmonResult<MwOutcome> {
         let cookie = self.sessions.lock().get(session)?.cookie;
-        let rpdtab = self
-            .sessions
-            .lock()
-            .get(session)?
-            .rpdtab
-            .clone()
-            .unwrap_or_else(Rpdtab::empty);
+        let rpdtab =
+            self.sessions.lock().get(session)?.rpdtab.clone().unwrap_or_else(Rpdtab::empty);
 
         let (fe_chan, mw_chan) = LocalChannel::pair();
         let master_slot = Arc::new(Mutex::new(Some(mw_chan)));
-        let wrapped = wrap_mw_main(
-            mw_main,
-            MwWiring { master_slot, topo: Topology::Binomial },
-        );
+        let wrapped = wrap_mw_main(mw_main, MwWiring { master_slot, topo: Topology::Binomial });
 
         let mut env = daemon.env.clone();
         env.push(format!("{COOKIE_ENV_VAR}={}", cookie.to_env_value()));
 
         let req = SpawnMwRequest { count: count as u32, daemon: daemon.clone() };
-        let wire = LmonpMsg::of_type(MsgType::FeSpawnMwReq)
-            .with_tag(session.0 as u16)
-            .with_lmon(&req);
+        let wire =
+            LmonpMsg::of_type(MsgType::FeSpawnMwReq).with_tag(session.0 as u16).with_lmon(&req);
         self.engine.send(EngineCommand {
             wire: encode_msg(&wire),
             body: Some(wrapped),
@@ -376,10 +356,7 @@ impl LmonFrontEnd {
             .recv_timeout(HANDSHAKE_TIMEOUT)?
             .ok_or(LmonError::Timeout("waiting for MW hello"))?;
         if hello_msg.mtype != MsgType::MwHello {
-            return Err(LmonError::Engine(format!(
-                "expected MwHello, got {:?}",
-                hello_msg.mtype
-            )));
+            return Err(LmonError::Engine(format!("expected MwHello, got {:?}", hello_msg.mtype)));
         }
         let hello: Hello = hello_msg.decode_lmon()?;
         cookie.verify_hello(&hello)?;
@@ -420,9 +397,7 @@ impl LmonFrontEnd {
                 .with_usr_payload(packed),
         )?;
         fe_chan.send(
-            LmonpMsg::of_type(MsgType::MwRpdtab)
-                .with_epoch(cookie.epoch)
-                .with_lmon(&rpdtab),
+            LmonpMsg::of_type(MsgType::MwRpdtab).with_epoch(cookie.epoch).with_lmon(&rpdtab),
         )?;
         let ready = fe_chan
             .recv_timeout(HANDSHAKE_TIMEOUT)?
@@ -453,10 +428,10 @@ impl LmonFrontEnd {
     pub fn send_usrdata(&self, session: SessionId, bytes: Vec<u8>) -> LmonResult<()> {
         let mut runtimes = self.runtimes.lock();
         let rt = runtimes.get_mut(&session).ok_or(LmonError::NoSuchSession(session.0))?;
-        let chan = rt.be_chan.as_mut().ok_or(LmonError::BadSessionState {
-            expected: "Ready",
-            actual: "no BE channel",
-        })?;
+        let chan = rt
+            .be_chan
+            .as_mut()
+            .ok_or(LmonError::BadSessionState { expected: "Ready", actual: "no BE channel" })?;
         chan.send(LmonpMsg::of_type(MsgType::BeUsrData).with_usr_payload(bytes))?;
         Ok(())
     }
@@ -465,10 +440,10 @@ impl LmonFrontEnd {
     pub fn recv_usrdata(&self, session: SessionId, timeout: Duration) -> LmonResult<Vec<u8>> {
         let mut runtimes = self.runtimes.lock();
         let rt = runtimes.get_mut(&session).ok_or(LmonError::NoSuchSession(session.0))?;
-        let chan = rt.be_chan.as_mut().ok_or(LmonError::BadSessionState {
-            expected: "Ready",
-            actual: "no BE channel",
-        })?;
+        let chan = rt
+            .be_chan
+            .as_mut()
+            .ok_or(LmonError::BadSessionState { expected: "Ready", actual: "no BE channel" })?;
         loop {
             match chan.recv_timeout(timeout)? {
                 Some(msg) if msg.mtype == MsgType::BeUsrData => return Ok(msg.usr),
@@ -491,11 +466,7 @@ impl LmonFrontEnd {
     }
 
     /// Receive tool data from the MW master (`LMON_fe_recvUsrDataMw`).
-    pub fn recv_mw_usrdata(
-        &self,
-        session: SessionId,
-        timeout: Duration,
-    ) -> LmonResult<Vec<u8>> {
+    pub fn recv_mw_usrdata(&self, session: SessionId, timeout: Duration) -> LmonResult<Vec<u8>> {
         let mut runtimes = self.runtimes.lock();
         let rt = runtimes.get_mut(&session).ok_or(LmonError::NoSuchSession(session.0))?;
         let chan = rt.mw_chan.as_mut().ok_or(LmonError::BadSessionState {
@@ -563,12 +534,7 @@ impl LmonFrontEnd {
 
     fn session_timeline(&self, session: SessionId) -> LmonResult<TimelineRecorder> {
         self.sessions.lock().get(session)?;
-        Ok(self
-            .runtimes
-            .lock()
-            .get(&session)
-            .map(|rt| rt.timeline.clone())
-            .unwrap_or_default())
+        Ok(self.runtimes.lock().get(&session).map(|rt| rt.timeline.clone()).unwrap_or_default())
     }
 
     fn transition(&self, session: SessionId, next: SessionState) -> LmonResult<()> {
@@ -577,24 +543,17 @@ impl LmonFrontEnd {
 
     fn expect_reply(&self, reply: &LmonpMsg, want: MsgType) -> LmonResult<()> {
         if reply.error || reply.mtype == MsgType::EngineError {
-            return Err(LmonError::Engine(
-                String::from_utf8_lossy(&reply.lmon).into_owned(),
-            ));
+            return Err(LmonError::Engine(String::from_utf8_lossy(&reply.lmon).into_owned()));
         }
         if reply.mtype != want {
-            return Err(LmonError::Engine(format!(
-                "expected {want:?}, got {:?}",
-                reply.mtype
-            )));
+            return Err(LmonError::Engine(format!("expected {want:?}, got {:?}", reply.mtype)));
         }
         Ok(())
     }
 
     fn expect_status(&self, reply: &LmonpMsg, want: JobStatus) -> LmonResult<()> {
         if reply.error || reply.mtype == MsgType::EngineError {
-            return Err(LmonError::Engine(
-                String::from_utf8_lossy(&reply.lmon).into_owned(),
-            ));
+            return Err(LmonError::Engine(String::from_utf8_lossy(&reply.lmon).into_owned()));
         }
         let got = JobStatus::from_bytes(&reply.lmon)?;
         if got != want {
@@ -607,8 +566,7 @@ impl LmonFrontEnd {
 /// Derive the hostname `offset` nodes after `base` in the cluster's naming
 /// scheme (`node00005` + 2 → `node00007`).
 fn next_hostname(base: &str, offset: u32) -> String {
-    let digits: String =
-        base.chars().rev().take_while(|c| c.is_ascii_digit()).collect::<String>();
+    let digits: String = base.chars().rev().take_while(|c| c.is_ascii_digit()).collect::<String>();
     let digits: String = digits.chars().rev().collect();
     let prefix = &base[..base.len() - digits.len()];
     let n: u64 = digits.parse().unwrap_or(0);

@@ -219,9 +219,7 @@ fn mw_bootstrap(
             host: ctx.hostname.clone(),
             pid: ctx.pid.0,
         };
-        chan.send(
-            LmonpMsg::of_type(MsgType::MwHello).with_epoch(cookie.epoch).with_lmon(&hello),
-        )?;
+        chan.send(LmonpMsg::of_type(MsgType::MwHello).with_epoch(cookie.epoch).with_lmon(&hello))?;
 
         let msg = chan.recv()?;
         if msg.mtype != MsgType::MwLaunchInfo {
@@ -230,9 +228,7 @@ fn mw_bootstrap(
                 msg.mtype
             )));
         }
-        personalities_bytes = comm
-            .broadcast(Some(msg.lmon.clone()))
-            .map_err(LmonError::Iccl)?;
+        personalities_bytes = comm.broadcast(Some(msg.lmon.clone())).map_err(LmonError::Iccl)?;
         usrdata = comm.broadcast(Some(msg.usr.clone())).map_err(LmonError::Iccl)?;
 
         let msg = chan.recv()?;
@@ -262,15 +258,7 @@ fn mw_bootstrap(
         .ok_or(LmonError::Engine("no personality for my rank".into()))?;
     let rpdtab = Rpdtab::from_bytes(&rpdtab_bytes)?;
 
-    Ok(MwSession {
-        comm,
-        ctx,
-        personality,
-        all_personalities,
-        rpdtab,
-        usrdata,
-        master_chan,
-    })
+    Ok(MwSession { comm, ctx, personality, all_personalities, rpdtab, usrdata, master_chan })
 }
 
 #[cfg(test)]
@@ -293,8 +281,7 @@ mod tests {
             assert_eq!(p.host, hosts[i]);
         }
         // Endpoints are unique tokens.
-        let endpoints: std::collections::HashSet<u64> =
-            ps.iter().map(|p| p.endpoint).collect();
+        let endpoints: std::collections::HashSet<u64> = ps.iter().map(|p| p.endpoint).collect();
         assert_eq!(endpoints.len(), 7);
     }
 

@@ -210,11 +210,7 @@ mod tests {
         assert!(matches!(err, LmonError::BadSessionState { .. }));
         // Terminal states admit nothing.
         t.get_mut(id).unwrap().transition(SessionState::Killed).unwrap();
-        assert!(t
-            .get_mut(id)
-            .unwrap()
-            .transition(SessionState::EngineAttached)
-            .is_err());
+        assert!(t.get_mut(id).unwrap().transition(SessionState::EngineAttached).is_err());
     }
 
     #[test]

@@ -50,9 +50,8 @@ fn attach_to_nonexistent_launcher_fails_cleanly() {
     let fe = front_end(2);
     let session = fe.create_session();
     let be_main: BeMain = Arc::new(|_| {});
-    let err = fe
-        .attach_and_spawn(session, Pid(999_999), DaemonSpec::bare("d"), be_main)
-        .unwrap_err();
+    let err =
+        fe.attach_and_spawn(session, Pid(999_999), DaemonSpec::bare("d"), be_main).unwrap_err();
     assert!(matches!(err, LmonError::Engine(_)), "{err:?}");
     fe.shutdown().unwrap();
 }
@@ -77,9 +76,7 @@ fn attach_to_a_non_launcher_process_times_out_on_apai() {
     let fe = LmonFrontEnd::init(rm).unwrap();
     let session = fe.create_session();
     let be_main: BeMain = Arc::new(|_| {});
-    let err = fe
-        .attach_and_spawn(session, imposter, DaemonSpec::bare("d"), be_main)
-        .unwrap_err();
+    let err = fe.attach_and_spawn(session, imposter, DaemonSpec::bare("d"), be_main).unwrap_err();
     assert!(matches!(err, LmonError::Engine(_)), "{err:?}");
     cluster.kill(imposter).unwrap();
     fe.shutdown().unwrap();
@@ -90,10 +87,7 @@ fn operations_on_unknown_sessions_are_rejected() {
     let fe = front_end(1);
     let ghost = lmon_core::session::SessionId(999);
     assert!(matches!(fe.get_proctable(ghost), Err(LmonError::NoSuchSession(999))));
-    assert!(matches!(
-        fe.send_usrdata(ghost, vec![]),
-        Err(LmonError::NoSuchSession(999))
-    ));
+    assert!(matches!(fe.send_usrdata(ghost, vec![]), Err(LmonError::NoSuchSession(999))));
     assert!(matches!(
         fe.recv_usrdata(ghost, Duration::from_millis(1)),
         Err(LmonError::NoSuchSession(999))
@@ -105,14 +99,8 @@ fn operations_on_unknown_sessions_are_rejected() {
 fn usrdata_before_launch_is_a_state_error() {
     let fe = front_end(1);
     let session = fe.create_session();
-    assert!(matches!(
-        fe.send_usrdata(session, vec![1]),
-        Err(LmonError::BadSessionState { .. })
-    ));
-    assert!(matches!(
-        fe.get_proctable(session),
-        Err(LmonError::BadSessionState { .. })
-    ));
+    assert!(matches!(fe.send_usrdata(session, vec![1]), Err(LmonError::BadSessionState { .. })));
+    assert!(matches!(fe.get_proctable(session), Err(LmonError::BadSessionState { .. })));
     fe.shutdown().unwrap();
 }
 
@@ -121,10 +109,7 @@ fn detach_before_ready_is_rejected_by_state_machine() {
     let fe = front_end(1);
     let session = fe.create_session();
     let err = fe.detach(session).unwrap_err();
-    assert!(
-        matches!(err, LmonError::Engine(_) | LmonError::BadSessionState { .. }),
-        "{err:?}"
-    );
+    assert!(matches!(err, LmonError::Engine(_) | LmonError::BadSessionState { .. }), "{err:?}");
     fe.shutdown().unwrap();
 }
 
@@ -133,8 +118,7 @@ fn double_kill_reports_missing_job() {
     let fe = front_end(2);
     let session = fe.create_session();
     let be_main: BeMain = Arc::new(|_| {});
-    fe.launch_and_spawn(session, "app", &[], 2, 1, DaemonSpec::bare("d"), be_main)
-        .unwrap();
+    fe.launch_and_spawn(session, "app", &[], 2, 1, DaemonSpec::bare("d"), be_main).unwrap();
     fe.kill(session).unwrap();
     assert_eq!(fe.session_state(session).unwrap(), SessionState::Killed);
     // Second kill: engine no longer tracks the job; the state machine also
@@ -154,9 +138,7 @@ fn daemon_crash_during_bootstrap_surfaces_as_timeout_not_hang() {
     daemon.env.push("LMON_SEC_COOKIE=not-a-cookie".to_string());
     let be_main: BeMain = Arc::new(|_| {});
     let t0 = std::time::Instant::now();
-    let err = fe
-        .launch_and_spawn(session, "app", &[], 2, 1, daemon, be_main)
-        .unwrap_err();
+    let err = fe.launch_and_spawn(session, "app", &[], 2, 1, daemon, be_main).unwrap_err();
     assert!(
         matches!(err, LmonError::Timeout(_) | LmonError::AuthFailed | LmonError::Proto(_)),
         "{err:?}"
@@ -171,9 +153,8 @@ fn sessions_remain_usable_after_another_sessions_failure() {
     let fe = front_end(4);
     let bad = fe.create_session();
     let be_main: BeMain = Arc::new(|_| {});
-    let _ = fe
-        .launch_and_spawn(bad, "app", &[], 64, 8, DaemonSpec::bare("d"), be_main)
-        .unwrap_err();
+    let _ =
+        fe.launch_and_spawn(bad, "app", &[], 64, 8, DaemonSpec::bare("d"), be_main).unwrap_err();
 
     let good = fe.create_session();
     let be_main: BeMain = Arc::new(|be| {

@@ -117,8 +117,7 @@ fn piggybacked_usrdata_reaches_daemons_and_back() {
     // FE→BE piggyback through the registered pack callback.
     fe.register_pack(session, Box::new(|| b"mrnet-topology-info".to_vec())).unwrap();
 
-    let seen: Arc<parking_lot::Mutex<Vec<Vec<u8>>>> =
-        Arc::new(parking_lot::Mutex::new(Vec::new()));
+    let seen: Arc<parking_lot::Mutex<Vec<Vec<u8>>>> = Arc::new(parking_lot::Mutex::new(Vec::new()));
     let seen2 = seen.clone();
     let be_main: BeMain = Arc::new(move |be| {
         seen2.lock().push(be.usrdata().to_vec());
@@ -129,8 +128,7 @@ fn piggybacked_usrdata_reaches_daemons_and_back() {
         be.wait_shutdown().unwrap();
     });
 
-    fe.launch_and_spawn(session, "app", &[], 2, 2, DaemonSpec::bare("d"), be_main)
-        .expect("launch");
+    fe.launch_and_spawn(session, "app", &[], 2, 2, DaemonSpec::bare("d"), be_main).expect("launch");
 
     let done = fe.recv_usrdata(session, Duration::from_secs(10)).expect("work-done");
     assert_eq!(done, b"work-done");
@@ -158,8 +156,7 @@ fn fe_to_be_usrdata_flows_forward() {
         }
         be.wait_shutdown().unwrap();
     });
-    fe.launch_and_spawn(session, "app", &[], 2, 1, DaemonSpec::bare("d"), be_main)
-        .unwrap();
+    fe.launch_and_spawn(session, "app", &[], 2, 1, DaemonSpec::bare("d"), be_main).unwrap();
 
     fe.send_usrdata(session, b"steering-command".to_vec()).unwrap();
     assert_eq!(fe.recv_usrdata(session, Duration::from_secs(10)).unwrap(), b"ack");
@@ -185,8 +182,7 @@ fn collectives_available_to_tool_daemons() {
         be.barrier().unwrap();
         be.wait_shutdown().unwrap();
     });
-    fe.launch_and_spawn(session, "app", &[], 4, 1, DaemonSpec::bare("d"), be_main)
-        .unwrap();
+    fe.launch_and_spawn(session, "app", &[], 4, 1, DaemonSpec::bare("d"), be_main).unwrap();
 
     // ranks 0..4 doubled: 0+2+4+6 = 12
     wait_until("scatter results", || sum.load(Ordering::SeqCst) == 12);
@@ -201,9 +197,8 @@ fn kill_tears_down_job_and_daemons() {
     let be_main: BeMain = Arc::new(|_be| {
         // Exit immediately; daemons need not linger for kill to work.
     });
-    let outcome = fe
-        .launch_and_spawn(session, "app", &[], 2, 4, DaemonSpec::bare("d"), be_main)
-        .unwrap();
+    let outcome =
+        fe.launch_and_spawn(session, "app", &[], 2, 4, DaemonSpec::bare("d"), be_main).unwrap();
     assert_eq!(outcome.rpdtab.len(), 8);
 
     fe.kill(session).unwrap();
@@ -211,8 +206,7 @@ fn kill_tears_down_job_and_daemons() {
     let cluster = fe.rm().cluster().clone();
     let deadline = std::time::Instant::now() + Duration::from_secs(5);
     loop {
-        let live: usize =
-            cluster.compute_nodes().iter().map(|n| n.live_count()).sum();
+        let live: usize = cluster.compute_nodes().iter().map(|n| n.live_count()).sum();
         if live == 0 {
             break;
         }
@@ -229,14 +223,11 @@ fn timeline_regions_have_sane_shape() {
     let be_main: BeMain = Arc::new(|be| {
         be.wait_shutdown().unwrap();
     });
-    let outcome = fe
-        .launch_and_spawn(session, "app", &[], 4, 8, DaemonSpec::bare("d"), be_main)
-        .unwrap();
+    let outcome =
+        fe.launch_and_spawn(session, "app", &[], 4, 8, DaemonSpec::bare("d"), be_main).unwrap();
     let tl = fe.timeline(session).unwrap();
     // Handshake encloses setup (e8..e9 within e7..e10).
-    let handshake = tl
-        .between(CriticalEvent::E7HandshakeStart, CriticalEvent::E10Ready)
-        .unwrap();
+    let handshake = tl.between(CriticalEvent::E7HandshakeStart, CriticalEvent::E10Ready).unwrap();
     let setup = tl.between(CriticalEvent::E8SetupStart, CriticalEvent::E9SetupDone).unwrap();
     assert!(setup <= handshake);
     let b = outcome.breakdown.unwrap();
@@ -257,9 +248,7 @@ fn two_concurrent_sessions_are_isolated() {
     let o1 = fe
         .launch_and_spawn(s1, "app_one", &[], 3, 2, DaemonSpec::bare("d1"), idle.clone())
         .unwrap();
-    let o2 = fe
-        .launch_and_spawn(s2, "app_two", &[], 3, 4, DaemonSpec::bare("d2"), idle)
-        .unwrap();
+    let o2 = fe.launch_and_spawn(s2, "app_two", &[], 3, 4, DaemonSpec::bare("d2"), idle).unwrap();
 
     assert_eq!(o1.rpdtab.len(), 6);
     assert_eq!(o2.rpdtab.len(), 12);
@@ -283,8 +272,7 @@ fn middleware_daemons_get_personalities_and_rpdtab() {
     let idle: BeMain = Arc::new(|be| {
         be.wait_shutdown().unwrap();
     });
-    fe.launch_and_spawn(session, "app", &[], 3, 2, DaemonSpec::bare("be_d"), idle)
-        .unwrap();
+    fe.launch_and_spawn(session, "app", &[], 3, 2, DaemonSpec::bare("be_d"), idle).unwrap();
 
     let roots = Arc::new(AtomicUsize::new(0));
     let with_tables = Arc::new(AtomicUsize::new(0));
@@ -299,9 +287,8 @@ fn middleware_daemons_get_personalities_and_rpdtab() {
         assert_eq!(mw.all_personalities().len(), mw.size() as usize);
         mw.barrier().unwrap();
     });
-    let mw = fe
-        .launch_mw_daemons(session, 3, 2, DaemonSpec::bare("commd"), mw_main)
-        .expect("mw launch");
+    let mw =
+        fe.launch_mw_daemons(session, 3, 2, DaemonSpec::bare("commd"), mw_main).expect("mw launch");
     assert_eq!(mw.daemon_count, 3);
 
     // MW daemons ran to completion.
@@ -329,9 +316,7 @@ fn wrong_cookie_fails_handshake() {
     // poisons the hello.
     daemon.env.push("LMON_SEC_COOKIE=0000000000000000:0001".to_string());
     let be_main: BeMain = Arc::new(|_be| {});
-    let err = fe
-        .launch_and_spawn(session, "app", &[], 2, 1, daemon, be_main)
-        .unwrap_err();
+    let err = fe.launch_and_spawn(session, "app", &[], 2, 1, daemon, be_main).unwrap_err();
     assert!(
         matches!(err, lmon_core::error::LmonError::AuthFailed),
         "expected AuthFailed, got {err:?}"

@@ -49,9 +49,8 @@ fn mw_point_to_point_by_personality_handle() {
         }
         mw.barrier().unwrap();
     });
-    let outcome = fe
-        .launch_mw_daemons(session, 4, 2, DaemonSpec::bare("commd"), mw_main)
-        .expect("mw launch");
+    let outcome =
+        fe.launch_mw_daemons(session, 4, 2, DaemonSpec::bare("commd"), mw_main).expect("mw launch");
     assert_eq!(outcome.daemon_count, 4);
     let deadline = std::time::Instant::now() + Duration::from_secs(5);
     while ok_count.load(Ordering::SeqCst) < 4 {
@@ -79,8 +78,7 @@ fn mw_usrdata_flows_both_directions() {
         }
         mw.barrier().unwrap();
     });
-    fe.launch_mw_daemons(session, 3, 2, DaemonSpec::bare("commd"), mw_main)
-        .expect("mw launch");
+    fe.launch_mw_daemons(session, 3, 2, DaemonSpec::bare("commd"), mw_main).expect("mw launch");
 
     // FE side of the MW usrdata conversation: the MW channel is stored per
     // session; drive it through the public recv/send on the session's MW
@@ -105,8 +103,7 @@ fn mw_proctable_matches_job() {
         s2.fetch_add(mw.proctable().len() as u32, Ordering::SeqCst);
         mw.barrier().unwrap();
     });
-    fe.launch_mw_daemons(session, 2, 2, DaemonSpec::bare("commd"), mw_main)
-        .unwrap();
+    fe.launch_mw_daemons(session, 2, 2, DaemonSpec::bare("commd"), mw_main).unwrap();
     let deadline = std::time::Instant::now() + Duration::from_secs(5);
     // 2 MW daemons × 6 tasks each.
     while sizes.load(Ordering::SeqCst) < 12 {

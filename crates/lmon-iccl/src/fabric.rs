@@ -114,10 +114,7 @@ impl Fabric for ChannelFabric {
 
 impl std::fmt::Debug for ChannelFabric {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("ChannelFabric")
-            .field("rank", &self.rank)
-            .field("size", &self.size)
-            .finish()
+        f.debug_struct("ChannelFabric").field("rank", &self.rank).field("size", &self.size).finish()
     }
 }
 

@@ -30,8 +30,7 @@ fn get_u32(buf: &[u8], off: &mut usize) -> IcclResult<u32> {
 }
 
 fn encode_entries(entries: &[(u32, Vec<u8>)]) -> Vec<u8> {
-    let mut buf =
-        Vec::with_capacity(4 + entries.iter().map(|(_, b)| 8 + b.len()).sum::<usize>());
+    let mut buf = Vec::with_capacity(4 + entries.iter().map(|(_, b)| 8 + b.len()).sum::<usize>());
     put_u32(&mut buf, entries.len() as u32);
     for (rank, bytes) in entries {
         put_u32(&mut buf, *rank);
@@ -259,9 +258,8 @@ mod tests {
     fn gather_collects_all_ranks_in_order() {
         for topo in TOPOLOGIES {
             for n in [1u32, 2, 5, 16, 33] {
-                let results = spmd(n, topo, |mut comm| {
-                    comm.gather(vec![comm.rank() as u8]).unwrap()
-                });
+                let results =
+                    spmd(n, topo, |mut comm| comm.gather(vec![comm.rank() as u8]).unwrap());
                 let master = results[0].as_ref().expect("master gets data");
                 assert_eq!(master.len(), n as usize);
                 for (r, payload) in master.iter().enumerate() {
@@ -318,10 +316,12 @@ mod tests {
             comm.barrier().unwrap();
             let gathered = comm.gather(comm.rank().to_be_bytes().to_vec()).unwrap();
             let parts = gathered.map(|g| {
-                g.into_iter().map(|mut b| {
-                    b.push(0xFF);
-                    b
-                }).collect::<Vec<_>>()
+                g.into_iter()
+                    .map(|mut b| {
+                        b.push(0xFF);
+                        b
+                    })
+                    .collect::<Vec<_>>()
             });
             let mine = comm.scatter(parts).unwrap();
             let table = comm.broadcast(comm.is_master().then(|| b"rpdtab".to_vec())).unwrap();
@@ -376,7 +376,9 @@ mod tests {
         });
         let master = results[0].as_ref().unwrap();
         assert_eq!(master.len(), 16);
-        assert!(master.iter().enumerate().all(|(r, p)| p.len() == 64 * 1024
-            && p.iter().all(|&b| b == r as u8)));
+        assert!(master
+            .iter()
+            .enumerate()
+            .all(|(r, p)| p.len() == 64 * 1024 && p.iter().all(|&b| b == r as u8)));
     }
 }

@@ -66,10 +66,7 @@ impl Topology {
             }
             Topology::KAry(k) => {
                 let k = k.max(1);
-                (1..=k)
-                    .map(|i| rank * k + i)
-                    .filter(|&c| c < size)
-                    .collect()
+                (1..=k).map(|i| rank * k + i).filter(|&c| c < size).collect()
             }
         }
     }

@@ -6,11 +6,7 @@ use std::sync::Arc;
 use lmon_iccl::{ChannelFabric, IcclComm, Topology};
 
 fn arb_topology() -> impl Strategy<Value = Topology> {
-    prop_oneof![
-        Just(Topology::Flat),
-        Just(Topology::Binomial),
-        (1u32..9).prop_map(Topology::KAry),
-    ]
+    prop_oneof![Just(Topology::Flat), Just(Topology::Binomial), (1u32..9).prop_map(Topology::KAry),]
 }
 
 /// Run one closure per rank on its own thread.

@@ -46,7 +46,11 @@ impl LaunchBreakdownModel {
 
 /// Figure 3 model: predict the breakdown for `daemons` nodes ×
 /// `tasks_per_daemon` MPI tasks.
-pub fn launch_breakdown(p: &CostParams, daemons: usize, tasks_per_daemon: usize) -> LaunchBreakdownModel {
+pub fn launch_breakdown(
+    p: &CostParams,
+    daemons: usize,
+    tasks_per_daemon: usize,
+) -> LaunchBreakdownModel {
     let d = daemons as f64;
     LaunchBreakdownModel {
         t_job: p.rm_job_base + p.rm_job_hop * CostParams::log2(daemons),
@@ -63,7 +67,11 @@ pub fn launch_breakdown(p: &CostParams, daemons: usize, tasks_per_daemon: usize)
 
 /// The attach-path breakdown (no T(job): the job already runs). Used by
 /// Figures 5 and 6, whose tools attach.
-pub fn attach_breakdown(p: &CostParams, daemons: usize, tasks_per_daemon: usize) -> LaunchBreakdownModel {
+pub fn attach_breakdown(
+    p: &CostParams,
+    daemons: usize,
+    tasks_per_daemon: usize,
+) -> LaunchBreakdownModel {
     let mut b = launch_breakdown(p, daemons, tasks_per_daemon);
     b.t_job = 0.0;
     b
@@ -100,10 +108,7 @@ pub fn stat_adhoc_time(p: &CostParams, daemons: usize) -> Option<f64> {
 pub fn stat_launchmon_time(p: &CostParams, daemons: usize, tasks_per_daemon: usize) -> f64 {
     let launch = attach_breakdown(p, daemons, tasks_per_daemon).total();
     let d = daemons as f64;
-    p.mrnet_fe_init
-        + launch
-        + p.stat_daemon_init_per_daemon * d
-        + p.mrnet_accept_per_daemon * d
+    p.mrnet_fe_init + launch + p.stat_daemon_init_per_daemon * d + p.mrnet_accept_per_daemon * d
 }
 
 /// The MRNet handshake portion of the LaunchMON STAT number (the paper

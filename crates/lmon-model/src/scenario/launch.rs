@@ -100,20 +100,9 @@ pub fn simulate(
     // e7: handshake begins. The FE transmits real payload sizes over its
     // serialized NIC; the per-daemon record marshalling is the linear term.
     m.mark("e7", now);
-    let hello_len = Hello {
-        cookie: 0,
-        epoch: 1,
-        host: "node00000".into(),
-        pid: 1,
-    }
-    .encoded_len();
-    let info_len = DaemonInfo {
-        rank: 0,
-        size: daemons as u32,
-        host: "node00000".into(),
-        pid: 1,
-    }
-    .encoded_len();
+    let hello_len = Hello { cookie: 0, epoch: 1, host: "node00000".into(), pid: 1 }.encoded_len();
+    let info_len = DaemonInfo { rank: 0, size: daemons as u32, host: "node00000".into(), pid: 1 }
+        .encoded_len();
     let mut hs_end = net.send(now, fe, hello_len + 16);
     hs_end = net.send(hs_end, fe, info_len + 16).max_of(hs_end);
     hs_end = net.send(hs_end, fe, table.encoded_len() + 16).max_of(hs_end);
@@ -141,8 +130,7 @@ pub fn simulate(
     m.count("lmonp_bytes", net.bytes());
 
     // Extract per-component durations from the event trace.
-    let t_handshake_wire =
-        (m.between("e7", "e8").expect("e7<=e8").as_secs_f64()) - 0.0;
+    let t_handshake_wire = (m.between("e7", "e8").expect("e7<=e8").as_secs_f64()) - 0.0;
     let components = LaunchBreakdownModel {
         t_job,
         t_daemon,
@@ -150,8 +138,7 @@ pub fn simulate(
         t_collective,
         t_tracing: p.tracing_cost,
         t_rpdtab,
-        t_handshake: t_handshake_wire
-            + m.between("e9", "e10").expect("e9<=e10").as_secs_f64(),
+        t_handshake: t_handshake_wire + m.between("e9", "e10").expect("e9<=e10").as_secs_f64(),
         t_other: p.fixed_other,
     };
     MeasuredBreakdown { components, metrics: m }

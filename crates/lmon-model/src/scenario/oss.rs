@@ -18,7 +18,8 @@ pub fn simulate_oss_apai(p: &CostParams, nodes: usize) -> (f64, f64) {
     // --- DPCL path -------------------------------------------------------
     let per_symbol = p.dpcl_parse / LAUNCHER_SYMBOLS as f64;
     let mut dpcl = p.dpcl_connect;
-    dpcl += per_symbol * LAUNCHER_SYMBOLS as f64; // the full parse
+    // The full launcher-binary parse.
+    dpcl += per_symbol * LAUNCHER_SYMBOLS as f64;
     // Per-node session establishment grows gently with scale.
     dpcl += p.dpcl_per_log_node * CostParams::log2(nodes);
     // Reading the proctable afterwards is trivial next to the parse.
@@ -28,11 +29,8 @@ pub fn simulate_oss_apai(p: &CostParams, nodes: usize) -> (f64, f64) {
     // Engine attach up to e4 (RPDTAB fetched), plus the constant session
     // setup the paper's 0.6 s contains.
     let attach = simulate_attach(p, nodes, 8);
-    let e0_to_e4 = attach
-        .metrics
-        .between("e0", "e4")
-        .expect("attach trace has e0..e4")
-        .as_secs_f64();
+    let e0_to_e4 =
+        attach.metrics.between("e0", "e4").expect("attach trace has e0..e4").as_secs_f64();
     let lmon = p.oss_lmon_base + p.oss_lmon_per_log_node * CostParams::log2(nodes) + e0_to_e4
         - p.tracing_cost
         - p.fixed_other / 2.0;

@@ -58,9 +58,7 @@ impl Actor<Msg> for FeActor {
 
     fn on_start(&mut self, ctx: &mut Ctx<'_, Msg>) {
         // MRNet FE library init, then the first fork.
-        ctx.timer(SimDuration::from_secs_f64(self.params.mrnet_fe_init), Msg::Connect {
-            index: 0,
-        });
+        ctx.timer(SimDuration::from_secs_f64(self.params.mrnet_fe_init), Msg::Connect { index: 0 });
     }
 
     fn on_message(&mut self, msg: Msg, ctx: &mut Ctx<'_, Msg>) {
@@ -79,8 +77,8 @@ impl Actor<Msg> for FeActor {
                 self.live_sessions += 1;
                 self.connects += 1;
                 ctx.metrics.count("rsh_connects", 1);
-                let cost = self.params.rsh_connect_base
-                    + self.params.rsh_connect_growth * index as f64;
+                let cost =
+                    self.params.rsh_connect_base + self.params.rsh_connect_growth * index as f64;
                 ctx.timer(SimDuration::from_secs_f64(cost), Msg::Connected { index });
             }
             Msg::Connected { index } => {
@@ -102,13 +100,7 @@ impl Actor<Msg> for FeActor {
 /// Simulate the MRNet-rsh launch of `daemons` STAT daemons (1-deep).
 pub fn simulate_stat_adhoc(p: &CostParams, daemons: usize) -> AdhocResult {
     let mut sim: Sim<Msg> = Sim::new(0xF166);
-    let fe = FeActor {
-        params: *p,
-        daemons,
-        live_sessions: 0,
-        connects: 0,
-        result: None,
-    };
+    let fe = FeActor { params: *p, daemons, live_sessions: 0, connects: 0, result: None };
     let _id: ActorId = sim.add_actor(Box::new(fe));
     sim.run(10_000_000);
     // Retrieve the result through a second pass: actors are boxed, so we
@@ -213,8 +205,7 @@ mod tests {
         // LaunchMON wins at every scale the ad hoc path survives.
         for daemons in [4usize, 8, 16, 64, 128, 256, 500] {
             let (lm, _) = simulate_stat_launchmon(&p(), daemons, 8);
-            if let AdhocResult::Completed { seconds, .. } = simulate_stat_adhoc(&p(), daemons)
-            {
+            if let AdhocResult::Completed { seconds, .. } = simulate_stat_adhoc(&p(), daemons) {
                 // Below ~8 daemons the two are comparable; beyond, ad hoc
                 // must lose and keep losing.
                 if daemons >= 8 {

@@ -29,10 +29,7 @@ pub fn decode_msg(bytes: &[u8]) -> ProtoResult<LmonpMsg> {
     let lmon_len = header.lmon_len as usize;
     let usr_len = header.usr_len as usize;
     if slice.len() != lmon_len + usr_len {
-        return Err(ProtoError::Truncated {
-            needed: lmon_len + usr_len,
-            available: slice.len(),
-        });
+        return Err(ProtoError::Truncated { needed: lmon_len + usr_len, available: slice.len() });
     }
     let lmon = slice[..lmon_len].to_vec();
     let usr = slice[lmon_len..].to_vec();

@@ -348,10 +348,7 @@ mod tests {
         };
         let mut bytes = Vec::new();
         hdr.encode(&mut bytes);
-        assert!(matches!(
-            LmonpHeader::from_bytes(&bytes),
-            Err(ProtoError::PayloadTooLarge { .. })
-        ));
+        assert!(matches!(LmonpHeader::from_bytes(&bytes), Err(ProtoError::PayloadTooLarge { .. })));
     }
 
     #[test]

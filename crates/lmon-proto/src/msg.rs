@@ -152,9 +152,7 @@ mod tests {
     #[test]
     fn wire_len_counts_header_and_payloads() {
         let hello = Hello { cookie: 1, epoch: 0, host: "h".into(), pid: 2 };
-        let m = LmonpMsg::of_type(MsgType::BeHello)
-            .with_lmon(&hello)
-            .with_usr_payload(vec![0; 10]);
+        let m = LmonpMsg::of_type(MsgType::BeHello).with_lmon(&hello).with_usr_payload(vec![0; 10]);
         assert_eq!(m.wire_len(), 16 + hello.to_bytes().len() + 10);
     }
 

@@ -10,8 +10,8 @@ use bytes::{Buf, BufMut};
 
 use crate::error::{ProtoError, ProtoResult};
 use crate::wire::{
-    bytes_len, get_bytes, get_str, get_u16, get_u32, get_u64, get_u8, put_bytes, put_str,
-    str_len, WireDecode, WireEncode,
+    bytes_len, get_bytes, get_str, get_u16, get_u32, get_u64, get_u8, put_bytes, put_str, str_len,
+    WireDecode, WireEncode,
 };
 
 /// What a tool wants launched on each target node.

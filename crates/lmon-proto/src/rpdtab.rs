@@ -17,9 +17,7 @@ use std::collections::HashMap;
 use bytes::{Buf, BufMut};
 
 use crate::error::ProtoResult;
-use crate::wire::{
-    get_str, get_u32, get_u64, put_str, str_len, WireDecode, WireEncode,
-};
+use crate::wire::{get_str, get_u32, get_u64, put_str, str_len, WireDecode, WireEncode};
 
 /// One entry of the RPDTAB: where a single MPI task lives.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
@@ -98,10 +96,7 @@ impl Rpdtab {
 
     /// Look up the entry for a given MPI rank.
     pub fn by_rank(&self, rank: u32) -> Option<&ProcDesc> {
-        self.entries
-            .binary_search_by_key(&rank, |e| e.rank)
-            .ok()
-            .map(|i| &self.entries[i])
+        self.entries.binary_search_by_key(&rank, |e| e.rank).ok().map(|i| &self.entries[i])
     }
 
     /// Entries located on `host` (a daemon uses this to find its local tasks).
@@ -307,12 +302,7 @@ mod tests {
     fn push_keeps_rank_order() {
         let mut tab = Rpdtab::empty();
         for rank in [5u32, 1, 3, 2, 4, 0] {
-            tab.push(ProcDesc {
-                rank,
-                host: "h".into(),
-                exe: "x".into(),
-                pid: rank as u64,
-            });
+            tab.push(ProcDesc { rank, host: "h".into(), exe: "x".into(), pid: rank as u64 });
         }
         let ranks: Vec<u32> = tab.entries().iter().map(|e| e.rank).collect();
         assert_eq!(ranks, vec![0, 1, 2, 3, 4, 5]);

@@ -195,9 +195,7 @@ mod tests {
     use crate::header::MsgType;
 
     fn msg(tag: u16) -> LmonpMsg {
-        LmonpMsg::of_type(MsgType::BeUsrData)
-            .with_tag(tag)
-            .with_lmon_payload(vec![tag as u8; 100])
+        LmonpMsg::of_type(MsgType::BeUsrData).with_tag(tag).with_lmon_payload(vec![tag as u8; 100])
     }
 
     #[test]

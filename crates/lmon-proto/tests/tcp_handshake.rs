@@ -29,10 +29,8 @@ fn full_handshake_over_tcp() {
             host: "node00000".into(),
             pid: 4242,
         };
-        chan.send(
-            LmonpMsg::of_type(MsgType::BeHello).with_epoch(cookie.epoch).with_lmon(&hello),
-        )
-        .unwrap();
+        chan.send(LmonpMsg::of_type(MsgType::BeHello).with_epoch(cookie.epoch).with_lmon(&hello))
+            .unwrap();
 
         let info_msg = chan.recv().unwrap();
         assert_eq!(info_msg.mtype, MsgType::BeLaunchInfo);
@@ -45,10 +43,8 @@ fn full_handshake_over_tcp() {
         let got: Rpdtab = rpdtab_msg.decode_lmon().unwrap();
         assert_eq!(got, table_for_daemon);
 
-        chan.send(
-            LmonpMsg::of_type(MsgType::BeReady).with_usr_payload(b"daemon-data".to_vec()),
-        )
-        .unwrap();
+        chan.send(LmonpMsg::of_type(MsgType::BeReady).with_usr_payload(b"daemon-data".to_vec()))
+            .unwrap();
     });
 
     // The "front end": accepts, verifies the cookie, runs its side.
@@ -85,12 +81,8 @@ fn wrong_cookie_over_tcp_is_rejected() {
 
     let daemon = std::thread::spawn(move || {
         let chan = TcpChannel::connect(addr).unwrap();
-        let hello = Hello {
-            cookie: forged.cookie,
-            epoch: forged.epoch,
-            host: "evil".into(),
-            pid: 1,
-        };
+        let hello =
+            Hello { cookie: forged.cookie, epoch: forged.epoch, host: "evil".into(), pid: 1 };
         chan.send(LmonpMsg::of_type(MsgType::BeHello).with_lmon(&hello)).unwrap();
     });
 
@@ -118,9 +110,7 @@ fn large_rpdtab_streams_over_tcp() {
     });
 
     let sender = TcpChannel::connect(addr).unwrap();
-    sender
-        .send(LmonpMsg::of_type(MsgType::BeRpdtab).with_lmon(&table))
-        .unwrap();
+    sender.send(LmonpMsg::of_type(MsgType::BeRpdtab).with_lmon(&table)).unwrap();
     assert_eq!(receiver.join().unwrap(), 8192);
 }
 

@@ -18,9 +18,7 @@ use lmon_cluster::process::Pid;
 use lmon_cluster::VirtualCluster;
 
 use crate::allocator::NodeAllocator;
-use crate::api::{
-    Allocation, DaemonBody, JobHandle, JobSpec, ResourceManager, RmResult,
-};
+use crate::api::{Allocation, DaemonBody, JobHandle, JobSpec, ResourceManager, RmResult};
 use crate::slurm::{DebugEventProfile, RmCore};
 
 /// The BG/L-like RM.
@@ -90,9 +88,9 @@ impl ResourceManager for BlueGeneRm {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::mpir;
     use lmon_cluster::config::ClusterConfig;
     use lmon_cluster::trace::{TraceController, TraceEvent};
-    use crate::mpir;
     use std::time::Duration;
 
     #[test]

@@ -41,9 +41,7 @@ pub mod rsh;
 pub mod slurm;
 
 pub use allocator::NodeAllocator;
-pub use api::{
-    Allocation, DaemonBody, JobHandle, JobSpec, ResourceManager, RmError, RmResult,
-};
+pub use api::{Allocation, DaemonBody, JobHandle, JobSpec, ResourceManager, RmError, RmResult};
 pub use bluegene::BlueGeneRm;
 pub use rsh::RshLauncher;
 pub use slurm::SlurmRm;

@@ -177,7 +177,8 @@ mod tests {
     #[test]
     fn sequential_launch_fails_at_fd_exhaustion() {
         // Capacity (20-4)/2 = 8; the 9th node fails, like §5.2 at 512.
-        let rsh = RshConfig { fds_per_session: 2, fe_fd_limit: 20, fe_base_fds: 4, ..Default::default() };
+        let rsh =
+            RshConfig { fds_per_session: 2, fe_fd_limit: 20, fe_base_fds: 4, ..Default::default() };
         let c = cluster(16, rsh);
         let launcher = RshLauncher::new(c.clone());
         let body: RshDaemonBody = Arc::new(|ctx| {
@@ -197,7 +198,8 @@ mod tests {
     #[test]
     fn tree_launch_spares_front_end_fds() {
         // Same tight fd budget, but fanout-4 tree only holds 4 FE sessions.
-        let rsh = RshConfig { fds_per_session: 2, fe_fd_limit: 20, fe_base_fds: 4, ..Default::default() };
+        let rsh =
+            RshConfig { fds_per_session: 2, fe_fd_limit: 20, fe_base_fds: 4, ..Default::default() };
         let c = cluster(16, rsh);
         let launcher = RshLauncher::new(c.clone());
         let started = Arc::new(AtomicUsize::new(0));

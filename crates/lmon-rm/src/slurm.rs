@@ -17,9 +17,7 @@ use lmon_iccl::fabric::Fabric as _;
 use lmon_proto::rpdtab::{ProcDesc, Rpdtab};
 
 use crate::allocator::NodeAllocator;
-use crate::api::{
-    Allocation, DaemonBody, JobHandle, JobSpec, ResourceManager, RmError, RmResult,
-};
+use crate::api::{Allocation, DaemonBody, JobHandle, JobSpec, ResourceManager, RmError, RmResult};
 use crate::fabric::RmFabricEndpoint;
 use crate::mpir;
 
@@ -90,10 +88,8 @@ impl RmCore {
 
                 // Spawn the application tasks: passive table entries, laid
                 // out block-wise like srun's default distribution.
-                let mut entries =
-                    Vec::with_capacity(job_spec.nodes * job_spec.tasks_per_node);
-                let mut event_budget =
-                    events.event_count(job_spec.nodes, job_spec.tasks_per_node);
+                let mut entries = Vec::with_capacity(job_spec.nodes * job_spec.tasks_per_node);
+                let mut event_budget = events.event_count(job_spec.nodes, job_spec.tasks_per_node);
                 for (node_i, node_id) in nodes.iter().enumerate() {
                     let host = match cluster.node(*node_id) {
                         Ok(n) => n.hostname.clone(),
@@ -180,8 +176,7 @@ impl RmCore {
         let key = self.job_env_key;
         let id = handle.job_id.to_string();
         for node_id in &handle.allocation.nodes {
-            let node =
-                self.cluster.node(*node_id).map_err(|e| RmError::Cluster(e.to_string()))?;
+            let node = self.cluster.node(*node_id).map_err(|e| RmError::Cluster(e.to_string()))?;
             for pid in node.pids_matching(|s| s.env_get(key) == Some(id.as_str())) {
                 let _ = self.cluster.kill(pid);
             }
@@ -208,13 +203,7 @@ impl SlurmRm {
     pub fn with_event_profile(cluster: VirtualCluster, events: DebugEventProfile) -> Self {
         let allocator = Arc::new(NodeAllocator::new(&cluster));
         SlurmRm {
-            core: RmCore {
-                name: "slurm",
-                cluster,
-                allocator,
-                events,
-                job_env_key: "SLURM_JOB_ID",
-            },
+            core: RmCore { name: "slurm", cluster, allocator, events, job_env_key: "SLURM_JOB_ID" },
         }
     }
 
@@ -365,13 +354,10 @@ mod tests {
                 tx.send(hosts).unwrap();
             }
         });
-        let pids = rm
-            .spawn_daemons(&handle.allocation, "toold", &[], &[], body)
-            .unwrap();
+        let pids = rm.spawn_daemons(&handle.allocation, "toold", &[], &[], body).unwrap();
         assert_eq!(pids.len(), 4);
         let hosts = rx.recv_timeout(Duration::from_secs(5)).unwrap();
-        let hosts: Vec<String> =
-            hosts.into_iter().map(|h| String::from_utf8(h).unwrap()).collect();
+        let hosts: Vec<String> = hosts.into_iter().map(|h| String::from_utf8(h).unwrap()).collect();
         assert_eq!(hosts, (0..4).map(|i| format!("node{i:05}")).collect::<Vec<_>>());
         for pid in pids {
             rm.cluster().wait_pid(pid).unwrap();
@@ -385,8 +371,7 @@ mod tests {
         let rm = rm(6);
         let handle = rm.launch_job(&JobSpec::new("app", 4, 1), false).unwrap();
         let mw = rm.allocate_mw_nodes(2).unwrap();
-        let job_nodes: std::collections::HashSet<_> =
-            handle.allocation.nodes.iter().collect();
+        let job_nodes: std::collections::HashSet<_> = handle.allocation.nodes.iter().collect();
         assert!(mw.nodes.iter().all(|n| !job_nodes.contains(n)));
         assert!(rm.allocate_mw_nodes(1).is_err(), "cluster fully allocated");
         rm.release_allocation(&mw);

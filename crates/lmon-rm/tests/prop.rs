@@ -17,10 +17,7 @@ enum Op {
 
 fn arb_ops() -> impl Strategy<Value = Vec<Op>> {
     proptest::collection::vec(
-        prop_oneof![
-            (1usize..20).prop_map(Op::Allocate),
-            (0usize..8).prop_map(Op::Release),
-        ],
+        prop_oneof![(1usize..20).prop_map(Op::Allocate), (0usize..8).prop_map(Op::Release),],
         1..60,
     )
 }

@@ -207,8 +207,10 @@ impl<M> Sim<M> {
             }
             budget -= 1;
         }
-        assert!(budget > 0 || self.stop_requested || self.queue.is_empty(),
-            "simulation exceeded its event budget of {max_events} events — likely a livelock");
+        assert!(
+            budget > 0 || self.stop_requested || self.queue.is_empty(),
+            "simulation exceeded its event budget of {max_events} events — likely a livelock"
+        );
         self.now
     }
 

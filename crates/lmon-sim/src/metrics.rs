@@ -103,8 +103,7 @@ impl Metrics {
 
     /// All counters, sorted by name (stable output for reports).
     pub fn counters_sorted(&self) -> Vec<(&str, u64)> {
-        let mut v: Vec<(&str, u64)> =
-            self.counters.iter().map(|(k, &n)| (k.as_str(), n)).collect();
+        let mut v: Vec<(&str, u64)> = self.counters.iter().map(|(k, &n)| (k.as_str(), n)).collect();
         v.sort();
         v
     }

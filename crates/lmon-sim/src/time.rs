@@ -198,8 +198,7 @@ mod tests {
 
     #[test]
     fn sum_and_scale() {
-        let total: SimDuration =
-            [1u64, 2, 3].into_iter().map(SimDuration::from_millis).sum();
+        let total: SimDuration = [1u64, 2, 3].into_iter().map(SimDuration::from_millis).sum();
         assert_eq!(total, SimDuration::from_millis(6));
         assert_eq!(SimDuration::from_millis(10).mul_f64(2.5), SimDuration::from_millis(25));
     }

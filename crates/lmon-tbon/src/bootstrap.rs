@@ -21,13 +21,13 @@ use std::sync::Arc;
 
 use parking_lot::Mutex;
 
-use lmon_cluster::process::{Pid, ProcCtx, ProcSpec};
-use lmon_cluster::remote::RshSession;
-use lmon_cluster::VirtualCluster;
 use crate::error::{TbonError, TbonResult};
 use crate::filter::FilterRegistry;
 use crate::overlay::{run_comm_node, FrontEndpoint, LeafEndpoint, Overlay};
 use crate::spec::TopologySpec;
+use lmon_cluster::process::{Pid, ProcCtx, ProcSpec};
+use lmon_cluster::remote::RshSession;
+use lmon_cluster::VirtualCluster;
 
 /// What each leaf daemon runs once connected.
 pub type LeafMain = Arc<dyn Fn(LeafEndpoint, &ProcCtx) + Send + Sync + 'static>;
@@ -172,15 +172,13 @@ mod tests {
     use std::time::Duration;
 
     fn echo_leaf() -> LeafMain {
-        Arc::new(|leaf, _ctx| {
-            loop {
-                match leaf.recv() {
-                    Ok(crate::overlay::LeafEvent::Data(pkt)) => {
-                        let _ = leaf.send_up(pkt.stream, pkt.tag, vec![leaf.leaf_index as u8]);
-                    }
-                    Ok(crate::overlay::LeafEvent::Shutdown) | Err(_) => return,
-                    Ok(crate::overlay::LeafEvent::StreamOpened(_)) => continue,
+        Arc::new(|leaf, _ctx| loop {
+            match leaf.recv() {
+                Ok(crate::overlay::LeafEvent::Data(pkt)) => {
+                    let _ = leaf.send_up(pkt.stream, pkt.tag, vec![leaf.leaf_index as u8]);
                 }
+                Ok(crate::overlay::LeafEvent::Shutdown) | Err(_) => return,
+                Ok(crate::overlay::LeafEvent::StreamOpened(_)) => continue,
             }
         })
     }
@@ -190,15 +188,9 @@ mod tests {
         let cluster = VirtualCluster::new(ClusterConfig::with_nodes(6));
         let spec = TopologySpec::one_deep(6);
         let hosts: Vec<String> = (0..6).map(|i| cluster.config().hostname(i)).collect();
-        let mut net = bootstrap_adhoc(
-            &cluster,
-            &spec,
-            &[],
-            &hosts,
-            FilterRegistry::new(),
-            echo_leaf(),
-        )
-        .expect("adhoc bootstrap");
+        let mut net =
+            bootstrap_adhoc(&cluster, &spec, &[], &hosts, FilterRegistry::new(), echo_leaf())
+                .expect("adhoc bootstrap");
         let ids = net.front.await_connections(6, Duration::from_secs(5)).unwrap();
         assert_eq!(ids.len(), 6);
         assert_eq!(cluster.rsh_state().total_connects(), 6, "one rsh per daemon");
@@ -235,19 +227,13 @@ mod tests {
     fn adhoc_fails_at_fd_exhaustion_like_figure_6() {
         // Budget for only 5 sessions; a 8-leaf 1-deep TBON must fail.
         let mut cfg = ClusterConfig::with_nodes(8);
-        cfg.rsh = RshConfig { fds_per_session: 2, fe_fd_limit: 14, fe_base_fds: 4, ..Default::default() };
+        cfg.rsh =
+            RshConfig { fds_per_session: 2, fe_fd_limit: 14, fe_base_fds: 4, ..Default::default() };
         let cluster = VirtualCluster::new(cfg);
         let spec = TopologySpec::one_deep(8);
         let hosts: Vec<String> = (0..8).map(|i| cluster.config().hostname(i)).collect();
-        let err = bootstrap_adhoc(
-            &cluster,
-            &spec,
-            &[],
-            &hosts,
-            FilterRegistry::new(),
-            echo_leaf(),
-        )
-        .unwrap_err();
+        let err = bootstrap_adhoc(&cluster, &spec, &[], &hosts, FilterRegistry::new(), echo_leaf())
+            .unwrap_err();
         assert!(matches!(err, TbonError::LaunchFailed(_)));
         assert!(err.to_string().contains("fork failed"), "{err}");
         assert_eq!(cluster.rsh_state().failed_connects(), 1);
@@ -259,15 +245,8 @@ mod tests {
         let spec = TopologySpec::parse("1x2x4").unwrap();
         let hosts: Vec<String> = (0..4).map(|i| cluster.config().hostname(i)).collect();
         // Missing comm hosts.
-        assert!(bootstrap_adhoc(
-            &cluster,
-            &spec,
-            &[],
-            &hosts,
-            FilterRegistry::new(),
-            echo_leaf()
-        )
-        .is_err());
+        assert!(bootstrap_adhoc(&cluster, &spec, &[], &hosts, FilterRegistry::new(), echo_leaf())
+            .is_err());
         // Wrong leaf count.
         assert!(bootstrap_adhoc(
             &cluster,

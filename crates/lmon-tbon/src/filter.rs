@@ -127,7 +127,10 @@ mod tests {
         let reg = FilterRegistry::new();
         let a = 100u64.to_be_bytes().to_vec();
         let b = 42u64.to_be_bytes().to_vec();
-        assert_eq!(reg.apply(&FilterKind::SumU64, vec![a.clone(), b.clone()]), 142u64.to_be_bytes());
+        assert_eq!(
+            reg.apply(&FilterKind::SumU64, vec![a.clone(), b.clone()]),
+            142u64.to_be_bytes()
+        );
         assert_eq!(reg.apply(&FilterKind::MaxU64, vec![a, b]), 100u64.to_be_bytes());
     }
 

@@ -132,30 +132,18 @@ impl FrontEndpoint {
     /// Gather one aggregated packet for `(stream, tag)`: waits for every
     /// direct child's contribution and applies the stream filter once more.
     pub fn gather(&mut self, stream: u16, tag: u16, timeout: Duration) -> TbonResult<Packet> {
-        let filter = self
-            .streams
-            .get(&stream)
-            .cloned()
-            .ok_or(TbonError::NoSuchStream(stream))?;
+        let filter = self.streams.get(&stream).cloned().ok_or(TbonError::NoSuchStream(stream))?;
         let want = self.child_down.len();
         let deadline = std::time::Instant::now() + timeout;
         loop {
-            if self
-                .pending
-                .get(&(stream, tag))
-                .map(|m| m.len() == want)
-                .unwrap_or(want == 0)
-            {
+            if self.pending.get(&(stream, tag)).map(|m| m.len() == want).unwrap_or(want == 0) {
                 break;
             }
             let remaining = deadline.saturating_duration_since(std::time::Instant::now());
             if remaining.is_zero() {
                 return Err(TbonError::Timeout);
             }
-            let up = self
-                .up_rx
-                .recv_timeout(remaining)
-                .map_err(|_| TbonError::Timeout)?;
+            let up = self.up_rx.recv_timeout(remaining).map_err(|_| TbonError::Timeout)?;
             self.pending
                 .entry((up.packet.stream, up.packet.tag))
                 .or_default()
@@ -230,21 +218,14 @@ impl Overlay {
         // Child slot assignment: index within the parent's children list.
         let slot_of = |spec: &TopologySpec, pos: NodePos| -> usize {
             let parent = spec.parent(pos).expect("non-root");
-            spec.children(parent)
-                .iter()
-                .position(|c| *c == pos)
-                .expect("child listed by parent")
+            spec.children(parent).iter().position(|c| *c == pos).expect("child listed by parent")
         };
 
         let mut streams = HashMap::new();
         streams.insert(CONNECT_STREAM, FilterKind::Concat);
 
         let front = FrontEndpoint {
-            child_down: spec
-                .children(root)
-                .iter()
-                .map(|c| down_tx[c].clone())
-                .collect(),
+            child_down: spec.children(root).iter().map(|c| down_tx[c].clone()).collect(),
             up_rx: up_pair[&root].1.clone(),
             registry: registry.clone(),
             streams,
@@ -262,11 +243,7 @@ impl Overlay {
                     down_rx: down_rx[&pos].clone(),
                     up_tx: up_pair[&parent].0.clone(),
                     my_slot: slot_of(spec, pos),
-                    child_down: spec
-                        .children(pos)
-                        .iter()
-                        .map(|c| down_tx[c].clone())
-                        .collect(),
+                    child_down: spec.children(pos).iter().map(|c| down_tx[c].clone()).collect(),
                     up_rx: up_pair[&pos].1.clone(),
                 }
             })
@@ -441,15 +418,13 @@ mod tests {
 
     #[test]
     fn concat_collects_leaf_payloads_in_order() {
-        let (mut front, handles) = run_overlay("1x3", FilterRegistry::new(), |leaf| {
-            loop {
-                match leaf.recv().unwrap() {
-                    LeafEvent::Data(pkt) => {
-                        leaf.send_up(pkt.stream, pkt.tag, vec![leaf.leaf_index as u8]).unwrap();
-                    }
-                    LeafEvent::Shutdown => return,
-                    LeafEvent::StreamOpened(_) => continue,
+        let (mut front, handles) = run_overlay("1x3", FilterRegistry::new(), |leaf| loop {
+            match leaf.recv().unwrap() {
+                LeafEvent::Data(pkt) => {
+                    leaf.send_up(pkt.stream, pkt.tag, vec![leaf.leaf_index as u8]).unwrap();
                 }
+                LeafEvent::Shutdown => return,
+                LeafEvent::StreamOpened(_) => continue,
             }
         });
         let stream = front.open_stream(FilterKind::Concat).unwrap();
@@ -470,23 +445,24 @@ mod tests {
         registry.register(
             1,
             Arc::new(|inputs| {
-                let total: u64 = inputs.iter().map(|i| {
-                    let mut buf = [0u8; 8];
-                    buf[8 - i.len().min(8)..].copy_from_slice(&i[..i.len().min(8)]);
-                    u64::from_be_bytes(buf)
-                }).sum();
+                let total: u64 = inputs
+                    .iter()
+                    .map(|i| {
+                        let mut buf = [0u8; 8];
+                        buf[8 - i.len().min(8)..].copy_from_slice(&i[..i.len().min(8)]);
+                        u64::from_be_bytes(buf)
+                    })
+                    .sum();
                 total.to_be_bytes().to_vec()
             }),
         );
-        let (mut front, handles) = run_overlay("1x2x4", registry, |leaf| {
-            loop {
-                match leaf.recv().unwrap() {
-                    LeafEvent::Data(pkt) => {
-                        leaf.send_up(pkt.stream, pkt.tag, 1u64.to_be_bytes().to_vec()).unwrap();
-                    }
-                    LeafEvent::Shutdown => return,
-                    LeafEvent::StreamOpened(_) => continue,
+        let (mut front, handles) = run_overlay("1x2x4", registry, |leaf| loop {
+            match leaf.recv().unwrap() {
+                LeafEvent::Data(pkt) => {
+                    leaf.send_up(pkt.stream, pkt.tag, 1u64.to_be_bytes().to_vec()).unwrap();
                 }
+                LeafEvent::Shutdown => return,
+                LeafEvent::StreamOpened(_) => continue,
             }
         });
         let stream = front.open_stream(FilterKind::Custom(1)).unwrap();
@@ -540,17 +516,15 @@ mod tests {
 
     #[test]
     fn gather_times_out_when_a_leaf_is_silent() {
-        let (mut front, handles) = run_overlay("1x3", FilterRegistry::new(), |leaf| {
-            loop {
-                match leaf.recv().unwrap() {
-                    LeafEvent::Data(pkt) => {
-                        if leaf.leaf_index != 2 {
-                            leaf.send_up(pkt.stream, pkt.tag, vec![1]).unwrap();
-                        }
+        let (mut front, handles) = run_overlay("1x3", FilterRegistry::new(), |leaf| loop {
+            match leaf.recv().unwrap() {
+                LeafEvent::Data(pkt) => {
+                    if leaf.leaf_index != 2 {
+                        leaf.send_up(pkt.stream, pkt.tag, vec![1]).unwrap();
                     }
-                    LeafEvent::Shutdown => return,
-                    LeafEvent::StreamOpened(_) => continue,
                 }
+                LeafEvent::Shutdown => return,
+                LeafEvent::StreamOpened(_) => continue,
             }
         });
         let stream = front.open_stream(FilterKind::Concat).unwrap();
@@ -567,10 +541,7 @@ mod tests {
     fn unknown_stream_rejected() {
         let spec = TopologySpec::parse("1x2").unwrap();
         let mut overlay = Overlay::build(&spec, FilterRegistry::new());
-        assert!(matches!(
-            overlay.front.broadcast(99, 0, vec![]),
-            Err(TbonError::NoSuchStream(99))
-        ));
+        assert!(matches!(overlay.front.broadcast(99, 0, vec![]), Err(TbonError::NoSuchStream(99))));
         assert!(matches!(
             overlay.front.gather(99, 0, Duration::from_millis(1)),
             Err(TbonError::NoSuchStream(99))

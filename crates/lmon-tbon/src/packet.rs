@@ -27,10 +27,7 @@ impl Packet {
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub(crate) enum Control {
     /// Open a stream with the given filter.
-    OpenStream {
-        stream: u16,
-        filter: crate::filter::FilterKind,
-    },
+    OpenStream { stream: u16, filter: crate::filter::FilterKind },
     /// Tear the overlay down.
     Shutdown,
 }

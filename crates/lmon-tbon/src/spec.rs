@@ -137,9 +137,7 @@ impl TopologySpec {
     /// Positions of all internal comm daemons, level by level.
     pub fn comm_positions(&self) -> Vec<NodePos> {
         (1..self.levels.len().saturating_sub(1))
-            .flat_map(|l| {
-                (0..self.levels[l]).map(move |i| NodePos { level: l as u32, index: i })
-            })
+            .flat_map(|l| (0..self.levels[l]).map(move |i| NodePos { level: l as u32, index: i }))
             .collect()
     }
 
@@ -151,11 +149,7 @@ impl TopologySpec {
 
     /// Render back to the `1x4x16` form.
     pub fn to_spec_string(&self) -> String {
-        self.levels
-            .iter()
-            .map(u32::to_string)
-            .collect::<Vec<_>>()
-            .join("x")
+        self.levels.iter().map(u32::to_string).collect::<Vec<_>>().join("x")
     }
 }
 

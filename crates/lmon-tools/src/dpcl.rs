@@ -45,7 +45,7 @@ impl SyntheticBinary {
         let mut rng = SmallRng::seed_from_u64(seed ^ 0xD9C1);
         let mut symbols = Vec::with_capacity(n_symbols);
         for i in 0..n_symbols {
-            let addr = 0x40_0000 + (i as u64) * 0x40 + rng.gen_range(0..0x30);
+            let addr = 0x40_0000 + (i as u64) * 0x40 + rng.gen_range(0u64..0x30);
             symbols.push((format!("_ZN4app{}F{i:06}E7processEv", name.len()), addr));
         }
         SyntheticBinary { name: name.to_string(), symbols }

@@ -75,18 +75,16 @@ pub fn jobsnap_be_main() -> BeMain {
             let mut tagged: Vec<(u64, String)> = parts
                 .iter()
                 .filter(|p| !p.is_empty())
-                .flat_map(|p| String::from_utf8_lossy(p).lines().map(str::to_string).collect::<Vec<_>>())
+                .flat_map(|p| {
+                    String::from_utf8_lossy(p).lines().map(str::to_string).collect::<Vec<_>>()
+                })
                 .filter_map(|l| {
                     let (rank, rest) = l.split_once('|')?;
                     Some((rank.parse::<u64>().ok()?, rest.to_string()))
                 })
                 .collect();
             tagged.sort_by_key(|(rank, _)| *rank);
-            let report = tagged
-                .into_iter()
-                .map(|(_, line)| line)
-                .collect::<Vec<_>>()
-                .join("\n");
+            let report = tagged.into_iter().map(|(_, line)| line).collect::<Vec<_>>().join("\n");
             be.send_usrdata(report.into_bytes()).expect("work-done send");
         }
 
@@ -112,8 +110,7 @@ pub fn run_jobsnap(fe: &LmonFrontEnd, launcher_pid: Pid) -> LmonResult<JobsnapRe
 
     // Block until the master's "work-done" (with the merged report).
     let report = fe.recv_usrdata(session, Duration::from_secs(60))?;
-    let lines: Vec<String> =
-        String::from_utf8_lossy(&report).lines().map(str::to_string).collect();
+    let lines: Vec<String> = String::from_utf8_lossy(&report).lines().map(str::to_string).collect();
 
     fe.detach(session)?;
     debug_assert_eq!(lines.len(), outcome.rpdtab.len());
@@ -143,10 +140,7 @@ mod tests {
         let report = run_jobsnap(&fe, launcher).expect("jobsnap");
         assert_eq!(report.lines.len(), 12);
         for (i, line) in report.lines.iter().enumerate() {
-            assert!(
-                line.contains(&format!("rank={i}")),
-                "line {i} out of order: {line}"
-            );
+            assert!(line.contains(&format!("rank={i}")), "line {i} out of order: {line}");
             assert!(line.contains("exe=mpi_app"), "{line}");
             assert!(line.contains("st=R"), "{line}");
             assert!(line.contains("vmhwm="), "{line}");

@@ -91,10 +91,9 @@ impl Instrumentor for DpclInstrumentor {
         }
 
         // 3. Only now read the APAI out of the (instrumented) launcher.
-        let (_node, rec) =
-            self.cluster.find_proc(launcher_pid).map_err(|e| e.to_string())?;
-        let ctl = TraceController::attach(launcher_pid, rec.shared.clone())
-            .map_err(|e| e.to_string())?;
+        let (_node, rec) = self.cluster.find_proc(launcher_pid).map_err(|e| e.to_string())?;
+        let ctl =
+            TraceController::attach(launcher_pid, rec.shared.clone()).map_err(|e| e.to_string())?;
         let rpdtab = mpir::fetch_proctable(&ctl)?;
 
         Ok(ApaiAcquisition { rpdtab, apai_time: t0.elapsed() })
@@ -139,12 +138,7 @@ impl Instrumentor for LaunchmonInstrumentor<'_> {
         let session = self.fe.create_session();
         let outcome = self
             .fe
-            .attach_and_spawn(
-                session,
-                launcher_pid,
-                DaemonSpec::bare("ossd"),
-                Self::daemon_main(),
-            )
+            .attach_and_spawn(session, launcher_pid, DaemonSpec::bare("ossd"), Self::daemon_main())
             .map_err(|e| e.to_string())?;
         self.session = Some(session);
         // Table 1 measures APAI access: e0 (experiment initiated) to e4
@@ -181,8 +175,7 @@ pub fn run_pc_sampling(
     let session = fe.create_session();
     let be_main: BeMain = Arc::new(move |be| {
         let mut histo: BTreeMap<u64, u64> = BTreeMap::new();
-        let tasks: Vec<(u64, u32)> =
-            be.my_proctab().iter().map(|d| (d.pid, d.rank)).collect();
+        let tasks: Vec<(u64, u32)> = be.my_proctab().iter().map(|d| (d.pid, d.rank)).collect();
         for (pid, _rank) in &tasks {
             for _ in 0..samples_per_task {
                 if let Ok(snap) = be.read_local_proc(*pid) {
@@ -280,10 +273,7 @@ mod tests {
         let t_small = with_small.acquire_apai(launcher).unwrap().apai_time;
         let mut with_large = DpclInstrumentor::new(cluster.clone(), infra.clone(), large);
         let t_large = with_large.acquire_apai(launcher).unwrap().apai_time;
-        assert!(
-            t_large > t_small * 3,
-            "100x symbols should dominate: {t_small:?} vs {t_large:?}"
-        );
+        assert!(t_large > t_small * 3, "100x symbols should dominate: {t_small:?} vs {t_large:?}");
         infra.uninstall();
     }
 

@@ -141,9 +141,8 @@ pub fn run_stat_launchmon(
     let registry = stat_registry();
     let overlay = Overlay::build(&spec, registry);
     let mut front = overlay.front;
-    let leaf_slots: Arc<Vec<Mutex<Option<LeafEndpoint>>>> = Arc::new(
-        overlay.leaves.into_iter().map(|l| Mutex::new(Some(l))).collect(),
-    );
+    let leaf_slots: Arc<Vec<Mutex<Option<LeafEndpoint>>>> =
+        Arc::new(overlay.leaves.into_iter().map(|l| Mutex::new(Some(l))).collect());
 
     let session = fe.create_session();
     // The piggybacked "MRNet communication tree information" (§5.2): the
@@ -222,9 +221,8 @@ pub fn run_stat_launchmon_tree(
     let mut front = overlay.front;
     let comm_slots: Arc<Vec<Mutex<Option<lmon_tbon::overlay::CommHarness>>>> =
         Arc::new(overlay.comm.into_iter().map(|h| Mutex::new(Some(h))).collect());
-    let leaf_slots: Arc<Vec<Mutex<Option<LeafEndpoint>>>> = Arc::new(
-        overlay.leaves.into_iter().map(|l| Mutex::new(Some(l))).collect(),
-    );
+    let leaf_slots: Arc<Vec<Mutex<Option<LeafEndpoint>>>> =
+        Arc::new(overlay.leaves.into_iter().map(|l| Mutex::new(Some(l))).collect());
 
     let session = fe.create_session();
     let spec_string = spec.to_spec_string();
@@ -308,8 +306,7 @@ mod tests {
         // Wait for tasks to exist so ad hoc scanning sees them.
         let deadline = std::time::Instant::now() + Duration::from_secs(5);
         loop {
-            let live: usize =
-                cluster.compute_nodes().iter().map(|n| n.live_count()).sum();
+            let live: usize = cluster.compute_nodes().iter().map(|n| n.live_count()).sum();
             if live >= nodes * tpn {
                 break;
             }
@@ -349,12 +346,8 @@ mod tests {
     #[test]
     fn adhoc_stat_fails_on_tight_fd_budget() {
         let mut cfg = ClusterConfig::with_nodes(8);
-        cfg.rsh = RshConfig {
-            fds_per_session: 2,
-            fe_fd_limit: 14,
-            fe_base_fds: 4,
-            ..Default::default()
-        };
+        cfg.rsh =
+            RshConfig { fds_per_session: 2, fe_fd_limit: 14, fe_base_fds: 4, ..Default::default() };
         let cluster = VirtualCluster::new(cfg);
         let hosts: Vec<String> = (0..8).map(|i| cluster.config().hostname(i)).collect();
         let err = run_stat_adhoc(&cluster, &hosts, 8).unwrap_err();
@@ -375,8 +368,7 @@ mod tests {
         drop((rm, launcher));
 
         let fe = LmonFrontEnd::init(rm2).unwrap();
-        let deep =
-            run_stat_launchmon_tree(&fe, job.launcher_pid, 8, 2).expect("deep tree stat");
+        let deep = run_stat_launchmon_tree(&fe, job.launcher_pid, 8, 2).expect("deep tree stat");
         let flat = run_stat_launchmon(&fe, job.launcher_pid, 8).expect("one-deep stat");
         assert_eq!(deep.tree, flat.tree, "topology must not change analysis results");
         assert_eq!(deep.classes, flat.classes);

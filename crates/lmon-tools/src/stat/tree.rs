@@ -91,10 +91,7 @@ impl PrefixTree {
         if trace.is_empty() {
             return;
         }
-        let mut node = self
-            .roots
-            .entry(trace[0].clone())
-            .or_insert_with(Node::new);
+        let mut node = self.roots.entry(trace[0].clone()).or_insert_with(Node::new);
         node.add_rank(rank);
         for frame in &trace[1..] {
             node = node.children.entry(frame.clone()).or_insert_with(Node::new);
@@ -136,12 +133,7 @@ impl PrefixTree {
     /// (i.e. per node where at least one rank's stack terminates), ordered
     /// by path.
     pub fn equivalence_classes(&self) -> Vec<EquivClass> {
-        fn walk(
-            frame: &str,
-            node: &Node,
-            path: &mut Vec<String>,
-            out: &mut Vec<EquivClass>,
-        ) {
+        fn walk(frame: &str, node: &Node, path: &mut Vec<String>, out: &mut Vec<EquivClass>) {
             path.push(frame.to_string());
             if !node.ends.is_empty() {
                 out.push(EquivClass { path: path.clone(), ranks: node.ends.clone() });
@@ -201,10 +193,8 @@ impl PrefixTree {
                 return Err("frame name too long".into());
             }
             let end = *off + flen;
-            let frame = String::from_utf8(
-                bytes.get(*off..end).ok_or("short frame")?.to_vec(),
-            )
-            .map_err(|_| "bad utf8".to_string())?;
+            let frame = String::from_utf8(bytes.get(*off..end).ok_or("short frame")?.to_vec())
+                .map_err(|_| "bad utf8".to_string())?;
             *off = end;
             let nranks = get_u32(bytes, off)? as usize;
             if nranks > 16 << 20 {
@@ -306,16 +296,12 @@ mod tests {
     fn classes_identify_the_straggler() {
         let t = tree_for_ranks(0..64, 64);
         let classes = t.equivalence_classes();
-        let io = classes
-            .iter()
-            .find(|c| c.path.last().unwrap() == "read_input_file")
-            .expect("io class");
+        let io =
+            classes.iter().find(|c| c.path.last().unwrap() == "read_input_file").expect("io class");
         assert_eq!(io.ranks, vec![0]);
         assert_eq!(io.representative(), 0);
-        let wait = classes
-            .iter()
-            .find(|c| c.path.last().unwrap() == "mpi_waitall")
-            .expect("wait class");
+        let wait =
+            classes.iter().find(|c| c.path.last().unwrap() == "mpi_waitall").expect("wait class");
         assert!(wait.ranks.iter().all(|r| r % 17 == 3));
     }
 

@@ -23,10 +23,11 @@ fn main() {
     let rm: Arc<dyn ResourceManager> = Arc::new(SlurmRm::new(cluster));
 
     // A running production job, launched with no tool attached.
-    let job = rm
-        .launch_job(&JobSpec::new("climate_sim", 6, 8), false)
-        .expect("job launch");
-    println!("job {} running: 6 nodes x 8 tasks, launcher pid {:?}\n", job.job_id, job.launcher_pid);
+    let job = rm.launch_job(&JobSpec::new("climate_sim", 6, 8), false).expect("job launch");
+    println!(
+        "job {} running: 6 nodes x 8 tasks, launcher pid {:?}\n",
+        job.job_id, job.launcher_pid
+    );
 
     // Attach Jobsnap: daemons co-locate, snapshot, gather, merge.
     let fe = LmonFrontEnd::init(rm).expect("front-end init");

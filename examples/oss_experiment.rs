@@ -43,7 +43,11 @@ fn main() {
     let fe = LmonFrontEnd::init(rm).expect("fe");
     let mut lmon = LaunchmonInstrumentor::new(&fe);
     let l = lmon.acquire_apai(job.launcher_pid).expect("lmon acquire");
-    println!("LaunchMON instrumentor: APAI acquired in {:?} ({} tasks)", l.apai_time, l.rpdtab.len());
+    println!(
+        "LaunchMON instrumentor: APAI acquired in {:?} ({} tasks)",
+        l.apai_time,
+        l.rpdtab.len()
+    );
     assert_eq!(d.rpdtab, l.rpdtab);
     println!("  (identical RPDTAB from both paths)\n");
     if let Some(s) = lmon.session {
@@ -53,8 +57,11 @@ fn main() {
     // --- a PC-sampling experiment over the job ------------------------------
     println!("running PC-sampling experiment (10 samples per task)...");
     let report = run_pc_sampling(&fe, job.launcher_pid, 10).expect("pc sampling");
-    println!("  {} samples over {} text-page buckets; top 5:", report.total_samples,
-        report.histogram.len());
+    println!(
+        "  {} samples over {} text-page buckets; top 5:",
+        report.total_samples,
+        report.histogram.len()
+    );
     let mut buckets: Vec<(&u64, &u64)> = report.histogram.iter().collect();
     buckets.sort_by_key(|(_, count)| std::cmp::Reverse(**count));
     for (addr, count) in buckets.into_iter().take(5) {

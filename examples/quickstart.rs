@@ -26,11 +26,8 @@ fn main() {
 
     // 3. The tool daemon: runs on every node, sees its local tasks.
     let be_main: BeMain = Arc::new(|be| {
-        let locals: Vec<String> = be
-            .my_proctab()
-            .iter()
-            .map(|d| format!("rank {} (pid {})", d.rank, d.pid))
-            .collect();
+        let locals: Vec<String> =
+            be.my_proctab().iter().map(|d| format!("rank {} (pid {})", d.rank, d.pid)).collect();
         println!(
             "[daemon {}/{} on {}] local tasks: {}",
             be.rank(),
@@ -59,9 +56,7 @@ fn main() {
         outcome.daemon_count
     );
 
-    let msg = fe
-        .recv_usrdata(session, std::time::Duration::from_secs(10))
-        .expect("daemon message");
+    let msg = fe.recv_usrdata(session, std::time::Duration::from_secs(10)).expect("daemon message");
     println!("message from daemons: {}", String::from_utf8_lossy(&msg));
 
     // 5. The critical-path breakdown LaunchMON recorded (the §4 events).

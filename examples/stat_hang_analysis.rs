@@ -31,10 +31,11 @@ fn main() {
 
     // --- LaunchMON startup path -------------------------------------------
     let fe = LmonFrontEnd::init(rm).expect("fe init");
-    let outcome =
-        run_stat_launchmon(&fe, job.launcher_pid, nodes as u32).expect("stat launchmon");
-    println!("daemons launched+connected in {:?} (rsh connections used: {})",
-        outcome.connect_time, outcome.rsh_connects);
+    let outcome = run_stat_launchmon(&fe, job.launcher_pid, nodes as u32).expect("stat launchmon");
+    println!(
+        "daemons launched+connected in {:?} (rsh connections used: {})",
+        outcome.connect_time, outcome.rsh_connects
+    );
 
     println!("\n--- merged call-graph prefix tree ---");
     print!("{}", outcome.tree.render());

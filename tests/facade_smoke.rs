@@ -1,0 +1,60 @@
+//! Workspace bootstrap smoke test: every facade re-export must resolve, and
+//! a trivial end-to-end session must run through the facade alone. This is
+//! the first test a fresh checkout should pass — if it fails, the workspace
+//! wiring (crate manifests, re-exports) is broken, not the algorithms.
+
+use std::sync::Arc;
+
+use launchmon::cluster::config::ClusterConfig;
+use launchmon::cluster::VirtualCluster;
+use launchmon::core::be::BeMain;
+use launchmon::core::fe::LmonFrontEnd;
+use launchmon::proto::payload::DaemonSpec;
+use launchmon::rm::api::ResourceManager;
+use launchmon::rm::SlurmRm;
+
+#[test]
+fn facade_reexports_resolve() {
+    // Touch one public item per re-exported crate so a missing or renamed
+    // re-export fails this test rather than some deep consumer.
+    let _cluster = launchmon::cluster::VirtualCluster::new(
+        launchmon::cluster::config::ClusterConfig::with_nodes(1),
+    );
+    let _topo = launchmon::iccl::Topology::Binomial;
+    let _params = launchmon::model::CostParams::default();
+    let _msg =
+        launchmon::proto::msg::LmonpMsg::of_type(launchmon::proto::header::MsgType::BeUsrData);
+    let spec = launchmon::tbon::spec::TopologySpec::parse("1x4").expect("valid topology spec");
+    assert_eq!(spec.leaf_positions().len(), 4);
+    assert_eq!(launchmon::sim::SimTime::ZERO.0, 0);
+    assert_eq!(launchmon::tools::stat::SAMPLE_TAG, 1);
+}
+
+#[test]
+fn end_to_end_session_constructs_through_facade() {
+    let cluster = VirtualCluster::new(ClusterConfig::with_nodes(2));
+    let rm: Arc<dyn ResourceManager> = Arc::new(SlurmRm::new(cluster));
+    let fe = LmonFrontEnd::init(rm).expect("front-end init");
+    let session = fe.create_session();
+
+    let be_main: BeMain = Arc::new(|be| {
+        be.barrier().expect("barrier");
+        be.wait_shutdown().expect("shutdown order");
+    });
+
+    let outcome = fe
+        .launch_and_spawn(
+            session,
+            "smoke_app",
+            &[],
+            2,
+            2,
+            DaemonSpec::bare("smoke_daemon"),
+            be_main,
+        )
+        .expect("launchAndSpawn");
+    assert_eq!(outcome.daemon_count, 2, "one daemon per node");
+    assert_eq!(outcome.rpdtab.entries().len(), 4, "2 nodes x 2 tasks");
+
+    fe.shutdown().expect("clean shutdown");
+}

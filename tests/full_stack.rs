@@ -15,7 +15,10 @@ use launchmon::rm::{BlueGeneRm, SlurmRm};
 use launchmon::tools::jobsnap::run_jobsnap;
 use launchmon::tools::stat::{run_stat_adhoc, run_stat_launchmon};
 
-fn slurm_fixture(nodes: usize, tpn: usize) -> (VirtualCluster, Arc<dyn ResourceManager>, launchmon::cluster::Pid) {
+fn slurm_fixture(
+    nodes: usize,
+    tpn: usize,
+) -> (VirtualCluster, Arc<dyn ResourceManager>, launchmon::cluster::Pid) {
     let cluster = VirtualCluster::new(ClusterConfig::with_nodes(nodes));
     let rm: Arc<dyn ResourceManager> = Arc::new(SlurmRm::new(cluster.clone()));
     let job = rm.launch_job(&JobSpec::new("mpi_app", nodes, tpn), false).unwrap();
@@ -93,11 +96,8 @@ fn real_handshake_message_count_matches_simulated_schedule() {
     // Cross-validation between the real implementation and the DES
     // scenario: both use 4 LMONP messages on the FE↔master channel during
     // the handshake (hello, launch-info, rpdtab, ready).
-    let sim = launchmon::model::scenario::simulate_launch(
-        &launchmon::model::CostParams::default(),
-        4,
-        2,
-    );
+    let sim =
+        launchmon::model::scenario::simulate_launch(&launchmon::model::CostParams::default(), 4, 2);
     assert_eq!(sim.metrics.counter("lmonp_messages"), 4);
 
     // Real side: count via the BE master channel byte counter — at least
@@ -108,9 +108,7 @@ fn real_handshake_message_count_matches_simulated_schedule() {
     let be_main: BeMain = Arc::new(|be| {
         be.barrier().unwrap();
     });
-    let outcome = fe
-        .attach_and_spawn(session, launcher, DaemonSpec::bare("d"), be_main)
-        .unwrap();
+    let outcome = fe.attach_and_spawn(session, launcher, DaemonSpec::bare("d"), be_main).unwrap();
     assert_eq!(outcome.daemon_count, 4);
     fe.kill(session).unwrap();
     fe.shutdown().unwrap();
@@ -130,9 +128,7 @@ fn rpdtab_flows_unchanged_from_rm_to_daemons() {
     let be_main: BeMain = Arc::new(move |be| {
         views.lock().push(be.proctable().len());
     });
-    let outcome = fe
-        .attach_and_spawn(session, launcher, DaemonSpec::bare("d"), be_main)
-        .unwrap();
+    let outcome = fe.attach_and_spawn(session, launcher, DaemonSpec::bare("d"), be_main).unwrap();
 
     let fe_view = fe.get_proctable(session).unwrap();
     assert_eq!(fe_view, outcome.rpdtab);
@@ -158,9 +154,7 @@ fn model_and_real_execution_agree_on_structure() {
     let be_main: BeMain = Arc::new(|be| {
         be.barrier().unwrap();
     });
-    let outcome = fe
-        .attach_and_spawn(session, launcher, DaemonSpec::bare("d"), be_main)
-        .unwrap();
+    let outcome = fe.attach_and_spawn(session, launcher, DaemonSpec::bare("d"), be_main).unwrap();
     assert_eq!(outcome.daemon_count, outcome.rpdtab.host_count());
     let b = outcome.breakdown.expect("breakdown");
     assert!(b.t_setup <= b.t_handshake);

@@ -8,6 +8,9 @@ use launchmon::model::fit::{fit_best, r_squared, FittedModel};
 use launchmon::model::scenario::simulate_launch;
 use launchmon::model::CostParams;
 
+/// A named model component: label plus the simulated cost at a daemon count.
+type Component = (&'static str, Box<dyn Fn(usize) -> f64>);
+
 fn series(component: impl Fn(usize) -> f64, points: &[usize]) -> (Vec<f64>, Vec<f64>) {
     let xs: Vec<f64> = points.iter().map(|&d| d as f64).collect();
     let ys: Vec<f64> = points.iter().map(|&d| component(d)).collect();
@@ -20,7 +23,7 @@ fn fitted_small_scale_models_extrapolate_to_large_scale() {
     let small = [4usize, 8, 12, 16, 24, 32];
     let large = 256usize;
 
-    let components: Vec<(&str, Box<dyn Fn(usize) -> f64>)> = vec![
+    let components: Vec<Component> = vec![
         ("T(job)", Box::new(move |d| simulate_launch(&p, d, 8).components.t_job)),
         ("T(daemon)", Box::new(move |d| simulate_launch(&p, d, 8).components.t_daemon)),
         ("T(setup)", Box::new(move |d| simulate_launch(&p, d, 8).components.t_setup)),
@@ -81,8 +84,7 @@ fn fit_discovers_the_right_growth_shapes() {
         matches!(fit_best(&xs, &jobs), FittedModel::AffineLog { .. }),
         "T(job) should be logarithmic (tree launch)"
     );
-    let (xs, colls) =
-        series(|d| simulate_launch(&p, d, 8).components.t_collective, &points);
+    let (xs, colls) = series(|d| simulate_launch(&p, d, 8).components.t_collective, &points);
     assert!(
         matches!(fit_best(&xs, &colls), FittedModel::Affine { .. }),
         "T(collective) should be linear (master-centric exchange)"

@@ -1,0 +1,297 @@
+//! Vendored, dependency-free subset of the [`bytes`](https://docs.rs/bytes)
+//! crate.
+//!
+//! The build environment has no network access to a crates registry, so the
+//! workspace vendors the small slice of the `bytes` API that the LMONP codec
+//! actually uses: the [`Buf`]/[`BufMut`] cursor traits (big-endian scalar
+//! accessors only — LMONP is big-endian throughout) and a [`BytesMut`]
+//! growable buffer with cheap front consumption for the incremental frame
+//! reader.
+//!
+//! The implementations favour clarity over zero-copy tricks: `BytesMut` is a
+//! `Vec<u8>` plus a read cursor that is compacted lazily. That is plenty for
+//! the workloads here while keeping `advance`/`split_to` amortized O(1).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::ops::{Deref, DerefMut};
+
+/// Read-side byte cursor (subset of `bytes::Buf`).
+pub trait Buf {
+    /// Bytes remaining to be read.
+    fn remaining(&self) -> usize;
+
+    /// The unread bytes as a contiguous slice.
+    fn chunk(&self) -> &[u8];
+
+    /// Consume `cnt` bytes.
+    ///
+    /// # Panics
+    /// Panics if `cnt > self.remaining()`.
+    fn advance(&mut self, cnt: usize);
+
+    /// Whether any bytes remain.
+    fn has_remaining(&self) -> bool {
+        self.remaining() > 0
+    }
+
+    /// Copy `dst.len()` bytes out, consuming them.
+    fn copy_to_slice(&mut self, dst: &mut [u8]) {
+        assert!(self.remaining() >= dst.len(), "copy_to_slice out of bounds");
+        dst.copy_from_slice(&self.chunk()[..dst.len()]);
+        self.advance(dst.len());
+    }
+
+    /// Read one byte.
+    fn get_u8(&mut self) -> u8 {
+        let mut b = [0u8; 1];
+        self.copy_to_slice(&mut b);
+        b[0]
+    }
+
+    /// Read a big-endian `u16`.
+    fn get_u16(&mut self) -> u16 {
+        let mut b = [0u8; 2];
+        self.copy_to_slice(&mut b);
+        u16::from_be_bytes(b)
+    }
+
+    /// Read a big-endian `u32`.
+    fn get_u32(&mut self) -> u32 {
+        let mut b = [0u8; 4];
+        self.copy_to_slice(&mut b);
+        u32::from_be_bytes(b)
+    }
+
+    /// Read a big-endian `u64`.
+    fn get_u64(&mut self) -> u64 {
+        let mut b = [0u8; 8];
+        self.copy_to_slice(&mut b);
+        u64::from_be_bytes(b)
+    }
+}
+
+impl Buf for &[u8] {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn chunk(&self) -> &[u8] {
+        self
+    }
+
+    fn advance(&mut self, cnt: usize) {
+        assert!(cnt <= self.len(), "advance out of bounds");
+        *self = &self[cnt..];
+    }
+}
+
+/// Write-side byte sink (subset of `bytes::BufMut`).
+pub trait BufMut {
+    /// Append raw bytes.
+    fn put_slice(&mut self, src: &[u8]);
+
+    /// Append one byte.
+    fn put_u8(&mut self, v: u8) {
+        self.put_slice(&[v]);
+    }
+
+    /// Append a big-endian `u16`.
+    fn put_u16(&mut self, v: u16) {
+        self.put_slice(&v.to_be_bytes());
+    }
+
+    /// Append a big-endian `u32`.
+    fn put_u32(&mut self, v: u32) {
+        self.put_slice(&v.to_be_bytes());
+    }
+
+    /// Append a big-endian `u64`.
+    fn put_u64(&mut self, v: u64) {
+        self.put_slice(&v.to_be_bytes());
+    }
+}
+
+impl BufMut for Vec<u8> {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.extend_from_slice(src);
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.extend_from_slice(src);
+    }
+}
+
+/// Growable byte buffer with cheap front consumption (subset of
+/// `bytes::BytesMut`).
+#[derive(Default, Clone)]
+pub struct BytesMut {
+    data: Vec<u8>,
+    /// Index of the first unread byte in `data`.
+    head: usize,
+}
+
+impl BytesMut {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        BytesMut::default()
+    }
+
+    /// An empty buffer with `cap` bytes pre-allocated.
+    pub fn with_capacity(cap: usize) -> Self {
+        BytesMut { data: Vec::with_capacity(cap), head: 0 }
+    }
+
+    /// Number of unread bytes.
+    pub fn len(&self) -> usize {
+        self.data.len() - self.head
+    }
+
+    /// Whether the buffer holds no unread bytes.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Append bytes at the back.
+    pub fn extend_from_slice(&mut self, src: &[u8]) {
+        self.compact_if_large();
+        self.data.extend_from_slice(src);
+    }
+
+    /// Reserve room for at least `additional` more bytes.
+    pub fn reserve(&mut self, additional: usize) {
+        self.compact_if_large();
+        self.data.reserve(additional);
+    }
+
+    /// Split off and return the first `at` unread bytes.
+    ///
+    /// # Panics
+    /// Panics if `at > self.len()`.
+    pub fn split_to(&mut self, at: usize) -> BytesMut {
+        assert!(at <= self.len(), "split_to out of bounds");
+        let piece = self.data[self.head..self.head + at].to_vec();
+        self.head += at;
+        BytesMut { data: piece, head: 0 }
+    }
+
+    /// Copy the unread bytes into a fresh `Vec<u8>`.
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.as_slice().to_vec()
+    }
+
+    fn as_slice(&self) -> &[u8] {
+        &self.data[self.head..]
+    }
+
+    /// Drop the consumed prefix once it dominates the allocation, keeping
+    /// `advance`/`split_to` amortized O(1).
+    fn compact_if_large(&mut self) {
+        if self.head > 4096 && self.head * 2 > self.data.len() {
+            self.data.drain(..self.head);
+            self.head = 0;
+        }
+    }
+}
+
+impl Buf for BytesMut {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn chunk(&self) -> &[u8] {
+        self.as_slice()
+    }
+
+    fn advance(&mut self, cnt: usize) {
+        assert!(cnt <= self.len(), "advance out of bounds");
+        self.head += cnt;
+        self.compact_if_large();
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl DerefMut for BytesMut {
+    fn deref_mut(&mut self) -> &mut [u8] {
+        let head = self.head;
+        &mut self.data[head..]
+    }
+}
+
+impl std::fmt::Debug for BytesMut {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "BytesMut({} bytes)", self.len())
+    }
+}
+
+impl From<&[u8]> for BytesMut {
+    fn from(src: &[u8]) -> Self {
+        BytesMut { data: src.to_vec(), head: 0 }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slice_buf_roundtrip() {
+        let mut v = Vec::new();
+        v.put_u8(1);
+        v.put_u16(0x0203);
+        v.put_u32(0x0405_0607);
+        v.put_u64(0x0809_0A0B_0C0D_0E0F);
+        v.put_slice(b"xy");
+        let mut s = &v[..];
+        assert_eq!(s.remaining(), 17);
+        assert_eq!(s.get_u8(), 1);
+        assert_eq!(s.get_u16(), 0x0203);
+        assert_eq!(s.get_u32(), 0x0405_0607);
+        assert_eq!(s.get_u64(), 0x0809_0A0B_0C0D_0E0F);
+        let mut rest = [0u8; 2];
+        s.copy_to_slice(&mut rest);
+        assert_eq!(&rest, b"xy");
+        assert!(!s.has_remaining());
+    }
+
+    #[test]
+    fn bytes_mut_split_and_advance() {
+        let mut b = BytesMut::with_capacity(8);
+        b.extend_from_slice(b"hello world");
+        assert_eq!(b.len(), 11);
+        b.advance(6);
+        assert_eq!(&b[..], b"world");
+        let w = b.split_to(3);
+        assert_eq!(w.to_vec(), b"wor");
+        assert_eq!(&b[..], b"ld");
+        assert_eq!(b.get_u16(), u16::from_be_bytes(*b"ld"));
+        assert!(b.is_empty());
+    }
+
+    #[test]
+    fn compaction_keeps_contents() {
+        let mut b = BytesMut::new();
+        let mut expected = std::collections::VecDeque::new();
+        for i in 0..5000u32 {
+            b.extend_from_slice(&i.to_be_bytes());
+            expected.push_back(i);
+            if i % 2 == 0 {
+                assert_eq!(b.get_u32(), expected.pop_front().unwrap());
+            }
+        }
+        while let Some(want) = expected.pop_front() {
+            assert_eq!(b.get_u32(), want);
+        }
+        assert!(b.is_empty());
+    }
+}

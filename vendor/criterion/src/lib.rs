@@ -1,0 +1,312 @@
+//! Vendored, dependency-free subset of the
+//! [`criterion`](https://docs.rs/criterion) API.
+//!
+//! The build environment has no network access to a crates registry, so this
+//! crate implements the benchmarking surface the workspace's `harness =
+//! false` bench targets use: [`Criterion::benchmark_group`], `throughput`,
+//! `sample_size`, `bench_function`, `bench_with_input`, [`Bencher::iter`],
+//! [`BenchmarkId`], [`Throughput`], [`black_box`] and the
+//! [`criterion_group!`]/[`criterion_main!`] macros.
+//!
+//! Measurement is honest but simple: each benchmark is warmed up, then timed
+//! over `sample_size` samples whose iteration counts target a fixed sample
+//! duration; the median, minimum and maximum per-iteration times are
+//! printed. There are no plots, no statistical regression against saved
+//! baselines, and no CLI filtering.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Target wall time for the measurement phase of one benchmark.
+const TARGET_MEASURE_TIME: Duration = Duration::from_millis(400);
+/// Target wall time for warm-up.
+const TARGET_WARMUP_TIME: Duration = Duration::from_millis(100);
+
+/// Top-level benchmark driver (subset of `criterion::Criterion`).
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { _parent: self, name: name.into(), throughput: None, sample_size: 30 }
+    }
+}
+
+/// Throughput annotation for a benchmark group.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// Identifier for one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id made of a function name and a parameter value.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId { id: format!("{}/{}", function_name.into(), parameter) }
+    }
+
+    /// An id made of a parameter value alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId { id: parameter.to_string() }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+/// A named collection of benchmarks sharing throughput/sample settings.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Annotate subsequent benchmarks with a throughput.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Set the number of measurement samples (minimum 10).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(10);
+        self
+    }
+
+    /// Run a benchmark with no external input.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.run(id.into(), &mut |b| f(b));
+        self
+    }
+
+    /// Run a benchmark over a borrowed input value.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.run(id.into(), &mut |b| f(b, input));
+        self
+    }
+
+    /// Explicitly end the group (drop also suffices, as in criterion).
+    pub fn finish(self) {}
+
+    fn run(&mut self, id: BenchmarkId, f: &mut dyn FnMut(&mut Bencher)) {
+        let mut bencher = Bencher { sample_size: self.sample_size, samples: Vec::new() };
+        f(&mut bencher);
+        report(&self.name, &id.id, self.throughput, &bencher.samples);
+    }
+}
+
+/// Timing harness passed to each benchmark closure.
+pub struct Bencher {
+    sample_size: usize,
+    /// Per-iteration durations, one per sample.
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Measure `routine`, called in a loop.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up: find an iteration count that fills the warm-up window.
+        let mut iters: u64 = 1;
+        loop {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= TARGET_WARMUP_TIME {
+                // Scale so one sample lasts ~ measure_time / sample_size.
+                let per_iter = elapsed.as_nanos().max(1) / iters as u128;
+                let sample_ns =
+                    (TARGET_MEASURE_TIME.as_nanos() / self.sample_size.max(1) as u128).max(1);
+                iters = ((sample_ns / per_iter.max(1)) as u64).max(1);
+                break;
+            }
+            iters = iters.saturating_mul(2);
+        }
+        self.samples.clear();
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            self.samples.push(start.elapsed() / iters as u32);
+        }
+    }
+
+    /// Measure with per-iteration setup excluded from timing.
+    pub fn iter_batched<I, O, S: FnMut() -> I, R: FnMut(I) -> O>(
+        &mut self,
+        mut setup: S,
+        mut routine: R,
+        _size: BatchSize,
+    ) {
+        self.samples.clear();
+        for _ in 0..self.sample_size {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            self.samples.push(start.elapsed());
+        }
+    }
+}
+
+/// Batch sizing hint for [`Bencher::iter_batched`] (ignored here).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One input per batch.
+    PerIteration,
+}
+
+fn report(group: &str, id: &str, throughput: Option<Throughput>, samples: &[Duration]) {
+    if samples.is_empty() {
+        println!("{group}/{id}: no samples recorded");
+        return;
+    }
+    let mut sorted: Vec<Duration> = samples.to_vec();
+    sorted.sort_unstable();
+    let median = sorted[sorted.len() / 2];
+    let (lo, hi) = (sorted[0], sorted[sorted.len() - 1]);
+    let rate = throughput.map(|t| match t {
+        Throughput::Bytes(n) => format!("  {}/s", human_bytes(n as f64 / median.as_secs_f64())),
+        Throughput::Elements(n) => {
+            format!("  {:.3} Melem/s", n as f64 / median.as_secs_f64() / 1e6)
+        }
+    });
+    println!(
+        "{group}/{id}: [{} {} {}]{}",
+        human_time(lo),
+        human_time(median),
+        human_time(hi),
+        rate.unwrap_or_default()
+    );
+}
+
+fn human_time(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.3} µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.3} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.3} s", ns as f64 / 1e9)
+    }
+}
+
+fn human_bytes(rate: f64) -> String {
+    const UNITS: [&str; 5] = ["B", "KiB", "MiB", "GiB", "TiB"];
+    let mut v = rate;
+    let mut unit = 0;
+    while v >= 1024.0 && unit < UNITS.len() - 1 {
+        v /= 1024.0;
+        unit += 1;
+    }
+    format!("{v:.2} {}", UNITS[unit])
+}
+
+/// Bundle benchmark functions into a runnable group function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+    (name = $group:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $cfg;
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Generate `main` for a `harness = false` bench target.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        let mut g = c.benchmark_group("unit");
+        g.sample_size(10);
+        g.throughput(Throughput::Elements(64));
+        g.bench_function("sum", |b| b.iter(|| (0u64..64).sum::<u64>()));
+        g.bench_with_input(BenchmarkId::new("shift", 3), &3u32, |b, &s| {
+            b.iter(|| black_box(1u64) << s)
+        });
+        g.finish();
+    }
+
+    criterion_group!(unit_benches, sample_bench);
+
+    #[test]
+    fn group_runs_and_reports() {
+        unit_benches();
+    }
+
+    #[test]
+    fn benchmark_id_forms() {
+        assert_eq!(BenchmarkId::new("f", 8).id, "f/8");
+        assert_eq!(BenchmarkId::from_parameter("x").id, "x");
+        assert_eq!(BenchmarkId::from("plain").id, "plain");
+    }
+
+    #[test]
+    fn human_units() {
+        assert_eq!(human_time(Duration::from_nanos(500)), "500 ns");
+        assert!(human_time(Duration::from_micros(1500)).ends_with("ms"));
+        assert!(human_bytes(2048.0).starts_with("2.00 KiB"));
+    }
+}

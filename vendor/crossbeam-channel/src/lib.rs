@@ -1,0 +1,499 @@
+//! Vendored, dependency-free subset of the
+//! [`crossbeam-channel`](https://docs.rs/crossbeam-channel) API.
+//!
+//! The build environment has no network access to a crates registry, so this
+//! crate provides the surface the workspace uses: MPMC [`unbounded`] and
+//! [`bounded`] channels with cloneable [`Sender`]s *and* [`Receiver`]s, the
+//! timeout/try receive variants, and a polling [`select!`] macro covering the
+//! `recv(rx) -> msg => { ... }` arm form.
+//!
+//! Implementation: a `Mutex<VecDeque>` plus two condvars per channel.
+//! Disconnection follows crossbeam semantics — a channel is disconnected
+//! once all senders *or* all receivers are dropped; receivers drain buffered
+//! messages before reporting disconnection.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::collections::VecDeque;
+use std::fmt;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Error returned by [`Sender::send`] when every receiver is gone; carries
+/// the unsent message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SendError<T>(pub T);
+
+impl<T> fmt::Display for SendError<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "sending on a disconnected channel")
+    }
+}
+
+/// Error returned by [`Receiver::recv`] when the channel is empty and every
+/// sender is gone.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecvError;
+
+impl fmt::Display for RecvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "receiving on an empty and disconnected channel")
+    }
+}
+
+/// Error returned by [`Receiver::try_recv`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TryRecvError {
+    /// No message was buffered at the time of the call.
+    Empty,
+    /// The channel is empty and every sender is gone.
+    Disconnected,
+}
+
+/// Error returned by [`Receiver::recv_timeout`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecvTimeoutError {
+    /// The timeout elapsed with no message.
+    Timeout,
+    /// The channel is empty and every sender is gone.
+    Disconnected,
+}
+
+struct Inner<T> {
+    queue: Mutex<VecDeque<T>>,
+    cap: Option<usize>,
+    senders: AtomicUsize,
+    receivers: AtomicUsize,
+    not_empty: Condvar,
+    not_full: Condvar,
+}
+
+impl<T> Inner<T> {
+    fn disconnected_for_recv(&self) -> bool {
+        self.senders.load(Ordering::SeqCst) == 0
+    }
+
+    fn disconnected_for_send(&self) -> bool {
+        self.receivers.load(Ordering::SeqCst) == 0
+    }
+}
+
+/// The sending half of a channel. Cloneable; the channel disconnects for
+/// receivers when the last clone drops.
+pub struct Sender<T> {
+    inner: Arc<Inner<T>>,
+}
+
+/// The receiving half of a channel. Cloneable (MPMC); each message is
+/// delivered to exactly one receiver.
+pub struct Receiver<T> {
+    inner: Arc<Inner<T>>,
+}
+
+/// A channel with no capacity bound.
+pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+    channel(None)
+}
+
+/// A channel that holds at most `cap` buffered messages; sends block while
+/// full.
+///
+/// Unlike real crossbeam, `cap == 0` is approximated as `cap == 1` rather
+/// than a rendezvous channel.
+pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+    channel(Some(cap.max(1)))
+}
+
+fn channel<T>(cap: Option<usize>) -> (Sender<T>, Receiver<T>) {
+    let inner = Arc::new(Inner {
+        queue: Mutex::new(VecDeque::new()),
+        cap,
+        senders: AtomicUsize::new(1),
+        receivers: AtomicUsize::new(1),
+        not_empty: Condvar::new(),
+        not_full: Condvar::new(),
+    });
+    (Sender { inner: inner.clone() }, Receiver { inner })
+}
+
+impl<T> Clone for Sender<T> {
+    fn clone(&self) -> Self {
+        self.inner.senders.fetch_add(1, Ordering::SeqCst);
+        Sender { inner: self.inner.clone() }
+    }
+}
+
+impl<T> Drop for Sender<T> {
+    fn drop(&mut self) {
+        if self.inner.senders.fetch_sub(1, Ordering::SeqCst) == 1 {
+            // Last sender gone: wake all blocked receivers so they observe
+            // the disconnect.
+            let _guard = self.inner.queue.lock().unwrap_or_else(|e| e.into_inner());
+            self.inner.not_empty.notify_all();
+        }
+    }
+}
+
+impl<T> Clone for Receiver<T> {
+    fn clone(&self) -> Self {
+        self.inner.receivers.fetch_add(1, Ordering::SeqCst);
+        Receiver { inner: self.inner.clone() }
+    }
+}
+
+impl<T> Drop for Receiver<T> {
+    fn drop(&mut self) {
+        if self.inner.receivers.fetch_sub(1, Ordering::SeqCst) == 1 {
+            let _guard = self.inner.queue.lock().unwrap_or_else(|e| e.into_inner());
+            self.inner.not_full.notify_all();
+        }
+    }
+}
+
+impl<T> fmt::Debug for Sender<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Sender {{ .. }}")
+    }
+}
+
+impl<T> fmt::Debug for Receiver<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Receiver {{ .. }}")
+    }
+}
+
+impl<T> Sender<T> {
+    /// Send `msg`, blocking while a bounded channel is full.
+    pub fn send(&self, msg: T) -> Result<(), SendError<T>> {
+        let mut queue = self.inner.queue.lock().unwrap_or_else(|e| e.into_inner());
+        loop {
+            if self.inner.disconnected_for_send() {
+                return Err(SendError(msg));
+            }
+            match self.inner.cap {
+                Some(cap) if queue.len() >= cap => {
+                    queue = self.inner.not_full.wait(queue).unwrap_or_else(|e| e.into_inner());
+                }
+                _ => break,
+            }
+        }
+        queue.push_back(msg);
+        drop(queue);
+        self.inner.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Number of messages currently buffered.
+    pub fn len(&self) -> usize {
+        self.inner.queue.lock().unwrap_or_else(|e| e.into_inner()).len()
+    }
+
+    /// Whether no messages are buffered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl<T> Receiver<T> {
+    /// Receive a message, blocking until one arrives or the channel
+    /// disconnects.
+    pub fn recv(&self) -> Result<T, RecvError> {
+        let mut queue = self.inner.queue.lock().unwrap_or_else(|e| e.into_inner());
+        loop {
+            if let Some(msg) = queue.pop_front() {
+                drop(queue);
+                self.inner.not_full.notify_one();
+                return Ok(msg);
+            }
+            if self.inner.disconnected_for_recv() {
+                return Err(RecvError);
+            }
+            queue = self.inner.not_empty.wait(queue).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    /// Receive without blocking.
+    pub fn try_recv(&self) -> Result<T, TryRecvError> {
+        let mut queue = self.inner.queue.lock().unwrap_or_else(|e| e.into_inner());
+        if let Some(msg) = queue.pop_front() {
+            drop(queue);
+            self.inner.not_full.notify_one();
+            return Ok(msg);
+        }
+        if self.inner.disconnected_for_recv() {
+            Err(TryRecvError::Disconnected)
+        } else {
+            Err(TryRecvError::Empty)
+        }
+    }
+
+    /// Receive with a deadline relative to now.
+    pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+        let deadline = Instant::now() + timeout;
+        let mut queue = self.inner.queue.lock().unwrap_or_else(|e| e.into_inner());
+        loop {
+            if let Some(msg) = queue.pop_front() {
+                drop(queue);
+                self.inner.not_full.notify_one();
+                return Ok(msg);
+            }
+            if self.inner.disconnected_for_recv() {
+                return Err(RecvTimeoutError::Disconnected);
+            }
+            let remaining = deadline.saturating_duration_since(Instant::now());
+            if remaining.is_zero() {
+                return Err(RecvTimeoutError::Timeout);
+            }
+            let (q, res) = self
+                .inner
+                .not_empty
+                .wait_timeout(queue, remaining)
+                .unwrap_or_else(|e| e.into_inner());
+            queue = q;
+            if res.timed_out() && queue.is_empty() {
+                if self.inner.disconnected_for_recv() {
+                    return Err(RecvTimeoutError::Disconnected);
+                }
+                return Err(RecvTimeoutError::Timeout);
+            }
+        }
+    }
+
+    /// Number of messages currently buffered.
+    pub fn len(&self) -> usize {
+        self.inner.queue.lock().unwrap_or_else(|e| e.into_inner()).len()
+    }
+
+    /// Whether no messages are buffered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drain and return every currently buffered message.
+    pub fn try_iter(&self) -> impl Iterator<Item = T> + '_ {
+        std::iter::from_fn(move || self.try_recv().ok())
+    }
+}
+
+/// Type-inference helper for `select!`: an `Err(RecvError)` result whose
+/// `Ok` type is pinned to the receiver's element type.
+#[doc(hidden)]
+pub fn __disconnected<T>(_rx: &Receiver<T>) -> Result<T, RecvError> {
+    Err(RecvError)
+}
+
+/// Polling select over `recv(rx) -> msg => { ... }` arms.
+///
+/// Semantics match crossbeam for the supported form: an arm fires when its
+/// channel yields a message *or* observes disconnection (the bound variable
+/// is a `Result<T, RecvError>`). Readiness is checked by round-robin polling
+/// with a short park between sweeps rather than true event registration —
+/// adequate for the daemon loops in this workspace, where select sits at the
+/// top of a blocking state machine.
+/// The selected arm and its received value are encoded as nested `Result`s
+/// (arm 0 → `Ok(v)`, arm 1 → `Err(Ok(v))`, arm k → `Err^k(..)`) so the
+/// polling loop only *picks* an arm; the arm body runs **after** the loop.
+/// That keeps `break`/`continue` inside arm bodies bound to the user's own
+/// enclosing loops, matching real crossbeam semantics.
+#[macro_export]
+macro_rules! select {
+    // Space-separated block arms, as in `match`.
+    ($(recv($rx:expr) -> $msg:pat => $body:block)+) => {
+        $crate::select! { $(recv($rx) -> $msg => $body),+ }
+    };
+    ($(recv($rx:expr) -> $msg:pat => $body:expr),+ $(,)?) => {{
+        let __sel = loop {
+            $crate::select!(@poll () $(($rx))+);
+            ::std::thread::sleep(::std::time::Duration::from_micros(200));
+        };
+        $crate::select!(@unpack __sel, $(($msg => $body))+)
+    }};
+
+    // @poll: emit one try_recv per arm; on readiness, break out of the
+    // enclosing `loop` with the arm's value wrapped in its nesting tag.
+    // The accumulator of `E` tokens counts how many `Err(..)` layers deep
+    // this arm sits.
+    (@poll ($($w:tt)*) ($rx:expr)) => {
+        // Last arm: innermost position, no `Ok` layer of its own.
+        match $crate::Receiver::try_recv(&$rx) {
+            Ok(__v) => break $crate::select!(@wrap ($($w)*) Ok(__v)),
+            Err($crate::TryRecvError::Disconnected) => {
+                break $crate::select!(@wrap ($($w)*) $crate::__disconnected(&$rx))
+            }
+            Err($crate::TryRecvError::Empty) => {}
+        }
+    };
+    (@poll ($($w:tt)*) ($rx:expr) $($rest:tt)+) => {
+        match $crate::Receiver::try_recv(&$rx) {
+            Ok(__v) => break $crate::select!(@wrap ($($w)*) Ok(Ok(__v))),
+            Err($crate::TryRecvError::Disconnected) => {
+                break $crate::select!(@wrap ($($w)*) Ok($crate::__disconnected(&$rx)))
+            }
+            Err($crate::TryRecvError::Empty) => {}
+        }
+        $crate::select!(@poll ($($w)* E) $($rest)+);
+    };
+
+    // @wrap: apply one `Err(..)` layer per accumulated `E`.
+    (@wrap () $v:expr) => { $v };
+    (@wrap (E $($rest:tt)*) $v:expr) => { $crate::select!(@wrap ($($rest)*) Err($v)) };
+
+    // @unpack: peel the nesting, binding the chosen arm's pattern and
+    // running its body outside the polling loop.
+    (@unpack $sel:expr, ($msg:pat => $body:expr)) => {{
+        let $msg = $sel;
+        $body
+    }};
+    (@unpack $sel:expr, ($msg:pat => $body:expr) $($rest:tt)+) => {
+        match $sel {
+            Ok(__inner) => {
+                let $msg = __inner;
+                $body
+            }
+            Err(__rest) => $crate::select!(@unpack __rest, $($rest)+),
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn unbounded_send_recv() {
+        let (tx, rx) = unbounded();
+        tx.send(1).unwrap();
+        tx.send(2).unwrap();
+        assert_eq!(rx.recv(), Ok(1));
+        assert_eq!(rx.try_recv(), Ok(2));
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Empty));
+    }
+
+    #[test]
+    fn disconnect_on_sender_drop_after_drain() {
+        let (tx, rx) = unbounded();
+        tx.send(7).unwrap();
+        drop(tx);
+        assert_eq!(rx.recv(), Ok(7));
+        assert_eq!(rx.recv(), Err(RecvError));
+    }
+
+    #[test]
+    fn send_fails_when_receivers_gone() {
+        let (tx, rx) = unbounded();
+        drop(rx);
+        assert_eq!(tx.send(1), Err(SendError(1)));
+    }
+
+    #[test]
+    fn recv_timeout_expires() {
+        let (_tx, rx) = unbounded::<u8>();
+        assert_eq!(rx.recv_timeout(Duration::from_millis(10)), Err(RecvTimeoutError::Timeout));
+    }
+
+    #[test]
+    fn bounded_blocks_until_drained() {
+        let (tx, rx) = bounded(2);
+        tx.send(1).unwrap();
+        tx.send(2).unwrap();
+        let t = thread::spawn(move || {
+            tx.send(3).unwrap(); // blocks until a slot frees
+            tx
+        });
+        thread::sleep(Duration::from_millis(20));
+        assert_eq!(rx.recv(), Ok(1));
+        let tx = t.join().unwrap();
+        assert_eq!(rx.recv(), Ok(2));
+        assert_eq!(rx.recv(), Ok(3));
+        drop(tx);
+        assert_eq!(rx.recv(), Err(RecvError));
+    }
+
+    #[test]
+    fn mpmc_each_message_delivered_once() {
+        let (tx, rx) = unbounded();
+        let rx2 = rx.clone();
+        for i in 0..100 {
+            tx.send(i).unwrap();
+        }
+        drop(tx);
+        let h = thread::spawn(move || {
+            let mut got = Vec::new();
+            while let Ok(v) = rx2.recv() {
+                got.push(v);
+            }
+            got
+        });
+        let mut got = Vec::new();
+        while let Ok(v) = rx.recv() {
+            got.push(v);
+        }
+        let mut all = got;
+        all.extend(h.join().unwrap());
+        all.sort_unstable();
+        assert_eq!(all, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn select_fires_ready_arm() {
+        let (tx_a, rx_a) = unbounded::<u32>();
+        let (_tx_b, rx_b) = unbounded::<u32>();
+        tx_a.send(5).unwrap();
+        let seen = select! {
+            recv(rx_a) -> msg => ("a", msg),
+            recv(rx_b) -> msg => ("b", msg),
+        };
+        assert_eq!(seen, ("a", Ok(5)));
+    }
+
+    #[test]
+    fn select_arm_break_binds_to_user_loop() {
+        // Arm bodies must run outside the macro's internal polling loop so
+        // a bare `break` exits the *user's* loop (crossbeam semantics).
+        let (tx, rx) = unbounded::<u32>();
+        let (_tx2, rx2) = unbounded::<u32>();
+        tx.send(1).unwrap();
+        tx.send(2).unwrap();
+        let mut seen = 0;
+        loop {
+            select! {
+                recv(rx) -> msg => {
+                    if msg == Ok(2) {
+                        break;
+                    }
+                    seen += 1;
+                },
+                recv(rx2) -> _msg => unreachable!("rx2 never fires"),
+            }
+        }
+        assert_eq!(seen, 1, "first message processed, second broke the loop");
+    }
+
+    #[test]
+    fn select_returns_arm_value() {
+        let (tx, rx_a) = unbounded::<u32>();
+        let (_tx_b, rx_b) = unbounded::<u32>();
+        tx.send(41).unwrap();
+        let got = select! {
+            recv(rx_a) -> msg => msg.map(|v| v + 1),
+            recv(rx_b) -> msg => msg,
+        };
+        assert_eq!(got, Ok(42));
+    }
+
+    #[test]
+    fn select_observes_disconnect() {
+        let (tx_a, rx_a) = unbounded::<u32>();
+        let (tx_b, rx_b) = unbounded::<u32>();
+        drop(tx_b);
+        let seen = select! {
+            recv(rx_b) -> msg => msg,
+            recv(rx_a) -> msg => msg,
+        };
+        assert_eq!(seen, Err(RecvError));
+        drop(tx_a);
+    }
+}
