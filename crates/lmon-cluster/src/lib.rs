@@ -43,5 +43,5 @@ pub use error::ClusterError;
 pub use node::NodeId;
 pub use process::{Pid, ProcCtx, ProcSpec, ProcState};
 pub use procfs::{ProcSnapshot, ProcStats};
-pub use remote::{RshError, RshSession};
+pub use remote::{RshError, RshSession, SpawnFaultPlan};
 pub use trace::{TraceController, TraceEvent};

@@ -13,8 +13,11 @@
 //! dropped — exactly like a real rsh that stays alive as the remote
 //! daemon's stdio channel.
 
+use std::collections::BTreeSet;
 use std::fmt;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+use parking_lot::Mutex;
 
 use crate::cluster::VirtualCluster;
 use crate::config::RshConfig;
@@ -34,6 +37,13 @@ pub enum RshError {
     NoSuchHost(String),
     /// The remote node refused the spawn (e.g. process table full).
     RemoteSpawnFailed(String),
+    /// An installed [`SpawnFaultPlan`] failed this attempt on purpose.
+    FaultInjected {
+        /// Global connection-attempt index that was failed (0-based).
+        attempt: u64,
+        /// The host the attempt targeted.
+        host: String,
+    },
 }
 
 impl fmt::Display for RshError {
@@ -45,11 +55,56 @@ impl fmt::Display for RshError {
             ),
             RshError::NoSuchHost(h) => write!(f, "rsh: unknown host {h}"),
             RshError::RemoteSpawnFailed(e) => write!(f, "rsh: remote spawn failed: {e}"),
+            RshError::FaultInjected { attempt, host } => {
+                write!(f, "rsh: injected fault at connection attempt {attempt} (host {host})")
+            }
         }
     }
 }
 
 impl std::error::Error for RshError {}
+
+/// A deterministic plan of remote-spawn failures.
+///
+/// Chaos scenarios install one of these on the cluster's [`RshState`]; the
+/// rules are keyed by the *global connection-attempt index* (every
+/// [`rsh_spawn`] call increments it, success or failure) and/or by target
+/// host, so the same scenario fails the same attempt on every run — no
+/// wall-clock races involved.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SpawnFaultPlan {
+    fail_attempts: BTreeSet<u64>,
+    fail_hosts: BTreeSet<String>,
+}
+
+impl SpawnFaultPlan {
+    /// An empty plan (injects nothing).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Fail the `n`-th connection attempt (0-based, counted across the
+    /// cluster's lifetime).
+    pub fn fail_attempt(mut self, n: u64) -> Self {
+        self.fail_attempts.insert(n);
+        self
+    }
+
+    /// Fail every attempt targeting `host`.
+    pub fn fail_host(mut self, host: impl Into<String>) -> Self {
+        self.fail_hosts.insert(host.into());
+        self
+    }
+
+    /// Whether the plan has any rule at all.
+    pub fn is_empty(&self) -> bool {
+        self.fail_attempts.is_empty() && self.fail_hosts.is_empty()
+    }
+
+    fn should_fail(&self, attempt: u64, host: &str) -> bool {
+        self.fail_attempts.contains(&attempt) || self.fail_hosts.contains(host)
+    }
+}
 
 /// Shared rsh bookkeeping (owned by the cluster).
 #[derive(Debug)]
@@ -58,6 +113,8 @@ pub struct RshState {
     live: AtomicUsize,
     total_connects: AtomicU64,
     failed_connects: AtomicU64,
+    attempts: AtomicU64,
+    fault_plan: Mutex<SpawnFaultPlan>,
 }
 
 impl RshState {
@@ -67,6 +124,8 @@ impl RshState {
             live: AtomicUsize::new(0),
             total_connects: AtomicU64::new(0),
             failed_connects: AtomicU64::new(0),
+            attempts: AtomicU64::new(0),
+            fault_plan: Mutex::new(SpawnFaultPlan::default()),
         }
     }
 
@@ -89,6 +148,22 @@ impl RshState {
     /// Total failed connection attempts.
     pub fn failed_connects(&self) -> u64 {
         self.failed_connects.load(Ordering::Relaxed)
+    }
+
+    /// Total connection attempts so far (successful or not); this is the
+    /// index space [`SpawnFaultPlan::fail_attempt`] addresses.
+    pub fn attempts(&self) -> u64 {
+        self.attempts.load(Ordering::Relaxed)
+    }
+
+    /// Install (replace) the fault plan for subsequent spawns.
+    pub fn install_fault_plan(&self, plan: SpawnFaultPlan) {
+        *self.fault_plan.lock() = plan;
+    }
+
+    /// Remove any installed fault plan.
+    pub fn clear_fault_plan(&self) {
+        *self.fault_plan.lock() = SpawnFaultPlan::default();
     }
 
     fn try_open(&self) -> Result<(), RshError> {
@@ -161,6 +236,16 @@ pub fn rsh_spawn(
     body: impl FnOnce(ProcCtx) + Send + 'static,
 ) -> Result<RshSession, RshError> {
     let state = cluster.rsh_state();
+    // Fault plan check first: an injected failure models the connection
+    // dying before the front end commits any fds to the session.
+    let attempt = state.attempts.fetch_add(1, Ordering::Relaxed);
+    {
+        let plan = state.fault_plan.lock();
+        if plan.should_fail(attempt, host) {
+            state.failed_connects.fetch_add(1, Ordering::Relaxed);
+            return Err(RshError::FaultInjected { attempt, host: host.to_string() });
+        }
+    }
     state.try_open()?;
     // From here on, any failure must release the session slot.
     let node = match cluster.node_by_host(host) {
@@ -257,6 +342,45 @@ mod tests {
         s.close();
         assert_eq!(c.rsh_state().live_sessions(), 0);
         c.wait_pid(pid).unwrap();
+    }
+
+    #[test]
+    fn fault_plan_fails_chosen_attempt_then_recovers() {
+        let c = cluster_with_rsh(4, RshConfig::default());
+        c.rsh_state().install_fault_plan(SpawnFaultPlan::new().fail_attempt(1));
+        let s0 = rsh_spawn(&c, "node00000", ProcSpec::named("d"), |_| {}).unwrap();
+        let err = rsh_spawn(&c, "node00001", ProcSpec::named("d"), |_| {}).unwrap_err();
+        assert_eq!(err, RshError::FaultInjected { attempt: 1, host: "node00001".to_string() });
+        // No fds were charged for the injected failure.
+        assert_eq!(c.rsh_state().live_sessions(), 1);
+        assert_eq!(c.rsh_state().failed_connects(), 1);
+        // The next attempt (index 2) is healthy again.
+        let s2 = rsh_spawn(&c, "node00001", ProcSpec::named("d"), |_| {}).unwrap();
+        assert_eq!(c.rsh_state().attempts(), 3);
+        drop(s0);
+        drop(s2);
+    }
+
+    #[test]
+    fn fault_plan_by_host_is_persistent_until_cleared() {
+        let c = cluster_with_rsh(2, RshConfig::default());
+        c.rsh_state().install_fault_plan(SpawnFaultPlan::new().fail_host("node00001"));
+        assert!(rsh_spawn(&c, "node00000", ProcSpec::named("d"), |_| {}).is_ok());
+        for _ in 0..2 {
+            let err = rsh_spawn(&c, "node00001", ProcSpec::named("d"), |_| {}).unwrap_err();
+            assert!(matches!(err, RshError::FaultInjected { .. }), "{err}");
+        }
+        c.rsh_state().clear_fault_plan();
+        assert!(rsh_spawn(&c, "node00001", ProcSpec::named("d"), |_| {}).is_ok());
+    }
+
+    #[test]
+    fn empty_plan_is_inert() {
+        assert!(SpawnFaultPlan::new().is_empty());
+        assert!(!SpawnFaultPlan::new().fail_attempt(0).is_empty());
+        let c = cluster_with_rsh(1, RshConfig::default());
+        c.rsh_state().install_fault_plan(SpawnFaultPlan::new());
+        assert!(rsh_spawn(&c, "node00000", ProcSpec::named("d"), |_| {}).is_ok());
     }
 
     #[test]

@@ -8,7 +8,7 @@
 //!   values come straight from the paper (18 ms tracing, 12 ms fixed
 //!   overhead); scale-dependent ones are fitted so the model passes
 //!   through the handful of absolute numbers the paper reports (see
-//!   DESIGN.md §6 and EXPERIMENTS.md for the derivations).
+//!   DESIGN.md §6 for the derivations).
 //! * [`predict`] — closed-form predictions: the Figure 3 breakdown,
 //!   Figure 5 Jobsnap times, Figure 6 STAT startup times, Table 1 APAI
 //!   access times.

@@ -44,6 +44,7 @@
 #![warn(missing_docs)]
 
 pub mod error;
+pub mod fault;
 pub mod frame;
 pub mod header;
 pub mod msg;
@@ -54,6 +55,7 @@ pub mod transport;
 pub mod wire;
 
 pub use error::ProtoError;
+pub use fault::{FaultyChannel, FrameFate, FrameFaultPlan};
 pub use header::{LmonpHeader, MsgClass, MsgType, HEADER_LEN};
 pub use msg::LmonpMsg;
 pub use rpdtab::{ProcDesc, Rpdtab};

@@ -9,6 +9,7 @@
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
+use crate::fault::{Disposition, FaultKind, FaultSpec, TraceEvent};
 use crate::metrics::Metrics;
 use crate::queue::EventQueue;
 use crate::time::{SimDuration, SimTime};
@@ -102,6 +103,9 @@ pub struct Sim<M> {
     started: bool,
     stop_requested: bool,
     dispatched: u64,
+    faults: Vec<FaultSpec>,
+    trace: Option<Vec<TraceEvent>>,
+    trace_seq: u64,
 }
 
 impl<M> Sim<M> {
@@ -116,6 +120,9 @@ impl<M> Sim<M> {
             started: false,
             stop_requested: false,
             dispatched: 0,
+            faults: Vec::new(),
+            trace: None,
+            trace_seq: 0,
         }
     }
 
@@ -144,6 +151,80 @@ impl<M> Sim<M> {
     /// Schedule a message from outside any actor (e.g. the scenario driver).
     pub fn inject(&mut self, at: SimTime, to: ActorId, msg: M) {
         self.queue.push(at, Pending { to, msg });
+    }
+
+    /// Schedule a fault against an actor (see [`FaultKind`]). Faults are
+    /// part of the deterministic schedule: same seed + same plan = same run.
+    pub fn inject_fault(&mut self, spec: FaultSpec) {
+        self.faults.push(spec);
+    }
+
+    /// Kill `target` at virtual time `at`: deliveries from then on are
+    /// dropped (and counted under the `fault.dropped` metric).
+    pub fn kill_at(&mut self, at: SimTime, target: ActorId) {
+        self.inject_fault(FaultSpec { at, target, kind: FaultKind::Kill });
+    }
+
+    /// Hang `target` between `at` and `until`: deliveries inside the window
+    /// are deferred to `until` (counted under `fault.deferred`).
+    pub fn hang_between(&mut self, target: ActorId, at: SimTime, until: SimTime) {
+        self.inject_fault(FaultSpec { at, target, kind: FaultKind::HangUntil(until) });
+    }
+
+    /// Scheduled faults, in injection order.
+    pub fn faults(&self) -> &[FaultSpec] {
+        &self.faults
+    }
+
+    /// Start recording the per-delivery event trace (off by default: traces
+    /// grow with the run and benches don't want the allocation).
+    pub fn enable_trace(&mut self) {
+        if self.trace.is_none() {
+            self.trace = Some(Vec::new());
+        }
+    }
+
+    /// The recorded trace (empty unless [`Sim::enable_trace`] was called
+    /// before the run).
+    pub fn trace(&self) -> &[TraceEvent] {
+        self.trace.as_deref().unwrap_or(&[])
+    }
+
+    /// Fingerprint of the recorded trace (see [`crate::fault::trace_fingerprint`]).
+    pub fn trace_fingerprint(&self) -> u64 {
+        crate::fault::trace_fingerprint(self.trace())
+    }
+
+    /// The recorded trace rendered one event per line.
+    pub fn trace_dump(&self) -> String {
+        crate::fault::trace_dump(self.trace())
+    }
+
+    /// Resolve what happens to a delivery to `to` at time `now`: the first
+    /// scheduled fault (in injection order) that is active wins.
+    fn disposition_for(&self, now: SimTime, to: ActorId) -> Disposition {
+        for f in &self.faults {
+            if f.target != to || now < f.at {
+                continue;
+            }
+            match f.kind {
+                FaultKind::Kill => return Disposition::DroppedKilled,
+                FaultKind::HangUntil(until) => {
+                    if now < until {
+                        return Disposition::DeferredHang;
+                    }
+                }
+            }
+        }
+        Disposition::Delivered
+    }
+
+    fn record_trace(&mut self, at: SimTime, to: ActorId, disposition: Disposition) {
+        let seq = self.trace_seq;
+        self.trace_seq += 1;
+        if let Some(trace) = self.trace.as_mut() {
+            trace.push(TraceEvent { seq, at, to, disposition });
+        }
     }
 
     fn start_if_needed(&mut self) {
@@ -177,6 +258,32 @@ impl<M> Sim<M> {
         };
         debug_assert!(at >= self.now, "time must be monotone");
         self.now = at;
+        match self.disposition_for(at, to) {
+            Disposition::Delivered => {}
+            d @ Disposition::DroppedKilled => {
+                self.record_trace(at, to, d);
+                self.metrics.count("fault.dropped", 1);
+                return true;
+            }
+            d @ Disposition::DeferredHang => {
+                self.record_trace(at, to, d);
+                self.metrics.count("fault.deferred", 1);
+                let until = self
+                    .faults
+                    .iter()
+                    .filter_map(|f| match f.kind {
+                        FaultKind::HangUntil(u) if f.target == to && at >= f.at && at < u => {
+                            Some(u)
+                        }
+                        _ => None,
+                    })
+                    .max()
+                    .expect("deferral implies an active hang window");
+                self.queue.push(until, Pending { to, msg });
+                return true;
+            }
+        }
+        self.record_trace(at, to, Disposition::Delivered);
         self.dispatched += 1;
         let idx = to.index();
         assert!(idx < self.actors.len(), "message to unknown actor {to:?}");
@@ -353,6 +460,83 @@ mod tests {
             sim.run(100);
         }));
         assert!(result.is_err(), "livelock should trip the event budget");
+    }
+
+    #[test]
+    fn killed_actor_stops_receiving_and_drops_are_counted() {
+        struct Counter {
+            seen: std::rc::Rc<std::cell::RefCell<u32>>,
+        }
+        impl Actor<u32> for Counter {
+            fn on_message(&mut self, _msg: u32, _ctx: &mut Ctx<'_, u32>) {
+                *self.seen.borrow_mut() += 1;
+            }
+        }
+        let seen = std::rc::Rc::new(std::cell::RefCell::new(0));
+        let mut sim: Sim<u32> = Sim::new(0);
+        let c = sim.add_actor(Box::new(Counter { seen: seen.clone() }));
+        for i in 0..10u64 {
+            sim.inject(SimTime(i * 100), c, i as u32);
+        }
+        // Kill at t=450: deliveries at 0..=400 land (5), 500..=900 drop (5).
+        sim.kill_at(SimTime(450), c);
+        sim.run_to_completion();
+        assert_eq!(*seen.borrow(), 5);
+        assert_eq!(sim.metrics.counter("fault.dropped"), 5);
+    }
+
+    #[test]
+    fn hung_actor_defers_deliveries_to_window_end() {
+        struct Stamps {
+            at: std::rc::Rc<std::cell::RefCell<Vec<SimTime>>>,
+        }
+        impl Actor<u32> for Stamps {
+            fn on_message(&mut self, _msg: u32, ctx: &mut Ctx<'_, u32>) {
+                self.at.borrow_mut().push(ctx.now());
+            }
+        }
+        let at = std::rc::Rc::new(std::cell::RefCell::new(Vec::new()));
+        let mut sim: Sim<u32> = Sim::new(0);
+        let s = sim.add_actor(Box::new(Stamps { at: at.clone() }));
+        sim.inject(SimTime(100), s, 0);
+        sim.inject(SimTime(200), s, 1); // inside the hang window: deferred
+        sim.inject(SimTime(900), s, 2);
+        sim.hang_between(s, SimTime(150), SimTime(500));
+        sim.run_to_completion();
+        assert_eq!(*at.borrow(), vec![SimTime(100), SimTime(500), SimTime(900)]);
+        assert_eq!(sim.metrics.counter("fault.deferred"), 1);
+    }
+
+    #[test]
+    fn trace_is_bit_for_bit_reproducible_with_faults() {
+        let run = || {
+            let mut sim = Sim::new(11);
+            let b = sim.add_actor(Box::new(Pinger { peer: None, remaining: 0, log: vec![] }));
+            sim.actors[0] = Box::new(Pinger { peer: Some(b), remaining: 4, log: vec![] });
+            sim.enable_trace();
+            sim.kill_at(SimTime(4_500_000), b);
+            sim.run(10_000);
+            (sim.trace_dump(), sim.trace_fingerprint())
+        };
+        let (d1, f1) = run();
+        let (d2, f2) = run();
+        assert_eq!(d1, d2, "same seed + same plan must replay identically");
+        assert_eq!(f1, f2);
+        assert!(d1.contains("drop-killed"), "{d1}");
+    }
+
+    #[test]
+    fn trace_disabled_by_default_costs_nothing() {
+        let mut sim: Sim<u32> = Sim::new(0);
+        struct Sink;
+        impl Actor<u32> for Sink {
+            fn on_message(&mut self, _msg: u32, _ctx: &mut Ctx<'_, u32>) {}
+        }
+        let a = sim.add_actor(Box::new(Sink));
+        sim.inject(SimTime(1), a, 0);
+        sim.run_to_completion();
+        assert!(sim.trace().is_empty());
+        assert_eq!(sim.trace_fingerprint(), crate::fault::trace_fingerprint(&[]));
     }
 
     #[test]

@@ -1,0 +1,151 @@
+//! Deterministic fault injection for the simulation kernel.
+//!
+//! Scalability bugs surface only under scale-dependent fault schedules, so
+//! the kernel supports *scheduled* faults: at a chosen virtual time an actor
+//! can be killed (all subsequent deliveries dropped) or hung (deliveries
+//! deferred until the hang lifts — the classic straggler). Faults are part
+//! of the simulation schedule, not wall-clock races, so a seeded run with a
+//! fault plan is exactly as reproducible as one without.
+//!
+//! The same module provides the *event trace*: an opt-in, per-delivery
+//! record of `(seq, time, target, disposition)` the chaos suite compares
+//! bit-for-bit across same-seed runs.
+
+use std::fmt;
+
+use crate::engine::ActorId;
+use crate::time::SimTime;
+
+/// What happens to an actor when a scheduled fault becomes active.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// The actor dies: every delivery at or after the fault time is dropped.
+    Kill,
+    /// The actor stops processing until `until`: deliveries inside the hang
+    /// window are deferred to `until` (they queue up, straggler-style),
+    /// deliveries after it proceed normally.
+    HangUntil(SimTime),
+}
+
+/// A fault scheduled against one actor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultSpec {
+    /// Virtual time at which the fault becomes active.
+    pub at: SimTime,
+    /// The actor it applies to.
+    pub target: ActorId,
+    /// What the fault does.
+    pub kind: FaultKind,
+}
+
+/// How the engine disposed of one scheduled delivery.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Disposition {
+    /// Delivered to the actor's handler.
+    Delivered,
+    /// Dropped because the target was killed.
+    DroppedKilled,
+    /// Requeued at the end of the target's hang window.
+    DeferredHang,
+}
+
+impl Disposition {
+    fn code(self) -> u8 {
+        match self {
+            Disposition::Delivered => b'D',
+            Disposition::DroppedKilled => b'K',
+            Disposition::DeferredHang => b'H',
+        }
+    }
+}
+
+impl fmt::Display for Disposition {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Disposition::Delivered => write!(f, "deliver"),
+            Disposition::DroppedKilled => write!(f, "drop-killed"),
+            Disposition::DeferredHang => write!(f, "defer-hang"),
+        }
+    }
+}
+
+/// One line of the event trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Position in the dispatch sequence (including drops and deferrals).
+    pub seq: u64,
+    /// Virtual time of the event.
+    pub at: SimTime,
+    /// Target actor.
+    pub to: ActorId,
+    /// What happened to the message.
+    pub disposition: Disposition,
+}
+
+impl fmt::Display for TraceEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "#{:06} {:>16} -> a{:03} {}", self.seq, self.at, self.to.0, self.disposition)
+    }
+}
+
+/// FNV-1a fingerprint over a trace; equal traces hash equal, and the hash is
+/// stable across platforms (no pointer or HashMap iteration order involved).
+pub fn trace_fingerprint(events: &[TraceEvent]) -> u64 {
+    let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+    let mut mix = |b: u64| {
+        for byte in b.to_le_bytes() {
+            h ^= byte as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+    };
+    for e in events {
+        mix(e.seq);
+        mix(e.at.as_nanos());
+        mix(e.to.0 as u64);
+        mix(e.disposition.code() as u64);
+    }
+    h
+}
+
+/// Render a trace one event per line (the bit-for-bit comparison format).
+pub fn trace_dump(events: &[TraceEvent]) -> String {
+    use fmt::Write as _;
+    let mut out = String::with_capacity(events.len() * 48);
+    for e in events {
+        writeln!(out, "{e}").expect("writing to String cannot fail");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(seq: u64, at: u64, to: u32, d: Disposition) -> TraceEvent {
+        TraceEvent { seq, at: SimTime(at), to: ActorId(to), disposition: d }
+    }
+
+    #[test]
+    fn fingerprint_is_order_and_content_sensitive() {
+        let a = vec![ev(0, 10, 1, Disposition::Delivered), ev(1, 20, 2, Disposition::Delivered)];
+        let b = vec![ev(1, 20, 2, Disposition::Delivered), ev(0, 10, 1, Disposition::Delivered)];
+        let c =
+            vec![ev(0, 10, 1, Disposition::DroppedKilled), ev(1, 20, 2, Disposition::Delivered)];
+        assert_eq!(trace_fingerprint(&a), trace_fingerprint(&a));
+        assert_ne!(trace_fingerprint(&a), trace_fingerprint(&b));
+        assert_ne!(trace_fingerprint(&a), trace_fingerprint(&c));
+    }
+
+    #[test]
+    fn dump_is_one_line_per_event_and_stable() {
+        let events = vec![
+            ev(0, 1_000, 3, Disposition::Delivered),
+            ev(1, 2_000, 4, Disposition::DeferredHang),
+        ];
+        let dump = trace_dump(&events);
+        assert_eq!(dump.lines().count(), 2);
+        assert_eq!(dump, trace_dump(&events));
+        assert!(dump.contains("a003"), "{dump}");
+        assert!(dump.contains("defer-hang"), "{dump}");
+    }
+}

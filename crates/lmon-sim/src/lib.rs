@@ -24,18 +24,27 @@
 //!
 //! Determinism: no wall-clock reads, a seeded [`rand::rngs::SmallRng`], and
 //! the stable queue. Two runs with the same seed produce identical event
-//! traces — asserted by tests.
+//! traces — asserted by tests, and recordable via [`engine::Sim::enable_trace`]
+//! for bit-for-bit comparison.
+//!
+//! Fault injection: [`fault`] lets a scenario kill or hang any actor at a
+//! chosen virtual time ([`engine::Sim::kill_at`], [`engine::Sim::hang_between`]).
+//! Faults are part of the deterministic schedule, so chaos runs replay
+//! exactly under the same seed — the property `lmon-testkit`'s scenario DSL
+//! and the facade's `chaos_suite` build on.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod engine;
+pub mod fault;
 pub mod metrics;
 pub mod net;
 pub mod queue;
 pub mod time;
 
 pub use engine::{Actor, ActorId, Ctx, Sim};
+pub use fault::{Disposition, FaultKind, FaultSpec, TraceEvent};
 pub use metrics::Metrics;
 pub use net::{LinkSpec, NetModel};
 pub use queue::EventQueue;

@@ -37,6 +37,6 @@ pub mod spec;
 
 pub use error::{TbonError, TbonResult};
 pub use filter::FilterKind;
-pub use overlay::{FrontEndpoint, LeafEndpoint, Overlay};
+pub use overlay::{CommFault, FrontEndpoint, LeafEndpoint, Overlay};
 pub use packet::Packet;
 pub use spec::TopologySpec;

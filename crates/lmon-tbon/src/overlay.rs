@@ -267,20 +267,85 @@ impl Overlay {
     }
 }
 
+/// A deterministic fault schedule for one communication daemon.
+///
+/// Counters are per-daemon message counts, not wall-clock times, so a chaos
+/// scenario crashes or partitions the overlay at exactly the same protocol
+/// point on every run.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CommFault {
+    /// Crash (return from the daemon loop) after receiving this many
+    /// up-packets — mid-aggregation when it is smaller than the child
+    /// count of a wave.
+    pub crash_after_up: Option<u64>,
+    /// Crash after receiving this many down-messages (data or control).
+    pub crash_after_down: Option<u64>,
+    /// Severed child links: up-packets from these child slots are discarded,
+    /// as if the connection to that subtree were partitioned away.
+    pub sever_child_slots: std::collections::BTreeSet<usize>,
+}
+
+impl CommFault {
+    /// A fault-free schedule.
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// Crash after `n` up-packets.
+    pub fn crash_after_up(mut self, n: u64) -> Self {
+        self.crash_after_up = Some(n);
+        self
+    }
+
+    /// Crash after `n` down-messages.
+    pub fn crash_after_down(mut self, n: u64) -> Self {
+        self.crash_after_down = Some(n);
+        self
+    }
+
+    /// Sever the link to child slot `slot`.
+    pub fn sever_child(mut self, slot: usize) -> Self {
+        self.sever_child_slots.insert(slot);
+        self
+    }
+
+    /// Whether any fault is scheduled.
+    pub fn is_none(&self) -> bool {
+        self == &CommFault::default()
+    }
+}
+
 /// Run a communication daemon until shutdown: forward downstream traffic,
 /// aggregate upstream waves with the stream filter.
 pub fn run_comm_node(harness: CommHarness, registry: FilterRegistry) {
+    run_comm_node_with_faults(harness, registry, CommFault::none());
+}
+
+/// [`run_comm_node`] with a [`CommFault`] schedule applied; a "crash"
+/// returns from the loop without forwarding shutdown to children, exactly
+/// like a daemon dying mid-protocol.
+pub fn run_comm_node_with_faults(harness: CommHarness, registry: FilterRegistry, fault: CommFault) {
     let CommHarness { pos: _, down_rx, up_tx, my_slot, child_down, up_rx } = harness;
     let mut streams: HashMap<u16, FilterKind> = HashMap::new();
     streams.insert(CONNECT_STREAM, FilterKind::Concat);
     // (stream, tag) → per-slot packets for the wave in flight.
     let mut waves: HashMap<(u16, u16), HashMap<usize, Packet>> = HashMap::new();
-    let want = child_down.len();
+    // Only count severed slots that name real children: an out-of-range
+    // slot must not shrink `want`, or waves would "complete" with a
+    // silently partial aggregate.
+    let severed = fault.sever_child_slots.iter().filter(|&&s| s < child_down.len()).count();
+    let want = child_down.len() - severed;
+    let mut up_seen = 0u64;
+    let mut down_seen = 0u64;
 
     loop {
         crossbeam_channel::select! {
             recv(down_rx) -> msg => {
                 let Ok(msg) = msg else { return };
+                down_seen += 1;
+                if fault.crash_after_down.is_some_and(|n| down_seen > n) {
+                    return;
+                }
                 match msg {
                     Down::Ctl(Control::OpenStream { stream, filter }) => {
                         streams.insert(stream, filter.clone());
@@ -306,6 +371,13 @@ pub fn run_comm_node(harness: CommHarness, registry: FilterRegistry) {
             }
             recv(up_rx) -> msg => {
                 let Ok(up) = msg else { return };
+                up_seen += 1;
+                if fault.crash_after_up.is_some_and(|n| up_seen > n) {
+                    return;
+                }
+                if fault.sever_child_slots.contains(&up.child_slot) {
+                    continue;
+                }
                 let key = (up.packet.stream, up.packet.tag);
                 let wave = waves.entry(key).or_default();
                 wave.insert(up.child_slot, up.packet);
@@ -535,6 +607,149 @@ mod tests {
         for h in handles {
             h.join().unwrap();
         }
+    }
+
+    /// Like [`run_overlay`] but with per-comm-daemon fault schedules
+    /// (indexed by position in `Overlay::comm`).
+    fn run_overlay_with_faults<R: Send + 'static>(
+        spec: &str,
+        registry: FilterRegistry,
+        faults: Vec<(usize, CommFault)>,
+        leaf_fn: impl Fn(LeafEndpoint) -> R + Send + Sync + 'static,
+    ) -> (FrontEndpoint, Vec<std::thread::JoinHandle<R>>) {
+        let spec = TopologySpec::parse(spec).unwrap();
+        let overlay = Overlay::build(&spec, registry.clone());
+        for (i, harness) in overlay.comm.into_iter().enumerate() {
+            let reg = registry.clone();
+            let fault = faults
+                .iter()
+                .find(|(idx, _)| *idx == i)
+                .map(|(_, f)| f.clone())
+                .unwrap_or_default();
+            std::thread::spawn(move || run_comm_node_with_faults(harness, reg, fault));
+        }
+        let leaf_fn = Arc::new(leaf_fn);
+        let handles = overlay
+            .leaves
+            .into_iter()
+            .map(|leaf| {
+                let f = leaf_fn.clone();
+                std::thread::spawn(move || f(leaf))
+            })
+            .collect();
+        (overlay.front, handles)
+    }
+
+    fn hello_then_wait_leaf() -> impl Fn(LeafEndpoint) + Send + Sync + 'static {
+        |leaf: LeafEndpoint| {
+            let _ = leaf.send_hello();
+            while matches!(leaf.recv(), Ok(ev) if ev != LeafEvent::Shutdown) {}
+        }
+    }
+
+    #[test]
+    fn comm_crash_mid_aggregation_times_out_upstream() {
+        // 1x2x8: each comm daemon aggregates 4 leaf hellos. Comm 0 crashes
+        // after its first up-packet — its wave never completes, so the
+        // front-end gather for the connect stream must time out rather
+        // than deliver a partial aggregate.
+        let (mut front, handles) = run_overlay_with_faults(
+            "1x2x8",
+            FilterRegistry::new(),
+            vec![(0, CommFault::none().crash_after_up(1))],
+            hello_then_wait_leaf(),
+        );
+        let err = front.await_connections(8, Duration::from_millis(200)).unwrap_err();
+        assert_eq!(err, TbonError::Timeout);
+        front.shutdown();
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn severed_child_link_surfaces_as_missing_leaves() {
+        // Severing one leaf link partitions that subtree away: waves still
+        // complete (the daemon no longer waits for the severed child), but
+        // the front end sees fewer hellos than leaves — a clean, attributable
+        // error rather than a hang.
+        let (mut front, handles) = run_overlay_with_faults(
+            "1x2x8",
+            FilterRegistry::new(),
+            vec![(1, CommFault::none().sever_child(2))],
+            hello_then_wait_leaf(),
+        );
+        let err = front.await_connections(8, Duration::from_secs(5)).unwrap_err();
+        match err {
+            TbonError::LaunchFailed(msg) => {
+                assert!(msg.contains("expected 8 leaf hellos, got 7"), "{msg}")
+            }
+            other => panic!("expected LaunchFailed, got {other:?}"),
+        }
+        front.shutdown();
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn comm_crash_on_downstream_traffic_kills_broadcast_path() {
+        // Comm 0 dies as soon as the second down-message arrives: the
+        // connect wave still aggregates, but the broadcast after it never
+        // reaches comm 0's leaves, so the gather times out.
+        let (mut front, handles) = run_overlay_with_faults(
+            "1x2x6",
+            FilterRegistry::new(),
+            vec![(0, CommFault::none().crash_after_down(1))],
+            |leaf: LeafEndpoint| {
+                let _ = leaf.send_hello();
+                loop {
+                    match leaf.recv() {
+                        Ok(LeafEvent::Data(pkt)) => {
+                            let _ = leaf.send_up(pkt.stream, pkt.tag, vec![leaf.leaf_index as u8]);
+                        }
+                        Ok(LeafEvent::Shutdown) | Err(_) => return,
+                        Ok(LeafEvent::StreamOpened(_)) => continue,
+                    }
+                }
+            },
+        );
+        front.await_connections(6, Duration::from_secs(5)).unwrap();
+        let stream = front.open_stream(FilterKind::Concat).unwrap();
+        front.broadcast(stream, 0, vec![]).unwrap();
+        let err = front.gather(stream, 0, Duration::from_millis(200)).unwrap_err();
+        assert_eq!(err, TbonError::Timeout);
+        front.shutdown();
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn severing_an_out_of_range_slot_is_inert() {
+        // Slot 99 names no child: the daemon must still wait for all of
+        // its real children rather than aggregate a partial wave.
+        let (mut front, handles) = run_overlay_with_faults(
+            "1x2x8",
+            FilterRegistry::new(),
+            vec![(0, CommFault::none().sever_child(99))],
+            hello_then_wait_leaf(),
+        );
+        let ids = front.await_connections(8, Duration::from_secs(5)).unwrap();
+        assert_eq!(ids.len(), 8);
+        front.shutdown();
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn fault_free_schedule_is_inert() {
+        assert!(CommFault::none().is_none());
+        assert!(!CommFault::none().crash_after_up(3).is_none());
+        assert!(!CommFault::none().sever_child(0).is_none());
+        // run_comm_node delegates to the faulty variant with a none fault;
+        // the existing happy-path tests above exercise that wrapper.
     }
 
     #[test]

@@ -1,0 +1,453 @@
+//! An actor-based FE → comm-daemon → BE launch over the `lmon-sim` kernel.
+//!
+//! The model walks the same protocol the live stack runs (and the paper's
+//! Figure 2 schedules): the front end fans `Spawn` out to its children over
+//! a *serialized* NIC (one message at a time — the effect that makes flat
+//! fan-outs linear), comm daemons forward to their subtrees, back ends
+//! answer `Hello`, every internal node aggregates one hello per child
+//! before reporting up, the front end then distributes the RPDTAB down the
+//! tree and waits for the aggregated `Ready` wave. A timeout timer guards
+//! the whole launch, so injected faults surface as a *reported* timeout in
+//! a known phase, never a hang.
+//!
+//! Every message delay includes a small seeded jitter drawn from the sim's
+//! RNG: runs differ across seeds, and are bit-for-bit identical under the
+//! same seed — with or without an active fault plan.
+
+use std::collections::{BTreeMap, HashMap};
+
+use rand::Rng;
+
+use lmon_sim::{Actor, ActorId, Ctx, Sim, SimDuration, SimTime};
+use lmon_tbon::spec::{NodePos, TopologySpec};
+
+/// Messages exchanged during the modelled launch.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LaunchMsg {
+    /// Parent → child: you have been spawned; bring up your subtree.
+    Spawn,
+    /// Child → parent: `leaves` back ends below me are up.
+    Hello {
+        /// Aggregated leaf count.
+        leaves: u32,
+    },
+    /// Parent → child: the process table, distributed down the tree.
+    Rpdtab,
+    /// Child → parent: `leaves` back ends below me consumed the RPDTAB.
+    Ready {
+        /// Aggregated leaf count.
+        leaves: u32,
+    },
+    /// FE timer: give up if the launch has not completed.
+    Timeout,
+}
+
+/// Timing parameters of the modelled launch.
+#[derive(Debug, Clone, Copy)]
+pub struct LaunchParams {
+    /// Serialized per-child send cost at the front-end NIC.
+    pub fe_send: SimDuration,
+    /// Serialized per-child send cost at a comm daemon.
+    pub comm_send: SimDuration,
+    /// Back-end local work before each reply.
+    pub leaf_work: SimDuration,
+    /// One-way link latency per hop.
+    pub hop: SimDuration,
+    /// Upper bound of the seeded per-message jitter.
+    pub jitter: SimDuration,
+    /// Launch timeout (virtual time from t=0).
+    pub timeout: SimDuration,
+}
+
+impl Default for LaunchParams {
+    fn default() -> Self {
+        LaunchParams {
+            fe_send: SimDuration::from_micros(200),
+            comm_send: SimDuration::from_micros(50),
+            leaf_work: SimDuration::from_micros(100),
+            hop: SimDuration::from_micros(60),
+            jitter: SimDuration::from_micros(20),
+            timeout: SimDuration::from_secs(2),
+        }
+    }
+}
+
+fn jittered(base: SimDuration, jitter: SimDuration, ctx: &mut Ctx<'_, LaunchMsg>) -> SimDuration {
+    if jitter == SimDuration::ZERO {
+        return base;
+    }
+    base + SimDuration(ctx.rng.gen_range(0..=jitter.as_nanos()))
+}
+
+struct FeActor {
+    children: Vec<ActorId>,
+    expected_leaves: u32,
+    params: LaunchParams,
+    hello_children: usize,
+    hello_leaves: u32,
+    ready_children: usize,
+    ready_leaves: u32,
+    started_at: SimTime,
+    hello_done_at: Option<SimTime>,
+    done: bool,
+}
+
+impl Actor<LaunchMsg> for FeActor {
+    fn name(&self) -> String {
+        "fe".to_string()
+    }
+
+    fn on_start(&mut self, ctx: &mut Ctx<'_, LaunchMsg>) {
+        self.started_at = ctx.now();
+        ctx.metrics.mark("launch_start", ctx.now());
+        self.fan_out(ctx, LaunchMsg::Spawn);
+        let timeout = self.params.timeout;
+        ctx.timer(timeout, LaunchMsg::Timeout);
+    }
+
+    fn on_message(&mut self, msg: LaunchMsg, ctx: &mut Ctx<'_, LaunchMsg>) {
+        match msg {
+            LaunchMsg::Hello { leaves } => {
+                self.hello_children += 1;
+                self.hello_leaves += leaves;
+                if self.hello_children == self.children.len() {
+                    debug_assert_eq!(self.hello_leaves, self.expected_leaves);
+                    self.hello_done_at = Some(ctx.now());
+                    ctx.metrics.mark("hello_done", ctx.now());
+                    ctx.metrics.span("t_hello", self.started_at, ctx.now());
+                    self.fan_out(ctx, LaunchMsg::Rpdtab);
+                }
+            }
+            LaunchMsg::Ready { leaves } => {
+                self.ready_children += 1;
+                self.ready_leaves += leaves;
+                if self.ready_children == self.children.len() {
+                    debug_assert_eq!(self.ready_leaves, self.expected_leaves);
+                    self.done = true;
+                    ctx.metrics.mark("ready_done", ctx.now());
+                    let hello_done = self.hello_done_at.unwrap_or(ctx.now());
+                    ctx.metrics.span("t_distribute", hello_done, ctx.now());
+                    ctx.metrics.span("t_launch", self.started_at, ctx.now());
+                    ctx.metrics.count("launch_completed", 1);
+                    ctx.stop();
+                }
+            }
+            LaunchMsg::Timeout => {
+                if !self.done {
+                    ctx.metrics.count("launch_timeout", 1);
+                    let phase = if self.hello_done_at.is_none() {
+                        "timeout_in_hello"
+                    } else {
+                        "timeout_in_distribute"
+                    };
+                    ctx.metrics.count(phase, 1);
+                    ctx.metrics.mark("timeout_at", ctx.now());
+                    ctx.stop();
+                }
+            }
+            LaunchMsg::Spawn | LaunchMsg::Rpdtab => {
+                // Downstream traffic never targets the FE.
+            }
+        }
+    }
+}
+
+impl FeActor {
+    /// Serialized fan-out: child `i` receives the message after `i + 1`
+    /// NIC slots (plus jitter) — the front-end transmit path is busy with
+    /// the earlier sends, exactly like [`lmon_sim::NetModel`]'s endpoint
+    /// serialization.
+    fn fan_out(&self, ctx: &mut Ctx<'_, LaunchMsg>, msg: LaunchMsg) {
+        let mut busy_until = SimDuration::ZERO;
+        for &child in &self.children {
+            busy_until += jittered(self.params.fe_send, self.params.jitter, ctx);
+            ctx.send_in(busy_until + self.params.hop, child, msg.clone());
+        }
+    }
+}
+
+struct CommActor {
+    parent: ActorId,
+    children: Vec<ActorId>,
+    params: LaunchParams,
+    hello_children: usize,
+    hello_leaves: u32,
+    ready_children: usize,
+    ready_leaves: u32,
+}
+
+impl Actor<LaunchMsg> for CommActor {
+    fn name(&self) -> String {
+        "comm".to_string()
+    }
+
+    fn on_message(&mut self, msg: LaunchMsg, ctx: &mut Ctx<'_, LaunchMsg>) {
+        match msg {
+            LaunchMsg::Spawn | LaunchMsg::Rpdtab => {
+                let mut busy_until = SimDuration::ZERO;
+                for &child in &self.children {
+                    busy_until += jittered(self.params.comm_send, self.params.jitter, ctx);
+                    ctx.send_in(busy_until + self.params.hop, child, msg.clone());
+                }
+            }
+            LaunchMsg::Hello { leaves } => {
+                self.hello_children += 1;
+                self.hello_leaves += leaves;
+                if self.hello_children == self.children.len() {
+                    let delay = jittered(self.params.hop, self.params.jitter, ctx);
+                    let up = LaunchMsg::Hello { leaves: self.hello_leaves };
+                    ctx.send_in(delay, self.parent, up);
+                }
+            }
+            LaunchMsg::Ready { leaves } => {
+                self.ready_children += 1;
+                self.ready_leaves += leaves;
+                if self.ready_children == self.children.len() {
+                    let delay = jittered(self.params.hop, self.params.jitter, ctx);
+                    let up = LaunchMsg::Ready { leaves: self.ready_leaves };
+                    ctx.send_in(delay, self.parent, up);
+                }
+            }
+            LaunchMsg::Timeout => {}
+        }
+    }
+}
+
+struct LeafActor {
+    parent: ActorId,
+    params: LaunchParams,
+    /// Remaining uplink frames to suppress (injected frame loss).
+    drop_remaining: u64,
+}
+
+impl LeafActor {
+    fn send_up(&mut self, ctx: &mut Ctx<'_, LaunchMsg>, msg: LaunchMsg) {
+        let delay = jittered(self.params.leaf_work, self.params.jitter, ctx);
+        if self.drop_remaining > 0 {
+            self.drop_remaining -= 1;
+            ctx.metrics.count("uplink_frames_dropped", 1);
+            return;
+        }
+        ctx.send_in(delay + self.params.hop, self.parent, msg);
+    }
+}
+
+impl Actor<LaunchMsg> for LeafActor {
+    fn name(&self) -> String {
+        "be".to_string()
+    }
+
+    fn on_message(&mut self, msg: LaunchMsg, ctx: &mut Ctx<'_, LaunchMsg>) {
+        match msg {
+            LaunchMsg::Spawn => self.send_up(ctx, LaunchMsg::Hello { leaves: 1 }),
+            LaunchMsg::Rpdtab => self.send_up(ctx, LaunchMsg::Ready { leaves: 1 }),
+            LaunchMsg::Hello { .. } | LaunchMsg::Ready { .. } | LaunchMsg::Timeout => {}
+        }
+    }
+}
+
+/// A built (not yet run) launch simulation.
+pub struct LaunchSim {
+    /// The underlying kernel (trace recording already enabled).
+    pub sim: Sim<LaunchMsg>,
+    /// The front end's actor id.
+    pub fe: ActorId,
+    /// Comm-daemon actor ids, in `TopologySpec::comm_positions` order.
+    pub comm_ids: Vec<ActorId>,
+    /// Back-end actor ids, in leaf-index order.
+    pub leaf_ids: Vec<ActorId>,
+}
+
+impl LaunchSim {
+    /// Build the actor tree for `spec`. `uplink_drops` maps leaf index to
+    /// the number of initial upward frames that leaf loses.
+    pub fn build(
+        spec: &TopologySpec,
+        seed: u64,
+        params: LaunchParams,
+        uplink_drops: &BTreeMap<u32, u64>,
+    ) -> LaunchSim {
+        let mut sim: Sim<LaunchMsg> = Sim::new(seed);
+        sim.enable_trace();
+
+        // Assign actor ids: FE first, then comm daemons, then leaves, so
+        // ids are stable for a given spec.
+        let root = NodePos { level: 0, index: 0 };
+        let mut ids: HashMap<NodePos, ActorId> = HashMap::new();
+        let mut order = vec![root];
+        order.extend(spec.comm_positions());
+        order.extend(spec.leaf_positions());
+        for (i, pos) in order.iter().enumerate() {
+            ids.insert(*pos, ActorId(i as u32));
+        }
+
+        let child_ids =
+            |pos: NodePos| -> Vec<ActorId> { spec.children(pos).iter().map(|c| ids[c]).collect() };
+
+        let fe = sim.add_actor(Box::new(FeActor {
+            children: child_ids(root),
+            expected_leaves: spec.leaf_count(),
+            params,
+            hello_children: 0,
+            hello_leaves: 0,
+            ready_children: 0,
+            ready_leaves: 0,
+            started_at: SimTime::ZERO,
+            hello_done_at: None,
+            done: false,
+        }));
+
+        let mut comm_ids = Vec::new();
+        for pos in spec.comm_positions() {
+            let parent = ids[&spec.parent(pos).expect("comm node has parent")];
+            let id = sim.add_actor(Box::new(CommActor {
+                parent,
+                children: child_ids(pos),
+                params,
+                hello_children: 0,
+                hello_leaves: 0,
+                ready_children: 0,
+                ready_leaves: 0,
+            }));
+            comm_ids.push(id);
+        }
+
+        let mut leaf_ids = Vec::new();
+        for pos in spec.leaf_positions() {
+            let parent = ids[&spec.parent(pos).expect("leaf has parent")];
+            let drop_remaining = uplink_drops.get(&pos.index).copied().unwrap_or(0);
+            let id = sim.add_actor(Box::new(LeafActor { parent, params, drop_remaining }));
+            leaf_ids.push(id);
+        }
+
+        LaunchSim { sim, fe, comm_ids, leaf_ids }
+    }
+
+    /// Run to quiescence (or stop/timeout) and extract the report.
+    pub fn run(mut self) -> LaunchReport {
+        self.sim.run(10_000_000);
+        let m = &self.sim.metrics;
+        LaunchReport {
+            completed: m.counter("launch_completed") == 1,
+            timed_out: m.counter("launch_timeout") == 1,
+            end: self.sim.now(),
+            counters: m.counters_sorted().iter().map(|(k, v)| (k.to_string(), *v)).collect(),
+            spans: m.spans().iter().map(|s| (s.name.clone(), s.end - s.start)).collect(),
+            trace_dump: self.sim.trace_dump(),
+            fingerprint: self.sim.trace_fingerprint(),
+        }
+    }
+}
+
+/// Everything a chaos test wants to assert about one launch run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LaunchReport {
+    /// The launch reached `ready` on every back end.
+    pub completed: bool,
+    /// The FE timeout fired first.
+    pub timed_out: bool,
+    /// Virtual end time of the run.
+    pub end: SimTime,
+    /// All metric counters, sorted by name.
+    pub counters: Vec<(String, u64)>,
+    /// Timeline breakdown: completed spans in completion order.
+    pub spans: Vec<(String, SimDuration)>,
+    /// The kernel's event trace, one delivery per line.
+    pub trace_dump: String,
+    /// FNV fingerprint of the trace.
+    pub fingerprint: u64,
+}
+
+impl LaunchReport {
+    /// Value of a counter (0 when absent).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.iter().find(|(k, _)| k == name).map(|(_, v)| *v).unwrap_or(0)
+    }
+
+    /// Duration of a span by name, if recorded.
+    pub fn span(&self, name: &str) -> Option<SimDuration> {
+        self.spans.iter().find(|(k, _)| k == name).map(|(_, d)| *d)
+    }
+
+    /// Total launch duration (the `t_launch` span), if the launch finished.
+    pub fn launch_duration(&self) -> Option<SimDuration> {
+        self.span("t_launch")
+    }
+
+    /// Canonical full-text rendering: counters, spans, then the event
+    /// trace. Two runs are "bit-for-bit identical" iff their dumps are
+    /// equal strings.
+    pub fn dump(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        writeln!(out, "completed={} timed_out={} end={}", self.completed, self.timed_out, self.end)
+            .expect("write to String");
+        for (k, v) in &self.counters {
+            writeln!(out, "counter {k}={v}").expect("write to String");
+        }
+        for (k, d) in &self.spans {
+            writeln!(out, "span {k}={d}").expect("write to String");
+        }
+        writeln!(out, "fingerprint={:016x}", self.fingerprint).expect("write to String");
+        out.push_str(&self.trace_dump);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec(s: &str) -> TopologySpec {
+        TopologySpec::parse(s).unwrap()
+    }
+
+    fn run(s: &str, seed: u64) -> LaunchReport {
+        LaunchSim::build(&spec(s), seed, LaunchParams::default(), &BTreeMap::new()).run()
+    }
+
+    #[test]
+    fn fault_free_launch_completes_with_full_breakdown() {
+        let r = run("1x4x16", 1);
+        assert!(r.completed && !r.timed_out, "{}", r.dump());
+        assert!(r.launch_duration().is_some());
+        assert!(r.span("t_hello").is_some());
+        assert!(r.span("t_distribute").is_some());
+        assert_eq!(r.counter("fault.dropped"), 0);
+    }
+
+    #[test]
+    fn one_deep_spec_works_without_comm_level() {
+        let r = run("1x8", 3);
+        assert!(r.completed, "{}", r.dump());
+    }
+
+    #[test]
+    fn same_seed_is_bit_for_bit_identical() {
+        assert_eq!(run("1x4x16", 7).dump(), run("1x4x16", 7).dump());
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        assert_ne!(run("1x4x16", 7).fingerprint, run("1x4x16", 8).fingerprint);
+    }
+
+    #[test]
+    fn killed_leaf_forces_hello_phase_timeout() {
+        let mut ls = LaunchSim::build(&spec("1x2x8"), 5, LaunchParams::default(), &BTreeMap::new());
+        let victim = ls.leaf_ids[3];
+        ls.sim.kill_at(SimTime::ZERO, victim);
+        let r = ls.run();
+        assert!(!r.completed && r.timed_out, "{}", r.dump());
+        assert_eq!(r.counter("timeout_in_hello"), 1);
+        assert!(r.counter("fault.dropped") > 0);
+    }
+
+    #[test]
+    fn dropped_uplink_frames_also_time_out() {
+        let drops = BTreeMap::from([(0u32, 1u64)]);
+        let r = LaunchSim::build(&spec("1x8"), 5, LaunchParams::default(), &drops).run();
+        assert!(r.timed_out, "{}", r.dump());
+        assert_eq!(r.counter("uplink_frames_dropped"), 1);
+    }
+}

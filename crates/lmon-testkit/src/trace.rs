@@ -1,0 +1,110 @@
+//! Trace comparison and CI artifact plumbing.
+//!
+//! The chaos suite's core assertion is *replay equality*: two runs with the
+//! same seed and plan must produce identical [`LaunchReport::dump`] text.
+//! When that fails in CI, the dumps themselves are the debugging artifact —
+//! [`assert_identical_runs`] writes both sides to the artifact directory
+//! before panicking, and the `chaos` CI job uploads that directory.
+
+use std::path::{Path, PathBuf};
+
+use crate::launch_sim::LaunchReport;
+
+/// Environment variable selecting the chaos base seed (CI runs the suite
+/// once per seed).
+pub const CHAOS_SEED_ENV: &str = "LMON_CHAOS_SEED";
+
+/// Environment variable overriding the artifact directory.
+pub const CHAOS_ARTIFACT_DIR_ENV: &str = "LMON_CHAOS_ARTIFACT_DIR";
+
+/// The base seed for chaos runs: `$LMON_CHAOS_SEED` when set, 42 when
+/// unset. Tests derive per-scenario seeds from this, so one environment
+/// variable re-rolls the whole suite deterministically.
+///
+/// Panics when the variable is set but not a `u64`: a CI matrix that
+/// thinks it runs two seeds must not silently run the default twice.
+pub fn chaos_seed() -> u64 {
+    match std::env::var(CHAOS_SEED_ENV) {
+        Err(_) => 42,
+        Ok(s) => s.trim().parse().unwrap_or_else(|_| {
+            panic!("{CHAOS_SEED_ENV} is set to {s:?}, which is not a u64 seed")
+        }),
+    }
+}
+
+/// Where failure artifacts go: `$LMON_CHAOS_ARTIFACT_DIR` or
+/// `target/chaos-artifacts` relative to the working directory.
+pub fn artifact_dir() -> PathBuf {
+    std::env::var_os(CHAOS_ARTIFACT_DIR_ENV)
+        .map(PathBuf::from)
+        .unwrap_or_else(|| Path::new("target").join("chaos-artifacts"))
+}
+
+/// Write `contents` to `<artifact_dir>/<name>`, creating the directory as
+/// needed. Returns the path written.
+pub fn write_artifact(name: &str, contents: &str) -> std::io::Result<PathBuf> {
+    let dir = artifact_dir();
+    std::fs::create_dir_all(&dir)?;
+    let path = dir.join(name);
+    std::fs::write(&path, contents)?;
+    Ok(path)
+}
+
+/// Assert two same-seed runs replayed identically; on mismatch, dump both
+/// sides as artifacts (`<name>.a.trace` / `<name>.b.trace`) and panic with
+/// the paths so CI surfaces them.
+pub fn assert_identical_runs(name: &str, a: &LaunchReport, b: &LaunchReport) {
+    let (da, db) = (a.dump(), b.dump());
+    if da == db {
+        return;
+    }
+    let pa = write_artifact(&format!("{name}.a.trace"), &da);
+    let pb = write_artifact(&format!("{name}.b.trace"), &db);
+    panic!(
+        "chaos scenario `{name}` is not seed-reproducible; \
+         trace dumps written to {pa:?} and {pb:?}"
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::Scenario;
+
+    #[test]
+    fn chaos_seed_defaults_without_env() {
+        // The test process may or may not have the env set; only pin the
+        // default path by construction.
+        if std::env::var(CHAOS_SEED_ENV).is_err() {
+            assert_eq!(chaos_seed(), 42);
+        }
+    }
+
+    #[test]
+    fn identical_runs_pass_silently() {
+        let a = Scenario::new("1x4").seed(1).run();
+        let b = Scenario::new("1x4").seed(1).run();
+        assert_identical_runs("testkit_selfcheck", &a, &b);
+    }
+
+    #[test]
+    fn mismatched_runs_write_artifacts_and_panic() {
+        let a = Scenario::new("1x4").seed(1).run();
+        let b = Scenario::new("1x4").seed(2).run();
+        let result = std::panic::catch_unwind(|| {
+            assert_identical_runs("testkit_selfcheck_mismatch", &a, &b);
+        });
+        assert!(result.is_err());
+        let written = artifact_dir().join("testkit_selfcheck_mismatch.a.trace");
+        assert!(written.exists(), "artifact should exist at {written:?}");
+        let _ = std::fs::remove_file(&written);
+        let _ = std::fs::remove_file(artifact_dir().join("testkit_selfcheck_mismatch.b.trace"));
+    }
+
+    #[test]
+    fn write_artifact_roundtrips() {
+        let p = write_artifact("testkit_roundtrip.txt", "hello").unwrap();
+        assert_eq!(std::fs::read_to_string(&p).unwrap(), "hello");
+        let _ = std::fs::remove_file(p);
+    }
+}

@@ -12,4 +12,5 @@ pub use lmon_proto as proto;
 pub use lmon_rm as rm;
 pub use lmon_sim as sim;
 pub use lmon_tbon as tbon;
+pub use lmon_testkit as testkit;
 pub use lmon_tools as tools;

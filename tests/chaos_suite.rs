@@ -1,0 +1,401 @@
+//! The chaos scenario suite: named failure schedules against every layer.
+//!
+//! Each scenario injects a deterministic fault — sim-kernel kills/hangs,
+//! cluster-transport spawn failures, LMONP frame loss/delay, TBON comm
+//! crashes and partitions — and asserts two things:
+//!
+//! 1. the **error surface**: the failure is *reported* (a timeout in a
+//!    known phase, a typed error, a shortfall count), never a hang or a
+//!    silently wrong result;
+//! 2. **replay equality**: rerunning the same scenario under the same seed
+//!    reproduces the event trace bit-for-bit
+//!    ([`launchmon::testkit::assert_identical_runs`] writes both dumps to
+//!    `target/chaos-artifacts/` when that breaks, and the `chaos` CI job
+//!    uploads them).
+//!
+//! The base seed comes from `$LMON_CHAOS_SEED` (default 42); CI runs the
+//! whole suite under two seeds.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use launchmon::cluster::config::ClusterConfig;
+use launchmon::cluster::remote::{rsh_spawn, RshError};
+use launchmon::cluster::{ProcSpec, VirtualCluster};
+use launchmon::core::be::BeMain;
+use launchmon::core::fe::LmonFrontEnd;
+use launchmon::proto::header::MsgType;
+use launchmon::proto::msg::LmonpMsg;
+use launchmon::proto::payload::DaemonSpec;
+use launchmon::proto::transport::{LocalChannel, MsgChannel};
+use launchmon::proto::FaultyChannel;
+use launchmon::rm::api::ResourceManager;
+use launchmon::rm::SlurmRm;
+use launchmon::sim::SimDuration;
+use launchmon::tbon::bootstrap::{bootstrap_adhoc, LeafMain};
+use launchmon::tbon::filter::{FilterKind, FilterRegistry};
+use launchmon::tbon::overlay::{run_comm_node_with_faults, LeafEvent, Overlay};
+use launchmon::tbon::{TbonError, TopologySpec};
+use launchmon::testkit::{assert_identical_runs, chaos_seed, FaultPlan, Scenario};
+
+fn ms(n: u64) -> SimDuration {
+    SimDuration::from_millis(n)
+}
+
+/// A leaf body that says hello and then waits for shutdown/disconnect.
+fn hello_leaf() -> LeafMain {
+    Arc::new(|leaf, _ctx| {
+        let _ = leaf.send_hello();
+        while matches!(leaf.recv(), Ok(ev) if ev != LeafEvent::Shutdown) {}
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Sim-kernel scenarios (Scenario DSL over the FE→MW→BE launch model)
+// ---------------------------------------------------------------------------
+
+#[test]
+fn chaos_kill_be_mid_launch_times_out_in_hello_phase() {
+    let build = || {
+        Scenario::new("1x8x64")
+            .seed(chaos_seed())
+            .timeout(ms(500))
+            .kill_be_at(17, SimDuration::ZERO)
+            .run()
+    };
+    let r = build();
+    assert!(!r.completed && r.timed_out, "{}", r.dump());
+    assert_eq!(r.counter("timeout_in_hello"), 1);
+    assert!(r.counter("fault.dropped") > 0, "the victim's deliveries must be dropped");
+    assert_identical_runs("kill_be_mid_launch", &r, &build());
+}
+
+#[test]
+fn chaos_kill_be_mid_rpdtab_distribution_times_out_in_distribute_phase() {
+    // Let the hello wave complete, then kill a BE while the RPDTAB is being
+    // distributed: the ready wave can never aggregate.
+    let build = || {
+        let sc = Scenario::new("1x4x16").seed(chaos_seed()).timeout(ms(500));
+        let healthy = sc.clone().run();
+        let hello_done = healthy.span("t_hello").expect("healthy run records t_hello");
+        (sc.kill_be_at(9, hello_done + SimDuration::from_micros(1)).run(), healthy)
+    };
+    let (r, healthy) = build();
+    assert!(healthy.completed);
+    assert!(!r.completed && r.timed_out, "{}", r.dump());
+    assert_eq!(r.counter("timeout_in_distribute"), 1, "{}", r.dump());
+    assert!(r.span("t_hello").is_some(), "hello phase finished before the crash");
+    assert_identical_runs("kill_be_mid_rpdtab", &r, &build().0);
+}
+
+#[test]
+fn chaos_kill_comm_daemon_takes_out_its_subtree() {
+    let build =
+        || Scenario::new("1x4x16").seed(chaos_seed()).timeout(ms(500)).kill_comm_at(2, ms(0)).run();
+    let r = build();
+    assert!(r.timed_out, "{}", r.dump());
+    assert_eq!(r.counter("timeout_in_hello"), 1);
+    assert_identical_runs("kill_comm_subtree", &r, &build());
+}
+
+#[test]
+fn chaos_straggler_comm_daemon_delays_but_completes() {
+    let seed = chaos_seed();
+    let healthy = Scenario::new("1x4x32").seed(seed).run();
+    let build = || {
+        Scenario::new("1x4x32").seed(seed).hang_comm(1, SimDuration::from_micros(50), ms(80)).run()
+    };
+    let r = build();
+    assert!(healthy.completed && r.completed, "{}", r.dump());
+    let (h, s) = (healthy.launch_duration().unwrap(), r.launch_duration().unwrap());
+    assert!(s >= ms(80), "straggler pins completion past its hang window, got {s}");
+    assert!(s > h, "straggler must be slower than healthy ({h} vs {s})");
+    assert!(r.counter("fault.deferred") > 0, "deliveries were deferred, not lost");
+    assert_identical_runs("straggler_comm", &r, &build());
+}
+
+#[test]
+fn chaos_slow_fe_nic_stretches_serialized_fan_out() {
+    let seed = chaos_seed();
+    let fast = Scenario::new("1x128").seed(seed).run();
+    let build = || Scenario::new("1x128").seed(seed).fe_nic_slowdown(30.0).run();
+    let slow = build();
+    assert!(fast.completed && slow.completed);
+    let (f, s) = (fast.launch_duration().unwrap(), slow.launch_duration().unwrap());
+    assert!(
+        s.as_secs_f64() > 10.0 * f.as_secs_f64(),
+        "a 30x slower FE NIC must dominate a flat 128-way fan-out: {f} vs {s}"
+    );
+    assert_identical_runs("slow_fe_nic", &slow, &build());
+}
+
+#[test]
+fn chaos_dropped_uplink_frames_strand_the_hello_wave() {
+    let build = || {
+        Scenario::new("1x8x64").seed(chaos_seed()).timeout(ms(500)).drop_uplink_frames(63, 1).run()
+    };
+    let r = build();
+    assert!(r.timed_out, "{}", r.dump());
+    assert_eq!(r.counter("uplink_frames_dropped"), 1);
+    assert_eq!(r.counter("timeout_in_hello"), 1);
+    assert_identical_runs("dropped_uplink_frames", &r, &build());
+}
+
+// ---------------------------------------------------------------------------
+// Cluster-transport scenarios (rsh spawn fault plan, fd exhaustion)
+// ---------------------------------------------------------------------------
+
+#[test]
+fn chaos_injected_spawn_failure_aborts_bootstrap_cleanly() {
+    let cluster = VirtualCluster::new(ClusterConfig::with_nodes(8));
+    let plan = FaultPlan::new().fail_spawn_attempt(5);
+    cluster.rsh_state().install_fault_plan(plan.spawn_plan());
+    let spec = TopologySpec::one_deep(8);
+    let hosts: Vec<String> = (0..8).map(|i| cluster.config().hostname(i)).collect();
+    let err = bootstrap_adhoc(&cluster, &spec, &[], &hosts, FilterRegistry::new(), hello_leaf())
+        .unwrap_err();
+    match err {
+        TbonError::LaunchFailed(msg) => {
+            assert!(msg.contains("injected fault at connection attempt 5"), "{msg}")
+        }
+        other => panic!("expected LaunchFailed, got {other:?}"),
+    }
+    // Partial state is torn down: no leaked sessions, and after clearing the
+    // plan the same bootstrap succeeds.
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    while cluster.rsh_state().live_sessions() > 0 {
+        assert!(std::time::Instant::now() < deadline, "sessions leaked after injected failure");
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    cluster.rsh_state().clear_fault_plan();
+    let net = bootstrap_adhoc(&cluster, &spec, &[], &hosts, FilterRegistry::new(), hello_leaf())
+        .expect("recovery bootstrap");
+    net.shutdown(&cluster);
+}
+
+#[test]
+fn chaos_flaky_host_is_attributed_by_name() {
+    let cluster = VirtualCluster::new(ClusterConfig::with_nodes(4));
+    cluster
+        .rsh_state()
+        .install_fault_plan(FaultPlan::new().fail_spawn_host("node00002").spawn_plan());
+    let err = rsh_spawn(&cluster, "node00002", ProcSpec::named("d"), |_| {}).unwrap_err();
+    assert!(matches!(&err, RshError::FaultInjected { host, .. } if host == "node00002"), "{err:?}");
+    // Other hosts are untouched.
+    let ok = rsh_spawn(&cluster, "node00001", ProcSpec::named("d"), |_| {}).unwrap();
+    drop(ok);
+}
+
+/// The satellite: ad hoc bootstrap dies at the paper's ≈504-session fd
+/// wall on a 512-node cluster, while LaunchMON-based bootstrap brings up
+/// the very same 512 daemons through the RM without touching rsh.
+#[test]
+fn chaos_fd_exhaustion_kills_adhoc_but_not_launchmon_at_512_nodes() {
+    let cluster = VirtualCluster::new(ClusterConfig::with_nodes(512));
+    assert_eq!(cluster.config().rsh.max_sessions(), 504, "Atlas-era default fd budget");
+
+    // Ad hoc path: the 505th rsh fork must fail with the fd table full.
+    let spec = TopologySpec::one_deep(512);
+    let hosts: Vec<String> = (0..512).map(|i| cluster.config().hostname(i)).collect();
+    let err = bootstrap_adhoc(&cluster, &spec, &[], &hosts, FilterRegistry::new(), hello_leaf())
+        .unwrap_err();
+    match err {
+        TbonError::LaunchFailed(msg) => {
+            assert!(msg.contains("fork failed"), "{msg}");
+            assert!(msg.contains("504 live sessions, capacity 504"), "{msg}");
+        }
+        other => panic!("expected LaunchFailed, got {other:?}"),
+    }
+    assert_eq!(cluster.rsh_state().failed_connects(), 1);
+    let deadline = std::time::Instant::now() + Duration::from_secs(20);
+    while cluster.rsh_state().live_sessions() > 0 {
+        assert!(std::time::Instant::now() < deadline, "stranded sessions never drained");
+        std::thread::sleep(Duration::from_millis(2));
+    }
+
+    // LaunchMON path on the same cluster spec: bulk launch through the RM,
+    // zero rsh sessions, all 512 daemons reach the barrier.
+    let rm: Arc<dyn ResourceManager> = Arc::new(SlurmRm::new(cluster.clone()));
+    let fe = LmonFrontEnd::init(rm).unwrap();
+    let session = fe.create_session();
+    let be_main: BeMain = Arc::new(|be| {
+        be.barrier().unwrap();
+    });
+    let outcome = fe
+        .launch_and_spawn(session, "app", &[], 512, 1, DaemonSpec::bare("d"), be_main)
+        .expect("LaunchMON survives the spec that kills ad hoc");
+    assert_eq!(outcome.daemon_count, 512);
+    assert_eq!(cluster.rsh_state().total_connects(), 504, "no new rsh traffic from LaunchMON");
+    fe.kill(session).unwrap();
+    fe.shutdown().unwrap();
+}
+
+// ---------------------------------------------------------------------------
+// LMONP-transport scenarios (FaultyChannel)
+// ---------------------------------------------------------------------------
+
+#[test]
+fn chaos_dropped_hello_frame_surfaces_as_timeout_not_hang() {
+    // Model the BE-master side of the FE handshake losing its first frame
+    // (the hello): the FE-side receive must expire, and the retransmitted
+    // hello must still go through.
+    let (be_side, mut fe_side) = LocalChannel::pair();
+    let plan = FaultPlan::new().drop_frame(0);
+    let be_side = FaultyChannel::new(be_side, plan.frame_plan());
+
+    be_side.send(LmonpMsg::of_type(MsgType::BeHello)).unwrap(); // lost
+    let got = fe_side.recv_timeout(Duration::from_millis(30)).unwrap();
+    assert!(got.is_none(), "lost hello must surface as a timeout");
+
+    be_side.send(LmonpMsg::of_type(MsgType::BeHello)).unwrap(); // retry delivers
+    let got = fe_side.recv_timeout(Duration::from_secs(1)).unwrap().expect("retry");
+    assert_eq!(got.mtype, MsgType::BeHello);
+    assert_eq!(be_side.frames_dropped(), 1);
+}
+
+#[test]
+fn chaos_delayed_frames_arrive_late_in_order_and_intact() {
+    let (tx, mut rx) = LocalChannel::pair();
+    let tx = FaultyChannel::new(
+        tx,
+        FaultPlan::new().delay_frame(0, Duration::from_millis(40)).frame_plan(),
+    );
+    let t0 = std::time::Instant::now();
+    tx.send(LmonpMsg::of_type(MsgType::BeUsrData).with_tag(1).with_usr_payload(vec![0xAB; 64]))
+        .unwrap();
+    tx.send(LmonpMsg::of_type(MsgType::BeUsrData).with_tag(2)).unwrap();
+    let first = rx.recv().unwrap();
+    assert!(t0.elapsed() >= Duration::from_millis(40), "first frame was held back");
+    assert_eq!(first.tag, 1);
+    assert_eq!(first.usr, vec![0xAB; 64], "delay must not corrupt the payload");
+    assert_eq!(rx.recv().unwrap().tag, 2, "ordering preserved across the delay");
+    assert_eq!(tx.frames_delayed(), 1);
+}
+
+// ---------------------------------------------------------------------------
+// TBON scenarios (comm-daemon crash, partition)
+// ---------------------------------------------------------------------------
+
+/// Build a live overlay with per-comm fault schedules from `plan`; leaves
+/// run on plain threads and echo their index on any data packet.
+fn live_overlay(
+    spec: &str,
+    plan: &FaultPlan,
+) -> (launchmon::tbon::FrontEndpoint, Vec<std::thread::JoinHandle<()>>) {
+    let spec = TopologySpec::parse(spec).unwrap();
+    let registry = FilterRegistry::new();
+    let overlay = Overlay::build(&spec, registry.clone());
+    let mut handles = Vec::new();
+    for (i, harness) in overlay.comm.into_iter().enumerate() {
+        let reg = registry.clone();
+        let fault = plan.comm_fault(i);
+        handles.push(std::thread::spawn(move || run_comm_node_with_faults(harness, reg, fault)));
+    }
+    for leaf in overlay.leaves {
+        handles.push(std::thread::spawn(move || {
+            let _ = leaf.send_hello();
+            loop {
+                match leaf.recv() {
+                    Ok(LeafEvent::Data(pkt)) => {
+                        let _ = leaf.send_up(pkt.stream, pkt.tag, vec![leaf.leaf_index as u8]);
+                    }
+                    Ok(LeafEvent::Shutdown) | Err(_) => return,
+                    Ok(LeafEvent::StreamOpened(_)) => continue,
+                }
+            }
+        }));
+    }
+    (overlay.front, handles)
+}
+
+#[test]
+fn chaos_comm_crash_mid_aggregation_times_out_the_gather() {
+    // Comm 0 aggregates 8 leaves but dies after 3 up-packets: its wave can
+    // never complete, so the front-end connect gather must time out.
+    let plan = FaultPlan::new().crash_comm_after_up(0, 3);
+    let (mut front, handles) = live_overlay("1x2x16", &plan);
+    let err = front.await_connections(16, Duration::from_millis(200)).unwrap_err();
+    assert_eq!(err, TbonError::Timeout);
+    front.shutdown();
+    for h in handles {
+        h.join().unwrap();
+    }
+}
+
+#[test]
+fn chaos_partitioned_overlay_reports_missing_subtree() {
+    // Severing two child links of comm 1 partitions those leaves away; the
+    // wave completes without them and the shortfall is attributed exactly.
+    let plan = FaultPlan::new().sever_comm_child(1, 0).sever_comm_child(1, 5);
+    let (mut front, handles) = live_overlay("1x2x16", &plan);
+    let err = front.await_connections(16, Duration::from_secs(5)).unwrap_err();
+    match err {
+        TbonError::LaunchFailed(msg) => {
+            assert!(msg.contains("expected 16 leaf hellos, got 14"), "{msg}")
+        }
+        other => panic!("expected LaunchFailed, got {other:?}"),
+    }
+    front.shutdown();
+    for h in handles {
+        h.join().unwrap();
+    }
+}
+
+#[test]
+fn chaos_healthy_overlay_still_gathers_under_inert_plan() {
+    // Control scenario: an empty FaultPlan must not perturb the overlay.
+    let plan = FaultPlan::new();
+    assert!(plan.is_empty());
+    let (mut front, handles) = live_overlay("1x2x8", &plan);
+    front.await_connections(8, Duration::from_secs(5)).unwrap();
+    let stream = front.open_stream(FilterKind::Concat).unwrap();
+    front.broadcast(stream, 0, vec![]).unwrap();
+    let pkt = front.gather(stream, 0, Duration::from_secs(5)).unwrap();
+    assert_eq!(pkt.payload.len(), 8);
+    front.shutdown();
+    for h in handles {
+        h.join().unwrap();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Determinism regression (the satellite): full FE→MW→BE launch, with and
+// without an active FaultPlan, replays bit-for-bit under one seed.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn determinism_same_seed_same_trace_with_and_without_fault_plan() {
+    let seed = chaos_seed();
+    let faultless = || Scenario::new("1x8x64").seed(seed).run();
+    let faulted = || {
+        Scenario::new("1x8x64")
+            .seed(seed)
+            .timeout(ms(500))
+            .kill_be_at(11, ms(1))
+            .hang_comm(3, SimDuration::from_micros(200), ms(3))
+            .drop_uplink_frames(40, 1)
+            .run()
+    };
+
+    // Identical traces *and* identical timeline breakdowns per variant.
+    let (a, b) = (faultless(), faultless());
+    assert!(a.completed);
+    assert_identical_runs("determinism_faultless", &a, &b);
+    assert_eq!(a.spans, b.spans, "timeline breakdown must replay too");
+
+    let (fa, fb) = (faulted(), faulted());
+    assert!(fa.timed_out);
+    assert_identical_runs("determinism_faulted", &fa, &fb);
+    assert_eq!(fa.spans, fb.spans);
+
+    // And the plan actually changed the run.
+    assert_ne!(a.fingerprint, fa.fingerprint, "the fault plan must alter the schedule");
+}
+
+#[test]
+fn determinism_distinct_seeds_explore_distinct_schedules() {
+    let r1 = Scenario::new("1x4x16").seed(chaos_seed()).run();
+    let r2 = Scenario::new("1x4x16").seed(chaos_seed().wrapping_add(1)).run();
+    assert!(r1.completed && r2.completed);
+    assert_ne!(r1.fingerprint, r2.fingerprint, "jitter must be seed-driven");
+}

@@ -12,11 +12,14 @@
 //!   [`collection::vec`];
 //! * [`test_runner::Config`] (a.k.a. `ProptestConfig`) with `with_cases`.
 //!
-//! Differences from real proptest, deliberately accepted: **no shrinking**
-//! (a failure reports the deterministic case seed instead of a minimal
-//! counterexample) and value generation is a plain random draw rather than a
-//! bias-tuned tree. Case sequences are deterministic per test name, so CI
-//! failures reproduce locally.
+//! Differences from real proptest, deliberately accepted: **no value-level
+//! shrinking** — instead the runner does poor-man's shrinking over *case
+//! indices*: cases run in ascending order, so the first failure is the
+//! minimal failing index; the runner re-runs it to confirm it reproduces
+//! and reports that minimal counterexample (flagging non-idempotent test
+//! bodies it cannot confirm). Value generation is a plain random draw
+//! rather than a bias-tuned tree. Case sequences are deterministic per
+//! test name, so CI failures reproduce locally.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -87,8 +90,13 @@ pub mod test_runner {
         h ^ ((case as u64) << 32 | case as u64)
     }
 
-    /// Drive `body` for `config.cases` cases, panicking on the first failure
-    /// with enough context to reproduce it.
+    /// Drive `body` for `config.cases` cases. On a failure, do poor-man's
+    /// shrinking: cases run in ascending index order, so the first failing
+    /// index *is* the minimal one for a deterministic body; the runner
+    /// re-runs that case once to confirm it reproduces (flagging
+    /// non-idempotent bodies that mutate captured state) and panics
+    /// reporting the confirmed minimal counterexample. (Real proptest
+    /// shrinks the generated value instead; we shrink the case index.)
     pub fn run_cases(
         config: Config,
         name: &str,
@@ -108,13 +116,35 @@ pub mod test_runner {
                     }
                 }
                 Err(TestCaseError::Fail(msg)) => {
+                    let confirmed = confirm(name, case, msg, &mut body);
                     panic!(
-                        "proptest '{name}' failed at case {case} \
-                         (deterministic; rerun reproduces it): {msg}"
+                        "proptest '{name}' failed at case {case} — the minimal failing \
+                         index: every earlier case passed (deterministic; rerun \
+                         reproduces it): {confirmed}"
                     );
                 }
             }
             case += 1;
+        }
+    }
+
+    /// Re-run the failing case once to confirm it reproduces. A
+    /// non-idempotent body (one that mutates captured state) cannot be
+    /// confirmed; the report says so instead of presenting an
+    /// unreproducible counterexample as minimal.
+    fn confirm(
+        name: &str,
+        case: u32,
+        first_msg: String,
+        body: &mut impl FnMut(&mut TestRng) -> TestCaseResult,
+    ) -> String {
+        let mut rng = TestRng::seed_from_u64(case_seed(name, case));
+        match body(&mut rng) {
+            Err(TestCaseError::Fail(msg)) => msg,
+            other => format!(
+                "{first_msg} [warning: case {case} did not reproduce on re-run \
+                 (got {other:?}); the test body may mutate captured state]"
+            ),
         }
     }
 }
@@ -705,5 +735,51 @@ mod tests {
             prop_assert!(false, "forced failure");
             Ok(())
         });
+    }
+
+    #[test]
+    fn failure_reports_confirmed_minimal_case_index() {
+        use crate::strategy::Strategy;
+        use crate::test_runner::{run_cases, Config};
+        // Fail on draws above a threshold: the runner must report the
+        // failing index as minimal (ascending exploration order makes it
+        // so) with the *confirmed* counterexample message.
+        let run = || {
+            std::panic::catch_unwind(|| {
+                run_cases(Config::with_cases(64), "minimal_probe", |rng| {
+                    let v = (0u64..100).sample(rng);
+                    prop_assert!(v < 30, "v={v}");
+                    Ok(())
+                });
+            })
+        };
+        let msg = |r: std::thread::Result<()>| -> String {
+            let err = r.expect_err("the property must fail");
+            err.downcast_ref::<String>().cloned().expect("panic payload is a String")
+        };
+        let first = msg(run());
+        assert!(first.contains("the minimal failing index"), "{first}");
+        assert!(first.contains("v="), "confirmed re-run message present: {first}");
+        assert!(!first.contains("did not reproduce"), "idempotent body confirms: {first}");
+        // Deterministic: a second run reports the identical counterexample.
+        assert_eq!(first, msg(run()));
+    }
+
+    #[test]
+    fn minimal_case_confirmation_flags_non_idempotent_bodies() {
+        use crate::test_runner::{run_cases, Config};
+        // A body failing exactly once (via captured state) cannot be
+        // confirmed on re-run; the report must say so instead of lying.
+        let result = std::panic::catch_unwind(|| {
+            let mut calls = 0u32;
+            run_cases(Config::with_cases(8), "flaky_probe", move |_rng| {
+                calls += 1;
+                prop_assert!(calls != 3, "third call fails");
+                Ok(())
+            });
+        });
+        let err = result.expect_err("must fail");
+        let msg = err.downcast_ref::<String>().cloned().unwrap();
+        assert!(msg.contains("did not reproduce on re-run"), "{msg}");
     }
 }
