@@ -1,0 +1,305 @@
+//! `transport_latency` — the event-driven transport core, quantified.
+//!
+//! Two measurements back the ISSUE 3 acceptance criteria:
+//!
+//! 1. **recv wakeup latency**: how long a parked consumer takes to observe
+//!    a message, comparing the workspace's previous transport behavior —
+//!    a `try_recv` sweep with a 200 µs park between sweeps, exactly what
+//!    the vendored `select!` did before the condvar waker — against the
+//!    condvar-driven `recv()` and the reworked event-driven `select!`.
+//! 2. **mux fan-in throughput**: aggregate messages/second across K logical
+//!    sessions multiplexed over *one* physical channel, against K dedicated
+//!    channels (the pre-mux shape that cost K fds).
+//!
+//! Results print as tables and are written to `BENCH_transport.json` in the
+//! working directory (CI uploads it as an artifact). Quick mode for CI:
+//! set `LMON_BENCH_QUICK=1`.
+
+use std::io::Write as _;
+use std::time::{Duration, Instant};
+
+use lmon_bench::{print_table, Row};
+use lmon_proto::header::MsgType;
+use lmon_proto::msg::LmonpMsg;
+use lmon_proto::mux::SessionMux;
+use lmon_proto::transport::{LocalChannel, MsgChannel};
+
+/// The park interval the old polled `select!` used between sweeps.
+const OLD_POLL_PARK: Duration = Duration::from_micros(200);
+
+fn quick_mode() -> bool {
+    std::env::var("LMON_BENCH_QUICK").map(|v| v == "1").unwrap_or(false)
+}
+
+#[derive(Debug, Clone, Copy)]
+struct LatencyStats {
+    median_us: f64,
+    p90_us: f64,
+    mean_us: f64,
+}
+
+fn stats(mut samples: Vec<f64>) -> LatencyStats {
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    let n = samples.len();
+    LatencyStats {
+        median_us: samples[n / 2],
+        p90_us: samples[(n * 9 / 10).min(n - 1)],
+        mean_us: samples.iter().sum::<f64>() / n as f64,
+    }
+}
+
+/// One wakeup-latency run: a producer stamps `Instant::now()` into each
+/// message; the consumer (already parked, the producer paces itself to
+/// guarantee that) reports how stale the stamp is on arrival.
+fn wakeup_latency(
+    iters: usize,
+    consume: impl FnOnce(crossbeam_channel::Receiver<Instant>) -> Vec<f64> + Send + 'static,
+) -> LatencyStats {
+    let (tx, rx) = crossbeam_channel::unbounded::<Instant>();
+    let consumer = std::thread::spawn(move || consume(rx));
+    for i in 0..iters {
+        // Give the consumer time to drain and park again; the spacing is
+        // varied (co-prime stride) so sends cannot phase-lock with a polled
+        // consumer's park boundaries and flatter its average.
+        let jitter = (i as u64 * 97) % 391;
+        std::thread::sleep(Duration::from_micros(530 + jitter));
+        tx.send(Instant::now()).unwrap();
+    }
+    drop(tx);
+    stats(consumer.join().expect("consumer"))
+}
+
+/// Baseline: the pre-refactor behavior — poll `try_recv`, park 200 µs
+/// between sweeps (what the vendored `select!` did on every miss).
+fn polled_baseline(iters: usize) -> LatencyStats {
+    wakeup_latency(iters, |rx| {
+        let mut out = Vec::new();
+        loop {
+            match rx.try_recv() {
+                Ok(stamp) => out.push(stamp.elapsed().as_secs_f64() * 1e6),
+                Err(crossbeam_channel::TryRecvError::Empty) => {
+                    std::thread::sleep(OLD_POLL_PARK);
+                }
+                Err(crossbeam_channel::TryRecvError::Disconnected) => return out,
+            }
+        }
+    })
+}
+
+/// The condvar path: a plain blocking `recv()`.
+fn condvar_recv(iters: usize) -> LatencyStats {
+    wakeup_latency(iters, |rx| {
+        let mut out = Vec::new();
+        while let Ok(stamp) = rx.recv() {
+            out.push(stamp.elapsed().as_secs_f64() * 1e6);
+        }
+        out
+    })
+}
+
+/// The reworked `select!`: event-driven multi-channel wait (one silent
+/// second arm, as in the comm-daemon loops).
+fn select_recv(iters: usize) -> LatencyStats {
+    wakeup_latency(iters, |rx| {
+        let (_silent_tx, silent_rx) = crossbeam_channel::unbounded::<Instant>();
+        let mut out = Vec::new();
+        loop {
+            let done = crossbeam_channel::select! {
+                recv(rx) -> msg => match msg {
+                    Ok(stamp) => {
+                        out.push(stamp.elapsed().as_secs_f64() * 1e6);
+                        false
+                    }
+                    Err(_) => true,
+                },
+                recv(silent_rx) -> _msg => unreachable!("silent arm never fires"),
+            };
+            if done {
+                return out;
+            }
+        }
+    })
+}
+
+fn usr_msg(tag: u16) -> LmonpMsg {
+    LmonpMsg::of_type(MsgType::BeUsrData).with_tag(tag).with_usr_payload(vec![0xA5; 64])
+}
+
+/// Fan-in throughput of K sessions over one mux link.
+fn mux_fanin(sessions: u16, per_session: usize) -> f64 {
+    let (near, far) = SessionMux::pair();
+    let receivers: Vec<_> = (0..sessions)
+        .map(|i| {
+            let ep = far.open(i).unwrap();
+            std::thread::spawn(move || {
+                for _ in 0..per_session {
+                    ep.recv().unwrap();
+                }
+            })
+        })
+        .collect();
+    let t0 = Instant::now();
+    let senders: Vec<_> = (0..sessions)
+        .map(|i| {
+            let ep = near.open(i).unwrap();
+            std::thread::spawn(move || {
+                for _ in 0..per_session {
+                    ep.send(usr_msg(i)).unwrap();
+                }
+            })
+        })
+        .collect();
+    for h in senders {
+        h.join().unwrap();
+    }
+    for h in receivers {
+        h.join().unwrap();
+    }
+    (sessions as usize * per_session) as f64 / t0.elapsed().as_secs_f64()
+}
+
+/// The pre-mux shape: K dedicated channels (K fds in a real deployment).
+fn dedicated_fanin(sessions: u16, per_session: usize) -> f64 {
+    let pairs: Vec<_> = (0..sessions).map(|_| LocalChannel::pair()).collect();
+    let mut receivers = Vec::new();
+    let mut chans = Vec::new();
+    for (a, b) in pairs {
+        chans.push(a);
+        receivers.push(std::thread::spawn(move || {
+            for _ in 0..per_session {
+                b.recv().unwrap();
+            }
+        }));
+    }
+    let t0 = Instant::now();
+    let senders: Vec<_> = chans
+        .into_iter()
+        .enumerate()
+        .map(|(i, a)| {
+            std::thread::spawn(move || {
+                for _ in 0..per_session {
+                    a.send(usr_msg(i as u16)).unwrap();
+                }
+            })
+        })
+        .collect();
+    for h in senders {
+        h.join().unwrap();
+    }
+    for h in receivers {
+        h.join().unwrap();
+    }
+    (sessions as usize * per_session) as f64 / t0.elapsed().as_secs_f64()
+}
+
+fn fmt_us(v: f64) -> String {
+    format!("{v:.1}us")
+}
+
+fn main() {
+    let quick = quick_mode();
+    let iters = if quick { 300 } else { 2000 };
+    let sessions: u16 = 32;
+    let per_session = if quick { 500 } else { 4000 };
+
+    let polled = polled_baseline(iters);
+    let condvar = condvar_recv(iters);
+    let select = select_recv(iters);
+    let speedup = polled.median_us / condvar.median_us;
+    let select_speedup = polled.median_us / select.median_us;
+
+    print_table(
+        "recv wakeup latency (parked consumer, µs)",
+        "path",
+        &["median", "p90", "mean"],
+        &[
+            Row {
+                x: "polled (200us park)".into(),
+                values: vec![
+                    fmt_us(polled.median_us),
+                    fmt_us(polled.p90_us),
+                    fmt_us(polled.mean_us),
+                ],
+            },
+            Row {
+                x: "condvar recv".into(),
+                values: vec![
+                    fmt_us(condvar.median_us),
+                    fmt_us(condvar.p90_us),
+                    fmt_us(condvar.mean_us),
+                ],
+            },
+            Row {
+                x: "event select!".into(),
+                values: vec![
+                    fmt_us(select.median_us),
+                    fmt_us(select.p90_us),
+                    fmt_us(select.mean_us),
+                ],
+            },
+        ],
+    );
+    println!(
+        "wakeup speedup vs polled baseline: recv {speedup:.1}x, select {select_speedup:.1}x \
+         (acceptance floor: 10x)"
+    );
+
+    let mux_rate = mux_fanin(sessions, per_session);
+    let dedicated_rate = dedicated_fanin(sessions, per_session);
+    print_table(
+        "mux fan-in throughput (32 sessions)",
+        "transport",
+        &["msgs/s", "physical channels"],
+        &[
+            Row { x: "SessionMux".into(), values: vec![format!("{mux_rate:.0}"), "1".into()] },
+            Row {
+                x: "dedicated channels".into(),
+                values: vec![format!("{dedicated_rate:.0}"), sessions.to_string()],
+            },
+        ],
+    );
+
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"quick\": {quick},\n",
+            "  \"recv_wakeup_us\": {{\n",
+            "    \"polled\": {{\"median\": {pm:.2}, \"p90\": {pp:.2}, \"mean\": {pa:.2}}},\n",
+            "    \"condvar\": {{\"median\": {cm:.2}, \"p90\": {cp:.2}, \"mean\": {ca:.2}}},\n",
+            "    \"select\": {{\"median\": {sm:.2}, \"p90\": {sp:.2}, \"mean\": {sa:.2}}},\n",
+            "    \"speedup_recv\": {sr:.2},\n",
+            "    \"speedup_select\": {ss:.2}\n",
+            "  }},\n",
+            "  \"mux_fanin\": {{\n",
+            "    \"sessions\": {sess},\n",
+            "    \"messages_per_session\": {per},\n",
+            "    \"mux_msgs_per_s\": {mr:.0},\n",
+            "    \"dedicated_msgs_per_s\": {dr:.0},\n",
+            "    \"mux_physical_channels\": 1\n",
+            "  }}\n",
+            "}}\n"
+        ),
+        quick = quick,
+        pm = polled.median_us,
+        pp = polled.p90_us,
+        pa = polled.mean_us,
+        cm = condvar.median_us,
+        cp = condvar.p90_us,
+        ca = condvar.mean_us,
+        sm = select.median_us,
+        sp = select.p90_us,
+        sa = select.mean_us,
+        sr = speedup,
+        ss = select_speedup,
+        sess = sessions,
+        per = per_session,
+        mr = mux_rate,
+        dr = dedicated_rate,
+    );
+    // Anchor the artifact at the workspace root regardless of the bench's
+    // working directory, so CI (and humans) always find it in one place.
+    let out = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_transport.json");
+    let mut f = std::fs::File::create(&out).expect("create BENCH_transport.json");
+    f.write_all(json.as_bytes()).expect("write BENCH_transport.json");
+    println!("\nwrote {}", out.display());
+}

@@ -29,7 +29,7 @@ use lmon_proto::msg::LmonpMsg;
 use lmon_proto::payload::Hello;
 use lmon_proto::rpdtab::{ProcDesc, Rpdtab};
 use lmon_proto::security::{SessionCookie, COOKIE_ENV_VAR};
-use lmon_proto::transport::{LocalChannel, MsgChannel};
+use lmon_proto::transport::MsgChannel;
 use lmon_proto::wire::WireDecode;
 use lmon_rm::api::DaemonBody;
 use lmon_rm::fabric::RmFabricEndpoint;
@@ -45,8 +45,10 @@ pub type BeMain = Arc<dyn Fn(&mut BeSession) + Send + Sync + 'static>;
 
 /// Wiring the FE threads through to the wrapped daemon body.
 pub(crate) struct BeWiring {
-    /// Channel the master daemon picks up to talk LMONP to the FE.
-    pub master_slot: Arc<Mutex<Option<LocalChannel>>>,
+    /// Channel the master daemon picks up to talk LMONP to the FE — a
+    /// logical mux endpoint in the live stack, but any [`MsgChannel`]
+    /// (`LocalChannel`, `TcpChannel`, `FaultyChannel`, ...) plugs in.
+    pub master_slot: Arc<Mutex<Option<Box<dyn MsgChannel>>>>,
     /// Shared critical-path recorder (master marks e8/e9).
     pub timeline: TimelineRecorder,
     /// Collective schedule for the session.
@@ -59,7 +61,7 @@ pub struct BeSession {
     ctx: ProcCtx,
     rpdtab: Rpdtab,
     usrdata: Vec<u8>,
-    master_chan: Option<LocalChannel>,
+    master_chan: Option<Box<dyn MsgChannel>>,
 }
 
 impl BeSession {
@@ -136,7 +138,7 @@ impl BeSession {
     pub fn send_usrdata(&mut self, bytes: Vec<u8>) -> LmonResult<()> {
         let chan = self
             .master_chan
-            .as_mut()
+            .as_ref()
             .ok_or(LmonError::Engine("send_usrdata: not the master daemon".into()))?;
         chan.send(LmonpMsg::of_type(MsgType::BeUsrData).with_usr_payload(bytes))?;
         Ok(())
@@ -146,7 +148,7 @@ impl BeSession {
     pub fn recv_usrdata(&mut self, timeout: std::time::Duration) -> LmonResult<Vec<u8>> {
         let chan = self
             .master_chan
-            .as_mut()
+            .as_ref()
             .ok_or(LmonError::Engine("recv_usrdata: not the master daemon".into()))?;
         loop {
             match chan.recv_timeout(timeout)? {
@@ -166,7 +168,7 @@ impl BeSession {
         if self.am_i_master() {
             let chan = self
                 .master_chan
-                .as_mut()
+                .as_ref()
                 .ok_or(LmonError::Engine("master channel missing".into()))?;
             loop {
                 let msg = chan.recv()?;
@@ -208,7 +210,7 @@ pub(crate) fn wrap_be_main(tool_main: BeMain, wiring: BeWiring) -> DaemonBody {
 fn be_bootstrap(
     ctx: ProcCtx,
     ep: RmFabricEndpoint,
-    master_slot: &Mutex<Option<LocalChannel>>,
+    master_slot: &Mutex<Option<Box<dyn MsgChannel>>>,
     timeline: &TimelineRecorder,
     topo: Topology,
 ) -> LmonResult<BeSession> {
@@ -220,7 +222,7 @@ fn be_bootstrap(
     let rpdtab_bytes;
 
     if is_master {
-        let mut chan = master_slot
+        let chan = master_slot
             .lock()
             .take()
             .ok_or(LmonError::Engine("master channel already taken".into()))?;

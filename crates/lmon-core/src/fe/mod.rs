@@ -23,15 +23,17 @@ use parking_lot::Mutex;
 
 use lmon_cluster::process::Pid;
 use lmon_iccl::Topology;
+use lmon_proto::fault::{FaultyChannel, FrameFaultPlan};
 use lmon_proto::frame::{decode_msg, encode_msg};
 use lmon_proto::header::MsgType;
 use lmon_proto::msg::LmonpMsg;
+use lmon_proto::mux::SessionMux;
 use lmon_proto::payload::{
     AttachRequest, DaemonInfo, DaemonSpec, Hello, JobStatus, LaunchRequest, SpawnMwRequest,
 };
 use lmon_proto::rpdtab::Rpdtab;
 use lmon_proto::security::{SessionCookie, COOKIE_ENV_VAR};
-use lmon_proto::transport::{LocalChannel, MsgChannel};
+use lmon_proto::transport::MsgChannel;
 use lmon_proto::wire::{put_seq, WireDecode};
 use lmon_rm::api::ResourceManager;
 
@@ -49,13 +51,21 @@ pub type PackFn = Box<dyn Fn() -> Vec<u8> + Send>;
 /// Callback receiving tool data piggybacked on BE→FE messages.
 pub type UnpackFn = Box<dyn Fn(&[u8]) + Send>;
 
-/// Default handshake timeout.
+/// Default handshake timeout (overridable via
+/// [`LmonFrontEnd::set_handshake_timeout`]).
 const HANDSHAKE_TIMEOUT: Duration = Duration::from_secs(30);
 
 /// Per-session FE runtime state (channels, callbacks, timing).
+///
+/// The channels are mux endpoints (or fault-injecting wrappers around
+/// them), never dedicated connections: every session's LMONP traffic rides
+/// the one physical link its component pair shares.
 struct FeSessionRt {
-    be_chan: Option<LocalChannel>,
-    mw_chan: Option<LocalChannel>,
+    /// `Arc` rather than `Box`: the usrdata API clones the handle out and
+    /// releases the runtimes lock *before* blocking, so one session's wait
+    /// never serializes another session's traffic.
+    be_chan: Option<Arc<dyn MsgChannel>>,
+    mw_chan: Option<Arc<dyn MsgChannel>>,
     timeline: TimelineRecorder,
     pack: Option<PackFn>,
     unpack: Option<UnpackFn>,
@@ -97,6 +107,25 @@ pub struct MwOutcome {
     pub master: DaemonInfo,
 }
 
+/// Transport accounting for the front end's component links (the paper's
+/// one-connection-per-component invariant, observable at runtime).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TransportStats {
+    /// Physical channels to the back-end component (always 1, by mux
+    /// construction).
+    pub be_physical_links: usize,
+    /// Logical BE sessions currently multiplexed over that link.
+    pub be_sessions: usize,
+    /// High-water mark of simultaneous BE sessions.
+    pub be_peak_sessions: usize,
+    /// Physical channels to the middleware component (always 1).
+    pub mw_physical_links: usize,
+    /// Logical MW sessions currently multiplexed over that link.
+    pub mw_sessions: usize,
+    /// High-water mark of simultaneous MW sessions.
+    pub mw_peak_sessions: usize,
+}
+
 /// The front end: the tool's handle on all of LaunchMON.
 pub struct LmonFrontEnd {
     rm: Arc<dyn ResourceManager>,
@@ -104,24 +133,80 @@ pub struct LmonFrontEnd {
     engine_pid: Pid,
     sessions: Mutex<SessionTable>,
     runtimes: Mutex<HashMap<SessionId, FeSessionRt>>,
+    /// FE side of the single FE↔BE-component link; one logical session per
+    /// tool session rides it.
+    be_mux: SessionMux,
+    /// Daemon side of the same link; per-session endpoints are delivered to
+    /// BE masters through the wrapped daemon body.
+    be_mux_far: SessionMux,
+    /// FE side of the single FE↔MW-component link.
+    mw_mux: SessionMux,
+    /// Daemon side of the FE↔MW link.
+    mw_mux_far: SessionMux,
+    /// Optional frame-fault plan applied to the next launch's live FE-side
+    /// handshake channel (chaos testing).
+    handshake_fault: Mutex<Option<FrameFaultPlan>>,
+    /// Receive deadline for handshake and control replies.
+    handshake_timeout: Mutex<Duration>,
 }
 
 impl LmonFrontEnd {
     /// `LMON_fe_init`: start the engine and the FE runtime.
     pub fn init(rm: Arc<dyn ResourceManager>) -> LmonResult<Self> {
         let (engine, engine_pid) = Engine::spawn(rm.clone())?;
+        let (be_mux, be_mux_far) = SessionMux::pair();
+        let (mw_mux, mw_mux_far) = SessionMux::pair();
         Ok(LmonFrontEnd {
             rm,
             engine,
             engine_pid,
             sessions: Mutex::new(SessionTable::new()),
             runtimes: Mutex::new(HashMap::new()),
+            be_mux,
+            be_mux_far,
+            mw_mux,
+            mw_mux_far,
+            handshake_fault: Mutex::new(None),
+            handshake_timeout: Mutex::new(HANDSHAKE_TIMEOUT),
         })
     }
 
     /// The resource manager behind this front end.
     pub fn rm(&self) -> &Arc<dyn ResourceManager> {
         &self.rm
+    }
+
+    /// Install a deterministic frame-fault plan for the *next* launch: the
+    /// FE side of that session's live handshake channel is wrapped in a
+    /// [`FaultyChannel`], so chaos scenarios fault the real FE↔BE-master
+    /// exchange (and the session's later usrdata traffic), not a mock.
+    pub fn install_handshake_fault_plan(&self, plan: FrameFaultPlan) {
+        *self.handshake_fault.lock() = Some(plan);
+    }
+
+    /// Override the handshake/control receive deadline (tests shorten it).
+    pub fn set_handshake_timeout(&self, timeout: Duration) {
+        *self.handshake_timeout.lock() = timeout;
+    }
+
+    fn hs_timeout(&self) -> Duration {
+        *self.handshake_timeout.lock()
+    }
+
+    /// Live transport accounting: sessions multiplexed per component link.
+    ///
+    /// `be_physical_links`/`mw_physical_links` are structural constants of
+    /// the mux — a multi-session launch cannot consume more than one
+    /// channel per component pair.
+    pub fn transport_stats(&self) -> TransportStats {
+        TransportStats {
+            be_physical_links: self.be_mux.physical_links(),
+            be_sessions: self.be_mux.session_count(),
+            be_peak_sessions: self.be_mux.peak_session_count(),
+            mw_physical_links: self.mw_mux.physical_links(),
+            mw_sessions: self.mw_mux.session_count(),
+            mw_peak_sessions: self.mw_mux.peak_session_count(),
+        }
     }
 
     /// `LMON_fe_createSession`.
@@ -174,7 +259,7 @@ impl LmonFrontEnd {
             daemon: daemon.clone(),
         };
         let wire =
-            LmonpMsg::of_type(MsgType::FeLaunchReq).with_tag(session.0 as u16).with_lmon(&req);
+            LmonpMsg::of_type(MsgType::FeLaunchReq).with_tag(mux_id(session)?).with_lmon(&req);
         self.spawn_common(session, encode_msg(&wire), daemon, be_main, timeline)
     }
 
@@ -192,7 +277,7 @@ impl LmonFrontEnd {
 
         let req = AttachRequest { launcher_pid: launcher_pid.0, daemon: daemon.clone() };
         let wire =
-            LmonpMsg::of_type(MsgType::FeAttachReq).with_tag(session.0 as u16).with_lmon(&req);
+            LmonpMsg::of_type(MsgType::FeAttachReq).with_tag(mux_id(session)?).with_lmon(&req);
         self.spawn_common(session, encode_msg(&wire), daemon, be_main, timeline)
     }
 
@@ -208,9 +293,21 @@ impl LmonFrontEnd {
     ) -> LmonResult<LaunchOutcome> {
         let cookie = self.sessions.lock().get(session)?.cookie;
 
-        // The master daemon's LMONP channel, delivered through the wrapped
-        // body (one representative per component, §3.5).
-        let (fe_chan, be_chan) = LocalChannel::pair();
+        // The master daemon's LMONP channel: a logical session over the one
+        // physical FE↔BE link (one representative per component, §3.5 — and
+        // one *channel* per component no matter how many sessions ride it).
+        // Delivered to the master through the wrapped body. The FE side is
+        // Arc'd so the usrdata API can block on it without holding the
+        // runtimes lock.
+        let id = mux_id(session)?;
+        let fe_chan: Arc<dyn MsgChannel> = {
+            let ep = self.be_mux.open(id)?;
+            match self.handshake_fault.lock().take() {
+                Some(plan) => Arc::new(FaultyChannel::new(ep, plan)),
+                None => Arc::new(ep),
+            }
+        };
+        let be_chan: Box<dyn MsgChannel> = Box::new(self.be_mux_far.open(id)?);
         let master_slot = Arc::new(Mutex::new(Some(be_chan)));
         let wrapped = wrap_be_main(
             be_main,
@@ -233,7 +330,7 @@ impl LmonFrontEnd {
 
         // Engine reply 1: the RPDTAB.
         let rpdtab: Rpdtab = {
-            let reply = decode_msg(&self.engine.recv_timeout(HANDSHAKE_TIMEOUT)?)?;
+            let reply = decode_msg(&self.engine.recv_timeout(self.hs_timeout())?)?;
             self.expect_reply(&reply, MsgType::EngineRpdtab)?;
             reply.decode_lmon()?
         };
@@ -242,7 +339,7 @@ impl LmonFrontEnd {
 
         // Engine reply 2: daemons spawned.
         let master_info: DaemonInfo = {
-            let reply = decode_msg(&self.engine.recv_timeout(HANDSHAKE_TIMEOUT)?)?;
+            let reply = decode_msg(&self.engine.recv_timeout(self.hs_timeout())?)?;
             self.expect_reply(&reply, MsgType::EngineAck)?;
             reply.decode_lmon()?
         };
@@ -251,9 +348,8 @@ impl LmonFrontEnd {
 
         // FE side of the BE handshake (e7..e10).
         timeline.mark(CriticalEvent::E7HandshakeStart);
-        let mut fe_chan = fe_chan;
         let hello_msg = fe_chan
-            .recv_timeout(HANDSHAKE_TIMEOUT)?
+            .recv_timeout(self.hs_timeout())?
             .ok_or(LmonError::Timeout("waiting for BE hello"))?;
         if hello_msg.mtype != MsgType::BeHello {
             return Err(LmonError::Engine(format!("expected BeHello, got {:?}", hello_msg.mtype)));
@@ -282,7 +378,7 @@ impl LmonFrontEnd {
 
         // Ready (+ optional piggybacked tool data through unpack).
         let ready = fe_chan
-            .recv_timeout(HANDSHAKE_TIMEOUT)?
+            .recv_timeout(self.hs_timeout())?
             .ok_or(LmonError::Timeout("waiting for BE ready"))?;
         if ready.mtype != MsgType::BeReady {
             return Err(LmonError::Engine(format!("expected BeReady, got {:?}", ready.mtype)));
@@ -325,7 +421,10 @@ impl LmonFrontEnd {
         let rpdtab =
             self.sessions.lock().get(session)?.rpdtab.clone().unwrap_or_else(Rpdtab::empty);
 
-        let (fe_chan, mw_chan) = LocalChannel::pair();
+        // One logical MW session over the single FE↔MW link.
+        let id = mux_id(session)?;
+        let fe_chan: Arc<dyn MsgChannel> = Arc::new(self.mw_mux.open(id)?);
+        let mw_chan: Box<dyn MsgChannel> = Box::new(self.mw_mux_far.open(id)?);
         let master_slot = Arc::new(Mutex::new(Some(mw_chan)));
         let wrapped = wrap_mw_main(mw_main, MwWiring { master_slot, topo: Topology::Binomial });
 
@@ -333,8 +432,7 @@ impl LmonFrontEnd {
         env.push(format!("{COOKIE_ENV_VAR}={}", cookie.to_env_value()));
 
         let req = SpawnMwRequest { count: count as u32, daemon: daemon.clone() };
-        let wire =
-            LmonpMsg::of_type(MsgType::FeSpawnMwReq).with_tag(session.0 as u16).with_lmon(&req);
+        let wire = LmonpMsg::of_type(MsgType::FeSpawnMwReq).with_tag(id).with_lmon(&req);
         self.engine.send(EngineCommand {
             wire: encode_msg(&wire),
             body: Some(wrapped),
@@ -345,15 +443,14 @@ impl LmonFrontEnd {
         })?;
 
         let master_info: DaemonInfo = {
-            let reply = decode_msg(&self.engine.recv_timeout(HANDSHAKE_TIMEOUT)?)?;
+            let reply = decode_msg(&self.engine.recv_timeout(self.hs_timeout())?)?;
             self.expect_reply(&reply, MsgType::EngineAck)?;
             reply.decode_lmon()?
         };
 
         // MW handshake: hello, personalities (+ piggyback), RPDTAB, ready.
-        let mut fe_chan = fe_chan;
         let hello_msg = fe_chan
-            .recv_timeout(HANDSHAKE_TIMEOUT)?
+            .recv_timeout(self.hs_timeout())?
             .ok_or(LmonError::Timeout("waiting for MW hello"))?;
         if hello_msg.mtype != MsgType::MwHello {
             return Err(LmonError::Engine(format!("expected MwHello, got {:?}", hello_msg.mtype)));
@@ -400,7 +497,7 @@ impl LmonFrontEnd {
             LmonpMsg::of_type(MsgType::MwRpdtab).with_epoch(cookie.epoch).with_lmon(&rpdtab),
         )?;
         let ready = fe_chan
-            .recv_timeout(HANDSHAKE_TIMEOUT)?
+            .recv_timeout(self.hs_timeout())?
             .ok_or(LmonError::Timeout("waiting for MW ready"))?;
         if ready.mtype != MsgType::MwReady {
             return Err(LmonError::Engine(format!("expected MwReady, got {:?}", ready.mtype)));
@@ -426,24 +523,14 @@ impl LmonFrontEnd {
 
     /// Send tool data to the BE master (`LMON_fe_sendUsrDataBe`).
     pub fn send_usrdata(&self, session: SessionId, bytes: Vec<u8>) -> LmonResult<()> {
-        let mut runtimes = self.runtimes.lock();
-        let rt = runtimes.get_mut(&session).ok_or(LmonError::NoSuchSession(session.0))?;
-        let chan = rt
-            .be_chan
-            .as_mut()
-            .ok_or(LmonError::BadSessionState { expected: "Ready", actual: "no BE channel" })?;
+        let chan = self.be_channel(session)?;
         chan.send(LmonpMsg::of_type(MsgType::BeUsrData).with_usr_payload(bytes))?;
         Ok(())
     }
 
     /// Receive tool data from the BE master (`LMON_fe_recvUsrDataBe`).
     pub fn recv_usrdata(&self, session: SessionId, timeout: Duration) -> LmonResult<Vec<u8>> {
-        let mut runtimes = self.runtimes.lock();
-        let rt = runtimes.get_mut(&session).ok_or(LmonError::NoSuchSession(session.0))?;
-        let chan = rt
-            .be_chan
-            .as_mut()
-            .ok_or(LmonError::BadSessionState { expected: "Ready", actual: "no BE channel" })?;
+        let chan = self.be_channel(session)?;
         loop {
             match chan.recv_timeout(timeout)? {
                 Some(msg) if msg.mtype == MsgType::BeUsrData => return Ok(msg.usr),
@@ -455,24 +542,14 @@ impl LmonFrontEnd {
 
     /// Send tool data to the MW master (`LMON_fe_sendUsrDataMw`).
     pub fn send_mw_usrdata(&self, session: SessionId, bytes: Vec<u8>) -> LmonResult<()> {
-        let mut runtimes = self.runtimes.lock();
-        let rt = runtimes.get_mut(&session).ok_or(LmonError::NoSuchSession(session.0))?;
-        let chan = rt.mw_chan.as_mut().ok_or(LmonError::BadSessionState {
-            expected: "MW launched",
-            actual: "no MW channel",
-        })?;
+        let chan = self.mw_channel(session)?;
         chan.send(LmonpMsg::of_type(MsgType::MwUsrData).with_usr_payload(bytes))?;
         Ok(())
     }
 
     /// Receive tool data from the MW master (`LMON_fe_recvUsrDataMw`).
     pub fn recv_mw_usrdata(&self, session: SessionId, timeout: Duration) -> LmonResult<Vec<u8>> {
-        let mut runtimes = self.runtimes.lock();
-        let rt = runtimes.get_mut(&session).ok_or(LmonError::NoSuchSession(session.0))?;
-        let chan = rt.mw_chan.as_mut().ok_or(LmonError::BadSessionState {
-            expected: "MW launched",
-            actual: "no MW channel",
-        })?;
+        let chan = self.mw_channel(session)?;
         loop {
             match chan.recv_timeout(timeout)? {
                 Some(msg) if msg.mtype == MsgType::MwUsrData => return Ok(msg.usr),
@@ -485,29 +562,28 @@ impl LmonFrontEnd {
     /// `LMON_fe_detach`: shut daemons down, leave the job running.
     pub fn detach(&self, session: SessionId) -> LmonResult<()> {
         // Order daemons to shut down.
-        {
-            let mut runtimes = self.runtimes.lock();
-            if let Some(rt) = runtimes.get_mut(&session) {
-                if let Some(chan) = rt.be_chan.as_mut() {
-                    let _ = chan.send(LmonpMsg::of_type(MsgType::BeShutdown));
-                }
-            }
+        if let Ok(chan) = self.be_channel(session) {
+            let _ = chan.send(LmonpMsg::of_type(MsgType::BeShutdown));
         }
         // Tell the engine to release the job.
-        let wire = LmonpMsg::of_type(MsgType::FeDetachReq).with_tag(session.0 as u16);
+        let wire = LmonpMsg::of_type(MsgType::FeDetachReq).with_tag(mux_id(session)?);
         self.engine.send(EngineCommand::control(encode_msg(&wire)))?;
-        let reply = decode_msg(&self.engine.recv_timeout(HANDSHAKE_TIMEOUT)?)?;
+        let reply = decode_msg(&self.engine.recv_timeout(self.hs_timeout())?)?;
         self.expect_status(&reply, JobStatus::Detached)?;
-        self.transition(session, SessionState::Detached)
+        self.transition(session, SessionState::Detached)?;
+        self.close_session_channels(session);
+        Ok(())
     }
 
     /// `LMON_fe_kill`: destroy the job and all daemons.
     pub fn kill(&self, session: SessionId) -> LmonResult<()> {
-        let wire = LmonpMsg::of_type(MsgType::FeKillReq).with_tag(session.0 as u16);
+        let wire = LmonpMsg::of_type(MsgType::FeKillReq).with_tag(mux_id(session)?);
         self.engine.send(EngineCommand::control(encode_msg(&wire)))?;
-        let reply = decode_msg(&self.engine.recv_timeout(HANDSHAKE_TIMEOUT)?)?;
+        let reply = decode_msg(&self.engine.recv_timeout(self.hs_timeout())?)?;
         self.expect_status(&reply, JobStatus::Killed)?;
-        self.transition(session, SessionState::Killed)
+        self.transition(session, SessionState::Killed)?;
+        self.close_session_channels(session);
+        Ok(())
     }
 
     /// The session's critical-path recorder.
@@ -531,6 +607,35 @@ impl LmonFrontEnd {
     }
 
     // --- helpers ---------------------------------------------------------
+
+    /// Clone out the session's BE channel handle, releasing the runtimes
+    /// lock before the caller blocks on it.
+    fn be_channel(&self, session: SessionId) -> LmonResult<Arc<dyn MsgChannel>> {
+        let runtimes = self.runtimes.lock();
+        let rt = runtimes.get(&session).ok_or(LmonError::NoSuchSession(session.0))?;
+        rt.be_chan
+            .clone()
+            .ok_or(LmonError::BadSessionState { expected: "Ready", actual: "no BE channel" })
+    }
+
+    /// Clone out the session's MW channel handle (see [`Self::be_channel`]).
+    fn mw_channel(&self, session: SessionId) -> LmonResult<Arc<dyn MsgChannel>> {
+        let runtimes = self.runtimes.lock();
+        let rt = runtimes.get(&session).ok_or(LmonError::NoSuchSession(session.0))?;
+        rt.mw_chan
+            .clone()
+            .ok_or(LmonError::BadSessionState { expected: "MW launched", actual: "no MW channel" })
+    }
+
+    /// Drop a terminal session's mux endpoints so its logical sub-streams
+    /// close (the peer sees a clean per-session disconnect) and the mux
+    /// accounting reflects only live sessions.
+    fn close_session_channels(&self, session: SessionId) {
+        if let Some(rt) = self.runtimes.lock().get_mut(&session) {
+            rt.be_chan = None;
+            rt.mw_chan = None;
+        }
+    }
 
     fn session_timeline(&self, session: SessionId) -> LmonResult<TimelineRecorder> {
         self.sessions.lock().get(session)?;
@@ -561,6 +666,19 @@ impl LmonFrontEnd {
         }
         Ok(())
     }
+}
+
+/// The session's logical id on the wire: both the LMONP correlation tag and
+/// the mux sub-stream id are u16, so a front end supports at most 65 536
+/// sessions over its lifetime — rejected explicitly rather than truncated,
+/// which would silently collide two sessions' traffic and close frames.
+fn mux_id(session: SessionId) -> LmonResult<u16> {
+    u16::try_from(session.0).map_err(|_| {
+        LmonError::Engine(format!(
+            "session {} exceeds the u16 mux/tag space; recycle the front end",
+            session.0
+        ))
+    })
 }
 
 /// Derive the hostname `offset` nodes after `base` in the cluster's naming

@@ -19,7 +19,7 @@ use lmon_proto::msg::LmonpMsg;
 use lmon_proto::payload::{Hello, MwPersonality};
 use lmon_proto::rpdtab::Rpdtab;
 use lmon_proto::security::{SessionCookie, COOKIE_ENV_VAR};
-use lmon_proto::transport::{LocalChannel, MsgChannel};
+use lmon_proto::transport::MsgChannel;
 use lmon_proto::wire::{get_seq, WireDecode};
 use lmon_rm::api::DaemonBody;
 use lmon_rm::fabric::RmFabricEndpoint;
@@ -31,8 +31,9 @@ pub type MwMain = Arc<dyn Fn(&mut MwSession) + Send + Sync + 'static>;
 
 /// Wiring for the MW bootstrap.
 pub(crate) struct MwWiring {
-    /// Channel the MW master picks up to talk LMONP to the FE.
-    pub master_slot: Arc<Mutex<Option<LocalChannel>>>,
+    /// Channel the MW master picks up to talk LMONP to the FE — a logical
+    /// mux endpoint in the live stack, but any [`MsgChannel`] plugs in.
+    pub master_slot: Arc<Mutex<Option<Box<dyn MsgChannel>>>>,
     /// Collective schedule over the MW fabric.
     pub topo: Topology,
 }
@@ -45,7 +46,7 @@ pub struct MwSession {
     all_personalities: Vec<MwPersonality>,
     rpdtab: Rpdtab,
     usrdata: Vec<u8>,
-    master_chan: Option<LocalChannel>,
+    master_chan: Option<Box<dyn MsgChannel>>,
 }
 
 impl MwSession {
@@ -138,7 +139,7 @@ impl MwSession {
     pub fn send_usrdata(&mut self, bytes: Vec<u8>) -> LmonResult<()> {
         let chan = self
             .master_chan
-            .as_mut()
+            .as_ref()
             .ok_or(LmonError::Engine("send_usrdata: not the MW master".into()))?;
         chan.send(LmonpMsg::of_type(MsgType::MwUsrData).with_usr_payload(bytes))?;
         Ok(())
@@ -148,7 +149,7 @@ impl MwSession {
     pub fn recv_usrdata(&mut self, timeout: std::time::Duration) -> LmonResult<Vec<u8>> {
         let chan = self
             .master_chan
-            .as_mut()
+            .as_ref()
             .ok_or(LmonError::Engine("recv_usrdata: not the MW master".into()))?;
         loop {
             match chan.recv_timeout(timeout)? {
@@ -192,7 +193,7 @@ pub(crate) fn wrap_mw_main(tool_main: MwMain, wiring: MwWiring) -> DaemonBody {
 fn mw_bootstrap(
     ctx: ProcCtx,
     ep: RmFabricEndpoint,
-    master_slot: &Mutex<Option<LocalChannel>>,
+    master_slot: &Mutex<Option<Box<dyn MsgChannel>>>,
     topo: Topology,
 ) -> LmonResult<MwSession> {
     let mut comm = IcclComm::new(ep, topo);
@@ -205,7 +206,7 @@ fn mw_bootstrap(
     let rpdtab_bytes;
 
     if is_master {
-        let mut chan = master_slot
+        let chan = master_slot
             .lock()
             .take()
             .ok_or(LmonError::Engine("mw master channel already taken".into()))?;

@@ -139,11 +139,11 @@ impl<C: MsgChannel> MsgChannel for FaultyChannel<C> {
         }
     }
 
-    fn recv(&mut self) -> ProtoResult<LmonpMsg> {
+    fn recv(&self) -> ProtoResult<LmonpMsg> {
         self.inner.recv()
     }
 
-    fn recv_timeout(&mut self, timeout: Duration) -> ProtoResult<Option<LmonpMsg>> {
+    fn recv_timeout(&self, timeout: Duration) -> ProtoResult<Option<LmonpMsg>> {
         self.inner.recv_timeout(timeout)
     }
 
@@ -164,7 +164,7 @@ mod tests {
 
     #[test]
     fn dropped_frames_vanish_but_later_frames_deliver() {
-        let (a, mut b) = LocalChannel::pair();
+        let (a, b) = LocalChannel::pair();
         let faulty = FaultyChannel::new(a, FrameFaultPlan::new().drop_frame(0).drop_frame(2));
         for tag in 0..4 {
             faulty.send(msg(tag)).unwrap();
@@ -178,7 +178,7 @@ mod tests {
 
     #[test]
     fn delayed_frames_arrive_late_but_intact() {
-        let (a, mut b) = LocalChannel::pair();
+        let (a, b) = LocalChannel::pair();
         let faulty =
             FaultyChannel::new(a, FrameFaultPlan::new().delay_frame(0, Duration::from_millis(30)));
         let t0 = std::time::Instant::now();
@@ -192,7 +192,7 @@ mod tests {
 
     #[test]
     fn empty_plan_is_transparent() {
-        let (a, mut b) = LocalChannel::pair();
+        let (a, b) = LocalChannel::pair();
         assert!(FrameFaultPlan::new().is_empty());
         let faulty = FaultyChannel::new(a, FrameFaultPlan::new());
         faulty.send(msg(1)).unwrap();
@@ -213,7 +213,7 @@ mod tests {
     #[test]
     fn receive_side_passes_through_both_directions() {
         let (a, b) = LocalChannel::pair();
-        let mut faulty = FaultyChannel::new(a, FrameFaultPlan::new().drop_frame(0));
+        let faulty = FaultyChannel::new(a, FrameFaultPlan::new().drop_frame(0));
         b.send(msg(9)).unwrap();
         assert_eq!(faulty.recv().unwrap().tag, 9);
         let inner = faulty.into_inner();

@@ -48,6 +48,7 @@ pub mod fault;
 pub mod frame;
 pub mod header;
 pub mod msg;
+pub mod mux;
 pub mod payload;
 pub mod rpdtab;
 pub mod security;
@@ -58,5 +59,6 @@ pub use error::ProtoError;
 pub use fault::{FaultyChannel, FrameFate, FrameFaultPlan};
 pub use header::{LmonpHeader, MsgClass, MsgType, HEADER_LEN};
 pub use msg::LmonpMsg;
+pub use mux::{MuxEndpoint, SessionMux};
 pub use rpdtab::{ProcDesc, Rpdtab};
 pub use transport::{LocalChannel, MsgChannel, TcpChannel};

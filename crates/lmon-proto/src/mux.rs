@@ -1,0 +1,464 @@
+//! Session multiplexing: many logical LMONP sessions over one channel.
+//!
+//! The paper's central fix for the tool-daemon fd wall is collapsing
+//! per-session connections into *one* link per component pair (§3.5): the
+//! front end talks to exactly one representative of each component, no
+//! matter how many tool sessions are active. [`SessionMux`] bakes that fix
+//! into the transport layer as an architectural invariant: it carries any
+//! number of logical sessions — tagged sub-streams — over a single physical
+//! [`MsgChannel`], and hands out per-session [`MuxEndpoint`] handles that
+//! themselves implement [`MsgChannel`]. N sessions therefore cost one
+//! fd/channel *by construction*; nothing upstack can accidentally open a
+//! second connection.
+//!
+//! ## Framing
+//!
+//! Each logical message is encoded with [`encode_msg`] and wrapped in a
+//! carrier frame: `mtype = `[`MsgType::MuxData`], `tag = session id`,
+//! LaunchMON payload = the complete encoded inner message. Closing an
+//! endpoint emits a [`MsgType::MuxClose`] carrier so the peer's endpoint
+//! reports disconnection instead of timing out. The inner message travels
+//! byte-exact, piggybacked user payload and all.
+//!
+//! ## Receive pumping
+//!
+//! There is no demux thread. The first endpoint that blocks in a receive
+//! becomes the *pump*: it performs the physical receive (with the lock
+//! released, so sends never wait behind a blocked receiver) and routes
+//! whatever arrives into per-session inboxes, waking the other waiters on a
+//! condvar. When the pump's own deadline expires or its message arrives,
+//! another waiter takes over. This keeps the mux fully event-driven — no
+//! sleep-polling anywhere on the path — and safe to drive from any number
+//! of session threads.
+//!
+//! ## Ordering and loss
+//!
+//! Open both endpoints of a session (via [`SessionMux::open`]) before
+//! traffic for it can arrive; carrier frames for unknown sessions are
+//! dropped and counted in [`SessionMux::orphan_frames`]. The live FE/BE/MW
+//! stack opens endpoints before daemons spawn, so the counter staying zero
+//! is part of its invariants.
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use crate::error::{ProtoError, ProtoResult};
+use crate::frame::{decode_msg, encode_msg};
+use crate::header::MsgType;
+use crate::msg::LmonpMsg;
+use crate::transport::{LocalChannel, MsgChannel};
+
+/// Cap on a blocking [`MuxEndpoint::recv`]'s internal wait slice; the loop
+/// re-arms, so this bounds pump-handover latency, not the total wait.
+const RECV_SLICE: Duration = Duration::from_secs(3600);
+
+/// A session multiplexer over one physical [`MsgChannel`].
+///
+/// Cloning is cheap and shares the underlying link; use [`SessionMux::open`]
+/// to create per-session endpoints. Accounting
+/// ([`SessionMux::session_count`], [`SessionMux::peak_session_count`],
+/// [`SessionMux::physical_links`]) backs the scalability assertions in the
+/// test suite: any number of sessions, exactly one physical channel.
+#[derive(Clone)]
+pub struct SessionMux {
+    shared: Arc<MuxShared>,
+}
+
+struct MuxShared {
+    phys: Box<dyn MsgChannel>,
+    state: Mutex<MuxState>,
+    cv: Condvar,
+}
+
+#[derive(Default)]
+struct MuxState {
+    inboxes: HashMap<u16, Inbox>,
+    /// Whether some endpoint currently owns the physical receive.
+    pumping: bool,
+    /// Set when the physical link reports disconnection; fatal for every
+    /// session.
+    dead: bool,
+    /// Carrier frames for sessions nobody has opened (dropped).
+    orphans: u64,
+    /// High-water mark of simultaneously open sessions.
+    peak: usize,
+}
+
+#[derive(Default)]
+struct Inbox {
+    queue: VecDeque<LmonpMsg>,
+    /// The peer closed its endpoint; drain, then report disconnection.
+    closed: bool,
+}
+
+impl SessionMux {
+    /// Multiplex sessions over `phys`.
+    ///
+    /// Both ends of the link must speak mux framing; pair this with another
+    /// `SessionMux` over the peer endpoint (see [`SessionMux::pair`]).
+    pub fn over(phys: Box<dyn MsgChannel>) -> Self {
+        SessionMux {
+            shared: Arc::new(MuxShared {
+                phys,
+                state: Mutex::new(MuxState::default()),
+                cv: Condvar::new(),
+            }),
+        }
+    }
+
+    /// A connected mux pair over an in-process [`LocalChannel`] pair — the
+    /// one physical link a component pair shares.
+    pub fn pair() -> (SessionMux, SessionMux) {
+        let (a, b) = LocalChannel::pair();
+        (SessionMux::over(Box::new(a)), SessionMux::over(Box::new(b)))
+    }
+
+    /// Open the endpoint for logical session `id`.
+    ///
+    /// Fails with [`ProtoError::InvalidField`] if the session is already
+    /// open on this side, and [`ProtoError::Disconnected`] once the
+    /// physical link has died.
+    pub fn open(&self, id: u16) -> ProtoResult<MuxEndpoint> {
+        let mut state = self.shared.lock_state();
+        if state.dead {
+            return Err(ProtoError::Disconnected);
+        }
+        if state.inboxes.contains_key(&id) {
+            return Err(ProtoError::InvalidField { field: "mux_session", value: id as u64 });
+        }
+        state.inboxes.insert(id, Inbox::default());
+        state.peak = state.peak.max(state.inboxes.len());
+        Ok(MuxEndpoint { shared: self.shared.clone(), id, sent_bytes: AtomicU64::new(0) })
+    }
+
+    /// Number of sessions currently open on this side of the link.
+    pub fn session_count(&self) -> usize {
+        self.shared.lock_state().inboxes.len()
+    }
+
+    /// High-water mark of simultaneously open sessions.
+    pub fn peak_session_count(&self) -> usize {
+        self.shared.lock_state().peak
+    }
+
+    /// Physical channels behind this mux — always exactly one; the type
+    /// cannot represent more. Exposed so tests assert the invariant against
+    /// live accounting rather than documentation.
+    pub fn physical_links(&self) -> usize {
+        1
+    }
+
+    /// Carrier frames that arrived for sessions never opened on this side.
+    pub fn orphan_frames(&self) -> u64 {
+        self.shared.lock_state().orphans
+    }
+
+    /// Bytes sent on the underlying physical channel (carrier framing
+    /// included).
+    pub fn bytes_sent(&self) -> u64 {
+        self.shared.phys.bytes_sent()
+    }
+}
+
+impl MuxShared {
+    fn lock_state(&self) -> std::sync::MutexGuard<'_, MuxState> {
+        self.state.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Route one carrier frame into the session inboxes.
+    fn route(&self, state: &mut MuxState, carrier: LmonpMsg) {
+        match carrier.mtype {
+            MsgType::MuxData => match decode_msg(&carrier.lmon) {
+                Ok(inner) => match state.inboxes.get_mut(&carrier.tag) {
+                    Some(inbox) if !inbox.closed => inbox.queue.push_back(inner),
+                    _ => state.orphans += 1,
+                },
+                Err(_) => state.orphans += 1,
+            },
+            MsgType::MuxClose => {
+                if let Some(inbox) = state.inboxes.get_mut(&carrier.tag) {
+                    inbox.closed = true;
+                }
+            }
+            // A bare (non-mux) message on a mux link is a peer protocol
+            // violation; treat it like line noise rather than poisoning the
+            // sessions.
+            _ => state.orphans += 1,
+        }
+    }
+
+    /// Core receive: wait for a message on session `id`, pumping the
+    /// physical channel when no one else is.
+    fn recv_for(&self, id: u16, timeout: Duration) -> ProtoResult<Option<LmonpMsg>> {
+        let deadline = Instant::now() + timeout;
+        let mut state = self.lock_state();
+        loop {
+            match state.inboxes.get_mut(&id) {
+                Some(inbox) => {
+                    if let Some(msg) = inbox.queue.pop_front() {
+                        return Ok(Some(msg));
+                    }
+                    if inbox.closed {
+                        return Err(ProtoError::Disconnected);
+                    }
+                }
+                // The endpoint's own inbox vanished: endpoint was dropped
+                // concurrently — treat as closed.
+                None => return Err(ProtoError::Disconnected),
+            }
+            if state.dead {
+                return Err(ProtoError::Disconnected);
+            }
+            let remaining = deadline.saturating_duration_since(Instant::now());
+            if remaining.is_zero() {
+                return Ok(None);
+            }
+            if state.pumping {
+                // Someone else owns the physical receive; wait for routed
+                // traffic (or for the pump role to free up).
+                let (s, _timed_out) =
+                    self.cv.wait_timeout(state, remaining).unwrap_or_else(|e| e.into_inner());
+                state = s;
+            } else {
+                // Become the pump. The state lock is released during the
+                // physical receive so senders and new sessions never wait
+                // behind us.
+                state.pumping = true;
+                drop(state);
+                let res = self.phys.recv_timeout(remaining);
+                state = self.lock_state();
+                state.pumping = false;
+                match res {
+                    Ok(Some(carrier)) => self.route(&mut state, carrier),
+                    Ok(None) => {}
+                    Err(_) => state.dead = true,
+                }
+                // Wake routed sessions and hand the pump role to another
+                // waiter if our own deadline is done.
+                self.cv.notify_all();
+            }
+        }
+    }
+}
+
+/// One logical session of a [`SessionMux`]; a full [`MsgChannel`].
+///
+/// Dropping the endpoint closes the session: a [`MsgType::MuxClose`] frame
+/// tells the peer's endpoint to report disconnection once drained.
+pub struct MuxEndpoint {
+    shared: Arc<MuxShared>,
+    id: u16,
+    sent_bytes: AtomicU64,
+}
+
+impl MuxEndpoint {
+    /// The logical session id this endpoint serves.
+    pub fn session_id(&self) -> u16 {
+        self.id
+    }
+}
+
+impl MsgChannel for MuxEndpoint {
+    fn send(&self, msg: LmonpMsg) -> ProtoResult<()> {
+        let len = msg.wire_len() as u64;
+        let carrier = LmonpMsg::of_type(MsgType::MuxData)
+            .with_tag(self.id)
+            .with_lmon_payload(encode_msg(&msg));
+        self.shared.phys.send(carrier)?;
+        self.sent_bytes.fetch_add(len, Ordering::Relaxed);
+        Ok(())
+    }
+
+    fn recv(&self) -> ProtoResult<LmonpMsg> {
+        loop {
+            if let Some(msg) = self.shared.recv_for(self.id, RECV_SLICE)? {
+                return Ok(msg);
+            }
+        }
+    }
+
+    fn recv_timeout(&self, timeout: Duration) -> ProtoResult<Option<LmonpMsg>> {
+        self.shared.recv_for(self.id, timeout)
+    }
+
+    fn bytes_sent(&self) -> u64 {
+        self.sent_bytes.load(Ordering::Relaxed)
+    }
+}
+
+impl Drop for MuxEndpoint {
+    fn drop(&mut self) {
+        // Best effort: the physical link may already be gone.
+        let _ = self.shared.phys.send(LmonpMsg::of_type(MsgType::MuxClose).with_tag(self.id));
+        let mut state = self.shared.lock_state();
+        state.inboxes.remove(&self.id);
+        self.shared.cv.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::header::MsgType;
+
+    fn msg(mtype: MsgType, tag: u16) -> LmonpMsg {
+        LmonpMsg::of_type(mtype).with_tag(tag).with_usr_payload(vec![tag as u8; 8])
+    }
+
+    #[test]
+    fn two_sessions_share_one_physical_link() {
+        let (near, far) = SessionMux::pair();
+        let (a0, a1) = (near.open(0).unwrap(), near.open(1).unwrap());
+        let (b0, b1) = (far.open(0).unwrap(), far.open(1).unwrap());
+
+        a0.send(msg(MsgType::BeUsrData, 10)).unwrap();
+        a1.send(msg(MsgType::BeUsrData, 11)).unwrap();
+
+        // Each endpoint sees only its own session's traffic, even when the
+        // other session's message is first on the wire.
+        assert_eq!(b1.recv().unwrap().tag, 11);
+        assert_eq!(b0.recv().unwrap().tag, 10);
+
+        assert_eq!(near.session_count(), 2);
+        assert_eq!(near.physical_links(), 1);
+        assert_eq!(far.physical_links(), 1);
+        assert_eq!(near.orphan_frames(), 0);
+        assert_eq!(far.orphan_frames(), 0);
+    }
+
+    #[test]
+    fn inner_messages_travel_byte_exact() {
+        let (near, far) = SessionMux::pair();
+        let a = near.open(7).unwrap();
+        let b = far.open(7).unwrap();
+        let original = LmonpMsg::of_type(MsgType::BeLaunchInfo)
+            .with_tag(999)
+            .with_epoch(3)
+            .with_lmon_payload(vec![1, 2, 3])
+            .with_usr_payload(vec![9; 100]);
+        a.send(original.clone()).unwrap();
+        assert_eq!(b.recv().unwrap(), original);
+    }
+
+    #[test]
+    fn endpoint_drop_surfaces_as_peer_disconnect_not_timeout() {
+        let (near, far) = SessionMux::pair();
+        let a = near.open(3).unwrap();
+        let b = far.open(3).unwrap();
+        a.send(msg(MsgType::BeUsrData, 1)).unwrap();
+        drop(a);
+        // Queued traffic drains first, then the close is reported.
+        assert_eq!(b.recv().unwrap().tag, 1);
+        let t0 = Instant::now();
+        assert!(matches!(b.recv_timeout(Duration::from_secs(5)), Err(ProtoError::Disconnected)));
+        assert!(t0.elapsed() < Duration::from_secs(1), "close frame, not a timeout");
+    }
+
+    #[test]
+    fn one_session_closing_leaves_others_running() {
+        let (near, far) = SessionMux::pair();
+        let a0 = near.open(0).unwrap();
+        let a1 = near.open(1).unwrap();
+        let b0 = far.open(0).unwrap();
+        let b1 = far.open(1).unwrap();
+        drop(a0);
+        assert!(matches!(b0.recv_timeout(Duration::from_secs(5)), Err(ProtoError::Disconnected)));
+        a1.send(msg(MsgType::BeUsrData, 42)).unwrap();
+        assert_eq!(b1.recv().unwrap().tag, 42);
+        assert_eq!(near.session_count(), 1, "only the closed session left the table");
+    }
+
+    #[test]
+    fn physical_link_death_fails_every_session() {
+        let (near, far) = SessionMux::pair();
+        let _a = near.open(0).unwrap();
+        let b0 = far.open(0).unwrap();
+        let b1 = far.open(1).unwrap();
+        drop(near);
+        drop(_a);
+        assert!(matches!(b0.recv_timeout(Duration::from_secs(5)), Err(ProtoError::Disconnected)));
+        assert!(matches!(b1.recv_timeout(Duration::from_secs(5)), Err(ProtoError::Disconnected)));
+        assert!(b0.send(msg(MsgType::BeUsrData, 0)).is_err());
+    }
+
+    #[test]
+    fn duplicate_session_ids_rejected() {
+        let (near, _far) = SessionMux::pair();
+        let _a = near.open(5).unwrap();
+        assert!(matches!(near.open(5), Err(ProtoError::InvalidField { .. })));
+    }
+
+    #[test]
+    fn orphan_frames_are_counted_not_fatal() {
+        let (near, far) = SessionMux::pair();
+        let a = near.open(0).unwrap();
+        let _b = far.open(0).unwrap();
+        let unopened = near.open(9).unwrap();
+        unopened.send(msg(MsgType::BeUsrData, 1)).unwrap(); // peer never opened 9
+        a.send(msg(MsgType::BeUsrData, 2)).unwrap();
+        assert_eq!(_b.recv().unwrap().tag, 2, "live session unaffected");
+        assert_eq!(far.orphan_frames(), 1);
+    }
+
+    #[test]
+    fn peak_session_count_tracks_high_water_mark() {
+        let (near, _far) = SessionMux::pair();
+        let eps: Vec<_> = (0..16).map(|i| near.open(i).unwrap()).collect();
+        assert_eq!(near.peak_session_count(), 16);
+        drop(eps);
+        assert_eq!(near.session_count(), 0);
+        assert_eq!(near.peak_session_count(), 16, "peak survives teardown");
+    }
+
+    #[test]
+    fn concurrent_sessions_pump_for_each_other() {
+        // 8 receiver threads blocked on distinct sessions; a single sender
+        // interleaves traffic. Whichever endpoint happens to hold the pump
+        // routes for everyone — no thread starves.
+        let (near, far) = SessionMux::pair();
+        let senders: Vec<_> = (0..8).map(|i| near.open(i).unwrap()).collect();
+        let handles: Vec<_> = (0..8)
+            .map(|i| {
+                let ep = far.open(i).unwrap();
+                std::thread::spawn(move || {
+                    let mut tags = Vec::new();
+                    for _ in 0..50 {
+                        tags.push(ep.recv().unwrap().tag);
+                    }
+                    tags
+                })
+            })
+            .collect();
+        for round in 0..50u16 {
+            for (i, s) in senders.iter().enumerate() {
+                s.send(msg(MsgType::BeUsrData, round * 8 + i as u16)).unwrap();
+            }
+        }
+        for (i, h) in handles.into_iter().enumerate() {
+            let tags = h.join().unwrap();
+            let expect: Vec<u16> = (0..50u16).map(|r| r * 8 + i as u16).collect();
+            assert_eq!(tags, expect, "session {i} messages in order, none crossed streams");
+        }
+    }
+
+    #[test]
+    fn fan_in_of_512_sessions_costs_one_physical_channel() {
+        // The paper's fd-wall fix as a type-level property: 512 logical
+        // sessions, one physical link, zero extra channels anywhere.
+        let (near, far) = SessionMux::pair();
+        let far_eps: Vec<_> = (0..512).map(|i| far.open(i).unwrap()).collect();
+        let near_eps: Vec<_> = (0..512).map(|i| near.open(i).unwrap()).collect();
+        for ep in &near_eps {
+            ep.send(msg(MsgType::BeUsrData, ep.session_id())).unwrap();
+        }
+        for ep in &far_eps {
+            assert_eq!(ep.recv().unwrap().tag, ep.session_id());
+        }
+        assert_eq!(near.session_count(), 512);
+        assert_eq!(near.peak_session_count(), 512);
+        assert_eq!(near.physical_links(), 1);
+        assert_eq!(far.physical_links(), 1);
+    }
+}

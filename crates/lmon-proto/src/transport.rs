@@ -1,7 +1,7 @@
 //! Message transports: how LMONP messages move between components.
 //!
 //! LMONP in the paper runs over TCP/IP between exactly one representative
-//! per component (§3.5). This crate provides two interchangeable transports
+//! per component (§3.5). This crate provides interchangeable transports
 //! behind the [`MsgChannel`] trait:
 //!
 //! * [`LocalChannel`] — crossbeam channels for the in-process virtual
@@ -9,12 +9,27 @@
 //!   examples, and the tools.
 //! * [`TcpChannel`] — real TCP over localhost, exercising the incremental
 //!   [`crate::frame::FrameReader`] against genuine socket semantics.
+//! * [`crate::fault::FaultyChannel`] — any channel plus a deterministic
+//!   frame-fault plan.
+//! * [`crate::mux::MuxEndpoint`] — one logical session of a
+//!   [`crate::mux::SessionMux`] carried over a single shared channel.
 //!
-//! Both enforce the LMONP rule that user payloads piggyback on the same
+//! All enforce the LMONP rule that user payloads piggyback on the same
 //! message rather than using a second connection.
+//!
+//! Channel objects are *shareable*: every method takes `&self` and the
+//! trait requires `Sync`, so one physical connection can be referenced from
+//! many threads (the session mux depends on this). Transports with
+//! per-direction stream state ([`TcpChannel`]) keep it behind internal
+//! locks — receivers serialize on the framing state, senders on the write
+//! path so concurrent frames can never interleave partial writes — which is
+//! exactly the one-representative-per-component discipline LMONP
+//! prescribes.
 
 use std::io::{Read, Write};
 use std::net::{TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
 use std::time::Duration;
 
 use crossbeam_channel::{bounded, unbounded, Receiver, RecvTimeoutError, Sender};
@@ -24,16 +39,20 @@ use crate::frame::{encode_msg, FrameReader};
 use crate::msg::LmonpMsg;
 
 /// A bidirectional, message-oriented LMONP connection endpoint.
-pub trait MsgChannel: Send {
+///
+/// Object-safe and shareable: `LocalChannel`, `TcpChannel`, `FaultyChannel`
+/// and mux `Endpoint`s are interchangeable as `Box<dyn MsgChannel>` in the
+/// live FE/BE/MW stack.
+pub trait MsgChannel: Send + Sync {
     /// Send one message to the peer.
     fn send(&self, msg: LmonpMsg) -> ProtoResult<()>;
 
     /// Block until the next message arrives.
-    fn recv(&mut self) -> ProtoResult<LmonpMsg>;
+    fn recv(&self) -> ProtoResult<LmonpMsg>;
 
     /// Block for at most `timeout` waiting for the next message; `Ok(None)`
     /// on timeout.
-    fn recv_timeout(&mut self, timeout: Duration) -> ProtoResult<Option<LmonpMsg>>;
+    fn recv_timeout(&self, timeout: Duration) -> ProtoResult<Option<LmonpMsg>>;
 
     /// Bytes sent so far on this endpoint (for instrumentation and the
     /// performance model's message-volume accounting).
@@ -48,7 +67,7 @@ pub trait MsgChannel: Send {
 pub struct LocalChannel {
     tx: Sender<LmonpMsg>,
     rx: Receiver<LmonpMsg>,
-    sent_bytes: std::sync::atomic::AtomicU64,
+    sent_bytes: AtomicU64,
 }
 
 impl LocalChannel {
@@ -78,15 +97,15 @@ impl MsgChannel for LocalChannel {
     fn send(&self, msg: LmonpMsg) -> ProtoResult<()> {
         let len = msg.wire_len() as u64;
         self.tx.send(msg).map_err(|_| ProtoError::Disconnected)?;
-        self.sent_bytes.fetch_add(len, std::sync::atomic::Ordering::Relaxed);
+        self.sent_bytes.fetch_add(len, Ordering::Relaxed);
         Ok(())
     }
 
-    fn recv(&mut self) -> ProtoResult<LmonpMsg> {
+    fn recv(&self) -> ProtoResult<LmonpMsg> {
         self.rx.recv().map_err(|_| ProtoError::Disconnected)
     }
 
-    fn recv_timeout(&mut self, timeout: Duration) -> ProtoResult<Option<LmonpMsg>> {
+    fn recv_timeout(&self, timeout: Duration) -> ProtoResult<Option<LmonpMsg>> {
         match self.rx.recv_timeout(timeout) {
             Ok(m) => Ok(Some(m)),
             Err(RecvTimeoutError::Timeout) => Ok(None),
@@ -95,7 +114,7 @@ impl MsgChannel for LocalChannel {
     }
 
     fn bytes_sent(&self) -> u64 {
-        self.sent_bytes.load(std::sync::atomic::Ordering::Relaxed)
+        self.sent_bytes.load(Ordering::Relaxed)
     }
 }
 
@@ -104,11 +123,36 @@ impl MsgChannel for LocalChannel {
 // ---------------------------------------------------------------------------
 
 /// TCP transport endpoint carrying framed LMONP messages.
+///
+/// Receive-side state (the incremental [`FrameReader`] and its scratch
+/// buffer) lives behind an internal lock so the channel is shareable like
+/// every other [`MsgChannel`]; concurrent receivers serialize on it. Sends
+/// hold their own lock across the whole `write_all`, because a frame larger
+/// than the socket buffer takes several write syscalls — two unserialized
+/// senders would interleave byte ranges and desync the peer's frame stream.
 pub struct TcpChannel {
     stream: TcpStream,
+    recv_state: Mutex<TcpRecvState>,
+    send_lock: Mutex<()>,
+    sent_bytes: AtomicU64,
+}
+
+struct TcpRecvState {
     reader: FrameReader,
-    sent_bytes: u64,
     read_buf: Vec<u8>,
+}
+
+impl TcpRecvState {
+    fn fill(&mut self, mut stream: &TcpStream) -> ProtoResult<usize> {
+        // `Read` is implemented for `&TcpStream`, so reads work through a
+        // shared stream reference under the recv lock.
+        let n = stream.read(&mut self.read_buf)?;
+        if n == 0 {
+            return Err(ProtoError::Disconnected);
+        }
+        self.reader.extend(&self.read_buf[..n]);
+        Ok(n)
+    }
 }
 
 impl TcpChannel {
@@ -123,9 +167,12 @@ impl TcpChannel {
     pub fn from_stream(stream: TcpStream) -> Self {
         TcpChannel {
             stream,
-            reader: FrameReader::new(),
-            sent_bytes: 0,
-            read_buf: vec![0u8; 64 * 1024],
+            recv_state: Mutex::new(TcpRecvState {
+                reader: FrameReader::new(),
+                read_buf: vec![0u8; 64 * 1024],
+            }),
+            send_lock: Mutex::new(()),
+            sent_bytes: AtomicU64::new(0),
         }
     }
 
@@ -135,45 +182,41 @@ impl TcpChannel {
         stream.set_nodelay(true)?;
         Ok(TcpChannel::from_stream(stream))
     }
-
-    fn fill(&mut self) -> ProtoResult<usize> {
-        let n = self.stream.read(&mut self.read_buf)?;
-        if n == 0 {
-            return Err(ProtoError::Disconnected);
-        }
-        self.reader.extend(&self.read_buf[..n]);
-        Ok(n)
-    }
 }
 
 impl MsgChannel for TcpChannel {
     fn send(&self, msg: LmonpMsg) -> ProtoResult<()> {
         let bytes = encode_msg(&msg);
         // `Write` needs `&mut`; TcpStream allows writes through `&self` via
-        // its `&TcpStream` impl.
+        // its `&TcpStream` impl. The lock keeps the frame contiguous on the
+        // wire when several threads share the channel.
+        let _wire = self.send_lock.lock().unwrap_or_else(|e| e.into_inner());
         (&self.stream).write_all(&bytes)?;
+        self.sent_bytes.fetch_add(bytes.len() as u64, Ordering::Relaxed);
         Ok(())
     }
 
-    fn recv(&mut self) -> ProtoResult<LmonpMsg> {
+    fn recv(&self) -> ProtoResult<LmonpMsg> {
+        let mut state = self.recv_state.lock().unwrap_or_else(|e| e.into_inner());
         self.stream.set_read_timeout(None)?;
         loop {
-            if let Some(msg) = self.reader.next_msg()? {
+            if let Some(msg) = state.reader.next_msg()? {
                 return Ok(msg);
             }
-            self.fill()?;
+            state.fill(&self.stream)?;
         }
     }
 
-    fn recv_timeout(&mut self, timeout: Duration) -> ProtoResult<Option<LmonpMsg>> {
-        if let Some(msg) = self.reader.next_msg()? {
+    fn recv_timeout(&self, timeout: Duration) -> ProtoResult<Option<LmonpMsg>> {
+        let mut state = self.recv_state.lock().unwrap_or_else(|e| e.into_inner());
+        if let Some(msg) = state.reader.next_msg()? {
             return Ok(Some(msg));
         }
         self.stream.set_read_timeout(Some(timeout))?;
-        let res = self.fill();
+        let res = state.fill(&self.stream);
         self.stream.set_read_timeout(None)?;
         match res {
-            Ok(_) => self.reader.next_msg(),
+            Ok(_) => state.reader.next_msg(),
             Err(ProtoError::Io(e))
                 if e.kind() == std::io::ErrorKind::WouldBlock
                     || e.kind() == std::io::ErrorKind::TimedOut =>
@@ -185,7 +228,7 @@ impl MsgChannel for TcpChannel {
     }
 
     fn bytes_sent(&self) -> u64 {
-        self.sent_bytes
+        self.sent_bytes.load(Ordering::Relaxed)
     }
 }
 
@@ -200,7 +243,7 @@ mod tests {
 
     #[test]
     fn local_pair_roundtrip() {
-        let (a, mut b) = LocalChannel::pair();
+        let (a, b) = LocalChannel::pair();
         a.send(msg(1)).unwrap();
         a.send(msg(2)).unwrap();
         assert_eq!(b.recv().unwrap().tag, 1);
@@ -210,14 +253,14 @@ mod tests {
 
     #[test]
     fn local_recv_timeout_expires() {
-        let (_a, mut b) = LocalChannel::pair();
+        let (_a, b) = LocalChannel::pair();
         let got = b.recv_timeout(Duration::from_millis(10)).unwrap();
         assert!(got.is_none());
     }
 
     #[test]
     fn local_disconnect_detected() {
-        let (a, mut b) = LocalChannel::pair();
+        let (a, b) = LocalChannel::pair();
         drop(a);
         assert!(matches!(b.recv(), Err(ProtoError::Disconnected)));
     }
@@ -227,11 +270,11 @@ mod tests {
         let listener = TcpListener::bind("127.0.0.1:0").unwrap();
         let addr = listener.local_addr().unwrap();
         let h = std::thread::spawn(move || {
-            let mut server = TcpChannel::accept(&listener).unwrap();
+            let server = TcpChannel::accept(&listener).unwrap();
             let m = server.recv().unwrap();
             server.send(m.clone().with_tag(m.tag + 1)).unwrap();
         });
-        let mut client = TcpChannel::connect(addr).unwrap();
+        let client = TcpChannel::connect(addr).unwrap();
         client.send(msg(10)).unwrap();
         let reply = client.recv().unwrap();
         assert_eq!(reply.tag, 11);
@@ -243,7 +286,7 @@ mod tests {
         let listener = TcpListener::bind("127.0.0.1:0").unwrap();
         let addr = listener.local_addr().unwrap();
         let h = std::thread::spawn(move || {
-            let mut server = TcpChannel::accept(&listener).unwrap();
+            let server = TcpChannel::accept(&listener).unwrap();
             let mut tags = Vec::new();
             for _ in 0..50 {
                 tags.push(server.recv().unwrap().tag);
@@ -266,7 +309,7 @@ mod tests {
             let _server = TcpChannel::accept(&listener).unwrap();
             std::thread::sleep(Duration::from_millis(100));
         });
-        let mut client = TcpChannel::connect(addr).unwrap();
+        let client = TcpChannel::connect(addr).unwrap();
         let got = client.recv_timeout(Duration::from_millis(20)).unwrap();
         assert!(got.is_none());
         h.join().unwrap();

@@ -11,7 +11,7 @@ use lmon_proto::rpdtab::{ProcDesc, Rpdtab};
 use lmon_proto::wire::{WireDecode, WireEncode};
 
 fn arb_msg_type() -> impl Strategy<Value = MsgType> {
-    (0u8..=20).prop_map(|b| MsgType::from_bits(b).unwrap())
+    (0u8..=22).prop_map(|b| MsgType::from_bits(b).unwrap())
 }
 
 fn arb_msg_class() -> impl Strategy<Value = MsgClass> {

@@ -22,7 +22,7 @@ fn full_handshake_over_tcp() {
     // The "master daemon": connects, hellos, receives launch info + RPDTAB,
     // replies ready with piggybacked tool data.
     let daemon = std::thread::spawn(move || {
-        let mut chan = TcpChannel::connect(addr).unwrap();
+        let chan = TcpChannel::connect(addr).unwrap();
         let hello = Hello {
             cookie: cookie.cookie,
             epoch: cookie.epoch,
@@ -48,7 +48,7 @@ fn full_handshake_over_tcp() {
     });
 
     // The "front end": accepts, verifies the cookie, runs its side.
-    let mut fe = TcpChannel::accept(&listener).unwrap();
+    let fe = TcpChannel::accept(&listener).unwrap();
     let hello_msg = fe.recv().unwrap();
     assert_eq!(hello_msg.mtype, MsgType::BeHello);
     let hello: Hello = hello_msg.decode_lmon().unwrap();
@@ -86,7 +86,7 @@ fn wrong_cookie_over_tcp_is_rejected() {
         chan.send(LmonpMsg::of_type(MsgType::BeHello).with_lmon(&hello)).unwrap();
     });
 
-    let mut fe = TcpChannel::accept(&listener).unwrap();
+    let fe = TcpChannel::accept(&listener).unwrap();
     let hello: Hello = fe.recv().unwrap().decode_lmon().unwrap();
     assert!(real.verify_hello(&hello).is_err(), "forged cookie must fail");
     daemon.join().unwrap();
@@ -102,7 +102,7 @@ fn large_rpdtab_streams_over_tcp() {
     let expect = table.clone();
 
     let receiver = std::thread::spawn(move || {
-        let mut chan = TcpChannel::accept(&listener).unwrap();
+        let chan = TcpChannel::accept(&listener).unwrap();
         let msg = chan.recv().unwrap();
         let got: Rpdtab = msg.decode_lmon().unwrap();
         assert_eq!(got, expect);
@@ -120,7 +120,7 @@ fn interleaved_usrdata_streams_keep_order() {
     let addr = listener.local_addr().unwrap();
 
     let peer = std::thread::spawn(move || {
-        let mut chan = TcpChannel::accept(&listener).unwrap();
+        let chan = TcpChannel::accept(&listener).unwrap();
         let mut tags = Vec::new();
         for _ in 0..100 {
             let msg = chan.recv().unwrap();

@@ -334,6 +334,12 @@ mod tests {
         let lm = run_stat_launchmon(&fe, launcher, 4).expect("launchmon stat");
         assert_eq!(lm.rsh_connects, 0, "LaunchMON path uses the RM, not rsh");
         assert_eq!(lm.tree.rank_count(), 32);
+        // The STAT session's LMONP traffic rode the mux: one physical
+        // FE↔BE channel, session sub-stream closed again after detach.
+        let stats = fe.transport_stats();
+        assert_eq!(stats.be_physical_links, 1);
+        assert!(stats.be_peak_sessions >= 1);
+        assert_eq!(stats.be_sessions, 0, "detach closed the sub-stream");
 
         let hosts: Vec<String> = (0..4).map(|i| cluster.config().hostname(i)).collect();
         let adhoc = run_stat_adhoc(&cluster, &hosts, 32).unwrap();

@@ -239,7 +239,7 @@ fn chaos_dropped_hello_frame_surfaces_as_timeout_not_hang() {
     // Model the BE-master side of the FE handshake losing its first frame
     // (the hello): the FE-side receive must expire, and the retransmitted
     // hello must still go through.
-    let (be_side, mut fe_side) = LocalChannel::pair();
+    let (be_side, fe_side) = LocalChannel::pair();
     let plan = FaultPlan::new().drop_frame(0);
     let be_side = FaultyChannel::new(be_side, plan.frame_plan());
 
@@ -255,7 +255,7 @@ fn chaos_dropped_hello_frame_surfaces_as_timeout_not_hang() {
 
 #[test]
 fn chaos_delayed_frames_arrive_late_in_order_and_intact() {
-    let (tx, mut rx) = LocalChannel::pair();
+    let (tx, rx) = LocalChannel::pair();
     let tx = FaultyChannel::new(
         tx,
         FaultPlan::new().delay_frame(0, Duration::from_millis(40)).frame_plan(),
@@ -356,6 +356,140 @@ fn chaos_healthy_overlay_still_gathers_under_inert_plan() {
     for h in handles {
         h.join().unwrap();
     }
+}
+
+// ---------------------------------------------------------------------------
+// Steady-state scenarios over the live mux endpoints: faults *after* the
+// session reached `ready`, where ad hoc stacks hang and LaunchMON must
+// surface a typed error or recover.
+// ---------------------------------------------------------------------------
+
+/// BE master dies right after `ready` (its daemon body returns, dropping
+/// the mux endpoint). The FE's next receive on that session must surface a
+/// per-session disconnect — promptly, via the mux close frame — not burn
+/// the full timeout, and other sessions on the same physical link must be
+/// untouched.
+#[test]
+fn chaos_be_death_after_ready_is_disconnect_not_timeout() {
+    let cluster = VirtualCluster::new(ClusterConfig::with_nodes(4));
+    let rm: Arc<dyn ResourceManager> = Arc::new(SlurmRm::new(cluster));
+    let fe = LmonFrontEnd::init(rm).unwrap();
+
+    // Session A: daemons die immediately after the handshake.
+    let dying = fe.create_session();
+    let die_after_ready: BeMain = Arc::new(|_be| {
+        // Returning here drops the BeSession (and the master's mux
+        // endpoint) the instant the handshake completes.
+    });
+    fe.launch_and_spawn(dying, "app", &[], 2, 1, DaemonSpec::bare("d"), die_after_ready).unwrap();
+
+    // Session B on the same FE: healthy echo daemons, same physical link.
+    let healthy = fe.create_session();
+    let echo: BeMain = Arc::new(|be| {
+        if be.am_i_master() {
+            if let Ok(data) = be.recv_usrdata(Duration::from_secs(10)) {
+                let _ = be.send_usrdata(data);
+            }
+        }
+        let _ = be.wait_shutdown();
+    });
+    fe.launch_and_spawn(healthy, "app2", &[], 2, 1, DaemonSpec::bare("d"), echo).unwrap();
+
+    // The dead session reports Disconnected fast (close frame, no timeout).
+    let t0 = std::time::Instant::now();
+    let err = fe.recv_usrdata(dying, Duration::from_secs(10)).unwrap_err();
+    assert!(
+        matches!(
+            err,
+            launchmon::core::LmonError::Proto(launchmon::proto::ProtoError::Disconnected)
+        ),
+        "daemon death after ready must surface as a disconnect, got {err:?}"
+    );
+    assert!(t0.elapsed() < Duration::from_secs(2), "disconnect was detected, not timed out");
+
+    // The healthy session still round-trips over the shared link.
+    fe.send_usrdata(healthy, b"still alive".to_vec()).unwrap();
+    assert_eq!(fe.recv_usrdata(healthy, Duration::from_secs(10)).unwrap(), b"still alive");
+
+    fe.kill(dying).unwrap();
+    fe.detach(healthy).unwrap();
+    fe.shutdown().unwrap();
+}
+
+/// A usrdata frame is lost mid-session on the *live* FE handshake channel
+/// (the FaultPlan's frame hooks applied through `spawn_common`, riding the
+/// mux endpoint): the BE observes a receive timeout for the lost frame and
+/// the FE's retry goes through — loss degrades to a typed timeout plus
+/// recovery, never a hang or reordering.
+#[test]
+fn chaos_usrdata_frame_loss_mid_session_recovers_on_retry() {
+    let cluster = VirtualCluster::new(ClusterConfig::with_nodes(2));
+    let rm: Arc<dyn ResourceManager> = Arc::new(SlurmRm::new(cluster));
+    let fe = LmonFrontEnd::init(rm).unwrap();
+
+    // FE-side frames on the session channel: 0 = BeLaunchInfo,
+    // 1 = BeRpdtab, 2 = first usrdata — drop exactly that one.
+    let plan = FaultPlan::new().drop_frame(2);
+    fe.install_handshake_fault_plan(plan.frame_plan());
+
+    let session = fe.create_session();
+    let be_main: BeMain = Arc::new(|be| {
+        if be.am_i_master() {
+            // The first send was dropped in flight: a bounded receive must
+            // expire rather than hang.
+            let first = match be.recv_usrdata(Duration::from_millis(200)) {
+                Err(_) => "lost".to_string(),
+                Ok(v) => format!("unexpected:{}", String::from_utf8_lossy(&v)),
+            };
+            // The FE retry is the next frame and must arrive intact.
+            let second = be.recv_usrdata(Duration::from_secs(10)).expect("retry delivers");
+            let report = format!("{first}+{}", String::from_utf8_lossy(&second));
+            be.send_usrdata(report.into_bytes()).expect("report send");
+        }
+        let _ = be.wait_shutdown();
+    });
+    fe.launch_and_spawn(session, "app", &[], 2, 1, DaemonSpec::bare("d"), be_main).unwrap();
+
+    fe.send_usrdata(session, b"first".to_vec()).unwrap(); // silently dropped
+    std::thread::sleep(Duration::from_millis(300)); // let the BE's bounded recv expire
+    fe.send_usrdata(session, b"second".to_vec()).unwrap(); // the retry
+
+    let report = fe.recv_usrdata(session, Duration::from_secs(10)).unwrap();
+    assert_eq!(
+        String::from_utf8_lossy(&report),
+        "lost+second",
+        "BE saw a timeout for the dropped frame, then the retry, in order"
+    );
+    fe.detach(session).unwrap();
+    fe.shutdown().unwrap();
+}
+
+/// The fault plan can also strand the handshake itself: dropping both of
+/// the FE's handshake frames (BeLaunchInfo *and* BeRpdtab) leaves the
+/// master waiting silently, so the launch fails with a *bounded,
+/// attributable* timeout on the ready wait — the live-handshake fault path
+/// the ROADMAP called for. (Dropping only BeLaunchInfo fails even faster:
+/// the master flags the out-of-order BeRpdtab and closes the session.)
+#[test]
+fn chaos_dropped_launch_info_frame_times_out_live_handshake() {
+    let cluster = VirtualCluster::new(ClusterConfig::with_nodes(2));
+    let rm: Arc<dyn ResourceManager> = Arc::new(SlurmRm::new(cluster));
+    let fe = LmonFrontEnd::init(rm).unwrap();
+    fe.set_handshake_timeout(Duration::from_millis(400));
+    fe.install_handshake_fault_plan(FaultPlan::new().drop_frame(0).drop_frame(1).frame_plan());
+
+    let session = fe.create_session();
+    let be_main: BeMain = Arc::new(|be| {
+        let _ = be.wait_shutdown();
+    });
+    let err =
+        fe.launch_and_spawn(session, "app", &[], 2, 1, DaemonSpec::bare("d"), be_main).unwrap_err();
+    assert!(
+        matches!(err, launchmon::core::LmonError::Timeout("waiting for BE ready")),
+        "lost launch-info frame must surface as the ready timeout, got {err:?}"
+    );
+    fe.kill(session).unwrap();
+    fe.shutdown().unwrap();
 }
 
 // ---------------------------------------------------------------------------

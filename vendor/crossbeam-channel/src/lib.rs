@@ -4,13 +4,20 @@
 //! The build environment has no network access to a crates registry, so this
 //! crate provides the surface the workspace uses: MPMC [`unbounded`] and
 //! [`bounded`] channels with cloneable [`Sender`]s *and* [`Receiver`]s, the
-//! timeout/try receive variants, and a polling [`select!`] macro covering the
-//! `recv(rx) -> msg => { ... }` arm form.
+//! timeout/try receive variants, and an event-driven [`select!`] macro
+//! covering the `recv(rx) -> msg => { ... }` arm form.
 //!
 //! Implementation: a `Mutex<VecDeque>` plus two condvars per channel.
 //! Disconnection follows crossbeam semantics — a channel is disconnected
 //! once all senders *or* all receivers are dropped; receivers drain buffered
 //! messages before reporting disconnection.
+//!
+//! Multi-channel waits ([`select!`], and any consumer building its own
+//! readiness loop) use a [`SelectWaker`]: a shared epoch condvar that every
+//! watched channel bumps on send *and* on disconnect, so a blocked select
+//! wakes the moment any arm becomes ready instead of sleeping out a park
+//! interval. [`Receiver::watch`] registers a waker; registrations are weak,
+//! so dropping the waker unregisters it automatically.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -18,8 +25,80 @@
 use std::collections::VecDeque;
 use std::fmt;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, Weak};
 use std::time::{Duration, Instant};
+
+/// Correctness backstop for [`SelectWaker::wait`]: even if a wakeup were
+/// somehow missed, a waiter re-polls after this long. The epoch protocol
+/// makes missed wakeups impossible for watched channels, so in practice
+/// waits end on the condvar, not this cap.
+const WAKER_FALLBACK_PARK: Duration = Duration::from_millis(500);
+
+/// A shared readiness signal for multi-channel waits.
+///
+/// Protocol: read [`SelectWaker::epoch`], poll every watched channel with
+/// [`Receiver::try_recv`], and if nothing was ready call
+/// [`SelectWaker::wait`] with the epoch read *before* polling. Any send or
+/// disconnect on a watched channel bumps the epoch and notifies, so an event
+/// that lands between the poll sweep and the wait makes the wait return
+/// immediately — no missed wakeups, no sleep-polling.
+#[derive(Clone)]
+pub struct SelectWaker {
+    inner: Arc<WakerInner>,
+}
+
+struct WakerInner {
+    epoch: Mutex<u64>,
+    cv: Condvar,
+}
+
+impl SelectWaker {
+    /// A fresh waker, not yet watching any channel.
+    #[allow(clippy::new_without_default)]
+    pub fn new() -> Self {
+        SelectWaker { inner: Arc::new(WakerInner { epoch: Mutex::new(0), cv: Condvar::new() }) }
+    }
+
+    /// The current epoch; pass it to [`SelectWaker::wait`] after polling.
+    pub fn epoch(&self) -> u64 {
+        *self.inner.epoch.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Block until the epoch moves past `seen` (an event arrived on some
+    /// watched channel) or the fallback park cap elapses.
+    pub fn wait(&self, seen: u64) {
+        self.wait_timeout(seen, WAKER_FALLBACK_PARK);
+    }
+
+    /// [`SelectWaker::wait`] with an explicit cap; returns `true` if the
+    /// epoch advanced (a real event) rather than the cap expiring.
+    pub fn wait_timeout(&self, seen: u64, cap: Duration) -> bool {
+        let deadline = Instant::now() + cap;
+        let mut epoch = self.inner.epoch.lock().unwrap_or_else(|e| e.into_inner());
+        while *epoch == seen {
+            let remaining = deadline.saturating_duration_since(Instant::now());
+            if remaining.is_zero() {
+                return false;
+            }
+            let (e, _res) =
+                self.inner.cv.wait_timeout(epoch, remaining).unwrap_or_else(|e| e.into_inner());
+            epoch = e;
+        }
+        true
+    }
+
+    fn downgrade(&self) -> Weak<WakerInner> {
+        Arc::downgrade(&self.inner)
+    }
+}
+
+impl WakerInner {
+    fn bump(&self) {
+        let mut epoch = self.epoch.lock().unwrap_or_else(|e| e.into_inner());
+        *epoch = epoch.wrapping_add(1);
+        self.cv.notify_all();
+    }
+}
 
 /// Error returned by [`Sender::send`] when every receiver is gone; carries
 /// the unsent message.
@@ -68,6 +147,13 @@ struct Inner<T> {
     receivers: AtomicUsize,
     not_empty: Condvar,
     not_full: Condvar,
+    /// Wakers watching this channel for readiness ([`Receiver::watch`]).
+    /// Weak so a finished select unregisters itself by dropping its waker;
+    /// dead entries are pruned on every notification sweep.
+    wakers: Mutex<Vec<Weak<WakerInner>>>,
+    /// Fast-path guard: sends skip the `wakers` lock entirely while nothing
+    /// is watching.
+    waker_count: AtomicUsize,
 }
 
 impl<T> Inner<T> {
@@ -77,6 +163,22 @@ impl<T> Inner<T> {
 
     fn disconnected_for_send(&self) -> bool {
         self.receivers.load(Ordering::SeqCst) == 0
+    }
+
+    /// Bump every live watcher (called after a send or a disconnect).
+    fn notify_wakers(&self) {
+        if self.waker_count.load(Ordering::SeqCst) == 0 {
+            return;
+        }
+        let mut wakers = self.wakers.lock().unwrap_or_else(|e| e.into_inner());
+        wakers.retain(|w| match w.upgrade() {
+            Some(inner) => {
+                inner.bump();
+                true
+            }
+            None => false,
+        });
+        self.waker_count.store(wakers.len(), Ordering::SeqCst);
     }
 }
 
@@ -114,6 +216,8 @@ fn channel<T>(cap: Option<usize>) -> (Sender<T>, Receiver<T>) {
         receivers: AtomicUsize::new(1),
         not_empty: Condvar::new(),
         not_full: Condvar::new(),
+        wakers: Mutex::new(Vec::new()),
+        waker_count: AtomicUsize::new(0),
     });
     (Sender { inner: inner.clone() }, Receiver { inner })
 }
@@ -130,8 +234,14 @@ impl<T> Drop for Sender<T> {
         if self.inner.senders.fetch_sub(1, Ordering::SeqCst) == 1 {
             // Last sender gone: wake all blocked receivers so they observe
             // the disconnect.
-            let _guard = self.inner.queue.lock().unwrap_or_else(|e| e.into_inner());
-            self.inner.not_empty.notify_all();
+            {
+                let _guard = self.inner.queue.lock().unwrap_or_else(|e| e.into_inner());
+                self.inner.not_empty.notify_all();
+            }
+            // And every select watching this channel: a disconnected arm is
+            // ready (it fires with `Err(RecvError)`), so it must wake now
+            // rather than wait out a park interval.
+            self.inner.notify_wakers();
         }
     }
 }
@@ -182,6 +292,7 @@ impl<T> Sender<T> {
         queue.push_back(msg);
         drop(queue);
         self.inner.not_empty.notify_one();
+        self.inner.notify_wakers();
         Ok(())
     }
 
@@ -275,6 +386,18 @@ impl<T> Receiver<T> {
     pub fn try_iter(&self) -> impl Iterator<Item = T> + '_ {
         std::iter::from_fn(move || self.try_recv().ok())
     }
+
+    /// Register `waker` to be bumped whenever this channel gains a message
+    /// or disconnects. Registration is weak: dropping the waker (or every
+    /// clone of it) unregisters automatically. Dead registrations are
+    /// pruned here as well as on notification, so a select loop over a
+    /// channel that never receives traffic cannot accumulate them.
+    pub fn watch(&self, waker: &SelectWaker) {
+        let mut wakers = self.inner.wakers.lock().unwrap_or_else(|e| e.into_inner());
+        wakers.retain(|w| w.strong_count() > 0);
+        wakers.push(waker.downgrade());
+        self.inner.waker_count.store(wakers.len(), Ordering::SeqCst);
+    }
 }
 
 /// Type-inference helper for `select!`: an `Err(RecvError)` result whose
@@ -284,14 +407,15 @@ pub fn __disconnected<T>(_rx: &Receiver<T>) -> Result<T, RecvError> {
     Err(RecvError)
 }
 
-/// Polling select over `recv(rx) -> msg => { ... }` arms.
+/// Event-driven select over `recv(rx) -> msg => { ... }` arms.
 ///
 /// Semantics match crossbeam for the supported form: an arm fires when its
 /// channel yields a message *or* observes disconnection (the bound variable
-/// is a `Result<T, RecvError>`). Readiness is checked by round-robin polling
-/// with a short park between sweeps rather than true event registration —
-/// adequate for the daemon loops in this workspace, where select sits at the
-/// top of a blocking state machine.
+/// is a `Result<T, RecvError>`). Readiness is event-driven: a
+/// [`SelectWaker`] is registered on every polled channel, and the macro
+/// blocks on its condvar between poll sweeps — a send or disconnect on any
+/// arm wakes the select immediately (the old implementation parked 200 µs
+/// between sweeps, which put that park on every comm-daemon hot path).
 /// The selected arm and its received value are encoded as nested `Result`s
 /// (arm 0 → `Ok(v)`, arm 1 → `Err(Ok(v))`, arm k → `Err^k(..)`) so the
 /// polling loop only *picks* an arm; the arm body runs **after** the loop.
@@ -304,9 +428,15 @@ macro_rules! select {
         $crate::select! { $(recv($rx) -> $msg => $body),+ }
     };
     ($(recv($rx:expr) -> $msg:pat => $body:expr),+ $(,)?) => {{
+        let __waker = $crate::SelectWaker::new();
+        $($crate::Receiver::watch(&$rx, &__waker);)+
         let __sel = loop {
+            // Epoch is read *before* the poll sweep: an event landing after
+            // a miss but before the wait advances the epoch, so the wait
+            // returns immediately — no missed wakeups.
+            let __epoch = $crate::SelectWaker::epoch(&__waker);
             $crate::select!(@poll () $(($rx))+);
-            ::std::thread::sleep(::std::time::Duration::from_micros(200));
+            $crate::SelectWaker::wait(&__waker, __epoch);
         };
         $crate::select!(@unpack __sel, $(($msg => $body))+)
     }};
@@ -482,6 +612,122 @@ mod tests {
             recv(rx_b) -> msg => msg,
         };
         assert_eq!(got, Ok(42));
+    }
+
+    #[test]
+    fn select_wakes_immediately_on_send_not_after_a_park() {
+        // The arm's message lands while the select is blocked; the wakeup
+        // must ride the waker condvar, far under the 500 ms fallback park.
+        let (tx, rx) = unbounded::<u32>();
+        let (_tx2, rx2) = unbounded::<u32>();
+        let h = thread::spawn(move || {
+            thread::sleep(Duration::from_millis(30));
+            let t_send = Instant::now();
+            tx.send(1).unwrap();
+            t_send
+        });
+        let t0 = Instant::now();
+        let got = select! {
+            recv(rx) -> msg => msg,
+            recv(rx2) -> msg => msg,
+        };
+        let woke = Instant::now();
+        assert_eq!(got, Ok(1));
+        let t_send = h.join().unwrap();
+        assert!(woke >= t_send, "select cannot fire before the send");
+        assert!(
+            woke.duration_since(t_send) < Duration::from_millis(100),
+            "wakeup took {:?}; select parked instead of waking on the event",
+            woke.duration_since(t_send)
+        );
+        assert!(t0.elapsed() >= Duration::from_millis(30), "select blocked until the send");
+    }
+
+    #[test]
+    fn select_closed_channel_arm_wakes_immediately() {
+        // Regression for the satellite: a channel whose last sender drops
+        // while the select is blocked must fire its disconnect arm at once,
+        // not after waiting out a park interval.
+        let (tx, rx) = bounded::<u32>(0); // zero-capacity arm
+        let (_tx2, rx2) = unbounded::<u32>();
+        let h = thread::spawn(move || {
+            thread::sleep(Duration::from_millis(30));
+            let t_drop = Instant::now();
+            drop(tx);
+            t_drop
+        });
+        let got = select! {
+            recv(rx) -> msg => msg,
+            recv(rx2) -> msg => msg,
+        };
+        let woke = Instant::now();
+        assert_eq!(got, Err(RecvError));
+        let t_drop = h.join().unwrap();
+        assert!(
+            woke.duration_since(t_drop) < Duration::from_millis(100),
+            "disconnect wakeup took {:?}; select waited out a park interval",
+            woke.duration_since(t_drop)
+        );
+    }
+
+    #[test]
+    fn select_already_closed_zero_capacity_arm_fires_without_waiting() {
+        let (tx, rx) = bounded::<u32>(0);
+        let (_tx2, rx2) = unbounded::<u32>();
+        drop(tx);
+        let t0 = Instant::now();
+        let got = select! {
+            recv(rx) -> msg => msg,
+            recv(rx2) -> msg => msg,
+        };
+        assert_eq!(got, Err(RecvError));
+        assert!(t0.elapsed() < Duration::from_millis(50), "no wait for an already-closed arm");
+    }
+
+    #[test]
+    fn waker_epoch_protocol_has_no_missed_wakeups() {
+        // Event lands between the poll sweep (epoch read) and the wait:
+        // the wait must return immediately because the epoch advanced.
+        let (tx, rx) = unbounded::<u32>();
+        let waker = SelectWaker::new();
+        rx.watch(&waker);
+        let seen = waker.epoch();
+        tx.send(9).unwrap(); // bumps the epoch
+        let t0 = Instant::now();
+        assert!(waker.wait_timeout(seen, Duration::from_secs(5)), "epoch advanced");
+        assert!(t0.elapsed() < Duration::from_millis(50));
+        assert_eq!(rx.try_recv(), Ok(9));
+    }
+
+    #[test]
+    fn dead_waker_registrations_are_pruned() {
+        let (tx, rx) = unbounded::<u32>();
+        for _ in 0..64 {
+            let w = SelectWaker::new();
+            rx.watch(&w);
+            // w drops here: registration goes dead.
+        }
+        tx.send(1).unwrap(); // notify sweep prunes every dead entry
+        assert_eq!(rx.inner.waker_count.load(Ordering::SeqCst), 0);
+        assert_eq!(rx.recv(), Ok(1));
+    }
+
+    #[test]
+    fn watch_prunes_dead_registrations_on_silent_channels() {
+        // A select loop re-registers each iteration; on a channel that
+        // never sends, the registration list must not grow unboundedly.
+        let (_tx, rx) = unbounded::<u32>();
+        for _ in 0..1000 {
+            let w = SelectWaker::new();
+            rx.watch(&w);
+        }
+        let live = SelectWaker::new();
+        rx.watch(&live);
+        assert!(
+            rx.inner.waker_count.load(Ordering::SeqCst) <= 2,
+            "dead entries must be pruned at registration time, found {}",
+            rx.inner.waker_count.load(Ordering::SeqCst)
+        );
     }
 
     #[test]
