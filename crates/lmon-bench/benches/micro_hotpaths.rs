@@ -1,6 +1,8 @@
 //! Criterion micro-benchmarks of the real hot paths:
 //!
 //! * LMONP header + message encode/decode and the incremental frame reader;
+//! * the mux carrier encode paths, legacy vs zero-copy, with a
+//!   bytes-copied-per-message counter ([`lmon_proto::frame::encode_bytes_copied`]);
 //! * RPDTAB encode/decode at several scales (the Region B/C payload);
 //! * STAT prefix-tree insert/merge/serialize (the TBON filter body);
 //! * ICCL collectives over the in-process fabric;
@@ -10,7 +12,7 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Through
 use std::hint::black_box;
 
 use lmon_iccl::{ChannelFabric, IcclComm, Topology};
-use lmon_proto::frame::{decode_msg, encode_msg, FrameReader};
+use lmon_proto::frame::{decode_msg, encode_bytes_copied, encode_msg, FrameReader, WireFrame};
 use lmon_proto::header::MsgType;
 use lmon_proto::msg::LmonpMsg;
 use lmon_proto::rpdtab::{synthetic_rpdtab, Rpdtab};
@@ -43,6 +45,70 @@ fn bench_lmonp_codec(c: &mut Criterion) {
         })
     });
     g.finish();
+}
+
+/// The mux carrier hot path, legacy vs zero-copy, with copy accounting.
+///
+/// The legacy path encodes the inner message whole, wraps it in a carrier
+/// and encodes that too (what PR 3's `SessionMux::send` did per message).
+/// The zero-copy path stages only header bytes and gathers payloads in
+/// place. Besides the wall-clock benches, this prints the measured
+/// bytes-copied-per-message for both, sampled from the process-wide
+/// encode-copy counter.
+fn bench_mux_carrier_encode(c: &mut Criterion) {
+    let inner = LmonpMsg::of_type(MsgType::BeUsrData)
+        .with_tag(7)
+        .with_lmon_payload(vec![0xA5; 256])
+        .with_usr_payload(vec![0x5A; 128]);
+
+    let mut g = c.benchmark_group("mux_carrier_encode");
+    g.throughput(Throughput::Bytes(inner.wire_len() as u64));
+    g.bench_function("legacy_double_encode", |b| {
+        b.iter(|| {
+            let carrier = LmonpMsg::of_type(MsgType::MuxData)
+                .with_tag(3)
+                .with_lmon_payload(encode_msg(black_box(&inner)));
+            encode_msg(&carrier)
+        })
+    });
+    g.bench_function("zero_copy_gather", |b| {
+        let mut scratch = Vec::new();
+        b.iter(|| {
+            let frame = WireFrame::Carrier { session: 3, msg: black_box(&inner).clone() };
+            let n: usize = frame.gather(&mut scratch).iter().map(|s| s.len()).sum();
+            black_box(n)
+        })
+    });
+    g.finish();
+
+    // Copied-bytes-per-message, measured off the live counter.
+    const SAMPLES: u64 = 1000;
+    let before = encode_bytes_copied();
+    for _ in 0..SAMPLES {
+        let carrier =
+            LmonpMsg::of_type(MsgType::MuxData).with_tag(3).with_lmon_payload(encode_msg(&inner));
+        black_box(encode_msg(&carrier));
+    }
+    let legacy_per_msg = (encode_bytes_copied() - before) / SAMPLES;
+    let mut scratch = Vec::new();
+    let before = encode_bytes_copied();
+    for _ in 0..SAMPLES {
+        let frame = WireFrame::Carrier { session: 3, msg: inner.clone() };
+        black_box(frame.gather(&mut scratch).len());
+    }
+    let zero_copy_per_msg = (encode_bytes_copied() - before) / SAMPLES;
+    println!(
+        "\nmux carrier encode, bytes copied per {}-byte message: legacy {} | zero-copy {} \
+         ({}x less)\n",
+        inner.wire_len(),
+        legacy_per_msg,
+        zero_copy_per_msg,
+        legacy_per_msg.checked_div(zero_copy_per_msg).unwrap_or(0),
+    );
+    assert!(
+        zero_copy_per_msg < legacy_per_msg,
+        "zero-copy path must copy measurably less than the legacy path"
+    );
 }
 
 fn bench_rpdtab(c: &mut Criterion) {
@@ -136,6 +202,7 @@ fn bench_dpcl_parse(c: &mut Criterion) {
 criterion_group!(
     benches,
     bench_lmonp_codec,
+    bench_mux_carrier_encode,
     bench_rpdtab,
     bench_stat_tree,
     bench_iccl,

@@ -1,6 +1,6 @@
 //! `transport_latency` — the event-driven transport core, quantified.
 //!
-//! Two measurements back the ISSUE 3 acceptance criteria:
+//! Measurements backing the ISSUE 3 and ISSUE 4 acceptance criteria:
 //!
 //! 1. **recv wakeup latency**: how long a parked consumer takes to observe
 //!    a message, comparing the workspace's previous transport behavior —
@@ -9,11 +9,17 @@
 //!    condvar-driven `recv()` and the reworked event-driven `select!`.
 //! 2. **mux fan-in throughput**: aggregate messages/second across K logical
 //!    sessions multiplexed over *one* physical channel, against K dedicated
-//!    channels (the pre-mux shape that cost K fds).
+//!    channels (the pre-mux shape that cost K fds). A batch sweep varies
+//!    the send-side coalescing bound (1 = pre-batching wire shape).
 //!
-//! Results print as tables and are written to `BENCH_transport.json` in the
-//! working directory (CI uploads it as an artifact). Quick mode for CI:
-//! set `LMON_BENCH_QUICK=1`.
+//! Results print as tables and are written to `BENCH_transport.json` at
+//! the workspace root (CI uploads it as an artifact); the JSON carries a
+//! `baseline` block (the PR 3 numbers) so the trajectory is
+//! self-describing. Quick mode for CI: set `LMON_BENCH_QUICK=1`.
+//!
+//! **Regression gate**: unless `LMON_BENCH_SKIP_GATE=1` (for noisy
+//! runners), the run fails if the new `mux_msgs_per_s` drops more than 30%
+//! below the value in the committed `BENCH_transport.json`.
 
 use std::io::Write as _;
 use std::time::{Duration, Instant};
@@ -26,6 +32,17 @@ use lmon_proto::transport::{LocalChannel, MsgChannel};
 
 /// The park interval the old polled `select!` used between sweeps.
 const OLD_POLL_PARK: Duration = Duration::from_micros(200);
+
+/// PR 3 committed numbers (pre zero-copy/batching): the fixed baseline the
+/// JSON artifact carries so any later reader can see the trajectory
+/// without digging through git history.
+const BASELINE_PR: u32 = 3;
+const BASELINE_MUX_MSGS_PER_S: f64 = 239_304.0;
+const BASELINE_DEDICATED_MSGS_PER_S: f64 = 1_641_882.0;
+
+/// Regression gate: fail when the new mux rate drops below this fraction
+/// of the committed one.
+const GATE_FLOOR: f64 = 0.70;
 
 fn quick_mode() -> bool {
     std::env::var("LMON_BENCH_QUICK").map(|v| v == "1").unwrap_or(false)
@@ -125,9 +142,11 @@ fn usr_msg(tag: u16) -> LmonpMsg {
     LmonpMsg::of_type(MsgType::BeUsrData).with_tag(tag).with_usr_payload(vec![0xA5; 64])
 }
 
-/// Fan-in throughput of K sessions over one mux link.
-fn mux_fanin(sessions: u16, per_session: usize) -> f64 {
+/// Fan-in throughput of K sessions over one mux link, with the send-side
+/// coalescing bound pinned to `max_batch` frames (1 disables batching).
+fn mux_fanin_batched(sessions: u16, per_session: usize, max_batch: usize) -> f64 {
     let (near, far) = SessionMux::pair();
+    near.set_max_batch_frames(max_batch);
     let receivers: Vec<_> = (0..sessions)
         .map(|i| {
             let ep = far.open(i).unwrap();
@@ -156,6 +175,11 @@ fn mux_fanin(sessions: u16, per_session: usize) -> f64 {
         h.join().unwrap();
     }
     (sessions as usize * per_session) as f64 / t0.elapsed().as_secs_f64()
+}
+
+/// Fan-in throughput at the default coalescing bound.
+fn mux_fanin(sessions: u16, per_session: usize) -> f64 {
+    mux_fanin_batched(sessions, per_session, lmon_proto::mux::DEFAULT_MAX_BATCH_FRAMES)
 }
 
 /// The pre-mux shape: K dedicated channels (K fds in a real deployment).
@@ -244,21 +268,62 @@ fn main() {
          (acceptance floor: 10x)"
     );
 
+    // The committed artifact is the regression reference; read it *before*
+    // overwriting. Quick- and full-mode rates are not comparable (different
+    // message counts), so the gate only arms when the committed artifact
+    // was produced in the same mode as this run.
+    let out = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_transport.json");
+    let committed = std::fs::read_to_string(&out).ok().and_then(|json| {
+        let committed_quick = json.contains("\"quick\": true");
+        if committed_quick != quick {
+            return None;
+        }
+        let mux = extract_number(&json, "\"mux_msgs_per_s\":")?;
+        let dedicated = extract_number(&json, "\"dedicated_msgs_per_s\":")?;
+        Some((mux, dedicated))
+    });
+
+    // Batch sweep: 1 (no coalescing — the pre-batching wire shape), 8, 64.
+    let batch_sweep: Vec<(usize, f64)> =
+        [1usize, 8, 64].iter().map(|&b| (b, mux_fanin_batched(sessions, per_session, b))).collect();
     let mux_rate = mux_fanin(sessions, per_session);
     let dedicated_rate = dedicated_fanin(sessions, per_session);
+
+    let mut rows = vec![
+        Row { x: "SessionMux".into(), values: vec![format!("{mux_rate:.0}"), "1".into()] },
+        Row {
+            x: "dedicated channels".into(),
+            values: vec![format!("{dedicated_rate:.0}"), sessions.to_string()],
+        },
+        Row {
+            x: format!("baseline (PR {BASELINE_PR}) mux"),
+            values: vec![format!("{BASELINE_MUX_MSGS_PER_S:.0}"), "1".into()],
+        },
+    ];
+    for (b, rate) in &batch_sweep {
+        rows.push(Row {
+            x: format!("SessionMux, batch<={b}"),
+            values: vec![format!("{rate:.0}"), "1".into()],
+        });
+    }
     print_table(
         "mux fan-in throughput (32 sessions)",
         "transport",
         &["msgs/s", "physical channels"],
-        &[
-            Row { x: "SessionMux".into(), values: vec![format!("{mux_rate:.0}"), "1".into()] },
-            Row {
-                x: "dedicated channels".into(),
-                values: vec![format!("{dedicated_rate:.0}"), sessions.to_string()],
-            },
-        ],
+        &rows,
+    );
+    println!(
+        "mux vs dedicated: {:.2}x gap (PR 3 baseline was {:.2}x); mux vs PR 3 mux: {:.2}x",
+        dedicated_rate / mux_rate,
+        BASELINE_DEDICATED_MSGS_PER_S / BASELINE_MUX_MSGS_PER_S,
+        mux_rate / BASELINE_MUX_MSGS_PER_S,
     );
 
+    let sweep_json = batch_sweep
+        .iter()
+        .map(|(b, r)| format!("      {{\"batch\": {b}, \"mux_msgs_per_s\": {r:.0}}}"))
+        .collect::<Vec<_>>()
+        .join(",\n");
     let json = format!(
         concat!(
             "{{\n",
@@ -275,7 +340,15 @@ fn main() {
             "    \"messages_per_session\": {per},\n",
             "    \"mux_msgs_per_s\": {mr:.0},\n",
             "    \"dedicated_msgs_per_s\": {dr:.0},\n",
-            "    \"mux_physical_channels\": 1\n",
+            "    \"mux_physical_channels\": 1,\n",
+            "    \"batch_sweep\": [\n",
+            "{sweep}\n",
+            "    ],\n",
+            "    \"baseline\": {{\n",
+            "      \"pr\": {bpr},\n",
+            "      \"mux_msgs_per_s\": {bmr:.0},\n",
+            "      \"dedicated_msgs_per_s\": {bdr:.0}\n",
+            "    }}\n",
             "  }}\n",
             "}}\n"
         ),
@@ -295,11 +368,59 @@ fn main() {
         per = per_session,
         mr = mux_rate,
         dr = dedicated_rate,
+        sweep = sweep_json,
+        bpr = BASELINE_PR,
+        bmr = BASELINE_MUX_MSGS_PER_S,
+        bdr = BASELINE_DEDICATED_MSGS_PER_S,
     );
     // Anchor the artifact at the workspace root regardless of the bench's
     // working directory, so CI (and humans) always find it in one place.
-    let out = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_transport.json");
     let mut f = std::fs::File::create(&out).expect("create BENCH_transport.json");
     f.write_all(json.as_bytes()).expect("write BENCH_transport.json");
     println!("\nwrote {}", out.display());
+
+    // Regression gate: a >30% drop of mux_msgs_per_s vs the committed
+    // artifact fails the run — but only when the hardware-neutral
+    // mux/dedicated ratio (both measured in *this* run) regressed by >30%
+    // too. A runner that is uniformly slower than the committing host
+    // shifts both rates together and passes; a real mux regression moves
+    // the ratio and fails.
+    let skip_gate = std::env::var("LMON_BENCH_SKIP_GATE").map(|v| v == "1").unwrap_or(false);
+    match committed {
+        Some((committed_mux, committed_dedicated)) if !skip_gate => {
+            let floor = committed_mux * GATE_FLOOR;
+            let committed_ratio = committed_mux / committed_dedicated.max(1.0);
+            let ratio = mux_rate / dedicated_rate.max(1.0);
+            let ratio_floor = committed_ratio * GATE_FLOOR;
+            if mux_rate < floor && ratio < ratio_floor {
+                eprintln!(
+                    "REGRESSION GATE FAILED: mux_msgs_per_s {mux_rate:.0} is more than 30% below \
+                     the committed {committed_mux:.0} (floor {floor:.0}) AND the mux/dedicated \
+                     ratio {ratio:.3} fell below {ratio_floor:.3} (committed \
+                     {committed_ratio:.3}), so this is not just a slower machine. Set \
+                     LMON_BENCH_SKIP_GATE=1 to skip on noisy runners."
+                );
+                std::process::exit(1);
+            }
+            println!(
+                "regression gate passed: {mux_rate:.0} msgs/s (floor {floor:.0}, committed \
+                 {committed_mux:.0}); mux/dedicated ratio {ratio:.3} (committed \
+                 {committed_ratio:.3})"
+            );
+        }
+        Some(_) => println!("regression gate skipped (LMON_BENCH_SKIP_GATE=1)"),
+        None => println!(
+            "regression gate skipped (no committed BENCH_transport.json in this run's mode)"
+        ),
+    }
+}
+
+/// Pull the first number following `key` out of a JSON blob — enough of a
+/// parser for the gate (the workspace vendors no serde).
+fn extract_number(json: &str, key: &str) -> Option<f64> {
+    let at = json.find(key)? + key.len();
+    let rest = json[at..].trim_start();
+    let end =
+        rest.find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-')).unwrap_or(rest.len());
+    rest[..end].parse().ok()
 }

@@ -1,26 +1,49 @@
-//! The FE → engine command path.
+//! The FE → engine command path — carried over the session mux.
 //!
-//! The control messages themselves are fully LMONP-encoded bytes (encoded
-//! by the FE, decoded by the engine — the same bytes a TCP deployment would
-//! carry). Two things ride *next to* the encoded message, for reasons
-//! documented in the crate root:
+//! Until ISSUE 4 this was the last dedicated crossbeam pair in the stack:
+//! control commands rode their own channel while every other component
+//! pair shared a mux link. It is now a logical session of a
+//! [`SessionMux`], so control and data traffic share one transport and the
+//! same zero-copy/batched hot path; the commands are real [`LmonpMsg`]s
+//! end to end (what a TCP deployment would carry).
 //!
-//! * the daemon body closure — the stand-in for the daemon executable
-//!   image, since the virtual cluster has no `exec()`;
-//! * the session's [`TimelineRecorder`], so engine-side critical-path
-//!   events (e2..e6) land in the same record as FE-side ones.
+//! Two things cannot travel as LMONP bytes, for reasons documented in the
+//! crate root: the daemon body closure (the stand-in for the daemon
+//! executable image, since the virtual cluster has no `exec()`) and the
+//! session's [`TimelineRecorder`]. They ride *next to* the wire as an
+//! [`EngineSidecar`] in a shared map keyed by the command's correlation
+//! tag; the engine claims the sidecar when the tagged command arrives.
+//!
+//! Replies on the shared control stream are ordered per command, so
+//! [`EngineEndpoint::exchange`] serializes each command/reply exchange
+//! behind an operation lock — concurrent tool sessions cannot interleave
+//! their replies (the previous dedicated-pair design had the same
+//! serialization implicitly, through the engine's single command loop, but
+//! nothing stopped two FE threads from stealing each other's replies).
 
-use crossbeam_channel::{unbounded, Receiver, Sender};
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Duration;
 
+use parking_lot::Mutex;
+
+use lmon_proto::header::MsgType;
+use lmon_proto::msg::LmonpMsg;
+use lmon_proto::mux::SessionMux;
+use lmon_proto::transport::MsgChannel;
 use lmon_rm::api::DaemonBody;
 
 use crate::error::{LmonError, LmonResult};
 use crate::timeline::TimelineRecorder;
 
-/// One FE → engine command.
-pub struct EngineCommand {
-    /// Encoded LMONP request ([`lmon_proto::frame::encode_msg`] output).
-    pub wire: Vec<u8>,
+/// The logical mux session carrying FE → engine control traffic.
+pub const CONTROL_SESSION: u16 = 0;
+
+/// Side-band artifacts that ride next to an LMONP command (keyed by the
+/// command's tag): everything the virtual cluster needs that a real
+/// deployment would get from the filesystem and the daemon image.
+#[derive(Default)]
+pub struct EngineSidecar {
     /// Daemon executable stand-in for spawn-bearing requests.
     pub body: Option<DaemonBody>,
     /// Daemon image name recorded in process tables.
@@ -33,79 +56,277 @@ pub struct EngineCommand {
     pub timeline: Option<TimelineRecorder>,
 }
 
+/// One FE → engine command: the LMONP message plus its sidecar.
+pub struct EngineCommand {
+    /// The LMONP request, sent over the mux byte-exact.
+    pub msg: LmonpMsg,
+    /// Side-band artifacts delivered out of band, keyed by `msg.tag`.
+    pub sidecar: EngineSidecar,
+}
+
 impl EngineCommand {
     /// A control-only command (detach/kill/shutdown).
-    pub fn control(wire: Vec<u8>) -> Self {
-        EngineCommand {
-            wire,
-            body: None,
-            daemon_exe: String::new(),
-            daemon_args: Vec::new(),
-            daemon_env: Vec::new(),
-            timeline: None,
-        }
+    pub fn control(msg: LmonpMsg) -> Self {
+        EngineCommand { msg, sidecar: EngineSidecar::default() }
     }
 }
 
-/// FE-side endpoint of the engine channel.
+type SidecarMap = Arc<Mutex<HashMap<u16, EngineSidecar>>>;
+
+/// FE-side endpoint of the engine control stream.
 pub struct EngineEndpoint {
-    tx: Sender<EngineCommand>,
-    rx: Receiver<Vec<u8>>,
+    chan: Box<dyn MsgChannel>,
+    sidecars: SidecarMap,
+    /// Serializes one command/reply exchange on the shared control stream.
+    op: Mutex<()>,
+    /// Per-exchange sequence number, stamped into the command's
+    /// `sec_epoch` and echoed by the engine on every reply, so stragglers
+    /// from a timed-out exchange can never be mistaken for the current
+    /// exchange's replies — even when both carry the same session tag.
+    seq: std::sync::atomic::AtomicU16,
+    /// The FE side of the engine link; exposed for live transport
+    /// accounting (the control path holds one physical channel, like every
+    /// other component pair).
+    mux: SessionMux,
 }
 
 impl EngineEndpoint {
-    /// Send a command to the engine.
+    /// Send a command to the engine (sidecar first, so the tagged command
+    /// can never arrive before its side-band artifacts).
     pub fn send(&self, cmd: EngineCommand) -> LmonResult<()> {
-        self.tx.send(cmd).map_err(|_| LmonError::Engine("engine is gone".into()))
+        let tag = cmd.msg.tag;
+        self.sidecars.lock().insert(tag, cmd.sidecar);
+        self.chan.send(cmd.msg).map_err(|_| {
+            // The command never left: reclaim the sidecar or it leaks its
+            // daemon-body closure in the shared map forever.
+            self.sidecars.lock().remove(&tag);
+            LmonError::Engine("engine is gone".into())
+        })
     }
 
-    /// Receive the next encoded reply.
-    pub fn recv(&self) -> LmonResult<Vec<u8>> {
-        self.rx.recv().map_err(|_| LmonError::Engine("engine is gone".into()))
+    /// Receive the next reply with a timeout.
+    pub fn recv_timeout(&self, timeout: Duration) -> LmonResult<LmonpMsg> {
+        match self.chan.recv_timeout(timeout) {
+            Ok(Some(msg)) => Ok(msg),
+            Ok(None) => Err(LmonError::Timeout("waiting for engine reply")),
+            Err(_) => Err(LmonError::Engine("engine is gone".into())),
+        }
     }
 
-    /// Receive with a timeout.
-    pub fn recv_timeout(&self, timeout: std::time::Duration) -> LmonResult<Vec<u8>> {
-        self.rx.recv_timeout(timeout).map_err(|_| LmonError::Timeout("waiting for engine reply"))
+    /// One serialized command/reply exchange: send `cmd`, collect up to
+    /// `want` replies (stopping early on an error reply, which is always
+    /// terminal for a request). The operation lock keeps concurrent
+    /// sessions' exchanges from interleaving on the shared stream.
+    ///
+    /// An exchange that times out can leave its late replies on the
+    /// stream; to keep them from being read as the *next* command's
+    /// replies, each exchange discards whatever is already buffered before
+    /// sending and matches received replies on the `(tag, sec_epoch)`
+    /// pair — the sequence number distinguishes consecutive exchanges even
+    /// on the same session tag.
+    pub fn exchange(
+        &self,
+        mut cmd: EngineCommand,
+        want: usize,
+        timeout: Duration,
+    ) -> LmonResult<Vec<LmonpMsg>> {
+        let _op = self.op.lock();
+        // Stale replies belong to an exchange that gave up on them.
+        while let Ok(Some(_stale)) = self.chan.recv_timeout(Duration::ZERO) {}
+        let seq = self.seq.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        cmd.msg.sec_epoch = seq;
+        let tag = cmd.msg.tag;
+        self.send(cmd)?;
+        let mut replies = Vec::with_capacity(want);
+        while replies.len() < want {
+            let reply = self.recv_timeout(timeout)?;
+            if reply.tag != tag || reply.sec_epoch != seq {
+                // A straggler from a timed-out exchange (possibly on this
+                // very session) that raced past the pre-drain; dropping it
+                // keeps the stream in sync.
+                continue;
+            }
+            let terminal = reply.error || reply.mtype == MsgType::EngineError;
+            replies.push(reply);
+            if terminal {
+                break;
+            }
+        }
+        Ok(replies)
+    }
+
+    /// Live accounting for the engine control link.
+    pub fn mux(&self) -> &SessionMux {
+        &self.mux
     }
 }
 
-/// Build the channel: (FE endpoint, engine command receiver, engine reply
-/// sender).
-pub fn engine_channel() -> (EngineEndpoint, Receiver<EngineCommand>, Sender<Vec<u8>>) {
-    let (cmd_tx, cmd_rx) = unbounded();
-    let (reply_tx, reply_rx) = unbounded();
-    (EngineEndpoint { tx: cmd_tx, rx: reply_rx }, cmd_rx, reply_tx)
+/// Engine-side half of the control stream.
+pub struct EngineInlet {
+    chan: Box<dyn MsgChannel>,
+    sidecars: SidecarMap,
+    /// Keeps the engine side of the link (and its accounting) alive.
+    _mux: SessionMux,
+}
+
+impl EngineInlet {
+    /// Block for the next command; an error means the FE is gone and the
+    /// engine should exit.
+    pub fn recv(&self) -> LmonResult<LmonpMsg> {
+        self.chan.recv().map_err(|_| LmonError::Engine("front end is gone".into()))
+    }
+
+    /// Claim the sidecar stashed for the command with `tag` (empty when the
+    /// command was control-only).
+    pub fn take_sidecar(&self, tag: u16) -> EngineSidecar {
+        self.sidecars.lock().remove(&tag).unwrap_or_default()
+    }
+
+    /// Send one reply back to the front end.
+    pub fn send(&self, msg: LmonpMsg) -> LmonResult<()> {
+        self.chan.send(msg).map_err(|_| LmonError::Engine("front end is gone".into()))
+    }
+}
+
+/// Build the control stream: (FE endpoint, engine inlet), one logical
+/// session over one physical mux link.
+pub fn engine_channel() -> (EngineEndpoint, EngineInlet) {
+    let (fe_mux, eng_mux) = SessionMux::pair();
+    let fe_chan: Box<dyn MsgChannel> =
+        Box::new(fe_mux.open(CONTROL_SESSION).expect("fresh mux accepts the control session"));
+    let eng_chan: Box<dyn MsgChannel> =
+        Box::new(eng_mux.open(CONTROL_SESSION).expect("fresh mux accepts the control session"));
+    let sidecars: SidecarMap = Arc::new(Mutex::new(HashMap::new()));
+    (
+        EngineEndpoint {
+            chan: fe_chan,
+            sidecars: sidecars.clone(),
+            op: Mutex::new(()),
+            seq: std::sync::atomic::AtomicU16::new(0),
+            mux: fe_mux,
+        },
+        EngineInlet { chan: eng_chan, sidecars, _mux: eng_mux },
+    )
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
 
+    fn control_msg(mtype: MsgType, tag: u16) -> LmonpMsg {
+        LmonpMsg::of_type(mtype).with_tag(tag)
+    }
+
     #[test]
-    fn commands_and_replies_flow() {
-        let (fe, cmd_rx, reply_tx) = engine_channel();
-        fe.send(EngineCommand::control(vec![1, 2, 3])).unwrap();
-        let got = cmd_rx.recv().unwrap();
-        assert_eq!(got.wire, vec![1, 2, 3]);
-        assert!(got.body.is_none());
-        reply_tx.send(vec![9]).unwrap();
-        assert_eq!(fe.recv().unwrap(), vec![9]);
+    fn commands_and_replies_flow_over_the_mux() {
+        let (fe, inlet) = engine_channel();
+        fe.send(EngineCommand::control(control_msg(MsgType::FeDetachReq, 3))).unwrap();
+        let got = inlet.recv().unwrap();
+        assert_eq!(got.mtype, MsgType::FeDetachReq);
+        assert_eq!(got.tag, 3);
+        assert!(inlet.take_sidecar(got.tag).body.is_none());
+        inlet.send(control_msg(MsgType::EngineAck, 3)).unwrap();
+        assert_eq!(fe.recv_timeout(Duration::from_secs(5)).unwrap().mtype, MsgType::EngineAck);
+        // The control path holds exactly one physical channel.
+        assert_eq!(fe.mux().physical_links(), 1);
+        assert_eq!(fe.mux().session_count(), 1);
+    }
+
+    #[test]
+    fn sidecars_are_claimed_by_tag() {
+        let (fe, inlet) = engine_channel();
+        let mut cmd = EngineCommand::control(control_msg(MsgType::FeLaunchReq, 7));
+        cmd.sidecar.daemon_exe = "tool_daemon".into();
+        fe.send(cmd).unwrap();
+        let got = inlet.recv().unwrap();
+        assert_eq!(inlet.take_sidecar(got.tag).daemon_exe, "tool_daemon");
+        assert!(inlet.take_sidecar(got.tag).daemon_exe.is_empty(), "claimed exactly once");
     }
 
     #[test]
     fn dropped_engine_surfaces_as_error() {
-        let (fe, cmd_rx, reply_tx) = engine_channel();
-        drop(cmd_rx);
-        drop(reply_tx);
-        assert!(fe.send(EngineCommand::control(vec![])).is_err());
-        assert!(fe.recv().is_err());
+        let (fe, inlet) = engine_channel();
+        drop(inlet);
+        assert!(fe.send(EngineCommand::control(control_msg(MsgType::FeKillReq, 0))).is_err());
+        assert!(fe.recv_timeout(Duration::from_secs(1)).is_err());
     }
 
     #[test]
     fn recv_timeout_expires() {
-        let (fe, _cmd_rx, _reply_tx) = engine_channel();
-        let err = fe.recv_timeout(std::time::Duration::from_millis(10)).unwrap_err();
+        let (fe, _inlet) = engine_channel();
+        let err = fe.recv_timeout(Duration::from_millis(10)).unwrap_err();
         assert!(matches!(err, LmonError::Timeout(_)));
+    }
+
+    #[test]
+    fn timed_out_exchange_does_not_desync_the_next_one_even_on_the_same_tag() {
+        // A launch exchange on session 5 times out before the engine
+        // replies; the late replies (same tag!) land on the stream. A kill
+        // exchange on the *same session* must not consume them as its own:
+        // the per-exchange sequence number in sec_epoch disambiguates what
+        // the tag cannot.
+        let (fe, inlet) = engine_channel();
+        let err = fe
+            .exchange(
+                EngineCommand::control(control_msg(MsgType::FeLaunchReq, 5)),
+                2,
+                Duration::from_millis(10),
+            )
+            .unwrap_err();
+        assert!(matches!(err, LmonError::Timeout(_)));
+
+        let launch = inlet.recv().unwrap();
+        assert_eq!(launch.tag, 5);
+        let stale_seq = launch.sec_epoch;
+
+        let h = std::thread::spawn(move || {
+            let got = inlet.recv().unwrap();
+            assert_eq!(got.mtype, MsgType::FeKillReq);
+            assert_eq!(got.tag, 5);
+            // The engine catches up on the timed-out launch *after* the
+            // kill exchange's pre-drain ran: its late replies (same tag,
+            // old sequence number) hit the live filter, not the drain.
+            inlet.send(control_msg(MsgType::EngineRpdtab, 5).with_epoch(stale_seq)).unwrap();
+            inlet.send(control_msg(MsgType::EngineAck, 5).with_epoch(stale_seq)).unwrap();
+            inlet.send(control_msg(MsgType::EngineStatus, 5).with_epoch(got.sec_epoch)).unwrap();
+            inlet
+        });
+        let replies = fe
+            .exchange(
+                EngineCommand::control(control_msg(MsgType::FeKillReq, 5)),
+                1,
+                Duration::from_secs(5),
+            )
+            .unwrap();
+        assert_eq!(replies.len(), 1);
+        assert_eq!(replies[0].mtype, MsgType::EngineStatus, "stale same-tag replies discarded");
+        h.join().unwrap();
+    }
+
+    #[test]
+    fn exchange_stops_early_on_error_reply() {
+        let (fe, inlet) = engine_channel();
+        let h = std::thread::spawn(move || {
+            let got = inlet.recv().unwrap();
+            inlet
+                .send(
+                    control_msg(MsgType::EngineError, got.tag)
+                        .with_epoch(got.sec_epoch)
+                        .with_lmon_payload(b"boom".to_vec())
+                        .as_error(),
+                )
+                .unwrap();
+            inlet
+        });
+        let replies = fe
+            .exchange(
+                EngineCommand::control(control_msg(MsgType::FeLaunchReq, 5)),
+                2,
+                Duration::from_secs(5),
+            )
+            .unwrap();
+        assert_eq!(replies.len(), 1, "error replies are terminal");
+        assert!(replies[0].error);
+        h.join().unwrap();
     }
 }

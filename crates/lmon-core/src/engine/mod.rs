@@ -39,7 +39,6 @@ use std::sync::Arc;
 use lmon_cluster::node::NodeId;
 use lmon_cluster::process::{Pid, ProcSpec};
 use lmon_cluster::trace::TraceController;
-use lmon_proto::frame::{decode_msg, encode_msg};
 use lmon_proto::header::MsgType;
 use lmon_proto::msg::LmonpMsg;
 use lmon_proto::payload::{AttachRequest, DaemonInfo, JobStatus, LaunchRequest, SpawnMwRequest};
@@ -47,7 +46,7 @@ use lmon_proto::rpdtab::Rpdtab;
 use lmon_proto::wire::WireEncode;
 use lmon_rm::api::{Allocation, JobHandle, JobSpec, ResourceManager};
 
-use crate::engine::channel::{EngineCommand, EngineEndpoint};
+use crate::engine::channel::{EngineEndpoint, EngineSidecar};
 use crate::engine::driver::Driver;
 use crate::engine::platform::{MpirPlatform, Platform};
 use crate::error::{LmonError, LmonResult};
@@ -86,14 +85,22 @@ impl Engine {
         rm: Arc<dyn ResourceManager>,
         platform: Arc<dyn Platform>,
     ) -> LmonResult<(EngineEndpoint, Pid)> {
-        let (fe_end, engine_rx, reply_tx) = channel::engine_channel();
+        let (fe_end, inlet) = channel::engine_channel();
         let cluster = rm.cluster().clone();
         let pid = cluster
             .spawn_active(NodeId::FrontEnd, ProcSpec::named("launchmon_engine"), move |_ctx| {
                 let mut engine =
                     Engine { rm, platform, jobs: HashMap::new(), daemon_pids: HashMap::new() };
-                while let Ok(cmd) = engine_rx.recv() {
-                    let replies = engine.handle(cmd);
+                // Commands arrive as structured LMONP messages over the
+                // shared mux link; the sidecar (daemon body, timeline) is
+                // claimed out of band by the command's tag.
+                while let Ok(msg) = inlet.recv() {
+                    let sidecar = inlet.take_sidecar(msg.tag);
+                    // Echoed on every reply so the FE can correlate replies
+                    // to the exact exchange that asked (tag alone repeats
+                    // across a session's commands).
+                    let seq = msg.sec_epoch;
+                    let replies = engine.handle(msg, sidecar);
                     let mut shutdown = false;
                     for r in &replies {
                         if r.is_none() {
@@ -101,7 +108,7 @@ impl Engine {
                         }
                     }
                     for r in replies.into_iter().flatten() {
-                        if reply_tx.send(encode_msg(&r)).is_err() {
+                        if inlet.send(r.with_epoch(seq)).is_err() {
                             return;
                         }
                     }
@@ -115,16 +122,12 @@ impl Engine {
     }
 
     /// Process one command; `None` in the output vector means shutdown.
-    fn handle(&mut self, cmd: EngineCommand) -> Vec<Option<LmonpMsg>> {
-        let msg = match decode_msg(&cmd.wire) {
-            Ok(m) => m,
-            Err(e) => return vec![Some(error_reply(0, format!("decode: {e}")))],
-        };
+    fn handle(&mut self, msg: LmonpMsg, sidecar: EngineSidecar) -> Vec<Option<LmonpMsg>> {
         let tag = msg.tag;
         match msg.mtype {
-            MsgType::FeLaunchReq => self.handle_launch(tag, &msg, cmd),
-            MsgType::FeAttachReq => self.handle_attach(tag, &msg, cmd),
-            MsgType::FeSpawnMwReq => self.handle_spawn_mw(tag, &msg, cmd),
+            MsgType::FeLaunchReq => self.handle_launch(tag, &msg, sidecar),
+            MsgType::FeAttachReq => self.handle_attach(tag, &msg, sidecar),
+            MsgType::FeSpawnMwReq => self.handle_spawn_mw(tag, &msg, sidecar),
             MsgType::FeDetachReq => vec![Some(self.handle_detach(tag))],
             MsgType::FeKillReq => vec![Some(self.handle_kill(tag))],
             MsgType::BeShutdown => vec![None], // engine shutdown sentinel
@@ -136,16 +139,16 @@ impl Engine {
         &mut self,
         tag: u16,
         msg: &LmonpMsg,
-        cmd: EngineCommand,
+        sidecar: EngineSidecar,
     ) -> Vec<Option<LmonpMsg>> {
         let req: LaunchRequest = match msg.decode_lmon() {
             Ok(r) => r,
             Err(e) => return vec![Some(error_reply(tag, format!("launch req: {e}")))],
         };
-        let Some(body) = cmd.body else {
+        let Some(body) = sidecar.body else {
             return vec![Some(error_reply(tag, "launch req missing daemon body".into()))];
         };
-        let timeline = cmd.timeline.unwrap_or_default();
+        let timeline = sidecar.timeline.unwrap_or_default();
 
         // e2: execute the RM launcher under engine control.
         timeline.mark(CriticalEvent::E2LauncherExec);
@@ -188,9 +191,9 @@ impl Engine {
         timeline.mark(CriticalEvent::E5DaemonSpawnStart);
         let pids = match self.rm.spawn_daemons(
             &handle.allocation,
-            &cmd.daemon_exe,
-            &cmd.daemon_args,
-            &cmd.daemon_env,
+            &sidecar.daemon_exe,
+            &sidecar.daemon_args,
+            &sidecar.daemon_env,
             body,
         ) {
             Ok(p) => p,
@@ -220,16 +223,16 @@ impl Engine {
         &mut self,
         tag: u16,
         msg: &LmonpMsg,
-        cmd: EngineCommand,
+        sidecar: EngineSidecar,
     ) -> Vec<Option<LmonpMsg>> {
         let req: AttachRequest = match msg.decode_lmon() {
             Ok(r) => r,
             Err(e) => return vec![Some(error_reply(tag, format!("attach req: {e}")))],
         };
-        let Some(body) = cmd.body else {
+        let Some(body) = sidecar.body else {
             return vec![Some(error_reply(tag, "attach req missing daemon body".into()))];
         };
-        let timeline = cmd.timeline.unwrap_or_default();
+        let timeline = sidecar.timeline.unwrap_or_default();
         timeline.mark(CriticalEvent::E2LauncherExec);
 
         let launcher_pid = Pid(req.launcher_pid);
@@ -272,9 +275,9 @@ impl Engine {
         timeline.mark(CriticalEvent::E5DaemonSpawnStart);
         let pids = match self.rm.spawn_daemons(
             &alloc,
-            &cmd.daemon_exe,
-            &cmd.daemon_args,
-            &cmd.daemon_env,
+            &sidecar.daemon_exe,
+            &sidecar.daemon_args,
+            &sidecar.daemon_env,
             body,
         ) {
             Ok(p) => p,
@@ -301,13 +304,13 @@ impl Engine {
         &mut self,
         tag: u16,
         msg: &LmonpMsg,
-        cmd: EngineCommand,
+        sidecar: EngineSidecar,
     ) -> Vec<Option<LmonpMsg>> {
         let req: SpawnMwRequest = match msg.decode_lmon() {
             Ok(r) => r,
             Err(e) => return vec![Some(error_reply(tag, format!("mw req: {e}")))],
         };
-        let Some(body) = cmd.body else {
+        let Some(body) = sidecar.body else {
             return vec![Some(error_reply(tag, "mw req missing daemon body".into()))];
         };
         let alloc = match self.rm.allocate_mw_nodes(req.count as usize) {
@@ -316,9 +319,9 @@ impl Engine {
         };
         let pids = match self.rm.spawn_daemons(
             &alloc,
-            &cmd.daemon_exe,
-            &cmd.daemon_args,
-            &cmd.daemon_env,
+            &sidecar.daemon_exe,
+            &sidecar.daemon_args,
+            &sidecar.daemon_env,
             body,
         ) {
             Ok(p) => p,

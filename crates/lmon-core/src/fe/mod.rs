@@ -24,7 +24,6 @@ use parking_lot::Mutex;
 use lmon_cluster::process::Pid;
 use lmon_iccl::Topology;
 use lmon_proto::fault::{FaultyChannel, FrameFaultPlan};
-use lmon_proto::frame::{decode_msg, encode_msg};
 use lmon_proto::header::MsgType;
 use lmon_proto::msg::LmonpMsg;
 use lmon_proto::mux::SessionMux;
@@ -38,7 +37,7 @@ use lmon_proto::wire::{put_seq, WireDecode};
 use lmon_rm::api::ResourceManager;
 
 use crate::be::{wrap_be_main, BeMain, BeWiring};
-use crate::engine::channel::{EngineCommand, EngineEndpoint};
+use crate::engine::channel::{EngineCommand, EngineEndpoint, EngineSidecar};
 use crate::engine::Engine;
 use crate::error::{LmonError, LmonResult};
 use crate::mw::{assign_personalities, wrap_mw_main, MwMain, MwWiring};
@@ -124,6 +123,11 @@ pub struct TransportStats {
     pub mw_sessions: usize,
     /// High-water mark of simultaneous MW sessions.
     pub mw_peak_sessions: usize,
+    /// Physical channels carrying FE→engine control traffic (always 1: the
+    /// last dedicated pair was folded onto a mux in ISSUE 4).
+    pub engine_physical_links: usize,
+    /// Logical control sessions on the engine link (always 1).
+    pub engine_sessions: usize,
 }
 
 /// The front end: the tool's handle on all of LaunchMON.
@@ -206,6 +210,8 @@ impl LmonFrontEnd {
             mw_physical_links: self.mw_mux.physical_links(),
             mw_sessions: self.mw_mux.session_count(),
             mw_peak_sessions: self.mw_mux.peak_session_count(),
+            engine_physical_links: self.engine.mux().physical_links(),
+            engine_sessions: self.engine.mux().session_count(),
         }
     }
 
@@ -260,7 +266,7 @@ impl LmonFrontEnd {
         };
         let wire =
             LmonpMsg::of_type(MsgType::FeLaunchReq).with_tag(mux_id(session)?).with_lmon(&req);
-        self.spawn_common(session, encode_msg(&wire), daemon, be_main, timeline)
+        self.spawn_common(session, wire, daemon, be_main, timeline)
     }
 
     /// `LMON_fe_attachAndSpawnDaemons`: attach to a running job's launcher
@@ -278,7 +284,7 @@ impl LmonFrontEnd {
         let req = AttachRequest { launcher_pid: launcher_pid.0, daemon: daemon.clone() };
         let wire =
             LmonpMsg::of_type(MsgType::FeAttachReq).with_tag(mux_id(session)?).with_lmon(&req);
-        self.spawn_common(session, encode_msg(&wire), daemon, be_main, timeline)
+        self.spawn_common(session, wire, daemon, be_main, timeline)
     }
 
     /// Common path for launch/attach: ship the request + wrapped daemon
@@ -286,7 +292,7 @@ impl LmonFrontEnd {
     fn spawn_common(
         &self,
         session: SessionId,
-        wire: Vec<u8>,
+        wire: LmonpMsg,
         daemon: DaemonSpec,
         be_main: BeMain,
         timeline: TimelineRecorder,
@@ -318,28 +324,33 @@ impl LmonFrontEnd {
         env.push(format!("{COOKIE_ENV_VAR}={}", cookie.to_env_value()));
 
         timeline.mark(CriticalEvent::E1EngineInvoked);
-        self.engine.send(EngineCommand {
-            wire,
-            body: Some(wrapped),
-            daemon_exe: daemon.exe.clone(),
-            daemon_args: daemon.args.clone(),
-            daemon_env: env,
-            timeline: Some(timeline.clone()),
-        })?;
+        let cmd = EngineCommand {
+            msg: wire,
+            sidecar: EngineSidecar {
+                body: Some(wrapped),
+                daemon_exe: daemon.exe.clone(),
+                daemon_args: daemon.args.clone(),
+                daemon_env: env,
+                timeline: Some(timeline.clone()),
+            },
+        };
+        // One serialized exchange over the shared control stream: the
+        // RPDTAB, then the spawn acknowledgement. The session leaves
+        // `Created` only once the exchange succeeds, so a failed send (or
+        // reply timeout) leaves it retryable.
+        let mut replies = self.engine.exchange(cmd, 2, self.hs_timeout())?.into_iter();
         self.transition(session, SessionState::EngineAttached)?;
 
-        // Engine reply 1: the RPDTAB.
         let rpdtab: Rpdtab = {
-            let reply = decode_msg(&self.engine.recv_timeout(self.hs_timeout())?)?;
+            let reply = replies.next().ok_or(LmonError::Timeout("waiting for engine RPDTAB"))?;
             self.expect_reply(&reply, MsgType::EngineRpdtab)?;
             reply.decode_lmon()?
         };
         self.transition(session, SessionState::JobStopped)?;
         self.sessions.lock().get_mut(session)?.rpdtab = Some(rpdtab.clone());
 
-        // Engine reply 2: daemons spawned.
         let master_info: DaemonInfo = {
-            let reply = decode_msg(&self.engine.recv_timeout(self.hs_timeout())?)?;
+            let reply = replies.next().ok_or(LmonError::Timeout("waiting for engine ack"))?;
             self.expect_reply(&reply, MsgType::EngineAck)?;
             reply.decode_lmon()?
         };
@@ -433,17 +444,20 @@ impl LmonFrontEnd {
 
         let req = SpawnMwRequest { count: count as u32, daemon: daemon.clone() };
         let wire = LmonpMsg::of_type(MsgType::FeSpawnMwReq).with_tag(id).with_lmon(&req);
-        self.engine.send(EngineCommand {
-            wire: encode_msg(&wire),
-            body: Some(wrapped),
-            daemon_exe: daemon.exe.clone(),
-            daemon_args: daemon.args.clone(),
-            daemon_env: env,
-            timeline: None,
-        })?;
-
+        let cmd = EngineCommand {
+            msg: wire,
+            sidecar: EngineSidecar {
+                body: Some(wrapped),
+                daemon_exe: daemon.exe.clone(),
+                daemon_args: daemon.args.clone(),
+                daemon_env: env,
+                timeline: None,
+            },
+        };
         let master_info: DaemonInfo = {
-            let reply = decode_msg(&self.engine.recv_timeout(self.hs_timeout())?)?;
+            let replies = self.engine.exchange(cmd, 1, self.hs_timeout())?;
+            let reply =
+                replies.into_iter().next().ok_or(LmonError::Timeout("waiting for MW ack"))?;
             self.expect_reply(&reply, MsgType::EngineAck)?;
             reply.decode_lmon()?
         };
@@ -567,8 +581,9 @@ impl LmonFrontEnd {
         }
         // Tell the engine to release the job.
         let wire = LmonpMsg::of_type(MsgType::FeDetachReq).with_tag(mux_id(session)?);
-        self.engine.send(EngineCommand::control(encode_msg(&wire)))?;
-        let reply = decode_msg(&self.engine.recv_timeout(self.hs_timeout())?)?;
+        let replies = self.engine.exchange(EngineCommand::control(wire), 1, self.hs_timeout())?;
+        let reply =
+            replies.into_iter().next().ok_or(LmonError::Timeout("waiting for detach status"))?;
         self.expect_status(&reply, JobStatus::Detached)?;
         self.transition(session, SessionState::Detached)?;
         self.close_session_channels(session);
@@ -578,8 +593,9 @@ impl LmonFrontEnd {
     /// `LMON_fe_kill`: destroy the job and all daemons.
     pub fn kill(&self, session: SessionId) -> LmonResult<()> {
         let wire = LmonpMsg::of_type(MsgType::FeKillReq).with_tag(mux_id(session)?);
-        self.engine.send(EngineCommand::control(encode_msg(&wire)))?;
-        let reply = decode_msg(&self.engine.recv_timeout(self.hs_timeout())?)?;
+        let replies = self.engine.exchange(EngineCommand::control(wire), 1, self.hs_timeout())?;
+        let reply =
+            replies.into_iter().next().ok_or(LmonError::Timeout("waiting for kill status"))?;
         self.expect_status(&reply, JobStatus::Killed)?;
         self.transition(session, SessionState::Killed)?;
         self.close_session_channels(session);
@@ -599,7 +615,7 @@ impl LmonFrontEnd {
     /// Shut down the engine and the FE runtime.
     pub fn shutdown(self) -> LmonResult<()> {
         let wire = LmonpMsg::of_type(MsgType::BeShutdown); // engine shutdown sentinel
-        let _ = self.engine.send(EngineCommand::control(encode_msg(&wire)));
+        let _ = self.engine.send(EngineCommand::control(wire));
         let cluster = self.rm.cluster().clone();
         let _ = cluster.wait_pid(self.engine_pid);
         let _ = cluster.join_thread(self.engine_pid);

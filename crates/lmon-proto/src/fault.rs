@@ -150,6 +150,39 @@ impl<C: MsgChannel> MsgChannel for FaultyChannel<C> {
     fn bytes_sent(&self) -> u64 {
         self.inner.bytes_sent()
     }
+
+    fn send_frame(&self, frame: crate::frame::WireFrame) -> ProtoResult<()> {
+        // One physical frame, one fate: the plan is indexed per frame
+        // submitted through this endpoint, whatever its shape.
+        let idx = self.sent.fetch_add(1, Ordering::Relaxed);
+        match self.plan.fate(idx) {
+            FrameFate::Deliver => self.inner.send_frame(frame),
+            FrameFate::Drop => {
+                self.dropped.fetch_add(1, Ordering::Relaxed);
+                Ok(())
+            }
+            FrameFate::Delay(by) => {
+                self.delayed.fetch_add(1, Ordering::Relaxed);
+                std::thread::sleep(by);
+                self.inner.send_frame(frame)
+            }
+        }
+    }
+
+    fn recv_frame_timeout(
+        &self,
+        timeout: Duration,
+    ) -> ProtoResult<Option<crate::frame::WireFrame>> {
+        self.inner.recv_frame_timeout(timeout)
+    }
+
+    fn try_recv_frames(
+        &self,
+        out: &mut Vec<crate::frame::WireFrame>,
+        max: usize,
+    ) -> ProtoResult<usize> {
+        self.inner.try_recv_frames(out, max)
+    }
 }
 
 #[cfg(test)]

@@ -1,16 +1,45 @@
-//! Framing: converting [`LmonpMsg`] to and from contiguous byte streams.
+//! Framing: converting [`LmonpMsg`] to and from byte streams — contiguous
+//! or gathered.
 //!
-//! Two consumers exist: the in-process transports (which move whole
-//! messages and only need [`encode_msg`]/[`decode_msg`]) and the TCP
-//! transport, which reads from a byte stream and needs the incremental
-//! [`FrameReader`].
+//! Three consumers exist: the in-process transports (which move whole
+//! [`WireFrame`]s structurally and encode nothing), the TCP transport
+//! (which reads from a byte stream with the incremental [`FrameReader`]
+//! and writes with the zero-copy [`WireFrame::gather`] slice list), and
+//! the legacy one-shot [`encode_msg`]/[`decode_msg`] pair that the gather
+//! path is property-tested byte-for-byte against.
+//!
+//! ## Copy accounting
+//!
+//! Every byte staged through an intermediate buffer on an encode path is
+//! counted in a process-wide relaxed counter ([`encode_bytes_copied`]).
+//! The `micro_hotpaths` bench samples it to show what the zero-copy
+//! carrier path saves: a legacy mux send copies the whole inner message
+//! into the carrier payload; the gather path materializes only header
+//! bytes and borrows both payload sections in place.
+
+use std::sync::atomic::{AtomicU64, Ordering};
 
 use bytes::{Buf, BytesMut};
 
 use crate::error::{ProtoError, ProtoResult};
-use crate::header::{LmonpHeader, HEADER_LEN};
+use crate::header::{LmonpHeader, MsgType, HEADER_LEN};
 use crate::msg::LmonpMsg;
-use crate::wire::{WireDecode, WireEncode};
+use crate::wire::{get_u16, WireDecode, WireEncode};
+
+/// Process-wide count of bytes copied into intermediate encode buffers.
+static ENCODE_BYTES_COPIED: AtomicU64 = AtomicU64::new(0);
+
+/// Total bytes copied into intermediate buffers by encode paths since
+/// process start. Sample before/after a workload and divide by messages to
+/// get copied-bytes-per-message; the zero-copy carrier path contributes
+/// only header bytes.
+pub fn encode_bytes_copied() -> u64 {
+    ENCODE_BYTES_COPIED.load(Ordering::Relaxed)
+}
+
+fn note_copied(n: usize) {
+    ENCODE_BYTES_COPIED.fetch_add(n as u64, Ordering::Relaxed);
+}
 
 /// Encode a message into a single contiguous buffer.
 pub fn encode_msg(msg: &LmonpMsg) -> Vec<u8> {
@@ -19,6 +48,7 @@ pub fn encode_msg(msg: &LmonpMsg) -> Vec<u8> {
     header.encode(&mut buf);
     buf.extend_from_slice(&msg.lmon);
     buf.extend_from_slice(&msg.usr);
+    note_copied(buf.len());
     buf
 }
 
@@ -34,6 +64,233 @@ pub fn decode_msg(bytes: &[u8]) -> ProtoResult<LmonpMsg> {
     let lmon = slice[..lmon_len].to_vec();
     let usr = slice[lmon_len..].to_vec();
     Ok(LmonpMsg::from_parts(header, lmon, usr))
+}
+
+/// One entry of a [`MuxBatch`]: a logical session id plus the inner
+/// message it carries.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MuxEntry {
+    /// The logical mux session the message belongs to.
+    pub session: u16,
+    /// The inner LMONP message, byte-exact.
+    pub msg: LmonpMsg,
+}
+
+/// A batched mux carrier: several same-direction logical messages coalesced
+/// into one physical frame.
+///
+/// Wire form (the payload of a [`MsgType::MuxBatch`] message whose `tag` is
+/// the entry count): for each entry, a big-endian `u16` session id followed
+/// by the complete [`encode_msg`] form of the inner message, which is
+/// self-delimiting through its header lengths.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MuxBatch {
+    /// The coalesced entries, in send order.
+    pub entries: Vec<MuxEntry>,
+}
+
+impl MuxBatch {
+    /// Encoded length of the batch *payload* (excluding the carrier header).
+    pub fn payload_len(&self) -> usize {
+        self.entries.iter().map(|e| 2 + e.msg.wire_len()).sum()
+    }
+
+    /// The carrier header describing this batch on the wire.
+    pub fn header(&self) -> LmonpHeader {
+        LmonpHeader {
+            class: MsgType::MuxBatch.natural_class(),
+            mtype: MsgType::MuxBatch,
+            tag: self.entries.len() as u16,
+            flags: 0,
+            sec_epoch: 0,
+            lmon_len: self.payload_len() as u32,
+            usr_len: 0,
+        }
+    }
+
+    /// Parse a batch payload produced by [`WireFrame::Batch`] encoding.
+    ///
+    /// `count` is the entry count from the carrier's `tag`; a mismatch or
+    /// any framing error rejects the whole batch.
+    pub fn decode_payload(bytes: &[u8], count: u16) -> ProtoResult<MuxBatch> {
+        let mut slice = bytes;
+        let mut entries = Vec::with_capacity(count as usize);
+        while !slice.is_empty() {
+            let session = get_u16(&mut slice)?;
+            let mut peek = slice;
+            let header = LmonpHeader::decode(&mut peek)?;
+            let total = header.total_len();
+            if slice.len() < total {
+                return Err(ProtoError::Truncated { needed: total, available: slice.len() });
+            }
+            let msg = decode_msg(&slice[..total])?;
+            slice = &slice[total..];
+            entries.push(MuxEntry { session, msg });
+        }
+        if entries.len() != count as usize {
+            return Err(ProtoError::InvalidField {
+                field: "mux_batch_count",
+                value: entries.len() as u64,
+            });
+        }
+        Ok(MuxBatch { entries })
+    }
+}
+
+/// A physical frame as handed to a transport: either a bare message or a
+/// mux carrier whose payload sections are *borrowed at encode time* rather
+/// than copied into an intermediate buffer.
+///
+/// In-process transports move the frame structurally (no encode at all);
+/// byte-stream transports encode it with [`WireFrame::gather`], which
+/// materializes only the header bytes and gathers the payload sections in
+/// place. Both forms are byte-identical to the legacy
+/// `encode_msg(&frame.into_msg())` encoding — property-tested in
+/// `lmon-proto/tests/prop.rs`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireFrame {
+    /// A bare (non-carrier) message.
+    Msg(LmonpMsg),
+    /// A single-message mux carrier ([`MsgType::MuxData`]).
+    Carrier {
+        /// The logical mux session the message belongs to.
+        session: u16,
+        /// The inner LMONP message, byte-exact.
+        msg: LmonpMsg,
+    },
+    /// A batched mux carrier ([`MsgType::MuxBatch`]).
+    Batch(MuxBatch),
+}
+
+impl WireFrame {
+    /// Total size of this frame on the wire, in bytes.
+    pub fn wire_len(&self) -> usize {
+        match self {
+            WireFrame::Msg(m) => m.wire_len(),
+            WireFrame::Carrier { msg, .. } => HEADER_LEN + msg.wire_len(),
+            WireFrame::Batch(b) => HEADER_LEN + b.payload_len(),
+        }
+    }
+
+    /// The carrier header for a single-message mux carrier.
+    fn carrier_header(session: u16, msg: &LmonpMsg) -> LmonpHeader {
+        LmonpHeader {
+            class: MsgType::MuxData.natural_class(),
+            mtype: MsgType::MuxData,
+            tag: session,
+            flags: 0,
+            sec_epoch: 0,
+            lmon_len: msg.wire_len() as u32,
+            usr_len: 0,
+        }
+    }
+
+    /// Materialize the frame as a plain [`LmonpMsg`] — the legacy encoding,
+    /// which copies carrier payloads into the message body. Transports
+    /// without a native frame path fall back to this.
+    pub fn into_msg(self) -> LmonpMsg {
+        match self {
+            WireFrame::Msg(m) => m,
+            WireFrame::Carrier { session, msg } => LmonpMsg::of_type(MsgType::MuxData)
+                .with_tag(session)
+                .with_lmon_payload(encode_msg(&msg)),
+            WireFrame::Batch(batch) => {
+                let mut payload = Vec::with_capacity(batch.payload_len());
+                for e in &batch.entries {
+                    payload.extend_from_slice(&e.session.to_be_bytes());
+                    payload.extend_from_slice(&encode_msg(&e.msg));
+                }
+                note_copied(payload.len());
+                LmonpMsg::of_type(MsgType::MuxBatch)
+                    .with_tag(batch.entries.len() as u16)
+                    .with_lmon_payload(payload)
+            }
+        }
+    }
+
+    /// Lift a received message back into structural form: mux carriers whose
+    /// payloads parse become [`WireFrame::Carrier`]/[`WireFrame::Batch`];
+    /// anything else (including carriers with corrupt payloads, which the
+    /// mux counts as orphans) stays [`WireFrame::Msg`].
+    pub fn from_msg(msg: LmonpMsg) -> WireFrame {
+        match msg.mtype {
+            MsgType::MuxData => match decode_msg(&msg.lmon) {
+                Ok(inner) => WireFrame::Carrier { session: msg.tag, msg: inner },
+                Err(_) => WireFrame::Msg(msg),
+            },
+            MsgType::MuxBatch => match MuxBatch::decode_payload(&msg.lmon, msg.tag) {
+                Ok(batch) => WireFrame::Batch(batch),
+                Err(_) => WireFrame::Msg(msg),
+            },
+            _ => WireFrame::Msg(msg),
+        }
+    }
+
+    /// The zero-copy encode path: stage every header byte in `scratch` and
+    /// return the gather list — header ranges interleaved with payload
+    /// sections borrowed from the frame. Concatenating the slices yields
+    /// exactly the legacy `encode_msg(&self.clone().into_msg())` bytes, but
+    /// only `scratch.len()` bytes (headers and batch session prefixes) were
+    /// copied.
+    pub fn gather<'a>(&'a self, scratch: &'a mut Vec<u8>) -> Vec<&'a [u8]> {
+        scratch.clear();
+        // Phase 1: stage header material and record (range, payload slices).
+        let mut ranges: Vec<(std::ops::Range<usize>, [&'a [u8]; 2])> = Vec::new();
+        match self {
+            WireFrame::Msg(m) => {
+                let start = scratch.len();
+                m.header().encode(scratch);
+                ranges.push((start..scratch.len(), [&m.lmon, &m.usr]));
+            }
+            WireFrame::Carrier { session, msg } => {
+                // Carrier and inner header are adjacent on the wire: one
+                // contiguous staged range covers both.
+                let start = scratch.len();
+                Self::carrier_header(*session, msg).encode(scratch);
+                msg.header().encode(scratch);
+                ranges.push((start..scratch.len(), [&msg.lmon, &msg.usr]));
+            }
+            WireFrame::Batch(batch) => {
+                let start = scratch.len();
+                batch.header().encode(scratch);
+                ranges.push((start..scratch.len(), [&[], &[]]));
+                for e in &batch.entries {
+                    let start = scratch.len();
+                    scratch.extend_from_slice(&e.session.to_be_bytes());
+                    e.msg.header().encode(scratch);
+                    ranges.push((start..scratch.len(), [&e.msg.lmon, &e.msg.usr]));
+                }
+            }
+        }
+        note_copied(scratch.len());
+        // Phase 2: materialize the slice list against the now-immutable
+        // scratch buffer, skipping empty payload sections.
+        let staged: &'a [u8] = scratch;
+        let mut slices = Vec::with_capacity(ranges.len() * 3);
+        for (range, payloads) in ranges {
+            slices.push(&staged[range]);
+            for p in payloads {
+                if !p.is_empty() {
+                    slices.push(p);
+                }
+            }
+        }
+        slices
+    }
+
+    /// Encode to a contiguous buffer via the gather list (used by tests and
+    /// transports that cannot do vectored writes).
+    pub fn encode_to_vec(&self) -> Vec<u8> {
+        let mut scratch = Vec::new();
+        let slices = self.gather(&mut scratch);
+        let total: usize = slices.iter().map(|s| s.len()).sum();
+        let mut out = Vec::with_capacity(total);
+        for s in slices {
+            out.extend_from_slice(s);
+        }
+        note_copied(out.len());
+        out
+    }
 }
 
 /// Incremental frame decoder for byte-stream transports.
@@ -166,5 +423,70 @@ mod tests {
         assert!(reader.next_msg().unwrap().is_none());
         reader.extend(&[1]);
         assert!(reader.next_msg().unwrap().is_none());
+    }
+
+    #[test]
+    fn carrier_gather_matches_legacy_materialized_encoding() {
+        let inner = sample(7);
+        let frame = WireFrame::Carrier { session: 42, msg: inner.clone() };
+        let legacy = encode_msg(&frame.clone().into_msg());
+        assert_eq!(frame.encode_to_vec(), legacy);
+        assert_eq!(frame.wire_len(), legacy.len());
+        // The gather path stages only the two adjacent headers.
+        let mut scratch = Vec::new();
+        let slices = frame.gather(&mut scratch);
+        assert_eq!(slices[0].len(), 2 * HEADER_LEN, "only the adjacent headers are staged");
+        assert_eq!(slices.iter().map(|s| s.len()).sum::<usize>(), legacy.len());
+    }
+
+    #[test]
+    fn batch_roundtrips_structurally_and_byte_exactly() {
+        let batch = MuxBatch {
+            entries: (0..5).map(|i| MuxEntry { session: i * 11, msg: sample(i) }).collect(),
+        };
+        let frame = WireFrame::Batch(batch.clone());
+        let materialized = frame.clone().into_msg();
+        assert_eq!(materialized.mtype, MsgType::MuxBatch);
+        assert_eq!(materialized.tag, 5);
+        assert_eq!(frame.encode_to_vec(), encode_msg(&materialized));
+        match WireFrame::from_msg(materialized) {
+            WireFrame::Batch(back) => assert_eq!(back, batch),
+            other => panic!("expected Batch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn from_msg_keeps_corrupt_carriers_as_bare_messages() {
+        let corrupt = LmonpMsg::of_type(MsgType::MuxData)
+            .with_tag(3)
+            .with_lmon_payload(vec![0xFF; HEADER_LEN + 4]);
+        assert!(matches!(WireFrame::from_msg(corrupt.clone()), WireFrame::Msg(m) if m == corrupt));
+        let bad_count =
+            WireFrame::Batch(MuxBatch { entries: vec![MuxEntry { session: 1, msg: sample(1) }] })
+                .into_msg()
+                .with_tag(9); // claims 9 entries, carries 1
+        assert!(matches!(WireFrame::from_msg(bad_count), WireFrame::Msg(_)));
+    }
+
+    #[test]
+    fn batch_decode_rejects_truncation() {
+        let frame =
+            WireFrame::Batch(MuxBatch { entries: vec![MuxEntry { session: 1, msg: sample(9) }] });
+        let msg = frame.into_msg();
+        assert!(MuxBatch::decode_payload(&msg.lmon[..msg.lmon.len() - 1], 1).is_err());
+    }
+
+    #[test]
+    fn zero_copy_gather_stages_only_header_bytes() {
+        let big = LmonpMsg::of_type(MsgType::BeUsrData)
+            .with_tag(1)
+            .with_lmon_payload(vec![1; 4096])
+            .with_usr_payload(vec![2; 4096]);
+        let before = encode_bytes_copied();
+        let frame = WireFrame::Carrier { session: 1, msg: big };
+        let mut scratch = Vec::new();
+        let _ = frame.gather(&mut scratch);
+        let copied = encode_bytes_copied() - before;
+        assert_eq!(copied, 2 * HEADER_LEN as u64, "payload bytes must not be staged");
     }
 }

@@ -57,6 +57,7 @@ pub mod wire;
 
 pub use error::ProtoError;
 pub use fault::{FaultyChannel, FrameFate, FrameFaultPlan};
+pub use frame::{MuxBatch, MuxEntry, WireFrame};
 pub use header::{LmonpHeader, MsgClass, MsgType, HEADER_LEN};
 pub use msg::LmonpMsg;
 pub use mux::{MuxEndpoint, SessionMux};

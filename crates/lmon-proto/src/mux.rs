@@ -11,41 +11,59 @@
 //! fd/channel *by construction*; nothing upstack can accidentally open a
 //! second connection.
 //!
-//! ## Framing
+//! ## Framing: zero-copy carriers and batches
 //!
-//! Each logical message is encoded with [`encode_msg`] and wrapped in a
-//! carrier frame: `mtype = `[`MsgType::MuxData`], `tag = session id`,
-//! LaunchMON payload = the complete encoded inner message. Closing an
-//! endpoint emits a [`MsgType::MuxClose`] carrier so the peer's endpoint
-//! reports disconnection instead of timing out. The inner message travels
-//! byte-exact, piggybacked user payload and all.
+//! A logical message travels as a [`WireFrame::Carrier`] — carrier header
+//! plus *borrowed* payload sections, never an intermediate encode — or
+//! coalesced with its send-side backlog into one [`WireFrame::Batch`]
+//! physical frame. Closing an endpoint emits a [`MsgType::MuxClose`]
+//! carrier so the peer's endpoint reports disconnection instead of timing
+//! out. The inner message travels byte-exact, piggybacked user payload and
+//! all (property-tested against the legacy whole-message encoding).
 //!
-//! ## Receive pumping
+//! ## Send combining (flush policy)
+//!
+//! Senders append to a shared pending queue under a short lock. If no flush
+//! is in flight, the sender becomes the *flusher* and drains the queue into
+//! physical frames — batches bounded by [`MAX_BATCH_BYTES`] and a settable
+//! frame count ([`SessionMux::set_max_batch_frames`]) — releasing the lock
+//! across each physical send so peers keep enqueueing. If a flush *is* in
+//! flight, the sender just enqueues and returns; its message rides the
+//! active flusher's next batch. There is no idle timer: an idle link flushes
+//! immediately (a lone message goes out as a single carrier), so batching
+//! arises only from real backlog and latency is never traded for
+//! throughput.
+//!
+//! ## Receive pumping: sharded inboxes
 //!
 //! There is no demux thread. The first endpoint that blocks in a receive
-//! becomes the *pump*: it performs the physical receive (with the lock
-//! released, so sends never wait behind a blocked receiver) and routes
-//! whatever arrives into per-session inboxes, waking the other waiters on a
-//! condvar. When the pump's own deadline expires or its message arrives,
-//! another waiter takes over. This keeps the mux fully event-driven — no
-//! sleep-polling anywhere on the path — and safe to drive from any number
-//! of session threads.
+//! becomes the *pump*: it performs the physical receive (with every lock
+//! released), drains whatever burst is buffered behind it, and routes the
+//! whole burst into per-session inboxes — which are sharded N ways, each
+//! shard with its own lock and condvar, so fan-in readers on different
+//! sessions never contend on one mutex and a routed batch takes one lock
+//! acquisition per *shard*, not per message. When the pump's own message
+//! arrives or its deadline expires, it releases the pump role and wakes
+//! every shard so another waiter takes over. This keeps the mux fully
+//! event-driven — no sleep-polling anywhere on the path.
 //!
 //! ## Ordering and loss
 //!
 //! Open both endpoints of a session (via [`SessionMux::open`]) before
-//! traffic for it can arrive; carrier frames for unknown sessions are
-//! dropped and counted in [`SessionMux::orphan_frames`]. The live FE/BE/MW
-//! stack opens endpoints before daemons spawn, so the counter staying zero
-//! is part of its invariants.
+//! traffic for it can arrive; carrier frames for unknown *or
+//! already-closed* sessions — including entries of a batch whose session
+//! closed mid-flight — are dropped and counted in
+//! [`SessionMux::orphan_frames`], never a panic. The live FE/BE/MW stack
+//! opens endpoints before daemons spawn, so the counter staying zero is
+//! part of its invariants.
 
 use std::collections::{HashMap, VecDeque};
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::time::{Duration, Instant};
 
 use crate::error::{ProtoError, ProtoResult};
-use crate::frame::{decode_msg, encode_msg};
+use crate::frame::{decode_msg, MuxBatch, MuxEntry, WireFrame};
 use crate::header::MsgType;
 use crate::msg::LmonpMsg;
 use crate::transport::{LocalChannel, MsgChannel};
@@ -53,6 +71,20 @@ use crate::transport::{LocalChannel, MsgChannel};
 /// Cap on a blocking [`MuxEndpoint::recv`]'s internal wait slice; the loop
 /// re-arms, so this bounds pump-handover latency, not the total wait.
 const RECV_SLICE: Duration = Duration::from_secs(3600);
+
+/// Number of inbox shards. Sessions hash onto shards by id; fan-in readers
+/// contend only within their shard.
+const SHARD_COUNT: usize = 8;
+
+/// Byte bound for one coalesced [`WireFrame::Batch`].
+pub const MAX_BATCH_BYTES: usize = 256 * 1024;
+
+/// Default frame-count bound for one coalesced batch.
+pub const DEFAULT_MAX_BATCH_FRAMES: usize = 64;
+
+/// Extra already-buffered frames the pump drains per wakeup, so a burst is
+/// routed in one sweep instead of one wakeup per frame.
+const PUMP_DRAIN: usize = 128;
 
 /// A session multiplexer over one physical [`MsgChannel`].
 ///
@@ -68,22 +100,35 @@ pub struct SessionMux {
 
 struct MuxShared {
     phys: Box<dyn MsgChannel>,
-    state: Mutex<MuxState>,
+    /// Per-session inboxes, sharded by session id.
+    shards: Vec<Shard>,
+    /// Send-side combining state.
+    send: Mutex<SendState>,
+    /// Whether some endpoint currently owns the physical receive.
+    pumping: AtomicBool,
+    /// Set when the physical link reports disconnection; fatal for every
+    /// session.
+    dead: AtomicBool,
+    /// Carrier frames (or batch entries) for sessions nobody has open.
+    orphans: AtomicU64,
+    /// Open-session accounting (count + high-water mark).
+    accounting: Mutex<Accounting>,
+    /// Frame-count bound for one coalesced batch (bench sweeps tune it).
+    max_batch_frames: AtomicUsize,
+    /// Physical frames pushed onto the link (carriers, batches, closes).
+    phys_frames: AtomicU64,
+    /// Logical messages sent through endpoints.
+    logical_msgs: AtomicU64,
+}
+
+struct Shard {
+    state: Mutex<ShardState>,
     cv: Condvar,
 }
 
 #[derive(Default)]
-struct MuxState {
+struct ShardState {
     inboxes: HashMap<u16, Inbox>,
-    /// Whether some endpoint currently owns the physical receive.
-    pumping: bool,
-    /// Set when the physical link reports disconnection; fatal for every
-    /// session.
-    dead: bool,
-    /// Carrier frames for sessions nobody has opened (dropped).
-    orphans: u64,
-    /// High-water mark of simultaneously open sessions.
-    peak: usize,
 }
 
 #[derive(Default)]
@@ -91,6 +136,32 @@ struct Inbox {
     queue: VecDeque<LmonpMsg>,
     /// The peer closed its endpoint; drain, then report disconnection.
     closed: bool,
+}
+
+#[derive(Default)]
+struct Accounting {
+    count: usize,
+    peak: usize,
+}
+
+/// One logical mux item, on either side of the link: a session's data
+/// message, or its close marker. On the send side, `Close` never coalesces
+/// into a batch — it flushes as its own frame *after* the session's queued
+/// data; on the route side it marks the inbox closed.
+enum MuxItem {
+    Data(u16, LmonpMsg),
+    Close(u16),
+}
+
+#[derive(Default)]
+struct SendState {
+    pending: VecDeque<MuxItem>,
+    /// Whether some sender currently owns the flush loop.
+    flushing: bool,
+}
+
+fn shard_ix(session: u16) -> usize {
+    session as usize % SHARD_COUNT
 }
 
 impl SessionMux {
@@ -102,8 +173,17 @@ impl SessionMux {
         SessionMux {
             shared: Arc::new(MuxShared {
                 phys,
-                state: Mutex::new(MuxState::default()),
-                cv: Condvar::new(),
+                shards: (0..SHARD_COUNT)
+                    .map(|_| Shard { state: Mutex::new(ShardState::default()), cv: Condvar::new() })
+                    .collect(),
+                send: Mutex::new(SendState::default()),
+                pumping: AtomicBool::new(false),
+                dead: AtomicBool::new(false),
+                orphans: AtomicU64::new(0),
+                accounting: Mutex::new(Accounting::default()),
+                max_batch_frames: AtomicUsize::new(DEFAULT_MAX_BATCH_FRAMES),
+                phys_frames: AtomicU64::new(0),
+                logical_msgs: AtomicU64::new(0),
             }),
         }
     }
@@ -121,26 +201,31 @@ impl SessionMux {
     /// open on this side, and [`ProtoError::Disconnected`] once the
     /// physical link has died.
     pub fn open(&self, id: u16) -> ProtoResult<MuxEndpoint> {
-        let mut state = self.shared.lock_state();
-        if state.dead {
+        if self.shared.dead.load(Ordering::Acquire) {
             return Err(ProtoError::Disconnected);
         }
+        let shard = &self.shared.shards[shard_ix(id)];
+        let mut state = lock(&shard.state);
         if state.inboxes.contains_key(&id) {
             return Err(ProtoError::InvalidField { field: "mux_session", value: id as u64 });
         }
         state.inboxes.insert(id, Inbox::default());
-        state.peak = state.peak.max(state.inboxes.len());
+        drop(state);
+        let mut acc = lock(&self.shared.accounting);
+        acc.count += 1;
+        acc.peak = acc.peak.max(acc.count);
+        drop(acc);
         Ok(MuxEndpoint { shared: self.shared.clone(), id, sent_bytes: AtomicU64::new(0) })
     }
 
     /// Number of sessions currently open on this side of the link.
     pub fn session_count(&self) -> usize {
-        self.shared.lock_state().inboxes.len()
+        lock(&self.shared.accounting).count
     }
 
     /// High-water mark of simultaneously open sessions.
     pub fn peak_session_count(&self) -> usize {
-        self.shared.lock_state().peak
+        lock(&self.shared.accounting).peak
     }
 
     /// Physical channels behind this mux — always exactly one; the type
@@ -150,9 +235,10 @@ impl SessionMux {
         1
     }
 
-    /// Carrier frames that arrived for sessions never opened on this side.
+    /// Carrier frames (or batch entries) that arrived for sessions never
+    /// opened — or already closed — on this side.
     pub fn orphan_frames(&self) -> u64 {
-        self.shared.lock_state().orphans
+        self.shared.orphans.load(Ordering::Relaxed)
     }
 
     /// Bytes sent on the underlying physical channel (carrier framing
@@ -160,32 +246,218 @@ impl SessionMux {
     pub fn bytes_sent(&self) -> u64 {
         self.shared.phys.bytes_sent()
     }
+
+    /// Physical frames pushed onto the link so far. With batching, this is
+    /// ≤ [`SessionMux::logical_msgs_sent`]; the ratio is the live batching
+    /// factor.
+    pub fn physical_frames_sent(&self) -> u64 {
+        self.shared.phys_frames.load(Ordering::Relaxed)
+    }
+
+    /// Logical messages sent through this side's endpoints so far.
+    pub fn logical_msgs_sent(&self) -> u64 {
+        self.shared.logical_msgs.load(Ordering::Relaxed)
+    }
+
+    /// Bound the number of logical messages coalesced into one physical
+    /// batch frame (clamped to ≥ 1). `1` disables batching — every message
+    /// ships as its own carrier, the pre-batching wire shape.
+    pub fn set_max_batch_frames(&self, frames: usize) {
+        self.shared.max_batch_frames.store(frames.max(1), Ordering::Relaxed);
+    }
+}
+
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
 }
 
 impl MuxShared {
-    fn lock_state(&self) -> std::sync::MutexGuard<'_, MuxState> {
-        self.state.lock().unwrap_or_else(|e| e.into_inner())
+    /// Append one data message to the pending queue and flush unless a
+    /// flush is already in flight (in which case the message rides it).
+    fn send_on(&self, session: u16, msg: LmonpMsg) -> ProtoResult<()> {
+        if self.dead.load(Ordering::Acquire) {
+            return Err(ProtoError::Disconnected);
+        }
+        self.logical_msgs.fetch_add(1, Ordering::Relaxed);
+        let mut s = lock(&self.send);
+        s.pending.push_back(MuxItem::Data(session, msg));
+        if s.flushing {
+            return Ok(());
+        }
+        self.flush(s)
     }
 
-    /// Route one carrier frame into the session inboxes.
-    fn route(&self, state: &mut MuxState, carrier: LmonpMsg) {
-        match carrier.mtype {
-            MsgType::MuxData => match decode_msg(&carrier.lmon) {
-                Ok(inner) => match state.inboxes.get_mut(&carrier.tag) {
-                    Some(inbox) if !inbox.closed => inbox.queue.push_back(inner),
-                    _ => state.orphans += 1,
+    /// Best-effort close enqueue (from endpoint drop): ordered after the
+    /// session's queued data.
+    fn send_close(&self, session: u16) {
+        if self.dead.load(Ordering::Acquire) {
+            return;
+        }
+        let mut s = lock(&self.send);
+        s.pending.push_back(MuxItem::Close(session));
+        if !s.flushing {
+            let _ = self.flush(s);
+        }
+    }
+
+    /// The flush loop: drain the pending queue into physical frames until
+    /// it is empty. The send lock is released across each physical send so
+    /// other senders keep enqueueing (their messages form the next batch).
+    fn flush<'a>(&'a self, mut s: MutexGuard<'a, SendState>) -> ProtoResult<()> {
+        s.flushing = true;
+        loop {
+            let frame = match s.pending.front() {
+                None => {
+                    s.flushing = false;
+                    return Ok(());
+                }
+                Some(MuxItem::Close(_)) => {
+                    let Some(MuxItem::Close(id)) = s.pending.pop_front() else { unreachable!() };
+                    WireFrame::Msg(LmonpMsg::of_type(MsgType::MuxClose).with_tag(id))
+                }
+                Some(MuxItem::Data(..)) => {
+                    let max_frames = self.max_batch_frames.load(Ordering::Relaxed);
+                    let mut entries = Vec::new();
+                    let mut bytes = 0usize;
+                    while entries.len() < max_frames {
+                        match s.pending.front() {
+                            Some(MuxItem::Data(_, m)) => {
+                                // Admit the message only while the batch
+                                // stays under the byte bound; a message
+                                // bigger than the bound still ships, alone.
+                                let next = m.wire_len();
+                                if !entries.is_empty() && bytes + next > MAX_BATCH_BYTES {
+                                    break;
+                                }
+                                let Some(MuxItem::Data(id, m)) = s.pending.pop_front() else {
+                                    unreachable!()
+                                };
+                                bytes += next;
+                                entries.push(MuxEntry { session: id, msg: m });
+                            }
+                            // A close (or nothing) stops the batch: closes
+                            // flush as their own frame, in order.
+                            _ => break,
+                        }
+                    }
+                    if entries.len() == 1 {
+                        let Some(MuxEntry { session, msg }) = entries.pop() else { unreachable!() };
+                        WireFrame::Carrier { session, msg }
+                    } else {
+                        WireFrame::Batch(MuxBatch { entries })
+                    }
+                }
+            };
+            drop(s);
+            let res = self.phys.send_frame(frame);
+            if res.is_ok() {
+                self.phys_frames.fetch_add(1, Ordering::Relaxed);
+            }
+            s = lock(&self.send);
+            if let Err(e) = res {
+                // The link is gone: everything queued (including other
+                // senders' riders) is undeliverable.
+                self.dead.store(true, Ordering::Release);
+                s.pending.clear();
+                s.flushing = false;
+                drop(s);
+                self.wake_all_shards();
+                return Err(e);
+            }
+            if s.pending.is_empty() {
+                s.flushing = false;
+                return Ok(());
+            }
+        }
+    }
+
+    /// Lock-then-notify every shard: pairs with waiters that hold their
+    /// shard lock from the pump-flag check through `cv.wait`, so a pump
+    /// handover (or death) can never be missed.
+    fn wake_all_shards(&self) {
+        for shard in &self.shards {
+            drop(lock(&shard.state));
+            shard.cv.notify_all();
+        }
+    }
+
+    /// Route a drained burst of physical frames into the session inboxes,
+    /// one lock acquisition per *touched shard*.
+    fn route_all(&self, frames: &mut Vec<WireFrame>, buckets: &mut [Vec<MuxItem>]) {
+        for frame in frames.drain(..) {
+            match frame {
+                WireFrame::Carrier { session, msg } => {
+                    buckets[shard_ix(session)].push(MuxItem::Data(session, msg));
+                }
+                WireFrame::Batch(batch) => {
+                    for e in batch.entries {
+                        buckets[shard_ix(e.session)].push(MuxItem::Data(e.session, e.msg));
+                    }
+                }
+                WireFrame::Msg(m) => match m.mtype {
+                    MsgType::MuxClose => buckets[shard_ix(m.tag)].push(MuxItem::Close(m.tag)),
+                    // A carrier whose payload did not parse structurally
+                    // (corrupt), retried here for the legacy path.
+                    MsgType::MuxData => match decode_msg(&m.lmon) {
+                        Ok(inner) => buckets[shard_ix(m.tag)].push(MuxItem::Data(m.tag, inner)),
+                        Err(_) => {
+                            self.orphans.fetch_add(1, Ordering::Relaxed);
+                        }
+                    },
+                    // A bare (non-mux) message on a mux link is a peer
+                    // protocol violation; treat it like line noise rather
+                    // than poisoning the sessions. Unparseable batches land
+                    // here too.
+                    _ => {
+                        self.orphans.fetch_add(1, Ordering::Relaxed);
+                    }
                 },
-                Err(_) => state.orphans += 1,
-            },
-            MsgType::MuxClose => {
-                if let Some(inbox) = state.inboxes.get_mut(&carrier.tag) {
-                    inbox.closed = true;
+            }
+        }
+        for (ix, ops) in buckets.iter_mut().enumerate() {
+            if ops.is_empty() {
+                continue;
+            }
+            let mut state = lock(&self.shards[ix].state);
+            for op in ops.drain(..) {
+                match op {
+                    MuxItem::Data(id, msg) => match state.inboxes.get_mut(&id) {
+                        Some(inbox) if !inbox.closed => inbox.queue.push_back(msg),
+                        // Unknown session, or one that closed while the
+                        // batch was in flight: an orphan, never a panic or
+                        // a silent drop of the counter.
+                        _ => {
+                            self.orphans.fetch_add(1, Ordering::Relaxed);
+                        }
+                    },
+                    MuxItem::Close(id) => {
+                        if let Some(inbox) = state.inboxes.get_mut(&id) {
+                            inbox.closed = true;
+                        }
+                    }
                 }
             }
-            // A bare (non-mux) message on a mux link is a peer protocol
-            // violation; treat it like line noise rather than poisoning the
-            // sessions.
-            _ => state.orphans += 1,
+            drop(state);
+            self.shards[ix].cv.notify_all();
+        }
+    }
+
+    /// Check session `id`'s inbox under its shard lock. `Some(..)` resolves
+    /// the receive; `None` means keep waiting.
+    fn check_inbox(state: &mut ShardState, id: u16) -> Option<ProtoResult<Option<LmonpMsg>>> {
+        match state.inboxes.get_mut(&id) {
+            Some(inbox) => {
+                if let Some(msg) = inbox.queue.pop_front() {
+                    return Some(Ok(Some(msg)));
+                }
+                if inbox.closed {
+                    return Some(Err(ProtoError::Disconnected));
+                }
+                None
+            }
+            // The endpoint's own inbox vanished: endpoint was dropped
+            // concurrently — treat as closed.
+            None => Some(Err(ProtoError::Disconnected)),
         }
     }
 
@@ -193,53 +465,84 @@ impl MuxShared {
     /// physical channel when no one else is.
     fn recv_for(&self, id: u16, timeout: Duration) -> ProtoResult<Option<LmonpMsg>> {
         let deadline = Instant::now() + timeout;
-        let mut state = self.lock_state();
+        let shard = &self.shards[shard_ix(id)];
         loop {
-            match state.inboxes.get_mut(&id) {
-                Some(inbox) => {
-                    if let Some(msg) = inbox.queue.pop_front() {
-                        return Ok(Some(msg));
-                    }
-                    if inbox.closed {
-                        return Err(ProtoError::Disconnected);
-                    }
-                }
-                // The endpoint's own inbox vanished: endpoint was dropped
-                // concurrently — treat as closed.
-                None => return Err(ProtoError::Disconnected),
+            let mut state = lock(&shard.state);
+            if let Some(resolved) = Self::check_inbox(&mut state, id) {
+                return resolved;
             }
-            if state.dead {
+            if self.dead.load(Ordering::Acquire) {
                 return Err(ProtoError::Disconnected);
             }
             let remaining = deadline.saturating_duration_since(Instant::now());
             if remaining.is_zero() {
                 return Ok(None);
             }
-            if state.pumping {
-                // Someone else owns the physical receive; wait for routed
-                // traffic (or for the pump role to free up).
-                let (s, _timed_out) =
-                    self.cv.wait_timeout(state, remaining).unwrap_or_else(|e| e.into_inner());
-                state = s;
-            } else {
-                // Become the pump. The state lock is released during the
-                // physical receive so senders and new sessions never wait
-                // behind us.
-                state.pumping = true;
+            // Try to take the pump role. The CAS happens while the shard
+            // lock pins our empty-inbox observation: routing inserts under
+            // this lock, so a message cannot land between the check and the
+            // CAS.
+            if self
+                .pumping
+                .compare_exchange(false, true, Ordering::AcqRel, Ordering::Acquire)
+                .is_ok()
+            {
                 drop(state);
-                let res = self.phys.recv_timeout(remaining);
-                state = self.lock_state();
-                state.pumping = false;
-                match res {
-                    Ok(Some(carrier)) => self.route(&mut state, carrier),
-                    Ok(None) => {}
-                    Err(_) => state.dead = true,
+                if let Some(resolved) = self.pump(id, deadline) {
+                    return resolved;
                 }
-                // Wake routed sessions and hand the pump role to another
-                // waiter if our own deadline is done.
-                self.cv.notify_all();
+                // Deadline hit or handover: the outer loop re-checks.
+            } else {
+                // Someone else owns the physical receive; wait for routed
+                // traffic or a pump handover on our shard's condvar. The
+                // handover protocol (`wake_all_shards`) locks this mutex
+                // before notifying, so holding it from the CAS failure to
+                // here makes a missed wakeup impossible.
+                let (s, _timed_out) = shard
+                    .cv
+                    .wait_timeout(state, remaining.min(RECV_SLICE))
+                    .unwrap_or_else(|e| e.into_inner());
+                drop(s);
             }
         }
+    }
+
+    /// The pump loop: owns the physical receive until session `id`'s
+    /// message arrives, the deadline passes, or the link dies. Returns
+    /// `Some(resolution)` when the receive resolved, `None` when the caller
+    /// should re-enter the outer wait loop. Always releases the pump role
+    /// and wakes every shard on exit.
+    fn pump(&self, id: u16, deadline: Instant) -> Option<ProtoResult<Option<LmonpMsg>>> {
+        let mut frames: Vec<WireFrame> = Vec::new();
+        let mut buckets: Vec<Vec<MuxItem>> = (0..SHARD_COUNT).map(|_| Vec::new()).collect();
+        let result = loop {
+            let remaining = deadline.saturating_duration_since(Instant::now());
+            if remaining.is_zero() {
+                break None;
+            }
+            match self.phys.recv_frame_timeout(remaining.min(RECV_SLICE)) {
+                Ok(Some(frame)) => {
+                    frames.push(frame);
+                    // Drain the burst buffered behind the first frame, then
+                    // route the whole sweep with one lock per shard.
+                    let _ = self.phys.try_recv_frames(&mut frames, PUMP_DRAIN);
+                    self.route_all(&mut frames, &mut buckets);
+                    let mut state = lock(&self.shards[shard_ix(id)].state);
+                    if let Some(resolved) = Self::check_inbox(&mut state, id) {
+                        break Some(resolved);
+                    }
+                    // Not ours: keep pumping for the others.
+                }
+                Ok(None) => break None,
+                Err(_) => {
+                    self.dead.store(true, Ordering::Release);
+                    break Some(Err(ProtoError::Disconnected));
+                }
+            }
+        };
+        self.pumping.store(false, Ordering::Release);
+        self.wake_all_shards();
+        result
     }
 }
 
@@ -263,10 +566,7 @@ impl MuxEndpoint {
 impl MsgChannel for MuxEndpoint {
     fn send(&self, msg: LmonpMsg) -> ProtoResult<()> {
         let len = msg.wire_len() as u64;
-        let carrier = LmonpMsg::of_type(MsgType::MuxData)
-            .with_tag(self.id)
-            .with_lmon_payload(encode_msg(&msg));
-        self.shared.phys.send(carrier)?;
+        self.shared.send_on(self.id, msg)?;
         self.sent_bytes.fetch_add(len, Ordering::Relaxed);
         Ok(())
     }
@@ -290,11 +590,15 @@ impl MsgChannel for MuxEndpoint {
 
 impl Drop for MuxEndpoint {
     fn drop(&mut self) {
-        // Best effort: the physical link may already be gone.
-        let _ = self.shared.phys.send(LmonpMsg::of_type(MsgType::MuxClose).with_tag(self.id));
-        let mut state = self.shared.lock_state();
-        state.inboxes.remove(&self.id);
-        self.shared.cv.notify_all();
+        // Best effort: the physical link may already be gone. The close is
+        // queued behind any of this session's unflushed data.
+        self.shared.send_close(self.id);
+        let shard = &self.shared.shards[shard_ix(self.id)];
+        let removed = lock(&shard.state).inboxes.remove(&self.id).is_some();
+        if removed {
+            lock(&self.shared.accounting).count -= 1;
+        }
+        shard.cv.notify_all();
     }
 }
 
@@ -400,6 +704,157 @@ mod tests {
         a.send(msg(MsgType::BeUsrData, 2)).unwrap();
         assert_eq!(_b.recv().unwrap().tag, 2, "live session unaffected");
         assert_eq!(far.orphan_frames(), 1);
+    }
+
+    #[test]
+    fn batch_entries_for_sessions_closed_mid_batch_count_as_orphans() {
+        // Regression: a physical batch can contain entries for a session
+        // that closed (or was never opened) while the batch was in flight.
+        // Those entries must count as orphans — not panic the pump, not
+        // disturb the batch's live entries.
+        let (phys_near, phys_far) = LocalChannel::pair();
+        let near = SessionMux::over(Box::new(phys_near));
+        let live = near.open(1).unwrap();
+        let batch = MuxBatch {
+            entries: vec![
+                MuxEntry { session: 1, msg: msg(MsgType::BeUsrData, 100) },
+                MuxEntry { session: 9, msg: msg(MsgType::BeUsrData, 101) }, // never opened
+                MuxEntry { session: 1, msg: msg(MsgType::BeUsrData, 102) },
+                MuxEntry { session: 17, msg: msg(MsgType::BeUsrData, 103) }, // never opened
+            ],
+        };
+        phys_far.send_frame(WireFrame::Batch(batch)).unwrap();
+        assert_eq!(live.recv().unwrap().tag, 100);
+        assert_eq!(live.recv().unwrap().tag, 102);
+        assert_eq!(near.orphan_frames(), 2);
+    }
+
+    #[test]
+    fn batched_sends_preserve_per_session_fifo_and_close_ordering() {
+        // Force everything into one coalesced flush by pre-loading the
+        // pending queue while the peer is not draining.
+        let (near, far) = SessionMux::pair();
+        let a = near.open(4).unwrap();
+        let b = far.open(4).unwrap();
+        for i in 0..10u16 {
+            a.send(msg(MsgType::BeUsrData, i)).unwrap();
+        }
+        drop(a); // close must arrive after all ten messages
+        for i in 0..10u16 {
+            assert_eq!(b.recv().unwrap().tag, i);
+        }
+        assert!(matches!(b.recv_timeout(Duration::from_secs(5)), Err(ProtoError::Disconnected)));
+    }
+
+    #[test]
+    fn batching_reduces_physical_frames_under_backlog() {
+        // A send-side backlog accumulated before any flushup must coalesce:
+        // far side is silent, so we inspect the wire accounting after a
+        // burst from many sessions.
+        let (near, far) = SessionMux::pair();
+        let senders: Vec<_> = (0..8).map(|i| near.open(i).unwrap()).collect();
+        let receivers: Vec<_> = (0..8).map(|i| far.open(i).unwrap()).collect();
+        let handles: Vec<_> = senders
+            .into_iter()
+            .map(|ep| {
+                std::thread::spawn(move || {
+                    for i in 0..100u16 {
+                        ep.send(msg(MsgType::BeUsrData, i)).unwrap();
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        for ep in &receivers {
+            for i in 0..100u16 {
+                assert_eq!(ep.recv().unwrap().tag, i, "per-session FIFO survives batching");
+            }
+        }
+        assert_eq!(near.logical_msgs_sent(), 800);
+        // 8 close frames ride along (sender endpoints drop at thread exit);
+        // data frames themselves can only coalesce, never multiply.
+        assert!(
+            near.physical_frames_sent() <= near.logical_msgs_sent() + 8,
+            "batching can only reduce physical data frames (sent {} for {} msgs)",
+            near.physical_frames_sent(),
+            near.logical_msgs_sent()
+        );
+    }
+
+    #[test]
+    fn backlog_behind_a_full_link_coalesces_into_batches() {
+        // Deterministic batching proof: a cap-2 physical link wedges the
+        // flusher mid-send (third frame), a second session piles 50
+        // messages into the pending queue behind it, and the stuck flusher
+        // must ship that backlog as coalesced batch frames once the link
+        // drains — fewer physical frames than logical messages, strictly.
+        // (Capacity 2, not 1: teardown sends one close per endpoint per
+        // direction, and a cap-1 queue with no live pump would wedge the
+        // second close inside Drop.)
+        let (a, b) = LocalChannel::bounded_pair(2);
+        let near = SessionMux::over(Box::new(a));
+        let far = SessionMux::over(Box::new(b));
+        let s0 = near.open(0).unwrap();
+        let s1 = near.open(1).unwrap();
+        let r0 = far.open(0).unwrap();
+        let r1 = far.open(1).unwrap();
+
+        // The drain runs on its own thread, delayed so the backlog builds
+        // while the link is wedged. (A single thread that first sends and
+        // then receives could become the flusher itself and block on the
+        // full link with nobody left to drain it.)
+        let drain = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(100));
+            for want in 0..3u16 {
+                assert_eq!(r0.recv().unwrap().tag, want);
+            }
+            for i in 0..50u16 {
+                assert_eq!(r1.recv().unwrap().tag, i);
+            }
+        });
+        let blocked = std::thread::spawn(move || {
+            s0.send(msg(MsgType::BeUsrData, 0)).unwrap(); // queue slot 1
+            s0.send(msg(MsgType::BeUsrData, 1)).unwrap(); // queue slot 2
+            s0.send(msg(MsgType::BeUsrData, 2)).unwrap(); // blocks inside the flush
+            s0
+        });
+        // The wedged thread holds the flush role until the drain starts
+        // (the link cannot accept its third frame before then), so this
+        // whole backlog piles up behind it — every enqueue returns
+        // immediately and must coalesce.
+        std::thread::sleep(Duration::from_millis(50));
+        for i in 0..50u16 {
+            s1.send(msg(MsgType::BeUsrData, i)).unwrap();
+        }
+        let _s0 = blocked.join().unwrap();
+        drain.join().unwrap();
+
+        // 53 logical messages; three wedged singles plus at most a couple
+        // of batch frames for the 50-message backlog.
+        assert_eq!(near.logical_msgs_sent(), 53);
+        assert!(
+            near.physical_frames_sent() < near.logical_msgs_sent(),
+            "backlog must coalesce: {} physical frames for {} messages",
+            near.physical_frames_sent(),
+            near.logical_msgs_sent()
+        );
+    }
+
+    #[test]
+    fn max_batch_frames_of_one_disables_batching() {
+        let (near, far) = SessionMux::pair();
+        near.set_max_batch_frames(1);
+        let a = near.open(0).unwrap();
+        let b = far.open(0).unwrap();
+        for i in 0..20u16 {
+            a.send(msg(MsgType::BeUsrData, i)).unwrap();
+        }
+        for i in 0..20u16 {
+            assert_eq!(b.recv().unwrap().tag, i);
+        }
+        assert_eq!(near.physical_frames_sent(), 20, "one carrier per message");
     }
 
     #[test]

@@ -26,7 +26,7 @@
 //! exactly the one-representative-per-component discipline LMONP
 //! prescribes.
 
-use std::io::{Read, Write};
+use std::io::{IoSlice, Read, Write};
 use std::net::{TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
@@ -35,7 +35,7 @@ use std::time::Duration;
 use crossbeam_channel::{bounded, unbounded, Receiver, RecvTimeoutError, Sender};
 
 use crate::error::{ProtoError, ProtoResult};
-use crate::frame::{encode_msg, FrameReader};
+use crate::frame::{FrameReader, WireFrame};
 use crate::msg::LmonpMsg;
 
 /// A bidirectional, message-oriented LMONP connection endpoint.
@@ -43,6 +43,13 @@ use crate::msg::LmonpMsg;
 /// Object-safe and shareable: `LocalChannel`, `TcpChannel`, `FaultyChannel`
 /// and mux `Endpoint`s are interchangeable as `Box<dyn MsgChannel>` in the
 /// live FE/BE/MW stack.
+///
+/// The `*_frame` methods are the zero-copy hot path used by the session
+/// mux: frames move structurally in-process (no encode at all) and as a
+/// gathered slice list over byte streams (headers staged, payloads
+/// borrowed). The defaults fall back to the legacy materialized encoding,
+/// which is byte-identical, so implementing only the four message methods
+/// remains correct.
 pub trait MsgChannel: Send + Sync {
     /// Send one message to the peer.
     fn send(&self, msg: LmonpMsg) -> ProtoResult<()>;
@@ -57,6 +64,41 @@ pub trait MsgChannel: Send + Sync {
     /// Bytes sent so far on this endpoint (for instrumentation and the
     /// performance model's message-volume accounting).
     fn bytes_sent(&self) -> u64;
+
+    /// Send one physical frame, avoiding intermediate payload copies where
+    /// the transport allows.
+    fn send_frame(&self, frame: WireFrame) -> ProtoResult<()> {
+        self.send(frame.into_msg())
+    }
+
+    /// Block for at most `timeout` waiting for the next physical frame,
+    /// lifted to structural form ([`WireFrame::from_msg`]).
+    fn recv_frame_timeout(&self, timeout: Duration) -> ProtoResult<Option<WireFrame>> {
+        Ok(self.recv_timeout(timeout)?.map(WireFrame::from_msg))
+    }
+
+    /// Drain frames that are *already buffered* at this endpoint — without
+    /// blocking and, where the transport allows, with a single internal
+    /// lock acquisition — appending at most `max` of them to `out`.
+    /// Returns how many were appended.
+    ///
+    /// `Err(ProtoError::Disconnected)` is reported only when nothing was
+    /// appended, so buffered traffic always drains ahead of a disconnect.
+    fn try_recv_frames(&self, out: &mut Vec<WireFrame>, max: usize) -> ProtoResult<usize> {
+        let mut n = 0;
+        while n < max {
+            match self.recv_timeout(Duration::ZERO) {
+                Ok(Some(m)) => {
+                    out.push(WireFrame::from_msg(m));
+                    n += 1;
+                }
+                Ok(None) => break,
+                Err(_) if n > 0 => break,
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(n)
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -64,9 +106,13 @@ pub trait MsgChannel: Send + Sync {
 // ---------------------------------------------------------------------------
 
 /// In-process transport endpoint backed by crossbeam channels.
+///
+/// The queue carries whole [`WireFrame`]s: a mux carrier travels as a
+/// structural `(session, message)` move with **zero** encode work — the
+/// in-process analog of the gathered write a byte-stream transport does.
 pub struct LocalChannel {
-    tx: Sender<LmonpMsg>,
-    rx: Receiver<LmonpMsg>,
+    tx: Sender<WireFrame>,
+    rx: Receiver<WireFrame>,
     sent_bytes: AtomicU64,
 }
 
@@ -95,26 +141,39 @@ impl LocalChannel {
 
 impl MsgChannel for LocalChannel {
     fn send(&self, msg: LmonpMsg) -> ProtoResult<()> {
-        let len = msg.wire_len() as u64;
-        self.tx.send(msg).map_err(|_| ProtoError::Disconnected)?;
+        self.send_frame(WireFrame::Msg(msg))
+    }
+
+    fn recv(&self) -> ProtoResult<LmonpMsg> {
+        self.rx.recv().map(WireFrame::into_msg).map_err(|_| ProtoError::Disconnected)
+    }
+
+    fn recv_timeout(&self, timeout: Duration) -> ProtoResult<Option<LmonpMsg>> {
+        Ok(self.recv_frame_timeout(timeout)?.map(WireFrame::into_msg))
+    }
+
+    fn bytes_sent(&self) -> u64 {
+        self.sent_bytes.load(Ordering::Relaxed)
+    }
+
+    fn send_frame(&self, frame: WireFrame) -> ProtoResult<()> {
+        let len = frame.wire_len() as u64;
+        self.tx.send(frame).map_err(|_| ProtoError::Disconnected)?;
         self.sent_bytes.fetch_add(len, Ordering::Relaxed);
         Ok(())
     }
 
-    fn recv(&self) -> ProtoResult<LmonpMsg> {
-        self.rx.recv().map_err(|_| ProtoError::Disconnected)
-    }
-
-    fn recv_timeout(&self, timeout: Duration) -> ProtoResult<Option<LmonpMsg>> {
+    fn recv_frame_timeout(&self, timeout: Duration) -> ProtoResult<Option<WireFrame>> {
         match self.rx.recv_timeout(timeout) {
-            Ok(m) => Ok(Some(m)),
+            Ok(f) => Ok(Some(f)),
             Err(RecvTimeoutError::Timeout) => Ok(None),
             Err(RecvTimeoutError::Disconnected) => Err(ProtoError::Disconnected),
         }
     }
 
-    fn bytes_sent(&self) -> u64 {
-        self.sent_bytes.load(Ordering::Relaxed)
+    fn try_recv_frames(&self, out: &mut Vec<WireFrame>, max: usize) -> ProtoResult<usize> {
+        // One queue-lock acquisition for the whole buffered burst.
+        self.rx.try_drain(out, max).map_err(|_| ProtoError::Disconnected)
     }
 }
 
@@ -133,7 +192,9 @@ impl MsgChannel for LocalChannel {
 pub struct TcpChannel {
     stream: TcpStream,
     recv_state: Mutex<TcpRecvState>,
-    send_lock: Mutex<()>,
+    /// Serializes sends; doubles as the reusable header-staging scratch so
+    /// the gather path allocates nothing per frame after warm-up.
+    send_scratch: Mutex<Vec<u8>>,
     sent_bytes: AtomicU64,
 }
 
@@ -171,7 +232,7 @@ impl TcpChannel {
                 reader: FrameReader::new(),
                 read_buf: vec![0u8; 64 * 1024],
             }),
-            send_lock: Mutex::new(()),
+            send_scratch: Mutex::new(Vec::new()),
             sent_bytes: AtomicU64::new(0),
         }
     }
@@ -184,16 +245,64 @@ impl TcpChannel {
     }
 }
 
+/// Write every byte of `slices` to `stream`, preferring one vectored
+/// syscall and finishing sequentially on the (rare) partial write.
+fn write_gather(mut stream: &TcpStream, slices: &[&[u8]]) -> std::io::Result<()> {
+    let total: usize = slices.iter().map(|s| s.len()).sum();
+    let bufs: Vec<IoSlice<'_>> = slices.iter().map(|s| IoSlice::new(s)).collect();
+    let mut written = stream.write_vectored(&bufs)?;
+    if written == total {
+        return Ok(());
+    }
+    if written == 0 && total > 0 {
+        return Err(std::io::Error::new(std::io::ErrorKind::WriteZero, "write_vectored wrote 0"));
+    }
+    for s in slices {
+        if written >= s.len() {
+            written -= s.len();
+            continue;
+        }
+        stream.write_all(&s[written..])?;
+        written = 0;
+    }
+    Ok(())
+}
+
 impl MsgChannel for TcpChannel {
     fn send(&self, msg: LmonpMsg) -> ProtoResult<()> {
-        let bytes = encode_msg(&msg);
-        // `Write` needs `&mut`; TcpStream allows writes through `&self` via
-        // its `&TcpStream` impl. The lock keeps the frame contiguous on the
-        // wire when several threads share the channel.
-        let _wire = self.send_lock.lock().unwrap_or_else(|e| e.into_inner());
-        (&self.stream).write_all(&bytes)?;
-        self.sent_bytes.fetch_add(bytes.len() as u64, Ordering::Relaxed);
+        self.send_frame(WireFrame::Msg(msg))
+    }
+
+    fn send_frame(&self, frame: WireFrame) -> ProtoResult<()> {
+        // Stage only header bytes (into the lock-guarded reusable scratch);
+        // both payload sections are gathered from the frame in place
+        // ([`WireFrame::gather`]). `Write` needs `&mut`; TcpStream allows
+        // writes through `&self` via its `&TcpStream` impl. The lock keeps
+        // the frame contiguous on the wire when several threads share the
+        // channel.
+        let mut scratch = self.send_scratch.lock().unwrap_or_else(|e| e.into_inner());
+        let slices = frame.gather(&mut scratch);
+        let total: usize = slices.iter().map(|s| s.len()).sum();
+        write_gather(&self.stream, &slices)?;
+        self.sent_bytes.fetch_add(total as u64, Ordering::Relaxed);
         Ok(())
+    }
+
+    fn try_recv_frames(&self, out: &mut Vec<WireFrame>, max: usize) -> ProtoResult<usize> {
+        // Pop only messages already buffered in the frame reader: no socket
+        // syscalls, so the mux pump's burst drain never blocks here.
+        let mut state = self.recv_state.lock().unwrap_or_else(|e| e.into_inner());
+        let mut n = 0;
+        while n < max {
+            match state.reader.next_msg()? {
+                Some(m) => {
+                    out.push(WireFrame::from_msg(m));
+                    n += 1;
+                }
+                None => break,
+            }
+        }
+        Ok(n)
     }
 
     fn recv(&self) -> ProtoResult<LmonpMsg> {

@@ -4,18 +4,23 @@
 
 use proptest::prelude::*;
 
-use lmon_proto::frame::{decode_msg, encode_msg, FrameReader};
+use lmon_proto::frame::{decode_msg, encode_msg, FrameReader, MuxBatch, MuxEntry, WireFrame};
 use lmon_proto::header::{MsgClass, MsgType};
 use lmon_proto::msg::LmonpMsg;
 use lmon_proto::rpdtab::{ProcDesc, Rpdtab};
 use lmon_proto::wire::{WireDecode, WireEncode};
 
 fn arb_msg_type() -> impl Strategy<Value = MsgType> {
-    (0u8..=22).prop_map(|b| MsgType::from_bits(b).unwrap())
+    (0u8..=23).prop_map(|b| MsgType::from_bits(b).unwrap())
 }
 
 fn arb_msg_class() -> impl Strategy<Value = MsgClass> {
     (0u8..=3).prop_map(|b| MsgClass::from_bits(b).unwrap())
+}
+
+/// Session ids with the u16 tag-space boundaries over-sampled.
+fn arb_session() -> impl Strategy<Value = u16> {
+    prop_oneof![any::<u16>(), Just(0u16), Just(u16::MAX)]
 }
 
 prop_compose! {
@@ -102,6 +107,68 @@ proptest! {
         let mut reader = FrameReader::new();
         reader.extend(&bytes);
         let _ = reader.next_msg();
+    }
+
+    #[test]
+    fn zero_copy_carrier_encode_is_byte_identical_to_legacy(
+        m in arb_msg(),
+        session in arb_session(),
+    ) {
+        // The legacy path: encode the inner message whole, wrap it in a
+        // MuxData carrier, encode the carrier — two full payload copies.
+        let legacy = encode_msg(
+            &LmonpMsg::of_type(MsgType::MuxData)
+                .with_tag(session)
+                .with_lmon_payload(encode_msg(&m)),
+        );
+        // The zero-copy path: headers staged, payload sections gathered in
+        // place. Must be byte-for-byte identical for every message shape,
+        // piggybacked usr payloads and tag-space boundaries included.
+        let frame = WireFrame::Carrier { session, msg: m.clone() };
+        prop_assert_eq!(frame.wire_len(), legacy.len());
+        prop_assert_eq!(frame.encode_to_vec(), legacy);
+        // And the materialized fallback agrees too.
+        prop_assert_eq!(encode_msg(&frame.clone().into_msg()), legacy);
+        // Structural lift inverts the materialization.
+        match WireFrame::from_msg(frame.clone().into_msg()) {
+            WireFrame::Carrier { session: s, msg: back } => {
+                prop_assert_eq!(s, session);
+                prop_assert_eq!(back, m);
+            }
+            other => return Err(TestCaseError::fail(format!("expected Carrier, got {other:?}"))),
+        }
+    }
+
+    #[test]
+    fn zero_copy_batch_encode_is_byte_identical_to_legacy(
+        entries in proptest::collection::vec((arb_session(), arb_msg()), 1..8),
+    ) {
+        let batch = MuxBatch {
+            entries: entries
+                .into_iter()
+                .map(|(session, msg)| MuxEntry { session, msg })
+                .collect(),
+        };
+        let frame = WireFrame::Batch(batch.clone());
+        let materialized = frame.clone().into_msg();
+        prop_assert_eq!(frame.encode_to_vec(), encode_msg(&materialized));
+        prop_assert_eq!(frame.wire_len(), materialized.wire_len());
+        // Decode inverts: every entry survives session id + message intact.
+        match WireFrame::from_msg(materialized) {
+            WireFrame::Batch(back) => prop_assert_eq!(back, batch),
+            other => return Err(TestCaseError::fail(format!("expected Batch, got {other:?}"))),
+        }
+    }
+
+    #[test]
+    fn batch_decoder_never_panics_on_garbage(
+        bytes in proptest::collection::vec(any::<u8>(), 0..512),
+        count in any::<u16>(),
+    ) {
+        let _ = MuxBatch::decode_payload(&bytes, count);
+        let _ = WireFrame::from_msg(
+            LmonpMsg::of_type(MsgType::MuxBatch).with_tag(count).with_lmon_payload(bytes),
+        );
     }
 
     #[test]

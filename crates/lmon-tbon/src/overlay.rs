@@ -329,9 +329,10 @@ pub fn run_comm_node(harness: CommHarness, registry: FilterRegistry) {
 /// the daemon drains whatever is ready in batches, then blocks on the waker
 /// condvar until the next event. There is no sleep-polling anywhere — a
 /// packet arriving at an idle daemon wakes it immediately, and a burst is
-/// processed without a wakeup per message. (The previous implementation sat
-/// in a polled `select!` that parked 200 µs between sweeps, putting that
-/// park on every hop of every wave.)
+/// processed without a wakeup per message. Each link is drained with
+/// [`crossbeam_channel::Receiver::try_drain`] — the same one-lock batch
+/// primitive the session-mux receive pump uses — rather than a bespoke
+/// per-message `try_recv` sweep, which paid one lock round trip per packet.
 pub fn run_comm_node_with_faults(harness: CommHarness, registry: FilterRegistry, fault: CommFault) {
     let CommHarness { pos: _, down_rx, up_tx, my_slot, child_down, up_rx } = harness;
     let mut streams: HashMap<u16, FilterKind> = HashMap::new();
@@ -345,6 +346,8 @@ pub fn run_comm_node_with_faults(harness: CommHarness, registry: FilterRegistry,
     let want = child_down.len() - severed;
     let mut up_seen = 0u64;
     let mut down_seen = 0u64;
+    let mut down_batch: Vec<Down> = Vec::new();
+    let mut up_batch: Vec<Up> = Vec::new();
 
     let waker = SelectWaker::new();
     down_rx.watch(&waker);
@@ -357,76 +360,93 @@ pub fn run_comm_node_with_faults(harness: CommHarness, registry: FilterRegistry,
         let mut down_open = true;
         let mut up_open = true;
 
-        // Drain the downstream link: forward control and data to children.
+        // Drain the downstream link one lock acquisition per burst, then
+        // forward control and data to children. The drain repeats until the
+        // link is empty or disconnected so a disconnect behind a buffered
+        // burst surfaces this sweep, exactly as the old per-message loop
+        // observed it.
         loop {
-            let msg = match down_rx.try_recv() {
-                Ok(m) => m,
-                Err(TryRecvError::Empty) => break,
+            match down_rx.try_drain(&mut down_batch, usize::MAX) {
+                Ok(0) => break,
+                Ok(_) => {}
                 Err(TryRecvError::Disconnected) => {
                     down_open = false;
                     break;
                 }
-            };
-            down_seen += 1;
-            if fault.crash_after_down.is_some_and(|n| down_seen > n) {
-                return;
+                // try_drain never reports Empty as an error (it returns
+                // Ok(0)); if that ever changed, treating it as a disconnect
+                // would silently kill an idle daemon.
+                Err(TryRecvError::Empty) => break,
             }
-            match msg {
-                Down::Ctl(Control::OpenStream { stream, filter }) => {
-                    streams.insert(stream, filter.clone());
-                    for c in &child_down {
-                        let _ = c.send(Down::Ctl(Control::OpenStream {
-                            stream,
-                            filter: filter.clone(),
-                        }));
-                    }
-                }
-                Down::Ctl(Control::Shutdown) => {
-                    for c in &child_down {
-                        let _ = c.send(Down::Ctl(Control::Shutdown));
-                    }
+            for msg in down_batch.drain(..) {
+                down_seen += 1;
+                if fault.crash_after_down.is_some_and(|n| down_seen > n) {
                     return;
                 }
-                Down::Data(pkt) => {
-                    for c in &child_down {
-                        let _ = c.send(Down::Data(pkt.clone()));
+                match msg {
+                    Down::Ctl(Control::OpenStream { stream, filter }) => {
+                        streams.insert(stream, filter.clone());
+                        for c in &child_down {
+                            let _ = c.send(Down::Ctl(Control::OpenStream {
+                                stream,
+                                filter: filter.clone(),
+                            }));
+                        }
+                    }
+                    Down::Ctl(Control::Shutdown) => {
+                        for c in &child_down {
+                            let _ = c.send(Down::Ctl(Control::Shutdown));
+                        }
+                        return;
+                    }
+                    Down::Data(pkt) => {
+                        for c in &child_down {
+                            let _ = c.send(Down::Data(pkt.clone()));
+                        }
                     }
                 }
             }
         }
 
-        // Drain the upstream link: collect waves, aggregate completed ones.
+        // Drain the upstream link the same way: collect waves, aggregate
+        // completed ones.
         loop {
-            let up = match up_rx.try_recv() {
-                Ok(u) => u,
-                Err(TryRecvError::Empty) => break,
+            match up_rx.try_drain(&mut up_batch, usize::MAX) {
+                Ok(0) => break,
+                Ok(_) => {}
                 Err(TryRecvError::Disconnected) => {
                     up_open = false;
                     break;
                 }
-            };
-            up_seen += 1;
-            if fault.crash_after_up.is_some_and(|n| up_seen > n) {
-                return;
+                Err(TryRecvError::Empty) => break,
             }
-            if fault.sever_child_slots.contains(&up.child_slot) {
-                continue;
-            }
-            let key = (up.packet.stream, up.packet.tag);
-            let wave = waves.entry(key).or_default();
-            wave.insert(up.child_slot, up.packet);
-            if wave.len() == want {
-                let wave = waves.remove(&key).expect("just inserted");
-                let mut slots: Vec<(usize, Packet)> = wave.into_iter().collect();
-                slots.sort_by_key(|(slot, _)| *slot);
-                let inputs: Vec<Vec<u8>> = slots.into_iter().map(|(_, p)| p.payload).collect();
-                let filter = streams.get(&key.0).cloned().unwrap_or(FilterKind::Concat);
-                let payload = registry.apply(&filter, inputs);
-                if up_tx
-                    .send(Up { child_slot: my_slot, packet: Packet::new(key.0, key.1, payload) })
-                    .is_err()
-                {
+            for up in up_batch.drain(..) {
+                up_seen += 1;
+                if fault.crash_after_up.is_some_and(|n| up_seen > n) {
                     return;
+                }
+                if fault.sever_child_slots.contains(&up.child_slot) {
+                    continue;
+                }
+                let key = (up.packet.stream, up.packet.tag);
+                let wave = waves.entry(key).or_default();
+                wave.insert(up.child_slot, up.packet);
+                if wave.len() == want {
+                    let wave = waves.remove(&key).expect("just inserted");
+                    let mut slots: Vec<(usize, Packet)> = wave.into_iter().collect();
+                    slots.sort_by_key(|(slot, _)| *slot);
+                    let inputs: Vec<Vec<u8>> = slots.into_iter().map(|(_, p)| p.payload).collect();
+                    let filter = streams.get(&key.0).cloned().unwrap_or(FilterKind::Concat);
+                    let payload = registry.apply(&filter, inputs);
+                    if up_tx
+                        .send(Up {
+                            child_slot: my_slot,
+                            packet: Packet::new(key.0, key.1, payload),
+                        })
+                        .is_err()
+                    {
+                        return;
+                    }
                 }
             }
         }

@@ -272,6 +272,43 @@ fn chaos_delayed_frames_arrive_late_in_order_and_intact() {
     assert_eq!(tx.frames_delayed(), 1);
 }
 
+#[test]
+fn chaos_frame_delayed_past_session_close_is_an_orphan_not_a_panic() {
+    // Regression for the mux orphan-accounting race: a frame delayed in the
+    // sender's transmit path can arrive *after* the receiving side closed
+    // its endpoint — mid-batch from the link's perspective. The late frame
+    // must be counted as an orphan; the pump must not panic, and sibling
+    // sessions must keep flowing.
+    use launchmon::proto::mux::SessionMux;
+
+    let (near, far) = SessionMux::pair();
+    let probe_tx = near.open(0).unwrap();
+    let probe_rx = far.open(0).unwrap();
+    let doomed_tx = near.open(1).unwrap();
+    let doomed_rx = far.open(1).unwrap();
+
+    // Session 1's sender stalls its only frame by 60 ms.
+    let delayed = FaultyChannel::new(
+        doomed_tx,
+        FaultPlan::new().delay_frame(0, Duration::from_millis(60)).frame_plan(),
+    );
+    let sender = std::thread::spawn(move || {
+        delayed
+            .send(LmonpMsg::of_type(MsgType::BeUsrData).with_tag(7).with_usr_payload(vec![1; 16]))
+            .unwrap();
+    });
+
+    // The receiver closes session 1 while the frame is still in flight.
+    drop(doomed_rx);
+    sender.join().unwrap();
+
+    // Sibling traffic forces the pump to route the late frame.
+    probe_tx.send(LmonpMsg::of_type(MsgType::BeUsrData).with_tag(9)).unwrap();
+    assert_eq!(probe_rx.recv().unwrap().tag, 9, "sibling session unaffected");
+    assert_eq!(far.orphan_frames(), 1, "late frame for the closed session counted as orphan");
+    assert_eq!(far.session_count(), 1, "only the probe session remains open");
+}
+
 // ---------------------------------------------------------------------------
 // TBON scenarios (comm-daemon crash, partition)
 // ---------------------------------------------------------------------------

@@ -387,6 +387,33 @@ impl<T> Receiver<T> {
         std::iter::from_fn(move || self.try_recv().ok())
     }
 
+    /// Pop up to `max` buffered messages into `out` with a **single** queue
+    /// lock acquisition — the batch-drain primitive behind the mux receive
+    /// pump and the comm-daemon loops, where a per-message `try_recv` sweep
+    /// would pay one lock round trip per message.
+    ///
+    /// Returns how many messages were appended (possibly zero).
+    /// `Err(TryRecvError::Disconnected)` is reported only when nothing was
+    /// appended and every sender is gone, mirroring [`Receiver::try_recv`]'s
+    /// drain-before-disconnect semantics.
+    pub fn try_drain(&self, out: &mut Vec<T>, max: usize) -> Result<usize, TryRecvError> {
+        let mut queue = self.inner.queue.lock().unwrap_or_else(|e| e.into_inner());
+        let n = max.min(queue.len());
+        out.extend(queue.drain(..n));
+        drop(queue);
+        if n > 0 {
+            // Bounded senders may have been blocked on any of the freed
+            // slots.
+            self.inner.not_full.notify_all();
+            return Ok(n);
+        }
+        if self.inner.disconnected_for_recv() {
+            Err(TryRecvError::Disconnected)
+        } else {
+            Ok(0)
+        }
+    }
+
     /// Register `waker` to be bumped whenever this channel gains a message
     /// or disconnects. Registration is weak: dropping the waker (or every
     /// clone of it) unregisters automatically. Dead registrations are
@@ -728,6 +755,47 @@ mod tests {
             "dead entries must be pruned at registration time, found {}",
             rx.inner.waker_count.load(Ordering::SeqCst)
         );
+    }
+
+    #[test]
+    fn try_drain_takes_a_bounded_batch_in_order() {
+        let (tx, rx) = unbounded();
+        for i in 0..10 {
+            tx.send(i).unwrap();
+        }
+        let mut out = Vec::new();
+        assert_eq!(rx.try_drain(&mut out, 4), Ok(4));
+        assert_eq!(out, vec![0, 1, 2, 3]);
+        assert_eq!(rx.try_drain(&mut out, usize::MAX), Ok(6));
+        assert_eq!(out, (0..10).collect::<Vec<_>>());
+        assert_eq!(rx.try_drain(&mut out, usize::MAX), Ok(0), "empty but connected");
+        drop(tx);
+        assert_eq!(rx.try_drain(&mut out, usize::MAX), Err(TryRecvError::Disconnected));
+    }
+
+    #[test]
+    fn try_drain_drains_before_reporting_disconnect() {
+        let (tx, rx) = unbounded();
+        tx.send(1).unwrap();
+        drop(tx);
+        let mut out = Vec::new();
+        assert_eq!(rx.try_drain(&mut out, usize::MAX), Ok(1), "buffered messages first");
+        assert_eq!(rx.try_drain(&mut out, usize::MAX), Err(TryRecvError::Disconnected));
+    }
+
+    #[test]
+    fn try_drain_frees_bounded_slots_for_blocked_senders() {
+        let (tx, rx) = bounded(2);
+        tx.send(1).unwrap();
+        tx.send(2).unwrap();
+        let t = thread::spawn(move || {
+            tx.send(3).unwrap(); // blocks until try_drain frees a slot
+        });
+        thread::sleep(Duration::from_millis(20));
+        let mut out = Vec::new();
+        assert_eq!(rx.try_drain(&mut out, usize::MAX), Ok(2));
+        t.join().unwrap();
+        assert_eq!(rx.recv(), Ok(3));
     }
 
     #[test]
