@@ -1,0 +1,254 @@
+//! `recovery_latency` — the self-healing TBON, quantified.
+//!
+//! Measurements backing the ISSUE 5 acceptance criteria: how long the
+//! overlay takes to go from a comm-daemon kill to the first *post-heal*
+//! end-to-end broadcast (kill → detect → repair → broadcast+gather), per
+//! tree shape, with the phase breakdown and the same-run healthy
+//! broadcast RTT as the hardware normalizer.
+//!
+//! Per iteration a fresh overlay is built, connected, and probed healthy;
+//! then an interior comm daemon is killed through the deterministic crash
+//! path (`FrontEndpoint::crash_comm` — the same LinkDown/ChildGone close a
+//! `CommFault` crash runs), the failure is detected, repaired by
+//! grandparent adoption, and the next broadcast must reach every BE.
+//!
+//! Results print as a table and are written to `BENCH_recovery.json` at
+//! the workspace root (CI uploads it as an artifact); the JSON carries a
+//! `baseline` block (this subsystem's first committed numbers) so the
+//! trajectory is self-describing. Quick mode for CI: `LMON_BENCH_QUICK=1`.
+//!
+//! **Regression gate**: unless `LMON_BENCH_SKIP_GATE=1`, the run fails if
+//! the primary shape's median `recovery_latency_us` regresses more than
+//! 30% over the committed `BENCH_recovery.json` (same-mode runs only)
+//! *and* the hardware-neutral recovery/healthy-RTT ratio regressed by more
+//! than 30% too — a uniformly slower runner passes, a real recovery-path
+//! regression fails.
+
+use std::io::Write as _;
+use std::time::{Duration, Instant};
+
+use lmon_bench::{extract_json_number, print_table, Row};
+use lmon_tbon::filter::FilterKind;
+use lmon_tbon::spec::{NodePos, TopologySpec};
+use lmon_testkit::{FaultPlan, LiveOverlay};
+
+/// Tree shapes measured, primary (gated) shape first.
+const SHAPES: &[&str] = &["1x8x64", "1x16x256"];
+
+/// First committed numbers for this subsystem (quick mode, the CI
+/// configuration), so any later reader of the JSON sees the trajectory
+/// without digging through git history.
+const BASELINE_PR: u32 = 5;
+const BASELINE_SHAPE: &str = "1x8x64";
+const BASELINE_RECOVERY_US: f64 = 548.0;
+const BASELINE_HEALTHY_RTT_US: f64 = 390.0;
+
+/// Gate: fail when the new median recovery latency exceeds the committed
+/// one by more than this factor (and the RTT-normalized ratio agrees).
+const GATE_CEILING: f64 = 1.30;
+
+fn quick_mode() -> bool {
+    std::env::var("LMON_BENCH_QUICK").map(|v| v == "1").unwrap_or(false)
+}
+
+#[derive(Debug, Clone, Copy)]
+struct RecoverySample {
+    healthy_rtt_us: f64,
+    detect_us: f64,
+    repair_us: f64,
+    total_us: f64,
+}
+
+fn median(mut v: Vec<f64>) -> f64 {
+    v.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    v[v.len() / 2]
+}
+
+/// One kill-and-heal cycle on a fresh overlay.
+fn one_cycle(shape: &str) -> RecoverySample {
+    let spec = TopologySpec::parse(shape).expect("valid shape");
+    let leaves = spec.leaf_count();
+    // Kill the middle comm daemon of the first interior level.
+    let victim = NodePos { level: 1, index: spec.levels()[1] / 2 };
+
+    let mut live = LiveOverlay::launch_echo(shape, &FaultPlan::new());
+    live.front.await_connections(leaves, Duration::from_secs(20)).expect("connect");
+    let stream = live.front.open_stream(FilterKind::Concat).expect("stream");
+
+    // Healthy round trip (wave 1): the same-run hardware normalizer.
+    let h0 = Instant::now();
+    live.front.broadcast(stream, 1, vec![]).expect("healthy broadcast");
+    let pkt = live.front.gather(stream, 1, Duration::from_secs(20)).expect("healthy gather");
+    let healthy_rtt_us = h0.elapsed().as_secs_f64() * 1e6;
+    assert_eq!(pkt.payload.len(), leaves as usize);
+
+    // Kill → detect → repair → first post-heal end-to-end broadcast.
+    let t0 = Instant::now();
+    live.front.crash_comm(victim).expect("kill switch");
+    let dead = live.front.wait_failure(Duration::from_secs(20)).expect("detect");
+    assert_eq!(dead, victim);
+    let detect_us = t0.elapsed().as_secs_f64() * 1e6;
+    let reports = live.front.heal_failures().expect("repair");
+    assert_eq!(reports.len(), 1);
+    let repair_us = t0.elapsed().as_secs_f64() * 1e6 - detect_us;
+    live.front.broadcast(stream, 2, vec![]).expect("post-heal broadcast");
+    let pkt = live.front.gather(stream, 2, Duration::from_secs(20)).expect("post-heal gather");
+    let total_us = t0.elapsed().as_secs_f64() * 1e6;
+    assert_eq!(pkt.payload.len(), leaves as usize, "heal must recover every BE");
+
+    live.shutdown();
+    RecoverySample { healthy_rtt_us, detect_us, repair_us, total_us }
+}
+
+#[derive(Debug)]
+struct ShapeResult {
+    shape: String,
+    iterations: usize,
+    healthy_rtt_us: f64,
+    detect_us: f64,
+    repair_us: f64,
+    recovery_latency_us: f64,
+}
+
+fn measure(shape: &str, iters: usize) -> ShapeResult {
+    let samples: Vec<RecoverySample> = (0..iters).map(|_| one_cycle(shape)).collect();
+    ShapeResult {
+        shape: shape.to_string(),
+        iterations: iters,
+        healthy_rtt_us: median(samples.iter().map(|s| s.healthy_rtt_us).collect()),
+        detect_us: median(samples.iter().map(|s| s.detect_us).collect()),
+        repair_us: median(samples.iter().map(|s| s.repair_us).collect()),
+        recovery_latency_us: median(samples.iter().map(|s| s.total_us).collect()),
+    }
+}
+
+fn fmt_us(v: f64) -> String {
+    format!("{v:.0}us")
+}
+
+fn main() {
+    let quick = quick_mode();
+    let iters = if quick { 3 } else { 10 };
+
+    // Read the committed artifact *before* overwriting; the gate only arms
+    // for a same-mode artifact (quick and full runs are not comparable).
+    let out = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_recovery.json");
+    let committed = std::fs::read_to_string(&out).ok().and_then(|json| {
+        let committed_quick = json.contains("\"quick\": true");
+        if committed_quick != quick {
+            return None;
+        }
+        // The primary shape is the first entry in the shapes array.
+        let at = json.find(&format!("\"shape\": \"{}\"", SHAPES[0]))?;
+        let tail = &json[at..];
+        let latency = extract_json_number(tail, "\"recovery_latency_us\":")?;
+        let rtt = extract_json_number(tail, "\"healthy_rtt_us\":")?;
+        Some((latency, rtt))
+    });
+
+    let results: Vec<ShapeResult> = SHAPES.iter().map(|s| measure(s, iters)).collect();
+
+    let rows: Vec<Row> = results
+        .iter()
+        .map(|r| Row {
+            x: r.shape.clone(),
+            values: vec![
+                fmt_us(r.healthy_rtt_us),
+                fmt_us(r.detect_us),
+                fmt_us(r.repair_us),
+                fmt_us(r.recovery_latency_us),
+                format!("{:.1}x", r.recovery_latency_us / r.healthy_rtt_us.max(1.0)),
+            ],
+        })
+        .collect();
+    print_table(
+        "overlay recovery latency (kill -> first post-heal broadcast, median)",
+        "shape",
+        &["healthy rtt", "detect", "repair", "recovery", "vs rtt"],
+        &rows,
+    );
+    println!(
+        "baseline (PR {BASELINE_PR}, {BASELINE_SHAPE}): recovery {BASELINE_RECOVERY_US:.0}us over \
+         a {BASELINE_HEALTHY_RTT_US:.0}us healthy rtt"
+    );
+
+    let shapes_json = results
+        .iter()
+        .map(|r| {
+            format!(
+                concat!(
+                    "    {{\"shape\": \"{}\", \"iterations\": {}, \"healthy_rtt_us\": {:.0}, ",
+                    "\"detect_us\": {:.0}, \"repair_us\": {:.0}, \"recovery_latency_us\": {:.0}}}"
+                ),
+                r.shape,
+                r.iterations,
+                r.healthy_rtt_us,
+                r.detect_us,
+                r.repair_us,
+                r.recovery_latency_us
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",\n");
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"quick\": {quick},\n",
+            "  \"shapes\": [\n",
+            "{shapes}\n",
+            "  ],\n",
+            "  \"baseline\": {{\n",
+            "    \"pr\": {bpr},\n",
+            "    \"shape\": \"{bshape}\",\n",
+            "    \"recovery_latency_us\": {blat:.0},\n",
+            "    \"healthy_rtt_us\": {brtt:.0}\n",
+            "  }}\n",
+            "}}\n"
+        ),
+        quick = quick,
+        shapes = shapes_json,
+        bpr = BASELINE_PR,
+        bshape = BASELINE_SHAPE,
+        blat = BASELINE_RECOVERY_US,
+        brtt = BASELINE_HEALTHY_RTT_US,
+    );
+    let mut f = std::fs::File::create(&out).expect("create BENCH_recovery.json");
+    f.write_all(json.as_bytes()).expect("write BENCH_recovery.json");
+    println!("\nwrote {}", out.display());
+
+    // Regression gate, mirroring the transport gate's two-signal design:
+    // the absolute latency must regress >30% AND the same-run
+    // recovery/healthy-rtt ratio must regress >30% before the run fails,
+    // so a uniformly slower runner shifts both and passes.
+    let skip_gate = std::env::var("LMON_BENCH_SKIP_GATE").map(|v| v == "1").unwrap_or(false);
+    let primary = &results[0];
+    match committed {
+        Some((committed_latency, committed_rtt)) if !skip_gate => {
+            let ceiling = committed_latency * GATE_CEILING;
+            let committed_ratio = committed_latency / committed_rtt.max(1.0);
+            let ratio = primary.recovery_latency_us / primary.healthy_rtt_us.max(1.0);
+            let ratio_ceiling = committed_ratio * GATE_CEILING;
+            if primary.recovery_latency_us > ceiling && ratio > ratio_ceiling {
+                eprintln!(
+                    "REGRESSION GATE FAILED: recovery_latency_us {:.0} is more than 30% above \
+                     the committed {committed_latency:.0} (ceiling {ceiling:.0}) AND the \
+                     recovery/healthy-rtt ratio {ratio:.2} exceeds {ratio_ceiling:.2} (committed \
+                     {committed_ratio:.2}), so this is not just a slower machine. Set \
+                     LMON_BENCH_SKIP_GATE=1 to skip on noisy runners.",
+                    primary.recovery_latency_us
+                );
+                std::process::exit(1);
+            }
+            println!(
+                "regression gate passed: {:.0}us (ceiling {ceiling:.0}, committed \
+                 {committed_latency:.0}); recovery/rtt ratio {ratio:.2} (committed \
+                 {committed_ratio:.2})",
+                primary.recovery_latency_us
+            );
+        }
+        Some(_) => println!("regression gate skipped (LMON_BENCH_SKIP_GATE=1)"),
+        None => println!(
+            "regression gate skipped (no committed BENCH_recovery.json in this run's mode)"
+        ),
+    }
+}

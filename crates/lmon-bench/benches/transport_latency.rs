@@ -24,7 +24,7 @@
 use std::io::Write as _;
 use std::time::{Duration, Instant};
 
-use lmon_bench::{print_table, Row};
+use lmon_bench::{extract_json_number as extract_number, print_table, Row};
 use lmon_proto::header::MsgType;
 use lmon_proto::msg::LmonpMsg;
 use lmon_proto::mux::SessionMux;
@@ -413,14 +413,4 @@ fn main() {
             "regression gate skipped (no committed BENCH_transport.json in this run's mode)"
         ),
     }
-}
-
-/// Pull the first number following `key` out of a JSON blob — enough of a
-/// parser for the gate (the workspace vendors no serde).
-fn extract_number(json: &str, key: &str) -> Option<f64> {
-    let at = json.find(key)? + key.len();
-    let rest = json[at..].trim_start();
-    let end =
-        rest.find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-')).unwrap_or(rest.len());
-    rest[..end].parse().ok()
 }

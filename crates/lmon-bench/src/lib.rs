@@ -11,6 +11,8 @@
 //! | `table1_oss_apai` | Table 1 — O\|SS APAI access: DPCL vs LaunchMON, 2→32 nodes |
 //! | `ablations` | design-choice studies DESIGN.md calls out |
 //! | `micro_hotpaths` | criterion micro-benches of the real hot paths |
+//! | `transport_latency` | recv wakeup latency + mux fan-in, self-gating vs `BENCH_transport.json` |
+//! | `recovery_latency` | overlay kill → heal → broadcast latency, self-gating vs `BENCH_recovery.json` |
 //!
 //! This library holds the shared table-rendering helpers and the paper's
 //! reference numbers, so each bench can print paper-vs-reproduction
@@ -63,6 +65,18 @@ pub fn s3(v: f64) -> String {
 /// Format a ratio like `17.0x`.
 pub fn ratio(a: f64, b: f64) -> String {
     format!("{:.1}x", a / b)
+}
+
+/// Pull the first number following `key` out of a JSON blob — enough of a
+/// parser for the self-gating benches (the workspace vendors no serde).
+/// Used by the `transport_latency` and `recovery_latency` regression gates
+/// to read the committed artifact.
+pub fn extract_json_number(json: &str, key: &str) -> Option<f64> {
+    let at = json.find(key)? + key.len();
+    let rest = json[at..].trim_start();
+    let end =
+        rest.find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-')).unwrap_or(rest.len());
+    rest[..end].parse().ok()
 }
 
 /// Paper reference values for Figure 6 (tool daemon count → seconds).

@@ -40,6 +40,7 @@ use crate::be::{wrap_be_main, BeMain, BeWiring};
 use crate::engine::channel::{EngineCommand, EngineEndpoint, EngineSidecar};
 use crate::engine::Engine;
 use crate::error::{LmonError, LmonResult};
+use crate::health::{HealthMonitor, HealthState, HealthTransition};
 use crate::mw::{assign_personalities, wrap_mw_main, MwMain, MwWiring};
 use crate::session::{SessionId, SessionState, SessionTable};
 use crate::timeline::{CriticalEvent, LaunchBreakdown, TimelineRecorder};
@@ -152,6 +153,9 @@ pub struct LmonFrontEnd {
     handshake_fault: Mutex<Option<FrameFaultPlan>>,
     /// Receive deadline for handshake and control replies.
     handshake_timeout: Mutex<Duration>,
+    /// Per-session overlay health (degraded → healed transitions recorded
+    /// by recovery-aware integration layers).
+    health: Mutex<HashMap<SessionId, HealthMonitor>>,
 }
 
 impl LmonFrontEnd {
@@ -172,7 +176,31 @@ impl LmonFrontEnd {
             mw_mux_far,
             handshake_fault: Mutex::new(None),
             handshake_timeout: Mutex::new(HANDSHAKE_TIMEOUT),
+            health: Mutex::new(HashMap::new()),
         })
+    }
+
+    /// Record a session health transition (called by recovery-aware
+    /// integration layers when the overlay degrades or heals).
+    pub fn record_session_health(
+        &self,
+        session: SessionId,
+        state: HealthState,
+        epoch: u64,
+        detail: impl Into<String>,
+    ) {
+        self.health.lock().entry(session).or_default().record(state, epoch, detail);
+    }
+
+    /// The session's current health ([`HealthState::Healthy`] when no
+    /// transition was ever recorded).
+    pub fn session_health(&self, session: SessionId) -> HealthState {
+        self.health.lock().get(&session).map(|m| m.current()).unwrap_or(HealthState::Healthy)
+    }
+
+    /// The session's full health history, oldest transition first.
+    pub fn session_health_history(&self, session: SessionId) -> Vec<HealthTransition> {
+        self.health.lock().get(&session).map(|m| m.history().to_vec()).unwrap_or_default()
     }
 
     /// The resource manager behind this front end.

@@ -1,0 +1,95 @@
+//! Session health: the front end's degraded → healed status surface.
+//!
+//! Overlay layers above `lmon-core` (the TBON's self-healing recovery,
+//! DESIGN.md §9) detect daemon deaths and repair around them; this module
+//! is where those transitions become *tool-visible*. The FE keeps one
+//! [`HealthMonitor`] per session; integration layers (e.g.
+//! `lmon-tools::jobsnap_tbon`) record a [`HealthState::Degraded`]
+//! transition when a failure is detected and [`HealthState::Healed`] when
+//! the repair completes, so a tool can distinguish "never failed" from
+//! "failed and recovered" without knowing anything about overlay internals.
+
+/// The health of a session's daemon fabric.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HealthState {
+    /// No failure has been observed.
+    Healthy,
+    /// A failure was detected and not yet repaired; collective results may
+    /// be delayed or incomplete.
+    Degraded,
+    /// A failure was repaired: the fabric is whole again, but the session
+    /// has a recovery in its history (its overlay runs under a newer
+    /// epoch).
+    Healed,
+}
+
+/// One recorded health transition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HealthTransition {
+    /// The state entered.
+    pub state: HealthState,
+    /// The overlay epoch at (or created by) the transition.
+    pub epoch: u64,
+    /// Human-readable cause (e.g. `"comm daemon (1,3) died, 8 orphans"`).
+    pub detail: String,
+}
+
+/// Per-session health log: current state plus full transition history.
+#[derive(Debug, Default)]
+pub struct HealthMonitor {
+    log: Vec<HealthTransition>,
+}
+
+impl HealthMonitor {
+    /// A fresh, healthy monitor.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record a transition.
+    pub fn record(&mut self, state: HealthState, epoch: u64, detail: impl Into<String>) {
+        self.log.push(HealthTransition { state, epoch, detail: detail.into() });
+    }
+
+    /// The current state ([`HealthState::Healthy`] when nothing was ever
+    /// recorded).
+    pub fn current(&self) -> HealthState {
+        self.log.last().map(|t| t.state).unwrap_or(HealthState::Healthy)
+    }
+
+    /// Whether a failure is currently outstanding.
+    pub fn is_degraded(&self) -> bool {
+        self.current() == HealthState::Degraded
+    }
+
+    /// The full transition history, oldest first.
+    pub fn history(&self) -> &[HealthTransition] {
+        &self.log
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_monitor_is_healthy() {
+        let m = HealthMonitor::new();
+        assert_eq!(m.current(), HealthState::Healthy);
+        assert!(!m.is_degraded());
+        assert!(m.history().is_empty());
+    }
+
+    #[test]
+    fn degraded_then_healed_transition_sequence() {
+        let mut m = HealthMonitor::new();
+        m.record(HealthState::Degraded, 0, "comm daemon died");
+        assert!(m.is_degraded());
+        m.record(HealthState::Healed, 1, "orphans adopted");
+        assert_eq!(m.current(), HealthState::Healed);
+        assert!(!m.is_degraded());
+        let states: Vec<HealthState> = m.history().iter().map(|t| t.state).collect();
+        assert_eq!(states, vec![HealthState::Degraded, HealthState::Healed]);
+        assert_eq!(m.history()[1].epoch, 1);
+    }
+}

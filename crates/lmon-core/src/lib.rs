@@ -23,6 +23,10 @@
 //! * **[`timeline`]** — critical-path instrumentation capturing the §4
 //!   model's events e0..e11 on every launch, so real runs produce the same
 //!   breakdown the paper's Figure 3 reports.
+//! * **[`health`]** — the per-session degraded → healed status surface:
+//!   overlay recovery (DESIGN.md §9) reports failure detection and repair
+//!   completion here, so tools observe fabric health without knowing
+//!   overlay internals.
 //!
 //! One honest deviation from the paper's deployment model is documented in
 //! [`engine::channel`]: our virtual cluster has no `exec()`, so the "daemon
@@ -38,11 +42,13 @@ pub mod be;
 pub mod engine;
 pub mod error;
 pub mod fe;
+pub mod health;
 pub mod mw;
 pub mod session;
 pub mod timeline;
 
 pub use error::{LmonError, LmonResult};
 pub use fe::LmonFrontEnd;
+pub use health::{HealthMonitor, HealthState, HealthTransition};
 pub use session::{SessionId, SessionState};
 pub use timeline::{CriticalEvent, LaunchBreakdown, TimelineRecorder};

@@ -17,6 +17,9 @@ pub enum TbonError {
     LaunchFailed(String),
     /// Waited too long for an aggregated wave.
     Timeout,
+    /// Referenced an overlay node that is not routed (never existed, or
+    /// already repaired away).
+    UnknownNode(crate::spec::NodePos),
 }
 
 impl fmt::Display for TbonError {
@@ -28,6 +31,9 @@ impl fmt::Display for TbonError {
             TbonError::NoSuchFilter(id) => write!(f, "no such filter: {id}"),
             TbonError::LaunchFailed(e) => write!(f, "TBON launch failed: {e}"),
             TbonError::Timeout => write!(f, "timed out waiting for aggregation"),
+            TbonError::UnknownNode(pos) => {
+                write!(f, "no such overlay node: level {} index {}", pos.level, pos.index)
+            }
         }
     }
 }

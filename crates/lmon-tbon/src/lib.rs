@@ -18,6 +18,11 @@
 //!   (concatenate, sum, custom tool merges such as STAT's prefix-tree
 //!   fold).
 //! * [`overlay`] — the channel fabric and the communication-daemon loop.
+//! * [`recovery`] — the self-healing layer (DESIGN.md §9): parent-side
+//!   failure detection (deterministic link-close notices + a heartbeat
+//!   sweep), grandparent adoption of orphaned subtrees with fan-out-bounded
+//!   splitting across siblings, and epoch-stamped route repair so stale
+//!   in-flight packets are counted and dropped rather than mis-routed.
 //! * [`bootstrap`] — the two instantiation paths Figure 6 measures:
 //!   [`bootstrap::bootstrap_adhoc`] launches every daemon with sequential
 //!   rsh from the front end (MRNet 1.x behaviour: linear cost, fd
@@ -33,10 +38,12 @@ pub mod error;
 pub mod filter;
 pub mod overlay;
 pub mod packet;
+pub mod recovery;
 pub mod spec;
 
 pub use error::{TbonError, TbonResult};
 pub use filter::FilterKind;
 pub use overlay::{CommFault, FrontEndpoint, LeafEndpoint, Overlay};
 pub use packet::Packet;
+pub use recovery::{OverlayStatsSnapshot, RecoveryEvent, RepairReport, RouteTable};
 pub use spec::TopologySpec;

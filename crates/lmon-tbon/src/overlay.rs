@@ -4,15 +4,30 @@
 //! packets sent up by leaves are aggregated at each internal node — one
 //! packet per (stream, tag) *wave* per child — with the stream's filter,
 //! so the front end receives a single combined packet per wave.
+//!
+//! The overlay is **self-healing** (DESIGN.md §9): every node carries an
+//! out-of-band control mailbox, crash fault paths close links
+//! deterministically (a `LinkDown` FIN to children, a `ChildGone` notice to
+//! the parent, a death mark in the shared [`RouteTable`]), and
+//! [`FrontEndpoint::repair`] re-parents a dead node's orphans onto its
+//! grandparent — split across siblings when fan-out bounds require —
+//! under a bumped overlay *epoch*. Packets stamped with a pre-repair epoch
+//! are counted in [`OverlayStats`] and dropped, never mis-routed.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap, HashSet};
+use std::sync::Arc;
 use std::time::Duration;
 
 use crossbeam_channel::{unbounded, Receiver, SelectWaker, Sender, TryRecvError};
+use parking_lot::Mutex;
 
 use crate::error::{TbonError, TbonResult};
 use crate::filter::{FilterKind, FilterRegistry};
-use crate::packet::{Control, Down, Packet, Up};
+use crate::packet::{Control, Down, Packet, Up, UpKind};
+use crate::recovery::{
+    plan_adoption, AdoptCandidate, ChildLink, OverlayStats, OverlayStatsSnapshot, RecoveryCmd,
+    RecoveryEvent, RepairReport, RouteTable,
+};
 use crate::spec::{NodePos, TopologySpec};
 
 /// Reserved stream id for connection hellos.
@@ -21,24 +36,40 @@ pub const CONNECT_STREAM: u16 = 0;
 /// First stream id handed out by [`FrontEndpoint::open_stream`].
 const FIRST_USER_STREAM: u16 = 1;
 
+/// Aggregation waves are keyed by (epoch, stream, tag): contributions from
+/// different overlay epochs must never mix.
+type WaveKey = (u64, u16, u16);
+
 /// Everything a communication daemon needs to run its node.
 pub struct CommHarness {
     /// This node's position.
     pub pos: NodePos,
     down_rx: Receiver<Down>,
-    up_tx: Sender<Up>,
-    my_slot: usize,
-    child_down: Vec<Sender<Down>>,
+    ctl_rx: Receiver<RecoveryCmd>,
     up_rx: Receiver<Up>,
+    up_tx: Sender<Up>,
+    children: Vec<ChildLink>,
+    route: Arc<RouteTable>,
+    stats: Arc<OverlayStats>,
 }
 
 /// A leaf endpoint, held by a tool daemon.
 pub struct LeafEndpoint {
     /// Leaf index within the leaf level.
     pub leaf_index: u32,
+    pos: NodePos,
     down_rx: Receiver<Down>,
+    ctl_rx: Receiver<RecoveryCmd>,
+    waker: SelectWaker,
+    state: Mutex<LeafLink>,
+}
+
+/// The leaf's mutable view of its parent link (swapped on re-parenting).
+struct LeafLink {
     up_tx: Sender<Up>,
-    my_slot: usize,
+    parent: NodePos,
+    epoch: u64,
+    parent_lost: bool,
 }
 
 /// Events a leaf observes.
@@ -53,10 +84,37 @@ pub enum LeafEvent {
 }
 
 impl LeafEndpoint {
+    /// This leaf's position in the tree.
+    pub fn pos(&self) -> NodePos {
+        self.pos
+    }
+
+    /// The overlay epoch this leaf currently stamps its packets with.
+    pub fn epoch(&self) -> u64 {
+        self.state.lock().epoch
+    }
+
+    /// Whether the parent link is currently down (orphaned, awaiting
+    /// adoption). Cleared when a re-parenting rewire arrives.
+    pub fn parent_lost(&self) -> bool {
+        self.state.lock().parent_lost
+    }
+
+    /// The current parent this leaf sends its up-traffic to (changes when
+    /// a repair re-parents the leaf).
+    pub fn parent(&self) -> NodePos {
+        self.state.lock().parent
+    }
+
     /// Send one packet up the tree (one per wave).
     pub fn send_up(&self, stream: u16, tag: u16, payload: Vec<u8>) -> TbonResult<()> {
-        self.up_tx
-            .send(Up { child_slot: self.my_slot, packet: Packet::new(stream, tag, payload) })
+        let st = self.state.lock();
+        st.up_tx
+            .send(Up {
+                from: self.pos,
+                epoch: st.epoch,
+                kind: UpKind::Packet(Packet::new(stream, tag, payload)),
+            })
             .map_err(|_| TbonError::Disconnected)
     }
 
@@ -66,11 +124,58 @@ impl LeafEndpoint {
     }
 
     /// Block for the next downstream event.
+    ///
+    /// Recovery traffic is handled transparently: heartbeat pings are
+    /// answered in place, link-down notices mark the parent lost (the leaf
+    /// keeps waiting for adoption), and re-parenting rewires swap the up
+    /// link without surfacing an event.
     pub fn recv(&self) -> TbonResult<LeafEvent> {
-        match self.down_rx.recv().map_err(|_| TbonError::Disconnected)? {
-            Down::Data(p) => Ok(LeafEvent::Data(p)),
-            Down::Ctl(Control::OpenStream { stream, .. }) => Ok(LeafEvent::StreamOpened(stream)),
-            Down::Ctl(Control::Shutdown) => Ok(LeafEvent::Shutdown),
+        loop {
+            let wepoch = self.waker.epoch();
+            // Control mailbox first: rewires and out-of-band shutdown must
+            // never sit behind buffered data.
+            loop {
+                match self.ctl_rx.try_recv() {
+                    Ok(RecoveryCmd::Rewire { epoch, parent, up }) => {
+                        let mut st = self.state.lock();
+                        st.up_tx = up;
+                        st.parent = parent;
+                        st.epoch = st.epoch.max(epoch);
+                        st.parent_lost = false;
+                    }
+                    Ok(RecoveryCmd::Shutdown) => return Ok(LeafEvent::Shutdown),
+                    // Reconfigure/Crash target comm daemons; inert here.
+                    Ok(_) => {}
+                    Err(TryRecvError::Empty) => break,
+                    Err(TryRecvError::Disconnected) => return Err(TbonError::Disconnected),
+                }
+            }
+            match self.down_rx.try_recv() {
+                Ok(Down::Data { epoch, pkt }) => {
+                    let mut st = self.state.lock();
+                    st.epoch = st.epoch.max(epoch);
+                    return Ok(LeafEvent::Data(pkt));
+                }
+                Ok(Down::Ctl(Control::OpenStream { stream, .. })) => {
+                    return Ok(LeafEvent::StreamOpened(stream))
+                }
+                Ok(Down::Ctl(Control::Shutdown)) => return Ok(LeafEvent::Shutdown),
+                Ok(Down::Ctl(Control::Ping { seq })) => {
+                    let st = self.state.lock();
+                    let _ = st.up_tx.send(Up {
+                        from: self.pos,
+                        epoch: st.epoch,
+                        kind: UpKind::Pong { pos: self.pos, seq },
+                    });
+                }
+                Ok(Down::Ctl(Control::LinkDown)) => {
+                    self.state.lock().parent_lost = true;
+                }
+                Err(TryRecvError::Empty) => {
+                    self.waker.wait(wepoch);
+                }
+                Err(TryRecvError::Disconnected) => return Err(TbonError::Disconnected),
+            }
         }
     }
 
@@ -89,20 +194,55 @@ impl LeafEndpoint {
 
 /// The front-end endpoint of the overlay.
 pub struct FrontEndpoint {
-    child_down: Vec<Sender<Down>>,
+    children: Vec<ChildLink>,
     up_rx: Receiver<Up>,
     registry: FilterRegistry,
     streams: HashMap<u16, FilterKind>,
     next_stream: u16,
+    epoch: u64,
     /// Pending up-packets not yet claimed by a gather, keyed by
-    /// (stream, tag) → per-child-slot payloads.
-    pending: HashMap<(u16, u16), HashMap<usize, Packet>>,
+    /// (stream, tag) → per-child payloads. Contributions are only ever
+    /// from the current epoch; repairs clear the map.
+    pending: HashMap<(u16, u16), BTreeMap<NodePos, Packet>>,
+    route: Arc<RouteTable>,
+    stats: Arc<OverlayStats>,
+    events: Vec<RecoveryEvent>,
+    /// Nodes known dead and not yet repaired away.
+    dead_pending: Vec<NodePos>,
+    ping_seq: u64,
+    pongs: HashSet<NodePos>,
 }
 
 impl FrontEndpoint {
     /// Number of direct children.
     pub fn fanout(&self) -> usize {
-        self.child_down.len()
+        self.children.len()
+    }
+
+    /// The current overlay epoch (bumped by every repair).
+    pub fn overlay_epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The shared route table (read-only observation: liveness, current
+    /// topology, epoch).
+    pub fn route_table(&self) -> Arc<RouteTable> {
+        self.route.clone()
+    }
+
+    /// A snapshot of the overlay health counters.
+    pub fn stats(&self) -> OverlayStatsSnapshot {
+        self.stats.snapshot()
+    }
+
+    /// Recovery events recorded so far, in occurrence order.
+    pub fn recovery_events(&self) -> &[RecoveryEvent] {
+        &self.events
+    }
+
+    /// Drain the recovery event log.
+    pub fn take_recovery_events(&mut self) -> Vec<RecoveryEvent> {
+        std::mem::take(&mut self.events)
     }
 
     /// Open a stream with an aggregation filter; announces it down-tree.
@@ -110,32 +250,335 @@ impl FrontEndpoint {
         let id = self.next_stream;
         self.next_stream += 1;
         self.streams.insert(id, filter.clone());
-        for c in &self.child_down {
-            c.send(Down::Ctl(Control::OpenStream { stream: id, filter: filter.clone() }))
+        for c in &self.children {
+            c.down
+                .send(Down::Ctl(Control::OpenStream { stream: id, filter: filter.clone() }))
                 .map_err(|_| TbonError::Disconnected)?;
         }
         Ok(id)
     }
 
-    /// Broadcast a packet to every leaf.
+    /// Broadcast a packet to every leaf, stamped with the current epoch.
     pub fn broadcast(&self, stream: u16, tag: u16, payload: Vec<u8>) -> TbonResult<()> {
         if !self.streams.contains_key(&stream) {
             return Err(TbonError::NoSuchStream(stream));
         }
-        for c in &self.child_down {
-            c.send(Down::Data(Packet::new(stream, tag, payload.clone())))
+        for c in &self.children {
+            c.down
+                .send(Down::Data {
+                    epoch: self.epoch,
+                    pkt: Packet::new(stream, tag, payload.clone()),
+                })
                 .map_err(|_| TbonError::Disconnected)?;
         }
         Ok(())
+    }
+
+    /// Fold one up-link message into front-end state.
+    fn process_up(&mut self, up: Up) {
+        match up.kind {
+            UpKind::Packet(pkt) => {
+                if up.epoch < self.epoch || !self.children.iter().any(|c| c.pos == up.from) {
+                    // Pre-repair traffic (or a child already repaired
+                    // away): counted, dropped, never mis-aggregated.
+                    self.stats.add_stale_packets(1);
+                    return;
+                }
+                self.pending.entry((pkt.stream, pkt.tag)).or_default().insert(up.from, pkt);
+            }
+            UpKind::Pong { pos, seq } => {
+                self.stats.add_pongs(1);
+                if seq == self.ping_seq {
+                    self.pongs.insert(pos);
+                }
+            }
+            UpKind::ChildGone { pos } => self.note_dead(pos),
+        }
+    }
+
+    /// Record a death exactly once (idempotent across duplicate notices).
+    fn note_dead(&mut self, pos: NodePos) {
+        let routed = self.route.lock().nodes.contains_key(&pos);
+        if !routed {
+            return;
+        }
+        self.route.mark_dead(pos);
+        if !self.dead_pending.contains(&pos) {
+            let orphans = self.route.current_children(pos).len();
+            self.events.push(RecoveryEvent::Degraded { dead: pos, orphans, epoch: self.epoch });
+            self.dead_pending.push(pos);
+            self.stats.add_deaths(1);
+        }
+    }
+
+    /// Drain link-close notices and death marks without blocking; returns
+    /// the nodes currently known dead and not yet repaired.
+    pub fn poll_failures(&mut self) -> Vec<NodePos> {
+        while let Ok(up) = self.up_rx.try_recv() {
+            self.process_up(up);
+        }
+        for pos in self.route.dead_nodes() {
+            self.note_dead(pos);
+        }
+        let mut dead = self.dead_pending.clone();
+        dead.sort_unstable();
+        dead
+    }
+
+    /// Block until a failure is known (or `timeout` elapses); returns the
+    /// first dead node in position order.
+    pub fn wait_failure(&mut self, timeout: Duration) -> Option<NodePos> {
+        let deadline = std::time::Instant::now() + timeout;
+        loop {
+            let dead = self.poll_failures();
+            if let Some(d) = dead.first() {
+                return Some(*d);
+            }
+            let remaining = deadline.saturating_duration_since(std::time::Instant::now());
+            if remaining.is_zero() {
+                return None;
+            }
+            match self.up_rx.recv_timeout(remaining) {
+                Ok(up) => self.process_up(up),
+                Err(_) => {
+                    let dead = self.poll_failures();
+                    return dead.first().copied();
+                }
+            }
+        }
+    }
+
+    /// One heartbeat sweep: ping the whole tree and wait (up to `timeout`)
+    /// for every live node's pong. Returns the nodes that did not answer —
+    /// severed subtrees show up here even when their daemons still run,
+    /// because their pongs are discarded at the cut.
+    pub fn heartbeat(&mut self, timeout: Duration) -> Vec<NodePos> {
+        self.ping_seq += 1;
+        self.pongs.clear();
+        self.stats.add_pings(1);
+        for c in &self.children {
+            let _ = c.down.send(Down::Ctl(Control::Ping { seq: self.ping_seq }));
+        }
+        let expected: HashSet<NodePos> = {
+            let rt = self.route.lock();
+            rt.nodes.iter().filter(|(p, n)| p.level != 0 && n.alive).map(|(p, _)| *p).collect()
+        };
+        let deadline = std::time::Instant::now() + timeout;
+        while !expected.is_subset(&self.pongs) {
+            let remaining = deadline.saturating_duration_since(std::time::Instant::now());
+            if remaining.is_zero() {
+                break;
+            }
+            match self.up_rx.recv_timeout(remaining) {
+                Ok(up) => self.process_up(up),
+                Err(_) => break,
+            }
+        }
+        let mut missing: Vec<NodePos> = expected.difference(&self.pongs).copied().collect();
+        missing.sort_unstable();
+        missing
+    }
+
+    /// Inject a deterministic crash into the comm daemon at `pos` (the
+    /// bench/chaos kill switch): the daemon runs the same close-links
+    /// fault path a [`CommFault`] crash takes.
+    ///
+    /// Only interior comm daemons are valid targets; the root and leaves
+    /// are rejected with [`TbonError::UnknownNode`] rather than silently
+    /// ignoring the command (leaves have no crash fault path to run).
+    pub fn crash_comm(&self, pos: NodePos) -> TbonResult<()> {
+        let ctl = {
+            let rt = self.route.lock();
+            let node = rt.nodes.get(&pos).ok_or(TbonError::UnknownNode(pos))?;
+            // Interior comm daemons are exactly the non-root nodes that
+            // can parent (own an up channel).
+            if pos.level == 0 || node.up.is_none() {
+                return Err(TbonError::UnknownNode(pos));
+            }
+            node.ctl.clone().ok_or(TbonError::UnknownNode(pos))?
+        };
+        ctl.send(RecoveryCmd::Crash).map_err(|_| TbonError::Disconnected)
+    }
+
+    /// Repair the overlay after `dead`'s death: bump the overlay epoch,
+    /// re-parent the orphaned subtrees onto the nearest live ancestor —
+    /// split across the dead node's siblings when fan-out bounds require —
+    /// and stamp the new route table so stale traffic is dropped, not
+    /// mis-routed.
+    ///
+    /// Reconfigures are enqueued before rewires, so an orphan's first
+    /// new-epoch packet can never outrun its adopter's child-set update
+    /// (the comm loop drains its control mailbox whenever it sees a packet
+    /// from a newer epoch).
+    pub fn repair(&mut self, dead: NodePos) -> TbonResult<RepairReport> {
+        if dead.level == 0 {
+            return Err(TbonError::UnknownNode(dead));
+        }
+        self.note_dead(dead);
+
+        let root = NodePos { level: 0, index: 0 };
+        let mut rt = self.route.lock();
+        let node = rt.nodes.get_mut(&dead).ok_or(TbonError::UnknownNode(dead))?;
+        node.alive = false;
+        let direct_parent = node.parent.expect("non-root node has a parent");
+        let mut orphans = node.children.clone();
+        // A child repaired away by an earlier (child-first) repair is no
+        // longer routed: it already has a live parent and must not be
+        // re-adopted.
+        orphans.retain(|o| rt.nodes.contains_key(o));
+        orphans.sort_unstable();
+
+        // Nearest live ancestor adopts (walk past chained failures).
+        let mut g = direct_parent;
+        while rt.nodes.get(&g).map(|n| !n.alive).unwrap_or(true) {
+            match rt.nodes.get(&g).and_then(|n| n.parent) {
+                Some(p) => g = p,
+                None => {
+                    g = root;
+                    break;
+                }
+            }
+        }
+
+        self.epoch += 1;
+        rt.epoch = self.epoch;
+        let e = self.epoch;
+
+        // Candidates: the dead node's live siblings under `g` that can
+        // parent (internal nodes), then `g` itself as the fallback.
+        let bound_for = |rt: &crate::recovery::RouteInner, p: NodePos| -> usize {
+            2 * rt.base_fanout.get(p.level as usize).copied().unwrap_or(0).max(1)
+        };
+        let mut sibs: Vec<NodePos> = rt.nodes[&g]
+            .children
+            .iter()
+            .copied()
+            .filter(|&p| p != dead)
+            .filter(|p| rt.nodes.get(p).map(|n| n.alive && n.up.is_some()).unwrap_or(false))
+            .collect();
+        sibs.sort_unstable();
+        let mut candidates: Vec<AdoptCandidate> = sibs
+            .iter()
+            .map(|&p| AdoptCandidate {
+                pos: p,
+                load: rt.nodes[&p].children.len(),
+                bound: bound_for(&rt, p),
+                tier: 0,
+            })
+            .collect();
+        // g's effective load: `dead` is leaving its child list, but only
+        // when g actually lists it (g may be a further ancestor reached by
+        // walking past a dead direct parent).
+        let g_load =
+            rt.nodes[&g].children.len() - usize::from(rt.nodes[&g].children.contains(&dead));
+        candidates.push(AdoptCandidate { pos: g, load: g_load, bound: bound_for(&rt, g), tier: 1 });
+        let adoptions = plan_adoption(&orphans, &candidates);
+
+        let mut adopt_by: BTreeMap<NodePos, Vec<ChildLink>> = BTreeMap::new();
+        for (o, a) in &adoptions {
+            let down = rt.nodes[o].down.clone().expect("non-root orphan has a down link");
+            adopt_by.entry(*a).or_default().push(ChildLink { pos: *o, down });
+        }
+
+        // 1. Reconfigure the grandparent and every adopter.
+        let mut affected: Vec<NodePos> = adopt_by.keys().copied().collect();
+        if !affected.contains(&g) {
+            affected.push(g);
+        }
+        affected.sort_unstable();
+        for a in &affected {
+            let drop_list = if *a == g { vec![dead] } else { Vec::new() };
+            let adopt_list = adopt_by.get(a).cloned().unwrap_or_default();
+            if *a == root {
+                // The front end is its own control plane: apply in place.
+                self.children.retain(|c| !drop_list.contains(&c.pos));
+                self.children.extend(adopt_list);
+                self.children.sort_by_key(|c| c.pos);
+            } else {
+                let ctl = rt.nodes[a].ctl.clone().expect("comm node has a ctl mailbox");
+                let _ = ctl.send(RecoveryCmd::Reconfigure {
+                    epoch: e,
+                    drop: drop_list,
+                    adopt: adopt_list,
+                });
+            }
+        }
+
+        // 2. Rewire every orphan onto its adopter's up channel.
+        for (o, a) in &adoptions {
+            let up = if *a == root {
+                rt.nodes[&root].up.clone().expect("root has an up channel")
+            } else {
+                rt.nodes[a].up.clone().expect("adopter can parent")
+            };
+            if let Some(ctl) = rt.nodes[o].ctl.clone() {
+                let _ = ctl.send(RecoveryCmd::Rewire { epoch: e, parent: *a, up });
+            }
+        }
+
+        // 3. Route bookkeeping: move the orphans, drop the dead node (its
+        //    last link handles die with the entry).
+        for (o, a) in &adoptions {
+            if let Some(n) = rt.nodes.get_mut(o) {
+                n.parent = Some(*a);
+            }
+            if let Some(n) = rt.nodes.get_mut(a) {
+                n.children.push(*o);
+                n.children.sort_unstable();
+            }
+        }
+        // Unlink the dead node from its *direct* parent too (which may be
+        // a dead-but-unrepaired ancestor, not `g`): a later repair of that
+        // ancestor must not see the pruned node as an orphan.
+        for p in [g, direct_parent] {
+            if let Some(n) = rt.nodes.get_mut(&p) {
+                n.children.retain(|c| *c != dead);
+            }
+        }
+        rt.nodes.remove(&dead);
+        drop(rt);
+
+        // 4. Waves gathered under the old epoch are stale: count and drop
+        //    them rather than let a shrunken child set "complete" a
+        //    partial aggregate.
+        let stale: usize = self.pending.values().map(|m| m.len()).sum();
+        if stale > 0 {
+            self.stats.add_stale_packets(stale as u64);
+            self.stats.add_stale_waves(self.pending.len() as u64);
+        }
+        self.pending.clear();
+        self.dead_pending.retain(|p| *p != dead);
+
+        for (o, a) in &adoptions {
+            self.events.push(RecoveryEvent::Adopted { orphan: *o, adopter: *a, epoch: e });
+        }
+        self.events.push(RecoveryEvent::Healed { repaired: dead, epoch: e });
+        self.stats.add_repairs(1);
+        self.stats.add_adopted(adoptions.len() as u64);
+        Ok(RepairReport { dead, epoch: e, adoptions, grandparent: g })
+    }
+
+    /// Detect-and-repair in one call: drain failure notices, repair every
+    /// known-dead node, and return the repair reports.
+    pub fn heal_failures(&mut self) -> TbonResult<Vec<RepairReport>> {
+        let dead = self.poll_failures();
+        let mut reports = Vec::with_capacity(dead.len());
+        for d in dead {
+            // A repair can prune nodes another report named; skip those.
+            if self.route.lock().nodes.contains_key(&d) {
+                reports.push(self.repair(d)?);
+            }
+        }
+        Ok(reports)
     }
 
     /// Gather one aggregated packet for `(stream, tag)`: waits for every
     /// direct child's contribution and applies the stream filter once more.
     pub fn gather(&mut self, stream: u16, tag: u16, timeout: Duration) -> TbonResult<Packet> {
         let filter = self.streams.get(&stream).cloned().ok_or(TbonError::NoSuchStream(stream))?;
-        let want = self.child_down.len();
         let deadline = std::time::Instant::now() + timeout;
         loop {
+            let want = self.children.len();
             if self.pending.get(&(stream, tag)).map(|m| m.len() == want).unwrap_or(want == 0) {
                 break;
             }
@@ -144,15 +587,10 @@ impl FrontEndpoint {
                 return Err(TbonError::Timeout);
             }
             let up = self.up_rx.recv_timeout(remaining).map_err(|_| TbonError::Timeout)?;
-            self.pending
-                .entry((up.packet.stream, up.packet.tag))
-                .or_default()
-                .insert(up.child_slot, up.packet);
+            self.process_up(up);
         }
-        let by_slot = self.pending.remove(&(stream, tag)).unwrap_or_default();
-        let mut slots: Vec<(usize, Packet)> = by_slot.into_iter().collect();
-        slots.sort_by_key(|(slot, _)| *slot);
-        let inputs: Vec<Vec<u8>> = slots.into_iter().map(|(_, p)| p.payload).collect();
+        let by_pos = self.pending.remove(&(stream, tag)).unwrap_or_default();
+        let inputs: Vec<Vec<u8>> = by_pos.into_values().map(|p| p.payload).collect();
         let payload = self.registry.apply(&filter, inputs);
         Ok(Packet::new(stream, tag, payload))
     }
@@ -175,11 +613,29 @@ impl FrontEndpoint {
         Ok(ids)
     }
 
-    /// Tear the overlay down.
+    /// Tear the overlay down: shutdown flows down the tree *and* out of
+    /// band over every control mailbox, so orphans whose tree path died
+    /// with their parent still exit promptly.
     pub fn shutdown(&self) {
-        for c in &self.child_down {
-            let _ = c.send(Down::Ctl(Control::Shutdown));
+        for c in &self.children {
+            let _ = c.down.send(Down::Ctl(Control::Shutdown));
         }
+        for ctl in self.route.all_ctl_senders() {
+            let _ = ctl.send(RecoveryCmd::Shutdown);
+        }
+    }
+}
+
+impl Drop for FrontEndpoint {
+    /// Dropping the front end tears the overlay down. The shared
+    /// [`RouteTable`] keeps every link's sender alive (daemons hold it for
+    /// the repair plane), so the pre-recovery "drop cascades channel
+    /// disconnects" teardown no longer happens implicitly — this restores
+    /// it: no error path or panic-unwind in an embedder can strand daemon
+    /// threads in their waker waits. `shutdown` is idempotent, so an
+    /// explicit call before the drop is fine.
+    fn drop(&mut self) {
+        self.shutdown();
     }
 }
 
@@ -196,9 +652,14 @@ pub struct Overlay {
 impl Overlay {
     /// Build all links for `spec`.
     pub fn build(spec: &TopologySpec, registry: FilterRegistry) -> Overlay {
-        // Per-node down channels and per-parent up channels.
+        let route = Arc::new(RouteTable::new(spec));
+        let stats = Arc::new(OverlayStats::default());
+
+        // Per-node down + ctl channels and per-parent up channels.
         let mut down_tx: HashMap<NodePos, Sender<Down>> = HashMap::new();
         let mut down_rx: HashMap<NodePos, Receiver<Down>> = HashMap::new();
+        let mut ctl_tx: HashMap<NodePos, Sender<RecoveryCmd>> = HashMap::new();
+        let mut ctl_rx: HashMap<NodePos, Receiver<RecoveryCmd>> = HashMap::new();
         let mut up_pair: HashMap<NodePos, (Sender<Up>, Receiver<Up>)> = HashMap::new();
 
         let root = NodePos { level: 0, index: 0 };
@@ -210,27 +671,48 @@ impl Overlay {
         let mut non_roots = spec.comm_positions();
         non_roots.extend(spec.leaf_positions());
         for n in &non_roots {
-            let (tx, rx) = unbounded();
-            down_tx.insert(*n, tx);
-            down_rx.insert(*n, rx);
+            let (dtx, drx) = unbounded();
+            down_tx.insert(*n, dtx);
+            down_rx.insert(*n, drx);
+            let (ctx, crx) = unbounded();
+            ctl_tx.insert(*n, ctx);
+            ctl_rx.insert(*n, crx);
         }
 
-        // Child slot assignment: index within the parent's children list.
-        let slot_of = |spec: &TopologySpec, pos: NodePos| -> usize {
-            let parent = spec.parent(pos).expect("non-root");
-            spec.children(parent).iter().position(|c| *c == pos).expect("child listed by parent")
+        // Register the repair-plane handles in the route table.
+        {
+            let mut rt = route.lock();
+            for (pos, node) in rt.nodes.iter_mut() {
+                node.down = down_tx.get(pos).cloned();
+                node.ctl = ctl_tx.get(pos).cloned();
+                node.up = up_pair.get(pos).map(|(tx, _)| tx.clone());
+            }
+        }
+
+        let links_of = |pos: NodePos| -> Vec<ChildLink> {
+            spec.children(pos)
+                .into_iter()
+                .map(|c| ChildLink { pos: c, down: down_tx[&c].clone() })
+                .collect()
         };
 
         let mut streams = HashMap::new();
         streams.insert(CONNECT_STREAM, FilterKind::Concat);
 
         let front = FrontEndpoint {
-            child_down: spec.children(root).iter().map(|c| down_tx[c].clone()).collect(),
+            children: links_of(root),
             up_rx: up_pair[&root].1.clone(),
             registry: registry.clone(),
             streams,
             next_stream: FIRST_USER_STREAM,
+            epoch: 0,
             pending: HashMap::new(),
+            route: route.clone(),
+            stats: stats.clone(),
+            events: Vec::new(),
+            dead_pending: Vec::new(),
+            ping_seq: 0,
+            pongs: HashSet::new(),
         };
 
         let comm = spec
@@ -241,10 +723,12 @@ impl Overlay {
                 CommHarness {
                     pos,
                     down_rx: down_rx[&pos].clone(),
-                    up_tx: up_pair[&parent].0.clone(),
-                    my_slot: slot_of(spec, pos),
-                    child_down: spec.children(pos).iter().map(|c| down_tx[c].clone()).collect(),
+                    ctl_rx: ctl_rx[&pos].clone(),
                     up_rx: up_pair[&pos].1.clone(),
+                    up_tx: up_pair[&parent].0.clone(),
+                    children: links_of(pos),
+                    route: route.clone(),
+                    stats: stats.clone(),
                 }
             })
             .collect();
@@ -254,11 +738,23 @@ impl Overlay {
             .into_iter()
             .map(|pos| {
                 let parent = spec.parent(pos).expect("leaf has parent");
+                let waker = SelectWaker::new();
+                let drx = down_rx[&pos].clone();
+                let crx = ctl_rx[&pos].clone();
+                drx.watch(&waker);
+                crx.watch(&waker);
                 LeafEndpoint {
                     leaf_index: pos.index,
-                    down_rx: down_rx[&pos].clone(),
-                    up_tx: up_pair[&parent].0.clone(),
-                    my_slot: slot_of(spec, pos),
+                    pos,
+                    down_rx: drx,
+                    ctl_rx: crx,
+                    waker,
+                    state: Mutex::new(LeafLink {
+                        up_tx: up_pair[&parent].0.clone(),
+                        parent,
+                        epoch: 0,
+                        parent_lost: false,
+                    }),
                 }
             })
             .collect();
@@ -274,14 +770,18 @@ impl Overlay {
 /// point on every run.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct CommFault {
-    /// Crash (return from the daemon loop) after receiving this many
-    /// up-packets — mid-aggregation when it is smaller than the child
-    /// count of a wave.
+    /// Crash after receiving this many up-packets — mid-aggregation when
+    /// it is smaller than the child count of a wave. The crash runs the
+    /// deterministic close path: `LinkDown` to every child, a `ChildGone`
+    /// notice to the parent, and a death mark in the route table.
     pub crash_after_up: Option<u64>,
     /// Crash after receiving this many down-messages (data or control).
     pub crash_after_down: Option<u64>,
-    /// Severed child links: up-packets from these child slots are discarded,
-    /// as if the connection to that subtree were partitioned away.
+    /// Severed child links: up-packets from these child slots (indices
+    /// into the daemon's *original* child list) are discarded, as if the
+    /// connection to that subtree were partitioned away. The cut is closed
+    /// deterministically at daemon start: the severed child receives a
+    /// `LinkDown` notice instead of a silently half-open link.
     pub sever_child_slots: std::collections::BTreeSet<usize>,
 }
 
@@ -315,157 +815,367 @@ impl CommFault {
     }
 }
 
+/// What a comm-loop sweep decided to do next.
+enum Exit {
+    /// Run the deterministic crash path and return.
+    Crash,
+    /// Forward shutdown to the subtree and return.
+    Shutdown,
+    /// A link disconnected: the overlay is being dropped.
+    Torn,
+}
+
+/// The running state of one communication daemon.
+struct CommNode {
+    pos: NodePos,
+    up_tx: Sender<Up>,
+    children: Vec<ChildLink>,
+    severed: HashSet<NodePos>,
+    epoch: u64,
+    streams: HashMap<u16, FilterKind>,
+    waves: HashMap<WaveKey, BTreeMap<NodePos, Packet>>,
+    registry: FilterRegistry,
+    route: Arc<RouteTable>,
+    stats: Arc<OverlayStats>,
+}
+
+impl CommNode {
+    /// Children currently expected to contribute to a wave.
+    fn want(&self) -> usize {
+        self.children.iter().filter(|c| !self.severed.contains(&c.pos)).count()
+    }
+
+    /// Forward a down-message to every reachable (non-severed) child.
+    fn forward_down(&self, msg: &Down) {
+        for c in &self.children {
+            if !self.severed.contains(&c.pos) {
+                let _ = c.down.send(msg.clone());
+            }
+        }
+    }
+
+    /// Advance to `epoch`, discarding (and counting) waves stranded in
+    /// older epochs, then completing any buffered waves that were waiting
+    /// for this epoch to become current.
+    fn advance_epoch(&mut self, epoch: u64) {
+        if epoch <= self.epoch {
+            return;
+        }
+        let stale: Vec<WaveKey> =
+            self.waves.keys().copied().filter(|(e, _, _)| *e < epoch).collect();
+        for key in stale {
+            if let Some(wave) = self.waves.remove(&key) {
+                self.stats.add_stale_packets(wave.len() as u64);
+                self.stats.add_stale_waves(1);
+            }
+        }
+        self.epoch = epoch;
+        let now_current: Vec<WaveKey> =
+            self.waves.keys().copied().filter(|(e, _, _)| *e == epoch).collect();
+        for key in now_current {
+            self.try_complete(key);
+        }
+    }
+
+    /// Apply one control-mailbox command; `Some(exit)` ends the loop.
+    fn apply_cmd(&mut self, cmd: RecoveryCmd) -> Option<Exit> {
+        match cmd {
+            RecoveryCmd::Reconfigure { epoch, drop, adopt } => {
+                self.children.retain(|c| !drop.contains(&c.pos));
+                self.children.extend(adopt);
+                self.children.sort_by_key(|c| c.pos);
+                self.advance_epoch(epoch);
+                None
+            }
+            RecoveryCmd::Rewire { epoch, parent: _, up } => {
+                self.up_tx = up;
+                self.advance_epoch(epoch);
+                None
+            }
+            RecoveryCmd::Crash => Some(Exit::Crash),
+            RecoveryCmd::Shutdown => Some(Exit::Shutdown),
+        }
+    }
+
+    /// Drain the control mailbox in place. Called whenever a packet from a
+    /// newer epoch arrives: the repair that bumped the epoch enqueued our
+    /// reconfigure *before* that packet could have been sent, so draining
+    /// here guarantees child-set updates are applied before any new-epoch
+    /// wave is completed.
+    fn apply_ctl_backlog(&mut self, ctl_rx: &Receiver<RecoveryCmd>) -> Option<Exit> {
+        while let Ok(cmd) = ctl_rx.try_recv() {
+            if let Some(exit) = self.apply_cmd(cmd) {
+                return Some(exit);
+            }
+        }
+        None
+    }
+
+    /// Complete the wave under `key` if its epoch is current and every
+    /// expected child contributed: aggregate with the stream filter and
+    /// forward one packet up.
+    fn try_complete(&mut self, key: WaveKey) {
+        let want = self.want();
+        let ready = key.0 == self.epoch
+            && want > 0
+            && self.waves.get(&key).map(|w| w.len() == want).unwrap_or(false);
+        if !ready {
+            return;
+        }
+        let wave = self.waves.remove(&key).expect("checked above");
+        let inputs: Vec<Vec<u8>> = wave.into_values().map(|p| p.payload).collect();
+        let filter = self.streams.get(&key.1).cloned().unwrap_or(FilterKind::Concat);
+        let payload = self.registry.apply(&filter, inputs);
+        let sent = self.up_tx.send(Up {
+            from: self.pos,
+            epoch: self.epoch,
+            kind: UpKind::Packet(Packet::new(key.1, key.2, payload)),
+        });
+        // A failed send means the parent died mid-forward: the aggregate is
+        // in-flight loss (stale after the heal); keep serving the subtree
+        // and wait for adoption rather than die.
+        let _ = sent;
+    }
+
+    /// The deterministic crash path (the satellite fix): close every link
+    /// explicitly — `LinkDown` FIN to each reachable child, a `ChildGone`
+    /// notice to the parent, a death mark in the route table — so
+    /// detection latency never depends on scheduler timing.
+    fn crash(&mut self) {
+        for c in &self.children {
+            if !self.severed.contains(&c.pos) {
+                let _ = c.down.send(Down::Ctl(Control::LinkDown));
+                self.stats.add_link_down(1);
+            }
+        }
+        let _ = self.up_tx.send(Up {
+            from: self.pos,
+            epoch: self.epoch,
+            kind: UpKind::ChildGone { pos: self.pos },
+        });
+        self.route.mark_dead(self.pos);
+    }
+
+    /// Forward shutdown to every child (severed ones included: teardown
+    /// must reach the whole subtree even across injected cuts).
+    fn forward_shutdown(&self) {
+        for c in &self.children {
+            let _ = c.down.send(Down::Ctl(Control::Shutdown));
+        }
+    }
+}
+
 /// Run a communication daemon until shutdown: forward downstream traffic,
 /// aggregate upstream waves with the stream filter.
 pub fn run_comm_node(harness: CommHarness, registry: FilterRegistry) {
     run_comm_node_with_faults(harness, registry, CommFault::none());
 }
 
-/// [`run_comm_node`] with a [`CommFault`] schedule applied; a "crash"
-/// returns from the loop without forwarding shutdown to children, exactly
-/// like a daemon dying mid-protocol.
+/// [`run_comm_node`] with a [`CommFault`] schedule applied; a "crash" runs
+/// the deterministic close path (`LinkDown` to children, `ChildGone` to the
+/// parent, route-table death mark) and returns without forwarding shutdown,
+/// exactly like a daemon dying mid-protocol whose sockets the kernel then
+/// closes.
 ///
-/// The loop is readiness-driven: one [`SelectWaker`] watches both links and
-/// the daemon drains whatever is ready in batches, then blocks on the waker
-/// condvar until the next event. There is no sleep-polling anywhere — a
-/// packet arriving at an idle daemon wakes it immediately, and a burst is
-/// processed without a wakeup per message. Each link is drained with
-/// [`crossbeam_channel::Receiver::try_drain`] — the same one-lock batch
-/// primitive the session-mux receive pump uses — rather than a bespoke
-/// per-message `try_recv` sweep, which paid one lock round trip per packet.
+/// The loop is readiness-driven: one [`SelectWaker`] watches all three
+/// links (control mailbox, downstream, upstream) and the daemon drains
+/// whatever is ready in batches, then blocks on the waker condvar until the
+/// next event. The control mailbox is always drained first — and re-drained
+/// whenever a packet from a newer epoch arrives — so re-parenting commands
+/// are applied before any traffic they ordered.
 pub fn run_comm_node_with_faults(harness: CommHarness, registry: FilterRegistry, fault: CommFault) {
-    let CommHarness { pos: _, down_rx, up_tx, my_slot, child_down, up_rx } = harness;
-    let mut streams: HashMap<u16, FilterKind> = HashMap::new();
+    let CommHarness { pos, down_rx, ctl_rx, up_rx, up_tx, children, route, stats } = harness;
+    let mut streams = HashMap::new();
     streams.insert(CONNECT_STREAM, FilterKind::Concat);
-    // (stream, tag) → per-slot packets for the wave in flight.
-    let mut waves: HashMap<(u16, u16), HashMap<usize, Packet>> = HashMap::new();
-    // Only count severed slots that name real children: an out-of-range
-    // slot must not shrink `want`, or waves would "complete" with a
-    // silently partial aggregate.
-    let severed = fault.sever_child_slots.iter().filter(|&&s| s < child_down.len()).count();
-    let want = child_down.len() - severed;
+    let mut node = CommNode {
+        pos,
+        up_tx,
+        children,
+        severed: HashSet::new(),
+        epoch: 0,
+        streams,
+        waves: HashMap::new(),
+        registry,
+        route,
+        stats,
+    };
+
+    // Deterministic sever close (the satellite fix): a severed child gets a
+    // `LinkDown` notice at daemon start instead of a silently half-open
+    // link, so detection latency in tests is seed-stable. Out-of-range
+    // slots name no child and stay inert.
+    for &slot in &fault.sever_child_slots {
+        if let Some(link) = node.children.get(slot) {
+            let _ = link.down.send(Down::Ctl(Control::LinkDown));
+            node.stats.add_link_down(1);
+            let cut = link.pos;
+            node.severed.insert(cut);
+        }
+    }
+
     let mut up_seen = 0u64;
     let mut down_seen = 0u64;
+    let mut ctl_batch: Vec<RecoveryCmd> = Vec::new();
     let mut down_batch: Vec<Down> = Vec::new();
     let mut up_batch: Vec<Up> = Vec::new();
 
     let waker = SelectWaker::new();
+    ctl_rx.watch(&waker);
     down_rx.watch(&waker);
     up_rx.watch(&waker);
 
-    loop {
+    let exit = 'outer: loop {
         // Epoch is read before the drain sweep: anything arriving during or
         // after the sweep advances it, so the wait below cannot miss it.
-        let epoch = waker.epoch();
-        let mut down_open = true;
-        let mut up_open = true;
+        let wepoch = waker.epoch();
+        let mut torn = false;
 
-        // Drain the downstream link one lock acquisition per burst, then
-        // forward control and data to children. The drain repeats until the
-        // link is empty or disconnected so a disconnect behind a buffered
-        // burst surfaces this sweep, exactly as the old per-message loop
-        // observed it.
+        // 1. Control mailbox: repairs and out-of-band shutdown first.
+        loop {
+            match ctl_rx.try_drain(&mut ctl_batch, usize::MAX) {
+                Ok(0) => break,
+                Ok(_) => {}
+                Err(TryRecvError::Disconnected) => {
+                    torn = true;
+                    break;
+                }
+                Err(TryRecvError::Empty) => break,
+            }
+            for cmd in ctl_batch.drain(..) {
+                if let Some(exit) = node.apply_cmd(cmd) {
+                    break 'outer exit;
+                }
+            }
+        }
+
+        // 2. Downstream: forward control and data to reachable children.
         loop {
             match down_rx.try_drain(&mut down_batch, usize::MAX) {
                 Ok(0) => break,
                 Ok(_) => {}
                 Err(TryRecvError::Disconnected) => {
-                    down_open = false;
+                    torn = true;
                     break;
                 }
-                // try_drain never reports Empty as an error (it returns
-                // Ok(0)); if that ever changed, treating it as a disconnect
-                // would silently kill an idle daemon.
                 Err(TryRecvError::Empty) => break,
             }
             for msg in down_batch.drain(..) {
                 down_seen += 1;
                 if fault.crash_after_down.is_some_and(|n| down_seen > n) {
-                    return;
+                    break 'outer Exit::Crash;
                 }
                 match msg {
                     Down::Ctl(Control::OpenStream { stream, filter }) => {
-                        streams.insert(stream, filter.clone());
-                        for c in &child_down {
-                            let _ = c.send(Down::Ctl(Control::OpenStream {
-                                stream,
-                                filter: filter.clone(),
-                            }));
-                        }
+                        node.streams.insert(stream, filter.clone());
+                        node.forward_down(&Down::Ctl(Control::OpenStream { stream, filter }));
                     }
-                    Down::Ctl(Control::Shutdown) => {
-                        for c in &child_down {
-                            let _ = c.send(Down::Ctl(Control::Shutdown));
-                        }
-                        return;
+                    Down::Ctl(Control::Shutdown) => break 'outer Exit::Shutdown,
+                    Down::Ctl(Control::Ping { seq }) => {
+                        let _ = node.up_tx.send(Up {
+                            from: node.pos,
+                            epoch: node.epoch,
+                            kind: UpKind::Pong { pos: node.pos, seq },
+                        });
+                        node.forward_down(&Down::Ctl(Control::Ping { seq }));
                     }
-                    Down::Data(pkt) => {
-                        for c in &child_down {
-                            let _ = c.send(Down::Data(pkt.clone()));
+                    Down::Ctl(Control::LinkDown) => {
+                        // The parent's FIN. Informational for a comm node:
+                        // it keeps serving its subtree and the re-parenting
+                        // rewire arrives over the ctl mailbox.
+                    }
+                    Down::Data { epoch, pkt } => {
+                        if epoch > node.epoch {
+                            // The repair that minted this epoch enqueued
+                            // our reconfigure before this packet: apply it
+                            // before forwarding.
+                            if let Some(exit) = node.apply_ctl_backlog(&ctl_rx) {
+                                break 'outer exit;
+                            }
+                            node.advance_epoch(epoch);
                         }
+                        node.forward_down(&Down::Data { epoch, pkt });
                     }
                 }
             }
         }
 
-        // Drain the upstream link the same way: collect waves, aggregate
-        // completed ones.
+        // 3. Upstream: collect waves, aggregate completed ones.
         loop {
             match up_rx.try_drain(&mut up_batch, usize::MAX) {
                 Ok(0) => break,
                 Ok(_) => {}
                 Err(TryRecvError::Disconnected) => {
-                    up_open = false;
+                    torn = true;
                     break;
                 }
                 Err(TryRecvError::Empty) => break,
             }
             for up in up_batch.drain(..) {
-                up_seen += 1;
-                if fault.crash_after_up.is_some_and(|n| up_seen > n) {
-                    return;
+                // Only data packets advance the crash counter: liveness
+                // traffic (pongs, child-gone notices) is timing-dependent,
+                // and counting it would make the documented "crash after N
+                // up-packets" point seed-unstable whenever heartbeats run.
+                if matches!(up.kind, UpKind::Packet(_)) {
+                    up_seen += 1;
+                    if fault.crash_after_up.is_some_and(|n| up_seen > n) {
+                        break 'outer Exit::Crash;
+                    }
                 }
-                if fault.sever_child_slots.contains(&up.child_slot) {
+                if node.severed.contains(&up.from) {
+                    node.stats.add_severed_discarded(1);
                     continue;
                 }
-                let key = (up.packet.stream, up.packet.tag);
-                let wave = waves.entry(key).or_default();
-                wave.insert(up.child_slot, up.packet);
-                if wave.len() == want {
-                    let wave = waves.remove(&key).expect("just inserted");
-                    let mut slots: Vec<(usize, Packet)> = wave.into_iter().collect();
-                    slots.sort_by_key(|(slot, _)| *slot);
-                    let inputs: Vec<Vec<u8>> = slots.into_iter().map(|(_, p)| p.payload).collect();
-                    let filter = streams.get(&key.0).cloned().unwrap_or(FilterKind::Concat);
-                    let payload = registry.apply(&filter, inputs);
-                    if up_tx
-                        .send(Up {
-                            child_slot: my_slot,
-                            packet: Packet::new(key.0, key.1, payload),
-                        })
-                        .is_err()
-                    {
-                        return;
+                match up.kind {
+                    UpKind::Pong { .. } | UpKind::ChildGone { .. } => {
+                        // Liveness traffic is epoch-free: forward as-is.
+                        let _ = node.up_tx.send(Up {
+                            from: node.pos,
+                            epoch: node.epoch,
+                            kind: up.kind,
+                        });
+                    }
+                    UpKind::Packet(pkt) => {
+                        if up.epoch > node.epoch {
+                            // An adopted orphan can only be ahead of us if
+                            // a repair reconfigured us first: apply it.
+                            if let Some(exit) = node.apply_ctl_backlog(&ctl_rx) {
+                                break 'outer exit;
+                            }
+                        }
+                        if up.epoch < node.epoch || !node.children.iter().any(|c| c.pos == up.from)
+                        {
+                            node.stats.add_stale_packets(1);
+                            continue;
+                        }
+                        let key = (up.epoch, pkt.stream, pkt.tag);
+                        node.waves.entry(key).or_default().insert(up.from, pkt);
+                        // Waves buffered under a still-future epoch wait
+                        // for advance_epoch to complete them.
+                        node.try_complete(key);
                     }
                 }
             }
         }
 
-        // A disconnected link means the overlay is tearing down: mirror the
-        // old select semantics (an `Err` arm returned from the loop).
-        if !down_open || !up_open {
-            return;
+        // A disconnected link means the overlay itself is being dropped.
+        if torn {
+            break Exit::Torn;
         }
 
-        // Idle: block until either link signals readiness.
-        waker.wait(epoch);
+        // Idle: block until any link signals readiness.
+        waker.wait(wepoch);
+    };
+
+    match exit {
+        Exit::Crash => node.crash(),
+        Exit::Shutdown => node.forward_shutdown(),
+        Exit::Torn => {}
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::sync::Arc;
 
     /// Instantiate an overlay with comm nodes on plain threads and run a
     /// closure per leaf on its own thread.
@@ -474,11 +1184,27 @@ mod tests {
         registry: FilterRegistry,
         leaf_fn: impl Fn(LeafEndpoint) -> R + Send + Sync + 'static,
     ) -> (FrontEndpoint, Vec<std::thread::JoinHandle<R>>) {
+        run_overlay_with_faults(spec, registry, Vec::new(), leaf_fn)
+    }
+
+    /// Like [`run_overlay`] but with per-comm-daemon fault schedules
+    /// (indexed by position in `Overlay::comm`).
+    fn run_overlay_with_faults<R: Send + 'static>(
+        spec: &str,
+        registry: FilterRegistry,
+        faults: Vec<(usize, CommFault)>,
+        leaf_fn: impl Fn(LeafEndpoint) -> R + Send + Sync + 'static,
+    ) -> (FrontEndpoint, Vec<std::thread::JoinHandle<R>>) {
         let spec = TopologySpec::parse(spec).unwrap();
         let overlay = Overlay::build(&spec, registry.clone());
-        for harness in overlay.comm {
+        for (i, harness) in overlay.comm.into_iter().enumerate() {
             let reg = registry.clone();
-            std::thread::spawn(move || run_comm_node(harness, reg));
+            let fault = faults
+                .iter()
+                .find(|(idx, _)| *idx == i)
+                .map(|(_, f)| f.clone())
+                .unwrap_or_default();
+            std::thread::spawn(move || run_comm_node_with_faults(harness, reg, fault));
         }
         let leaf_fn = Arc::new(leaf_fn);
         let handles = overlay
@@ -490,6 +1216,33 @@ mod tests {
             })
             .collect();
         (overlay.front, handles)
+    }
+
+    fn hello_then_wait_leaf() -> impl Fn(LeafEndpoint) + Send + Sync + 'static {
+        |leaf: LeafEndpoint| {
+            let _ = leaf.send_hello();
+            while matches!(leaf.recv(), Ok(ev) if ev != LeafEvent::Shutdown) {}
+        }
+    }
+
+    /// Hello, then echo `[leaf_index]` on every data packet.
+    fn echo_leaf() -> impl Fn(LeafEndpoint) + Send + Sync + 'static {
+        |leaf: LeafEndpoint| {
+            let _ = leaf.send_hello();
+            loop {
+                match leaf.recv() {
+                    Ok(LeafEvent::Data(pkt)) => {
+                        let _ = leaf.send_up(pkt.stream, pkt.tag, vec![leaf.leaf_index as u8]);
+                    }
+                    Ok(LeafEvent::Shutdown) | Err(_) => return,
+                    Ok(LeafEvent::StreamOpened(_)) => continue,
+                }
+            }
+        }
+    }
+
+    fn pos(level: u32, index: u32) -> NodePos {
+        NodePos { level, index }
     }
 
     #[test]
@@ -670,44 +1423,6 @@ mod tests {
         }
     }
 
-    /// Like [`run_overlay`] but with per-comm-daemon fault schedules
-    /// (indexed by position in `Overlay::comm`).
-    fn run_overlay_with_faults<R: Send + 'static>(
-        spec: &str,
-        registry: FilterRegistry,
-        faults: Vec<(usize, CommFault)>,
-        leaf_fn: impl Fn(LeafEndpoint) -> R + Send + Sync + 'static,
-    ) -> (FrontEndpoint, Vec<std::thread::JoinHandle<R>>) {
-        let spec = TopologySpec::parse(spec).unwrap();
-        let overlay = Overlay::build(&spec, registry.clone());
-        for (i, harness) in overlay.comm.into_iter().enumerate() {
-            let reg = registry.clone();
-            let fault = faults
-                .iter()
-                .find(|(idx, _)| *idx == i)
-                .map(|(_, f)| f.clone())
-                .unwrap_or_default();
-            std::thread::spawn(move || run_comm_node_with_faults(harness, reg, fault));
-        }
-        let leaf_fn = Arc::new(leaf_fn);
-        let handles = overlay
-            .leaves
-            .into_iter()
-            .map(|leaf| {
-                let f = leaf_fn.clone();
-                std::thread::spawn(move || f(leaf))
-            })
-            .collect();
-        (overlay.front, handles)
-    }
-
-    fn hello_then_wait_leaf() -> impl Fn(LeafEndpoint) + Send + Sync + 'static {
-        |leaf: LeafEndpoint| {
-            let _ = leaf.send_hello();
-            while matches!(leaf.recv(), Ok(ev) if ev != LeafEvent::Shutdown) {}
-        }
-    }
-
     #[test]
     fn comm_crash_mid_aggregation_times_out_upstream() {
         // 1x2x8: each comm daemon aggregates 4 leaf hellos. Comm 0 crashes
@@ -822,5 +1537,274 @@ mod tests {
             overlay.front.gather(99, 0, Duration::from_millis(1)),
             Err(TbonError::NoSuchStream(99))
         ));
+    }
+
+    // -- recovery -----------------------------------------------------------
+
+    #[test]
+    fn dead_comm_heals_via_grandparent_adoption() {
+        let (mut front, handles) = run_overlay("1x2x8", FilterRegistry::new(), echo_leaf());
+        front.await_connections(8, Duration::from_secs(5)).unwrap();
+        let stream = front.open_stream(FilterKind::Concat).unwrap();
+
+        // Healthy wave first.
+        front.broadcast(stream, 1, vec![]).unwrap();
+        let healthy = front.gather(stream, 1, Duration::from_secs(5)).unwrap();
+        assert_eq!(healthy.payload.len(), 8);
+
+        // Kill comm 0, detect, repair.
+        let dead = pos(1, 0);
+        front.crash_comm(dead).unwrap();
+        assert_eq!(front.wait_failure(Duration::from_secs(5)), Some(dead));
+        let report = front.repair(dead).unwrap();
+        assert_eq!(report.epoch, 1);
+        assert_eq!(report.grandparent, pos(0, 0));
+        assert_eq!(report.adoptions.len(), 4, "all four orphan leaves re-parented");
+        assert!(
+            report.adoptions.iter().all(|(_, a)| *a == pos(1, 1)),
+            "the surviving sibling (under its fan-out bound) adopts all: {:?}",
+            report.adoptions
+        );
+
+        // Post-heal wave completes end-to-end with every leaf.
+        front.broadcast(stream, 2, vec![]).unwrap();
+        let healed = front.gather(stream, 2, Duration::from_secs(5)).unwrap();
+        let mut got = healed.payload.clone();
+        got.sort_unstable();
+        assert_eq!(got, (0..8u8).collect::<Vec<u8>>(), "broadcast reaches adopted orphans");
+        assert_eq!(front.overlay_epoch(), 1);
+
+        // Event log: degraded -> adoptions -> healed.
+        let events = front.take_recovery_events();
+        assert!(
+            matches!(events.first(), Some(RecoveryEvent::Degraded { dead: d, orphans: 4, .. }) if *d == dead),
+            "{events:?}"
+        );
+        assert!(
+            matches!(events.last(), Some(RecoveryEvent::Healed { repaired, epoch: 1 }) if *repaired == dead),
+            "{events:?}"
+        );
+        assert_eq!(front.stats().repairs_completed, 1);
+        assert_eq!(front.stats().orphans_adopted, 4);
+
+        front.shutdown();
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn stale_epoch_packet_is_counted_and_dropped_during_reparenting() {
+        // An up-packet stamped with a pre-repair epoch must be counted in
+        // overlay stats and dropped — never delivered into a wave and never
+        // a panic — including the race where it arrives mid-re-parenting.
+        let (mut front, handles) = run_overlay("1x2x8", FilterRegistry::new(), echo_leaf());
+        front.await_connections(8, Duration::from_secs(5)).unwrap();
+        let stream = front.open_stream(FilterKind::Concat).unwrap();
+
+        let dead = pos(1, 0);
+        front.crash_comm(dead).unwrap();
+        front.wait_failure(Duration::from_secs(5)).unwrap();
+
+        let root_up = {
+            let route = front.route_table();
+            let rt = route.lock();
+            rt.nodes[&pos(0, 0)].up.clone().unwrap()
+        };
+        // "In flight" from the dying daemon: enqueued before the repair,
+        // processed after the epoch bump.
+        root_up
+            .send(Up {
+                from: dead,
+                epoch: 0,
+                kind: UpKind::Packet(Packet::new(stream, 7, vec![0xEE])),
+            })
+            .unwrap();
+        front.repair(dead).unwrap();
+        // The re-parenting race: an old-epoch packet from a surviving
+        // child landing after the bump.
+        root_up
+            .send(Up {
+                from: pos(1, 1),
+                epoch: 0,
+                kind: UpKind::Packet(Packet::new(stream, 7, vec![0xDD])),
+            })
+            .unwrap();
+
+        // A fresh wave on the same (stream, tag) must contain only
+        // post-heal data.
+        front.broadcast(stream, 7, vec![]).unwrap();
+        let pkt = front.gather(stream, 7, Duration::from_secs(5)).unwrap();
+        let mut got = pkt.payload.clone();
+        got.sort_unstable();
+        assert_eq!(got, (0..8u8).collect::<Vec<u8>>(), "no stale bytes delivered");
+        assert!(
+            front.stats().stale_packets_dropped >= 2,
+            "both stale packets counted: {:?}",
+            front.stats()
+        );
+
+        front.shutdown();
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn heartbeat_reports_severed_subtree_unresponsive() {
+        // Severing comm 1's child slot 2 cuts leaf (2,6) away. Its daemon
+        // still runs, but its pongs die at the cut — the heartbeat sweep
+        // must attribute exactly that node.
+        let (mut front, handles) = run_overlay_with_faults(
+            "1x2x8",
+            FilterRegistry::new(),
+            vec![(1, CommFault::none().sever_child(2))],
+            hello_then_wait_leaf(),
+        );
+        let err = front.await_connections(8, Duration::from_secs(5)).unwrap_err();
+        assert!(matches!(err, TbonError::LaunchFailed(_)));
+        let missing = front.heartbeat(Duration::from_secs(2));
+        assert_eq!(missing, vec![pos(2, 6)], "only the severed leaf is unreachable");
+        assert!(front.stats().pongs_received >= 9, "everyone else answered");
+        front.shutdown();
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn crash_fault_path_closes_links_deterministically() {
+        // The crash fault path must close every link explicitly: LinkDown
+        // to each child, ChildGone to the parent, a route-table death mark
+        // — so detection needs no timing assumptions at all.
+        let (mut front, handles) = run_overlay_with_faults(
+            "1x2x8",
+            FilterRegistry::new(),
+            vec![(0, CommFault::none().crash_after_up(1))],
+            hello_then_wait_leaf(),
+        );
+        let dead = front.wait_failure(Duration::from_secs(5));
+        assert_eq!(dead, Some(pos(1, 0)));
+        assert!(!front.route_table().is_alive(pos(1, 0)));
+        assert_eq!(front.stats().link_down_notices, 4, "each of comm 0's children got a FIN");
+        front.shutdown();
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn liveness_traffic_does_not_advance_crash_counters() {
+        // Comm 0 crashes after 5 up-packets. The 4 hellos are packets 1–4;
+        // a full heartbeat sweep (4 pongs forwarded through comm 0) must
+        // NOT advance the counter — only the broadcast wave's replies do,
+        // so the crash lands at a protocol point, not a timing point.
+        let (mut front, handles) = run_overlay_with_faults(
+            "1x2x8",
+            FilterRegistry::new(),
+            vec![(0, CommFault::none().crash_after_up(5))],
+            echo_leaf(),
+        );
+        front.await_connections(8, Duration::from_secs(5)).unwrap();
+        let missing = front.heartbeat(Duration::from_secs(2));
+        assert!(missing.is_empty(), "pongs must not crash the daemon: {missing:?}");
+        let stream = front.open_stream(FilterKind::Concat).unwrap();
+        front.broadcast(stream, 1, vec![]).unwrap();
+        let err = front.gather(stream, 1, Duration::from_millis(300)).unwrap_err();
+        assert_eq!(err, TbonError::Timeout, "crash on reply packet 6 stalls the wave");
+        assert_eq!(front.poll_failures(), vec![pos(1, 0)], "crash detected deterministically");
+        front.shutdown();
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn dropping_the_front_end_tears_the_overlay_down() {
+        // No explicit shutdown: dropping the front endpoint must still
+        // stop every daemon thread (the route table keeps link senders
+        // alive, so disconnect cascades alone cannot do it anymore).
+        let (front, handles) = run_overlay("1x2x8", FilterRegistry::new(), hello_then_wait_leaf());
+        drop(front);
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn repair_rejects_root_and_unknown_nodes() {
+        let spec = TopologySpec::parse("1x2x4").unwrap();
+        let mut overlay = Overlay::build(&spec, FilterRegistry::new());
+        assert!(matches!(overlay.front.repair(pos(0, 0)), Err(TbonError::UnknownNode(_))));
+        assert!(matches!(overlay.front.repair(pos(5, 9)), Err(TbonError::UnknownNode(_))));
+        assert!(matches!(overlay.front.crash_comm(pos(5, 9)), Err(TbonError::UnknownNode(_))));
+        // The kill switch targets comm daemons only: the root and leaves
+        // must be rejected, not silently ignored.
+        assert!(matches!(overlay.front.crash_comm(pos(0, 0)), Err(TbonError::UnknownNode(_))));
+        assert!(matches!(overlay.front.crash_comm(pos(2, 1)), Err(TbonError::UnknownNode(_))));
+    }
+
+    #[test]
+    fn chained_deaths_repair_child_first_without_panic() {
+        // 1x2x4x8: comm (1,0) and its child (2,0) both die. Repairing the
+        // *child* first (the adversarial order — heal_failures sorts
+        // parent-first, but repair() is public) must not panic, must not
+        // re-adopt the already-repaired child, and the overlay must still
+        // heal end to end.
+        let (mut front, handles) = run_overlay("1x2x4x8", FilterRegistry::new(), echo_leaf());
+        front.await_connections(8, Duration::from_secs(5)).unwrap();
+        let stream = front.open_stream(FilterKind::Concat).unwrap();
+
+        front.crash_comm(pos(2, 0)).unwrap();
+        assert_eq!(front.wait_failure(Duration::from_secs(5)), Some(pos(2, 0)));
+        front.crash_comm(pos(1, 0)).unwrap();
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while front.poll_failures().len() < 2 {
+            assert!(std::time::Instant::now() < deadline, "second death never detected");
+            std::thread::sleep(Duration::from_millis(1));
+        }
+
+        let child_repair = front.repair(pos(2, 0)).unwrap();
+        assert_eq!(child_repair.grandparent, pos(0, 0), "walks past the dead parent");
+        let parent_repair = front.repair(pos(1, 0)).unwrap();
+        assert!(
+            parent_repair.adoptions.iter().all(|(o, _)| *o != pos(2, 0)),
+            "the already-repaired child must not be re-adopted: {:?}",
+            parent_repair.adoptions
+        );
+
+        front.broadcast(stream, 2, vec![]).unwrap();
+        let pkt = front.gather(stream, 2, Duration::from_secs(5)).unwrap();
+        let mut got = pkt.payload.clone();
+        got.sort_unstable();
+        assert_eq!(got, (0..8u8).collect::<Vec<u8>>(), "both subtrees healed");
+        assert_eq!(front.overlay_epoch(), 2);
+        front.shutdown();
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn heal_failures_detects_and_repairs_in_one_call() {
+        let (mut front, handles) = run_overlay("1x4x16", FilterRegistry::new(), echo_leaf());
+        front.await_connections(16, Duration::from_secs(5)).unwrap();
+        let stream = front.open_stream(FilterKind::Concat).unwrap();
+
+        front.crash_comm(pos(1, 2)).unwrap();
+        front.wait_failure(Duration::from_secs(5)).unwrap();
+        let reports = front.heal_failures().unwrap();
+        assert_eq!(reports.len(), 1);
+        assert_eq!(reports[0].dead, pos(1, 2));
+
+        front.broadcast(stream, 3, vec![]).unwrap();
+        let pkt = front.gather(stream, 3, Duration::from_secs(5)).unwrap();
+        let mut got = pkt.payload.clone();
+        got.sort_unstable();
+        assert_eq!(got, (0..16u8).collect::<Vec<u8>>());
+        front.shutdown();
+        for h in handles {
+            h.join().unwrap();
+        }
     }
 }

@@ -1,5 +1,7 @@
 //! Packets: the unit of TBON traffic.
 
+use crate::spec::NodePos;
+
 /// A tagged payload travelling a stream of the overlay.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Packet {
@@ -30,21 +32,51 @@ pub(crate) enum Control {
     OpenStream { stream: u16, filter: crate::filter::FilterKind },
     /// Tear the overlay down.
     Shutdown,
+    /// Liveness probe: every node that sees it answers with an
+    /// [`UpKind::Pong`] and forwards it to its (non-severed) children.
+    Ping { seq: u64 },
+    /// The parent's side of this link closed (crash fault path or severed
+    /// link). The subtree below is orphaned until the front end re-parents
+    /// it; receivers mark themselves degraded and keep waiting.
+    LinkDown,
 }
 
-/// What travels on a down link.
+/// What travels on a down link. Data is epoch-stamped so the repair
+/// protocol can piggyback epoch propagation on the first post-heal
+/// broadcast (see DESIGN.md §9).
 #[derive(Debug, Clone)]
 pub(crate) enum Down {
-    Data(Packet),
+    /// A data packet broadcast toward the leaves, stamped with the
+    /// overlay epoch it was sent under.
+    Data { epoch: u64, pkt: Packet },
+    /// Overlay control traffic.
     Ctl(Control),
 }
 
 /// What travels on an up link.
 #[derive(Debug, Clone)]
 pub(crate) struct Up {
-    /// Which child slot sent this (index into the receiver's child list).
-    pub child_slot: usize,
-    pub packet: Packet,
+    /// The direct child that sent this hop (waves are keyed by position,
+    /// which stays stable across re-parenting, unlike slot indices).
+    pub from: NodePos,
+    /// The overlay epoch the sender believed in; receivers drop and count
+    /// packets from older epochs instead of mis-routing them.
+    pub epoch: u64,
+    /// The message itself.
+    pub kind: UpKind,
+}
+
+/// Payload of an up-link message.
+#[derive(Debug, Clone)]
+pub(crate) enum UpKind {
+    /// A data packet travelling (aggregated) toward the front end.
+    Packet(Packet),
+    /// Heartbeat reply from `pos`, forwarded unmodified to the root.
+    Pong { pos: NodePos, seq: u64 },
+    /// A link-close notice: `pos`'s daemon closed its end of the overlay
+    /// deterministically (the crash fault path's FIN). Forwarded unmodified
+    /// to the root, where it triggers failure detection.
+    ChildGone { pos: NodePos },
 }
 
 #[cfg(test)]

@@ -134,6 +134,18 @@ impl TopologySpec {
             .collect()
     }
 
+    /// The fan-out the overlay was built with at `level`: the maximum
+    /// child count of any node on that level (0 for the leaf level).
+    /// Adoption bounds during overlay repair derive from this.
+    pub fn base_fanout(&self, level: u32) -> usize {
+        let child_level = level as usize + 1;
+        if child_level >= self.levels.len() {
+            return 0;
+        }
+        let pw = self.levels[level as usize];
+        (0..pw).map(|i| self.children(NodePos { level, index: i }).len()).max().unwrap_or(0)
+    }
+
     /// Positions of all internal comm daemons, level by level.
     pub fn comm_positions(&self) -> Vec<NodePos> {
         (1..self.levels.len().saturating_sub(1))
@@ -219,6 +231,16 @@ mod tests {
                 assert_eq!(seen.len(), spec.levels()[level as usize + 1] as usize);
             }
         }
+    }
+
+    #[test]
+    fn base_fanout_matches_children() {
+        let spec = TopologySpec::parse("1x4x16").unwrap();
+        assert_eq!(spec.base_fanout(0), 4);
+        assert_eq!(spec.base_fanout(1), 4);
+        assert_eq!(spec.base_fanout(2), 0, "leaves have no children");
+        let uneven = TopologySpec::parse("1x3x7").unwrap();
+        assert_eq!(uneven.base_fanout(1), 3, "widest bucket of an uneven split");
     }
 
     #[test]

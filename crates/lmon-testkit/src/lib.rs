@@ -18,7 +18,9 @@
 //! * **LMONP transport** — `lmon-proto`'s [`FaultyChannel`] drops or
 //!   delays chosen frames of any [`lmon_proto::transport::MsgChannel`];
 //! * **TBON** — `lmon-tbon` comm daemons run under a [`CommFault`]
-//!   schedule (crash mid-aggregation, severed child links).
+//!   schedule (crash mid-aggregation, severed child links), with the
+//!   overlay's self-healing layer (detect → repair → re-broadcast,
+//!   DESIGN.md §9) observable through [`LiveOverlay`]'s front endpoint.
 //!
 //! [`FaultPlan`] unifies those per-layer plans behind one builder, and
 //! [`Scenario`] is the DSL the facade's `chaos_suite` uses:
@@ -52,11 +54,13 @@
 #![warn(missing_docs)]
 
 pub mod launch_sim;
+pub mod live;
 pub mod plan;
 pub mod scenario;
 pub mod trace;
 
 pub use launch_sim::{LaunchParams, LaunchReport, LaunchSim};
+pub use live::{LiveLeafMain, LiveOverlay};
 pub use plan::{FaultPlan, SimFault, SimFaultKind, SimFaultTarget};
 pub use scenario::Scenario;
 pub use trace::{artifact_dir, assert_identical_runs, chaos_seed, write_artifact};

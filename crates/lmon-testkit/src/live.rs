@@ -1,0 +1,133 @@
+//! Live (thread-backed) TBON overlays under a [`FaultPlan`].
+//!
+//! [`Scenario`](crate::Scenario) runs the *virtual-time* launch model; this
+//! module instantiates the *real* `lmon-tbon` overlay on OS threads with
+//! the plan's TBON-layer faults applied per comm daemon, so chaos tests and
+//! the `recovery_latency` bench share one harness for kill-and-heal runs:
+//!
+//! ```
+//! use lmon_testkit::{FaultPlan, LiveOverlay};
+//! use std::time::Duration;
+//!
+//! // Comm daemon 1 crashes on its second down-message (mid-broadcast).
+//! let plan = FaultPlan::new().crash_comm_after_down(1, 1);
+//! let mut live = LiveOverlay::launch_echo("1x4x16", &plan);
+//! live.front.await_connections(16, Duration::from_secs(5)).unwrap();
+//! live.shutdown();
+//! ```
+
+use std::sync::Arc;
+
+use lmon_tbon::filter::FilterRegistry;
+use lmon_tbon::overlay::{
+    run_comm_node_with_faults, FrontEndpoint, LeafEndpoint, LeafEvent, Overlay,
+};
+use lmon_tbon::spec::TopologySpec;
+
+use crate::plan::FaultPlan;
+
+/// A leaf daemon body for [`LiveOverlay::launch`].
+pub type LiveLeafMain = Arc<dyn Fn(LeafEndpoint) + Send + Sync + 'static>;
+
+/// A TBON overlay running on plain threads, with the plan's
+/// [`CommFault`](lmon_tbon::overlay::CommFault) schedules applied per comm
+/// daemon (indexed by position in `Overlay::comm`).
+pub struct LiveOverlay {
+    /// The front-end endpoint (detect/repair/heal live here).
+    pub front: FrontEndpoint,
+    handles: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl LiveOverlay {
+    /// Build and start an overlay for `spec`, running `leaf_main` on one
+    /// thread per leaf and each comm daemon under its slice of `plan`.
+    ///
+    /// Panics on an invalid spec, like [`crate::Scenario::new`].
+    pub fn launch(
+        spec: &str,
+        plan: &FaultPlan,
+        registry: FilterRegistry,
+        leaf_main: LiveLeafMain,
+    ) -> Self {
+        let spec = TopologySpec::parse(spec)
+            .unwrap_or_else(|e| panic!("LiveOverlay::launch: invalid topology spec: {e}"));
+        let overlay = Overlay::build(&spec, registry.clone());
+        let mut handles = Vec::new();
+        for (i, harness) in overlay.comm.into_iter().enumerate() {
+            let reg = registry.clone();
+            let fault = plan.comm_fault(i);
+            handles
+                .push(std::thread::spawn(move || run_comm_node_with_faults(harness, reg, fault)));
+        }
+        for leaf in overlay.leaves {
+            let main = leaf_main.clone();
+            handles.push(std::thread::spawn(move || main(leaf)));
+        }
+        LiveOverlay { front: overlay.front, handles }
+    }
+
+    /// [`LiveOverlay::launch`] with the standard probe body: every leaf
+    /// sends its hello, then answers each data packet with `[leaf_index]`
+    /// until shutdown.
+    pub fn launch_echo(spec: &str, plan: &FaultPlan) -> Self {
+        Self::launch(
+            spec,
+            plan,
+            FilterRegistry::new(),
+            Arc::new(|leaf: LeafEndpoint| {
+                let _ = leaf.send_hello();
+                loop {
+                    match leaf.recv() {
+                        Ok(LeafEvent::Data(pkt)) => {
+                            let _ = leaf.send_up(pkt.stream, pkt.tag, vec![leaf.leaf_index as u8]);
+                        }
+                        Ok(LeafEvent::Shutdown) | Err(_) => return,
+                        Ok(LeafEvent::StreamOpened(_)) => continue,
+                    }
+                }
+            }),
+        )
+    }
+
+    /// Tear the overlay down (in-tree and out-of-band) and join every
+    /// daemon thread.
+    pub fn shutdown(self) {
+        self.front.shutdown();
+        for h in self.handles {
+            let _ = h.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lmon_tbon::filter::FilterKind;
+    use std::time::Duration;
+
+    #[test]
+    fn echo_overlay_gathers_every_leaf() {
+        let mut live = LiveOverlay::launch_echo("1x2x8", &FaultPlan::new());
+        live.front.await_connections(8, Duration::from_secs(5)).unwrap();
+        let stream = live.front.open_stream(FilterKind::Concat).unwrap();
+        live.front.broadcast(stream, 0, vec![]).unwrap();
+        let pkt = live.front.gather(stream, 0, Duration::from_secs(5)).unwrap();
+        assert_eq!(pkt.payload.len(), 8);
+        live.shutdown();
+    }
+
+    #[test]
+    fn comm_faults_apply_by_index() {
+        let plan = FaultPlan::new().crash_comm_after_up(0, 1);
+        let mut live = LiveOverlay::launch_echo("1x2x8", &plan);
+        let err = live.front.await_connections(8, Duration::from_millis(200)).unwrap_err();
+        assert_eq!(err, lmon_tbon::TbonError::Timeout);
+        live.shutdown();
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid topology spec")]
+    fn bad_spec_fails_at_construction() {
+        let _ = LiveOverlay::launch_echo("0x2", &FaultPlan::new());
+    }
+}

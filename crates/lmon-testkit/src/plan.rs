@@ -175,6 +175,15 @@ impl FaultPlan {
         self
     }
 
+    /// Crash comm daemon `comm` (by index in `Overlay::comm`) after it has
+    /// received `n` down-messages — mid-broadcast when `n` lands between a
+    /// stream announcement and the wave that follows it.
+    pub fn crash_comm_after_down(mut self, comm: usize, n: u64) -> Self {
+        let entry = self.comm.entry(comm).or_default();
+        entry.crash_after_down = Some(n);
+        self
+    }
+
     /// Sever comm daemon `comm`'s link to child slot `slot`.
     pub fn sever_comm_child(mut self, comm: usize, slot: usize) -> Self {
         let entry = self.comm.entry(comm).or_default();
@@ -222,6 +231,7 @@ mod tests {
             .fail_spawn_attempt(7)
             .drop_frame(0)
             .crash_comm_after_up(1, 4)
+            .crash_comm_after_down(1, 9)
             .sever_comm_child(1, 2);
         assert!(!p.is_empty());
         assert_eq!(p.sim_faults().len(), 2);
@@ -230,6 +240,7 @@ mod tests {
         assert!(!p.frame_plan().is_empty());
         let cf = p.comm_fault(1);
         assert_eq!(cf.crash_after_up, Some(4));
+        assert_eq!(cf.crash_after_down, Some(9));
         assert!(cf.sever_child_slots.contains(&2));
         assert!(p.comm_fault(0).is_none());
     }

@@ -3,7 +3,7 @@
 //! A [`Scenario`] is a topology string, a seed, timing parameters, and a
 //! [`FaultPlan`]; [`Scenario::run`] builds the launch sim, applies the
 //! plan's sim-kernel faults, runs it, and returns the
-//! [`LaunchReport`](crate::launch_sim::LaunchReport). The builder methods
+//! [`LaunchReport`]. The builder methods
 //! mirror [`FaultPlan`]'s sim-layer surface, so a test reads as one chained
 //! expression:
 //!
@@ -114,6 +114,27 @@ impl Scenario {
     /// Kill the front end itself at virtual time `at`.
     pub fn kill_fe_at(mut self, at: SimDuration) -> Self {
         self.plan = self.plan.kill_fe_at(at);
+        self
+    }
+
+    /// Crash live comm daemon `comm` after `n` up-packets (the TBON-layer
+    /// slice of the plan, consumed by [`crate::LiveOverlay`]).
+    pub fn crash_comm_after_up(mut self, comm: usize, n: u64) -> Self {
+        self.plan = self.plan.crash_comm_after_up(comm, n);
+        self
+    }
+
+    /// Crash live comm daemon `comm` after `n` down-messages —
+    /// mid-broadcast when `n` lands between the stream announcement and
+    /// the wave behind it.
+    pub fn crash_comm_after_down(mut self, comm: usize, n: u64) -> Self {
+        self.plan = self.plan.crash_comm_after_down(comm, n);
+        self
+    }
+
+    /// Sever live comm daemon `comm`'s link to child slot `slot`.
+    pub fn sever_comm_child(mut self, comm: usize, slot: usize) -> Self {
+        self.plan = self.plan.sever_comm_child(comm, slot);
         self
     }
 

@@ -11,6 +11,12 @@
 //! Middleware (communication) daemons are launched onto separately
 //! allocated nodes through the LaunchMON MW API when the topology needs
 //! them; leaf duty is taken by the Jobsnap BE daemons themselves.
+//!
+//! [`run_jobsnap_tbon_resilient`] additionally rides the overlay's
+//! self-healing layer (DESIGN.md §9): a comm-daemon death mid-wave is
+//! detected, repaired by grandparent adoption, surfaced as a
+//! degraded → healed transition on the FE health API, and the snapshot
+//! wave is re-issued — the report still covers every surviving back end.
 
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -20,12 +26,14 @@ use parking_lot::Mutex;
 use lmon_cluster::process::Pid;
 use lmon_core::be::BeMain;
 use lmon_core::fe::LmonFrontEnd;
+use lmon_core::health::HealthState;
 use lmon_core::mw::MwMain;
 use lmon_core::LmonResult;
 use lmon_proto::payload::DaemonSpec;
 use lmon_tbon::filter::{FilterKind, FilterRegistry};
-use lmon_tbon::overlay::{run_comm_node, LeafEndpoint, Overlay};
+use lmon_tbon::overlay::{run_comm_node_with_faults, CommFault, LeafEndpoint, Overlay};
 use lmon_tbon::spec::TopologySpec;
+use lmon_tbon::TbonError;
 
 use crate::jobsnap::JobsnapReport;
 
@@ -62,6 +70,50 @@ fn registry() -> FilterRegistry {
     r
 }
 
+/// Detect-and-heal step shared by the resilient wave loop's two failure
+/// sites (stalled gather, disconnected broadcast): records the session's
+/// degraded → healed transitions on the LaunchMON front end and returns
+/// whether anything was repaired.
+fn heal_and_record(
+    fe: &LmonFrontEnd,
+    session: lmon_core::SessionId,
+    front: &mut lmon_tbon::FrontEndpoint,
+) -> LmonResult<bool> {
+    let dead = front.poll_failures();
+    if dead.is_empty() {
+        return Ok(false);
+    }
+    for d in &dead {
+        fe.record_session_health(
+            session,
+            HealthState::Degraded,
+            front.overlay_epoch(),
+            format!(
+                "comm daemon ({},{}) died, {} orphans",
+                d.level,
+                d.index,
+                front.route_table().current_children(*d).len()
+            ),
+        );
+    }
+    let repairs =
+        front.heal_failures().map_err(|e| lmon_core::LmonError::Engine(format!("heal: {e}")))?;
+    for r in &repairs {
+        fe.record_session_health(
+            session,
+            HealthState::Healed,
+            r.epoch,
+            format!(
+                "({},{}) repaired away, {} orphans adopted",
+                r.dead.level,
+                r.dead.index,
+                r.adoptions.len()
+            ),
+        );
+    }
+    Ok(!repairs.is_empty())
+}
+
 /// Run Jobsnap with tree-based collection.
 ///
 /// `fanout` controls the TBON shape: `TopologySpec::balanced(nodes,
@@ -73,6 +125,24 @@ pub fn run_jobsnap_tbon(
     launcher_pid: Pid,
     n_nodes: u32,
     fanout: u32,
+) -> LmonResult<JobsnapReport> {
+    run_jobsnap_tbon_resilient(fe, launcher_pid, n_nodes, fanout, Vec::new())
+}
+
+/// [`run_jobsnap_tbon`] under injected comm-daemon faults, healing around
+/// them: when the snapshot wave stalls because a comm daemon died, the
+/// front end repairs the overlay (grandparent adoption, DESIGN.md §9),
+/// records the session's degraded → healed transitions on the LaunchMON
+/// front end's health surface, and re-issues the wave — so the report
+/// still covers every surviving back end.
+///
+/// `comm_faults` is indexed like `Overlay::comm` (= MW daemon rank order).
+pub fn run_jobsnap_tbon_resilient(
+    fe: &LmonFrontEnd,
+    launcher_pid: Pid,
+    n_nodes: u32,
+    fanout: u32,
+    comm_faults: Vec<(usize, CommFault)>,
 ) -> LmonResult<JobsnapReport> {
     let t0 = Instant::now();
     let spec = TopologySpec::balanced(n_nodes, fanout);
@@ -130,11 +200,17 @@ pub fn run_jobsnap_tbon(
     if comm_count > 0 {
         let comm_slots = comm_slots.clone();
         let reg = reg.clone();
+        let comm_faults = Arc::new(comm_faults);
         let mw_main: MwMain = Arc::new(move |mw| {
             let Some(harness) = comm_slots[mw.rank() as usize].lock().take() else {
                 return;
             };
-            run_comm_node(harness, reg.clone());
+            let fault = comm_faults
+                .iter()
+                .find(|(i, _)| *i == mw.rank() as usize)
+                .map(|(_, f)| f.clone())
+                .unwrap_or_default();
+            run_comm_node_with_faults(harness, reg.clone(), fault);
         });
         fe.launch_mw_daemons(
             session,
@@ -152,12 +228,47 @@ pub fn run_jobsnap_tbon(
     let stream = front
         .open_stream(FilterKind::Custom(JOBSNAP_MERGE_FILTER))
         .map_err(|e| lmon_core::LmonError::Engine(format!("stream: {e}")))?;
-    front
-        .broadcast(stream, 1, b"SNAPSHOT".to_vec())
-        .map_err(|e| lmon_core::LmonError::Engine(format!("broadcast: {e}")))?;
-    let report_pkt = front
-        .gather(stream, 1, Duration::from_secs(30))
-        .map_err(|e| lmon_core::LmonError::Engine(format!("gather: {e}")))?;
+
+    // Snapshot wave with self-healing: a broadcast that hits a dead
+    // daemon's dropped link, or a gather stalled by one, triggers
+    // detect → repair → re-broadcast; the degraded → healed transitions
+    // surface on the FE health API.
+    let deadline = Instant::now() + Duration::from_secs(30);
+    let mut tag = 1u16;
+    let report_pkt = 'wave: loop {
+        match front.broadcast(stream, tag, b"SNAPSHOT".to_vec()) {
+            Ok(()) => {}
+            Err(TbonError::Disconnected) if Instant::now() <= deadline => {
+                // A send into a dead daemon's dropped receiver: heal and
+                // re-issue, exactly like a stalled gather.
+                if heal_and_record(fe, session, &mut front)? {
+                    tag += 1;
+                    continue 'wave;
+                }
+                return Err(lmon_core::LmonError::Engine(
+                    "broadcast: disconnected with no detectable failure".into(),
+                ));
+            }
+            Err(e) => return Err(lmon_core::LmonError::Engine(format!("broadcast: {e}"))),
+        }
+        loop {
+            match front.gather(stream, tag, Duration::from_millis(300)) {
+                Ok(pkt) => break 'wave pkt,
+                Err(TbonError::Timeout) => {
+                    if heal_and_record(fe, session, &mut front)? {
+                        tag += 1;
+                        continue 'wave; // re-issue the wave post-heal
+                    }
+                    if Instant::now() > deadline {
+                        return Err(lmon_core::LmonError::Engine(
+                            "gather: timed out with no detectable failure".into(),
+                        ));
+                    }
+                }
+                Err(e) => return Err(lmon_core::LmonError::Engine(format!("gather: {e}"))),
+            }
+        }
+    };
 
     let lines: Vec<String> = String::from_utf8_lossy(&report_pkt.payload)
         .lines()
@@ -207,6 +318,30 @@ mod tests {
         for (i, line) in report.lines.iter().enumerate() {
             assert!(line.contains(&format!("rank={i}")), "line {i}: {line}");
         }
+        fe.shutdown().unwrap();
+    }
+
+    #[test]
+    fn resilient_tbon_jobsnap_heals_comm_death_mid_wave() {
+        // 8 job nodes, fanout 2 ⇒ 1x2x4x8. Comm daemon 0 = (1,0) dies on
+        // its second down-message: the snapshot broadcast right behind the
+        // stream announcement, stranding half the tree mid-wave.
+        let (fe, launcher) = setup(8, 2, 16);
+        let faults = vec![(0, CommFault::none().crash_after_down(1))];
+        let report =
+            run_jobsnap_tbon_resilient(&fe, launcher, 8, 2, faults).expect("healed jobsnap");
+        assert_eq!(report.lines.len(), 16, "report covers every back end after the heal");
+        for (i, line) in report.lines.iter().enumerate() {
+            assert!(line.contains(&format!("rank={i}")), "line {i}: {line}");
+        }
+        let states: Vec<HealthState> =
+            fe.session_health_history(report.session).iter().map(|t| t.state).collect();
+        assert_eq!(
+            states,
+            vec![HealthState::Degraded, HealthState::Healed],
+            "the FE surfaces the degraded → healed transition"
+        );
+        assert_eq!(fe.session_health(report.session), HealthState::Healed);
         fe.shutdown().unwrap();
     }
 

@@ -35,8 +35,9 @@ use launchmon::sim::SimDuration;
 use launchmon::tbon::bootstrap::{bootstrap_adhoc, LeafMain};
 use launchmon::tbon::filter::{FilterKind, FilterRegistry};
 use launchmon::tbon::overlay::{run_comm_node_with_faults, LeafEvent, Overlay};
-use launchmon::tbon::{TbonError, TopologySpec};
-use launchmon::testkit::{assert_identical_runs, chaos_seed, FaultPlan, Scenario};
+use launchmon::tbon::spec::NodePos;
+use launchmon::tbon::{RecoveryEvent, TbonError, TopologySpec};
+use launchmon::testkit::{assert_identical_runs, chaos_seed, FaultPlan, LiveOverlay, Scenario};
 
 fn ms(n: u64) -> SimDuration {
     SimDuration::from_millis(n)
@@ -393,6 +394,97 @@ fn chaos_healthy_overlay_still_gathers_under_inert_plan() {
     for h in handles {
         h.join().unwrap();
     }
+}
+
+// ---------------------------------------------------------------------------
+// Self-healing TBON scenarios (DESIGN.md §9): kill an interior comm daemon
+// mid-broadcast, heal by grandparent adoption, and complete the session.
+// ---------------------------------------------------------------------------
+
+/// One full kill-and-heal run on a 1x8x64 tree. Comm 3 dies on its second
+/// down-message — the wave-1 broadcast right behind the stream
+/// announcement, i.e. mid-broadcast by construction. Returns everything a
+/// determinism assertion needs: the healed payload (sorted), the final
+/// epoch, the recovery event log, and the adoption map.
+#[allow(clippy::type_complexity)]
+fn killed_broadcast_run() -> (Vec<u8>, u64, Vec<RecoveryEvent>, Vec<(NodePos, NodePos)>) {
+    let plan = FaultPlan::new().crash_comm_after_down(3, 1);
+    let mut live = LiveOverlay::launch_echo("1x8x64", &plan);
+    live.front.await_connections(64, Duration::from_secs(10)).unwrap();
+    let stream = live.front.open_stream(FilterKind::Concat).unwrap();
+    live.front.broadcast(stream, 1, vec![]).unwrap();
+
+    // The dying daemon's close path is deterministic (LinkDown FIN to its
+    // children, ChildGone to the front end), so detection needs no timing
+    // assumptions.
+    let dead = live.front.wait_failure(Duration::from_secs(10)).expect("failure detected");
+    assert_eq!(dead, NodePos { level: 1, index: 3 });
+    let reports = live.front.heal_failures().unwrap();
+    assert_eq!(reports.len(), 1);
+    let adoptions = reports[0].adoptions.clone();
+
+    // Post-heal wave: must reach every surviving BE (here: all 64 — the
+    // orphaned subtree re-attached).
+    live.front.broadcast(stream, 2, vec![]).unwrap();
+    let pkt = live.front.gather(stream, 2, Duration::from_secs(10)).unwrap();
+    let mut payload = pkt.payload.clone();
+    payload.sort_unstable();
+    let epoch = live.front.overlay_epoch();
+    let events = live.front.take_recovery_events();
+    live.shutdown();
+    (payload, epoch, events, adoptions)
+}
+
+#[test]
+fn chaos_interior_comm_death_mid_broadcast_heals_and_completes() {
+    let (payload, epoch, events, adoptions) = killed_broadcast_run();
+    assert_eq!(
+        payload,
+        (0..64u8).collect::<Vec<u8>>(),
+        "the orphaned subtree re-attached and the broadcast completed to all surviving BEs"
+    );
+    assert_eq!(epoch, 1, "one repair, one epoch bump");
+    assert_eq!(adoptions.len(), 8, "all 8 orphan leaves re-parented");
+    assert!(
+        adoptions.iter().all(|(_, a)| a.level == 1 && a.index != 3),
+        "orphans split across surviving sibling comms, not piled on the front end: {adoptions:?}"
+    );
+    assert!(
+        matches!(events.first(), Some(RecoveryEvent::Degraded { orphans: 8, .. })),
+        "{events:?}"
+    );
+    assert!(matches!(events.last(), Some(RecoveryEvent::Healed { epoch: 1, .. })), "{events:?}");
+}
+
+#[test]
+fn chaos_healed_overlay_replays_deterministically() {
+    // Same plan, two runs: identical healed payloads, epochs, adoption
+    // maps, and event sequences.
+    let a = killed_broadcast_run();
+    let b = killed_broadcast_run();
+    assert_eq!(a, b, "kill-and-heal must replay bit-for-bit");
+
+    // And the fault-free control run reaches the same BE set at epoch 0,
+    // replaying identically too — the plan's presence, not timing, is the
+    // only difference between the two schedules.
+    let healthy = || {
+        let mut live = LiveOverlay::launch_echo("1x8x64", &FaultPlan::new());
+        live.front.await_connections(64, Duration::from_secs(10)).unwrap();
+        let stream = live.front.open_stream(FilterKind::Concat).unwrap();
+        live.front.broadcast(stream, 1, vec![]).unwrap();
+        let pkt = live.front.gather(stream, 1, Duration::from_secs(10)).unwrap();
+        let mut p = pkt.payload;
+        p.sort_unstable();
+        let epoch = live.front.overlay_epoch();
+        assert!(live.front.recovery_events().is_empty(), "no recovery without a fault");
+        live.shutdown();
+        (p, epoch)
+    };
+    let h1 = healthy();
+    let h2 = healthy();
+    assert_eq!(h1, h2);
+    assert_eq!(h1.1, 0, "no epoch bump without a failure");
+    assert_eq!(h1.0, a.0, "healed run covers the same BE set as the fault-free run");
 }
 
 // ---------------------------------------------------------------------------
