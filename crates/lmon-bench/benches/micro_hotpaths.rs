@@ -12,7 +12,11 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Through
 use std::hint::black_box;
 
 use lmon_iccl::{ChannelFabric, IcclComm, Topology};
-use lmon_proto::frame::{decode_msg, encode_bytes_copied, encode_msg, FrameReader, WireFrame};
+use lmon_proto::frame::{
+    decode_bytes_copied, decode_msg, encode_bytes_copied, encode_msg, FrameReader, MuxBatch,
+    WireFrame,
+};
+use lmon_proto::header::HEADER_LEN;
 use lmon_proto::header::MsgType;
 use lmon_proto::msg::LmonpMsg;
 use lmon_proto::rpdtab::{synthetic_rpdtab, Rpdtab};
@@ -111,6 +115,89 @@ fn bench_mux_carrier_encode(c: &mut Criterion) {
     );
 }
 
+/// The inbound mirror of [`bench_mux_carrier_encode`]: decoding a batched
+/// mux carrier, legacy vs borrowing, with copy accounting.
+///
+/// The legacy path materializes every payload section into fresh vectors
+/// (`decode_msg` + `MuxBatch::decode_payload`). The borrowing path feeds
+/// the same bytes through [`FrameReader`], which splits payloads off the
+/// read buffer as refcounted views, then sub-slices each inner message
+/// with [`MuxBatch::decode_payload_view`] — only header bytes are ever
+/// copied. Sampled from the process-wide decode-copy counter
+/// ([`lmon_proto::frame::decode_bytes_copied`]) and asserted: the borrowed
+/// path must stay within header-only copies per carrier.
+fn bench_mux_carrier_decode(c: &mut Criterion) {
+    const INNER: usize = 8;
+    let batch = MuxBatch {
+        entries: (0..INNER as u16)
+            .map(|i| lmon_proto::frame::MuxEntry {
+                session: i,
+                msg: LmonpMsg::of_type(MsgType::BeUsrData)
+                    .with_tag(7)
+                    .with_lmon_payload(vec![0xA5; 256])
+                    .with_usr_payload(vec![0x5A; 128]),
+            })
+            .collect(),
+    };
+    let count = batch.entries.len() as u16;
+    let bytes = WireFrame::Batch(batch).encode_to_vec();
+
+    let mut g = c.benchmark_group("mux_carrier_decode");
+    g.throughput(Throughput::Bytes(bytes.len() as u64));
+    g.bench_function("legacy_copying", |b| {
+        b.iter(|| {
+            let carrier = decode_msg(black_box(&bytes)).unwrap();
+            MuxBatch::decode_payload(&carrier.lmon, count).unwrap()
+        })
+    });
+    g.bench_function("borrowed_views", |b| {
+        b.iter(|| {
+            let mut reader = FrameReader::new();
+            reader.extend(black_box(&bytes));
+            let carrier = reader.next_msg().unwrap().expect("one whole carrier");
+            MuxBatch::decode_payload_view(&carrier.lmon, count).unwrap()
+        })
+    });
+    g.finish();
+
+    // Copied-bytes-per-carrier, measured off the live counter.
+    const SAMPLES: u64 = 1000;
+    let before = decode_bytes_copied();
+    for _ in 0..SAMPLES {
+        let carrier = decode_msg(&bytes).unwrap();
+        black_box(MuxBatch::decode_payload(&carrier.lmon, count).unwrap());
+    }
+    let legacy_per_carrier = (decode_bytes_copied() - before) / SAMPLES;
+    let before = decode_bytes_copied();
+    for _ in 0..SAMPLES {
+        let mut reader = FrameReader::new();
+        reader.extend(&bytes);
+        let carrier = reader.next_msg().unwrap().expect("one whole carrier");
+        black_box(MuxBatch::decode_payload_view(&carrier.lmon, count).unwrap());
+    }
+    let borrowed_per_carrier = (decode_bytes_copied() - before) / SAMPLES;
+    // One carrier header plus one header per inner message is the floor the
+    // borrowing path is designed to hit; allow nothing beyond it.
+    let header_only = (HEADER_LEN * (INNER + 1)) as u64;
+    println!(
+        "\nmux carrier decode, bytes copied per {}-byte carrier ({} inner): legacy {} | \
+         borrowed {} (header-only floor {})\n",
+        bytes.len(),
+        INNER,
+        legacy_per_carrier,
+        borrowed_per_carrier,
+        header_only,
+    );
+    assert!(
+        borrowed_per_carrier <= header_only,
+        "borrowed decode must copy only header bytes: {borrowed_per_carrier} > {header_only}"
+    );
+    assert!(
+        borrowed_per_carrier < legacy_per_carrier,
+        "borrowed decode must copy measurably less than the legacy path"
+    );
+}
+
 fn bench_rpdtab(c: &mut Criterion) {
     let mut g = c.benchmark_group("rpdtab");
     for nodes in [16usize, 128, 1024] {
@@ -203,6 +290,7 @@ criterion_group!(
     benches,
     bench_lmonp_codec,
     bench_mux_carrier_encode,
+    bench_mux_carrier_decode,
     bench_rpdtab,
     bench_stat_tree,
     bench_iccl,

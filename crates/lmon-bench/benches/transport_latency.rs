@@ -9,17 +9,24 @@
 //!    condvar-driven `recv()` and the reworked event-driven `select!`.
 //! 2. **mux fan-in throughput**: aggregate messages/second across K logical
 //!    sessions multiplexed over *one* physical channel, against K dedicated
-//!    channels (the pre-mux shape that cost K fds). A batch sweep varies
-//!    the send-side coalescing bound (1 = pre-batching wire shape).
+//!    channels (the pre-mux shape that cost K fds). The headline mux number
+//!    runs the adaptive batch controller (the default — no hand-tuned
+//!    knob); a fixed-batch sweep (1 = pre-batching wire shape, 8, 64) shows
+//!    what any static setting would have bought. Fan-in is cheap enough
+//!    that both quick- and full-mode message counts are measured every run,
+//!    so the committed artifact carries the mux/dedicated ratio for both.
 //!
 //! Results print as tables and are written to `BENCH_transport.json` at
 //! the workspace root (CI uploads it as an artifact); the JSON carries a
-//! `baseline` block (the PR 3 numbers) so the trajectory is
+//! `baseline` block (the rates PR 6 started from) so the trajectory is
 //! self-describing. Quick mode for CI: set `LMON_BENCH_QUICK=1`.
 //!
-//! **Regression gate**: unless `LMON_BENCH_SKIP_GATE=1` (for noisy
-//! runners), the run fails if the new `mux_msgs_per_s` drops more than 30%
-//! below the value in the committed `BENCH_transport.json`.
+//! **Regression gates**: unless `LMON_BENCH_SKIP_GATE=1` (for noisy
+//! runners), the run fails if (a) the new `mux_msgs_per_s` drops more than
+//! 30% below the value in the committed `BENCH_transport.json`, or (b) the
+//! adaptive-mode rate falls more than 10% below the best fixed-batch rate
+//! measured in the same run — the controller must not lose to any static
+//! setting it replaced.
 
 use std::io::Write as _;
 use std::time::{Duration, Instant};
@@ -33,16 +40,21 @@ use lmon_proto::transport::{LocalChannel, MsgChannel};
 /// The park interval the old polled `select!` used between sweeps.
 const OLD_POLL_PARK: Duration = Duration::from_micros(200);
 
-/// PR 3 committed numbers (pre zero-copy/batching): the fixed baseline the
-/// JSON artifact carries so any later reader can see the trajectory
-/// without digging through git history.
-const BASELINE_PR: u32 = 3;
-const BASELINE_MUX_MSGS_PER_S: f64 = 239_304.0;
-const BASELINE_DEDICATED_MSGS_PER_S: f64 = 1_641_882.0;
+/// The rates PR 6 started from (PR 5's committed quick-mode artifact:
+/// fixed batch-64 flushing, copying inbound decode, serialized engine
+/// exchanges): the baseline the JSON artifact carries so any later reader
+/// can see the trajectory without digging through git history.
+const BASELINE_PR: u32 = 6;
+const BASELINE_MUX_MSGS_PER_S: f64 = 1_332_027.0;
+const BASELINE_DEDICATED_MSGS_PER_S: f64 = 1_523_399.0;
 
 /// Regression gate: fail when the new mux rate drops below this fraction
 /// of the committed one.
 const GATE_FLOOR: f64 = 0.70;
+
+/// Adaptive gate: the adaptive controller must stay within this fraction
+/// of the best fixed-batch rate measured in the same run.
+const ADAPTIVE_GATE_FLOOR: f64 = 0.90;
 
 fn quick_mode() -> bool {
     std::env::var("LMON_BENCH_QUICK").map(|v| v == "1").unwrap_or(false)
@@ -142,78 +154,109 @@ fn usr_msg(tag: u16) -> LmonpMsg {
     LmonpMsg::of_type(MsgType::BeUsrData).with_tag(tag).with_usr_payload(vec![0xA5; 64])
 }
 
-/// Fan-in throughput of K sessions over one mux link, with the send-side
-/// coalescing bound pinned to `max_batch` frames (1 disables batching).
-fn mux_fanin_batched(sessions: u16, per_session: usize, max_batch: usize) -> f64 {
+/// Warm-up messages per session before the timed window opens: enough for
+/// every thread to be running and the adaptive controller to ramp, so both
+/// fan-in shapes report steady-state rates rather than spawn transients.
+fn fanin_warmup(per_session: usize) -> usize {
+    (per_session / 4).min(1000)
+}
+
+/// Fan-in throughput of K sessions over one mux link. `Some(b)` pins the
+/// send-side coalescing bound to `b` frames (1 disables batching); `None`
+/// runs the adaptive controller, the deployment default.
+///
+/// Steady-state: each sender pushes a warm-up burst, all senders and the
+/// clock rendezvous on a barrier, and only the following `per_session`
+/// messages per session are timed. [`dedicated_fanin`] warms up the same
+/// way, so the comparison stays symmetric.
+fn mux_fanin_batched(sessions: u16, per_session: usize, max_batch: Option<usize>) -> f64 {
     let (near, far) = SessionMux::pair();
-    near.set_max_batch_frames(max_batch);
+    match max_batch {
+        Some(b) => near.set_max_batch_frames(b),
+        None => near.set_adaptive_batching(),
+    }
+    let warmup = fanin_warmup(per_session);
+    let barrier = std::sync::Arc::new(std::sync::Barrier::new(sessions as usize));
     let receivers: Vec<_> = (0..sessions)
         .map(|i| {
             let ep = far.open(i).unwrap();
             std::thread::spawn(move || {
-                for _ in 0..per_session {
+                for _ in 0..warmup + per_session {
                     ep.recv().unwrap();
                 }
+                Instant::now()
             })
         })
         .collect();
-    let t0 = Instant::now();
     let senders: Vec<_> = (0..sessions)
         .map(|i| {
             let ep = near.open(i).unwrap();
+            let barrier = barrier.clone();
             std::thread::spawn(move || {
+                for _ in 0..warmup {
+                    ep.send(usr_msg(i)).unwrap();
+                }
+                barrier.wait();
+                let start = Instant::now();
                 for _ in 0..per_session {
                     ep.send(usr_msg(i)).unwrap();
                 }
+                start
             })
         })
         .collect();
-    for h in senders {
-        h.join().unwrap();
-    }
-    for h in receivers {
-        h.join().unwrap();
-    }
-    (sessions as usize * per_session) as f64 / t0.elapsed().as_secs_f64()
+    // The window is stamped inside the workers (first sender's post-barrier
+    // start, last receiver's finish): the main thread may not get scheduled
+    // between barrier release and workload completion on small machines, so
+    // it cannot time the window itself.
+    let start = senders.into_iter().map(|h| h.join().unwrap()).min().expect("senders");
+    let end = receivers.into_iter().map(|h| h.join().unwrap()).max().expect("receivers");
+    (sessions as usize * per_session) as f64 / (end - start).as_secs_f64()
 }
 
-/// Fan-in throughput at the default coalescing bound.
-fn mux_fanin(sessions: u16, per_session: usize) -> f64 {
-    mux_fanin_batched(sessions, per_session, lmon_proto::mux::DEFAULT_MAX_BATCH_FRAMES)
+/// Fan-in throughput with the adaptive controller (the default policy).
+fn mux_fanin_adaptive(sessions: u16, per_session: usize) -> f64 {
+    mux_fanin_batched(sessions, per_session, None)
 }
 
 /// The pre-mux shape: K dedicated channels (K fds in a real deployment).
+/// Warmed up and timed exactly like [`mux_fanin_batched`].
 fn dedicated_fanin(sessions: u16, per_session: usize) -> f64 {
     let pairs: Vec<_> = (0..sessions).map(|_| LocalChannel::pair()).collect();
+    let warmup = fanin_warmup(per_session);
+    let barrier = std::sync::Arc::new(std::sync::Barrier::new(sessions as usize));
     let mut receivers = Vec::new();
     let mut chans = Vec::new();
     for (a, b) in pairs {
         chans.push(a);
         receivers.push(std::thread::spawn(move || {
-            for _ in 0..per_session {
+            for _ in 0..warmup + per_session {
                 b.recv().unwrap();
             }
+            Instant::now()
         }));
     }
-    let t0 = Instant::now();
     let senders: Vec<_> = chans
         .into_iter()
         .enumerate()
         .map(|(i, a)| {
+            let barrier = barrier.clone();
             std::thread::spawn(move || {
+                for _ in 0..warmup {
+                    a.send(usr_msg(i as u16)).unwrap();
+                }
+                barrier.wait();
+                let start = Instant::now();
                 for _ in 0..per_session {
                     a.send(usr_msg(i as u16)).unwrap();
                 }
+                start
             })
         })
         .collect();
-    for h in senders {
-        h.join().unwrap();
-    }
-    for h in receivers {
-        h.join().unwrap();
-    }
-    (sessions as usize * per_session) as f64 / t0.elapsed().as_secs_f64()
+    let start = senders.into_iter().map(|h| h.join().unwrap()).min().expect("senders");
+    let end = receivers.into_iter().map(|h| h.join().unwrap()).max().expect("receivers");
+    (sessions as usize * per_session) as f64 / (end - start).as_secs_f64()
 }
 
 fn fmt_us(v: f64) -> String {
@@ -283,26 +326,50 @@ fn main() {
         Some((mux, dedicated))
     });
 
+    // Throughput is reported best-of-N: on small/shared runners a single
+    // rep is hostage to scheduling storms, and the best rep is the closest
+    // observable to the machine's actual capability for every shape alike.
+    let reps = 3;
+    let best_of = |f: &dyn Fn() -> f64| {
+        (0..reps).map(|_| f()).fold(f64::MIN, f64::max)
+    };
     // Batch sweep: 1 (no coalescing — the pre-batching wire shape), 8, 64.
-    let batch_sweep: Vec<(usize, f64)> =
-        [1usize, 8, 64].iter().map(|&b| (b, mux_fanin_batched(sessions, per_session, b))).collect();
-    let mux_rate = mux_fanin(sessions, per_session);
-    let dedicated_rate = dedicated_fanin(sessions, per_session);
+    let batch_sweep: Vec<(usize, f64)> = [1usize, 8, 64]
+        .iter()
+        .map(|&b| (b, best_of(&|| mux_fanin_batched(sessions, per_session, Some(b)))))
+        .collect();
+    // Fan-in is cheap (sub-second even at full message counts), so measure
+    // both modes' message counts every run: the committed artifact then
+    // shows the adaptive mux/dedicated ratio for quick AND full mode.
+    const FANIN_QUICK: usize = 500;
+    const FANIN_FULL: usize = 4000;
+    let adaptive_quick = best_of(&|| mux_fanin_adaptive(sessions, FANIN_QUICK));
+    let dedicated_quick = best_of(&|| dedicated_fanin(sessions, FANIN_QUICK));
+    let adaptive_full = best_of(&|| mux_fanin_adaptive(sessions, FANIN_FULL));
+    let dedicated_full = best_of(&|| dedicated_fanin(sessions, FANIN_FULL));
+    let (mux_rate, dedicated_rate) = if quick {
+        (adaptive_quick, dedicated_quick)
+    } else {
+        (adaptive_full, dedicated_full)
+    };
 
     let mut rows = vec![
-        Row { x: "SessionMux".into(), values: vec![format!("{mux_rate:.0}"), "1".into()] },
+        Row {
+            x: "SessionMux (adaptive)".into(),
+            values: vec![format!("{mux_rate:.0}"), "1".into()],
+        },
         Row {
             x: "dedicated channels".into(),
             values: vec![format!("{dedicated_rate:.0}"), sessions.to_string()],
         },
         Row {
-            x: format!("baseline (PR {BASELINE_PR}) mux"),
+            x: format!("baseline (start of PR {BASELINE_PR}) mux"),
             values: vec![format!("{BASELINE_MUX_MSGS_PER_S:.0}"), "1".into()],
         },
     ];
     for (b, rate) in &batch_sweep {
         rows.push(Row {
-            x: format!("SessionMux, batch<={b}"),
+            x: format!("SessionMux, fixed batch<={b}"),
             values: vec![format!("{rate:.0}"), "1".into()],
         });
     }
@@ -313,9 +380,10 @@ fn main() {
         &rows,
     );
     println!(
-        "mux vs dedicated: {:.2}x gap (PR 3 baseline was {:.2}x); mux vs PR 3 mux: {:.2}x",
-        dedicated_rate / mux_rate,
-        BASELINE_DEDICATED_MSGS_PER_S / BASELINE_MUX_MSGS_PER_S,
+        "adaptive mux vs dedicated: {:.2}x quick, {:.2}x full (>=1.0x means the mux won); \
+         mux vs start-of-PR-{BASELINE_PR} mux: {:.2}x",
+        adaptive_quick / dedicated_quick,
+        adaptive_full / dedicated_full,
         mux_rate / BASELINE_MUX_MSGS_PER_S,
     );
 
@@ -338,14 +406,20 @@ fn main() {
             "  \"mux_fanin\": {{\n",
             "    \"sessions\": {sess},\n",
             "    \"messages_per_session\": {per},\n",
+            "    \"batch_mode\": \"adaptive\",\n",
             "    \"mux_msgs_per_s\": {mr:.0},\n",
             "    \"dedicated_msgs_per_s\": {dr:.0},\n",
             "    \"mux_physical_channels\": 1,\n",
+            "    \"quick_mode\": {{\"messages_per_session\": {fq}, \"adaptive_msgs_per_s\": \
+             {aq:.0}, \"dedicated_msgs_per_s\": {dq:.0}}},\n",
+            "    \"full_mode\": {{\"messages_per_session\": {ff}, \"adaptive_msgs_per_s\": \
+             {af:.0}, \"dedicated_msgs_per_s\": {df:.0}}},\n",
             "    \"batch_sweep\": [\n",
             "{sweep}\n",
             "    ],\n",
             "    \"baseline\": {{\n",
             "      \"pr\": {bpr},\n",
+            "      \"note\": \"rates at the start of PR {bpr}: fixed batch-64, copying decode\",\n",
             "      \"mux_msgs_per_s\": {bmr:.0},\n",
             "      \"dedicated_msgs_per_s\": {bdr:.0}\n",
             "    }}\n",
@@ -368,6 +442,12 @@ fn main() {
         per = per_session,
         mr = mux_rate,
         dr = dedicated_rate,
+        fq = FANIN_QUICK,
+        aq = adaptive_quick,
+        dq = dedicated_quick,
+        ff = FANIN_FULL,
+        af = adaptive_full,
+        df = dedicated_full,
         sweep = sweep_json,
         bpr = BASELINE_PR,
         bmr = BASELINE_MUX_MSGS_PER_S,
@@ -412,5 +492,31 @@ fn main() {
         None => println!(
             "regression gate skipped (no committed BENCH_transport.json in this run's mode)"
         ),
+    }
+
+    // Adaptive gate: the controller replaced the static batch knob, so it
+    // must not lose to any fixed setting it made unreachable. Both sides
+    // are measured in this run, so no committed artifact is needed.
+    let (best_batch, best_fixed) = batch_sweep
+        .iter()
+        .copied()
+        .max_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"))
+        .expect("non-empty sweep");
+    let adaptive_floor = best_fixed * ADAPTIVE_GATE_FLOOR;
+    if skip_gate {
+        println!("adaptive gate skipped (LMON_BENCH_SKIP_GATE=1)");
+    } else if mux_rate < adaptive_floor {
+        eprintln!(
+            "ADAPTIVE GATE FAILED: adaptive rate {mux_rate:.0} msgs/s fell more than 10% below \
+             the best fixed-batch rate {best_fixed:.0} (batch<={best_batch}, floor \
+             {adaptive_floor:.0}). The controller must match the static knob it replaced. Set \
+             LMON_BENCH_SKIP_GATE=1 to skip on noisy runners."
+        );
+        std::process::exit(1);
+    } else {
+        println!(
+            "adaptive gate passed: {mux_rate:.0} msgs/s vs best fixed {best_fixed:.0} \
+             (batch<={best_batch}, floor {adaptive_floor:.0})"
+        );
     }
 }

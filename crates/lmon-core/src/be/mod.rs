@@ -152,7 +152,7 @@ impl BeSession {
             .ok_or(LmonError::Engine("recv_usrdata: not the master daemon".into()))?;
         loop {
             match chan.recv_timeout(timeout)? {
-                Some(msg) if msg.mtype == MsgType::BeUsrData => return Ok(msg.usr),
+                Some(msg) if msg.mtype == MsgType::BeUsrData => return Ok(msg.usr.to_vec()),
                 Some(msg) if msg.mtype == MsgType::BeShutdown => {
                     return Err(LmonError::Engine("shutdown while waiting for usrdata".into()))
                 }
@@ -247,7 +247,7 @@ fn be_bootstrap(
                 msg.mtype
             )));
         }
-        usrdata = msg.usr.clone();
+        usrdata = msg.usr.to_vec();
 
         // RPDTAB.
         let msg = chan.recv()?;
@@ -257,7 +257,7 @@ fn be_bootstrap(
                 msg.mtype
             )));
         }
-        rpdtab_bytes = msg.lmon;
+        rpdtab_bytes = msg.lmon.to_vec();
 
         // e8/e9: inter-daemon network setup over the RM fabric — the first
         // collectives wire up and verify every daemon.

@@ -14,18 +14,27 @@
 //! [`EngineSidecar`] in a shared map keyed by the command's correlation
 //! tag; the engine claims the sidecar when the tagged command arrives.
 //!
-//! Replies on the shared control stream are ordered per command, so
-//! [`EngineEndpoint::exchange`] serializes each command/reply exchange
-//! behind an operation lock — concurrent tool sessions cannot interleave
-//! their replies (the previous dedicated-pair design had the same
-//! serialization implicitly, through the engine's single command loop, but
-//! nothing stopped two FE threads from stealing each other's replies).
+//! Replies on the shared control stream are *tag-routed*: every exchange
+//! stamps a fresh sequence number into its command's `sec_epoch`, the
+//! engine echoes it on each reply, and the FE routes incoming replies into
+//! per-`(tag, seq)` mailboxes. Concurrent exchanges therefore overlap on
+//! the stream without any operation lock — a reply can only ever land in
+//! the mailbox of the exchange that issued its exact command, so reply
+//! stealing is structurally impossible, not merely serialized away (the
+//! pre-ISSUE-6 design held a lock across each whole exchange, which made
+//! concurrent launches take their engine phases back-to-back).
+//!
+//! With no exchange in flight nobody owns the physical receive; the first
+//! thread that needs a reply elects itself *receiver* (mux-pump style),
+//! routes whatever arrives — stragglers from timed-out exchanges carry a
+//! retired `(tag, seq)` key and are dropped — and hands the role off
+//! whenever it leaves the read loop.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
-use parking_lot::Mutex;
+use parking_lot::{Condvar, Mutex};
 
 use lmon_proto::header::MsgType;
 use lmon_proto::msg::LmonpMsg;
@@ -73,12 +82,47 @@ impl EngineCommand {
 
 type SidecarMap = Arc<Mutex<HashMap<u16, EngineSidecar>>>;
 
+/// Per-`(tag, seq)` reply routing for concurrent exchanges on the shared
+/// control stream.
+///
+/// One mutex guards the mailbox table plus the receiver-role flag; the
+/// condvar wakes waiters when replies are routed or the role frees up.
+struct ReplyRouter {
+    state: Mutex<RouterState>,
+    cv: Condvar,
+}
+
+#[derive(Default)]
+struct RouterState {
+    /// Live exchanges' reply queues, keyed by `(tag, sec_epoch)`. A reply
+    /// whose key has no mailbox is a straggler from an exchange that gave
+    /// up (timed out and retired its mailbox); it is dropped.
+    mailboxes: HashMap<(u16, u16), VecDeque<LmonpMsg>>,
+    /// Whether some exchange currently owns the physical receive.
+    receiving: bool,
+    /// The engine side of the link is gone; fatal for every exchange.
+    dead: bool,
+}
+
+/// Removes an exchange's mailbox when it finishes (or errors out), so
+/// stragglers addressed to it are dropped instead of accumulating.
+struct MailboxGuard<'a> {
+    router: &'a ReplyRouter,
+    key: (u16, u16),
+}
+
+impl Drop for MailboxGuard<'_> {
+    fn drop(&mut self) {
+        self.router.state.lock().mailboxes.remove(&self.key);
+    }
+}
+
 /// FE-side endpoint of the engine control stream.
 pub struct EngineEndpoint {
     chan: Box<dyn MsgChannel>,
     sidecars: SidecarMap,
-    /// Serializes one command/reply exchange on the shared control stream.
-    op: Mutex<()>,
+    /// Routes replies to the exchange that asked, by `(tag, seq)`.
+    router: ReplyRouter,
     /// Per-exchange sequence number, stamped into the command's
     /// `sec_epoch` and echoed by the engine on every reply, so stragglers
     /// from a timed-out exchange can never be mistaken for the current
@@ -104,7 +148,11 @@ impl EngineEndpoint {
         })
     }
 
-    /// Receive the next reply with a timeout.
+    /// Receive the next reply with a timeout, directly off the stream.
+    ///
+    /// Raw read that bypasses the reply router — for tests and
+    /// diagnostics only; never mix with concurrent [`EngineEndpoint::exchange`]
+    /// calls, which own the stream through the router.
     pub fn recv_timeout(&self, timeout: Duration) -> LmonResult<LmonpMsg> {
         match self.chan.recv_timeout(timeout) {
             Ok(Some(msg)) => Ok(msg),
@@ -113,39 +161,30 @@ impl EngineEndpoint {
         }
     }
 
-    /// One serialized command/reply exchange: send `cmd`, collect up to
-    /// `want` replies (stopping early on an error reply, which is always
-    /// terminal for a request). The operation lock keeps concurrent
-    /// sessions' exchanges from interleaving on the shared stream.
-    ///
-    /// An exchange that times out can leave its late replies on the
-    /// stream; to keep them from being read as the *next* command's
-    /// replies, each exchange discards whatever is already buffered before
-    /// sending and matches received replies on the `(tag, sec_epoch)`
-    /// pair — the sequence number distinguishes consecutive exchanges even
-    /// on the same session tag.
+    /// One command/reply exchange: send `cmd`, collect up to `want` replies
+    /// (stopping early on an error reply, which is always terminal for a
+    /// request). Concurrent exchanges overlap freely: each registers a
+    /// mailbox under its unique `(tag, seq)` key before sending, and
+    /// replies are routed by that key, so no exchange can observe — let
+    /// alone steal — another's replies. `timeout` bounds the wait for each
+    /// reply, not the whole exchange.
     pub fn exchange(
         &self,
         mut cmd: EngineCommand,
         want: usize,
         timeout: Duration,
     ) -> LmonResult<Vec<LmonpMsg>> {
-        let _op = self.op.lock();
-        // Stale replies belong to an exchange that gave up on them.
-        while let Ok(Some(_stale)) = self.chan.recv_timeout(Duration::ZERO) {}
         let seq = self.seq.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
         cmd.msg.sec_epoch = seq;
-        let tag = cmd.msg.tag;
+        let key = (cmd.msg.tag, seq);
+        self.router.state.lock().mailboxes.insert(key, VecDeque::new());
+        let _mailbox = MailboxGuard { router: &self.router, key };
         self.send(cmd)?;
         let mut replies = Vec::with_capacity(want);
         while replies.len() < want {
-            let reply = self.recv_timeout(timeout)?;
-            if reply.tag != tag || reply.sec_epoch != seq {
-                // A straggler from a timed-out exchange (possibly on this
-                // very session) that raced past the pre-drain; dropping it
-                // keeps the stream in sync.
-                continue;
-            }
+            let Some(reply) = self.next_reply(key, Instant::now() + timeout)? else {
+                return Err(LmonError::Timeout("waiting for engine reply"));
+            };
             let terminal = reply.error || reply.mtype == MsgType::EngineError;
             replies.push(reply);
             if terminal {
@@ -153,6 +192,54 @@ impl EngineEndpoint {
             }
         }
         Ok(replies)
+    }
+
+    /// Wait until a reply lands in `key`'s mailbox (or `deadline` passes —
+    /// `Ok(None)` — or the engine dies). Whoever gets here first with no
+    /// receiver in flight takes the receiver role, performs the physical
+    /// receive with every lock released, routes what arrives, and releases
+    /// the role; everyone else parks on the condvar. Stragglers addressed
+    /// to retired mailboxes are dropped in routing.
+    fn next_reply(&self, key: (u16, u16), deadline: Instant) -> LmonResult<Option<LmonpMsg>> {
+        loop {
+            let mut st = self.router.state.lock();
+            if let Some(reply) = st.mailboxes.get_mut(&key).and_then(VecDeque::pop_front) {
+                return Ok(Some(reply));
+            }
+            if st.dead {
+                return Err(LmonError::Engine("engine is gone".into()));
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return Ok(None);
+            }
+            let remaining = deadline - now;
+            if st.receiving {
+                // Someone else owns the read; they will route our reply or
+                // hand the role off when they leave.
+                self.router.cv.wait_for(&mut st, remaining);
+                continue;
+            }
+            st.receiving = true;
+            drop(st);
+            let res = self.chan.recv_timeout(remaining);
+            let mut st = self.router.state.lock();
+            st.receiving = false;
+            match res {
+                Ok(Some(reply)) => {
+                    if let Some(q) = st.mailboxes.get_mut(&(reply.tag, reply.sec_epoch)) {
+                        q.push_back(reply);
+                    }
+                    // else: straggler for a retired exchange — dropped.
+                }
+                Ok(None) => {} // receive slice expired; deadline check re-runs
+                Err(_) => st.dead = true,
+            }
+            drop(st);
+            // Wake everyone: a routed reply, a freed receiver role, or
+            // death — each is a reason for some waiter to re-check.
+            self.router.cv.notify_all();
+        }
     }
 
     /// Live accounting for the engine control link.
@@ -201,7 +288,7 @@ pub fn engine_channel() -> (EngineEndpoint, EngineInlet) {
         EngineEndpoint {
             chan: fe_chan,
             sidecars: sidecars.clone(),
-            op: Mutex::new(()),
+            router: ReplyRouter { state: Mutex::new(RouterState::default()), cv: Condvar::new() },
             seq: std::sync::atomic::AtomicU16::new(0),
             mux: fe_mux,
         },
@@ -263,8 +350,9 @@ mod tests {
         // A launch exchange on session 5 times out before the engine
         // replies; the late replies (same tag!) land on the stream. A kill
         // exchange on the *same session* must not consume them as its own:
-        // the per-exchange sequence number in sec_epoch disambiguates what
-        // the tag cannot.
+        // the per-exchange sequence number in sec_epoch keys a mailbox the
+        // stale replies cannot address (theirs was retired at timeout), so
+        // routing drops them.
         let (fe, inlet) = engine_channel();
         let err = fe
             .exchange(
@@ -283,9 +371,9 @@ mod tests {
             let got = inlet.recv().unwrap();
             assert_eq!(got.mtype, MsgType::FeKillReq);
             assert_eq!(got.tag, 5);
-            // The engine catches up on the timed-out launch *after* the
-            // kill exchange's pre-drain ran: its late replies (same tag,
-            // old sequence number) hit the live filter, not the drain.
+            // The engine catches up on the timed-out launch only now: its
+            // late replies (same tag, old sequence number) arrive while
+            // the kill exchange is live and must be dropped in routing.
             inlet.send(control_msg(MsgType::EngineRpdtab, 5).with_epoch(stale_seq)).unwrap();
             inlet.send(control_msg(MsgType::EngineAck, 5).with_epoch(stale_seq)).unwrap();
             inlet.send(control_msg(MsgType::EngineStatus, 5).with_epoch(got.sec_epoch)).unwrap();
@@ -301,6 +389,68 @@ mod tests {
         assert_eq!(replies.len(), 1);
         assert_eq!(replies[0].mtype, MsgType::EngineStatus, "stale same-tag replies discarded");
         h.join().unwrap();
+    }
+
+    #[test]
+    fn concurrent_exchanges_cannot_steal_each_others_replies() {
+        // Two sessions issue exchanges simultaneously; the engine replies
+        // to the *second* command first, interleaves the two sessions'
+        // replies, and sprinkles stragglers for a retired exchange in
+        // between. Under tag routing each exchange must come back with
+        // exactly its own replies — regression for the lock-free overlap.
+        let (fe, inlet) = engine_channel();
+        let fe = Arc::new(fe);
+
+        let engine = std::thread::spawn(move || {
+            let first = inlet.recv().unwrap();
+            let second = inlet.recv().unwrap();
+            let (launch5, launch9) =
+                if first.tag == 5 { (first, second) } else { (second, first) };
+            assert_eq!(launch5.tag, 5);
+            assert_eq!(launch9.tag, 9);
+            // Session 9 is answered first, fully; session 5's replies come
+            // after, with a same-tag straggler (stale seq) ahead of them.
+            inlet.send(control_msg(MsgType::EngineRpdtab, 9).with_epoch(launch9.sec_epoch)).unwrap();
+            inlet.send(control_msg(MsgType::EngineAck, 9).with_epoch(launch9.sec_epoch)).unwrap();
+            inlet
+                .send(
+                    control_msg(MsgType::EngineError, 5)
+                        .with_epoch(launch5.sec_epoch.wrapping_add(100)) // retired seq
+                        .as_error(),
+                )
+                .unwrap();
+            inlet.send(control_msg(MsgType::EngineRpdtab, 5).with_epoch(launch5.sec_epoch)).unwrap();
+            inlet.send(control_msg(MsgType::EngineAck, 5).with_epoch(launch5.sec_epoch)).unwrap();
+        });
+
+        let fe5 = fe.clone();
+        let t5 = std::thread::spawn(move || {
+            fe5.exchange(
+                EngineCommand::control(control_msg(MsgType::FeLaunchReq, 5)),
+                2,
+                Duration::from_secs(10),
+            )
+            .unwrap()
+        });
+        let t9 = std::thread::spawn(move || {
+            fe.exchange(
+                EngineCommand::control(control_msg(MsgType::FeLaunchReq, 9)),
+                2,
+                Duration::from_secs(10),
+            )
+            .unwrap()
+        });
+
+        let r5 = t5.join().unwrap();
+        let r9 = t9.join().unwrap();
+        engine.join().unwrap();
+        assert_eq!(r5.iter().map(|m| m.tag).collect::<Vec<_>>(), vec![5, 5]);
+        assert_eq!(r9.iter().map(|m| m.tag).collect::<Vec<_>>(), vec![9, 9]);
+        assert_eq!(r5[0].mtype, MsgType::EngineRpdtab);
+        assert_eq!(r5[1].mtype, MsgType::EngineAck);
+        assert!(!r5.iter().any(|m| m.error), "the stale-seq error straggler was dropped");
+        assert_eq!(r9[0].mtype, MsgType::EngineRpdtab);
+        assert_eq!(r9[1].mtype, MsgType::EngineAck);
     }
 
     #[test]

@@ -65,12 +65,21 @@ enum EngineJob {
     },
 }
 
-/// Engine state: one per engine process.
+/// Session-keyed engine state, shared between the command loop and the
+/// worker threads running spawn-bearing commands.
+#[derive(Default)]
+struct EngineState {
+    jobs: HashMap<u16, EngineJob>,
+    daemon_pids: HashMap<u16, Vec<Pid>>,
+}
+
+/// Engine state: one per engine process. Cloning shares the state — each
+/// worker thread handling a spawn-bearing command holds a clone.
+#[derive(Clone)]
 pub struct Engine {
     rm: Arc<dyn ResourceManager>,
     platform: Arc<dyn Platform>,
-    jobs: HashMap<u16, EngineJob>,
-    daemon_pids: HashMap<u16, Vec<Pid>>,
+    state: Arc<parking_lot::Mutex<EngineState>>,
 }
 
 impl Engine {
@@ -89,64 +98,89 @@ impl Engine {
         let cluster = rm.cluster().clone();
         let pid = cluster
             .spawn_active(NodeId::FrontEnd, ProcSpec::named("launchmon_engine"), move |_ctx| {
-                let mut engine =
-                    Engine { rm, platform, jobs: HashMap::new(), daemon_pids: HashMap::new() };
+                let engine = Engine {
+                    rm,
+                    platform,
+                    state: Arc::new(parking_lot::Mutex::new(EngineState::default())),
+                };
+                let inlet = Arc::new(inlet);
+                // Spawn-bearing commands run on worker threads so concurrent
+                // launches overlap their engine phases; the FE's tag-routed
+                // reply mailboxes sort the interleaved replies back out.
+                let mut workers: Vec<std::thread::JoinHandle<()>> = Vec::new();
                 // Commands arrive as structured LMONP messages over the
                 // shared mux link; the sidecar (daemon body, timeline) is
                 // claimed out of band by the command's tag.
                 while let Ok(msg) = inlet.recv() {
                     let sidecar = inlet.take_sidecar(msg.tag);
+                    if msg.mtype == MsgType::BeShutdown {
+                        break; // engine shutdown sentinel
+                    }
                     // Echoed on every reply so the FE can correlate replies
                     // to the exact exchange that asked (tag alone repeats
                     // across a session's commands).
                     let seq = msg.sec_epoch;
-                    let replies = engine.handle(msg, sidecar);
-                    let mut shutdown = false;
-                    for r in &replies {
-                        if r.is_none() {
-                            shutdown = true;
-                        }
+                    if matches!(
+                        msg.mtype,
+                        MsgType::FeLaunchReq | MsgType::FeAttachReq | MsgType::FeSpawnMwReq
+                    ) {
+                        let engine = engine.clone();
+                        let inlet = inlet.clone();
+                        workers.push(std::thread::spawn(move || {
+                            for r in engine.handle(msg, sidecar) {
+                                if inlet.send(r.with_epoch(seq)).is_err() {
+                                    return; // front end is gone
+                                }
+                            }
+                        }));
+                        workers.retain(|h| !h.is_finished());
+                        continue;
                     }
-                    for r in replies.into_iter().flatten() {
+                    for r in engine.handle(msg, sidecar) {
                         if inlet.send(r.with_epoch(seq)).is_err() {
+                            // Front end is gone; let in-flight work finish
+                            // before the engine process exits.
+                            for h in workers {
+                                let _ = h.join();
+                            }
                             return;
                         }
                     }
-                    if shutdown {
-                        return;
-                    }
+                }
+                for h in workers {
+                    let _ = h.join();
                 }
             })
             .map_err(LmonError::Cluster)?;
         Ok((fe_end, pid))
     }
 
-    /// Process one command; `None` in the output vector means shutdown.
-    fn handle(&mut self, msg: LmonpMsg, sidecar: EngineSidecar) -> Vec<Option<LmonpMsg>> {
+    /// Process one command (shutdown is intercepted by the command loop
+    /// before this is reached).
+    fn handle(&self, msg: LmonpMsg, sidecar: EngineSidecar) -> Vec<LmonpMsg> {
         let tag = msg.tag;
         match msg.mtype {
             MsgType::FeLaunchReq => self.handle_launch(tag, &msg, sidecar),
             MsgType::FeAttachReq => self.handle_attach(tag, &msg, sidecar),
             MsgType::FeSpawnMwReq => self.handle_spawn_mw(tag, &msg, sidecar),
-            MsgType::FeDetachReq => vec![Some(self.handle_detach(tag))],
-            MsgType::FeKillReq => vec![Some(self.handle_kill(tag))],
-            MsgType::BeShutdown => vec![None], // engine shutdown sentinel
-            other => vec![Some(error_reply(tag, format!("unexpected message {other:?}")))],
+            MsgType::FeDetachReq => vec![self.handle_detach(tag)],
+            MsgType::FeKillReq => vec![self.handle_kill(tag)],
+            other => vec![error_reply(tag, format!("unexpected message {other:?}"))],
         }
     }
 
     fn handle_launch(
-        &mut self,
+        &self,
         tag: u16,
         msg: &LmonpMsg,
         sidecar: EngineSidecar,
-    ) -> Vec<Option<LmonpMsg>> {
+    ) -> Vec<LmonpMsg> {
         let req: LaunchRequest = match msg.decode_lmon() {
             Ok(r) => r,
-            Err(e) => return vec![Some(error_reply(tag, format!("launch req: {e}")))],
+            Err(e) => return vec![error_reply(tag, format!("launch req: {e}"))],
         };
         let Some(body) = sidecar.body else {
-            return vec![Some(error_reply(tag, "launch req missing daemon body".into()))];
+            return vec![error_reply(tag, "launch req missing daemon body".into())];
         };
         let timeline = sidecar.timeline.unwrap_or_default();
 
@@ -160,15 +194,15 @@ impl Engine {
         };
         let mut handle = match self.rm.launch_job(&spec, true) {
             Ok(h) => h,
-            Err(e) => return vec![Some(error_reply(tag, format!("launch_job: {e}")))],
+            Err(e) => return vec![error_reply(tag, format!("launch_job: {e}"))],
         };
         let (_node, rec) = match self.rm.cluster().find_proc(handle.launcher_pid) {
             Ok(x) => x,
-            Err(e) => return vec![Some(error_reply(tag, format!("launcher proc: {e}")))],
+            Err(e) => return vec![error_reply(tag, format!("launcher proc: {e}"))],
         };
         let ctl = match TraceController::attach(handle.launcher_pid, rec.shared.clone()) {
             Ok(c) => c,
-            Err(e) => return vec![Some(error_reply(tag, format!("attach: {e}")))],
+            Err(e) => return vec![error_reply(tag, format!("attach: {e}"))],
         };
         self.platform.prepare_attach(&ctl, &rec.shared);
         handle.release();
@@ -176,14 +210,14 @@ impl Engine {
         // Drive the event pipeline to the breakpoint.
         let mut driver = Driver::new(self.platform.clone());
         if let Err(e) = driver.run_to_breakpoint(&ctl) {
-            return vec![Some(error_reply(tag, format!("driver: {e}")))];
+            return vec![error_reply(tag, format!("driver: {e}"))];
         }
         timeline.mark(CriticalEvent::E3AtBreakpoint);
 
         // Region B: fetch the RPDTAB out of the launcher's address space.
         let rpdtab = match self.platform.fetch_rpdtab(&ctl) {
             Ok(t) => t,
-            Err(e) => return vec![Some(error_reply(tag, format!("rpdtab: {e}")))],
+            Err(e) => return vec![error_reply(tag, format!("rpdtab: {e}"))],
         };
         timeline.mark(CriticalEvent::E4RpdtabFetched);
 
@@ -197,7 +231,7 @@ impl Engine {
             body,
         ) {
             Ok(p) => p,
-            Err(e) => return vec![Some(error_reply(tag, format!("spawn daemons: {e}")))],
+            Err(e) => return vec![error_reply(tag, format!("spawn daemons: {e}"))],
         };
         timeline.mark(CriticalEvent::E6DaemonsSpawned);
 
@@ -210,27 +244,28 @@ impl Engine {
             host: rpdtab.hosts().first().cloned().unwrap_or_default(),
             pid: pids.first().map(|p| p.0).unwrap_or(0),
         };
-        self.daemon_pids.insert(tag, pids);
-        self.jobs.insert(tag, EngineJob::Launched { handle, ctl });
+        let mut state = self.state.lock();
+        state.daemon_pids.insert(tag, pids);
+        state.jobs.insert(tag, EngineJob::Launched { handle, ctl });
 
         vec![
-            Some(LmonpMsg::of_type(MsgType::EngineRpdtab).with_tag(tag).with_lmon(&rpdtab)),
-            Some(LmonpMsg::of_type(MsgType::EngineAck).with_tag(tag).with_lmon(&master_info)),
+            LmonpMsg::of_type(MsgType::EngineRpdtab).with_tag(tag).with_lmon(&rpdtab),
+            LmonpMsg::of_type(MsgType::EngineAck).with_tag(tag).with_lmon(&master_info),
         ]
     }
 
     fn handle_attach(
-        &mut self,
+        &self,
         tag: u16,
         msg: &LmonpMsg,
         sidecar: EngineSidecar,
-    ) -> Vec<Option<LmonpMsg>> {
+    ) -> Vec<LmonpMsg> {
         let req: AttachRequest = match msg.decode_lmon() {
             Ok(r) => r,
-            Err(e) => return vec![Some(error_reply(tag, format!("attach req: {e}")))],
+            Err(e) => return vec![error_reply(tag, format!("attach req: {e}"))],
         };
         let Some(body) = sidecar.body else {
-            return vec![Some(error_reply(tag, "attach req missing daemon body".into()))];
+            return vec![error_reply(tag, "attach req missing daemon body".into())];
         };
         let timeline = sidecar.timeline.unwrap_or_default();
         timeline.mark(CriticalEvent::E2LauncherExec);
@@ -238,11 +273,11 @@ impl Engine {
         let launcher_pid = Pid(req.launcher_pid);
         let (_node, rec) = match self.rm.cluster().find_proc(launcher_pid) {
             Ok(x) => x,
-            Err(e) => return vec![Some(error_reply(tag, format!("launcher proc: {e}")))],
+            Err(e) => return vec![error_reply(tag, format!("launcher proc: {e}"))],
         };
         let ctl = match TraceController::attach(launcher_pid, rec.shared.clone()) {
             Ok(c) => c,
-            Err(e) => return vec![Some(error_reply(tag, format!("attach: {e}")))],
+            Err(e) => return vec![error_reply(tag, format!("attach: {e}"))],
         };
 
         // The job is already running: poll the APAI until the proctable is
@@ -253,7 +288,7 @@ impl Engine {
                 Ok(t) => break t,
                 Err(e) => {
                     if std::time::Instant::now() >= deadline {
-                        return vec![Some(error_reply(tag, format!("rpdtab: {e}")))];
+                        return vec![error_reply(tag, format!("rpdtab: {e}"))];
                     }
                     std::thread::sleep(std::time::Duration::from_millis(2));
                 }
@@ -267,7 +302,7 @@ impl Engine {
         for host in rpdtab.hosts() {
             match self.rm.cluster().node_by_host(&host) {
                 Ok(n) => nodes.push(n.id),
-                Err(e) => return vec![Some(error_reply(tag, format!("host map: {e}")))],
+                Err(e) => return vec![error_reply(tag, format!("host map: {e}"))],
             }
         }
         let alloc = Allocation { id: u64::from(tag), nodes };
@@ -281,7 +316,7 @@ impl Engine {
             body,
         ) {
             Ok(p) => p,
-            Err(e) => return vec![Some(error_reply(tag, format!("spawn daemons: {e}")))],
+            Err(e) => return vec![error_reply(tag, format!("spawn daemons: {e}"))],
         };
         timeline.mark(CriticalEvent::E6DaemonsSpawned);
 
@@ -291,31 +326,32 @@ impl Engine {
             host: rpdtab.hosts().first().cloned().unwrap_or_default(),
             pid: pids.first().map(|p| p.0).unwrap_or(0),
         };
-        self.daemon_pids.insert(tag, pids);
-        self.jobs.insert(tag, EngineJob::Attached { launcher_pid, rpdtab: rpdtab.clone(), ctl });
+        let mut state = self.state.lock();
+        state.daemon_pids.insert(tag, pids);
+        state.jobs.insert(tag, EngineJob::Attached { launcher_pid, rpdtab: rpdtab.clone(), ctl });
 
         vec![
-            Some(LmonpMsg::of_type(MsgType::EngineRpdtab).with_tag(tag).with_lmon(&rpdtab)),
-            Some(LmonpMsg::of_type(MsgType::EngineAck).with_tag(tag).with_lmon(&master_info)),
+            LmonpMsg::of_type(MsgType::EngineRpdtab).with_tag(tag).with_lmon(&rpdtab),
+            LmonpMsg::of_type(MsgType::EngineAck).with_tag(tag).with_lmon(&master_info),
         ]
     }
 
     fn handle_spawn_mw(
-        &mut self,
+        &self,
         tag: u16,
         msg: &LmonpMsg,
         sidecar: EngineSidecar,
-    ) -> Vec<Option<LmonpMsg>> {
+    ) -> Vec<LmonpMsg> {
         let req: SpawnMwRequest = match msg.decode_lmon() {
             Ok(r) => r,
-            Err(e) => return vec![Some(error_reply(tag, format!("mw req: {e}")))],
+            Err(e) => return vec![error_reply(tag, format!("mw req: {e}"))],
         };
         let Some(body) = sidecar.body else {
-            return vec![Some(error_reply(tag, "mw req missing daemon body".into()))];
+            return vec![error_reply(tag, "mw req missing daemon body".into())];
         };
         let alloc = match self.rm.allocate_mw_nodes(req.count as usize) {
             Ok(a) => a,
-            Err(e) => return vec![Some(error_reply(tag, format!("mw alloc: {e}")))],
+            Err(e) => return vec![error_reply(tag, format!("mw alloc: {e}"))],
         };
         let pids = match self.rm.spawn_daemons(
             &alloc,
@@ -327,7 +363,7 @@ impl Engine {
             Ok(p) => p,
             Err(e) => {
                 self.rm.release_allocation(&alloc);
-                return vec![Some(error_reply(tag, format!("mw spawn: {e}")))];
+                return vec![error_reply(tag, format!("mw spawn: {e}"))];
             }
         };
         let master_info = DaemonInfo {
@@ -341,11 +377,11 @@ impl Engine {
                 .unwrap_or_default(),
             pid: pids.first().map(|p| p.0).unwrap_or(0),
         };
-        vec![Some(LmonpMsg::of_type(MsgType::EngineAck).with_tag(tag).with_lmon(&master_info))]
+        vec![LmonpMsg::of_type(MsgType::EngineAck).with_tag(tag).with_lmon(&master_info)]
     }
 
-    fn handle_detach(&mut self, tag: u16) -> LmonpMsg {
-        match self.jobs.remove(&tag) {
+    fn handle_detach(&self, tag: u16) -> LmonpMsg {
+        match self.state.lock().jobs.remove(&tag) {
             Some(EngineJob::Launched { handle: _, ctl }) => {
                 // Drop the controller: detaches and resumes the launcher.
                 ctl.continue_proc();
@@ -360,14 +396,14 @@ impl Engine {
         }
     }
 
-    fn handle_kill(&mut self, tag: u16) -> LmonpMsg {
+    fn handle_kill(&self, tag: u16) -> LmonpMsg {
         // Daemons first, then the job.
-        if let Some(pids) = self.daemon_pids.remove(&tag) {
+        if let Some(pids) = self.state.lock().daemon_pids.remove(&tag) {
             for pid in pids {
                 let _ = self.rm.cluster().kill(pid);
             }
         }
-        match self.jobs.remove(&tag) {
+        match self.state.lock().jobs.remove(&tag) {
             Some(EngineJob::Launched { handle, ctl }) => {
                 ctl.continue_proc();
                 drop(ctl);

@@ -575,7 +575,7 @@ impl LmonFrontEnd {
         let chan = self.be_channel(session)?;
         loop {
             match chan.recv_timeout(timeout)? {
-                Some(msg) if msg.mtype == MsgType::BeUsrData => return Ok(msg.usr),
+                Some(msg) if msg.mtype == MsgType::BeUsrData => return Ok(msg.usr.to_vec()),
                 Some(_) => continue,
                 None => return Err(LmonError::Timeout("recv_usrdata")),
             }
@@ -594,7 +594,7 @@ impl LmonFrontEnd {
         let chan = self.mw_channel(session)?;
         loop {
             match chan.recv_timeout(timeout)? {
-                Some(msg) if msg.mtype == MsgType::MwUsrData => return Ok(msg.usr),
+                Some(msg) if msg.mtype == MsgType::MwUsrData => return Ok(msg.usr.to_vec()),
                 Some(_) => continue,
                 None => return Err(LmonError::Timeout("recv_mw_usrdata")),
             }

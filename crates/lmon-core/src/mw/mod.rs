@@ -153,7 +153,7 @@ impl MwSession {
             .ok_or(LmonError::Engine("recv_usrdata: not the MW master".into()))?;
         loop {
             match chan.recv_timeout(timeout)? {
-                Some(msg) if msg.mtype == MsgType::MwUsrData => return Ok(msg.usr),
+                Some(msg) if msg.mtype == MsgType::MwUsrData => return Ok(msg.usr.to_vec()),
                 Some(_) => continue,
                 None => return Err(LmonError::Timeout("mw recv_usrdata")),
             }
@@ -229,8 +229,8 @@ fn mw_bootstrap(
                 msg.mtype
             )));
         }
-        personalities_bytes = comm.broadcast(Some(msg.lmon.clone())).map_err(LmonError::Iccl)?;
-        usrdata = comm.broadcast(Some(msg.usr.clone())).map_err(LmonError::Iccl)?;
+        personalities_bytes = comm.broadcast(Some(msg.lmon.to_vec())).map_err(LmonError::Iccl)?;
+        usrdata = comm.broadcast(Some(msg.usr.to_vec())).map_err(LmonError::Iccl)?;
 
         let msg = chan.recv()?;
         if msg.mtype != MsgType::MwRpdtab {
@@ -239,7 +239,7 @@ fn mw_bootstrap(
                 msg.mtype
             )));
         }
-        rpdtab_bytes = comm.broadcast(Some(msg.lmon.clone())).map_err(LmonError::Iccl)?;
+        rpdtab_bytes = comm.broadcast(Some(msg.lmon.to_vec())).map_err(LmonError::Iccl)?;
         comm.barrier().map_err(LmonError::Iccl)?;
         chan.send(LmonpMsg::of_type(MsgType::MwReady))?;
         master_chan = Some(chan);

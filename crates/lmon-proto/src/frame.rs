@@ -16,10 +16,17 @@
 //! carrier path saves: a legacy mux send copies the whole inner message
 //! into the carrier payload; the gather path materializes only header
 //! bytes and borrows both payload sections in place.
+//!
+//! The decode direction is mirrored by [`decode_bytes_copied`]: the legacy
+//! one-shot [`decode_msg`] counts every payload byte it materializes, while
+//! the borrowing [`FrameReader`] and the view decoders
+//! ([`decode_msg_view`], [`MuxBatch::decode_payload_view`]) split [`Bytes`]
+//! views off the read buffer and count only header bytes (plus the rare
+//! partial-frame tail the buffer reclaims internally).
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
-use bytes::{Buf, BytesMut};
+use bytes::{Buf, Bytes, BytesMut};
 
 use crate::error::{ProtoError, ProtoResult};
 use crate::header::{LmonpHeader, MsgType, HEADER_LEN};
@@ -41,6 +48,22 @@ fn note_copied(n: usize) {
     ENCODE_BYTES_COPIED.fetch_add(n as u64, Ordering::Relaxed);
 }
 
+/// Process-wide count of bytes copied into intermediate decode buffers.
+static DECODE_BYTES_COPIED: AtomicU64 = AtomicU64::new(0);
+
+/// Total bytes copied out of wire buffers by decode paths since process
+/// start — the inbound mirror of [`encode_bytes_copied`]. The borrowing
+/// [`FrameReader`] contributes only header bytes per message (payloads are
+/// split off as [`Bytes`] views), so per-carrier deltas ≈ header-only; the
+/// legacy [`decode_msg`] contributes the full message length.
+pub fn decode_bytes_copied() -> u64 {
+    DECODE_BYTES_COPIED.load(Ordering::Relaxed)
+}
+
+fn note_decode_copied(n: usize) {
+    DECODE_BYTES_COPIED.fetch_add(n as u64, Ordering::Relaxed);
+}
+
 /// Encode a message into a single contiguous buffer.
 pub fn encode_msg(msg: &LmonpMsg) -> Vec<u8> {
     let header = msg.header();
@@ -53,6 +76,11 @@ pub fn encode_msg(msg: &LmonpMsg) -> Vec<u8> {
 }
 
 /// Decode a message from a buffer containing exactly one message.
+///
+/// This is the legacy copying path: both payload sections are materialized
+/// into fresh allocations (and counted in [`decode_bytes_copied`]). Hot
+/// paths that already hold the bytes as a [`Bytes`] view should prefer
+/// [`decode_msg_view`].
 pub fn decode_msg(bytes: &[u8]) -> ProtoResult<LmonpMsg> {
     let mut slice = bytes;
     let header = LmonpHeader::decode(&mut slice)?;
@@ -63,6 +91,28 @@ pub fn decode_msg(bytes: &[u8]) -> ProtoResult<LmonpMsg> {
     }
     let lmon = slice[..lmon_len].to_vec();
     let usr = slice[lmon_len..].to_vec();
+    note_decode_copied(bytes.len());
+    Ok(LmonpMsg::from_parts(header, lmon, usr))
+}
+
+/// Decode a message from a [`Bytes`] view containing exactly one message,
+/// splitting the payload sections off as sub-views instead of copying them.
+///
+/// Byte-identical in result to [`decode_msg`] over the same bytes
+/// (property-tested in `lmon-proto/tests/prop.rs`); only the ownership of
+/// the payload storage differs — the returned message keeps the caller's
+/// backing allocation alive instead of owning fresh copies.
+pub fn decode_msg_view(bytes: &Bytes) -> ProtoResult<LmonpMsg> {
+    let mut slice = &bytes[..];
+    let header = LmonpHeader::decode(&mut slice)?;
+    let lmon_len = header.lmon_len as usize;
+    let usr_len = header.usr_len as usize;
+    if slice.len() != lmon_len + usr_len {
+        return Err(ProtoError::Truncated { needed: lmon_len + usr_len, available: slice.len() });
+    }
+    let lmon = bytes.slice(HEADER_LEN..HEADER_LEN + lmon_len);
+    let usr = bytes.slice(HEADER_LEN + lmon_len..HEADER_LEN + lmon_len + usr_len);
+    note_decode_copied(HEADER_LEN);
     Ok(LmonpMsg::from_parts(header, lmon, usr))
 }
 
@@ -125,6 +175,36 @@ impl MuxBatch {
             }
             let msg = decode_msg(&slice[..total])?;
             slice = &slice[total..];
+            entries.push(MuxEntry { session, msg });
+        }
+        if entries.len() != count as usize {
+            return Err(ProtoError::InvalidField {
+                field: "mux_batch_count",
+                value: entries.len() as u64,
+            });
+        }
+        Ok(MuxBatch { entries })
+    }
+
+    /// Parse a batch payload from a [`Bytes`] view, splitting every inner
+    /// message's payload sections off as sub-views instead of copying.
+    ///
+    /// Same acceptance rules as [`MuxBatch::decode_payload`]; structurally
+    /// identical result (property-tested).
+    pub fn decode_payload_view(bytes: &Bytes, count: u16) -> ProtoResult<MuxBatch> {
+        let mut entries = Vec::with_capacity(count as usize);
+        let mut off = 0usize;
+        while off < bytes.len() {
+            let mut slice = &bytes[off..];
+            let session = get_u16(&mut slice)?;
+            let mut peek = slice;
+            let header = LmonpHeader::decode(&mut peek)?;
+            let total = header.total_len();
+            if slice.len() < total {
+                return Err(ProtoError::Truncated { needed: total, available: slice.len() });
+            }
+            let msg = decode_msg_view(&bytes.slice(off + 2..off + 2 + total))?;
+            off += 2 + total;
             entries.push(MuxEntry { session, msg });
         }
         if entries.len() != count as usize {
@@ -214,11 +294,11 @@ impl WireFrame {
     /// mux counts as orphans) stays [`WireFrame::Msg`].
     pub fn from_msg(msg: LmonpMsg) -> WireFrame {
         match msg.mtype {
-            MsgType::MuxData => match decode_msg(&msg.lmon) {
+            MsgType::MuxData => match decode_msg_view(&msg.lmon) {
                 Ok(inner) => WireFrame::Carrier { session: msg.tag, msg: inner },
                 Err(_) => WireFrame::Msg(msg),
             },
-            MsgType::MuxBatch => match MuxBatch::decode_payload(&msg.lmon, msg.tag) {
+            MsgType::MuxBatch => match MuxBatch::decode_payload_view(&msg.lmon, msg.tag) {
                 Ok(batch) => WireFrame::Batch(batch),
                 Err(_) => WireFrame::Msg(msg),
             },
@@ -297,6 +377,14 @@ impl WireFrame {
 ///
 /// Feed arbitrary chunks with [`FrameReader::extend`]; complete messages pop
 /// out of [`FrameReader::next_msg`].
+///
+/// The reader is *borrowing*: a decoded message's payload sections are
+/// [`Bytes`] views split off the read buffer, not copies. The views keep
+/// the buffer's backing allocation alive until the message (and everything
+/// it was routed to) drops; the buffer itself un-shares lazily, copying at
+/// most the unread partial-frame tail when the next chunk arrives. Both
+/// costs are bounded by the receive chunk size and show up in
+/// [`decode_bytes_copied`].
 #[derive(Debug, Default)]
 pub struct FrameReader {
     buf: BytesMut,
@@ -310,7 +398,9 @@ impl FrameReader {
 
     /// Append newly received bytes.
     pub fn extend(&mut self, chunk: &[u8]) {
+        let before = self.buf.internal_copies();
         self.buf.extend_from_slice(chunk);
+        note_decode_copied((self.buf.internal_copies() - before) as usize);
     }
 
     /// Bytes currently buffered but not yet consumed.
@@ -332,12 +422,15 @@ impl FrameReader {
         };
         let total = header.total_len();
         if self.buf.len() < total {
+            let before = self.buf.internal_copies();
             self.buf.reserve(total - self.buf.len());
+            note_decode_copied((self.buf.internal_copies() - before) as usize);
             return Ok(None);
         }
         self.buf.advance(HEADER_LEN);
-        let lmon = self.buf.split_to(header.lmon_len as usize).to_vec();
-        let usr = self.buf.split_to(header.usr_len as usize).to_vec();
+        let lmon = self.buf.split_to(header.lmon_len as usize);
+        let usr = self.buf.split_to(header.usr_len as usize);
+        note_decode_copied(HEADER_LEN);
         Ok(Some(LmonpMsg::from_parts(header, lmon, usr)))
     }
 }

@@ -1,5 +1,7 @@
 //! The LMONP message envelope: header + LaunchMON payload + user payload.
 
+use bytes::Bytes;
+
 use crate::header::{LmonpHeader, MsgClass, MsgType, FLAG_ERROR, FLAG_USR_PAYLOAD};
 use crate::wire::{WireDecode, WireEncode};
 
@@ -10,6 +12,10 @@ use crate::wire::{WireDecode, WireEncode};
 /// by the client's registered pack callback. Bundling both in one message is
 /// what lets a tool bootstrap its own infrastructure without extra round
 /// trips during startup (§3.2, §3.5).
+///
+/// Payload sections are [`Bytes`] views: cloning a message (or routing it
+/// through the mux) bumps a refcount instead of copying payload bytes, and
+/// the borrowing `FrameReader` hands out slices of its read buffer directly.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct LmonpMsg {
     /// Communication-pair class.
@@ -23,9 +29,9 @@ pub struct LmonpMsg {
     /// Whether the error flag is set.
     pub error: bool,
     /// LaunchMON payload section.
-    pub lmon: Vec<u8>,
+    pub lmon: Bytes,
     /// Piggybacked user payload section.
-    pub usr: Vec<u8>,
+    pub usr: Bytes,
 }
 
 impl LmonpMsg {
@@ -37,8 +43,8 @@ impl LmonpMsg {
             tag: 0,
             sec_epoch: 0,
             error: false,
-            lmon: Vec::new(),
-            usr: Vec::new(),
+            lmon: Bytes::new(),
+            usr: Bytes::new(),
         }
     }
 
@@ -48,20 +54,20 @@ impl LmonpMsg {
     }
 
     /// Attach a LaunchMON payload (builder style).
-    pub fn with_lmon_payload(mut self, lmon: Vec<u8>) -> Self {
-        self.lmon = lmon;
+    pub fn with_lmon_payload(mut self, lmon: impl Into<Bytes>) -> Self {
+        self.lmon = lmon.into();
         self
     }
 
     /// Attach an encodable LaunchMON payload (builder style).
     pub fn with_lmon(mut self, body: &impl WireEncode) -> Self {
-        self.lmon = body.to_bytes();
+        self.lmon = body.to_bytes().into();
         self
     }
 
     /// Attach a piggybacked user payload (builder style).
-    pub fn with_usr_payload(mut self, usr: Vec<u8>) -> Self {
-        self.usr = usr;
+    pub fn with_usr_payload(mut self, usr: impl Into<Bytes>) -> Self {
+        self.usr = usr.into();
         self
     }
 
@@ -113,16 +119,16 @@ impl LmonpMsg {
         self.header().total_len()
     }
 
-    /// Reassemble a message from a decoded header and its payload bytes.
-    pub fn from_parts(header: LmonpHeader, lmon: Vec<u8>, usr: Vec<u8>) -> Self {
+    /// Reassemble a message from a decoded header and its payload views.
+    pub fn from_parts(header: LmonpHeader, lmon: impl Into<Bytes>, usr: impl Into<Bytes>) -> Self {
         LmonpMsg {
             class: header.class,
             mtype: header.mtype,
             tag: header.tag,
             sec_epoch: header.sec_epoch,
             error: header.is_error(),
-            lmon,
-            usr,
+            lmon: lmon.into(),
+            usr: usr.into(),
         }
     }
 }

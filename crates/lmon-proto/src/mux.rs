@@ -25,14 +25,16 @@
 //!
 //! Senders append to a shared pending queue under a short lock. If no flush
 //! is in flight, the sender becomes the *flusher* and drains the queue into
-//! physical frames — batches bounded by [`MAX_BATCH_BYTES`] and a settable
-//! frame count ([`SessionMux::set_max_batch_frames`]) — releasing the lock
-//! across each physical send so peers keep enqueueing. If a flush *is* in
-//! flight, the sender just enqueues and returns; its message rides the
-//! active flusher's next batch. There is no idle timer: an idle link flushes
-//! immediately (a lone message goes out as a single carrier), so batching
-//! arises only from real backlog and latency is never traded for
-//! throughput.
+//! physical frames — batches bounded by [`MAX_BATCH_BYTES`] and an
+//! *adaptive* frame-count bound that tracks flush-time backlog (doubling
+//! under load up to [`ADAPTIVE_MAX_BATCH_FRAMES`], halving when the queue
+//! drains; benches can pin a fixed bound with
+//! [`SessionMux::set_max_batch_frames`]) — releasing the lock across each
+//! physical send so peers keep enqueueing. If a flush *is* in flight, the
+//! sender just enqueues and returns; its message rides the active flusher's
+//! next batch. There is no idle timer: an idle link flushes immediately (a
+//! lone message goes out as a single carrier), so batching arises only from
+//! real backlog and latency is never traded for throughput.
 //!
 //! ## Receive pumping: sharded inboxes
 //!
@@ -63,7 +65,7 @@ use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::time::{Duration, Instant};
 
 use crate::error::{ProtoError, ProtoResult};
-use crate::frame::{decode_msg, MuxBatch, MuxEntry, WireFrame};
+use crate::frame::{decode_msg_view, MuxBatch, MuxEntry, WireFrame};
 use crate::header::MsgType;
 use crate::msg::LmonpMsg;
 use crate::transport::{LocalChannel, MsgChannel};
@@ -79,8 +81,15 @@ const SHARD_COUNT: usize = 8;
 /// Byte bound for one coalesced [`WireFrame::Batch`].
 pub const MAX_BATCH_BYTES: usize = 256 * 1024;
 
-/// Default frame-count bound for one coalesced batch.
+/// Default frame-count bound for one coalesced batch (the reference point
+/// for fixed-mode sweeps; adaptive mode ranges past it up to
+/// [`ADAPTIVE_MAX_BATCH_FRAMES`]).
 pub const DEFAULT_MAX_BATCH_FRAMES: usize = 64;
+
+/// Ceiling for the adaptive batch controller's frame-count bound. Set well
+/// above the best fixed sweep point so a saturated link is never capped at
+/// a hand-tuned value; [`MAX_BATCH_BYTES`] still bounds each frame's size.
+pub const ADAPTIVE_MAX_BATCH_FRAMES: usize = 512;
 
 /// Extra already-buffered frames the pump drains per wakeup, so a burst is
 /// routed in one sweep instead of one wakeup per frame.
@@ -113,8 +122,15 @@ struct MuxShared {
     orphans: AtomicU64,
     /// Open-session accounting (count + high-water mark).
     accounting: Mutex<Accounting>,
-    /// Frame-count bound for one coalesced batch (bench sweeps tune it).
-    max_batch_frames: AtomicUsize,
+    /// Batching mode: `0` means adaptive (the default); any other value is
+    /// a fixed frame-count bound pinned by [`SessionMux::set_max_batch_frames`]
+    /// (bench sweeps use this).
+    batch_mode: AtomicUsize,
+    /// The adaptive controller's current frame-count bound. Grows by
+    /// doubling while flush-time backlog exceeds it, shrinks by halving once
+    /// backlog falls to half of it; idle links sit at 1 (single-carrier
+    /// latency).
+    adaptive_bound: AtomicUsize,
     /// Physical frames pushed onto the link (carriers, batches, closes).
     phys_frames: AtomicU64,
     /// Logical messages sent through endpoints.
@@ -181,7 +197,8 @@ impl SessionMux {
                 dead: AtomicBool::new(false),
                 orphans: AtomicU64::new(0),
                 accounting: Mutex::new(Accounting::default()),
-                max_batch_frames: AtomicUsize::new(DEFAULT_MAX_BATCH_FRAMES),
+                batch_mode: AtomicUsize::new(0),
+                adaptive_bound: AtomicUsize::new(1),
                 phys_frames: AtomicU64::new(0),
                 logical_msgs: AtomicU64::new(0),
             }),
@@ -259,11 +276,32 @@ impl SessionMux {
         self.shared.logical_msgs.load(Ordering::Relaxed)
     }
 
-    /// Bound the number of logical messages coalesced into one physical
-    /// batch frame (clamped to ≥ 1). `1` disables batching — every message
-    /// ships as its own carrier, the pre-batching wire shape.
+    /// Pin a fixed frame-count bound for coalesced batches (clamped to
+    /// ≥ 1), disabling the adaptive controller. `1` disables batching —
+    /// every message ships as its own carrier, the pre-batching wire shape.
+    /// Bench sweeps use this to measure fixed operating points; production
+    /// paths should stay adaptive ([`SessionMux::set_adaptive_batching`]).
     pub fn set_max_batch_frames(&self, frames: usize) {
-        self.shared.max_batch_frames.store(frames.max(1), Ordering::Relaxed);
+        self.shared.batch_mode.store(frames.max(1), Ordering::Relaxed);
+    }
+
+    /// Return batching to adaptive mode (the default): the per-flush bound
+    /// grows/shrinks with observed flush-time backlog between 1 and
+    /// [`ADAPTIVE_MAX_BATCH_FRAMES`].
+    pub fn set_adaptive_batching(&self) {
+        self.shared.batch_mode.store(0, Ordering::Relaxed);
+    }
+
+    /// The frame-count bound the next batch formation would use (the pinned
+    /// value in fixed mode, the controller's current bound in adaptive
+    /// mode). Observability for tests and benches.
+    pub fn current_batch_bound(&self) -> usize {
+        let fixed = self.shared.batch_mode.load(Ordering::Relaxed);
+        if fixed != 0 {
+            fixed
+        } else {
+            self.shared.adaptive_bound.load(Ordering::Relaxed)
+        }
     }
 }
 
@@ -316,7 +354,7 @@ impl MuxShared {
                     WireFrame::Msg(LmonpMsg::of_type(MsgType::MuxClose).with_tag(id))
                 }
                 Some(MuxItem::Data(..)) => {
-                    let max_frames = self.max_batch_frames.load(Ordering::Relaxed);
+                    let max_frames = self.batch_bound(s.pending.len());
                     let mut entries = Vec::new();
                     let mut bytes = 0usize;
                     while entries.len() < max_frames {
@@ -371,6 +409,33 @@ impl MuxShared {
         }
     }
 
+    /// The frame-count bound for the batch about to form, given the
+    /// pending-queue depth observed at flush time.
+    ///
+    /// Fixed mode returns the pinned bound. Adaptive mode runs the
+    /// controller one step: backlog above the current bound doubles it
+    /// (capped at [`ADAPTIVE_MAX_BATCH_FRAMES`]), backlog at or below half
+    /// the bound halves it (floored at 1). Because the step runs at every
+    /// batch formation, one flush session over a deep backlog ramps the
+    /// bound in log₂ steps, and an idle link decays back to single-carrier
+    /// latency just as fast. Only the flusher calls this, so the
+    /// read-modify-write needs no CAS; a racing mode switch at worst
+    /// mis-sizes one batch.
+    fn batch_bound(&self, backlog: usize) -> usize {
+        let fixed = self.batch_mode.load(Ordering::Relaxed);
+        if fixed != 0 {
+            return fixed;
+        }
+        let mut bound = self.adaptive_bound.load(Ordering::Relaxed);
+        if backlog > bound {
+            bound = (bound * 2).min(ADAPTIVE_MAX_BATCH_FRAMES);
+        } else if backlog <= bound / 2 {
+            bound = (bound / 2).max(1);
+        }
+        self.adaptive_bound.store(bound, Ordering::Relaxed);
+        bound
+    }
+
     /// Lock-then-notify every shard: pairs with waiters that hold their
     /// shard lock from the pump-flag check through `cv.wait`, so a pump
     /// handover (or death) can never be missed.
@@ -398,7 +463,7 @@ impl MuxShared {
                     MsgType::MuxClose => buckets[shard_ix(m.tag)].push(MuxItem::Close(m.tag)),
                     // A carrier whose payload did not parse structurally
                     // (corrupt), retried here for the legacy path.
-                    MsgType::MuxData => match decode_msg(&m.lmon) {
+                    MsgType::MuxData => match decode_msg_view(&m.lmon) {
                         Ok(inner) => buckets[shard_ix(m.tag)].push(MuxItem::Data(m.tag, inner)),
                         Err(_) => {
                             self.orphans.fetch_add(1, Ordering::Relaxed);
@@ -855,6 +920,65 @@ mod tests {
             assert_eq!(b.recv().unwrap().tag, i);
         }
         assert_eq!(near.physical_frames_sent(), 20, "one carrier per message");
+    }
+
+    #[test]
+    fn adaptive_bound_grows_under_backlog_and_decays_when_idle() {
+        // Wedge the flusher on a cap-2 link (as above) so a deep backlog is
+        // observed at flush time: the controller must ramp the bound up.
+        let (a, b) = LocalChannel::bounded_pair(2);
+        let near = SessionMux::over(Box::new(a));
+        let far = SessionMux::over(Box::new(b));
+        assert_eq!(near.current_batch_bound(), 1, "adaptive starts at single-carrier");
+        let s0 = near.open(0).unwrap();
+        let s1 = near.open(1).unwrap();
+        let r0 = far.open(0).unwrap();
+        let r1 = far.open(1).unwrap();
+        let drain = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(100));
+            for want in 0..3u16 {
+                assert_eq!(r0.recv().unwrap().tag, want);
+            }
+            for i in 0..200u16 {
+                assert_eq!(r1.recv().unwrap().tag, i, "FIFO survives adaptive batching");
+            }
+            (r0, r1)
+        });
+        let blocked = std::thread::spawn(move || {
+            for i in 0..3u16 {
+                s0.send(msg(MsgType::BeUsrData, i)).unwrap(); // third blocks in flush
+            }
+            s0
+        });
+        std::thread::sleep(Duration::from_millis(50));
+        for i in 0..200u16 {
+            s1.send(msg(MsgType::BeUsrData, i)).unwrap();
+        }
+        let _s0 = blocked.join().unwrap();
+        let (_r0, _r1) = drain.join().unwrap();
+        assert!(
+            near.current_batch_bound() > 1,
+            "a 200-deep flush-time backlog must have grown the bound"
+        );
+        assert!(
+            near.physical_frames_sent() < near.logical_msgs_sent(),
+            "adaptive mode must coalesce the backlog"
+        );
+        // Idle traffic decays the bound back toward single-carrier latency.
+        for i in 0..20u16 {
+            s1.send(msg(MsgType::BeUsrData, 200 + i)).unwrap();
+            assert_eq!(_r1.recv().unwrap().tag, 200 + i);
+        }
+        assert_eq!(near.current_batch_bound(), 1, "idle link decays to bound 1");
+    }
+
+    #[test]
+    fn fixed_mode_pins_the_bound_and_adaptive_mode_restores_it() {
+        let (near, _far) = SessionMux::pair();
+        near.set_max_batch_frames(7);
+        assert_eq!(near.current_batch_bound(), 7);
+        near.set_adaptive_batching();
+        assert_eq!(near.current_batch_bound(), 1, "controller state, not the pin");
     }
 
     #[test]

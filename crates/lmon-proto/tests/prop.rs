@@ -4,7 +4,10 @@
 
 use proptest::prelude::*;
 
-use lmon_proto::frame::{decode_msg, encode_msg, FrameReader, MuxBatch, MuxEntry, WireFrame};
+use bytes::Bytes;
+use lmon_proto::frame::{
+    decode_msg, decode_msg_view, encode_msg, FrameReader, MuxBatch, MuxEntry, WireFrame,
+};
 use lmon_proto::header::{MsgClass, MsgType};
 use lmon_proto::msg::LmonpMsg;
 use lmon_proto::rpdtab::{ProcDesc, Rpdtab};
@@ -158,6 +161,38 @@ proptest! {
             WireFrame::Batch(back) => prop_assert_eq!(back, batch),
             other => return Err(TestCaseError::fail(format!("expected Batch, got {other:?}"))),
         }
+    }
+
+    #[test]
+    fn borrowing_decode_is_identical_to_legacy(m in arb_msg()) {
+        // The borrowing decoder splits payload sections off the input as
+        // refcounted views instead of copying them into fresh vectors. The
+        // result must be structurally identical to the legacy copying
+        // decoder for every message shape — headers, flags, error bit,
+        // empty and maximal payloads alike.
+        let bytes = encode_msg(&m);
+        let legacy = decode_msg(&bytes).unwrap();
+        let view = decode_msg_view(&Bytes::from(bytes)).unwrap();
+        prop_assert_eq!(&view, &legacy);
+        prop_assert_eq!(view, m);
+    }
+
+    #[test]
+    fn borrowing_batch_decode_is_identical_to_legacy(
+        entries in proptest::collection::vec((arb_session(), arb_msg()), 1..8),
+    ) {
+        let batch = MuxBatch {
+            entries: entries
+                .into_iter()
+                .map(|(session, msg)| MuxEntry { session, msg })
+                .collect(),
+        };
+        let payload = WireFrame::Batch(batch.clone()).into_msg().lmon;
+        let count = batch.entries.len() as u16;
+        let legacy = MuxBatch::decode_payload(&payload, count).unwrap();
+        let view = MuxBatch::decode_payload_view(&payload, count).unwrap();
+        prop_assert_eq!(&view, &legacy);
+        prop_assert_eq!(view, batch);
     }
 
     #[test]

@@ -259,10 +259,13 @@ impl FrontEndpoint {
     }
 
     /// Broadcast a packet to every leaf, stamped with the current epoch.
-    pub fn broadcast(&self, stream: u16, tag: u16, payload: Vec<u8>) -> TbonResult<()> {
+    pub fn broadcast(&self, stream: u16, tag: u16, payload: impl Into<bytes::Bytes>) -> TbonResult<()> {
         if !self.streams.contains_key(&stream) {
             return Err(TbonError::NoSuchStream(stream));
         }
+        // One Bytes view up front: the per-child clone below is a refcount
+        // bump on shared storage, not a payload copy per child.
+        let payload = payload.into();
         for c in &self.children {
             c.down
                 .send(Down::Data {
@@ -590,7 +593,7 @@ impl FrontEndpoint {
             self.process_up(up);
         }
         let by_pos = self.pending.remove(&(stream, tag)).unwrap_or_default();
-        let inputs: Vec<Vec<u8>> = by_pos.into_values().map(|p| p.payload).collect();
+        let inputs: Vec<Vec<u8>> = by_pos.into_values().map(|p| p.payload.to_vec()).collect();
         let payload = self.registry.apply(&filter, inputs);
         Ok(Packet::new(stream, tag, payload))
     }
@@ -923,7 +926,7 @@ impl CommNode {
             return;
         }
         let wave = self.waves.remove(&key).expect("checked above");
-        let inputs: Vec<Vec<u8>> = wave.into_values().map(|p| p.payload).collect();
+        let inputs: Vec<Vec<u8>> = wave.into_values().map(|p| p.payload.to_vec()).collect();
         let filter = self.streams.get(&key.1).cloned().unwrap_or(FilterKind::Concat);
         let payload = self.registry.apply(&filter, inputs);
         let sent = self.up_tx.send(Up {
@@ -1569,7 +1572,7 @@ mod tests {
         // Post-heal wave completes end-to-end with every leaf.
         front.broadcast(stream, 2, vec![]).unwrap();
         let healed = front.gather(stream, 2, Duration::from_secs(5)).unwrap();
-        let mut got = healed.payload.clone();
+        let mut got = healed.payload.to_vec();
         got.sort_unstable();
         assert_eq!(got, (0..8u8).collect::<Vec<u8>>(), "broadcast reaches adopted orphans");
         assert_eq!(front.overlay_epoch(), 1);
@@ -1635,7 +1638,7 @@ mod tests {
         // post-heal data.
         front.broadcast(stream, 7, vec![]).unwrap();
         let pkt = front.gather(stream, 7, Duration::from_secs(5)).unwrap();
-        let mut got = pkt.payload.clone();
+        let mut got = pkt.payload.to_vec();
         got.sort_unstable();
         assert_eq!(got, (0..8u8).collect::<Vec<u8>>(), "no stale bytes delivered");
         assert!(
@@ -1775,7 +1778,7 @@ mod tests {
 
         front.broadcast(stream, 2, vec![]).unwrap();
         let pkt = front.gather(stream, 2, Duration::from_secs(5)).unwrap();
-        let mut got = pkt.payload.clone();
+        let mut got = pkt.payload.to_vec();
         got.sort_unstable();
         assert_eq!(got, (0..8u8).collect::<Vec<u8>>(), "both subtrees healed");
         assert_eq!(front.overlay_epoch(), 2);
@@ -1799,7 +1802,7 @@ mod tests {
 
         front.broadcast(stream, 3, vec![]).unwrap();
         let pkt = front.gather(stream, 3, Duration::from_secs(5)).unwrap();
-        let mut got = pkt.payload.clone();
+        let mut got = pkt.payload.to_vec();
         got.sort_unstable();
         assert_eq!(got, (0..16u8).collect::<Vec<u8>>());
         front.shutdown();

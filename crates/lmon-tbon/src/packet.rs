@@ -1,8 +1,13 @@
 //! Packets: the unit of TBON traffic.
 
+use bytes::Bytes;
+
 use crate::spec::NodePos;
 
 /// A tagged payload travelling a stream of the overlay.
+///
+/// The payload is a cheap-clone [`Bytes`] view: a broadcast hands every
+/// child the same refcounted storage instead of a per-child copy.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Packet {
     /// Stream the packet belongs to.
@@ -10,13 +15,13 @@ pub struct Packet {
     /// Tool-defined tag (e.g. "sample wave 3").
     pub tag: u16,
     /// Payload bytes.
-    pub payload: Vec<u8>,
+    pub payload: Bytes,
 }
 
 impl Packet {
     /// A packet on `stream` with `tag` and `payload`.
-    pub fn new(stream: u16, tag: u16, payload: Vec<u8>) -> Self {
-        Packet { stream, tag, payload }
+    pub fn new(stream: u16, tag: u16, payload: impl Into<Bytes>) -> Self {
+        Packet { stream, tag, payload: payload.into() }
     }
 
     /// Size on the (virtual) wire: 4 bytes of header + payload.

@@ -427,7 +427,7 @@ fn killed_broadcast_run() -> (Vec<u8>, u64, Vec<RecoveryEvent>, Vec<(NodePos, No
     // orphaned subtree re-attached).
     live.front.broadcast(stream, 2, vec![]).unwrap();
     let pkt = live.front.gather(stream, 2, Duration::from_secs(10)).unwrap();
-    let mut payload = pkt.payload.clone();
+    let mut payload = pkt.payload.to_vec();
     payload.sort_unstable();
     let epoch = live.front.overlay_epoch();
     let events = live.front.take_recovery_events();
@@ -473,7 +473,7 @@ fn chaos_healed_overlay_replays_deterministically() {
         let stream = live.front.open_stream(FilterKind::Concat).unwrap();
         live.front.broadcast(stream, 1, vec![]).unwrap();
         let pkt = live.front.gather(stream, 1, Duration::from_secs(10)).unwrap();
-        let mut p = pkt.payload;
+        let mut p = pkt.payload.to_vec();
         p.sort_unstable();
         let epoch = live.front.overlay_epoch();
         assert!(live.front.recovery_events().is_empty(), "no recovery without a fault");
