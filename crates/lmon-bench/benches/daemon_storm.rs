@@ -1,0 +1,158 @@
+//! `daemon_storm` — launch-storm throughput through `lmond`'s admission
+//! queue (ISSUE 7 tentpole measurement).
+//!
+//! Replays the §2 ≈504-session storm against a live daemon over its Unix
+//! control socket at several admission limits, reporting sessions/s and
+//! the observed concurrency bound. The point being quantified: admission
+//! control trades a hard failure cliff for a throughput knob — every
+//! limit completes the storm with zero failures, and the limit, not the
+//! client count, dictates peak concurrency.
+//!
+//! Results go to stdout and `BENCH_daemon.json` at the workspace root.
+//! Quick mode for CI: `LMON_BENCH_QUICK=1` (a 126-session storm).
+
+use std::io::Write as _;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Barrier};
+use std::time::Instant;
+
+use lmon_bench::{print_table, Row};
+use lmon_daemon::client::scratch_socket_path;
+use lmon_daemon::{bind_and_start, DaemonClient, DaemonConfig};
+use lmon_testkit::StormPlan;
+
+struct StormResult {
+    limit: usize,
+    sessions: usize,
+    failures: usize,
+    peak_in_flight: usize,
+    peak_waiting: usize,
+    secs: f64,
+}
+
+fn run_storm(limit: usize, plan: &StormPlan, tag: &str) -> StormResult {
+    let socket = scratch_socket_path(&format!("bench-{tag}-{limit}"));
+    let _ = std::fs::remove_file(&socket);
+    let cfg = DaemonConfig {
+        backends: 2,
+        cluster_nodes: 64,
+        admission_limit: limit,
+        queue_capacity: 2048,
+        ..DaemonConfig::default()
+    };
+    let handle = bind_and_start(cfg, &socket, None).expect("daemon up");
+    let daemon = Arc::clone(handle.daemon());
+
+    let start_line = Arc::new(Barrier::new(plan.clients + 1));
+    let failures = Arc::new(AtomicUsize::new(0));
+    let workers: Vec<_> = (0..plan.clients)
+        .map(|c| {
+            let socket = socket.clone();
+            let launches = plan.client_launches(c);
+            let start_line = Arc::clone(&start_line);
+            let failures = Arc::clone(&failures);
+            std::thread::spawn(move || {
+                let mut client = DaemonClient::connect_unix(&socket).expect("connect");
+                start_line.wait();
+                for l in launches {
+                    match client.launch("bench_app", l.nodes, l.tasks_per_node, "oneshot") {
+                        Ok(gsid) => {
+                            if client.kill(gsid).is_err() {
+                                failures.fetch_add(1, Ordering::SeqCst);
+                            }
+                        }
+                        Err(_) => {
+                            failures.fetch_add(1, Ordering::SeqCst);
+                        }
+                    }
+                }
+            })
+        })
+        .collect();
+    start_line.wait();
+    let t0 = Instant::now();
+    for w in workers {
+        w.join().expect("client thread");
+    }
+    let secs = t0.elapsed().as_secs_f64();
+    let adm = daemon.admission().stats();
+    handle.shutdown();
+    let _ = std::fs::remove_file(&socket);
+    StormResult {
+        limit,
+        sessions: plan.total_sessions(),
+        failures: failures.load(Ordering::SeqCst),
+        peak_in_flight: adm.peak_in_flight,
+        peak_waiting: adm.peak_waiting,
+        secs,
+    }
+}
+
+fn main() {
+    let quick = std::env::var("LMON_BENCH_QUICK").map(|v| v == "1").unwrap_or(false);
+    // Quick mode still storms (126 sessions), full mode is the paper's 504.
+    let plan = if quick { StormPlan::new(6, 21, 2, 7) } else { StormPlan::paper_504(7) };
+    let limits = [2usize, 8, 32];
+
+    let results: Vec<StormResult> =
+        limits.iter().map(|&l| run_storm(l, &plan, if quick { "q" } else { "f" })).collect();
+
+    print_table(
+        &format!("launch storm through lmond ({} sessions, oneshot bodies)", plan.total_sessions()),
+        "admission limit",
+        &["sessions/s", "peak in-flight", "peak queued", "failures"],
+        &results
+            .iter()
+            .map(|r| Row {
+                x: r.limit.to_string(),
+                values: vec![
+                    format!("{:.0}", r.sessions as f64 / r.secs),
+                    r.peak_in_flight.to_string(),
+                    r.peak_waiting.to_string(),
+                    r.failures.to_string(),
+                ],
+            })
+            .collect::<Vec<_>>(),
+    );
+
+    // The bench doubles as a coarse invariant check: admission control must
+    // hold its two promises at every limit, or the numbers are meaningless.
+    for r in &results {
+        assert_eq!(r.failures, 0, "limit {}: storm must not fail launches", r.limit);
+        assert!(
+            r.peak_in_flight <= r.limit,
+            "limit {}: peak in-flight {} broke the bound",
+            r.limit,
+            r.peak_in_flight
+        );
+    }
+    println!(
+        "all {} storms completed with zero failures; concurrency bounded by the limit each time",
+        results.len()
+    );
+
+    let rows_json = results
+        .iter()
+        .map(|r| {
+            format!(
+                "    {{\"limit\": {}, \"sessions\": {}, \"sessions_per_s\": {:.0}, \
+                 \"peak_in_flight\": {}, \"peak_waiting\": {}, \"failures\": {}}}",
+                r.limit,
+                r.sessions,
+                r.sessions as f64 / r.secs,
+                r.peak_in_flight,
+                r.peak_waiting,
+                r.failures
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",\n");
+    let json = format!(
+        "{{\n  \"quick\": {quick},\n  \"storm_sessions\": {},\n  \"runs\": [\n{rows_json}\n  ]\n}}\n",
+        plan.total_sessions()
+    );
+    let out = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_daemon.json");
+    let mut f = std::fs::File::create(&out).expect("create BENCH_daemon.json");
+    f.write_all(json.as_bytes()).expect("write BENCH_daemon.json");
+    println!("\nwrote {}", out.display());
+}

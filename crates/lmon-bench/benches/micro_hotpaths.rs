@@ -16,8 +16,8 @@ use lmon_proto::frame::{
     decode_bytes_copied, decode_msg, encode_bytes_copied, encode_msg, FrameReader, MuxBatch,
     WireFrame,
 };
-use lmon_proto::header::HEADER_LEN;
 use lmon_proto::header::MsgType;
+use lmon_proto::header::HEADER_LEN;
 use lmon_proto::msg::LmonpMsg;
 use lmon_proto::rpdtab::{synthetic_rpdtab, Rpdtab};
 use lmon_proto::wire::{WireDecode, WireEncode};

@@ -330,9 +330,7 @@ fn main() {
     // rep is hostage to scheduling storms, and the best rep is the closest
     // observable to the machine's actual capability for every shape alike.
     let reps = 3;
-    let best_of = |f: &dyn Fn() -> f64| {
-        (0..reps).map(|_| f()).fold(f64::MIN, f64::max)
-    };
+    let best_of = |f: &dyn Fn() -> f64| (0..reps).map(|_| f()).fold(f64::MIN, f64::max);
     // Batch sweep: 1 (no coalescing — the pre-batching wire shape), 8, 64.
     let batch_sweep: Vec<(usize, f64)> = [1usize, 8, 64]
         .iter()
@@ -347,11 +345,8 @@ fn main() {
     let dedicated_quick = best_of(&|| dedicated_fanin(sessions, FANIN_QUICK));
     let adaptive_full = best_of(&|| mux_fanin_adaptive(sessions, FANIN_FULL));
     let dedicated_full = best_of(&|| dedicated_fanin(sessions, FANIN_FULL));
-    let (mux_rate, dedicated_rate) = if quick {
-        (adaptive_quick, dedicated_quick)
-    } else {
-        (adaptive_full, dedicated_full)
-    };
+    let (mux_rate, dedicated_rate) =
+        if quick { (adaptive_quick, dedicated_quick) } else { (adaptive_full, dedicated_full) };
 
     let mut rows = vec![
         Row {

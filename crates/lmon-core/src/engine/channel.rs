@@ -404,13 +404,14 @@ mod tests {
         let engine = std::thread::spawn(move || {
             let first = inlet.recv().unwrap();
             let second = inlet.recv().unwrap();
-            let (launch5, launch9) =
-                if first.tag == 5 { (first, second) } else { (second, first) };
+            let (launch5, launch9) = if first.tag == 5 { (first, second) } else { (second, first) };
             assert_eq!(launch5.tag, 5);
             assert_eq!(launch9.tag, 9);
             // Session 9 is answered first, fully; session 5's replies come
             // after, with a same-tag straggler (stale seq) ahead of them.
-            inlet.send(control_msg(MsgType::EngineRpdtab, 9).with_epoch(launch9.sec_epoch)).unwrap();
+            inlet
+                .send(control_msg(MsgType::EngineRpdtab, 9).with_epoch(launch9.sec_epoch))
+                .unwrap();
             inlet.send(control_msg(MsgType::EngineAck, 9).with_epoch(launch9.sec_epoch)).unwrap();
             inlet
                 .send(
@@ -419,7 +420,9 @@ mod tests {
                         .as_error(),
                 )
                 .unwrap();
-            inlet.send(control_msg(MsgType::EngineRpdtab, 5).with_epoch(launch5.sec_epoch)).unwrap();
+            inlet
+                .send(control_msg(MsgType::EngineRpdtab, 5).with_epoch(launch5.sec_epoch))
+                .unwrap();
             inlet.send(control_msg(MsgType::EngineAck, 5).with_epoch(launch5.sec_epoch)).unwrap();
         });
 

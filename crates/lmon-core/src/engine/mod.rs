@@ -169,12 +169,7 @@ impl Engine {
         }
     }
 
-    fn handle_launch(
-        &self,
-        tag: u16,
-        msg: &LmonpMsg,
-        sidecar: EngineSidecar,
-    ) -> Vec<LmonpMsg> {
+    fn handle_launch(&self, tag: u16, msg: &LmonpMsg, sidecar: EngineSidecar) -> Vec<LmonpMsg> {
         let req: LaunchRequest = match msg.decode_lmon() {
             Ok(r) => r,
             Err(e) => return vec![error_reply(tag, format!("launch req: {e}"))],
@@ -254,12 +249,7 @@ impl Engine {
         ]
     }
 
-    fn handle_attach(
-        &self,
-        tag: u16,
-        msg: &LmonpMsg,
-        sidecar: EngineSidecar,
-    ) -> Vec<LmonpMsg> {
+    fn handle_attach(&self, tag: u16, msg: &LmonpMsg, sidecar: EngineSidecar) -> Vec<LmonpMsg> {
         let req: AttachRequest = match msg.decode_lmon() {
             Ok(r) => r,
             Err(e) => return vec![error_reply(tag, format!("attach req: {e}"))],
@@ -336,12 +326,7 @@ impl Engine {
         ]
     }
 
-    fn handle_spawn_mw(
-        &self,
-        tag: u16,
-        msg: &LmonpMsg,
-        sidecar: EngineSidecar,
-    ) -> Vec<LmonpMsg> {
+    fn handle_spawn_mw(&self, tag: u16, msg: &LmonpMsg, sidecar: EngineSidecar) -> Vec<LmonpMsg> {
         let req: SpawnMwRequest = match msg.decode_lmon() {
             Ok(r) => r,
             Err(e) => return vec![error_reply(tag, format!("mw req: {e}"))],

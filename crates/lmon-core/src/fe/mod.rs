@@ -15,7 +15,7 @@
 //! | control | [`LmonFrontEnd::detach`], [`LmonFrontEnd::kill`] |
 //! | binding | every call takes a [`SessionId`] |
 
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -131,6 +131,107 @@ pub struct TransportStats {
     pub engine_sessions: usize,
 }
 
+/// Point-in-time summary of the front end's health bookkeeping, sized for
+/// export (the daemon's `/metrics` endpoint) and for asserting the memory
+/// bound a long-lived process depends on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct HealthSummary {
+    /// Sessions with a live health monitor (attached or never detached).
+    pub live_sessions: usize,
+    /// Monitors retained for recently detached/killed sessions (bounded).
+    pub retired_sessions: usize,
+    /// Live or retired sessions currently in [`HealthState::Degraded`].
+    pub degraded_sessions: usize,
+    /// Live or retired sessions currently in [`HealthState::Healed`].
+    pub healed_sessions: usize,
+    /// Transitions currently held in memory across all monitors.
+    pub transitions_retained: usize,
+    /// Lifetime transitions recorded, including evicted ones.
+    pub transitions_recorded: u64,
+    /// Lifetime transitions no longer in memory (per-session ring
+    /// evictions plus whole retired monitors aged out).
+    pub transitions_dropped: u64,
+}
+
+/// Health bookkeeping behind the FE's session-health API.
+///
+/// Two bounded tiers keep a multi-year daemon's memory flat:
+/// * `live` — one ring-buffered [`HealthMonitor`] per session that has
+///   recorded a transition; retired when the session detaches or is killed.
+/// * `retired` — monitors of recently ended sessions, so tools can still
+///   ask "did that session degrade?" right after detach; the oldest is
+///   dropped (its transitions counted, not kept) beyond `retired_cap`.
+struct HealthLedger {
+    live: HashMap<SessionId, HealthMonitor>,
+    retired: VecDeque<(SessionId, HealthMonitor)>,
+    /// Per-session transition ring bound for new monitors.
+    history_cap: usize,
+    /// Bound on `retired`.
+    retired_cap: usize,
+    recorded_total: u64,
+    /// Transitions inside retired monitors that aged out of the ring.
+    evicted_transitions: u64,
+}
+
+/// Retired monitors kept after detach (enough for "inspect the session you
+/// just ended" workflows without growing with daemon lifetime).
+const RETIRED_HEALTH_CAP: usize = 64;
+
+impl HealthLedger {
+    fn new() -> Self {
+        HealthLedger {
+            live: HashMap::new(),
+            retired: VecDeque::new(),
+            history_cap: crate::health::DEFAULT_HISTORY_CAP,
+            retired_cap: RETIRED_HEALTH_CAP,
+            recorded_total: 0,
+            evicted_transitions: 0,
+        }
+    }
+
+    fn record(&mut self, session: SessionId, state: HealthState, epoch: u64, detail: String) {
+        let cap = self.history_cap;
+        self.live
+            .entry(session)
+            .or_insert_with(|| HealthMonitor::with_capacity(cap))
+            .record(state, epoch, detail);
+        self.recorded_total += 1;
+    }
+
+    fn monitor(&self, session: SessionId) -> Option<&HealthMonitor> {
+        self.live
+            .get(&session)
+            .or_else(|| self.retired.iter().rev().find(|(s, _)| *s == session).map(|(_, m)| m))
+    }
+
+    /// Move a session's monitor to the bounded retired tier (no-op for
+    /// sessions that never recorded a transition).
+    fn retire(&mut self, session: SessionId) {
+        if let Some(monitor) = self.live.remove(&session) {
+            self.retired.push_back((session, monitor));
+            while self.retired.len() > self.retired_cap {
+                if let Some((_, old)) = self.retired.pop_front() {
+                    self.evicted_transitions += old.retained() as u64;
+                }
+            }
+        }
+    }
+
+    fn summary(&self) -> HealthSummary {
+        let monitors = || self.live.values().chain(self.retired.iter().map(|(_, m)| m));
+        let ring_dropped: u64 = monitors().map(|m| m.dropped_total()).sum();
+        HealthSummary {
+            live_sessions: self.live.len(),
+            retired_sessions: self.retired.len(),
+            degraded_sessions: monitors().filter(|m| m.current() == HealthState::Degraded).count(),
+            healed_sessions: monitors().filter(|m| m.current() == HealthState::Healed).count(),
+            transitions_retained: monitors().map(|m| m.retained()).sum(),
+            transitions_recorded: self.recorded_total,
+            transitions_dropped: ring_dropped + self.evicted_transitions,
+        }
+    }
+}
+
 /// The front end: the tool's handle on all of LaunchMON.
 pub struct LmonFrontEnd {
     rm: Arc<dyn ResourceManager>,
@@ -154,8 +255,8 @@ pub struct LmonFrontEnd {
     /// Receive deadline for handshake and control replies.
     handshake_timeout: Mutex<Duration>,
     /// Per-session overlay health (degraded → healed transitions recorded
-    /// by recovery-aware integration layers).
-    health: Mutex<HashMap<SessionId, HealthMonitor>>,
+    /// by recovery-aware integration layers), bounded for daemon lifetimes.
+    health: Mutex<HealthLedger>,
 }
 
 impl LmonFrontEnd {
@@ -176,7 +277,7 @@ impl LmonFrontEnd {
             mw_mux_far,
             handshake_fault: Mutex::new(None),
             handshake_timeout: Mutex::new(HANDSHAKE_TIMEOUT),
-            health: Mutex::new(HashMap::new()),
+            health: Mutex::new(HealthLedger::new()),
         })
     }
 
@@ -189,18 +290,37 @@ impl LmonFrontEnd {
         epoch: u64,
         detail: impl Into<String>,
     ) {
-        self.health.lock().entry(session).or_default().record(state, epoch, detail);
+        self.health.lock().record(session, state, epoch, detail.into());
     }
 
     /// The session's current health ([`HealthState::Healthy`] when no
-    /// transition was ever recorded).
+    /// transition was ever recorded). Readable for a bounded grace window
+    /// after detach/kill: the monitor is retired, not dropped, and survives
+    /// until `RETIRED_HEALTH_CAP` (64) newer sessions have also ended.
     pub fn session_health(&self, session: SessionId) -> HealthState {
-        self.health.lock().get(&session).map(|m| m.current()).unwrap_or(HealthState::Healthy)
+        self.health.lock().monitor(session).map(|m| m.current()).unwrap_or(HealthState::Healthy)
     }
 
-    /// The session's full health history, oldest transition first.
+    /// The session's retained health history, oldest transition first (at
+    /// most the monitor's ring capacity; see [`HealthMonitor`]).
     pub fn session_health_history(&self, session: SessionId) -> Vec<HealthTransition> {
-        self.health.lock().get(&session).map(|m| m.history().to_vec()).unwrap_or_default()
+        self.health
+            .lock()
+            .monitor(session)
+            .map(|m| m.history().cloned().collect())
+            .unwrap_or_default()
+    }
+
+    /// Aggregate health bookkeeping across all sessions, for metrics export
+    /// and for asserting the daemon-lifetime memory bound.
+    pub fn health_summary(&self) -> HealthSummary {
+        self.health.lock().summary()
+    }
+
+    /// Override the per-session health-history ring bound for monitors
+    /// created after this call (daemon configuration hook).
+    pub fn set_health_history_capacity(&self, cap: usize) {
+        self.health.lock().history_cap = cap.max(1);
     }
 
     /// The resource manager behind this front end.
@@ -673,12 +793,19 @@ impl LmonFrontEnd {
 
     /// Drop a terminal session's mux endpoints so its logical sub-streams
     /// close (the peer sees a clean per-session disconnect) and the mux
-    /// accounting reflects only live sessions.
+    /// accounting reflects only live sessions. Health state is retired into
+    /// the bounded ledger tier at the same moment: a front end that serves
+    /// millions of sessions must not keep per-session state for dead ones.
     fn close_session_channels(&self, session: SessionId) {
         if let Some(rt) = self.runtimes.lock().get_mut(&session) {
             rt.be_chan = None;
             rt.mw_chan = None;
+            // The pack/unpack closures can capture arbitrarily large tool
+            // state; a detached session must not pin it for daemon lifetime.
+            rt.pack = None;
+            rt.unpack = None;
         }
+        self.health.lock().retire(session);
     }
 
     fn session_timeline(&self, session: SessionId) -> LmonResult<TimelineRecorder> {
@@ -744,5 +871,46 @@ mod tests {
         assert_eq!(next_hostname("node00005", 2), "node00007");
         assert_eq!(next_hostname("comm9", 1), "comm10");
         assert_eq!(next_hostname("node00099", 1), "node00100");
+    }
+
+    /// The long-lived-daemon regression (ISSUE 7): 10k sessions that each
+    /// record health and then detach must leave only the bounded retired
+    /// tier behind — not 10k monitors.
+    #[test]
+    fn health_ledger_memory_bounded_across_10k_record_detach_cycles() {
+        let mut ledger = HealthLedger::new();
+        for i in 0..10_000u32 {
+            let session = SessionId(i);
+            ledger.record(session, HealthState::Degraded, 0, format!("fault in {i}"));
+            ledger.record(session, HealthState::Healed, 1, "repaired".into());
+            ledger.retire(session);
+        }
+        let s = ledger.summary();
+        assert_eq!(s.live_sessions, 0, "every detached session left the live tier");
+        assert_eq!(s.retired_sessions, RETIRED_HEALTH_CAP, "retired tier is bounded");
+        assert_eq!(s.transitions_retained, RETIRED_HEALTH_CAP * 2);
+        assert_eq!(s.transitions_recorded, 20_000);
+        assert_eq!(s.transitions_dropped, 20_000 - (RETIRED_HEALTH_CAP as u64) * 2);
+        // Recently ended sessions remain queryable; ancient ones are gone.
+        assert_eq!(
+            ledger.monitor(SessionId(9_999)).map(|m| m.current()),
+            Some(HealthState::Healed)
+        );
+        assert!(ledger.monitor(SessionId(0)).is_none());
+    }
+
+    /// Per-session flapping is bounded by the monitor ring even while the
+    /// session stays live.
+    #[test]
+    fn live_session_history_is_ring_bounded() {
+        let mut ledger = HealthLedger::new();
+        ledger.history_cap = 16;
+        let session = SessionId(7);
+        for epoch in 0..1_000u64 {
+            ledger.record(session, HealthState::Degraded, epoch, "flap".into());
+        }
+        let m = ledger.monitor(session).unwrap();
+        assert_eq!(m.retained(), 16);
+        assert_eq!(m.dropped_total(), 1_000 - 16);
     }
 }

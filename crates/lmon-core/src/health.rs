@@ -8,6 +8,25 @@
 //! transition when a failure is detected and [`HealthState::Healed`] when
 //! the repair completes, so a tool can distinguish "never failed" from
 //! "failed and recovered" without knowing anything about overlay internals.
+//!
+//! Because a persistent daemon (`lmon-daemon`, DESIGN.md §10) keeps one
+//! front end alive across millions of sessions, the monitor is a *ring
+//! buffer*, not an append-only log: each session retains at most
+//! [`DEFAULT_HISTORY_CAP`] transitions (configurable via
+//! [`HealthMonitor::with_capacity`]), with the oldest evicted first and the
+//! eviction count surfaced through [`HealthMonitor::dropped_total`]. The
+//! front end additionally retires whole monitors when their session
+//! detaches (see `LmonFrontEnd::session_health` docs), so health state for
+//! dead sessions cannot accumulate either.
+
+use std::collections::VecDeque;
+
+/// Default per-session transition history bound.
+///
+/// Chosen so that even a pathological flapping overlay (degrade/heal every
+/// few seconds for days) costs a session a few tens of kilobytes, while
+/// still retaining far more context than any tool inspects in practice.
+pub const DEFAULT_HISTORY_CAP: usize = 256;
 
 /// The health of a session's daemon fabric.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -34,27 +53,48 @@ pub struct HealthTransition {
     pub detail: String,
 }
 
-/// Per-session health log: current state plus full transition history.
-#[derive(Debug, Default)]
+/// Per-session health log: current state plus a bounded transition history.
+#[derive(Debug)]
 pub struct HealthMonitor {
-    log: Vec<HealthTransition>,
+    log: VecDeque<HealthTransition>,
+    cap: usize,
+    recorded: u64,
+    dropped: u64,
+}
+
+impl Default for HealthMonitor {
+    fn default() -> Self {
+        HealthMonitor::with_capacity(DEFAULT_HISTORY_CAP)
+    }
 }
 
 impl HealthMonitor {
-    /// A fresh, healthy monitor.
+    /// A fresh, healthy monitor with the default history bound.
     pub fn new() -> Self {
         Self::default()
     }
 
-    /// Record a transition.
+    /// A fresh monitor retaining at most `cap` transitions (minimum 1: the
+    /// current state must always be representable).
+    pub fn with_capacity(cap: usize) -> Self {
+        HealthMonitor { log: VecDeque::new(), cap: cap.max(1), recorded: 0, dropped: 0 }
+    }
+
+    /// Record a transition, evicting the oldest retained one when the ring
+    /// is full.
     pub fn record(&mut self, state: HealthState, epoch: u64, detail: impl Into<String>) {
-        self.log.push(HealthTransition { state, epoch, detail: detail.into() });
+        if self.log.len() == self.cap {
+            self.log.pop_front();
+            self.dropped += 1;
+        }
+        self.log.push_back(HealthTransition { state, epoch, detail: detail.into() });
+        self.recorded += 1;
     }
 
     /// The current state ([`HealthState::Healthy`] when nothing was ever
     /// recorded).
     pub fn current(&self) -> HealthState {
-        self.log.last().map(|t| t.state).unwrap_or(HealthState::Healthy)
+        self.log.back().map(|t| t.state).unwrap_or(HealthState::Healthy)
     }
 
     /// Whether a failure is currently outstanding.
@@ -62,9 +102,31 @@ impl HealthMonitor {
         self.current() == HealthState::Degraded
     }
 
-    /// The full transition history, oldest first.
-    pub fn history(&self) -> &[HealthTransition] {
-        &self.log
+    /// The retained transition history, oldest first. At most
+    /// [`Self::capacity`] entries; older ones are counted by
+    /// [`Self::dropped_total`].
+    pub fn history(&self) -> impl Iterator<Item = &HealthTransition> {
+        self.log.iter()
+    }
+
+    /// Number of transitions currently retained.
+    pub fn retained(&self) -> usize {
+        self.log.len()
+    }
+
+    /// The history bound this monitor was built with.
+    pub fn capacity(&self) -> usize {
+        self.cap
+    }
+
+    /// Lifetime count of transitions recorded (including evicted ones).
+    pub fn recorded_total(&self) -> u64 {
+        self.recorded
+    }
+
+    /// Lifetime count of transitions evicted by the ring bound.
+    pub fn dropped_total(&self) -> u64 {
+        self.dropped
     }
 }
 
@@ -77,7 +139,8 @@ mod tests {
         let m = HealthMonitor::new();
         assert_eq!(m.current(), HealthState::Healthy);
         assert!(!m.is_degraded());
-        assert!(m.history().is_empty());
+        assert_eq!(m.retained(), 0);
+        assert_eq!(m.capacity(), DEFAULT_HISTORY_CAP);
     }
 
     #[test]
@@ -88,8 +151,46 @@ mod tests {
         m.record(HealthState::Healed, 1, "orphans adopted");
         assert_eq!(m.current(), HealthState::Healed);
         assert!(!m.is_degraded());
-        let states: Vec<HealthState> = m.history().iter().map(|t| t.state).collect();
+        let states: Vec<HealthState> = m.history().map(|t| t.state).collect();
         assert_eq!(states, vec![HealthState::Degraded, HealthState::Healed]);
-        assert_eq!(m.history()[1].epoch, 1);
+        assert_eq!(m.history().nth(1).unwrap().epoch, 1);
+    }
+
+    #[test]
+    fn ring_bound_evicts_oldest_and_counts() {
+        let mut m = HealthMonitor::with_capacity(4);
+        for epoch in 0..10u64 {
+            m.record(HealthState::Degraded, epoch, format!("event {epoch}"));
+        }
+        assert_eq!(m.retained(), 4, "ring never exceeds its capacity");
+        assert_eq!(m.recorded_total(), 10);
+        assert_eq!(m.dropped_total(), 6);
+        // The *newest* transitions are the retained ones.
+        let epochs: Vec<u64> = m.history().map(|t| t.epoch).collect();
+        assert_eq!(epochs, vec![6, 7, 8, 9]);
+        // Current state still reflects the latest record.
+        assert_eq!(m.current(), HealthState::Degraded);
+    }
+
+    #[test]
+    fn capacity_is_clamped_to_at_least_one() {
+        let mut m = HealthMonitor::with_capacity(0);
+        assert_eq!(m.capacity(), 1);
+        m.record(HealthState::Degraded, 0, "a");
+        m.record(HealthState::Healed, 1, "b");
+        assert_eq!(m.retained(), 1);
+        assert_eq!(m.current(), HealthState::Healed, "current state survives eviction");
+    }
+
+    #[test]
+    fn memory_is_bounded_across_many_records() {
+        // The daemon-regression shape at monitor level: a session that
+        // flaps for a long time retains only `cap` transitions.
+        let mut m = HealthMonitor::with_capacity(8);
+        for i in 0..10_000u64 {
+            m.record(HealthState::Degraded, i, "flap");
+        }
+        assert_eq!(m.retained(), 8);
+        assert_eq!(m.dropped_total(), 10_000 - 8);
     }
 }

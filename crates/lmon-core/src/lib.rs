@@ -48,7 +48,7 @@ pub mod session;
 pub mod timeline;
 
 pub use error::{LmonError, LmonResult};
-pub use fe::LmonFrontEnd;
-pub use health::{HealthMonitor, HealthState, HealthTransition};
+pub use fe::{HealthSummary, LmonFrontEnd};
+pub use health::{HealthMonitor, HealthState, HealthTransition, DEFAULT_HISTORY_CAP};
 pub use session::{SessionId, SessionState};
 pub use timeline::{CriticalEvent, LaunchBreakdown, TimelineRecorder};

@@ -1,0 +1,255 @@
+//! Bounded admission: how a launch storm degrades to queueing.
+//!
+//! The paper's §2 failure mode is resource exhaustion under fan-out — the
+//! ad hoc bootstrapper dies at ≈504 rsh sessions because every concurrent
+//! session costs file descriptors. A persistent daemon faces the same cliff
+//! one layer up: thousands of clients can ask for launches at once, and
+//! every *in-flight* session costs node allocations, engine work, and mux
+//! sub-streams. The admission queue turns that cliff into a slope:
+//!
+//! * at most `limit` sessions are in flight at any instant;
+//! * up to `queue_capacity` further requests *wait* (the client blocks on
+//!   its control connection — natural backpressure, no buffering);
+//! * beyond that, requests are rejected immediately with a retryable
+//!   "busy" error instead of degrading everyone.
+//!
+//! A [`Permit`] is the unit of admission: held for the whole session
+//! lifetime (launch → detach/kill) and released on drop, so early-error
+//! paths can never leak a slot.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use parking_lot::{Condvar, Mutex};
+
+/// Why a launch request was not admitted.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AdmissionError {
+    /// The wait queue is at capacity; the caller should retry later.
+    QueueFull {
+        /// The configured queue bound that was hit.
+        capacity: usize,
+    },
+    /// The daemon is shutting down; queued waiters are drained with this.
+    Closed,
+}
+
+impl std::fmt::Display for AdmissionError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AdmissionError::QueueFull { capacity } => {
+                write!(f, "admission queue full ({capacity} waiting); retry later")
+            }
+            AdmissionError::Closed => write!(f, "admission closed (daemon shutting down)"),
+        }
+    }
+}
+
+impl std::error::Error for AdmissionError {}
+
+/// Point-in-time admission counters (exported via `/metrics`).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AdmissionStats {
+    /// Sessions currently holding a permit.
+    pub in_flight: usize,
+    /// Requests currently blocked in the wait queue.
+    pub waiting: usize,
+    /// High-water mark of `in_flight` — the storm test's bound assertion.
+    pub peak_in_flight: usize,
+    /// High-water mark of `waiting`.
+    pub peak_waiting: usize,
+    /// Lifetime admitted requests.
+    pub admitted_total: u64,
+    /// Lifetime rejected requests (queue full or closed).
+    pub rejected_total: u64,
+    /// Lifetime permits released.
+    pub released_total: u64,
+}
+
+#[derive(Default)]
+struct AdmState {
+    in_flight: usize,
+    waiting: usize,
+    peak_in_flight: usize,
+    peak_waiting: usize,
+    admitted_total: u64,
+    rejected_total: u64,
+    released_total: u64,
+}
+
+/// Counting-semaphore admission with a bounded wait queue.
+pub struct AdmissionQueue {
+    state: Mutex<AdmState>,
+    cv: Condvar,
+    limit: usize,
+    queue_capacity: usize,
+    closed: AtomicBool,
+}
+
+impl AdmissionQueue {
+    /// At most `limit` concurrent permits; at most `queue_capacity` blocked
+    /// waiters beyond that (both clamped to ≥ 1 and ≥ 0 respectively).
+    pub fn new(limit: usize, queue_capacity: usize) -> Arc<Self> {
+        Arc::new(AdmissionQueue {
+            state: Mutex::new(AdmState::default()),
+            cv: Condvar::new(),
+            limit: limit.max(1),
+            queue_capacity,
+            closed: AtomicBool::new(false),
+        })
+    }
+
+    /// The concurrent-session bound.
+    pub fn limit(&self) -> usize {
+        self.limit
+    }
+
+    /// Block until a permit is available (queueing with backpressure), or
+    /// fail fast when the wait queue itself is full.
+    pub fn admit(self: &Arc<Self>) -> Result<Permit, AdmissionError> {
+        let mut st = self.state.lock();
+        if self.closed.load(Ordering::SeqCst) {
+            st.rejected_total += 1;
+            return Err(AdmissionError::Closed);
+        }
+        if st.in_flight >= self.limit {
+            if st.waiting >= self.queue_capacity {
+                st.rejected_total += 1;
+                return Err(AdmissionError::QueueFull { capacity: self.queue_capacity });
+            }
+            st.waiting += 1;
+            st.peak_waiting = st.peak_waiting.max(st.waiting);
+            while st.in_flight >= self.limit && !self.closed.load(Ordering::SeqCst) {
+                self.cv.wait(&mut st);
+            }
+            st.waiting -= 1;
+            if self.closed.load(Ordering::SeqCst) {
+                st.rejected_total += 1;
+                return Err(AdmissionError::Closed);
+            }
+        }
+        st.in_flight += 1;
+        st.peak_in_flight = st.peak_in_flight.max(st.in_flight);
+        st.admitted_total += 1;
+        Ok(Permit { queue: Arc::clone(self) })
+    }
+
+    /// Wake and reject every queued waiter; subsequent `admit`s fail fast.
+    pub fn close(&self) {
+        self.closed.store(true, Ordering::SeqCst);
+        let _guard = self.state.lock();
+        self.cv.notify_all();
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> AdmissionStats {
+        let st = self.state.lock();
+        AdmissionStats {
+            in_flight: st.in_flight,
+            waiting: st.waiting,
+            peak_in_flight: st.peak_in_flight,
+            peak_waiting: st.peak_waiting,
+            admitted_total: st.admitted_total,
+            rejected_total: st.rejected_total,
+            released_total: st.released_total,
+        }
+    }
+}
+
+/// An admitted session's slot; releasing (dropping) it wakes one waiter.
+pub struct Permit {
+    queue: Arc<AdmissionQueue>,
+}
+
+impl std::fmt::Debug for Permit {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Permit").finish_non_exhaustive()
+    }
+}
+
+impl Drop for Permit {
+    fn drop(&mut self) {
+        let mut st = self.queue.state.lock();
+        st.in_flight -= 1;
+        st.released_total += 1;
+        self.queue.cv.notify_one();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+    use std::time::Duration;
+
+    #[test]
+    fn admits_up_to_limit_without_blocking() {
+        let q = AdmissionQueue::new(3, 0);
+        let p1 = q.admit().unwrap();
+        let _p2 = q.admit().unwrap();
+        let _p3 = q.admit().unwrap();
+        assert_eq!(q.stats().in_flight, 3);
+        // Queue capacity 0: the fourth is rejected, not queued.
+        assert_eq!(q.admit().unwrap_err(), AdmissionError::QueueFull { capacity: 0 });
+        drop(p1);
+        assert_eq!(q.stats().in_flight, 2);
+        let _p4 = q.admit().unwrap();
+        let s = q.stats();
+        assert_eq!((s.admitted_total, s.rejected_total, s.released_total), (4, 1, 1));
+        assert_eq!(s.peak_in_flight, 3);
+    }
+
+    #[test]
+    fn queued_request_blocks_until_release_and_drain_is_monotonic() {
+        let q = AdmissionQueue::new(1, 16);
+        let first = q.admit().unwrap();
+        let order = Arc::new(AtomicUsize::new(0));
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let q2 = Arc::clone(&q);
+            let order2 = Arc::clone(&order);
+            handles.push(std::thread::spawn(move || {
+                let p = q2.admit().unwrap();
+                let seq = order2.fetch_add(1, Ordering::SeqCst);
+                drop(p);
+                seq
+            }));
+        }
+        // Wait until all four are parked in the queue.
+        while q.stats().waiting < 4 {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        let mut depths = vec![q.stats().waiting];
+        drop(first);
+        // With only releases happening, the queue depth must drain
+        // monotonically to zero — no waiter is ever re-queued.
+        while q.stats().waiting > 0 || q.stats().in_flight > 0 {
+            depths.push(q.stats().waiting);
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        depths.push(0);
+        assert!(depths.windows(2).all(|w| w[1] <= w[0]), "non-monotonic drain: {depths:?}");
+        for h in handles {
+            h.join().unwrap();
+        }
+        let s = q.stats();
+        assert_eq!(s.in_flight, 0);
+        assert_eq!(s.admitted_total, 5);
+        assert_eq!(s.peak_in_flight, 1, "limit 1 was never exceeded");
+    }
+
+    #[test]
+    fn close_drains_waiters_with_errors() {
+        let q = AdmissionQueue::new(1, 8);
+        let held = q.admit().unwrap();
+        let q2 = Arc::clone(&q);
+        let h = std::thread::spawn(move || q2.admit());
+        while q.stats().waiting < 1 {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        q.close();
+        assert_eq!(h.join().unwrap().unwrap_err(), AdmissionError::Closed);
+        assert_eq!(q.admit().unwrap_err(), AdmissionError::Closed);
+        drop(held);
+    }
+}

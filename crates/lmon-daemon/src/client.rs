@@ -1,0 +1,423 @@
+//! Client side of the control protocol, including lazy daemon start.
+//!
+//! # The bind/connect race, and why binding is the mutex
+//!
+//! "Lazy start" means: a client that finds no daemon running becomes the
+//! daemon. The naive version — `connect()`, and on failure `bind()` and
+//! serve — races: two clients can both fail the connect and both try to
+//! become the daemon, and with a `remove_file` sprinkled in, the second
+//! one can silently unlink the *winner's* live socket, stranding every
+//! future client. The fix ([`connect_or_start`]) leans on the only
+//! operation the OS already serializes:
+//!
+//! 1. Try to `connect`. Success → done, a daemon is serving.
+//! 2. On `NotFound` / `ConnectionRefused`, try to **bind**. The kernel
+//!    allows exactly one binder per path, so the bind is the mutex: the
+//!    winner starts the daemon and then connects to itself.
+//! 3. A *refused* connect with the file present may be a stale socket
+//!    (daemon crashed without unlinking) — but it may also be a live
+//!    daemon with a momentarily full backlog. Only after a confirming
+//!    second refusal is the path unlinked, and the loser of any
+//!    subsequent bind race never unlinks: it backs off and reconnects.
+//! 4. Losers retry connect with exponential backoff (10ms → 500ms),
+//!    bounded; the winner is meanwhile inside `Daemon::new` bringing the
+//!    front-end pool up, which is why the budget is generous.
+
+use std::io::{BufRead, BufReader, ErrorKind, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+#[cfg(unix)]
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use std::time::Duration;
+
+use crate::control::{parse_reply_header, ParsedReply, HELLO_BANNER};
+use crate::daemon::{start_daemon, Daemon, DaemonConfig, DaemonHandle};
+use crate::error::{DaemonError, DaemonResult};
+
+/// Connect retry schedule for lazy start: exponential backoff from
+/// [`BACKOFF_START`] doubling to at most [`BACKOFF_CAP`], [`MAX_RETRIES`]
+/// times (~3.8s worst case — enough to cover a cold daemon boot).
+pub const BACKOFF_START: Duration = Duration::from_millis(10);
+/// See [`BACKOFF_START`].
+pub const BACKOFF_CAP: Duration = Duration::from_millis(500);
+/// See [`BACKOFF_START`].
+pub const MAX_RETRIES: usize = 10;
+
+/// Either transport the control protocol runs over.
+enum ClientStream {
+    #[cfg(unix)]
+    Unix(UnixStream),
+    Tcp(TcpStream),
+}
+
+impl Read for ClientStream {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        match self {
+            #[cfg(unix)]
+            ClientStream::Unix(s) => s.read(buf),
+            ClientStream::Tcp(s) => s.read(buf),
+        }
+    }
+}
+
+impl Write for ClientStream {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        match self {
+            #[cfg(unix)]
+            ClientStream::Unix(s) => s.write(buf),
+            ClientStream::Tcp(s) => s.write(buf),
+        }
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        match self {
+            #[cfg(unix)]
+            ClientStream::Unix(s) => s.flush(),
+            ClientStream::Tcp(s) => s.flush(),
+        }
+    }
+}
+
+impl ClientStream {
+    fn set_read_timeout(&self, t: Option<Duration>) -> std::io::Result<()> {
+        match self {
+            #[cfg(unix)]
+            ClientStream::Unix(s) => s.set_read_timeout(t),
+            ClientStream::Tcp(s) => s.set_read_timeout(t),
+        }
+    }
+}
+
+/// A connected control client (one request/reply at a time).
+pub struct DaemonClient {
+    reader: BufReader<ClientStream>,
+    writer: ClientStream,
+    /// The daemon's hello banner, kept for version checks/debugging.
+    banner: String,
+}
+
+impl DaemonClient {
+    /// Connect over the Unix control socket.
+    #[cfg(unix)]
+    pub fn connect_unix(path: &Path) -> DaemonResult<DaemonClient> {
+        let stream = UnixStream::connect(path)?;
+        let writer = ClientStream::Unix(stream.try_clone()?);
+        Self::handshake(ClientStream::Unix(stream), writer)
+    }
+
+    /// Connect over TCP.
+    pub fn connect_tcp(addr: SocketAddr) -> DaemonResult<DaemonClient> {
+        let stream = TcpStream::connect(addr)?;
+        let writer = ClientStream::Tcp(stream.try_clone()?);
+        Self::handshake(ClientStream::Tcp(stream), writer)
+    }
+
+    fn handshake(read_half: ClientStream, mut writer: ClientStream) -> DaemonResult<DaemonClient> {
+        read_half.set_read_timeout(Some(crate::control::CLIENT_REPLY_TIMEOUT))?;
+        let mut reader = BufReader::new(read_half);
+        // Client speaks first (see `control` docs): ask for the banner.
+        writeln!(writer, "HELLO")?;
+        writer.flush()?;
+        let mut banner = String::new();
+        reader.read_line(&mut banner)?;
+        let banner = banner.trim_end().to_string();
+        if !banner.starts_with("LMOND") {
+            return Err(DaemonError::Protocol(format!(
+                "unexpected hello {banner:?} (want {HELLO_BANNER:?})"
+            )));
+        }
+        Ok(DaemonClient { reader, writer, banner })
+    }
+
+    /// The daemon's hello banner (e.g. `"LMOND 1"`).
+    pub fn banner(&self) -> &str {
+        &self.banner
+    }
+
+    /// Send one request line and read its (possibly multi-line) reply.
+    pub fn request(&mut self, line: &str) -> DaemonResult<ParsedReply> {
+        writeln!(self.writer, "{line}")?;
+        self.writer.flush()?;
+        let mut header = String::new();
+        if self.reader.read_line(&mut header)? == 0 {
+            return Err(DaemonError::Protocol("daemon closed the connection".into()));
+        }
+        let (mut reply, body_lines) =
+            parse_reply_header(header.trim_end()).map_err(DaemonError::Remote)?;
+        if let Some(n) = body_lines {
+            for _ in 0..n {
+                let mut l = String::new();
+                if self.reader.read_line(&mut l)? == 0 {
+                    return Err(DaemonError::Protocol("truncated multi-line reply".into()));
+                }
+                let t = l.trim_end().to_string();
+                reply.body.push(t);
+            }
+        }
+        Ok(reply)
+    }
+
+    // --- typed wrappers ---------------------------------------------------
+
+    /// Liveness probe.
+    pub fn ping(&mut self) -> DaemonResult<()> {
+        self.request("PING").map(|_| ())
+    }
+
+    /// Launch a session; returns the daemon-wide session id.
+    pub fn launch(
+        &mut self,
+        app: &str,
+        nodes: usize,
+        tasks_per_node: usize,
+        body: &str,
+    ) -> DaemonResult<u64> {
+        let reply = self.request(&format!("LAUNCH {app} {nodes} {tasks_per_node} {body}"))?;
+        reply
+            .field_as::<u64>("gsid")
+            .ok_or_else(|| DaemonError::Protocol("LAUNCH reply without gsid".into()))
+    }
+
+    /// Daemon-wide status fields.
+    pub fn status(&mut self) -> DaemonResult<ParsedReply> {
+        self.request("STATUS")
+    }
+
+    /// One session's status fields.
+    pub fn session_status(&mut self, gsid: u64) -> DaemonResult<ParsedReply> {
+        self.request(&format!("STATUS {gsid}"))
+    }
+
+    /// Detach a session (job keeps running).
+    pub fn detach(&mut self, gsid: u64) -> DaemonResult<()> {
+        self.request(&format!("DETACH {gsid}")).map(|_| ())
+    }
+
+    /// Kill a session (allocation released).
+    pub fn kill(&mut self, gsid: u64) -> DaemonResult<()> {
+        self.request(&format!("KILL {gsid}")).map(|_| ())
+    }
+
+    /// Fetch the Prometheus exposition text.
+    pub fn metrics(&mut self) -> DaemonResult<String> {
+        let reply = self.request("METRICS")?;
+        let mut out = reply.body.join("\n");
+        out.push('\n');
+        Ok(out)
+    }
+
+    /// Ask the daemon to shut down.
+    pub fn shutdown_daemon(&mut self) -> DaemonResult<()> {
+        self.request("SHUTDOWN").map(|_| ())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Lazy start
+// ---------------------------------------------------------------------------
+
+/// What [`connect_or_start`] produced.
+pub enum LazyStartOutcome {
+    /// A daemon was already serving; here's a connection to it.
+    Connected(DaemonClient),
+    /// This process won the bind race and *is* now the daemon; it also
+    /// gets a self-connection so it can be its own first client.
+    Started {
+        /// Lifecycle handle for the freshly started daemon.
+        handle: DaemonHandle,
+        /// A control connection to the daemon just started.
+        client: DaemonClient,
+    },
+}
+
+impl LazyStartOutcome {
+    /// The connection, whichever side of the race this was.
+    pub fn into_client(self) -> DaemonClient {
+        match self {
+            LazyStartOutcome::Connected(c) => c,
+            LazyStartOutcome::Started { client, .. } => client,
+        }
+    }
+
+    /// True when this process became the daemon.
+    pub fn started_daemon(&self) -> bool {
+        matches!(self, LazyStartOutcome::Started { .. })
+    }
+}
+
+/// Connect to the daemon at `socket_path`, lazily starting one (with
+/// `make_daemon`) if none is serving. Safe to race from many processes or
+/// threads: the socket bind is the mutex, so exactly one caller starts a
+/// daemon. See the module docs for the full protocol.
+#[cfg(unix)]
+pub fn connect_or_start(
+    socket_path: &Path,
+    make_daemon: impl FnOnce() -> DaemonResult<Arc<Daemon>>,
+) -> DaemonResult<LazyStartOutcome> {
+    let mut make_daemon = Some(make_daemon);
+    let mut backoff = BACKOFF_START;
+    let mut stale_confirmed = false;
+    let mut last_err: Option<std::io::Error> = None;
+
+    for _attempt in 0..MAX_RETRIES {
+        // Step 1: is someone already serving?
+        match UnixStream::connect(socket_path) {
+            Ok(stream) => {
+                let writer = ClientStream::Unix(stream.try_clone()?);
+                return DaemonClient::handshake(ClientStream::Unix(stream), writer)
+                    .map(LazyStartOutcome::Connected);
+            }
+            Err(e) if e.kind() == ErrorKind::NotFound => {
+                // No socket file: clean field, race for the bind below.
+            }
+            Err(e) if e.kind() == ErrorKind::ConnectionRefused => {
+                // A file exists but nobody accepts. Either a stale socket
+                // from a crashed daemon, or a live daemon with a full
+                // backlog. Never unlink on first sight — require a second
+                // refused connect (after a backoff) before declaring it
+                // stale, so a loaded-but-live daemon is never destroyed.
+                if !stale_confirmed {
+                    stale_confirmed = true;
+                    std::thread::sleep(backoff);
+                    backoff = (backoff * 2).min(BACKOFF_CAP);
+                    continue;
+                }
+                let _ = std::fs::remove_file(socket_path);
+                stale_confirmed = false;
+            }
+            Err(e) => return Err(DaemonError::Io(e)),
+        }
+
+        // Step 2: race for the bind. The kernel picks exactly one winner.
+        match UnixListener::bind(socket_path) {
+            Ok(listener) => {
+                let daemon = match make_daemon.take() {
+                    Some(f) => f()?,
+                    // Defensive: can't happen (we return on the first bind
+                    // win), but never re-run a FnOnce.
+                    None => return Err(DaemonError::LazyStart("daemon factory consumed".into())),
+                };
+                let handle = start_daemon(daemon, Some(listener), None)?;
+                let client = DaemonClient::connect_unix(socket_path)?;
+                return Ok(LazyStartOutcome::Started { handle, client });
+            }
+            Err(e) if e.kind() == ErrorKind::AddrInUse => {
+                // Lost the race: the winner is booting its front-end pool.
+                // Back off and go back to connecting — never unlink here.
+                last_err = Some(e);
+                std::thread::sleep(backoff);
+                backoff = (backoff * 2).min(BACKOFF_CAP);
+            }
+            Err(e) => return Err(DaemonError::Io(e)),
+        }
+    }
+
+    Err(DaemonError::LazyStart(format!(
+        "no daemon became reachable at {} after {MAX_RETRIES} attempts (last: {})",
+        socket_path.display(),
+        last_err.map_or_else(|| "connect refused".into(), |e| e.to_string()),
+    )))
+}
+
+/// Test-sized lazy start: defaults, small pool. Production callers build
+/// their own factory around [`Daemon::new`].
+#[cfg(unix)]
+pub fn connect_or_start_default(socket_path: &Path) -> DaemonResult<LazyStartOutcome> {
+    connect_or_start(socket_path, || Daemon::new(DaemonConfig::default()))
+}
+
+/// A collision-resistant scratch path for sockets in tests and the CLI
+/// (`Path::join` of the temp dir, the pid, and a caller-chosen tag).
+pub fn scratch_socket_path(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("lmond-{}-{tag}.sock", std::process::id()))
+}
+
+#[cfg(all(test, unix))]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Barrier;
+
+    fn tiny_config() -> DaemonConfig {
+        DaemonConfig {
+            backends: 1,
+            cluster_nodes: 8,
+            admission_limit: 4,
+            queue_capacity: 16,
+            ..DaemonConfig::default()
+        }
+    }
+
+    /// Satellite (c)'s regression: two threads race connect-or-start on the
+    /// same fresh path. Exactly one must become the daemon; both must end
+    /// up with working connections; nobody may unlink the winner's socket.
+    #[test]
+    fn lazy_start_race_elects_exactly_one_daemon() {
+        let path = scratch_socket_path("race");
+        let _ = std::fs::remove_file(&path);
+        let barrier = Arc::new(Barrier::new(2));
+        let started = Arc::new(AtomicUsize::new(0));
+
+        let mut joins = Vec::new();
+        for _ in 0..2 {
+            let path = path.clone();
+            let barrier = Arc::clone(&barrier);
+            let started = Arc::clone(&started);
+            joins.push(std::thread::spawn(move || {
+                barrier.wait(); // maximal overlap: both race the same instant
+                let outcome = connect_or_start(&path, || Daemon::new(tiny_config())).unwrap();
+                if outcome.started_daemon() {
+                    started.fetch_add(1, Ordering::SeqCst);
+                }
+                // `into_client` drops the winner's DaemonHandle; the accept
+                // loop keeps serving (threads are detached), so the loser's
+                // ping still works whichever thread finishes first.
+                let mut client = outcome.into_client();
+                client.ping().unwrap();
+                client
+            }));
+        }
+        let clients: Vec<_> = joins.into_iter().map(|j| j.join().unwrap()).collect();
+        assert_eq!(started.load(Ordering::SeqCst), 1, "exactly one thread became the daemon");
+        drop(clients);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    /// A stale socket file (daemon died without unlinking) must be detected
+    /// and replaced — but only after the confirming second refusal.
+    #[test]
+    fn stale_socket_is_detected_and_replaced() {
+        let path = scratch_socket_path("stale");
+        let _ = std::fs::remove_file(&path);
+        {
+            // Bind and immediately drop the listener: the file stays behind,
+            // exactly like a crashed daemon.
+            let _orphan = UnixListener::bind(&path).unwrap();
+        }
+        assert!(path.exists(), "precondition: stale socket file left behind");
+        let outcome = connect_or_start(&path, || Daemon::new(tiny_config())).unwrap();
+        assert!(outcome.started_daemon(), "stale socket must not block lazy start");
+        let mut client = outcome.into_client();
+        client.ping().unwrap();
+        let _ = std::fs::remove_file(&path);
+    }
+
+    /// A *live* daemon must never be unlinked: a second connect_or_start
+    /// finds it and connects instead of starting another.
+    #[test]
+    fn live_daemon_is_joined_not_replaced() {
+        let path = scratch_socket_path("join");
+        let _ = std::fs::remove_file(&path);
+        let first = connect_or_start(&path, || Daemon::new(tiny_config())).unwrap();
+        assert!(first.started_daemon());
+        let second =
+            connect_or_start(&path, || panic!("second caller must not construct a daemon"))
+                .unwrap();
+        assert!(!second.started_daemon());
+        let mut c = second.into_client();
+        c.ping().unwrap();
+        drop(first);
+        let _ = std::fs::remove_file(&path);
+    }
+}

@@ -1,0 +1,614 @@
+//! The long-lived launch service: front-end pool, session registry, and
+//! the control-connection serve loop.
+
+use std::collections::HashMap;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+#[cfg(unix)]
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use parking_lot::Mutex;
+
+use lmon_cluster::config::ClusterConfig;
+use lmon_cluster::VirtualCluster;
+use lmon_core::be::BeMain;
+use lmon_core::fe::LmonFrontEnd;
+use lmon_core::session::SessionId;
+use lmon_core::HealthState;
+use lmon_proto::payload::DaemonSpec;
+use lmon_rm::api::ResourceManager;
+use lmon_rm::SlurmRm;
+use lmon_tbon::recovery::OverlayStats;
+
+use crate::admission::{AdmissionError, AdmissionQueue, Permit};
+use crate::control::{Reply, Request, HELLO_BANNER};
+use crate::error::{DaemonError, DaemonResult};
+use crate::metrics::{render_prometheus, MetricsSnapshot};
+
+/// Tunables for a daemon instance. `Default` is sized for tests and small
+/// deployments; production embedders scale the pool and cluster.
+#[derive(Debug, Clone)]
+pub struct DaemonConfig {
+    /// Pooled front ends (each with its own engine and virtual cluster).
+    pub backends: usize,
+    /// Nodes per backend's virtual cluster.
+    pub cluster_nodes: usize,
+    /// Concurrent in-flight session bound (the admission limit).
+    pub admission_limit: usize,
+    /// Launch requests that may wait in the admission queue before new
+    /// ones are rejected with a retryable busy error.
+    pub queue_capacity: usize,
+    /// Per-session health-history ring bound (see `lmon_core::health`).
+    pub health_history_cap: usize,
+    /// Concurrent control connections before new ones are turned away.
+    pub max_connections: usize,
+}
+
+impl Default for DaemonConfig {
+    fn default() -> Self {
+        DaemonConfig {
+            backends: 2,
+            cluster_nodes: 64,
+            admission_limit: 8,
+            queue_capacity: 1024,
+            health_history_cap: lmon_core::DEFAULT_HISTORY_CAP,
+            max_connections: 256,
+        }
+    }
+}
+
+/// One pooled front end and the virtual cluster behind it.
+struct Backend {
+    fe: Arc<LmonFrontEnd>,
+    #[allow(dead_code)] // kept alive for the backend's lifetime + debugging
+    cluster: VirtualCluster,
+}
+
+/// A live session's bookkeeping entry. Holds the admission [`Permit`]: the
+/// slot frees exactly when the entry is dropped (detach/kill/error), so no
+/// control path can leak admission capacity.
+struct SessionEntry {
+    fe_idx: usize,
+    sid: SessionId,
+    app: String,
+    daemons: usize,
+    started: Instant,
+    #[allow(dead_code)] // held for its Drop
+    permit: Permit,
+}
+
+/// The persistent multi-tenant launch service.
+///
+/// Owns a pool of [`LmonFrontEnd`]s and serves launch/attach-style session
+/// management over the line-delimited control protocol in
+/// [`crate::control`]. See DESIGN.md §10 for the architecture.
+pub struct Daemon {
+    cfg: DaemonConfig,
+    backends: Vec<Backend>,
+    next_backend: AtomicUsize,
+    sessions: Mutex<HashMap<u64, SessionEntry>>,
+    next_gsid: AtomicU64,
+    admission: Arc<AdmissionQueue>,
+    bodies: Mutex<HashMap<String, BeMain>>,
+    overlay_stats: Arc<OverlayStats>,
+    launches_total: AtomicU64,
+    launch_failures_total: AtomicU64,
+    active_conns: AtomicUsize,
+    shutting_down: AtomicBool,
+    started_at: Instant,
+    /// Bound control endpoints, recorded by [`start_daemon`] so that
+    /// [`Daemon::begin_shutdown`] can poke its own blocking accept loops
+    /// awake (a `SHUTDOWN` arriving on one listener must unblock both).
+    endpoints: Mutex<BoundEndpoints>,
+}
+
+#[derive(Default)]
+struct BoundEndpoints {
+    socket_path: Option<PathBuf>,
+    tcp_addr: Option<SocketAddr>,
+}
+
+impl Daemon {
+    /// Build the service (front-end pool up, nothing listening yet).
+    pub fn new(cfg: DaemonConfig) -> DaemonResult<Arc<Daemon>> {
+        let mut backends = Vec::with_capacity(cfg.backends.max(1));
+        for _ in 0..cfg.backends.max(1) {
+            let cluster = VirtualCluster::new(ClusterConfig::with_nodes(cfg.cluster_nodes));
+            let rm: Arc<dyn ResourceManager> = Arc::new(SlurmRm::new(cluster.clone()));
+            let fe = Arc::new(LmonFrontEnd::init(rm).map_err(DaemonError::Core)?);
+            fe.set_health_history_capacity(cfg.health_history_cap);
+            backends.push(Backend { fe, cluster });
+        }
+        let admission = AdmissionQueue::new(cfg.admission_limit, cfg.queue_capacity);
+        let daemon = Arc::new(Daemon {
+            backends,
+            next_backend: AtomicUsize::new(0),
+            sessions: Mutex::new(HashMap::new()),
+            next_gsid: AtomicU64::new(1),
+            admission,
+            bodies: Mutex::new(HashMap::new()),
+            overlay_stats: Arc::new(OverlayStats::default()),
+            launches_total: AtomicU64::new(0),
+            launch_failures_total: AtomicU64::new(0),
+            active_conns: AtomicUsize::new(0),
+            shutting_down: AtomicBool::new(false),
+            started_at: Instant::now(),
+            endpoints: Mutex::new(BoundEndpoints::default()),
+            cfg,
+        });
+        daemon.register_builtin_bodies();
+        Ok(daemon)
+    }
+
+    /// `sleeper` parks until detach/kill; `oneshot` exits after the
+    /// bootstrap barrier (storm workloads that only measure launch).
+    fn register_builtin_bodies(&self) {
+        let sleeper: BeMain = Arc::new(|be| {
+            let _ = be.barrier();
+            let _ = be.wait_shutdown();
+        });
+        let oneshot: BeMain = Arc::new(|be| {
+            let _ = be.barrier();
+        });
+        let mut bodies = self.bodies.lock();
+        bodies.insert("sleeper".into(), sleeper);
+        bodies.insert("oneshot".into(), oneshot);
+    }
+
+    /// Register (or replace) a daemon body under `name`, e.g. a real tool
+    /// back end like jobsnap's. Embedders call this before serving.
+    pub fn register_body(&self, name: impl Into<String>, body: BeMain) {
+        self.bodies.lock().insert(name.into(), body);
+    }
+
+    /// Shared overlay-recovery counters: TBON workloads run next to this
+    /// daemon feed them, `/metrics` exports them.
+    pub fn overlay_stats(&self) -> Arc<OverlayStats> {
+        Arc::clone(&self.overlay_stats)
+    }
+
+    /// The admission queue (stats inspection, embedder-driven admission).
+    pub fn admission(&self) -> &Arc<AdmissionQueue> {
+        &self.admission
+    }
+
+    /// Live session count.
+    pub fn sessions_active(&self) -> usize {
+        self.sessions.lock().len()
+    }
+
+    /// Whether shutdown has begun.
+    pub fn is_shutting_down(&self) -> bool {
+        self.shutting_down.load(Ordering::SeqCst)
+    }
+
+    /// Begin shutdown: stop admitting, wake queued waiters with errors, and
+    /// poke any blocking accept loops awake with throwaway self-connects so
+    /// they observe the flag and exit.
+    pub fn begin_shutdown(&self) {
+        self.shutting_down.store(true, Ordering::SeqCst);
+        self.admission.close();
+        let ep = self.endpoints.lock();
+        #[cfg(unix)]
+        if let Some(path) = &ep.socket_path {
+            let _ = UnixStream::connect(path);
+        }
+        if let Some(addr) = ep.tcp_addr {
+            let _ = TcpStream::connect(addr);
+        }
+    }
+
+    // --- request dispatch -------------------------------------------------
+
+    /// Serve one parsed request (transport-independent; also the in-process
+    /// API used by tests that bypass sockets).
+    pub fn dispatch(&self, req: &Request) -> Reply {
+        match req {
+            Request::Hello => Reply::ok(&[("banner", HELLO_BANNER.replace(' ', "/"))]),
+            Request::Ping => Reply::ok(&[
+                ("pong", "1".into()),
+                ("uptime_s", self.started_at.elapsed().as_secs().to_string()),
+            ]),
+            Request::Launch { app, nodes, tasks_per_node, body } => {
+                self.handle_launch(app, *nodes, *tasks_per_node, body)
+            }
+            Request::Status => self.handle_status(),
+            Request::SessionStatus { gsid } => self.handle_session_status(*gsid),
+            Request::Detach { gsid } => self.handle_end(*gsid, false),
+            Request::Kill { gsid } => self.handle_end(*gsid, true),
+            Request::Metrics => {
+                Reply::OkLines(self.render_metrics().lines().map(str::to_string).collect())
+            }
+            Request::Shutdown => Reply::ok(&[("shutdown", "1".into())]),
+            Request::HttpGet { path } => {
+                // Normally intercepted by the connection loop; answering
+                // inline keeps dispatch total.
+                Reply::Err(format!("HTTP GET {path} is only served on socket connections"))
+            }
+        }
+    }
+
+    fn handle_launch(&self, app: &str, nodes: usize, tasks_per_node: usize, body: &str) -> Reply {
+        let Some(body_fn) = self.bodies.lock().get(body).cloned() else {
+            return Reply::Err(format!("unknown daemon body {body:?}"));
+        };
+        if nodes == 0 || tasks_per_node == 0 {
+            return Reply::Err("nodes and tasks_per_node must be >= 1".into());
+        }
+        if nodes > self.cfg.cluster_nodes {
+            return Reply::Err(format!(
+                "nodes {nodes} exceeds backend cluster size {}",
+                self.cfg.cluster_nodes
+            ));
+        }
+
+        // Admission: block (queueing) or fail fast when the queue is full.
+        let queued_at = Instant::now();
+        let permit = match self.admission.admit() {
+            Ok(p) => p,
+            Err(e @ AdmissionError::QueueFull { .. }) => return Reply::Err(format!("busy: {e}")),
+            Err(e @ AdmissionError::Closed) => return Reply::Err(format!("shutdown: {e}")),
+        };
+        let wait_ms = queued_at.elapsed().as_millis();
+
+        let fe_idx = self.next_backend.fetch_add(1, Ordering::Relaxed) % self.backends.len();
+        let fe = &self.backends[fe_idx].fe;
+        let sid = fe.create_session();
+        let launch_started = Instant::now();
+        match fe.launch_and_spawn(
+            sid,
+            app,
+            &[],
+            nodes,
+            tasks_per_node,
+            DaemonSpec::bare(format!("lmond_be_{body}")),
+            body_fn,
+        ) {
+            Ok(outcome) => {
+                let gsid = self.next_gsid.fetch_add(1, Ordering::Relaxed);
+                // Seed the health ledger so every daemon-launched session
+                // shows up in `/metrics` (and retires into the bounded ring
+                // on kill/detach rather than vanishing).
+                fe.record_session_health(
+                    sid,
+                    HealthState::Healthy,
+                    0,
+                    format!("launched via lmond (gsid {gsid})"),
+                );
+                self.sessions.lock().insert(
+                    gsid,
+                    SessionEntry {
+                        fe_idx,
+                        sid,
+                        app: app.to_string(),
+                        daemons: outcome.daemon_count,
+                        started: launch_started,
+                        permit,
+                    },
+                );
+                self.launches_total.fetch_add(1, Ordering::Relaxed);
+                Reply::ok(&[
+                    ("gsid", gsid.to_string()),
+                    ("fe", fe_idx.to_string()),
+                    ("daemons", outcome.daemon_count.to_string()),
+                    ("wait_ms", wait_ms.to_string()),
+                    ("launch_ms", launch_started.elapsed().as_millis().to_string()),
+                ])
+            }
+            Err(e) => {
+                // `permit` drops here: a failed launch frees its slot.
+                self.launch_failures_total.fetch_add(1, Ordering::Relaxed);
+                Reply::Err(format!("launch failed: {e}"))
+            }
+        }
+    }
+
+    fn handle_status(&self) -> Reply {
+        let adm = self.admission.stats();
+        Reply::ok(&[
+            ("uptime_s", self.started_at.elapsed().as_secs().to_string()),
+            ("backends", self.backends.len().to_string()),
+            ("sessions", self.sessions_active().to_string()),
+            ("in_flight", adm.in_flight.to_string()),
+            ("queue_depth", adm.waiting.to_string()),
+            ("peak_in_flight", adm.peak_in_flight.to_string()),
+            ("admitted", adm.admitted_total.to_string()),
+            ("rejected", adm.rejected_total.to_string()),
+            ("launches", self.launches_total.load(Ordering::Relaxed).to_string()),
+            ("failures", self.launch_failures_total.load(Ordering::Relaxed).to_string()),
+            ("limit", self.admission.limit().to_string()),
+            ("queue_capacity", self.cfg.queue_capacity.to_string()),
+        ])
+    }
+
+    fn handle_session_status(&self, gsid: u64) -> Reply {
+        let sessions = self.sessions.lock();
+        let Some(entry) = sessions.get(&gsid) else {
+            return Reply::Err(format!("no such session {gsid}"));
+        };
+        let fe = &self.backends[entry.fe_idx].fe;
+        let state = match fe.session_state(entry.sid) {
+            Ok(s) => format!("{s:?}"),
+            Err(e) => format!("unknown({e})"),
+        };
+        let health = format!("{:?}", fe.session_health(entry.sid));
+        Reply::ok(&[
+            ("gsid", gsid.to_string()),
+            ("fe", entry.fe_idx.to_string()),
+            ("app", entry.app.clone()),
+            ("daemons", entry.daemons.to_string()),
+            ("state", state),
+            ("health", health),
+            ("age_s", entry.started.elapsed().as_secs().to_string()),
+        ])
+    }
+
+    /// Detach (job keeps running) or kill (job destroyed, nodes released).
+    /// Either way the entry — and with it the admission permit — is freed
+    /// only after the front end finished tearing the session down.
+    fn handle_end(&self, gsid: u64, kill: bool) -> Reply {
+        let Some(entry) = self.sessions.lock().remove(&gsid) else {
+            return Reply::Err(format!("no such session {gsid}"));
+        };
+        let fe = &self.backends[entry.fe_idx].fe;
+        let res = if kill { fe.kill(entry.sid) } else { fe.detach(entry.sid) };
+        match res {
+            Ok(()) => Reply::ok(&[
+                ("gsid", gsid.to_string()),
+                (if kill { "killed" } else { "detached" }, "1".into()),
+            ]),
+            Err(e) => Reply::Err(format!("{}: {e}", if kill { "kill" } else { "detach" })),
+        }
+    }
+
+    // --- metrics ----------------------------------------------------------
+
+    /// Gather a [`MetricsSnapshot`] across the pool.
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        let transports = self.backends.iter().map(|b| b.fe.transport_stats()).collect();
+        let healths: Vec<_> = self.backends.iter().map(|b| b.fe.health_summary()).collect();
+        let degraded: usize = healths.iter().map(|h| h.degraded_sessions).sum();
+        let healed: usize = healths.iter().map(|h| h.healed_sessions).sum();
+        let active = self.sessions_active();
+        MetricsSnapshot {
+            uptime: self.started_at.elapsed(),
+            sessions_active: active,
+            launches_total: self.launches_total.load(Ordering::Relaxed),
+            launch_failures_total: self.launch_failures_total.load(Ordering::Relaxed),
+            admission: self.admission.stats(),
+            transports,
+            healths,
+            overlay: self.overlay_stats.snapshot(),
+            health_states: vec![
+                // Approximation: a session is healthy unless its (live or
+                // recently retired) monitor says otherwise.
+                (HealthState::Healthy, active.saturating_sub(degraded + healed)),
+                (HealthState::Degraded, degraded),
+                (HealthState::Healed, healed),
+            ],
+        }
+    }
+
+    /// The `/metrics` payload.
+    pub fn render_metrics(&self) -> String {
+        render_prometheus(&self.metrics_snapshot())
+    }
+
+    // --- serving ----------------------------------------------------------
+
+    /// Serve one control connection until EOF or `SHUTDOWN`. The client
+    /// speaks first (a `HELLO` line, or directly a command): writing the
+    /// banner unprompted would corrupt HTTP `GET /metrics` scrapes, whose
+    /// clients expect the status line to open the byte stream.
+    fn serve_conn<S: std::io::Read + Write>(self: &Arc<Self>, stream: S, writer: &mut S) {
+        let mut reader = BufReader::new(stream);
+        let mut line = String::new();
+        loop {
+            line.clear();
+            match reader.read_line(&mut line) {
+                Ok(0) | Err(_) => return, // client went away
+                Ok(_) => {}
+            }
+            let trimmed = line.trim_end();
+            if trimmed.is_empty() {
+                continue;
+            }
+            match Request::parse(trimmed) {
+                Ok(Request::Hello) => {
+                    if writeln!(writer, "{HELLO_BANNER}").is_err() || writer.flush().is_err() {
+                        return;
+                    }
+                }
+                Ok(Request::HttpGet { path }) => {
+                    // One-shot HTTP compatibility: answer and close.
+                    let _ = write_http_response(writer, self, &path);
+                    return;
+                }
+                Ok(req) => {
+                    let reply = self.dispatch(&req);
+                    if writer.write_all(reply.render().as_bytes()).is_err()
+                        || writer.flush().is_err()
+                    {
+                        return;
+                    }
+                    if matches!(req, Request::Shutdown) {
+                        self.begin_shutdown();
+                        return;
+                    }
+                }
+                Err(reason) => {
+                    if writer.write_all(Reply::Err(reason).render().as_bytes()).is_err() {
+                        return;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Minimal HTTP/1.0 response for `GET /metrics` scrapes.
+fn write_http_response<W: Write>(w: &mut W, daemon: &Daemon, path: &str) -> std::io::Result<()> {
+    let (status, body) = if path == "/metrics" {
+        ("200 OK", daemon.render_metrics())
+    } else {
+        ("404 Not Found", format!("no such path {path}\n"))
+    };
+    write!(
+        w,
+        "HTTP/1.0 {status}\r\nContent-Type: text/plain; version=0.0.4\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    )?;
+    w.flush()
+}
+
+// ---------------------------------------------------------------------------
+// Listeners
+// ---------------------------------------------------------------------------
+
+/// A running daemon's lifecycle handle: where it listens, and how to stop
+/// it deterministically (used by tests and by `lmond`'s signal handling).
+pub struct DaemonHandle {
+    daemon: Arc<Daemon>,
+    socket_path: Option<PathBuf>,
+    tcp_addr: Option<SocketAddr>,
+    accept_threads: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl DaemonHandle {
+    /// The service behind this handle (in-process inspection).
+    pub fn daemon(&self) -> &Arc<Daemon> {
+        &self.daemon
+    }
+
+    /// The Unix control socket path, when one is bound.
+    pub fn socket_path(&self) -> Option<&PathBuf> {
+        self.socket_path.as_ref()
+    }
+
+    /// The TCP control address, when one is bound.
+    pub fn tcp_addr(&self) -> Option<SocketAddr> {
+        self.tcp_addr
+    }
+
+    /// Block until shutdown is triggered (via a client `SHUTDOWN` or
+    /// [`Daemon::begin_shutdown`]) and the accept loops exit.
+    pub fn join(mut self) {
+        for t in self.accept_threads.drain(..) {
+            let _ = t.join();
+        }
+        self.cleanup_socket();
+    }
+
+    /// Trigger shutdown and join: [`Daemon::begin_shutdown`] pokes the
+    /// accept loops awake, so no external client is needed.
+    pub fn shutdown(self) {
+        self.daemon.begin_shutdown();
+        self.join();
+    }
+
+    fn cleanup_socket(&self) {
+        #[cfg(unix)]
+        if let Some(path) = &self.socket_path {
+            let _ = std::fs::remove_file(path);
+        }
+    }
+}
+
+/// Start serving on pre-bound listeners. Binding first and starting second
+/// is what makes lazy-start's bind-as-mutex sound: whoever owns a bound
+/// listener owns the daemon role.
+pub fn start_daemon(
+    daemon: Arc<Daemon>,
+    #[cfg(unix)] unix: Option<UnixListener>,
+    tcp: Option<TcpListener>,
+) -> DaemonResult<DaemonHandle> {
+    let mut accept_threads = Vec::new();
+    let mut socket_path = None;
+    let mut tcp_addr = None;
+
+    #[cfg(unix)]
+    if let Some(listener) = unix {
+        socket_path = listener.local_addr().ok().and_then(|a| a.as_pathname().map(PathBuf::from));
+        let d = Arc::clone(&daemon);
+        accept_threads.push(
+            std::thread::Builder::new()
+                .name("lmond-accept-unix".into())
+                .spawn(move || {
+                    for stream in listener.incoming() {
+                        if d.is_shutting_down() {
+                            break;
+                        }
+                        let Ok(stream) = stream else { continue };
+                        spawn_conn_handler(&d, stream, |s| s.try_clone());
+                    }
+                })
+                .map_err(DaemonError::Io)?,
+        );
+    }
+
+    if let Some(listener) = tcp {
+        tcp_addr = listener.local_addr().ok();
+        let d = Arc::clone(&daemon);
+        accept_threads.push(
+            std::thread::Builder::new()
+                .name("lmond-accept-tcp".into())
+                .spawn(move || {
+                    for stream in listener.incoming() {
+                        if d.is_shutting_down() {
+                            break;
+                        }
+                        let Ok(stream) = stream else { continue };
+                        spawn_conn_handler(&d, stream, |s| s.try_clone());
+                    }
+                })
+                .map_err(DaemonError::Io)?,
+        );
+    }
+
+    {
+        let mut ep = daemon.endpoints.lock();
+        ep.socket_path = socket_path.clone();
+        ep.tcp_addr = tcp_addr;
+    }
+    Ok(DaemonHandle { daemon, socket_path, tcp_addr, accept_threads })
+}
+
+/// Per-connection handler thread, with the connection cap applied.
+fn spawn_conn_handler<S, F>(daemon: &Arc<Daemon>, stream: S, try_clone: F)
+where
+    S: std::io::Read + Write + Send + 'static,
+    F: FnOnce(&S) -> std::io::Result<S>,
+{
+    let Ok(mut writer) = try_clone(&stream) else { return };
+    if daemon.active_conns.fetch_add(1, Ordering::SeqCst) >= daemon.cfg.max_connections {
+        daemon.active_conns.fetch_sub(1, Ordering::SeqCst);
+        let _ = writer
+            .write_all(Reply::Err("busy: connection limit reached".into()).render().as_bytes());
+        return;
+    }
+    let d = Arc::clone(daemon);
+    let _ = std::thread::Builder::new().name("lmond-conn".into()).spawn(move || {
+        d.serve_conn(stream, &mut writer);
+        d.active_conns.fetch_sub(1, Ordering::SeqCst);
+    });
+}
+
+/// Bind a Unix control socket (and optionally TCP) and serve.
+#[cfg(unix)]
+pub fn bind_and_start(
+    cfg: DaemonConfig,
+    socket_path: &std::path::Path,
+    tcp: Option<SocketAddr>,
+) -> DaemonResult<DaemonHandle> {
+    let unix = UnixListener::bind(socket_path).map_err(DaemonError::Io)?;
+    let tcp_listener = match tcp {
+        Some(addr) => Some(TcpListener::bind(addr).map_err(DaemonError::Io)?),
+        None => None,
+    };
+    let daemon = Daemon::new(cfg)?;
+    start_daemon(daemon, Some(unix), tcp_listener)
+}

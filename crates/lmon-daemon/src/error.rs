@@ -1,0 +1,67 @@
+//! Error type shared by the daemon core and the client.
+
+use lmon_core::LmonError;
+
+use crate::admission::AdmissionError;
+
+/// Anything that can go wrong starting, serving, or talking to `lmond`.
+#[derive(Debug)]
+pub enum DaemonError {
+    /// A socket / filesystem operation failed.
+    Io(std::io::Error),
+    /// The launch machinery behind the daemon failed.
+    Core(LmonError),
+    /// Admission was refused (queue full or daemon shutting down).
+    Admission(AdmissionError),
+    /// The peer spoke something that is not the control protocol.
+    Protocol(String),
+    /// The daemon answered with an `ERR` reply.
+    Remote(String),
+    /// Lazy start could not converge on a serving daemon.
+    LazyStart(String),
+}
+
+/// Convenience alias used throughout the crate.
+pub type DaemonResult<T> = Result<T, DaemonError>;
+
+impl std::fmt::Display for DaemonError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DaemonError::Io(e) => write!(f, "io: {e}"),
+            DaemonError::Core(e) => write!(f, "launch core: {e}"),
+            DaemonError::Admission(e) => write!(f, "admission: {e}"),
+            DaemonError::Protocol(m) => write!(f, "protocol: {m}"),
+            DaemonError::Remote(m) => write!(f, "daemon error: {m}"),
+            DaemonError::LazyStart(m) => write!(f, "lazy start: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for DaemonError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DaemonError::Io(e) => Some(e),
+            DaemonError::Core(e) => Some(e),
+            DaemonError::Admission(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for DaemonError {
+    fn from(e: std::io::Error) -> Self {
+        DaemonError::Io(e)
+    }
+}
+
+impl From<LmonError> for DaemonError {
+    fn from(e: LmonError) -> Self {
+        DaemonError::Core(e)
+    }
+}
+
+impl From<AdmissionError> for DaemonError {
+    fn from(e: AdmissionError) -> Self {
+        DaemonError::Admission(e)
+    }
+}

@@ -259,7 +259,12 @@ impl FrontEndpoint {
     }
 
     /// Broadcast a packet to every leaf, stamped with the current epoch.
-    pub fn broadcast(&self, stream: u16, tag: u16, payload: impl Into<bytes::Bytes>) -> TbonResult<()> {
+    pub fn broadcast(
+        &self,
+        stream: u16,
+        tag: u16,
+        payload: impl Into<bytes::Bytes>,
+    ) -> TbonResult<()> {
         if !self.streams.contains_key(&stream) {
             return Err(TbonError::NoSuchStream(stream));
         }

@@ -57,12 +57,14 @@ pub mod launch_sim;
 pub mod live;
 pub mod plan;
 pub mod scenario;
+pub mod storm;
 pub mod trace;
 
 pub use launch_sim::{LaunchParams, LaunchReport, LaunchSim};
 pub use live::{LiveLeafMain, LiveOverlay};
 pub use plan::{FaultPlan, SimFault, SimFaultKind, SimFaultTarget};
 pub use scenario::Scenario;
+pub use storm::{StormLaunch, StormPlan};
 pub use trace::{artifact_dir, assert_identical_runs, chaos_seed, write_artifact};
 
 // Re-export the per-layer fault surfaces so chaos tests need one import.

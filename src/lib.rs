@@ -6,6 +6,7 @@
 
 pub use lmon_cluster as cluster;
 pub use lmon_core as core;
+pub use lmon_daemon as daemon;
 pub use lmon_iccl as iccl;
 pub use lmon_model as model;
 pub use lmon_proto as proto;
