@@ -75,6 +75,10 @@ struct AdmState {
     admitted_total: u64,
     rejected_total: u64,
     released_total: u64,
+    /// Next ticket to hand to a queued waiter (FIFO tail).
+    ticket_tail: u64,
+    /// Ticket currently allowed to take a freed permit (FIFO head).
+    ticket_head: u64,
 }
 
 /// Counting-semaphore admission with a bounded wait queue.
@@ -106,20 +110,30 @@ impl AdmissionQueue {
 
     /// Block until a permit is available (queueing with backpressure), or
     /// fail fast when the wait queue itself is full.
+    ///
+    /// Handoff is FIFO: waiters draw tickets, and a freed permit goes to
+    /// the lowest outstanding ticket. A fresh arrival that finds *any*
+    /// parked waiter queues behind it instead of taking the slot — without
+    /// this, sustained fresh traffic barges past the queue and starves
+    /// parked `LAUNCH` requests indefinitely.
     pub fn admit(self: &Arc<Self>) -> Result<Permit, AdmissionError> {
         let mut st = self.state.lock();
         if self.closed.load(Ordering::SeqCst) {
             st.rejected_total += 1;
             return Err(AdmissionError::Closed);
         }
-        if st.in_flight >= self.limit {
+        if st.in_flight >= self.limit || st.waiting > 0 {
             if st.waiting >= self.queue_capacity {
                 st.rejected_total += 1;
                 return Err(AdmissionError::QueueFull { capacity: self.queue_capacity });
             }
+            let ticket = st.ticket_tail;
+            st.ticket_tail += 1;
             st.waiting += 1;
             st.peak_waiting = st.peak_waiting.max(st.waiting);
-            while st.in_flight >= self.limit && !self.closed.load(Ordering::SeqCst) {
+            while (st.in_flight >= self.limit || st.ticket_head != ticket)
+                && !self.closed.load(Ordering::SeqCst)
+            {
                 self.cv.wait(&mut st);
             }
             st.waiting -= 1;
@@ -127,6 +141,10 @@ impl AdmissionQueue {
                 st.rejected_total += 1;
                 return Err(AdmissionError::Closed);
             }
+            // This ticket is served; unblock the next in line (it may be
+            // eligible right away when several permits freed at once).
+            st.ticket_head += 1;
+            self.cv.notify_all();
         }
         st.in_flight += 1;
         st.peak_in_flight = st.peak_in_flight.max(st.in_flight);
@@ -156,7 +174,8 @@ impl AdmissionQueue {
     }
 }
 
-/// An admitted session's slot; releasing (dropping) it wakes one waiter.
+/// An admitted session's slot; releasing (dropping) it hands the freed
+/// permit to the longest-parked waiter.
 pub struct Permit {
     queue: Arc<AdmissionQueue>,
 }
@@ -172,7 +191,10 @@ impl Drop for Permit {
         let mut st = self.queue.state.lock();
         st.in_flight -= 1;
         st.released_total += 1;
-        self.queue.cv.notify_one();
+        // notify_all, not notify_one: under ticket handoff only the head
+        // ticket may proceed, and a single wakeup landing on a non-head
+        // waiter would be swallowed (it re-checks and sleeps again).
+        self.queue.cv.notify_all();
     }
 }
 
@@ -235,6 +257,44 @@ mod tests {
         let s = q.stats();
         assert_eq!(s.in_flight, 0);
         assert_eq!(s.admitted_total, 5);
+        assert_eq!(s.peak_in_flight, 1, "limit 1 was never exceeded");
+    }
+
+    /// Review regression: a freed permit must go to the parked waiter, not
+    /// to a fresh arrival that races the wakeup. Before the FIFO-ticket
+    /// fix, the fresh admit below would observe `in_flight < limit` first
+    /// and barge past the waiter — sustained fresh traffic could starve
+    /// queued requests indefinitely.
+    #[test]
+    fn parked_waiter_is_served_before_fresh_arrival() {
+        let q = AdmissionQueue::new(1, 16);
+        let held = q.admit().unwrap();
+
+        let order = Arc::new(parking_lot::Mutex::new(Vec::new()));
+        let waiter = {
+            let q = Arc::clone(&q);
+            let order = Arc::clone(&order);
+            std::thread::spawn(move || {
+                let p = q.admit().unwrap();
+                order.lock().push("waiter");
+                std::thread::sleep(Duration::from_millis(20)); // hold the slot a beat
+                drop(p);
+            })
+        };
+        while q.stats().waiting < 1 {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+
+        // Free the permit and immediately contend as a fresh arrival.
+        drop(held);
+        let p = q.admit().unwrap();
+        order.lock().push("fresh");
+        drop(p);
+
+        waiter.join().unwrap();
+        assert_eq!(*order.lock(), ["waiter", "fresh"], "no barging past the queue");
+        let s = q.stats();
+        assert_eq!((s.in_flight, s.waiting), (0, 0));
         assert_eq!(s.peak_in_flight, 1, "limit 1 was never exceeded");
     }
 

@@ -17,11 +17,28 @@
 //! 3. A *refused* connect with the file present may be a stale socket
 //!    (daemon crashed without unlinking) — but it may also be a live
 //!    daemon with a momentarily full backlog. Only after a confirming
-//!    second refusal is the path unlinked, and the loser of any
+//!    second refusal is the path even considered stale, and the reap
+//!    itself happens under a cross-process file lock with a re-verify
+//!    (see [the reaper lock](#the-reaper-lock) below). The loser of any
 //!    subsequent bind race never unlinks: it backs off and reconnects.
 //! 4. Losers retry connect with exponential backoff (10ms → 500ms),
 //!    bounded; the winner is meanwhile inside `Daemon::new` bringing the
 //!    front-end pool up, which is why the budget is generous.
+//!
+//! # The reaper lock
+//!
+//! Check-then-unlink of a stale socket is inherently TOCTOU: between this
+//! process's confirming refused connect and its `remove_file`, a racer can
+//! reap the corpse itself and bind a live listener at the same path — and
+//! the late `remove_file` would then unlink the *live* daemon's socket.
+//! POSIX has no "unlink if still the inode I checked", so the reap is
+//! serialized through an exclusive [`std::fs::File::lock`] on a sibling
+//! `<socket>.lock` file: under the lock, re-verify the path still refuses,
+//! unlink, and bind — all before releasing. This is airtight because a
+//! live socket can only appear at an *occupied* path after an unlink
+//! (`bind(2)` never replaces an existing file), and every unlink goes
+//! through the lock. Binds at a *free* path stay lock-free: they cannot
+//! invalidate a reaper's refused-verify, whose path is still occupied.
 
 use std::io::{BufRead, BufReader, ErrorKind, Read, Write};
 use std::net::{SocketAddr, TcpStream};
@@ -246,6 +263,80 @@ impl LazyStartOutcome {
     }
 }
 
+/// What taking over a refused (presumed-stale) socket path produced.
+#[cfg(unix)]
+enum Takeover {
+    /// The path turned out to be live after all (a racer reaped and rebound
+    /// it first, or the daemon's backlog drained): here's the connection.
+    Live(UnixStream),
+    /// The corpse was reaped and the path bound: the caller is the daemon.
+    Bound(UnixListener),
+    /// A non-cooperating binder took the path between the unlink and the
+    /// bind; back off and reconnect from the top.
+    Lost,
+}
+
+/// Reap a stale socket under the cross-process reaper lock (module docs):
+/// re-verify the path still refuses *while holding the lock*, and only then
+/// unlink and bind. Never unlinks a live daemon's socket.
+#[cfg(unix)]
+fn takeover_stale(socket_path: &Path) -> DaemonResult<Takeover> {
+    let mut lock_path = socket_path.as_os_str().to_os_string();
+    lock_path.push(".lock");
+    let lock =
+        std::fs::File::options().create(true).truncate(false).write(true).open(&lock_path)?;
+    // Exclusive across processes; released when `lock` drops (fd close).
+    lock.lock()?;
+
+    match UnixStream::connect(socket_path) {
+        Ok(stream) => return Ok(Takeover::Live(stream)),
+        Err(e) if e.kind() == ErrorKind::ConnectionRefused => {
+            // Still a corpse, and it stays one until we release the lock:
+            // a live socket can only appear here via someone else's unlink,
+            // and unlinks are serialized through this lock.
+            match std::fs::remove_file(socket_path) {
+                Ok(()) => {}
+                Err(e) if e.kind() == ErrorKind::NotFound => {}
+                Err(e) => return Err(DaemonError::Io(e)),
+            }
+        }
+        Err(e) if e.kind() == ErrorKind::NotFound => {}
+        Err(e) => return Err(DaemonError::Io(e)),
+    }
+    match UnixListener::bind(socket_path) {
+        Ok(listener) => Ok(Takeover::Bound(listener)),
+        Err(e) if e.kind() == ErrorKind::AddrInUse => Ok(Takeover::Lost),
+        Err(e) => Err(DaemonError::Io(e)),
+    }
+}
+
+/// Bind `socket_path` for serving, *refusing to displace a live daemon*.
+///
+/// A free path is bound directly. An occupied path is probed: a live daemon
+/// is an error ("already serving"), a stale corpse is reaped under the
+/// reaper lock (module docs) and the path rebound. This is what `lmond
+/// serve` and [`crate::daemon::bind_and_start`] use — the naive
+/// `remove_file`-then-bind would unlink a live daemon's socket and split
+/// clients across two daemons.
+#[cfg(unix)]
+pub fn claim_unix_listener(socket_path: &Path) -> DaemonResult<UnixListener> {
+    match UnixListener::bind(socket_path) {
+        Ok(listener) => return Ok(listener),
+        Err(e) if e.kind() == ErrorKind::AddrInUse => {}
+        Err(e) => return Err(DaemonError::Io(e)),
+    }
+    match takeover_stale(socket_path)? {
+        Takeover::Live(_) => Err(DaemonError::LazyStart(format!(
+            "a daemon is already serving on {}",
+            socket_path.display()
+        ))),
+        Takeover::Bound(listener) => Ok(listener),
+        Takeover::Lost => {
+            Err(DaemonError::LazyStart(format!("lost the bind race for {}", socket_path.display())))
+        }
+    }
+}
+
 /// Connect to the daemon at `socket_path`, lazily starting one (with
 /// `make_daemon`) if none is serving. Safe to race from many processes or
 /// threads: the socket bind is the mutex, so exactly one caller starts a
@@ -283,8 +374,25 @@ pub fn connect_or_start(
                     backoff = (backoff * 2).min(BACKOFF_CAP);
                     continue;
                 }
-                let _ = std::fs::remove_file(socket_path);
                 stale_confirmed = false;
+                // Reap under the reaper lock (module docs): re-verified,
+                // so a racer that already rebound the path is *joined*,
+                // never unlinked.
+                match takeover_stale(socket_path)? {
+                    Takeover::Live(stream) => {
+                        let writer = ClientStream::Unix(stream.try_clone()?);
+                        return DaemonClient::handshake(ClientStream::Unix(stream), writer)
+                            .map(LazyStartOutcome::Connected);
+                    }
+                    Takeover::Bound(listener) => {
+                        return become_daemon(listener, &mut make_daemon, socket_path);
+                    }
+                    Takeover::Lost => {
+                        std::thread::sleep(backoff);
+                        backoff = (backoff * 2).min(BACKOFF_CAP);
+                    }
+                }
+                continue;
             }
             Err(e) => return Err(DaemonError::Io(e)),
         }
@@ -292,15 +400,7 @@ pub fn connect_or_start(
         // Step 2: race for the bind. The kernel picks exactly one winner.
         match UnixListener::bind(socket_path) {
             Ok(listener) => {
-                let daemon = match make_daemon.take() {
-                    Some(f) => f()?,
-                    // Defensive: can't happen (we return on the first bind
-                    // win), but never re-run a FnOnce.
-                    None => return Err(DaemonError::LazyStart("daemon factory consumed".into())),
-                };
-                let handle = start_daemon(daemon, Some(listener), None)?;
-                let client = DaemonClient::connect_unix(socket_path)?;
-                return Ok(LazyStartOutcome::Started { handle, client });
+                return become_daemon(listener, &mut make_daemon, socket_path);
             }
             Err(e) if e.kind() == ErrorKind::AddrInUse => {
                 // Lost the race: the winner is booting its front-end pool.
@@ -318,6 +418,25 @@ pub fn connect_or_start(
         socket_path.display(),
         last_err.map_or_else(|| "connect refused".into(), |e| e.to_string()),
     )))
+}
+
+/// Bind won (directly or via reap): construct the daemon, serve on the
+/// listener, and self-connect as the first client.
+#[cfg(unix)]
+fn become_daemon<F: FnOnce() -> DaemonResult<Arc<Daemon>>>(
+    listener: UnixListener,
+    make_daemon: &mut Option<F>,
+    socket_path: &Path,
+) -> DaemonResult<LazyStartOutcome> {
+    let daemon = match make_daemon.take() {
+        Some(f) => f()?,
+        // Defensive: can't happen (callers return on the first bind win),
+        // but never re-run a FnOnce.
+        None => return Err(DaemonError::LazyStart("daemon factory consumed".into())),
+    };
+    let handle = start_daemon(daemon, Some(listener), None)?;
+    let client = DaemonClient::connect_unix(socket_path)?;
+    Ok(LazyStartOutcome::Started { handle, client })
 }
 
 /// Test-sized lazy start: defaults, small pool. Production callers build
@@ -400,6 +519,85 @@ mod tests {
         assert!(outcome.started_daemon(), "stale socket must not block lazy start");
         let mut client = outcome.into_client();
         client.ping().unwrap();
+        let _ = std::fs::remove_file(&path);
+    }
+
+    /// Review regression (stale-reap TOCTOU): many threads race
+    /// connect_or_start against a path seeded with a stale corpse. The reap
+    /// happens under the reaper lock with a re-verify, so the winner's live
+    /// socket can never be unlinked by a late reaper — exactly one daemon
+    /// is elected and every thread gets a working connection.
+    #[test]
+    fn stale_reap_race_never_unlinks_the_winner() {
+        let path = scratch_socket_path("reap-race");
+        let _ = std::fs::remove_file(&path);
+        {
+            let _orphan = UnixListener::bind(&path).unwrap();
+        }
+        assert!(path.exists(), "precondition: stale socket file left behind");
+
+        const RACERS: usize = 4;
+        let barrier = Arc::new(Barrier::new(RACERS));
+        let started = Arc::new(AtomicUsize::new(0));
+        let mut joins = Vec::new();
+        for _ in 0..RACERS {
+            let path = path.clone();
+            let barrier = Arc::clone(&barrier);
+            let started = Arc::clone(&started);
+            joins.push(std::thread::spawn(move || {
+                barrier.wait();
+                let outcome = connect_or_start(&path, || Daemon::new(tiny_config())).unwrap();
+                if outcome.started_daemon() {
+                    started.fetch_add(1, Ordering::SeqCst);
+                }
+                let mut client = outcome.into_client();
+                client.ping().unwrap();
+                client
+            }));
+        }
+        let clients: Vec<_> = joins.into_iter().map(|j| j.join().unwrap()).collect();
+        assert_eq!(started.load(Ordering::SeqCst), 1, "exactly one thread became the daemon");
+        drop(clients);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    /// Review regression: serving (`bind_and_start`, i.e. `lmond serve`)
+    /// must refuse to displace a live daemon instead of unlinking its
+    /// socket and splitting clients across two daemons.
+    #[test]
+    fn serve_refuses_to_displace_live_daemon() {
+        use crate::daemon::bind_and_start;
+
+        let path = scratch_socket_path("serve-live");
+        let _ = std::fs::remove_file(&path);
+        let first = bind_and_start(tiny_config(), &path, None).unwrap();
+
+        let second = bind_and_start(tiny_config(), &path, None);
+        let err = second.err().expect("second serve on a live socket must fail");
+        assert!(err.to_string().contains("already serving"), "error names the conflict: {err}");
+
+        // The original daemon is untouched and still reachable.
+        let mut client = DaemonClient::connect_unix(&path).unwrap();
+        client.ping().unwrap();
+        drop(first);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    /// ...but a stale corpse must not block serving: `bind_and_start` reaps
+    /// it (under the reaper lock) and binds.
+    #[test]
+    fn serve_reaps_stale_socket() {
+        use crate::daemon::bind_and_start;
+
+        let path = scratch_socket_path("serve-stale");
+        let _ = std::fs::remove_file(&path);
+        {
+            let _orphan = UnixListener::bind(&path).unwrap();
+        }
+        let handle = bind_and_start(tiny_config(), &path, None).unwrap();
+        let mut client = DaemonClient::connect_unix(&path).unwrap();
+        client.ping().unwrap();
+        drop(handle);
         let _ = std::fs::remove_file(&path);
     }
 

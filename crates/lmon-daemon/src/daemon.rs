@@ -581,7 +581,22 @@ pub fn start_daemon(
 fn spawn_conn_handler<S, F>(daemon: &Arc<Daemon>, stream: S, try_clone: F)
 where
     S: std::io::Read + Write + Send + 'static,
-    F: FnOnce(&S) -> std::io::Result<S>,
+    F: Fn(&S) -> std::io::Result<S>,
+{
+    let spawn = |f: Box<dyn FnOnce() + Send>| {
+        std::thread::Builder::new().name("lmond-conn".into()).spawn(f).map(|_| ())
+    };
+    handle_conn_with(daemon, stream, try_clone, spawn);
+}
+
+/// [`spawn_conn_handler`] with the thread spawner injected, so tests can
+/// force the spawn-failure path (EAGAIN under launch-storm thread/fd
+/// pressure) deterministically.
+fn handle_conn_with<S, F, Sp>(daemon: &Arc<Daemon>, stream: S, try_clone: F, spawn: Sp)
+where
+    S: std::io::Read + Write + Send + 'static,
+    F: Fn(&S) -> std::io::Result<S>,
+    Sp: FnOnce(Box<dyn FnOnce() + Send>) -> std::io::Result<()>,
 {
     let Ok(mut writer) = try_clone(&stream) else { return };
     if daemon.active_conns.fetch_add(1, Ordering::SeqCst) >= daemon.cfg.max_connections {
@@ -590,25 +605,121 @@ where
             .write_all(Reply::Err("busy: connection limit reached".into()).render().as_bytes());
         return;
     }
+    // Spare write handle for the failure reply below: the primary pair
+    // moves into the handler closure and is lost if the spawn fails.
+    let spare = try_clone(&stream);
     let d = Arc::clone(daemon);
-    let _ = std::thread::Builder::new().name("lmond-conn".into()).spawn(move || {
+    if spawn(Box::new(move || {
         d.serve_conn(stream, &mut writer);
         d.active_conns.fetch_sub(1, Ordering::SeqCst);
-    });
+    }))
+    .is_err()
+    {
+        // Thread spawn failed (EAGAIN under the very pressure a launch
+        // storm creates). Give the slot back — leaking it here would
+        // permanently consume connection capacity — and tell the client
+        // to retry rather than silently dropping the connection.
+        daemon.active_conns.fetch_sub(1, Ordering::SeqCst);
+        if let Ok(mut w) = spare {
+            let _ = w.write_all(
+                Reply::Err("busy: cannot spawn connection handler; retry".into())
+                    .render()
+                    .as_bytes(),
+            );
+        }
+    }
 }
 
 /// Bind a Unix control socket (and optionally TCP) and serve.
+///
+/// An occupied socket path is claimed via [`crate::client::claim_unix_listener`]:
+/// a stale corpse is reaped (under the reaper lock), but a *live* daemon is
+/// an error — serving must never unlink another daemon's control socket and
+/// split its clients.
 #[cfg(unix)]
 pub fn bind_and_start(
     cfg: DaemonConfig,
     socket_path: &std::path::Path,
     tcp: Option<SocketAddr>,
 ) -> DaemonResult<DaemonHandle> {
-    let unix = UnixListener::bind(socket_path).map_err(DaemonError::Io)?;
+    let unix = crate::client::claim_unix_listener(socket_path)?;
     let tcp_listener = match tcp {
         Some(addr) => Some(TcpListener::bind(addr).map_err(DaemonError::Io)?),
         None => None,
     };
     let daemon = Daemon::new(cfg)?;
     start_daemon(daemon, Some(unix), tcp_listener)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// In-memory stream: reads yield immediate EOF (so an inline-run
+    /// handler returns at once), writes land in a shared buffer.
+    #[derive(Clone, Default)]
+    struct FakeStream(Arc<Mutex<Vec<u8>>>);
+
+    impl std::io::Read for FakeStream {
+        fn read(&mut self, _buf: &mut [u8]) -> std::io::Result<usize> {
+            Ok(0)
+        }
+    }
+
+    impl Write for FakeStream {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            self.0.lock().extend_from_slice(buf);
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    fn tiny_daemon() -> Arc<Daemon> {
+        Daemon::new(DaemonConfig {
+            backends: 1,
+            cluster_nodes: 8,
+            admission_limit: 4,
+            queue_capacity: 16,
+            ..DaemonConfig::default()
+        })
+        .unwrap()
+    }
+
+    /// Review regression: a failed handler-thread spawn (EAGAIN under the
+    /// fd/thread pressure a launch storm creates) must give the connection
+    /// slot back — before the fix each failure permanently consumed one
+    /// until the daemon rejected all connections — and answer busy so the
+    /// client retries instead of seeing a silent EOF.
+    #[test]
+    fn failed_handler_spawn_releases_connection_slot() {
+        let daemon = tiny_daemon();
+        let out = Arc::new(Mutex::new(Vec::new()));
+        let stream = FakeStream(Arc::clone(&out));
+        for _ in 0..3 {
+            handle_conn_with(
+                &daemon,
+                stream.clone(),
+                |s| Ok(s.clone()),
+                |_handler| Err(std::io::Error::from_raw_os_error(11)), // EAGAIN
+            );
+        }
+        assert_eq!(daemon.active_conns.load(Ordering::SeqCst), 0, "all slots returned");
+        let text = String::from_utf8(out.lock().clone()).unwrap();
+        assert!(text.contains("busy"), "client told to retry, got {text:?}");
+
+        // A later connection (spawner healthy again, run inline) still
+        // serves and releases its slot: capacity was not consumed.
+        handle_conn_with(
+            &daemon,
+            stream.clone(),
+            |s| Ok(s.clone()),
+            |handler| {
+                handler();
+                Ok(())
+            },
+        );
+        assert_eq!(daemon.active_conns.load(Ordering::SeqCst), 0);
+    }
 }

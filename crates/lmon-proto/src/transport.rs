@@ -218,22 +218,6 @@ impl TcpRecvState {
         self.reader.extend(&self.read_buf[..n]);
         Ok(n)
     }
-
-    /// Pull whatever bytes the kernel already buffered without blocking:
-    /// exactly one `read` on a temporarily non-blocking socket, with
-    /// `WouldBlock` mapped to "nothing available" (`Ok(0)`).
-    fn fill_nonblocking(&mut self, stream: &TcpStream, syscalls: &AtomicU64) -> ProtoResult<usize> {
-        stream.set_nonblocking(true)?;
-        let res = self.fill(stream, syscalls);
-        // Restore before interpreting the result so an early return can't
-        // leave the shared socket non-blocking for the next receiver.
-        stream.set_nonblocking(false)?;
-        match res {
-            Ok(n) => Ok(n),
-            Err(ProtoError::Io(e)) if e.kind() == std::io::ErrorKind::WouldBlock => Ok(0),
-            Err(e) => Err(e),
-        }
-    }
 }
 
 impl TcpChannel {
@@ -263,6 +247,32 @@ impl TcpChannel {
         let (stream, _addr) = listener.accept()?;
         stream.set_nodelay(true)?;
         Ok(TcpChannel::from_stream(stream))
+    }
+
+    /// Pull whatever bytes the kernel already buffered without blocking:
+    /// exactly one `read` on a temporarily non-blocking socket, with
+    /// `WouldBlock` mapped to "nothing available" (`Ok(0)`).
+    ///
+    /// `O_NONBLOCK` is a property of the file description, not of one
+    /// direction: while the toggle is on, a concurrent `write` would also
+    /// go non-blocking — returning a spurious `WouldBlock` (which senders
+    /// treat as a dead link) or, worse, aborting a partial `write_vectored`
+    /// mid-frame and desyncing the peer's stream. The channel is used
+    /// full-duplex (mux endpoints send while the pump thread drains), so
+    /// the whole window holds the send lock: no write syscall can overlap
+    /// the non-blocking state.
+    fn fill_nonblocking(&self, state: &mut TcpRecvState) -> ProtoResult<usize> {
+        let _senders_parked = self.send_scratch.lock().unwrap_or_else(|e| e.into_inner());
+        self.stream.set_nonblocking(true)?;
+        let res = state.fill(&self.stream, &self.read_syscalls);
+        // Restore before interpreting the result so an early return can't
+        // leave the shared socket non-blocking for the next send/receive.
+        self.stream.set_nonblocking(false)?;
+        match res {
+            Ok(n) => Ok(n),
+            Err(ProtoError::Io(e)) if e.kind() == std::io::ErrorKind::WouldBlock => Ok(0),
+            Err(e) => Err(e),
+        }
     }
 
     /// `read(2)` calls issued so far on this endpoint's receive path.
@@ -344,7 +354,7 @@ impl MsgChannel for TcpChannel {
                         break;
                     }
                     fill_budget -= 1;
-                    if state.fill_nonblocking(&self.stream, &self.read_syscalls)? == 0 {
+                    if self.fill_nonblocking(&mut state)? == 0 {
                         break;
                     }
                 }
@@ -376,7 +386,7 @@ impl MsgChannel for TcpChannel {
             // `try_recv_frames`) treated as a dead channel. Zero now means
             // what callers intend: one non-blocking look, `Ok(None)` if the
             // kernel has nothing.
-            return match state.fill_nonblocking(&self.stream, &self.read_syscalls)? {
+            return match self.fill_nonblocking(&mut state)? {
                 0 => Ok(None),
                 _ => state.reader.next_msg(),
             };
@@ -523,6 +533,56 @@ mod tests {
 
         client.send(msg(999)).unwrap();
         h.join().unwrap();
+    }
+
+    /// Review regression: the non-blocking drain toggles `O_NONBLOCK`,
+    /// which is a property of the whole file description — the write
+    /// direction included. Polling and sending concurrently on the *same*
+    /// endpoint (exactly what mux endpoints do: senders call `send_frame`
+    /// while the pump thread drains via `try_recv_frames`) must neither
+    /// fail a send with a spurious `WouldBlock` nor tear a frame on a
+    /// partial write. The fix parks senders on the send lock for the
+    /// duration of the toggle window.
+    #[test]
+    fn tcp_nonblocking_poll_does_not_disturb_concurrent_sends() {
+        const FRAMES: u16 = 32;
+        const PAYLOAD: usize = 256 * 1024; // several socket buffers: multi-syscall writes
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server_h = std::thread::spawn(move || {
+            let server = TcpChannel::accept(&listener).unwrap();
+            let msgs: Vec<LmonpMsg> = (0..FRAMES).map(|_| server.recv().unwrap()).collect();
+            server.send(msg(7)).unwrap(); // reply: ends the client's poll loop
+            msgs
+        });
+        let client = std::sync::Arc::new(TcpChannel::connect(addr).unwrap());
+
+        let sender = {
+            let client = std::sync::Arc::clone(&client);
+            std::thread::spawn(move || {
+                for i in 0..FRAMES {
+                    let m = LmonpMsg::of_type(MsgType::BeUsrData)
+                        .with_tag(i)
+                        .with_lmon_payload(vec![i as u8; PAYLOAD]);
+                    // A WouldBlock surfacing here is the regression.
+                    client.send(m).unwrap();
+                }
+            })
+        };
+        // Hammer the non-blocking drain on the same endpoint until the
+        // server's reply lands, maximizing overlap with in-flight writes.
+        let mut got = Vec::new();
+        while got.is_empty() {
+            client.try_recv_frames(&mut got, 4).unwrap();
+        }
+        sender.join().unwrap();
+        let msgs = server_h.join().unwrap();
+        assert_eq!(msgs.len(), FRAMES as usize);
+        for (i, m) in msgs.iter().enumerate() {
+            assert_eq!(m.tag, i as u16, "frames arrive in order, none torn");
+            assert_eq!(m.lmon.len(), PAYLOAD, "frame {i} length intact");
+            assert!(m.lmon.iter().all(|&b| b == i as u8), "frame {i} bytes intact");
+        }
     }
 
     /// ISSUE 7 regression: `recv_timeout(Duration::ZERO)` used to call

@@ -130,7 +130,8 @@ fn run() -> Result<(), String> {
 
     match cmd.as_str() {
         "serve" => {
-            let _ = std::fs::remove_file(&opts.socket);
+            // `bind_and_start` reaps a stale socket but refuses to displace
+            // a live daemon ("already serving") — never blind-unlink here.
             let handle = bind_and_start(config_from(&opts), &opts.socket, opts.tcp)
                 .map_err(|e| format!("failed to start daemon on {}: {e}", opts.socket.display()))?;
             eprintln!(
