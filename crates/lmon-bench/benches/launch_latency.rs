@@ -1,0 +1,406 @@
+//! `launch_latency` — time-to-ready through the parallel, pipelined
+//! bring-up path (ISSUE 8 tentpole measurement).
+//!
+//! Drives real `launchAndSpawn` calls on the virtual cluster at the paper's
+//! small-cluster profile (1 session x 16 nodes x 256 tasks) and reports the
+//! per-phase critical-path breakdown as p50/p99 over many launches:
+//!
+//! * **engine** (e1→e4): launcher trace + RPDTAB fetch
+//! * **spawn** (e5→e6): per-node daemon fan-out — the phase the worker
+//!   pool parallelizes
+//! * **handshake** (e7→e10): the serialized remainder of hello/collective
+//!   setup that the pipelined FE could not overlap with the spawn window
+//! * **total** (e0→e11): what the client experienced
+//!
+//! The *baseline arm is measured in the same run*: the identical workload
+//! through `SlurmRm::with_launch_workers(1)`, i.e. the sequential spawn
+//! loop every launcher used before the worker-pool fan-out. Both arms
+//! inject the same calibrated per-spawn cost (`ClusterConfig::spawn_latency`)
+//! so the serial-vs-parallel gap at 16 nodes has the shape of a real
+//! machine's fork/exec cost rather than a thread-creation microbenchmark.
+//!
+//! A storm mode drives many concurrent sessions through one front end and
+//! reports sessions/s plus the per-session time-to-ready tail (p50/p99) —
+//! concurrent clients already overlap each other's spawn waits, so the
+//! interesting storm numbers are throughput and tail, not another A/B.
+//!
+//! Results go to stdout and `BENCH_launch.json` at the workspace root.
+//! Quick mode for CI: `LMON_BENCH_QUICK=1`.
+//!
+//! **Gates** (skippable with `LMON_BENCH_SKIP_GATE=1`):
+//! 1. acceptance — parallel time-to-ready must be ≥2x the sequential
+//!    baseline's at the 1x16x256 profile (the ISSUE 8 criterion);
+//! 2. regression — p50 total must not land more than 30% above the
+//!    committed artifact's *and* lose more than 30% of its committed
+//!    speedup ratio (the ratio is hardware-neutral, so a uniformly slower
+//!    runner passes while a real pipeline regression fails).
+
+use std::io::Write as _;
+use std::sync::{Arc, Barrier};
+use std::time::{Duration, Instant};
+
+use lmon_bench::{extract_json_number as extract_number, print_table, Row};
+use lmon_cluster::config::ClusterConfig;
+use lmon_cluster::{VirtualCluster, DEFAULT_LAUNCH_WORKERS};
+use lmon_core::be::BeMain;
+use lmon_core::fe::LmonFrontEnd;
+use lmon_core::timeline::CriticalEvent;
+use lmon_proto::payload::DaemonSpec;
+use lmon_rm::api::ResourceManager;
+use lmon_rm::SlurmRm;
+
+/// The 1x16x256 profile: 16 nodes, 16 tasks per node.
+const NODES: usize = 16;
+const TASKS_PER_NODE: usize = 16;
+
+/// Calibrated per-daemon spawn cost (fork/exec + image load stand-in —
+/// starting a tool daemon on a real node is milliseconds of wall clock
+/// that the spawning side spends *waiting*, which is exactly what the
+/// worker pool overlaps).
+const SPAWN_LATENCY: Duration = Duration::from_millis(2);
+
+/// Storm-mode shape: concurrent sessions on one front end, each smaller
+/// than the single-session profile so the storm finishes in seconds.
+const STORM_NODES: usize = 8;
+const STORM_TASKS_PER_NODE: usize = 4;
+
+/// ISSUE 8 acceptance floor: parallel vs sequential time-to-ready.
+const ACCEPT_SPEEDUP: f64 = 2.0;
+
+/// Regression gate: fail when p50 total lands >30% above the committed one
+/// while the speedup ratio also lost >30%.
+const GATE_FLOOR: f64 = 0.70;
+
+fn quick_mode() -> bool {
+    std::env::var("LMON_BENCH_QUICK").map(|v| v == "1").unwrap_or(false)
+}
+
+/// p50/p99 of a sample set, in milliseconds.
+#[derive(Debug, Clone, Copy)]
+struct Pcts {
+    p50: f64,
+    p99: f64,
+}
+
+fn pcts(mut samples: Vec<f64>) -> Pcts {
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    let n = samples.len();
+    Pcts { p50: samples[n / 2], p99: samples[(n * 99).div_ceil(100).min(n - 1)] }
+}
+
+/// One arm's per-phase samples across repeated launches.
+#[derive(Debug, Default)]
+struct PhaseSamples {
+    engine: Vec<f64>,
+    spawn: Vec<f64>,
+    handshake: Vec<f64>,
+    total: Vec<f64>,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct PhasePcts {
+    engine: Pcts,
+    spawn: Pcts,
+    handshake: Pcts,
+    total: Pcts,
+}
+
+impl PhaseSamples {
+    fn pcts(self) -> PhasePcts {
+        PhasePcts {
+            engine: pcts(self.engine),
+            spawn: pcts(self.spawn),
+            handshake: pcts(self.handshake),
+            total: pcts(self.total),
+        }
+    }
+}
+
+fn idle_daemon() -> BeMain {
+    Arc::new(|be| {
+        // The bench kills sessions to release their node allocations, so
+        // the shutdown wait may observe a disconnect instead of the
+        // broadcast; both mean "done" here.
+        let _ = be.wait_shutdown();
+    })
+}
+
+/// A front end over a cluster with the calibrated spawn cost, using
+/// `workers` threads for the daemon fan-out (1 = the sequential baseline).
+fn front_end(nodes: usize, workers: usize) -> LmonFrontEnd {
+    let mut cfg = ClusterConfig::with_nodes(nodes);
+    cfg.spawn_latency = SPAWN_LATENCY;
+    let cluster = VirtualCluster::new(cfg);
+    let rm: Arc<dyn ResourceManager> = Arc::new(SlurmRm::new(cluster).with_launch_workers(workers));
+    LmonFrontEnd::init(rm).expect("front end init")
+}
+
+/// One full bring-up on `fe`; returns (engine, spawn, handshake, total) ms.
+fn one_launch(fe: &LmonFrontEnd, nodes: usize, tpn: usize) -> (f64, f64, f64, f64) {
+    let session = fe.create_session();
+    let outcome = fe
+        .launch_and_spawn(
+            session,
+            "bench_app",
+            &[],
+            nodes,
+            tpn,
+            DaemonSpec::bare("tool_daemon"),
+            idle_daemon(),
+        )
+        .expect("launchAndSpawn");
+    let tl = fe.timeline(session).expect("timeline");
+    let ms = |d: Duration| d.as_secs_f64() * 1e3;
+    let span = |from, to| ms(tl.between(from, to).expect("ordered critical path"));
+    let engine = span(CriticalEvent::E1EngineInvoked, CriticalEvent::E4RpdtabFetched);
+    let spawn = span(CriticalEvent::E5DaemonSpawnStart, CriticalEvent::E6DaemonsSpawned);
+    let handshake = span(CriticalEvent::E7HandshakeStart, CriticalEvent::E10Ready);
+    let total = ms(outcome.breakdown.expect("complete breakdown").total);
+    // Kill rather than detach: kill releases the node allocation, so the
+    // next sample (or the next storm wave) can re-allocate the cluster.
+    fe.kill(session).expect("kill");
+    (engine, spawn, handshake, total)
+}
+
+/// The single-session arm: `samples` repeated launches on one front end.
+fn single_session_arm(workers: usize, samples: usize) -> PhasePcts {
+    let fe = front_end(NODES, workers);
+    let mut out = PhaseSamples::default();
+    for _ in 0..samples {
+        let (engine, spawn, handshake, total) = one_launch(&fe, NODES, TASKS_PER_NODE);
+        out.engine.push(engine);
+        out.spawn.push(spawn);
+        out.handshake.push(handshake);
+        out.total.push(total);
+    }
+    fe.shutdown().expect("shutdown");
+    out.pcts()
+}
+
+/// The storm arm: `sessions` concurrent bring-ups on one front end.
+/// Returns sessions/s over the whole storm plus per-session time-to-ready
+/// percentiles — the tail is what admission-queued tools actually feel.
+fn storm_arm(workers: usize, sessions: usize) -> (f64, Pcts) {
+    // Enough nodes for every storm session to hold its allocation at once.
+    let fe = Arc::new(front_end(STORM_NODES * sessions, workers));
+    let start_line = Arc::new(Barrier::new(sessions + 1));
+    let clients: Vec<_> = (0..sessions)
+        .map(|_| {
+            let fe = Arc::clone(&fe);
+            let start_line = Arc::clone(&start_line);
+            std::thread::spawn(move || {
+                start_line.wait();
+                let (.., total) = one_launch(&fe, STORM_NODES, STORM_TASKS_PER_NODE);
+                total
+            })
+        })
+        .collect();
+    start_line.wait();
+    let t0 = Instant::now();
+    let totals: Vec<f64> = clients.into_iter().map(|c| c.join().expect("storm client")).collect();
+    let secs = t0.elapsed().as_secs_f64();
+    if let Ok(fe) = Arc::try_unwrap(fe) {
+        fe.shutdown().expect("shutdown");
+    }
+    (sessions as f64 / secs, pcts(totals))
+}
+
+fn phase_rows(parallel: &PhasePcts, sequential: &PhasePcts) -> Vec<Row> {
+    let fmt = |p: Pcts| (format!("{:.2}ms", p.p50), format!("{:.2}ms", p.p99));
+    [
+        ("engine (e1-e4)", parallel.engine, sequential.engine),
+        ("spawn (e5-e6)", parallel.spawn, sequential.spawn),
+        ("handshake (e7-e10)", parallel.handshake, sequential.handshake),
+        ("total (e0-e11)", parallel.total, sequential.total),
+    ]
+    .into_iter()
+    .map(|(name, p, s)| {
+        let (pp50, pp99) = fmt(p);
+        let (sp50, sp99) = fmt(s);
+        Row { x: name.into(), values: vec![pp50, pp99, sp50, sp99] }
+    })
+    .collect()
+}
+
+fn phase_json(p: &PhasePcts) -> String {
+    format!(
+        concat!(
+            "      \"engine\":    {{\"p50\": {e50:.3}, \"p99\": {e99:.3}}},\n",
+            "      \"spawn\":     {{\"p50\": {s50:.3}, \"p99\": {s99:.3}}},\n",
+            "      \"handshake\": {{\"p50\": {h50:.3}, \"p99\": {h99:.3}}},\n",
+            "      \"total\":     {{\"p50\": {t50:.3}, \"p99\": {t99:.3}}}"
+        ),
+        e50 = p.engine.p50,
+        e99 = p.engine.p99,
+        s50 = p.spawn.p50,
+        s99 = p.spawn.p99,
+        h50 = p.handshake.p50,
+        h99 = p.handshake.p99,
+        t50 = p.total.p50,
+        t99 = p.total.p99,
+    )
+}
+
+fn main() {
+    let quick = quick_mode();
+    let samples = if quick { 7 } else { 20 };
+    let storm_sessions = if quick { 8 } else { 16 };
+
+    // The committed artifact is the regression reference; read it *before*
+    // overwriting, and only arm the gate when it was produced in this
+    // run's mode (quick- and full-mode sample counts differ).
+    let out = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_launch.json");
+    let committed = std::fs::read_to_string(&out).ok().and_then(|json| {
+        let committed_quick = json.contains("\"quick\": true");
+        if committed_quick != quick {
+            return None;
+        }
+        let total = extract_number(&json, "\"parallel_total_p50_ms\":")?;
+        let speedup = extract_number(&json, "\"speedup_total_p50\":")?;
+        Some((total, speedup))
+    });
+
+    let parallel = single_session_arm(DEFAULT_LAUNCH_WORKERS, samples);
+    let sequential = single_session_arm(1, samples);
+    let speedup = sequential.total.p50 / parallel.total.p50;
+
+    print_table(
+        &format!(
+            "time-to-ready, 1x{NODES}x{} ({samples} launches, {}us/spawn injected)",
+            NODES * TASKS_PER_NODE,
+            SPAWN_LATENCY.as_micros()
+        ),
+        "phase",
+        &["par p50", "par p99", "seq p50", "seq p99"],
+        &phase_rows(&parallel, &sequential),
+    );
+    println!(
+        "time-to-ready speedup vs sequential fan-out: {speedup:.2}x p50 \
+         (acceptance floor: {ACCEPT_SPEEDUP:.1}x)"
+    );
+
+    let (storm_rate, storm_totals) = storm_arm(DEFAULT_LAUNCH_WORKERS, storm_sessions);
+    print_table(
+        &format!(
+            "launch storm, {storm_sessions} concurrent sessions x {STORM_NODES} nodes x {} tasks",
+            STORM_NODES * STORM_TASKS_PER_NODE
+        ),
+        "metric",
+        &["value"],
+        &[
+            Row { x: "sessions/s".into(), values: vec![format!("{storm_rate:.1}")] },
+            Row {
+                x: "time-to-ready p50".into(),
+                values: vec![format!("{:.2}ms", storm_totals.p50)],
+            },
+            Row {
+                x: "time-to-ready p99".into(),
+                values: vec![format!("{:.2}ms", storm_totals.p99)],
+            },
+        ],
+    );
+
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"quick\": {quick},\n",
+            "  \"profile\": {{\"sessions\": 1, \"nodes\": {nodes}, \"tasks_per_node\": {tpn}, ",
+            "\"tasks\": {tasks}, \"spawn_latency_us\": {lat}, \"samples\": {samples}, ",
+            "\"launch_workers\": {workers}}},\n",
+            "  \"single_session_ms\": {{\n",
+            "    \"parallel\": {{\n",
+            "{par}\n",
+            "    }},\n",
+            "    \"sequential\": {{\n",
+            "{seq}\n",
+            "    }}\n",
+            "  }},\n",
+            "  \"parallel_total_p50_ms\": {pt:.3},\n",
+            "  \"sequential_total_p50_ms\": {st:.3},\n",
+            "  \"speedup_total_p50\": {sp:.3},\n",
+            "  \"storm\": {{\"sessions\": {ss}, \"nodes\": {sn}, \"tasks_per_node\": {stpn}, ",
+            "\"sessions_per_s\": {sps:.2}, \"total_p50_ms\": {sq50:.3}, ",
+            "\"total_p99_ms\": {sq99:.3}}},\n",
+            "  \"baseline\": {{\n",
+            "    \"note\": \"sequential spawn fan-out (launch_workers=1) measured in this same ",
+            "run: the bring-up shape before the PR 8 worker-pool + pipelined handshake\",\n",
+            "    \"total_p50_ms\": {st:.3},\n",
+            "    \"total_p99_ms\": {st99:.3}\n",
+            "  }}\n",
+            "}}\n"
+        ),
+        quick = quick,
+        nodes = NODES,
+        tpn = TASKS_PER_NODE,
+        tasks = NODES * TASKS_PER_NODE,
+        lat = SPAWN_LATENCY.as_micros(),
+        samples = samples,
+        workers = DEFAULT_LAUNCH_WORKERS,
+        par = phase_json(&parallel),
+        seq = phase_json(&sequential),
+        pt = parallel.total.p50,
+        st = sequential.total.p50,
+        st99 = sequential.total.p99,
+        sp = speedup,
+        ss = storm_sessions,
+        sn = STORM_NODES,
+        stpn = STORM_TASKS_PER_NODE,
+        sps = storm_rate,
+        sq50 = storm_totals.p50,
+        sq99 = storm_totals.p99,
+    );
+    // Anchor the artifact at the workspace root regardless of the bench's
+    // working directory, so CI (and humans) always find it in one place.
+    let mut f = std::fs::File::create(&out).expect("create BENCH_launch.json");
+    f.write_all(json.as_bytes()).expect("write BENCH_launch.json");
+    println!("\nwrote {}", out.display());
+
+    let skip_gate = std::env::var("LMON_BENCH_SKIP_GATE").map(|v| v == "1").unwrap_or(false);
+
+    // Acceptance gate: the ISSUE 8 criterion, re-checked on every run. Both
+    // arms are measured on this machine in this run, so the ratio needs no
+    // committed reference and no hardware allowance.
+    if skip_gate {
+        println!("acceptance gate skipped (LMON_BENCH_SKIP_GATE=1)");
+    } else if speedup < ACCEPT_SPEEDUP {
+        eprintln!(
+            "ACCEPTANCE GATE FAILED: parallel bring-up is only {speedup:.2}x the sequential \
+             baseline at 1x{NODES}x{} (floor {ACCEPT_SPEEDUP:.1}x). Set LMON_BENCH_SKIP_GATE=1 \
+             to skip on noisy runners.",
+            NODES * TASKS_PER_NODE
+        );
+        std::process::exit(1);
+    } else {
+        println!("acceptance gate passed: {speedup:.2}x >= {ACCEPT_SPEEDUP:.1}x");
+    }
+
+    // Regression gate vs the committed artifact (lower total is better, so
+    // the absolute condition inverts relative to the throughput benches).
+    match committed {
+        Some((committed_total, committed_speedup)) if !skip_gate => {
+            let ceiling = committed_total / GATE_FLOOR;
+            let speedup_floor = committed_speedup * GATE_FLOOR;
+            if parallel.total.p50 > ceiling && speedup < speedup_floor {
+                eprintln!(
+                    "REGRESSION GATE FAILED: p50 total {:.2}ms is more than 30% above the \
+                     committed {committed_total:.2}ms (ceiling {ceiling:.2}ms) AND the speedup \
+                     {speedup:.2}x fell below {speedup_floor:.2}x (committed \
+                     {committed_speedup:.2}x), so this is not just a slower machine. Set \
+                     LMON_BENCH_SKIP_GATE=1 to skip on noisy runners.",
+                    parallel.total.p50
+                );
+                std::process::exit(1);
+            }
+            println!(
+                "regression gate passed: {:.2}ms p50 (ceiling {ceiling:.2}ms, committed \
+                 {committed_total:.2}ms); speedup {speedup:.2}x (committed \
+                 {committed_speedup:.2}x)",
+                parallel.total.p50
+            );
+        }
+        Some(_) => println!("regression gate skipped (LMON_BENCH_SKIP_GATE=1)"),
+        None => {
+            println!("regression gate skipped (no committed BENCH_launch.json in this run's mode)")
+        }
+    }
+}

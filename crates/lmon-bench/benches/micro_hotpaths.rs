@@ -198,6 +198,77 @@ fn bench_mux_carrier_decode(c: &mut Criterion) {
     );
 }
 
+/// The FE handshake's RPDTAB forward path (BeRpdtab / MwRpdtab), with copy
+/// accounting.
+///
+/// The pre-pipelining front end re-serialized the decoded table into every
+/// handshake send (`with_lmon(&rpdtab)` — an O(tasks) copy per session,
+/// counted by [`lmon_proto::frame::encode_bytes_copied`]). It now forwards
+/// the engine-encoded [`lmon_proto::Bytes`] view, so a send stages only
+/// header bytes no matter how large the job is. Asserted off the live
+/// counter: the reuse path must stay within the zero-copy gather's
+/// header-only floor.
+fn bench_rpdtab_forward(c: &mut Criterion) {
+    let table = synthetic_rpdtab(128, 8, "app");
+    // What spawn_common stashes: the engine-encoded payload view.
+    let encoded = LmonpMsg::of_type(MsgType::EngineRpdtab).with_lmon(&table).lmon;
+    let table_len = encoded.len() as u64;
+
+    let mut g = c.benchmark_group("rpdtab_forward");
+    g.throughput(Throughput::Bytes(table_len));
+    g.bench_function("reencode_per_send", |b| {
+        let mut scratch = Vec::new();
+        b.iter(|| {
+            let msg = LmonpMsg::of_type(MsgType::BeRpdtab).with_lmon(black_box(&table));
+            let frame = WireFrame::Carrier { session: 3, msg };
+            let n: usize = frame.gather(&mut scratch).iter().map(|s| s.len()).sum();
+            black_box(n)
+        })
+    });
+    g.bench_function("reuse_bytes_view", |b| {
+        let mut scratch = Vec::new();
+        b.iter(|| {
+            let msg =
+                LmonpMsg::of_type(MsgType::BeRpdtab).with_lmon_payload(black_box(&encoded).clone());
+            let frame = WireFrame::Carrier { session: 3, msg };
+            let n: usize = frame.gather(&mut scratch).iter().map(|s| s.len()).sum();
+            black_box(n)
+        })
+    });
+    g.finish();
+
+    // Copied-bytes-per-send, measured off the live counter.
+    const SAMPLES: u64 = 1000;
+    let mut scratch = Vec::new();
+    let before = encode_bytes_copied();
+    for _ in 0..SAMPLES {
+        let msg = LmonpMsg::of_type(MsgType::BeRpdtab).with_lmon(&table);
+        black_box(WireFrame::Carrier { session: 3, msg }.gather(&mut scratch).len());
+    }
+    let reencode_per_send = (encode_bytes_copied() - before) / SAMPLES;
+    let before = encode_bytes_copied();
+    for _ in 0..SAMPLES {
+        let msg = LmonpMsg::of_type(MsgType::BeRpdtab).with_lmon_payload(encoded.clone());
+        black_box(WireFrame::Carrier { session: 3, msg }.gather(&mut scratch).len());
+    }
+    let reuse_per_send = (encode_bytes_copied() - before) / SAMPLES;
+    let header_only = (2 * HEADER_LEN) as u64;
+    println!(
+        "\nrpdtab forward (1024 tasks, {table_len}-byte table), bytes copied per send: \
+         re-encode {reencode_per_send} | reuse {reuse_per_send} (header-only floor \
+         {header_only})\n",
+    );
+    assert!(
+        reuse_per_send <= header_only,
+        "forwarding the encoded view must stage only header bytes: \
+         {reuse_per_send} > {header_only}"
+    );
+    assert!(
+        reencode_per_send >= table_len,
+        "the legacy path re-serializes the whole table per send"
+    );
+}
+
 fn bench_rpdtab(c: &mut Criterion) {
     let mut g = c.benchmark_group("rpdtab");
     for nodes in [16usize, 128, 1024] {
@@ -291,6 +362,7 @@ criterion_group!(
     bench_lmonp_codec,
     bench_mux_carrier_encode,
     bench_mux_carrier_decode,
+    bench_rpdtab_forward,
     bench_rpdtab,
     bench_stat_tree,
     bench_iccl,

@@ -13,6 +13,8 @@
 //! | `micro_hotpaths` | criterion micro-benches of the real hot paths |
 //! | `transport_latency` | recv wakeup latency + mux fan-in, self-gating vs `BENCH_transport.json` |
 //! | `recovery_latency` | overlay kill → heal → broadcast latency, self-gating vs `BENCH_recovery.json` |
+//! | `daemon_storm` | §2 launch storm through `lmond` admission control → `BENCH_daemon.json` |
+//! | `launch_latency` | per-phase time-to-ready, parallel vs sequential fan-out, self-gating vs `BENCH_launch.json` |
 //!
 //! This library holds the shared table-rendering helpers and the paper's
 //! reference numbers, so each bench can print paper-vs-reproduction

@@ -30,6 +30,34 @@ pub struct VirtualCluster {
     inner: Arc<ClusterInner>,
 }
 
+/// A contiguous block of pids reserved via
+/// [`VirtualCluster::reserve_pids`], to be handed out by index.
+#[derive(Debug, Clone, Copy)]
+pub struct PidBlock {
+    start: u64,
+    len: u64,
+}
+
+impl PidBlock {
+    /// The `i`-th pid of the block. Panics past the end — a reservation
+    /// that runs out is a sizing bug at the call site, not a runtime
+    /// condition.
+    pub fn pid(&self, i: usize) -> Pid {
+        assert!((i as u64) < self.len, "pid block exhausted: index {i} of {}", self.len);
+        Pid(self.start + i as u64)
+    }
+
+    /// Number of pids in the block.
+    pub fn len(&self) -> usize {
+        self.len as usize
+    }
+
+    /// Whether the block is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
 impl VirtualCluster {
     /// Build a cluster from a config.
     pub fn new(config: ClusterConfig) -> Self {
@@ -118,6 +146,22 @@ impl VirtualCluster {
         Pid(self.inner.next_pid.fetch_add(1, Ordering::Relaxed))
     }
 
+    /// Reserve a contiguous block of `count` pids and return it.
+    ///
+    /// Parallel launchers use this to keep pid assignment deterministic:
+    /// reserve the whole block up front in canonical (node, rank) order,
+    /// then fan the actual spawns out in any order, handing each spawn its
+    /// pre-assigned pid via [`spawn_active_with_pid`] /
+    /// [`spawn_passive_with_pid`]. The result is bit-identical placement to
+    /// the sequential loop regardless of worker interleaving.
+    ///
+    /// [`spawn_active_with_pid`]: VirtualCluster::spawn_active_with_pid
+    /// [`spawn_passive_with_pid`]: VirtualCluster::spawn_passive_with_pid
+    pub fn reserve_pids(&self, count: usize) -> PidBlock {
+        let start = self.inner.next_pid.fetch_add(count as u64, Ordering::Relaxed);
+        PidBlock { start, len: count as u64 }
+    }
+
     /// Spawn an *active* process: `body` runs on a dedicated thread with a
     /// [`ProcCtx`]. Returns the new pid.
     pub fn spawn_active(
@@ -126,8 +170,27 @@ impl VirtualCluster {
         spec: ProcSpec,
         body: impl FnOnce(ProcCtx) + Send + 'static,
     ) -> ClusterResult<Pid> {
-        let node = self.node(node_id)?;
         let pid = self.alloc_pid();
+        self.spawn_active_with_pid(pid, node_id, spec, body)?;
+        Ok(pid)
+    }
+
+    /// [`spawn_active`](VirtualCluster::spawn_active) with a caller-supplied
+    /// pid, previously reserved via [`reserve_pids`](VirtualCluster::reserve_pids).
+    pub fn spawn_active_with_pid(
+        &self,
+        pid: Pid,
+        node_id: NodeId,
+        spec: ProcSpec,
+        body: impl FnOnce(ProcCtx) + Send + 'static,
+    ) -> ClusterResult<()> {
+        let spawn_latency = self.inner.config.spawn_latency;
+        if !spawn_latency.is_zero() {
+            // Charged on the *caller's* thread: a sequential spawn loop pays
+            // N x spawn_latency while a worker-pool fan-out amortizes it.
+            std::thread::sleep(spawn_latency);
+        }
+        let node = self.node(node_id)?;
         let shared = ProcShared::new(Node::fresh_stats());
         let rec = Arc::new(ProcRecord {
             pid,
@@ -158,7 +221,7 @@ impl VirtualCluster {
             })
             .expect("spawning a virtual-process thread");
         *rec.thread.lock() = Some(handle);
-        Ok(pid)
+        Ok(())
     }
 
     /// Spawn a *passive* process: a table entry with synthesized stats and
@@ -169,8 +232,21 @@ impl VirtualCluster {
         spec: ProcSpec,
         job_id: u64,
     ) -> ClusterResult<Pid> {
-        let node = self.node(node_id)?;
         let pid = self.alloc_pid();
+        self.spawn_passive_with_pid(pid, node_id, spec, job_id)?;
+        Ok(pid)
+    }
+
+    /// [`spawn_passive`](VirtualCluster::spawn_passive) with a caller-supplied
+    /// pid, previously reserved via [`reserve_pids`](VirtualCluster::reserve_pids).
+    pub fn spawn_passive_with_pid(
+        &self,
+        pid: Pid,
+        node_id: NodeId,
+        spec: ProcSpec,
+        job_id: u64,
+    ) -> ClusterResult<()> {
+        let node = self.node(node_id)?;
         let stats = match spec.rank {
             Some(rank) => synth_task_stats(self.inner.config.stats_seed, job_id, rank),
             None => ProcStats::default(),
@@ -182,7 +258,7 @@ impl VirtualCluster {
             thread: Mutex::new(None),
         });
         node.insert(rec)?;
-        Ok(pid)
+        Ok(())
     }
 
     /// Find a process anywhere on the cluster.
@@ -338,6 +414,34 @@ mod tests {
                 assert!(pids.insert(pid), "pid reused: {pid:?}");
             }
         }
+    }
+
+    #[test]
+    fn reserved_blocks_interleave_with_plain_allocation() {
+        let c = small();
+        let block = c.reserve_pids(4);
+        assert_eq!(block.len(), 4);
+        // A spawn after the reservation lands past the whole block.
+        let later = c.spawn_passive(NodeId::Compute(0), ProcSpec::named("after"), 1).unwrap();
+        assert!(later.0 > block.pid(3).0);
+        // Spawning into the block out of order still yields the reserved
+        // pids, observable on the node.
+        for i in [2usize, 0, 3, 1] {
+            c.spawn_passive_with_pid(block.pid(i), NodeId::Compute(1), ProcSpec::named("blk"), 1)
+                .unwrap();
+        }
+        for i in 0..4 {
+            let snap = c.read_proc("node00001", block.pid(i)).unwrap();
+            assert_eq!(snap.exe, "blk");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "pid block exhausted")]
+    fn pid_block_overrun_panics() {
+        let c = small();
+        let block = c.reserve_pids(2);
+        let _ = block.pid(2);
     }
 
     #[test]

@@ -59,6 +59,13 @@ pub struct ClusterConfig {
     pub proc_table_cap: usize,
     /// Remote access parameters.
     pub rsh: RshConfig,
+    /// Wall-clock latency injected per *active* process spawn (a stand-in
+    /// for fork/exec plus image load on a real node).
+    ///
+    /// Zero for functional tests; launch-latency measurement runs inject a
+    /// calibrated cost so the serial-vs-parallel fan-out gap at small scale
+    /// has the same shape as a real machine's.
+    pub spawn_latency: Duration,
     /// Seed for synthesized per-task `/proc` statistics.
     pub stats_seed: u64,
 }
@@ -72,6 +79,7 @@ impl Default for ClusterConfig {
             fe_host: "atlas-fe0".to_string(),
             proc_table_cap: 4096,
             rsh: RshConfig::default(),
+            spawn_latency: Duration::ZERO,
             stats_seed: 0x1A_0508,
         }
     }

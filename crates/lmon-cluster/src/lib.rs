@@ -31,17 +31,19 @@
 pub mod cluster;
 pub mod config;
 pub mod error;
+pub mod fanout;
 pub mod node;
 pub mod process;
 pub mod procfs;
 pub mod remote;
 pub mod trace;
 
-pub use cluster::VirtualCluster;
+pub use cluster::{PidBlock, VirtualCluster};
 pub use config::{ClusterConfig, RshConfig};
 pub use error::ClusterError;
+pub use fanout::{fanout, DEFAULT_LAUNCH_WORKERS};
 pub use node::NodeId;
 pub use process::{Pid, ProcCtx, ProcSpec, ProcState};
 pub use procfs::{ProcSnapshot, ProcStats};
-pub use remote::{RshError, RshSession, SpawnFaultPlan};
+pub use remote::{RshError, RshSession, RshTicket, SpawnFaultPlan};
 pub use trace::{TraceController, TraceEvent};

@@ -223,18 +223,82 @@ impl fmt::Debug for RshSession {
     }
 }
 
-/// Launch `spec`/`body` on `host` through the remote-access service.
+/// A committed admission to the remote-access service.
 ///
-/// This is the primitive every *ad hoc* launcher builds on. It charges the
-/// front end one session worth of fds for as long as the returned
-/// [`RshSession`] lives and injects `connect_latency` of wall-clock delay if
-/// the cluster was configured with one (measurement mode).
-pub fn rsh_spawn(
-    cluster: &VirtualCluster,
-    host: &str,
-    spec: ProcSpec,
-    body: impl FnOnce(ProcCtx) + Send + 'static,
-) -> Result<RshSession, RshError> {
+/// The front end's fds are charged, the fault plan consulted, and the
+/// attempt index taken — everything order-sensitive — but the remote
+/// process is *not yet* spawned. Parallel launchers admit all their targets
+/// sequentially (keeping fd accounting and fault injection deterministic),
+/// then complete the expensive spawns concurrently via
+/// [`RshTicket::spawn_with_pid`]. Dropping an unspent ticket releases the
+/// session slot.
+pub struct RshTicket {
+    cluster: VirtualCluster,
+    node: std::sync::Arc<crate::node::Node>,
+    spent: bool,
+}
+
+impl RshTicket {
+    /// The admitted target host.
+    pub fn host(&self) -> &str {
+        &self.node.hostname
+    }
+
+    /// Complete the admission: inject the configured connect latency, then
+    /// spawn. The returned session owns the charged fds.
+    pub fn spawn(
+        self,
+        spec: ProcSpec,
+        body: impl FnOnce(ProcCtx) + Send + 'static,
+    ) -> Result<RshSession, RshError> {
+        let pid = self.cluster.reserve_pids(1).pid(0);
+        self.spawn_with_pid(pid, spec, body)
+    }
+
+    /// [`spawn`](RshTicket::spawn) with a caller-reserved pid, for
+    /// launchers that fan admissions out and need deterministic placement.
+    pub fn spawn_with_pid(
+        mut self,
+        pid: Pid,
+        spec: ProcSpec,
+        body: impl FnOnce(ProcCtx) + Send + 'static,
+    ) -> Result<RshSession, RshError> {
+        let latency = self.cluster.rsh_state().config.connect_latency;
+        if !latency.is_zero() {
+            std::thread::sleep(latency);
+        }
+        match self.cluster.spawn_active_with_pid(pid, self.node.id, spec, body) {
+            Ok(()) => {
+                self.spent = true;
+                Ok(RshSession { cluster: self.cluster.clone(), remote_pid: pid, closed: false })
+            }
+            // `self` drops unspent and releases the slot.
+            Err(e) => Err(RshError::RemoteSpawnFailed(e.to_string())),
+        }
+    }
+}
+
+impl Drop for RshTicket {
+    fn drop(&mut self) {
+        if !self.spent {
+            self.cluster.rsh_state().close();
+        }
+    }
+}
+
+impl fmt::Debug for RshTicket {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("RshTicket").field("host", &self.node.hostname).finish()
+    }
+}
+
+/// Open a session to `host`: fault-plan check, fd charge, host resolution.
+///
+/// This is the order-sensitive half of [`rsh_spawn`]; the fault plan's
+/// attempt index is taken here, so callers that admit targets in a fixed
+/// order get deterministic fault injection no matter how they later
+/// parallelize the spawns.
+pub fn rsh_admit(cluster: &VirtualCluster, host: &str) -> Result<RshTicket, RshError> {
     let state = cluster.rsh_state();
     // Fault plan check first: an injected failure models the connection
     // dying before the front end commits any fds to the session.
@@ -255,17 +319,23 @@ pub fn rsh_spawn(
             return Err(RshError::NoSuchHost(host.to_string()));
         }
     };
-    let latency = state.config.connect_latency;
-    if !latency.is_zero() {
-        std::thread::sleep(latency);
-    }
-    match cluster.spawn_active(node.id, spec, body) {
-        Ok(pid) => Ok(RshSession { cluster: cluster.clone(), remote_pid: pid, closed: false }),
-        Err(e) => {
-            state.close();
-            Err(RshError::RemoteSpawnFailed(e.to_string()))
-        }
-    }
+    Ok(RshTicket { cluster: cluster.clone(), node, spent: false })
+}
+
+/// Launch `spec`/`body` on `host` through the remote-access service.
+///
+/// This is the primitive every *ad hoc* launcher builds on. It charges the
+/// front end one session worth of fds for as long as the returned
+/// [`RshSession`] lives and injects `connect_latency` of wall-clock delay if
+/// the cluster was configured with one (measurement mode). Equivalent to
+/// [`rsh_admit`] followed immediately by [`RshTicket::spawn`].
+pub fn rsh_spawn(
+    cluster: &VirtualCluster,
+    host: &str,
+    spec: ProcSpec,
+    body: impl FnOnce(ProcCtx) + Send + 'static,
+) -> Result<RshSession, RshError> {
+    rsh_admit(cluster, host)?.spawn(spec, body)
 }
 
 #[cfg(test)]
@@ -324,6 +394,37 @@ mod tests {
         for s in &sessions {
             c.kill(s.pid()).unwrap();
         }
+    }
+
+    #[test]
+    fn unspent_ticket_releases_slot_on_drop() {
+        let c = cluster_with_rsh(2, RshConfig::default());
+        let ticket = rsh_admit(&c, "node00001").unwrap();
+        assert_eq!(ticket.host(), "node00001");
+        assert_eq!(c.rsh_state().live_sessions(), 1);
+        drop(ticket);
+        assert_eq!(c.rsh_state().live_sessions(), 0);
+        // Admission takes the fault-plan attempt index even if never spent.
+        assert_eq!(c.rsh_state().attempts(), 1);
+    }
+
+    #[test]
+    fn admit_then_parallel_spawn_keeps_reserved_pids() {
+        let c = cluster_with_rsh(4, RshConfig::default());
+        let tickets: Vec<_> =
+            (0..4).map(|i| rsh_admit(&c, &format!("node{i:05}")).unwrap()).collect();
+        let block = c.reserve_pids(4);
+        let sessions: Vec<_> = tickets
+            .into_iter()
+            .enumerate()
+            .map(|(i, t)| t.spawn_with_pid(block.pid(i), ProcSpec::named("d"), |_| {}).unwrap())
+            .collect();
+        for (i, s) in sessions.iter().enumerate() {
+            assert_eq!(s.pid(), block.pid(i));
+        }
+        assert_eq!(c.rsh_state().live_sessions(), 4);
+        drop(sessions);
+        assert_eq!(c.rsh_state().live_sessions(), 0);
     }
 
     #[test]

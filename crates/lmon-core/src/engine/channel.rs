@@ -161,6 +161,22 @@ impl EngineEndpoint {
         }
     }
 
+    /// Start an exchange without waiting for any reply: register the
+    /// `(tag, seq)` mailbox, send the command, and hand back an
+    /// [`Exchange`] from which replies are consumed one at a time. This is
+    /// the pipelining primitive — the launch path consumes the RPDTAB
+    /// reply and starts the BE handshake while the engine is still
+    /// spawning daemons, then collects the spawn ack.
+    pub fn begin_exchange(&self, mut cmd: EngineCommand) -> LmonResult<Exchange<'_>> {
+        let seq = self.seq.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        cmd.msg.sec_epoch = seq;
+        let key = (cmd.msg.tag, seq);
+        self.router.state.lock().mailboxes.insert(key, VecDeque::new());
+        let mailbox = MailboxGuard { router: &self.router, key };
+        self.send(cmd)?;
+        Ok(Exchange { endpoint: self, key, _mailbox: mailbox })
+    }
+
     /// One command/reply exchange: send `cmd`, collect up to `want` replies
     /// (stopping early on an error reply, which is always terminal for a
     /// request). Concurrent exchanges overlap freely: each registers a
@@ -170,21 +186,14 @@ impl EngineEndpoint {
     /// reply, not the whole exchange.
     pub fn exchange(
         &self,
-        mut cmd: EngineCommand,
+        cmd: EngineCommand,
         want: usize,
         timeout: Duration,
     ) -> LmonResult<Vec<LmonpMsg>> {
-        let seq = self.seq.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-        cmd.msg.sec_epoch = seq;
-        let key = (cmd.msg.tag, seq);
-        self.router.state.lock().mailboxes.insert(key, VecDeque::new());
-        let _mailbox = MailboxGuard { router: &self.router, key };
-        self.send(cmd)?;
+        let ex = self.begin_exchange(cmd)?;
         let mut replies = Vec::with_capacity(want);
         while replies.len() < want {
-            let Some(reply) = self.next_reply(key, Instant::now() + timeout)? else {
-                return Err(LmonError::Timeout("waiting for engine reply"));
-            };
+            let reply = ex.next(timeout)?;
             let terminal = reply.error || reply.mtype == MsgType::EngineError;
             replies.push(reply);
             if terminal {
@@ -245,6 +254,35 @@ impl EngineEndpoint {
     /// Live accounting for the engine control link.
     pub fn mux(&self) -> &SessionMux {
         &self.mux
+    }
+}
+
+/// An in-flight command/reply exchange started with
+/// [`EngineEndpoint::begin_exchange`]. Replies are pulled one at a time,
+/// so the caller can overlap its own work between them. Dropping the
+/// exchange retires its mailbox; late replies become stragglers and are
+/// dropped in routing.
+pub struct Exchange<'a> {
+    endpoint: &'a EngineEndpoint,
+    key: (u16, u16),
+    _mailbox: MailboxGuard<'a>,
+}
+
+impl Exchange<'_> {
+    /// Block for the next reply, up to `timeout`.
+    pub fn next(&self, timeout: Duration) -> LmonResult<LmonpMsg> {
+        match self.endpoint.next_reply(self.key, Instant::now() + timeout)? {
+            Some(reply) => Ok(reply),
+            None => Err(LmonError::Timeout("waiting for engine reply")),
+        }
+    }
+
+    /// Wait up to `timeout` for the next reply; `Ok(None)` when nothing
+    /// arrived in time. A zero timeout never takes the physical receive
+    /// slot, so polls should pass a small positive slice (a millisecond)
+    /// to actually drain the stream.
+    pub fn poll(&self, timeout: Duration) -> LmonResult<Option<LmonpMsg>> {
+        self.endpoint.next_reply(self.key, Instant::now() + timeout)
     }
 }
 
@@ -454,6 +492,28 @@ mod tests {
         assert!(!r5.iter().any(|m| m.error), "the stale-seq error straggler was dropped");
         assert_eq!(r9[0].mtype, MsgType::EngineRpdtab);
         assert_eq!(r9[1].mtype, MsgType::EngineAck);
+    }
+
+    #[test]
+    fn incremental_exchange_interleaves_replies_with_caller_work() {
+        let (fe, inlet) = engine_channel();
+        let ex = fe
+            .begin_exchange(EngineCommand::control(control_msg(MsgType::FeLaunchReq, 4)))
+            .unwrap();
+        let cmd = inlet.recv().unwrap();
+        assert!(ex.poll(Duration::from_millis(5)).unwrap().is_none(), "no reply sent yet");
+        inlet.send(control_msg(MsgType::EngineRpdtab, 4).with_epoch(cmd.sec_epoch)).unwrap();
+        let first = ex.next(Duration::from_secs(5)).unwrap();
+        assert_eq!(first.mtype, MsgType::EngineRpdtab);
+        // The caller overlaps its own work here; the second reply arrives
+        // later and is picked up by short poll slices.
+        inlet.send(control_msg(MsgType::EngineAck, 4).with_epoch(cmd.sec_epoch)).unwrap();
+        let second = loop {
+            if let Some(r) = ex.poll(Duration::from_millis(1)).unwrap() {
+                break r;
+            }
+        };
+        assert_eq!(second.mtype, MsgType::EngineAck);
     }
 
     #[test]

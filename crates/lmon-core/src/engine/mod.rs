@@ -65,6 +65,11 @@ enum EngineJob {
     },
 }
 
+/// Reply sink handed to command handlers: forwards one reply to the front
+/// end (stamping the exchange's sequence number), returning `false` when
+/// the front end is gone so the handler can cancel unobservable work.
+type ReplySink<'a> = dyn Fn(LmonpMsg) -> bool + 'a;
+
 /// Session-keyed engine state, shared between the command loop and the
 /// worker threads running spawn-bearing commands.
 #[derive(Default)]
@@ -127,24 +132,28 @@ impl Engine {
                         let engine = engine.clone();
                         let inlet = inlet.clone();
                         workers.push(std::thread::spawn(move || {
-                            for r in engine.handle(msg, sidecar) {
-                                if inlet.send(r.with_epoch(seq)).is_err() {
-                                    return; // front end is gone
-                                }
-                            }
+                            // Replies stream back as the handler produces
+                            // them — the RPDTAB reply leaves before the
+                            // daemon spawn starts, so the FE overlaps its
+                            // handshake staging with the spawn.
+                            engine.handle(msg, sidecar, &|r| inlet.send(r.with_epoch(seq)).is_ok());
                         }));
                         workers.retain(|h| !h.is_finished());
                         continue;
                     }
-                    for r in engine.handle(msg, sidecar) {
-                        if inlet.send(r.with_epoch(seq)).is_err() {
-                            // Front end is gone; let in-flight work finish
-                            // before the engine process exits.
-                            for h in workers {
-                                let _ = h.join();
-                            }
-                            return;
+                    let fe_gone = std::cell::Cell::new(false);
+                    engine.handle(msg, sidecar, &|r| {
+                        let ok = inlet.send(r.with_epoch(seq)).is_ok();
+                        fe_gone.set(fe_gone.get() || !ok);
+                        ok
+                    });
+                    if fe_gone.get() {
+                        // Front end is gone; let in-flight work finish
+                        // before the engine process exits.
+                        for h in workers {
+                            let _ = h.join();
                         }
+                        return;
                     }
                 }
                 for h in workers {
@@ -156,26 +165,46 @@ impl Engine {
     }
 
     /// Process one command (shutdown is intercepted by the command loop
-    /// before this is reached).
-    fn handle(&self, msg: LmonpMsg, sidecar: EngineSidecar) -> Vec<LmonpMsg> {
+    /// before this is reached). Replies go out through `reply` as soon as
+    /// they are produced — spawn-bearing requests stream their RPDTAB
+    /// reply *before* the daemon spawn, so the FE pipelines the BE
+    /// handshake against it. The sink returns `false` when the front end
+    /// is gone, which cancels the remaining (now unobservable) work.
+    fn handle(&self, msg: LmonpMsg, sidecar: EngineSidecar, reply: &ReplySink<'_>) {
         let tag = msg.tag;
         match msg.mtype {
-            MsgType::FeLaunchReq => self.handle_launch(tag, &msg, sidecar),
-            MsgType::FeAttachReq => self.handle_attach(tag, &msg, sidecar),
-            MsgType::FeSpawnMwReq => self.handle_spawn_mw(tag, &msg, sidecar),
-            MsgType::FeDetachReq => vec![self.handle_detach(tag)],
-            MsgType::FeKillReq => vec![self.handle_kill(tag)],
-            other => vec![error_reply(tag, format!("unexpected message {other:?}"))],
+            MsgType::FeLaunchReq => self.handle_launch(tag, &msg, sidecar, reply),
+            MsgType::FeAttachReq => self.handle_attach(tag, &msg, sidecar, reply),
+            MsgType::FeSpawnMwReq => self.handle_spawn_mw(tag, &msg, sidecar, reply),
+            MsgType::FeDetachReq => {
+                reply(self.handle_detach(tag));
+            }
+            MsgType::FeKillReq => {
+                reply(self.handle_kill(tag));
+            }
+            other => {
+                reply(error_reply(tag, format!("unexpected message {other:?}")));
+            }
         }
     }
 
-    fn handle_launch(&self, tag: u16, msg: &LmonpMsg, sidecar: EngineSidecar) -> Vec<LmonpMsg> {
+    fn handle_launch(
+        &self,
+        tag: u16,
+        msg: &LmonpMsg,
+        sidecar: EngineSidecar,
+        reply: &ReplySink<'_>,
+    ) {
         let req: LaunchRequest = match msg.decode_lmon() {
             Ok(r) => r,
-            Err(e) => return vec![error_reply(tag, format!("launch req: {e}"))],
+            Err(e) => {
+                reply(error_reply(tag, format!("launch req: {e}")));
+                return;
+            }
         };
         let Some(body) = sidecar.body else {
-            return vec![error_reply(tag, "launch req missing daemon body".into())];
+            reply(error_reply(tag, "launch req missing daemon body".into()));
+            return;
         };
         let timeline = sidecar.timeline.unwrap_or_default();
 
@@ -189,15 +218,24 @@ impl Engine {
         };
         let mut handle = match self.rm.launch_job(&spec, true) {
             Ok(h) => h,
-            Err(e) => return vec![error_reply(tag, format!("launch_job: {e}"))],
+            Err(e) => {
+                reply(error_reply(tag, format!("launch_job: {e}")));
+                return;
+            }
         };
         let (_node, rec) = match self.rm.cluster().find_proc(handle.launcher_pid) {
             Ok(x) => x,
-            Err(e) => return vec![error_reply(tag, format!("launcher proc: {e}"))],
+            Err(e) => {
+                reply(error_reply(tag, format!("launcher proc: {e}")));
+                return;
+            }
         };
         let ctl = match TraceController::attach(handle.launcher_pid, rec.shared.clone()) {
             Ok(c) => c,
-            Err(e) => return vec![error_reply(tag, format!("attach: {e}"))],
+            Err(e) => {
+                reply(error_reply(tag, format!("attach: {e}")));
+                return;
+            }
         };
         self.platform.prepare_attach(&ctl, &rec.shared);
         handle.release();
@@ -205,16 +243,27 @@ impl Engine {
         // Drive the event pipeline to the breakpoint.
         let mut driver = Driver::new(self.platform.clone());
         if let Err(e) = driver.run_to_breakpoint(&ctl) {
-            return vec![error_reply(tag, format!("driver: {e}"))];
+            reply(error_reply(tag, format!("driver: {e}")));
+            return;
         }
         timeline.mark(CriticalEvent::E3AtBreakpoint);
 
         // Region B: fetch the RPDTAB out of the launcher's address space.
         let rpdtab = match self.platform.fetch_rpdtab(&ctl) {
             Ok(t) => t,
-            Err(e) => return vec![error_reply(tag, format!("rpdtab: {e}"))],
+            Err(e) => {
+                reply(error_reply(tag, format!("rpdtab: {e}")));
+                return;
+            }
         };
         timeline.mark(CriticalEvent::E4RpdtabFetched);
+
+        // Stream the RPDTAB now, before the spawn: the FE stages the BE
+        // handshake against it while daemons are still coming up. Channel
+        // FIFO order guarantees it can never arrive after the spawn ack.
+        if !reply(LmonpMsg::of_type(MsgType::EngineRpdtab).with_tag(tag).with_lmon(&rpdtab)) {
+            return; // front end is gone; don't spawn daemons nobody will use
+        }
 
         // e5/e6: the RM's bulk daemon launch over the job's footprint.
         timeline.mark(CriticalEvent::E5DaemonSpawnStart);
@@ -226,7 +275,12 @@ impl Engine {
             body,
         ) {
             Ok(p) => p,
-            Err(e) => return vec![error_reply(tag, format!("spawn daemons: {e}"))],
+            Err(e) => {
+                // Terminal second reply: the FE sees it where the ack
+                // would have been and fails the session.
+                reply(error_reply(tag, format!("spawn daemons: {e}")));
+                return;
+            }
         };
         timeline.mark(CriticalEvent::E6DaemonsSpawned);
 
@@ -242,20 +296,28 @@ impl Engine {
         let mut state = self.state.lock();
         state.daemon_pids.insert(tag, pids);
         state.jobs.insert(tag, EngineJob::Launched { handle, ctl });
+        drop(state);
 
-        vec![
-            LmonpMsg::of_type(MsgType::EngineRpdtab).with_tag(tag).with_lmon(&rpdtab),
-            LmonpMsg::of_type(MsgType::EngineAck).with_tag(tag).with_lmon(&master_info),
-        ]
+        reply(LmonpMsg::of_type(MsgType::EngineAck).with_tag(tag).with_lmon(&master_info));
     }
 
-    fn handle_attach(&self, tag: u16, msg: &LmonpMsg, sidecar: EngineSidecar) -> Vec<LmonpMsg> {
+    fn handle_attach(
+        &self,
+        tag: u16,
+        msg: &LmonpMsg,
+        sidecar: EngineSidecar,
+        reply: &ReplySink<'_>,
+    ) {
         let req: AttachRequest = match msg.decode_lmon() {
             Ok(r) => r,
-            Err(e) => return vec![error_reply(tag, format!("attach req: {e}"))],
+            Err(e) => {
+                reply(error_reply(tag, format!("attach req: {e}")));
+                return;
+            }
         };
         let Some(body) = sidecar.body else {
-            return vec![error_reply(tag, "attach req missing daemon body".into())];
+            reply(error_reply(tag, "attach req missing daemon body".into()));
+            return;
         };
         let timeline = sidecar.timeline.unwrap_or_default();
         timeline.mark(CriticalEvent::E2LauncherExec);
@@ -263,11 +325,17 @@ impl Engine {
         let launcher_pid = Pid(req.launcher_pid);
         let (_node, rec) = match self.rm.cluster().find_proc(launcher_pid) {
             Ok(x) => x,
-            Err(e) => return vec![error_reply(tag, format!("launcher proc: {e}"))],
+            Err(e) => {
+                reply(error_reply(tag, format!("launcher proc: {e}")));
+                return;
+            }
         };
         let ctl = match TraceController::attach(launcher_pid, rec.shared.clone()) {
             Ok(c) => c,
-            Err(e) => return vec![error_reply(tag, format!("attach: {e}"))],
+            Err(e) => {
+                reply(error_reply(tag, format!("attach: {e}")));
+                return;
+            }
         };
 
         // The job is already running: poll the APAI until the proctable is
@@ -278,7 +346,8 @@ impl Engine {
                 Ok(t) => break t,
                 Err(e) => {
                     if std::time::Instant::now() >= deadline {
-                        return vec![error_reply(tag, format!("rpdtab: {e}"))];
+                        reply(error_reply(tag, format!("rpdtab: {e}")));
+                        return;
                     }
                     std::thread::sleep(std::time::Duration::from_millis(2));
                 }
@@ -292,10 +361,18 @@ impl Engine {
         for host in rpdtab.hosts() {
             match self.rm.cluster().node_by_host(&host) {
                 Ok(n) => nodes.push(n.id),
-                Err(e) => return vec![error_reply(tag, format!("host map: {e}"))],
+                Err(e) => {
+                    reply(error_reply(tag, format!("host map: {e}")));
+                    return;
+                }
             }
         }
         let alloc = Allocation { id: u64::from(tag), nodes };
+
+        // Same pipelining as launch: RPDTAB streams ahead of the spawn.
+        if !reply(LmonpMsg::of_type(MsgType::EngineRpdtab).with_tag(tag).with_lmon(&rpdtab)) {
+            return;
+        }
 
         timeline.mark(CriticalEvent::E5DaemonSpawnStart);
         let pids = match self.rm.spawn_daemons(
@@ -306,7 +383,10 @@ impl Engine {
             body,
         ) {
             Ok(p) => p,
-            Err(e) => return vec![error_reply(tag, format!("spawn daemons: {e}"))],
+            Err(e) => {
+                reply(error_reply(tag, format!("spawn daemons: {e}")));
+                return;
+            }
         };
         timeline.mark(CriticalEvent::E6DaemonsSpawned);
 
@@ -318,25 +398,36 @@ impl Engine {
         };
         let mut state = self.state.lock();
         state.daemon_pids.insert(tag, pids);
-        state.jobs.insert(tag, EngineJob::Attached { launcher_pid, rpdtab: rpdtab.clone(), ctl });
+        state.jobs.insert(tag, EngineJob::Attached { launcher_pid, rpdtab, ctl });
+        drop(state);
 
-        vec![
-            LmonpMsg::of_type(MsgType::EngineRpdtab).with_tag(tag).with_lmon(&rpdtab),
-            LmonpMsg::of_type(MsgType::EngineAck).with_tag(tag).with_lmon(&master_info),
-        ]
+        reply(LmonpMsg::of_type(MsgType::EngineAck).with_tag(tag).with_lmon(&master_info));
     }
 
-    fn handle_spawn_mw(&self, tag: u16, msg: &LmonpMsg, sidecar: EngineSidecar) -> Vec<LmonpMsg> {
+    fn handle_spawn_mw(
+        &self,
+        tag: u16,
+        msg: &LmonpMsg,
+        sidecar: EngineSidecar,
+        reply: &ReplySink<'_>,
+    ) {
         let req: SpawnMwRequest = match msg.decode_lmon() {
             Ok(r) => r,
-            Err(e) => return vec![error_reply(tag, format!("mw req: {e}"))],
+            Err(e) => {
+                reply(error_reply(tag, format!("mw req: {e}")));
+                return;
+            }
         };
         let Some(body) = sidecar.body else {
-            return vec![error_reply(tag, "mw req missing daemon body".into())];
+            reply(error_reply(tag, "mw req missing daemon body".into()));
+            return;
         };
         let alloc = match self.rm.allocate_mw_nodes(req.count as usize) {
             Ok(a) => a,
-            Err(e) => return vec![error_reply(tag, format!("mw alloc: {e}"))],
+            Err(e) => {
+                reply(error_reply(tag, format!("mw alloc: {e}")));
+                return;
+            }
         };
         let pids = match self.rm.spawn_daemons(
             &alloc,
@@ -348,7 +439,8 @@ impl Engine {
             Ok(p) => p,
             Err(e) => {
                 self.rm.release_allocation(&alloc);
-                return vec![error_reply(tag, format!("mw spawn: {e}"))];
+                reply(error_reply(tag, format!("mw spawn: {e}")));
+                return;
             }
         };
         let master_info = DaemonInfo {
@@ -362,7 +454,7 @@ impl Engine {
                 .unwrap_or_default(),
             pid: pids.first().map(|p| p.0).unwrap_or(0),
         };
-        vec![LmonpMsg::of_type(MsgType::EngineAck).with_tag(tag).with_lmon(&master_info)]
+        reply(LmonpMsg::of_type(MsgType::EngineAck).with_tag(tag).with_lmon(&master_info));
     }
 
     fn handle_detach(&self, tag: u16) -> LmonpMsg {

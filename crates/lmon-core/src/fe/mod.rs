@@ -69,6 +69,10 @@ struct FeSessionRt {
     timeline: TimelineRecorder,
     pack: Option<PackFn>,
     unpack: Option<UnpackFn>,
+    /// The engine-encoded RPDTAB wire bytes, kept as a refcounted view so
+    /// every later forward (BeRpdtab, MwRpdtab) is a clone, not a
+    /// re-serialization of the whole table.
+    rpdtab_bytes: Option<lmon_proto::Bytes>,
 }
 
 impl FeSessionRt {
@@ -79,6 +83,7 @@ impl FeSessionRt {
             timeline: TimelineRecorder::new(),
             pack: None,
             unpack: None,
+            rpdtab_bytes: None,
         }
     }
 }
@@ -482,41 +487,36 @@ impl LmonFrontEnd {
                 timeline: Some(timeline.clone()),
             },
         };
-        // One serialized exchange over the shared control stream: the
-        // RPDTAB, then the spawn acknowledgement. The session leaves
-        // `Created` only once the exchange succeeds, so a failed send (or
-        // reply timeout) leaves it retryable.
-        let mut replies = self.engine.exchange(cmd, 2, self.hs_timeout())?.into_iter();
+        // Pipelined exchange over the shared control stream: the engine
+        // streams the RPDTAB reply *before* it spawns daemons, so the FE
+        // stages its half of the BE handshake against the spawn instead of
+        // after it. The session leaves `Created` only once the first reply
+        // arrives, so a failed send (or reply timeout) leaves it retryable.
+        let exchange = self.engine.begin_exchange(cmd)?;
+        let rpdtab_reply = exchange.next(self.hs_timeout())?;
         self.transition(session, SessionState::EngineAttached)?;
-
-        let rpdtab: Rpdtab = {
-            let reply = replies.next().ok_or(LmonError::Timeout("waiting for engine RPDTAB"))?;
-            self.expect_reply(&reply, MsgType::EngineRpdtab)?;
-            reply.decode_lmon()?
-        };
+        self.expect_reply(&rpdtab_reply, MsgType::EngineRpdtab)?;
+        let rpdtab: Rpdtab = rpdtab_reply.decode_lmon()?;
+        // Keep the engine-encoded bytes: BeRpdtab (and later MwRpdtab)
+        // forward this exact refcounted view instead of re-encoding the
+        // table — O(tasks) serialization happens once per launch, in the
+        // engine.
+        let rpdtab_bytes = rpdtab_reply.lmon.clone();
         self.transition(session, SessionState::JobStopped)?;
-        self.sessions.lock().get_mut(session)?.rpdtab = Some(rpdtab.clone());
-
-        let master_info: DaemonInfo = {
-            let reply = replies.next().ok_or(LmonError::Timeout("waiting for engine ack"))?;
-            self.expect_reply(&reply, MsgType::EngineAck)?;
-            reply.decode_lmon()?
-        };
-        self.transition(session, SessionState::DaemonsSpawned)?;
-        self.sessions.lock().get_mut(session)?.be_count = master_info.size as usize;
-
-        // FE side of the BE handshake (e7..e10).
-        timeline.mark(CriticalEvent::E7HandshakeStart);
-        let hello_msg = fe_chan
-            .recv_timeout(self.hs_timeout())?
-            .ok_or(LmonError::Timeout("waiting for BE hello"))?;
-        if hello_msg.mtype != MsgType::BeHello {
-            return Err(LmonError::Engine(format!("expected BeHello, got {:?}", hello_msg.mtype)));
+        {
+            let mut sessions = self.sessions.lock();
+            let entry = sessions.get_mut(session)?;
+            entry.rpdtab = Some(rpdtab.clone());
         }
-        let hello: Hello = hello_msg.decode_lmon()?;
-        cookie.verify_hello(&hello)?;
+        if let Some(rt) = self.runtimes.lock().get_mut(&session) {
+            rt.rpdtab_bytes = Some(rpdtab_bytes.clone());
+        }
 
-        // Launch info + piggybacked tool data from the pack callback.
+        // Overlap window: while the engine is still spawning daemons, run
+        // the pack callback and wait for the master's hello (the master is
+        // the first daemon up and greets us while its siblings spawn). The
+        // spawn ack is drained opportunistically between hello polls so an
+        // engine-side spawn failure aborts the wait instead of timing out.
         let packed = {
             let runtimes = self.runtimes.lock();
             runtimes
@@ -525,14 +525,59 @@ impl LmonFrontEnd {
                 .map(|pack| pack())
                 .unwrap_or_default()
         };
+        const POLL_SLICE: Duration = Duration::from_millis(2);
+        let deadline = std::time::Instant::now() + self.hs_timeout();
+        let mut ack_reply: Option<LmonpMsg> = None;
+        let hello_msg = loop {
+            if let Some(msg) = fe_chan.recv_timeout(POLL_SLICE)? {
+                break msg;
+            }
+            if ack_reply.is_none() {
+                if let Some(reply) = exchange.poll(POLL_SLICE)? {
+                    self.expect_reply(&reply, MsgType::EngineAck)?;
+                    ack_reply = Some(reply);
+                }
+            }
+            if std::time::Instant::now() >= deadline {
+                return Err(LmonError::Timeout("waiting for BE hello"));
+            }
+        };
+        if hello_msg.mtype != MsgType::BeHello {
+            return Err(LmonError::Engine(format!("expected BeHello, got {:?}", hello_msg.mtype)));
+        }
+        let hello: Hello = hello_msg.decode_lmon()?;
+        cookie.verify_hello(&hello)?;
+
+        // The spawn ack gates the rest: BeLaunchInfo carries the master
+        // identity it delivers. Consume it now if the hello won the race.
+        let ack = match ack_reply {
+            Some(reply) => reply,
+            None => {
+                let reply = exchange.next(self.hs_timeout())?;
+                self.expect_reply(&reply, MsgType::EngineAck)?;
+                reply
+            }
+        };
+        let master_info: DaemonInfo = ack.decode_lmon()?;
+        let master_bytes = ack.lmon.clone();
+        self.transition(session, SessionState::DaemonsSpawned)?;
+        self.sessions.lock().get_mut(session)?.be_count = master_info.size as usize;
+
+        // Serialized remainder of the BE handshake (e7..e10). e7 lands
+        // after the spawn ack — hence after e6 — keeping the critical path
+        // ordered; the hello exchange above typically ran inside the spawn
+        // window, which is exactly the pipelining gain.
+        timeline.mark(CriticalEvent::E7HandshakeStart);
         fe_chan.send(
             LmonpMsg::of_type(MsgType::BeLaunchInfo)
                 .with_epoch(cookie.epoch)
-                .with_lmon(&master_info)
+                .with_lmon_payload(master_bytes)
                 .with_usr_payload(packed),
         )?;
         fe_chan.send(
-            LmonpMsg::of_type(MsgType::BeRpdtab).with_epoch(cookie.epoch).with_lmon(&rpdtab),
+            LmonpMsg::of_type(MsgType::BeRpdtab)
+                .with_epoch(cookie.epoch)
+                .with_lmon_payload(rpdtab_bytes),
         )?;
 
         // Ready (+ optional piggybacked tool data through unpack).
@@ -577,8 +622,24 @@ impl LmonFrontEnd {
         mw_main: MwMain,
     ) -> LmonResult<MwOutcome> {
         let cookie = self.sessions.lock().get(session)?.cookie;
-        let rpdtab =
-            self.sessions.lock().get(session)?.rpdtab.clone().unwrap_or_else(Rpdtab::empty);
+        // Prefer the engine-encoded wire bytes stashed at launch; fall back
+        // to encoding the decoded table (or an empty one) only when a
+        // session never went through spawn_common.
+        let rpdtab_bytes: lmon_proto::Bytes = self
+            .runtimes
+            .lock()
+            .get(&session)
+            .and_then(|rt| rt.rpdtab_bytes.clone())
+            .unwrap_or_else(|| {
+                let table = self
+                    .sessions
+                    .lock()
+                    .get(session)
+                    .ok()
+                    .and_then(|s| s.rpdtab.clone())
+                    .unwrap_or_else(Rpdtab::empty);
+                LmonpMsg::of_type(MsgType::MwRpdtab).with_lmon(&table).lmon
+            });
 
         // One logical MW session over the single FE↔MW link.
         let id = mux_id(session)?;
@@ -656,7 +717,9 @@ impl LmonFrontEnd {
                 .with_usr_payload(packed),
         )?;
         fe_chan.send(
-            LmonpMsg::of_type(MsgType::MwRpdtab).with_epoch(cookie.epoch).with_lmon(&rpdtab),
+            LmonpMsg::of_type(MsgType::MwRpdtab)
+                .with_epoch(cookie.epoch)
+                .with_lmon_payload(rpdtab_bytes),
         )?;
         let ready = fe_chan
             .recv_timeout(self.hs_timeout())?
@@ -804,6 +867,8 @@ impl LmonFrontEnd {
             // state; a detached session must not pin it for daemon lifetime.
             rt.pack = None;
             rt.unpack = None;
+            // Same for the O(tasks) encoded proctable view.
+            rt.rpdtab_bytes = None;
         }
         self.health.lock().retire(session);
     }

@@ -176,6 +176,14 @@ impl Daemon {
         &self.admission
     }
 
+    /// Chaos/test hook: the front end behind backend `idx` (the round-robin
+    /// target of `LAUNCH` requests), so a test can install fault plans or
+    /// shorten handshake timeouts before driving a storm. `None` when `idx`
+    /// is past the configured backend count.
+    pub fn backend_fe(&self, idx: usize) -> Option<&Arc<LmonFrontEnd>> {
+        self.backends.get(idx).map(|b| &b.fe)
+    }
+
     /// Live session count.
     pub fn sessions_active(&self) -> usize {
         self.sessions.lock().len()

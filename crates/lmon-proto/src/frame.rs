@@ -44,7 +44,7 @@ pub fn encode_bytes_copied() -> u64 {
     ENCODE_BYTES_COPIED.load(Ordering::Relaxed)
 }
 
-fn note_copied(n: usize) {
+pub(crate) fn note_copied(n: usize) {
     ENCODE_BYTES_COPIED.fetch_add(n as u64, Ordering::Relaxed);
 }
 

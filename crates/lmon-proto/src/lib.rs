@@ -55,6 +55,7 @@ pub mod security;
 pub mod transport;
 pub mod wire;
 
+pub use bytes::Bytes;
 pub use error::ProtoError;
 pub use fault::{FaultyChannel, FrameFate, FrameFaultPlan};
 pub use frame::{MuxBatch, MuxEntry, WireFrame};

@@ -37,6 +37,7 @@ impl BlueGeneRm {
                 allocator,
                 events: DebugEventProfile::PerNode,
                 job_env_key: "BG_JOB_ID",
+                launch_workers: lmon_cluster::DEFAULT_LAUNCH_WORKERS,
             },
         }
     }

@@ -14,6 +14,7 @@
 
 use std::sync::Arc;
 
+use lmon_cluster::fanout::fanout;
 use lmon_cluster::process::{Pid, ProcCtx, ProcSpec};
 use lmon_cluster::remote::{rsh_spawn, RshError, RshSession};
 use lmon_cluster::VirtualCluster;
@@ -21,6 +22,11 @@ use lmon_cluster::VirtualCluster;
 /// Body type for rsh-launched daemons (no RM fabric: ad hoc daemons get
 /// their configuration through argv, the very practice §5.2 criticizes).
 pub type RshDaemonBody = Arc<dyn Fn(ProcCtx) + Send + Sync + 'static>;
+
+/// Default tree fan-out for [`RshLauncher::launch`] — wide enough that the
+/// front end's rsh cost stays constant-ish, narrow enough to keep fd use
+/// far from the §5.2 cliff.
+pub const DEFAULT_TREE_FANOUT: usize = 8;
 
 /// The ad hoc launcher.
 pub struct RshLauncher {
@@ -48,13 +54,27 @@ impl RshLauncher {
         &self.cluster
     }
 
+    /// The fast default launch path: the tree variant at
+    /// [`DEFAULT_TREE_FANOUT`]. [`launch_sequential`] stays available as
+    /// the measured comparison baseline (the "MRNet 1-deep" curve).
+    ///
+    /// [`launch_sequential`]: RshLauncher::launch_sequential
+    pub fn launch(
+        &self,
+        targets: &[(String, ProcSpec)],
+        body: RshDaemonBody,
+    ) -> Result<RshLaunchResult, (RshError, RshLaunchResult)> {
+        self.launch_tree(targets, DEFAULT_TREE_FANOUT, body)
+    }
+
     /// Sequentially launch one daemon per (host, spec) pair, front end
     /// forking one rsh at a time.
     ///
-    /// On failure, already-launched daemons are left running with their
-    /// sessions returned inside the error — mirroring the real-world mess
-    /// where a failed ad hoc launch strands daemons (§5.2's "consistently
-    /// fails"). Callers must clean up.
+    /// On failure, every already-launched daemon is killed and reaped and
+    /// its session closed before the error returns — a failed launch must
+    /// never strand daemons (§5.2's "consistently fails" describes the fd
+    /// cliff, not licence to leak). The partial result inside the error
+    /// records the pids that were spawned-then-reaped, for diagnostics.
     pub fn launch_sequential(
         &self,
         targets: &[(String, ProcSpec)],
@@ -68,7 +88,7 @@ impl RshLauncher {
                     out.pids.push(session.pid());
                     out.sessions.push(session);
                 }
-                Err(e) => return Err((e, out)),
+                Err(e) => return Err((e, self.reap_partial(out))),
             }
         }
         Ok(out)
@@ -79,15 +99,19 @@ impl RshLauncher {
     /// from its own node (bypassing the front end's fd table, but still
     /// with no RM integration: configuration rides argv).
     ///
-    /// Returns pids in BFS order. The front end keeps sessions only to its
-    /// direct children.
+    /// Returns pids in BFS order: subtree spawns are fanned out over a
+    /// bounded worker pool with pids reserved up front, so placement is
+    /// identical to a sequential walk. On failure the partial set is
+    /// killed and reaped, as in [`launch_sequential`].
+    ///
+    /// [`launch_sequential`]: RshLauncher::launch_sequential
     pub fn launch_tree(
         &self,
         targets: &[(String, ProcSpec)],
-        fanout: usize,
+        fanout_width: usize,
         body: RshDaemonBody,
     ) -> Result<RshLaunchResult, (RshError, RshLaunchResult)> {
-        let fanout = fanout.max(1);
+        let fanout_width = fanout_width.max(1);
         let mut out = RshLaunchResult { sessions: Vec::new(), pids: Vec::new() };
         if targets.is_empty() {
             return Ok(out);
@@ -96,29 +120,59 @@ impl RshLauncher {
         // The front end launches layer-0 roots (indices 0..fanout) over rsh;
         // deeper nodes are spawned directly on their host by their parent's
         // node agent (modelled as a direct cluster spawn).
-        let cluster = self.cluster.clone();
-        for (i, (host, spec)) in targets.iter().enumerate() {
+        let roots = targets.len().min(fanout_width);
+        for (host, spec) in &targets[..roots] {
             let body = body.clone();
-            if i < fanout {
-                match rsh_spawn(&self.cluster, host, spec.clone(), move |ctx| body(ctx)) {
-                    Ok(session) => {
-                        out.pids.push(session.pid());
-                        out.sessions.push(session);
-                    }
-                    Err(e) => return Err((e, out)),
+            match rsh_spawn(&self.cluster, host, spec.clone(), move |ctx| body(ctx)) {
+                Ok(session) => {
+                    out.pids.push(session.pid());
+                    out.sessions.push(session);
                 }
-            } else {
-                let node = match cluster.node_by_host(host) {
-                    Ok(n) => n,
-                    Err(e) => return Err((RshError::RemoteSpawnFailed(e.to_string()), out)),
-                };
-                match cluster.spawn_active(node.id, spec.clone(), move |ctx| body(ctx)) {
-                    Ok(pid) => out.pids.push(pid),
-                    Err(e) => return Err((RshError::RemoteSpawnFailed(e.to_string()), out)),
-                }
+                Err(e) => return Err((e, self.reap_partial(out))),
             }
         }
-        Ok(out)
+
+        // Independent subtrees bring their children up concurrently; the
+        // pre-reserved pid block keeps the BFS pid order of the serial walk.
+        let rest = &targets[roots..];
+        let block = self.cluster.reserve_pids(rest.len());
+        let cluster = &self.cluster;
+        let spawned = fanout(rest.to_vec(), fanout_width, |i, (host, spec)| {
+            let body = body.clone();
+            let node = cluster
+                .node_by_host(&host)
+                .map_err(|e| RshError::RemoteSpawnFailed(e.to_string()))?;
+            cluster
+                .spawn_active_with_pid(block.pid(i), node.id, spec, move |ctx| body(ctx))
+                .map_err(|e| RshError::RemoteSpawnFailed(e.to_string()))?;
+            Ok::<Pid, RshError>(block.pid(i))
+        });
+        let mut first_err = None;
+        for r in spawned {
+            match r {
+                Ok(pid) => out.pids.push(pid),
+                Err(e) => first_err = first_err.or(Some(e)),
+            }
+        }
+        match first_err {
+            Some(e) => Err((e, self.reap_partial(out))),
+            None => Ok(out),
+        }
+    }
+
+    /// Kill and reap every daemon of a partial launch, closing its rsh
+    /// sessions. Returns the (now fully terminated) result for diagnostics.
+    fn reap_partial(&self, mut partial: RshLaunchResult) -> RshLaunchResult {
+        for pid in &partial.pids {
+            let _ = self.cluster.kill(*pid);
+        }
+        for pid in &partial.pids {
+            let _ = self.cluster.wait_pid(*pid);
+            let _ = self.cluster.join_thread(*pid);
+        }
+        // Dropping the sessions releases the front end's fds.
+        partial.sessions.clear();
+        partial
     }
 }
 
@@ -189,10 +243,33 @@ mod tests {
         let targets = per_node_targets(&c, 16, "toold", &[]);
         let (err, partial) = launcher.launch_sequential(&targets, body).unwrap_err();
         assert!(matches!(err, RshError::ForkFailed { .. }));
-        assert_eq!(partial.pids.len(), 8, "eight daemons were stranded");
-        for pid in &partial.pids {
-            c.kill(*pid).unwrap();
-        }
+        assert_eq!(partial.pids.len(), 8, "eight daemons were spawned before the cliff");
+        // The failed launch cleaned up after itself: sessions closed, every
+        // partial daemon killed and reaped.
+        assert!(partial.sessions.is_empty(), "sessions must be closed on failure");
+        assert_eq!(c.total_live(), 0, "no daemon may survive a failed launch");
+    }
+
+    #[test]
+    fn mid_launch_fault_leaves_zero_live_daemons() {
+        // An injected rsh fault partway through the launch (not fd
+        // exhaustion: an arbitrary mid-launch failure) must leave the
+        // cluster with zero live daemons and zero held rsh fds.
+        let c = cluster(8, RshConfig::default());
+        c.rsh_state()
+            .install_fault_plan(lmon_cluster::SpawnFaultPlan::new().fail_host("node00005"));
+        let launcher = RshLauncher::new(c.clone());
+        let body: RshDaemonBody = Arc::new(|ctx| {
+            while !ctx.killed() {
+                std::thread::park_timeout(Duration::from_millis(1));
+            }
+        });
+        let targets = per_node_targets(&c, 8, "toold", &[]);
+        let (_err, partial) = launcher.launch_sequential(&targets, body).unwrap_err();
+        assert_eq!(partial.pids.len(), 5, "five daemons preceded the faulted host");
+        assert!(partial.sessions.is_empty());
+        assert_eq!(c.total_live(), 0, "mid-launch fault must strand nothing");
+        assert_eq!(c.rsh_state().live_sessions(), 0, "all rsh fds released");
     }
 
     #[test]
@@ -215,6 +292,24 @@ mod tests {
             c.wait_pid(*pid).unwrap();
         }
         assert_eq!(started.load(Ordering::SeqCst), 16);
+    }
+
+    #[test]
+    fn default_launch_is_the_tree_variant() {
+        let c = cluster(16, RshConfig::default());
+        let launcher = RshLauncher::new(c.clone());
+        let body: RshDaemonBody = Arc::new(|_ctx| {});
+        let targets = per_node_targets(&c, 16, "toold", &[]);
+        let result = launcher.launch(&targets, body).unwrap();
+        assert_eq!(result.pids.len(), 16);
+        assert_eq!(
+            result.sessions.len(),
+            DEFAULT_TREE_FANOUT,
+            "default launch holds only root sessions on the front end"
+        );
+        for pid in &result.pids {
+            c.wait_pid(*pid).unwrap();
+        }
     }
 
     #[test]

@@ -10,6 +10,7 @@
 use std::sync::mpsc;
 use std::sync::Arc;
 
+use lmon_cluster::fanout::{fanout, DEFAULT_LAUNCH_WORKERS};
 use lmon_cluster::process::{Pid, ProcSpec};
 use lmon_cluster::trace::TraceEvent;
 use lmon_cluster::VirtualCluster;
@@ -56,6 +57,10 @@ pub(crate) struct RmCore {
     pub events: DebugEventProfile,
     /// Environment key the RM stamps on every job task (used by kill).
     pub job_env_key: &'static str,
+    /// Fan-out width for per-node daemon/task spawn loops. `1` reproduces
+    /// the old sequential loops exactly; placement is identical either way
+    /// because pids are reserved before the fan-out.
+    pub launch_workers: usize,
 }
 
 impl RmCore {
@@ -73,6 +78,7 @@ impl RmCore {
         let nodes = alloc.nodes.clone();
         let events = self.events;
         let job_env_key = self.job_env_key;
+        let launch_workers = self.launch_workers;
 
         let launcher_spec = ProcSpec::named("srun")
             .arg(format!("--nodes={}", spec.nodes))
@@ -87,33 +93,44 @@ impl RmCore {
                 let _ = gate_rx.recv();
 
                 // Spawn the application tasks: passive table entries, laid
-                // out block-wise like srun's default distribution.
-                let mut entries = Vec::with_capacity(job_spec.nodes * job_spec.tasks_per_node);
-                let mut event_budget = events.event_count(job_spec.nodes, job_spec.tasks_per_node);
-                for (node_i, node_id) in nodes.iter().enumerate() {
-                    let host = match cluster.node(*node_id) {
+                // out block-wise like srun's default distribution. Pids are
+                // reserved up front in rank order, so the bounded fan-out
+                // below places every task exactly where the sequential loop
+                // would, no matter how workers interleave.
+                let tpn = job_spec.tasks_per_node;
+                let pid_block = cluster.reserve_pids(nodes.len() * tpn);
+                let per_node = fanout(nodes.clone(), launch_workers, |node_i, node_id| {
+                    let host = match cluster.node(node_id) {
                         Ok(n) => n.hostname.clone(),
-                        Err(_) => continue,
+                        Err(_) => return Vec::new(),
                     };
-                    for local in 0..job_spec.tasks_per_node {
-                        let rank = (node_i * job_spec.tasks_per_node + local) as u32;
+                    let mut descs = Vec::with_capacity(tpn);
+                    for local in 0..tpn {
+                        let rank = (node_i * tpn + local) as u32;
                         let mut task_spec = ProcSpec::named(&job_spec.app_exe)
                             .env_kv(job_env_key, &job_id.to_string());
                         task_spec.args = job_spec.app_args.clone();
                         task_spec.rank = Some(rank);
-                        if let Ok(pid) = cluster.spawn_passive(*node_id, task_spec, job_id) {
-                            entries.push(ProcDesc {
+                        let pid = pid_block.pid(rank as usize);
+                        if cluster.spawn_passive_with_pid(pid, node_id, task_spec, job_id).is_ok() {
+                            descs.push(ProcDesc {
                                 rank,
                                 host: host.clone(),
                                 exe: job_spec.app_exe.clone(),
                                 pid: pid.0,
                             });
-                            if event_budget > 0 {
-                                ctx.raise_event(TraceEvent::Forked { child: pid });
-                                event_budget -= 1;
-                            }
                         }
                     }
+                    descs
+                });
+                let entries: Vec<ProcDesc> = per_node.into_iter().flatten().collect();
+
+                // Debugger-visible fork events, raised in rank order once
+                // every task exists (tracers count events, they don't race
+                // the forks themselves).
+                let event_budget = events.event_count(job_spec.nodes, tpn);
+                for desc in entries.iter().take(event_budget) {
+                    ctx.raise_event(TraceEvent::Forked { child: Pid(desc.pid) });
                 }
 
                 // APAI: publish and stop at MPIR_Breakpoint if traced.
@@ -154,8 +171,14 @@ impl RmCore {
             })
             .collect::<RmResult<_>>()?;
         let endpoints = RmFabricEndpoint::provision(&hosts);
-        let mut pids = Vec::with_capacity(alloc.nodes.len());
-        for (node_id, ep) in alloc.nodes.iter().zip(endpoints) {
+        // Reserve one pid per node in node order, then fan the spawns out:
+        // daemon `i` always gets pid `block.pid(i)`, so placement matches
+        // the sequential loop bit-for-bit while the thread-creation cost —
+        // the dominant serial term of T(daemon) — is paid in parallel.
+        let block = self.cluster.reserve_pids(alloc.nodes.len());
+        let targets: Vec<_> = alloc.nodes.iter().copied().zip(endpoints).collect();
+        let cluster = &self.cluster;
+        let results = fanout(targets, self.launch_workers, |i, (node_id, ep)| {
             let mut spec = ProcSpec::named(exe);
             spec.args = args.to_vec();
             spec.env = env.to_vec();
@@ -163,11 +186,22 @@ impl RmCore {
                 .env_kv("LMON_BE_RANK", &ep.rank().to_string())
                 .env_kv("LMON_BE_SIZE", &ep.size().to_string());
             let body = body.clone();
-            let pid = self
-                .cluster
-                .spawn_active(*node_id, spec, move |ctx| body(ctx, ep))
-                .map_err(|e| RmError::Cluster(e.to_string()))?;
-            pids.push(pid);
+            cluster.spawn_active_with_pid(block.pid(i), node_id, spec, move |ctx| body(ctx, ep))
+        });
+        let mut pids = Vec::with_capacity(results.len());
+        let mut first_err = None;
+        for (i, r) in results.into_iter().enumerate() {
+            match r {
+                Ok(()) => pids.push(block.pid(i)),
+                Err(e) => first_err = first_err.or(Some(e)),
+            }
+        }
+        if let Some(e) = first_err {
+            // Never leave a partial daemon set running behind an error.
+            for pid in pids {
+                let _ = self.cluster.kill(pid);
+            }
+            return Err(RmError::Cluster(e.to_string()));
         }
         Ok(pids)
     }
@@ -203,8 +237,23 @@ impl SlurmRm {
     pub fn with_event_profile(cluster: VirtualCluster, events: DebugEventProfile) -> Self {
         let allocator = Arc::new(NodeAllocator::new(&cluster));
         SlurmRm {
-            core: RmCore { name: "slurm", cluster, allocator, events, job_env_key: "SLURM_JOB_ID" },
+            core: RmCore {
+                name: "slurm",
+                cluster,
+                allocator,
+                events,
+                job_env_key: "SLURM_JOB_ID",
+                launch_workers: DEFAULT_LAUNCH_WORKERS,
+            },
         }
+    }
+
+    /// Override the spawn fan-out width (`1` = the sequential baseline).
+    /// Placement is pid-reserved and therefore identical at any width; this
+    /// knob exists for determinism tests and A/B measurement.
+    pub fn with_launch_workers(mut self, workers: usize) -> Self {
+        self.core.launch_workers = workers;
+        self
     }
 
     /// The node allocator (shared with middleware allocation).
@@ -364,6 +413,46 @@ mod tests {
             rm.cluster().join_thread(pid).unwrap();
         }
         rm.kill_job(&handle).unwrap();
+    }
+
+    #[test]
+    fn parallel_fanout_matches_sequential_placement() {
+        // Same cluster shape, same job: the 8-wide fan-out must produce a
+        // proctable (rank → host/pid) and daemon pid set identical to the
+        // 1-wide (sequential) baseline. Pid reservation makes worker
+        // interleaving irrelevant; this pins that property.
+        let run = |workers: usize| {
+            let rm = SlurmRm::new(VirtualCluster::new(ClusterConfig::with_nodes(8)))
+                .with_launch_workers(workers);
+            let handle = rm.launch_job(&JobSpec::new("app", 8, 4), false).unwrap();
+            let (_n, rec) = rm.cluster().find_proc(handle.launcher_pid).unwrap();
+            let deadline = std::time::Instant::now() + Duration::from_secs(5);
+            let table = loop {
+                let ctl = TraceController::attach(handle.launcher_pid, rec.shared.clone()).unwrap();
+                match mpir::fetch_proctable(&ctl) {
+                    Ok(t) => break t,
+                    Err(_) if std::time::Instant::now() < deadline => {
+                        drop(ctl);
+                        std::thread::sleep(Duration::from_millis(5));
+                    }
+                    Err(e) => panic!("proctable never appeared: {e}"),
+                }
+            };
+            let body: DaemonBody = Arc::new(|_ctx, _ep| {});
+            let daemons = rm.spawn_daemons(&handle.allocation, "toold", &[], &[], body).unwrap();
+            for pid in &daemons {
+                rm.cluster().wait_pid(*pid).unwrap();
+                rm.cluster().join_thread(*pid).unwrap();
+            }
+            let placement: Vec<(u32, String, u64)> =
+                table.entries().iter().map(|e| (e.rank, e.host.clone(), e.pid)).collect();
+            rm.kill_job(&handle).unwrap();
+            (placement, daemons)
+        };
+        let (seq_table, seq_daemons) = run(1);
+        let (par_table, par_daemons) = run(8);
+        assert_eq!(seq_table, par_table, "task placement must not depend on fan-out width");
+        assert_eq!(seq_daemons, par_daemons, "daemon pids must not depend on fan-out width");
     }
 
     #[test]

@@ -96,71 +96,113 @@ pub fn bootstrap_adhoc(
     }
 
     let overlay = Overlay::build(spec, registry.clone());
-    let mut sessions = Vec::new();
-    let mut pids = Vec::new();
 
-    // Sequentially launch comm daemons, handing each its harness through a
-    // slot (the ad hoc world's stand-in for argv-delivered endpoints).
-    for (harness, host) in overlay.comm.into_iter().zip(comm_hosts) {
-        let slot = Arc::new(Mutex::new(Some(harness)));
-        let reg = registry.clone();
-        let spec_proc = ProcSpec::named("mrnet_commnode")
-            .arg(format!("--level={}", slot.lock().as_ref().expect("fresh slot").pos.level));
-        let body = {
-            let slot = slot.clone();
-            move |_ctx: ProcCtx| {
-                if let Some(harness) = slot.lock().take() {
-                    run_comm_node(harness, reg);
-                }
-            }
-        };
-        match lmon_cluster::remote::rsh_spawn(cluster, host, spec_proc, body) {
-            Ok(session) => {
-                pids.push(session.pid());
-                sessions.push(session);
-            }
+    // Every daemon is pre-wired into the overlay by `Overlay::build`, so
+    // subtrees are independent at spawn time: comm daemons at any level and
+    // leaves can come up in any order. The *order-sensitive* parts — fd
+    // charging, the fault-plan attempt index — happen in the sequential
+    // admission pass below; the expensive part (connect latency plus
+    // daemon-thread creation) is then fanned out over a bounded pool, with
+    // pids reserved in launch order so the result is indistinguishable from
+    // the serial walk.
+    enum Daemon {
+        Comm(crate::overlay::CommHarness),
+        Leaf(crate::overlay::LeafEndpoint),
+    }
+    let daemons: Vec<(Daemon, &String)> = overlay
+        .comm
+        .into_iter()
+        .map(Daemon::Comm)
+        .zip(comm_hosts)
+        .chain(overlay.leaves.into_iter().map(Daemon::Leaf).zip(leaf_hosts))
+        .collect();
+
+    // Admission pass: strictly sequential, comm daemons first then leaves.
+    let mut tickets = Vec::with_capacity(daemons.len());
+    for (d, host) in &daemons {
+        match lmon_cluster::remote::rsh_admit(cluster, host) {
+            Ok(t) => tickets.push(t),
             Err(e) => {
-                cleanup(cluster, &pids);
-                return Err(TbonError::LaunchFailed(format!("comm daemon on {host}: {e}")));
+                // Nothing spawned yet: dropping the tickets releases fds.
+                let kind = match d {
+                    Daemon::Comm(_) => "comm",
+                    Daemon::Leaf(_) => "leaf",
+                };
+                return Err(TbonError::LaunchFailed(format!("{kind} daemon on {host}: {e}")));
             }
         }
     }
 
-    // Sequentially launch leaf daemons.
-    for (leaf, host) in overlay.leaves.into_iter().zip(leaf_hosts) {
-        let slot = Arc::new(Mutex::new(Some(leaf)));
-        let main = leaf_main.clone();
-        let spec_proc = ProcSpec::named("mrnet_leafd")
-            .arg(format!("--leaf={}", slot.lock().as_ref().expect("fresh slot").leaf_index));
-        let body = {
-            let slot = slot.clone();
-            move |ctx: ProcCtx| {
-                if let Some(leaf) = slot.lock().take() {
-                    // MRNet connect phase: hello to the parent.
-                    if leaf.send_hello().is_ok() {
-                        main(leaf, &ctx);
+    // Spawn pass: independent subtrees bring their daemons up concurrently.
+    let block = cluster.reserve_pids(daemons.len());
+    let work: Vec<_> = tickets.into_iter().zip(daemons).collect();
+    let spawned = lmon_cluster::fanout::fanout(
+        work,
+        lmon_cluster::DEFAULT_LAUNCH_WORKERS,
+        |i, (ticket, (daemon, _host))| match daemon {
+            Daemon::Comm(harness) => {
+                let slot = Arc::new(Mutex::new(Some(harness)));
+                let reg = registry.clone();
+                let spec_proc = ProcSpec::named("mrnet_commnode").arg(format!(
+                    "--level={}",
+                    slot.lock().as_ref().expect("fresh slot").pos.level
+                ));
+                let body = move |_ctx: ProcCtx| {
+                    if let Some(harness) = slot.lock().take() {
+                        run_comm_node(harness, reg);
                     }
-                }
+                };
+                ticket.spawn_with_pid(block.pid(i), spec_proc, body)
             }
-        };
-        match lmon_cluster::remote::rsh_spawn(cluster, host, spec_proc, body) {
+            Daemon::Leaf(leaf) => {
+                let slot = Arc::new(Mutex::new(Some(leaf)));
+                let main = leaf_main.clone();
+                let spec_proc = ProcSpec::named("mrnet_leafd").arg(format!(
+                    "--leaf={}",
+                    slot.lock().as_ref().expect("fresh slot").leaf_index
+                ));
+                let body = move |ctx: ProcCtx| {
+                    if let Some(leaf) = slot.lock().take() {
+                        // MRNet connect phase: hello to the parent.
+                        if leaf.send_hello().is_ok() {
+                            main(leaf, &ctx);
+                        }
+                    }
+                };
+                ticket.spawn_with_pid(block.pid(i), spec_proc, body)
+            }
+        },
+    );
+
+    let mut sessions = Vec::with_capacity(spawned.len());
+    let mut pids = Vec::with_capacity(spawned.len());
+    let mut first_err = None;
+    for r in spawned {
+        match r {
             Ok(session) => {
                 pids.push(session.pid());
                 sessions.push(session);
             }
-            Err(e) => {
-                cleanup(cluster, &pids);
-                return Err(TbonError::LaunchFailed(format!("leaf daemon on {host}: {e}")));
-            }
+            Err(e) => first_err = first_err.or(Some(e)),
         }
+    }
+    if let Some(e) = first_err {
+        cleanup(cluster, &pids);
+        sessions.clear();
+        return Err(TbonError::LaunchFailed(format!("daemon spawn: {e}")));
     }
 
     Ok(AdhocNet { front: overlay.front, sessions, pids })
 }
 
+/// Kill and reap a partial daemon set; nothing may outlive a failed launch.
 fn cleanup(cluster: &VirtualCluster, pids: &[Pid]) {
     for pid in pids {
         let _ = cluster.kill(*pid);
+    }
+    for pid in pids {
+        let _ = cluster.wait_pid(*pid);
+        let _ = cluster.join_thread(*pid);
     }
 }
 

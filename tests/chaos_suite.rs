@@ -622,6 +622,92 @@ fn chaos_dropped_launch_info_frame_times_out_live_handshake() {
 }
 
 // ---------------------------------------------------------------------------
+// Launch-storm-with-faults (ISSUE 8 satellite): a comm crash mid-bring-up
+// while a storm rides `lmond`'s admission queue.
+// ---------------------------------------------------------------------------
+
+/// One session's FE↔BE-master channel eats its handshake frames mid-storm
+/// (the comm crash): exactly that session fails with a clean, attributable
+/// timeout, its admission permit is released, and the rest of the storm
+/// completes untouched — no stuck permit, no drained queue left behind.
+#[cfg(unix)]
+#[test]
+fn chaos_launch_storm_survives_comm_crash_mid_bring_up() {
+    use launchmon::daemon::client::scratch_socket_path;
+    use launchmon::daemon::{bind_and_start, DaemonClient, DaemonConfig};
+    use launchmon::testkit::StormPlan;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    let socket = scratch_socket_path("chaosstorm");
+    let _ = std::fs::remove_file(&socket);
+    let cfg = DaemonConfig {
+        // One backend so the storm is guaranteed to hit the wounded FE.
+        backends: 1,
+        cluster_nodes: 64,
+        admission_limit: 4,
+        queue_capacity: 1024,
+        ..DaemonConfig::default()
+    };
+    let handle = bind_and_start(cfg, &socket, None).expect("daemon up");
+    let daemon = Arc::clone(handle.daemon());
+
+    // The fault plan is one-shot: whichever storm session reaches its
+    // handshake first loses both FE-side handshake frames and must time
+    // out. The short timeout makes the victim fail while the storm is
+    // still in flight, so its permit release is what lets the tail drain.
+    let fe = daemon.backend_fe(0).expect("backend 0");
+    fe.set_handshake_timeout(Duration::from_millis(300));
+    fe.install_handshake_fault_plan(FaultPlan::new().drop_frame(0).drop_frame(1).frame_plan());
+
+    let plan = StormPlan::new(8, 3, 2, chaos_seed());
+    let start = Arc::new(std::sync::Barrier::new(plan.clients));
+    let failures = Arc::new(AtomicUsize::new(0));
+    let completed = Arc::new(AtomicUsize::new(0));
+    let clients: Vec<_> = (0..plan.clients)
+        .map(|c| {
+            let socket = socket.clone();
+            let launches = plan.client_launches(c);
+            let start = Arc::clone(&start);
+            let failures = Arc::clone(&failures);
+            let completed = Arc::clone(&completed);
+            std::thread::spawn(move || {
+                let mut client = DaemonClient::connect_unix(&socket).expect("client connect");
+                start.wait();
+                for l in launches {
+                    match client.launch("storm_app", l.nodes, l.tasks_per_node, "oneshot") {
+                        Ok(gsid) => {
+                            client.kill(gsid).expect("kill");
+                            completed.fetch_add(1, Ordering::SeqCst);
+                        }
+                        Err(e) => {
+                            assert!(
+                                e.to_string().contains("launch failed"),
+                                "the comm crash must surface as a clean launch error, got: {e}"
+                            );
+                            failures.fetch_add(1, Ordering::SeqCst);
+                        }
+                    }
+                }
+            })
+        })
+        .collect();
+    for t in clients {
+        t.join().expect("client thread");
+    }
+
+    assert_eq!(failures.load(Ordering::SeqCst), 1, "exactly the wounded session fails");
+    assert_eq!(completed.load(Ordering::SeqCst), plan.total_sessions() - 1);
+
+    let adm = daemon.admission().stats();
+    assert_eq!(adm.admitted_total, plan.total_sessions() as u64, "the victim was admitted too");
+    assert_eq!(adm.released_total, adm.admitted_total, "the failed session's permit came back");
+    assert_eq!((adm.in_flight, adm.waiting), (0, 0));
+
+    handle.shutdown();
+    let _ = std::fs::remove_file(&socket);
+}
+
+// ---------------------------------------------------------------------------
 // Determinism regression (the satellite): full FE→MW→BE launch, with and
 // without an active FaultPlan, replays bit-for-bit under one seed.
 // ---------------------------------------------------------------------------

@@ -125,6 +125,71 @@ fn storm_of_504_sessions_queues_instead_of_failing() {
     let _ = std::fs::remove_file(&socket);
 }
 
+/// Tail behavior under storm: FIFO admission means no launch is starved,
+/// so the time-to-ready distribution stays *tight* — the p99 an unlucky
+/// tool sees is a small multiple of the p50, not an unbounded wait behind
+/// luckier competitors. (An unfair queue shows up here as p99 blowing out
+/// to tens of p50 while the median stays flat.)
+#[test]
+fn storm_time_to_ready_tail_stays_bounded() {
+    let socket = scratch_socket_path("stormtail");
+    let _ = std::fs::remove_file(&socket);
+    let cfg = DaemonConfig {
+        backends: 2,
+        cluster_nodes: 64,
+        admission_limit: 4,
+        queue_capacity: 1024,
+        ..DaemonConfig::default()
+    };
+    let handle = bind_and_start(cfg, &socket, None).expect("daemon up");
+
+    // 16 clients against a limit of 4: every launch spends real time in
+    // the queue, so the measurement exercises wait + admit + launch.
+    let plan = StormPlan::new(16, 4, 2, 11);
+    let start = Arc::new(Barrier::new(plan.clients));
+    let samples = Arc::new(std::sync::Mutex::new(Vec::new()));
+    let clients: Vec<_> = (0..plan.clients)
+        .map(|c| {
+            let socket = socket.clone();
+            let launches = plan.client_launches(c);
+            let start = Arc::clone(&start);
+            let samples = Arc::clone(&samples);
+            std::thread::spawn(move || {
+                let mut client = DaemonClient::connect_unix(&socket).expect("client connect");
+                start.wait();
+                for l in launches {
+                    let t0 = std::time::Instant::now();
+                    let gsid = client
+                        .launch("tail_app", l.nodes, l.tasks_per_node, "oneshot")
+                        .expect("storm launch");
+                    let ready_ms = t0.elapsed().as_secs_f64() * 1e3;
+                    client.kill(gsid).expect("kill");
+                    samples.lock().unwrap().push(ready_ms);
+                }
+            })
+        })
+        .collect();
+    for t in clients {
+        t.join().expect("client thread");
+    }
+
+    let mut samples = Arc::try_unwrap(samples).unwrap().into_inner().unwrap();
+    assert_eq!(samples.len(), plan.total_sessions());
+    samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let p50 = samples[samples.len() / 2];
+    let p99 = samples[(samples.len() * 99).div_ceil(100).min(samples.len() - 1)];
+    // The floor keeps the ratio meaningful when the median is sub-ms on a
+    // fast machine; the multiple is generous because the bound being
+    // tested is structural (FIFO), not a performance target.
+    assert!(
+        p99 <= p50.max(1.0) * 10.0,
+        "storm time-to-ready tail blew out: p50 {p50:.2}ms, p99 {p99:.2}ms"
+    );
+
+    handle.shutdown();
+    let _ = std::fs::remove_file(&socket);
+}
+
 /// Queue-drain monotonicity, isolated: saturate the limit, park a known
 /// number of waiters, then release sessions one at a time and watch the
 /// queue depth step down by exactly one each time — no waiter is ever
