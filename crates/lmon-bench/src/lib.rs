@@ -15,6 +15,7 @@
 //! | `recovery_latency` | overlay kill → heal → broadcast latency, self-gating vs `BENCH_recovery.json` |
 //! | `daemon_storm` | §2 launch storm through `lmond` admission control → `BENCH_daemon.json` |
 //! | `launch_latency` | per-phase time-to-ready, parallel vs sequential fan-out, self-gating vs `BENCH_launch.json` |
+//! | `upgrade_rolling` | rolling comm-daemon upgrade + phi vs sweep detection, self-gating vs `BENCH_upgrade.json` |
 //!
 //! This library holds the shared table-rendering helpers and the paper's
 //! reference numbers, so each bench can print paper-vs-reproduction

@@ -149,6 +149,12 @@ pub struct HealthSummary {
     pub degraded_sessions: usize,
     /// Live or retired sessions currently in [`HealthState::Healed`].
     pub healed_sessions: usize,
+    /// Live or retired sessions currently in [`HealthState::Draining`]
+    /// (planned maintenance flushing in-flight work, DESIGN.md §12).
+    pub draining_sessions: usize,
+    /// Live or retired sessions currently in [`HealthState::Upgraded`]
+    /// (a rolling replacement completed; not a failure).
+    pub upgraded_sessions: usize,
     /// Transitions currently held in memory across all monitors.
     pub transitions_retained: usize,
     /// Lifetime transitions recorded, including evicted ones.
@@ -230,6 +236,8 @@ impl HealthLedger {
             retired_sessions: self.retired.len(),
             degraded_sessions: monitors().filter(|m| m.current() == HealthState::Degraded).count(),
             healed_sessions: monitors().filter(|m| m.current() == HealthState::Healed).count(),
+            draining_sessions: monitors().filter(|m| m.current() == HealthState::Draining).count(),
+            upgraded_sessions: monitors().filter(|m| m.current() == HealthState::Upgraded).count(),
             transitions_retained: monitors().map(|m| m.retained()).sum(),
             transitions_recorded: self.recorded_total,
             transitions_dropped: ring_dropped + self.evicted_transitions,

@@ -40,6 +40,16 @@ pub enum HealthState {
     /// has a recovery in its history (its overlay runs under a newer
     /// epoch).
     Healed,
+    /// A planned maintenance drain is in progress (DESIGN.md §12): one of
+    /// the session's comm daemons is flushing its in-flight waves before
+    /// detaching. Not a failure — collectives may momentarily stall but
+    /// no data is lost.
+    Draining,
+    /// A planned replacement completed: the fabric is whole, running under
+    /// a newer epoch, with at least one daemon swapped for a hot spare.
+    /// Distinguished from [`HealthState::Healed`] so tools can tell a
+    /// rolling upgrade from a recovered failure.
+    Upgraded,
 }
 
 /// One recorded health transition.
@@ -180,6 +190,16 @@ mod tests {
         m.record(HealthState::Healed, 1, "b");
         assert_eq!(m.retained(), 1);
         assert_eq!(m.current(), HealthState::Healed, "current state survives eviction");
+    }
+
+    #[test]
+    fn planned_maintenance_states_are_not_failures() {
+        let mut m = HealthMonitor::new();
+        m.record(HealthState::Draining, 0, "draining comm (1,0)");
+        assert!(!m.is_degraded(), "a planned drain is not a failure");
+        m.record(HealthState::Upgraded, 1, "replaced by spare (1,8)");
+        assert_eq!(m.current(), HealthState::Upgraded);
+        assert!(!m.is_degraded());
     }
 
     #[test]

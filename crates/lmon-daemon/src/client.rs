@@ -196,6 +196,53 @@ impl DaemonClient {
             .ok_or_else(|| DaemonError::Protocol("LAUNCH reply without gsid".into()))
     }
 
+    /// Start a plain job (no tool attached); returns `(launcher pid, job id)`
+    /// — the pid a later [`DaemonClient::attach`] targets.
+    pub fn run_job(
+        &mut self,
+        app: &str,
+        nodes: usize,
+        tasks_per_node: usize,
+    ) -> DaemonResult<(u64, u64)> {
+        let reply = self.request(&format!("RUNJOB {app} {nodes} {tasks_per_node}"))?;
+        let pid = reply
+            .field_as::<u64>("pid")
+            .ok_or_else(|| DaemonError::Protocol("RUNJOB reply without pid".into()))?;
+        let job = reply
+            .field_as::<u64>("job")
+            .ok_or_else(|| DaemonError::Protocol("RUNJOB reply without job".into()))?;
+        Ok((pid, job))
+    }
+
+    /// Attach tool daemons to running jobs by launcher pid; returns one
+    /// daemon-wide session id per pid, in request order.
+    pub fn attach(&mut self, pids: &[u64], body: &str) -> DaemonResult<Vec<u64>> {
+        if pids.is_empty() {
+            return Err(DaemonError::Protocol("attach needs at least one pid".into()));
+        }
+        let pid_list = pids.iter().map(|p| p.to_string()).collect::<Vec<_>>().join(" ");
+        let reply = self.request(&format!("ATTACH {pid_list} {body}"))?;
+        let gsids = reply
+            .field("gsids")
+            .ok_or_else(|| DaemonError::Protocol("ATTACH reply without gsids".into()))?;
+        gsids
+            .split(',')
+            .map(|g| {
+                g.parse::<u64>()
+                    .map_err(|_| DaemonError::Protocol(format!("bad gsid in ATTACH reply: {g:?}")))
+            })
+            .collect()
+    }
+
+    /// Run a rolling-upgrade drill (`None` = the daemon's default shape);
+    /// returns the reply fields (`nodes_upgraded`, `drain_p50_us`, ...).
+    pub fn upgrade(&mut self, shape: Option<&str>) -> DaemonResult<ParsedReply> {
+        match shape {
+            Some(s) => self.request(&format!("UPGRADE {s}")),
+            None => self.request("UPGRADE"),
+        }
+    }
+
     /// Daemon-wide status fields.
     pub fn status(&mut self) -> DaemonResult<ParsedReply> {
         self.request("STATUS")

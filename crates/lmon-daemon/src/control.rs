@@ -39,6 +39,30 @@ pub enum Request {
         /// Registered daemon-body name (`sleeper`, `oneshot`, ...).
         body: String,
     },
+    /// Attach tool daemons to already-running jobs, one session per pid.
+    Attach {
+        /// Launcher pids of the running jobs to attach to.
+        pids: Vec<u64>,
+        /// Registered daemon-body name (`sleeper`, `oneshot`, ...).
+        body: String,
+    },
+    /// Start a plain (tool-free) job on the resource manager, so a later
+    /// `ATTACH` has something to attach to.
+    RunJob {
+        /// Application executable.
+        app: String,
+        /// Nodes to launch across.
+        nodes: usize,
+        /// Application tasks per node.
+        tasks_per_node: usize,
+    },
+    /// Rolling upgrade drill: build an overlay with a hot-spare pool and
+    /// replace every interior comm daemon one at a time (DESIGN.md §12).
+    Upgrade {
+        /// Overlay shape (`FANOUTxWIDTHxLEAVES[+SPARES]`); daemon default
+        /// when omitted.
+        shape: Option<String>,
+    },
     /// Daemon-wide status summary.
     Status,
     /// One session's status.
@@ -94,6 +118,33 @@ impl Request {
                 body: (*body).to_string(),
             }),
             ("LAUNCH", _) => Err("usage: LAUNCH <app> <nodes> <tasks_per_node> [body]".into()),
+            ("ATTACH", []) => Err("usage: ATTACH <pid> [<pid>...] [body]".into()),
+            ("ATTACH", toks) => {
+                // Every leading numeric token is a pid; one trailing
+                // non-numeric token names the daemon body.
+                let mut pids = Vec::new();
+                let mut body = DEFAULT_BODY.to_string();
+                for (i, tok) in toks.iter().enumerate() {
+                    match tok.parse::<u64>() {
+                        Ok(pid) => pids.push(pid),
+                        Err(_) if i == toks.len() - 1 => body = (*tok).to_string(),
+                        Err(_) => return Err(format!("bad pid: {tok:?}")),
+                    }
+                }
+                if pids.is_empty() {
+                    return Err("usage: ATTACH <pid> [<pid>...] [body]".into());
+                }
+                Ok(Request::Attach { pids, body })
+            }
+            ("RUNJOB", [app, nodes, tpn]) => Ok(Request::RunJob {
+                app: (*app).to_string(),
+                nodes: parse_num(nodes, "nodes")?,
+                tasks_per_node: parse_num(tpn, "tasks_per_node")?,
+            }),
+            ("RUNJOB", _) => Err("usage: RUNJOB <app> <nodes> <tasks_per_node>".into()),
+            ("UPGRADE", []) => Ok(Request::Upgrade { shape: None }),
+            ("UPGRADE", [shape]) => Ok(Request::Upgrade { shape: Some((*shape).to_string()) }),
+            ("UPGRADE", _) => Err("usage: UPGRADE [shape]".into()),
             ("STATUS", []) => Ok(Request::Status),
             ("STATUS", [gsid]) => Ok(Request::SessionStatus { gsid: parse_num(gsid, "gsid")? }),
             ("DETACH", [gsid]) => Ok(Request::Detach { gsid: parse_num(gsid, "gsid")? }),
@@ -228,6 +279,23 @@ mod tests {
                 body: "oneshot".into()
             }
         );
+        assert_eq!(
+            Request::parse("ATTACH 4242").unwrap(),
+            Request::Attach { pids: vec![4242], body: DEFAULT_BODY.into() }
+        );
+        assert_eq!(
+            Request::parse("attach 1 2 3 oneshot").unwrap(),
+            Request::Attach { pids: vec![1, 2, 3], body: "oneshot".into() }
+        );
+        assert_eq!(
+            Request::parse("RUNJOB app 4 2").unwrap(),
+            Request::RunJob { app: "app".into(), nodes: 4, tasks_per_node: 2 }
+        );
+        assert_eq!(Request::parse("UPGRADE").unwrap(), Request::Upgrade { shape: None });
+        assert_eq!(
+            Request::parse("UPGRADE 1x4x16+4").unwrap(),
+            Request::Upgrade { shape: Some("1x4x16+4".into()) }
+        );
         assert_eq!(Request::parse("STATUS").unwrap(), Request::Status);
         assert_eq!(Request::parse("STATUS 17").unwrap(), Request::SessionStatus { gsid: 17 });
         assert_eq!(Request::parse("DETACH 3").unwrap(), Request::Detach { gsid: 3 });
@@ -246,6 +314,11 @@ mod tests {
         assert!(Request::parse("LAUNCH app").unwrap_err().contains("usage"));
         assert!(Request::parse("LAUNCH app x 2").unwrap_err().contains("bad nodes"));
         assert!(Request::parse("DETACH abc").unwrap_err().contains("bad gsid"));
+        assert!(Request::parse("ATTACH").unwrap_err().contains("usage"));
+        assert!(Request::parse("ATTACH body 17").unwrap_err().contains("bad pid"));
+        assert!(Request::parse("ATTACH oneshot").unwrap_err().contains("usage"));
+        assert!(Request::parse("RUNJOB app 4").unwrap_err().contains("usage"));
+        assert!(Request::parse("UPGRADE a b").unwrap_err().contains("usage"));
         assert!(Request::parse("FROB 1").unwrap_err().contains("unknown command"));
     }
 

@@ -9,25 +9,38 @@ use std::os::unix::net::{UnixListener, UnixStream};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use parking_lot::Mutex;
 
 use lmon_cluster::config::ClusterConfig;
+use lmon_cluster::process::Pid;
 use lmon_cluster::VirtualCluster;
 use lmon_core::be::BeMain;
 use lmon_core::fe::LmonFrontEnd;
 use lmon_core::session::SessionId;
 use lmon_core::HealthState;
 use lmon_proto::payload::DaemonSpec;
-use lmon_rm::api::ResourceManager;
+use lmon_rm::api::{JobSpec, ResourceManager};
 use lmon_rm::SlurmRm;
+use lmon_tbon::filter::{FilterKind, FilterRegistry};
+use lmon_tbon::overlay::{run_comm_node, FrontEndpoint, LeafEvent, Overlay, UpgradeReport};
 use lmon_tbon::recovery::OverlayStats;
+use lmon_tbon::spec::TopologySpec;
+use lmon_tbon::{PhiAccrualParams, SuspicionTable};
 
 use crate::admission::{AdmissionError, AdmissionQueue, Permit};
 use crate::control::{Reply, Request, HELLO_BANNER};
 use crate::error::{DaemonError, DaemonResult};
 use crate::metrics::{render_prometheus, MetricsSnapshot};
+
+/// Overlay shape an `UPGRADE` request drills when none is given: a designed
+/// fan-out of 4 over 16 leaves, with one hot spare per interior comm.
+pub const DEFAULT_UPGRADE_SHAPE: &str = "1x4x16+4";
+
+/// Suspicion tables retained for `/metrics` (most recent drills only, so a
+/// long-lived daemon's scrape payload stays bounded).
+const SUSPICION_TABLES_CAP: usize = 4;
 
 /// Tunables for a daemon instance. `Default` is sized for tests and small
 /// deployments; production embedders scale the pool and cluster.
@@ -100,6 +113,10 @@ pub struct Daemon {
     active_conns: AtomicUsize,
     shutting_down: AtomicBool,
     started_at: Instant,
+    upgrades_run: AtomicU64,
+    /// Live suspicion tables from recent upgrade drills (bounded; exported
+    /// as the per-child suspicion gauge on `/metrics`).
+    suspicion_tables: Mutex<Vec<Arc<SuspicionTable>>>,
     /// Bound control endpoints, recorded by [`start_daemon`] so that
     /// [`Daemon::begin_shutdown`] can poke its own blocking accept loops
     /// awake (a `SHUTDOWN` arriving on one listener must unblock both).
@@ -137,6 +154,8 @@ impl Daemon {
             active_conns: AtomicUsize::new(0),
             shutting_down: AtomicBool::new(false),
             started_at: Instant::now(),
+            upgrades_run: AtomicU64::new(0),
+            suspicion_tables: Mutex::new(Vec::new()),
             endpoints: Mutex::new(BoundEndpoints::default()),
             cfg,
         });
@@ -174,6 +193,18 @@ impl Daemon {
     /// The admission queue (stats inspection, embedder-driven admission).
     pub fn admission(&self) -> &Arc<AdmissionQueue> {
         &self.admission
+    }
+
+    /// Register a suspicion table for `/metrics` export. Only the 4 most
+    /// recent tables are retained (`SUSPICION_TABLES_CAP`) — stale drills
+    /// age out instead of growing the scrape payload forever.
+    pub fn register_suspicion_table(&self, table: Arc<SuspicionTable>) {
+        let mut tables = self.suspicion_tables.lock();
+        tables.push(table);
+        if tables.len() > SUSPICION_TABLES_CAP {
+            let excess = tables.len() - SUSPICION_TABLES_CAP;
+            tables.drain(..excess);
+        }
     }
 
     /// Chaos/test hook: the front end behind backend `idx` (the round-robin
@@ -224,6 +255,11 @@ impl Daemon {
             Request::Launch { app, nodes, tasks_per_node, body } => {
                 self.handle_launch(app, *nodes, *tasks_per_node, body)
             }
+            Request::Attach { pids, body } => self.handle_attach(pids, body),
+            Request::RunJob { app, nodes, tasks_per_node } => {
+                self.handle_runjob(app, *nodes, *tasks_per_node)
+            }
+            Request::Upgrade { shape } => self.handle_upgrade(shape.as_deref()),
             Request::Status => self.handle_status(),
             Request::SessionStatus { gsid } => self.handle_session_status(*gsid),
             Request::Detach { gsid } => self.handle_end(*gsid, false),
@@ -315,6 +351,194 @@ impl Daemon {
         }
     }
 
+    /// Start a plain (tool-free) job on one backend's resource manager —
+    /// the running launcher a later `ATTACH` targets. Mirrors the paper's
+    /// attach-mode workflow: the job exists first, the tool comes second.
+    fn handle_runjob(&self, app: &str, nodes: usize, tasks_per_node: usize) -> Reply {
+        if nodes == 0 || tasks_per_node == 0 {
+            return Reply::Err("nodes and tasks_per_node must be >= 1".into());
+        }
+        if nodes > self.cfg.cluster_nodes {
+            return Reply::Err(format!(
+                "nodes {nodes} exceeds backend cluster size {}",
+                self.cfg.cluster_nodes
+            ));
+        }
+        let fe_idx = self.next_backend.fetch_add(1, Ordering::Relaxed) % self.backends.len();
+        let rm = self.backends[fe_idx].fe.rm();
+        match rm.launch_job(&JobSpec::new(app, nodes, tasks_per_node), false) {
+            Ok(handle) => Reply::ok(&[
+                ("pid", handle.launcher_pid.0.to_string()),
+                ("job", handle.job_id.to_string()),
+                ("fe", fe_idx.to_string()),
+                ("nodes", handle.allocation.len().to_string()),
+            ]),
+            Err(e) => Reply::Err(format!("runjob failed: {e}")),
+        }
+    }
+
+    /// Attach tool daemons to already-running jobs: one session per
+    /// launcher pid, each admitted like a launch. Every pid is resolved to
+    /// its owning backend *before* any attach runs, so a bad pid fails the
+    /// whole request instead of half of it; a failure mid-way reports how
+    /// many sessions were already established (they stay live and show up
+    /// in `STATUS`).
+    fn handle_attach(&self, pids: &[u64], body: &str) -> Reply {
+        let Some(body_fn) = self.bodies.lock().get(body).cloned() else {
+            return Reply::Err(format!("unknown daemon body {body:?}"));
+        };
+        let mut targets = Vec::with_capacity(pids.len());
+        for &pid in pids {
+            let Some(fe_idx) = (0..self.backends.len())
+                .find(|&i| self.backends[i].cluster.find_proc(Pid(pid)).is_ok())
+            else {
+                return Reply::Err(format!("no running process with pid {pid}"));
+            };
+            targets.push((pid, fe_idx));
+        }
+
+        let mut gsids: Vec<String> = Vec::with_capacity(targets.len());
+        let mut daemons_total = 0usize;
+        for (pid, fe_idx) in targets {
+            let permit = match self.admission.admit() {
+                Ok(p) => p,
+                Err(e @ AdmissionError::QueueFull { .. }) => {
+                    return Reply::Err(format!(
+                        "busy: {e} ({} of {} attached)",
+                        gsids.len(),
+                        pids.len()
+                    ))
+                }
+                Err(e @ AdmissionError::Closed) => return Reply::Err(format!("shutdown: {e}")),
+            };
+            let fe = &self.backends[fe_idx].fe;
+            let sid = fe.create_session();
+            let started = Instant::now();
+            match fe.attach_and_spawn(
+                sid,
+                Pid(pid),
+                DaemonSpec::bare(format!("lmond_be_{body}")),
+                body_fn.clone(),
+            ) {
+                Ok(outcome) => {
+                    let gsid = self.next_gsid.fetch_add(1, Ordering::Relaxed);
+                    fe.record_session_health(
+                        sid,
+                        HealthState::Healthy,
+                        0,
+                        format!("attached via lmond (gsid {gsid}, launcher pid {pid})"),
+                    );
+                    self.sessions.lock().insert(
+                        gsid,
+                        SessionEntry {
+                            fe_idx,
+                            sid,
+                            app: format!("attach:pid={pid}"),
+                            daemons: outcome.daemon_count,
+                            started,
+                            permit,
+                        },
+                    );
+                    self.launches_total.fetch_add(1, Ordering::Relaxed);
+                    daemons_total += outcome.daemon_count;
+                    gsids.push(gsid.to_string());
+                }
+                Err(e) => {
+                    self.launch_failures_total.fetch_add(1, Ordering::Relaxed);
+                    return Reply::Err(format!(
+                        "attach pid {pid} failed: {e} ({} of {} attached)",
+                        gsids.len(),
+                        pids.len()
+                    ));
+                }
+            }
+        }
+        Reply::ok(&[
+            ("gsids", gsids.join(",")),
+            ("sessions", gsids.len().to_string()),
+            ("daemons", daemons_total.to_string()),
+        ])
+    }
+
+    /// Rolling-upgrade drill (DESIGN.md §12): bring up an overlay with a
+    /// hot-spare pool next to the session fabric, replace every interior
+    /// comm daemon one drain at a time, and verify end-to-end waves before
+    /// and after. The overlay shares the daemon's stats ledger, so every
+    /// drain/spare/suspicion counter lands on `/metrics`, and the drill's
+    /// suspicion table stays registered for the per-child gauge.
+    fn handle_upgrade(&self, shape: Option<&str>) -> Reply {
+        let shape = shape.unwrap_or(DEFAULT_UPGRADE_SHAPE);
+        let spec = match TopologySpec::parse(shape) {
+            Ok(s) => s,
+            Err(e) => return Reply::Err(format!("bad shape {shape:?}: {e}")),
+        };
+        // The drill holds an admission slot like any session: a storm of
+        // UPGRADE requests queues instead of stacking overlay threads.
+        let permit = match self.admission.admit() {
+            Ok(p) => p,
+            Err(e @ AdmissionError::QueueFull { .. }) => return Reply::Err(format!("busy: {e}")),
+            Err(e @ AdmissionError::Closed) => return Reply::Err(format!("shutdown: {e}")),
+        };
+
+        let leaves = spec.leaf_count();
+        let overlay = Overlay::build_shared(&spec, FilterRegistry::new(), self.overlay_stats());
+        let mut handles = Vec::new();
+        for harness in overlay.comm {
+            handles.push(std::thread::spawn(move || run_comm_node(harness, FilterRegistry::new())));
+        }
+        for leaf in overlay.leaves {
+            handles.push(std::thread::spawn(move || {
+                let _ = leaf.send_hello();
+                loop {
+                    match leaf.recv() {
+                        Ok(LeafEvent::Data(pkt)) => {
+                            let _ = leaf.send_up(pkt.stream, pkt.tag, vec![leaf.leaf_index as u8]);
+                        }
+                        Ok(LeafEvent::StreamOpened(_)) => continue,
+                        Ok(LeafEvent::Shutdown) | Err(_) => return,
+                    }
+                }
+            }));
+        }
+
+        let mut front = overlay.front;
+        let result = run_upgrade_drill(&mut front, leaves);
+        front.shutdown();
+        for h in handles {
+            let _ = h.join();
+        }
+        drop(permit);
+
+        match result {
+            Ok((table, report)) => {
+                self.register_suspicion_table(table);
+                self.upgrades_run.fetch_add(1, Ordering::Relaxed);
+                let mut drains_us: Vec<u128> =
+                    report.steps.iter().map(|s| s.drain.as_micros()).collect();
+                drains_us.sort_unstable();
+                let pct = |q: f64| -> u128 {
+                    if drains_us.is_empty() {
+                        0
+                    } else {
+                        drains_us[((drains_us.len() - 1) as f64 * q).round() as usize]
+                    }
+                };
+                let spares_used = report.steps.iter().filter(|s| s.spare_used.is_some()).count();
+                Reply::ok(&[
+                    ("shape", shape.to_string()),
+                    ("nodes_upgraded", report.steps.len().to_string()),
+                    ("spares_used", spares_used.to_string()),
+                    ("unplanned_repairs", report.unplanned_repairs.to_string()),
+                    ("epoch", report.epoch.to_string()),
+                    ("drain_p50_us", pct(0.50).to_string()),
+                    ("drain_p99_us", pct(0.99).to_string()),
+                    ("waves_intact", "1".into()),
+                ])
+            }
+            Err(e) => Reply::Err(format!("upgrade drill failed: {e}")),
+        }
+    }
+
     fn handle_status(&self) -> Reply {
         let adm = self.admission.stats();
         Reply::ok(&[
@@ -328,6 +552,7 @@ impl Daemon {
             ("rejected", adm.rejected_total.to_string()),
             ("launches", self.launches_total.load(Ordering::Relaxed).to_string()),
             ("failures", self.launch_failures_total.load(Ordering::Relaxed).to_string()),
+            ("upgrades", self.upgrades_run.load(Ordering::Relaxed).to_string()),
             ("limit", self.admission.limit().to_string()),
             ("queue_capacity", self.cfg.queue_capacity.to_string()),
         ])
@@ -381,7 +606,20 @@ impl Daemon {
         let healths: Vec<_> = self.backends.iter().map(|b| b.fe.health_summary()).collect();
         let degraded: usize = healths.iter().map(|h| h.degraded_sessions).sum();
         let healed: usize = healths.iter().map(|h| h.healed_sessions).sum();
+        let draining: usize = healths.iter().map(|h| h.draining_sessions).sum();
+        let upgraded: usize = healths.iter().map(|h| h.upgraded_sessions).sum();
         let active = self.sessions_active();
+        let suspicion_levels = self
+            .suspicion_tables
+            .lock()
+            .iter()
+            .enumerate()
+            .flat_map(|(overlay, table)| {
+                table.snapshot().into_iter().map(move |(pos, entry)| {
+                    (overlay, format!("{}:{}", pos.level, pos.index), entry.level as u8)
+                })
+            })
+            .collect();
         MetricsSnapshot {
             uptime: self.started_at.elapsed(),
             sessions_active: active,
@@ -394,10 +632,16 @@ impl Daemon {
             health_states: vec![
                 // Approximation: a session is healthy unless its (live or
                 // recently retired) monitor says otherwise.
-                (HealthState::Healthy, active.saturating_sub(degraded + healed)),
+                (
+                    HealthState::Healthy,
+                    active.saturating_sub(degraded + healed + draining + upgraded),
+                ),
                 (HealthState::Degraded, degraded),
                 (HealthState::Healed, healed),
+                (HealthState::Draining, draining),
+                (HealthState::Upgraded, upgraded),
             ],
+            suspicion_levels,
         }
     }
 
@@ -456,6 +700,35 @@ impl Daemon {
             }
         }
     }
+}
+
+/// The measured body of an `UPGRADE` drill: connect, arm background
+/// suspicion, prove a healthy end-to-end wave, walk the rolling upgrade,
+/// prove the post-upgrade wave. Separated from the handler so teardown
+/// (shutdown + thread joins + permit release) runs on every exit path.
+fn run_upgrade_drill(
+    front: &mut FrontEndpoint,
+    leaves: u32,
+) -> Result<(Arc<SuspicionTable>, UpgradeReport), String> {
+    let step = Duration::from_secs(20);
+    front.await_connections(leaves, step).map_err(|e| format!("connect: {e}"))?;
+    let table = front.start_suspicion(PhiAccrualParams::default());
+    let stream = front.open_stream(FilterKind::Concat).map_err(|e| format!("open stream: {e}"))?;
+
+    front.broadcast(stream, 1, vec![]).map_err(|e| format!("pre-upgrade broadcast: {e}"))?;
+    let pkt = front.gather(stream, 1, step).map_err(|e| format!("pre-upgrade gather: {e}"))?;
+    if pkt.payload.len() != leaves as usize {
+        return Err(format!("pre-upgrade wave incomplete: {} of {leaves}", pkt.payload.len()));
+    }
+
+    let report = front.rolling_upgrade(step).map_err(|e| format!("rolling upgrade: {e}"))?;
+
+    front.broadcast(stream, 2, vec![]).map_err(|e| format!("post-upgrade broadcast: {e}"))?;
+    let pkt = front.gather(stream, 2, step).map_err(|e| format!("post-upgrade gather: {e}"))?;
+    if pkt.payload.len() != leaves as usize {
+        return Err(format!("post-upgrade wave incomplete: {} of {leaves}", pkt.payload.len()));
+    }
+    Ok((table, report))
 }
 
 /// Minimal HTTP/1.0 response for `GET /metrics` scrapes.

@@ -44,6 +44,10 @@ pub struct MetricsSnapshot {
     pub overlay: OverlayStatsSnapshot,
     /// Sessions per current health state, across the pool.
     pub health_states: Vec<(HealthState, usize)>,
+    /// Per-child phi-accrual suspicion levels from recent upgrade drills:
+    /// `(overlay index, "level:index" child label, level)` with level
+    /// 0 = alive, 1 = suspect, 2 = dead (DESIGN.md §12).
+    pub suspicion_levels: Vec<(usize, String, u8)>,
 }
 
 struct Renderer {
@@ -229,6 +233,65 @@ pub fn render_prometheus(snap: &MetricsSnapshot) -> String {
         orphans_adopted
     );
 
+    // --- planned maintenance (DESIGN.md §12) ----------------------------
+    overlay_counter!(
+        "lmond_overlay_drains_completed_total",
+        "Planned drains completed (comm daemon flushed and detached).",
+        drains_completed
+    );
+    overlay_counter!(
+        "lmond_overlay_spares_registered_total",
+        "Hot spares registered at overlay build time.",
+        spares_registered
+    );
+    overlay_counter!(
+        "lmond_overlay_spares_activated_total",
+        "Hot spares consumed by repairs or upgrades.",
+        spares_activated
+    );
+    r.gauge(
+        "lmond_overlay_spares_idle",
+        "Hot spares still idle in the pool (registered minus activated).",
+        snap.overlay.spares_registered.saturating_sub(snap.overlay.spares_activated),
+    );
+    overlay_counter!(
+        "lmond_overlay_beats_received_total",
+        "Liveness beats received by suspicion monitors.",
+        beats_received
+    );
+    overlay_counter!(
+        "lmond_overlay_suspicions_raised_total",
+        "Nodes whose phi crossed the suspect threshold.",
+        suspicions_raised
+    );
+    overlay_counter!(
+        "lmond_overlay_suspicion_deaths_total",
+        "Silent deaths declared by the phi-accrual detector.",
+        suspicion_deaths
+    );
+    overlay_counter!(
+        "lmond_overlay_upgrades_completed_total",
+        "Comm daemons replaced by completed upgrade steps.",
+        upgrades_completed
+    );
+    overlay_counter!(
+        "lmond_overlay_upgrades_failed_total",
+        "Upgrade steps that failed and fell back to the repair path.",
+        upgrades_failed
+    );
+    r.family(
+        "lmond_overlay_suspicion_level",
+        "gauge",
+        "Per-child phi-accrual suspicion (0=alive, 1=suspect, 2=dead).",
+    );
+    for (overlay, child, level) in &snap.suspicion_levels {
+        r.sample(
+            "lmond_overlay_suspicion_level",
+            &[("overlay", overlay.to_string()), ("child", child.clone())],
+            level,
+        );
+    }
+
     // --- HealthMonitor ledger -------------------------------------------
     macro_rules! per_fe_health {
         ($name:literal, $kind:literal, $help:literal, $field:ident) => {
@@ -278,6 +341,8 @@ pub fn render_prometheus(snap: &MetricsSnapshot) -> String {
             HealthState::Healthy => "healthy",
             HealthState::Degraded => "degraded",
             HealthState::Healed => "healed",
+            HealthState::Draining => "draining",
+            HealthState::Upgraded => "upgraded",
         };
         r.sample("lmond_health_sessions", &[("state", label.to_string())], count);
     }
@@ -319,16 +384,25 @@ mod tests {
                 retired_sessions: 2,
                 degraded_sessions: 1,
                 healed_sessions: 1,
+                draining_sessions: 0,
+                upgraded_sessions: 1,
                 transitions_retained: 5,
                 transitions_recorded: 40,
                 transitions_dropped: 35,
             }],
-            overlay: OverlayStatsSnapshot::default(),
+            overlay: OverlayStatsSnapshot {
+                spares_registered: 4,
+                spares_activated: 1,
+                ..OverlayStatsSnapshot::default()
+            },
             health_states: vec![
                 (HealthState::Healthy, 2),
                 (HealthState::Degraded, 1),
                 (HealthState::Healed, 0),
+                (HealthState::Draining, 0),
+                (HealthState::Upgraded, 1),
             ],
+            suspicion_levels: vec![(0, "1:0".into(), 0), (0, "1:3".into(), 2)],
         }
     }
 
@@ -342,6 +416,15 @@ mod tests {
         assert!(text.contains("lmond_health_sessions{state=\"degraded\"} 1"), "{text}");
         assert!(text.contains("lmond_admission_queue_depth 2"), "{text}");
         assert!(text.contains("lmond_uptime_seconds 90"), "{text}");
+        // DESIGN.md §12 planned-maintenance families.
+        assert!(text.contains("lmond_overlay_spares_registered_total 4"), "{text}");
+        assert!(text.contains("lmond_overlay_spares_idle 3"), "{text}");
+        assert!(text.contains("lmond_overlay_upgrades_completed_total 0"), "{text}");
+        assert!(text.contains("lmond_health_sessions{state=\"upgraded\"} 1"), "{text}");
+        assert!(
+            text.contains("lmond_overlay_suspicion_level{overlay=\"0\",child=\"1:3\"} 2"),
+            "{text}"
+        );
     }
 
     #[test]

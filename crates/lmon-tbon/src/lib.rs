@@ -23,6 +23,10 @@
 //!   sweep), grandparent adoption of orphaned subtrees with fan-out-bounded
 //!   splitting across siblings, and epoch-stamped route repair so stale
 //!   in-flight packets are counted and dropped rather than mis-routed.
+//! * [`suspicion`] — background phi-accrual failure suspicion (DESIGN.md
+//!   §12): comm daemons stream heartbeats over a dedicated channel and a
+//!   per-overlay monitor grades each child Alive → Suspect → Dead instead
+//!   of the binary caller-driven sweep, feeding the same repair path.
 //! * [`bootstrap`] — the two instantiation paths Figure 6 measures:
 //!   [`bootstrap::bootstrap_adhoc`] launches every daemon with sequential
 //!   rsh from the front end (MRNet 1.x behaviour: linear cost, fd
@@ -40,10 +44,12 @@ pub mod overlay;
 pub mod packet;
 pub mod recovery;
 pub mod spec;
+pub mod suspicion;
 
 pub use error::{TbonError, TbonResult};
 pub use filter::FilterKind;
-pub use overlay::{CommFault, FrontEndpoint, LeafEndpoint, Overlay};
+pub use overlay::{CommFault, FrontEndpoint, LeafEndpoint, Overlay, UpgradeReport, UpgradeStep};
 pub use packet::Packet;
 pub use recovery::{OverlayStatsSnapshot, RecoveryEvent, RepairReport, RouteTable};
 pub use spec::TopologySpec;
+pub use suspicion::{PhiAccrualParams, SuspicionLevel, SuspicionTable};

@@ -13,10 +13,18 @@
 //! grandparent — split across siblings when fan-out bounds require —
 //! under a bumped overlay *epoch*. Packets stamped with a pre-repair epoch
 //! are counted in [`OverlayStats`] and dropped, never mis-routed.
+//!
+//! On top of the failure path sits **planned maintenance** (DESIGN.md §12):
+//! [`FrontEndpoint::drain_comm`] quiesces a daemon without losing a packet
+//! (it flushes every in-flight wave before detaching), a `+N` spec suffix
+//! pre-launches a hot-spare pool that repairs prefer over inflating
+//! sibling fan-out, [`FrontEndpoint::start_suspicion`] runs background
+//! phi-accrual failure detection, and [`FrontEndpoint::rolling_upgrade`]
+//! walks the overlay replacing one comm daemon at a time.
 
 use std::collections::{BTreeMap, HashMap, HashSet};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use crossbeam_channel::{unbounded, Receiver, SelectWaker, Sender, TryRecvError};
 use parking_lot::Mutex;
@@ -25,10 +33,11 @@ use crate::error::{TbonError, TbonResult};
 use crate::filter::{FilterKind, FilterRegistry};
 use crate::packet::{Control, Down, Packet, Up, UpKind};
 use crate::recovery::{
-    plan_adoption, AdoptCandidate, ChildLink, OverlayStats, OverlayStatsSnapshot, RecoveryCmd,
+    adoption_candidates, plan_adoption, ChildLink, OverlayStats, OverlayStatsSnapshot, RecoveryCmd,
     RecoveryEvent, RepairReport, RouteTable,
 };
 use crate::spec::{NodePos, TopologySpec};
+use crate::suspicion::{spawn_monitor, PhiAccrualParams, SuspicionHandle, SuspicionTable};
 
 /// Reserved stream id for connection hellos.
 pub const CONNECT_STREAM: u16 = 0;
@@ -211,6 +220,23 @@ pub struct FrontEndpoint {
     dead_pending: Vec<NodePos>,
     ping_seq: u64,
     pongs: HashSet<NodePos>,
+    /// Waves that completed under a superseded epoch and were preserved by
+    /// a repair (every pre-repair child had contributed). Served by the
+    /// next `gather` for that (stream, tag) before any new-epoch wave, so
+    /// a drain that flushed its data cannot retroactively lose it.
+    flushed: HashMap<(u16, u16), BTreeMap<NodePos, Packet>>,
+    /// Nodes under a planned drain, shared with the suspicion monitor:
+    /// their silence is intentional and must not read as death.
+    draining: Arc<Mutex<HashSet<NodePos>>>,
+    /// Drain confirmations received but not yet claimed by `drain_comm`.
+    drained_pending: HashSet<NodePos>,
+    /// (node, epoch) pairs a heartbeat sweep already reported missing:
+    /// back-to-back sweeps straddling one failure attribute it exactly
+    /// once. Re-armed by a pong, pruned at each epoch bump.
+    reported_missing: HashSet<(NodePos, u64)>,
+    /// Background phi-accrual monitor, once started (dropping the front
+    /// end stops its thread).
+    suspicion: Option<SuspicionHandle>,
 }
 
 impl FrontEndpoint {
@@ -299,13 +325,24 @@ impl FrontEndpoint {
                 if seq == self.ping_seq {
                     self.pongs.insert(pos);
                 }
+                // A node that answers again is no longer missing: re-arm
+                // its heartbeat attribution for this epoch.
+                self.reported_missing.remove(&(pos, self.epoch));
             }
             UpKind::ChildGone { pos } => self.note_dead(pos),
+            UpKind::Drained { pos } => {
+                self.drained_pending.insert(pos);
+            }
         }
     }
 
     /// Record a death exactly once (idempotent across duplicate notices).
     fn note_dead(&mut self, pos: NodePos) {
+        // A draining node's silence (and eventual link close) is planned:
+        // it must never enter the failure ledger.
+        if self.draining.lock().contains(&pos) {
+            return;
+        }
         let routed = self.route.lock().nodes.contains_key(&pos);
         if !routed {
             return;
@@ -346,12 +383,12 @@ impl FrontEndpoint {
             if remaining.is_zero() {
                 return None;
             }
-            match self.up_rx.recv_timeout(remaining) {
-                Ok(up) => self.process_up(up),
-                Err(_) => {
-                    let dead = self.poll_failures();
-                    return dead.first().copied();
-                }
+            // Short receive chunks rather than one long block: a death can
+            // now land in the route table out of band (background
+            // suspicion marking a silent halt) with no up-link message to
+            // wake this receive.
+            if let Ok(up) = self.up_rx.recv_timeout(remaining.min(Duration::from_millis(10))) {
+                self.process_up(up);
             }
         }
     }
@@ -360,6 +397,13 @@ impl FrontEndpoint {
     /// for every live node's pong. Returns the nodes that did not answer —
     /// severed subtrees show up here even when their daemons still run,
     /// because their pongs are discarded at the cut.
+    ///
+    /// Idle spares (pings never reach them — they hold no tree position)
+    /// and draining nodes (silent on purpose) are not expected to answer.
+    /// A node already reported missing under the current epoch is not
+    /// reported again: back-to-back sweeps straddling one failure plan its
+    /// repair exactly once. The attribution re-arms when the node pongs
+    /// again or the epoch advances.
     pub fn heartbeat(&mut self, timeout: Duration) -> Vec<NodePos> {
         self.ping_seq += 1;
         self.pongs.clear();
@@ -367,10 +411,18 @@ impl FrontEndpoint {
         for c in &self.children {
             let _ = c.down.send(Down::Ctl(Control::Ping { seq: self.ping_seq }));
         }
-        let expected: HashSet<NodePos> = {
+        let mut expected: HashSet<NodePos> = {
             let rt = self.route.lock();
-            rt.nodes.iter().filter(|(p, n)| p.level != 0 && n.alive).map(|(p, _)| *p).collect()
+            rt.nodes
+                .iter()
+                .filter(|(p, n)| p.level != 0 && n.alive && !rt.spare_pool.contains(p))
+                .map(|(p, _)| *p)
+                .collect()
         };
+        {
+            let draining = self.draining.lock();
+            expected.retain(|p| !draining.contains(p));
+        }
         let deadline = std::time::Instant::now() + timeout;
         while !expected.is_subset(&self.pongs) {
             let remaining = deadline.saturating_duration_since(std::time::Instant::now());
@@ -383,8 +435,22 @@ impl FrontEndpoint {
             }
         }
         let mut missing: Vec<NodePos> = expected.difference(&self.pongs).copied().collect();
+        missing.retain(|p| self.reported_missing.insert((*p, self.epoch)));
         missing.sort_unstable();
         missing
+    }
+
+    /// The control mailbox of the interior comm daemon at `pos`; the root
+    /// and leaves are rejected with [`TbonError::UnknownNode`].
+    fn comm_ctl(&self, pos: NodePos) -> TbonResult<Sender<RecoveryCmd>> {
+        let rt = self.route.lock();
+        let node = rt.nodes.get(&pos).ok_or(TbonError::UnknownNode(pos))?;
+        // Interior comm daemons are exactly the non-root nodes that can
+        // parent (own an up channel).
+        if pos.level == 0 || node.up.is_none() {
+            return Err(TbonError::UnknownNode(pos));
+        }
+        node.ctl.clone().ok_or(TbonError::UnknownNode(pos))
     }
 
     /// Inject a deterministic crash into the comm daemon at `pos` (the
@@ -395,17 +461,62 @@ impl FrontEndpoint {
     /// are rejected with [`TbonError::UnknownNode`] rather than silently
     /// ignoring the command (leaves have no crash fault path to run).
     pub fn crash_comm(&self, pos: NodePos) -> TbonResult<()> {
-        let ctl = {
-            let rt = self.route.lock();
-            let node = rt.nodes.get(&pos).ok_or(TbonError::UnknownNode(pos))?;
-            // Interior comm daemons are exactly the non-root nodes that
-            // can parent (own an up channel).
-            if pos.level == 0 || node.up.is_none() {
-                return Err(TbonError::UnknownNode(pos));
+        self.comm_ctl(pos)?.send(RecoveryCmd::Crash).map_err(|_| TbonError::Disconnected)
+    }
+
+    /// Inject a *silent* death into the comm daemon at `pos`: the daemon
+    /// exits without the crash path's `LinkDown`/`ChildGone` notices or
+    /// route-table mark — the in-process analogue of `kill -9`. Only
+    /// background suspicion ([`FrontEndpoint::start_suspicion`]) can detect
+    /// it; the bench and chaos suites use exactly that to measure
+    /// phi-accrual detection latency.
+    pub fn halt_comm(&self, pos: NodePos) -> TbonResult<()> {
+        self.comm_ctl(pos)?.send(RecoveryCmd::Halt).map_err(|_| TbonError::Disconnected)
+    }
+
+    /// Planned, loss-free removal of the comm daemon at `pos` (DESIGN.md
+    /// §12): the daemon stops as soon as every in-flight wave it holds has
+    /// flushed upward, closes its links, confirms with a `Drained` notice,
+    /// and only then is its subtree re-parented through the normal repair
+    /// machinery — under a draining guard, so the teardown never enters
+    /// the failure ledger (no `Degraded` event, no death count, no
+    /// suspicion) and is visible as `drains_completed` instead.
+    ///
+    /// Wave aggregates the drain flushes are preserved across the repair:
+    /// a wave every pre-repair child had contributed to stays gatherable.
+    /// Broadcasts whose replies are still spread across *other* daemons
+    /// follow the usual PR 5 stale-epoch rule, so callers wanting strict
+    /// zero-loss gather outstanding waves before draining (the rolling
+    /// upgrade does).
+    ///
+    /// Returns the repair report once the subtree is whole again; on
+    /// timeout the node keeps running (the drain guard is rolled back) and
+    /// the caller may fall back to [`FrontEndpoint::crash_comm`].
+    pub fn drain_comm(&mut self, pos: NodePos, timeout: Duration) -> TbonResult<RepairReport> {
+        let ctl = self.comm_ctl(pos)?;
+        self.events.push(RecoveryEvent::Draining { node: pos, epoch: self.epoch });
+        self.draining.lock().insert(pos);
+        if ctl.send(RecoveryCmd::Drain).is_err() {
+            self.draining.lock().remove(&pos);
+            return Err(TbonError::Disconnected);
+        }
+        let deadline = Instant::now() + timeout;
+        while !self.drained_pending.remove(&pos) {
+            let remaining = deadline.saturating_duration_since(Instant::now());
+            if remaining.is_zero() {
+                self.draining.lock().remove(&pos);
+                return Err(TbonError::Timeout);
             }
-            node.ctl.clone().ok_or(TbonError::UnknownNode(pos))?
-        };
-        ctl.send(RecoveryCmd::Crash).map_err(|_| TbonError::Disconnected)
+            if let Ok(up) = self.up_rx.recv_timeout(remaining) {
+                self.process_up(up);
+            }
+        }
+        self.stats.add_drains(1);
+        // Re-parent the drained subtree; the draining guard keeps the
+        // planned death out of the failure path inside repair().
+        let report = self.repair(pos);
+        self.draining.lock().remove(&pos);
+        report
     }
 
     /// Repair the overlay after `dead`'s death: bump the overlay epoch,
@@ -423,6 +534,7 @@ impl FrontEndpoint {
             return Err(TbonError::UnknownNode(dead));
         }
         self.note_dead(dead);
+        let pre_children: HashSet<NodePos> = self.children.iter().map(|c| c.pos).collect();
 
         let root = NodePos { level: 0, index: 0 };
         let mut rt = self.route.lock();
@@ -453,7 +565,9 @@ impl FrontEndpoint {
         let e = self.epoch;
 
         // Candidates: the dead node's live siblings under `g` that can
-        // parent (internal nodes), then `g` itself as the fallback.
+        // parent (internal nodes), then idle hot spares (preferred over
+        // inflating a sibling past its designed fan-out), then `g` itself
+        // as the fallback.
         let bound_for = |rt: &crate::recovery::RouteInner, p: NodePos| -> usize {
             2 * rt.base_fanout.get(p.level as usize).copied().unwrap_or(0).max(1)
         };
@@ -465,27 +579,43 @@ impl FrontEndpoint {
             .filter(|p| rt.nodes.get(p).map(|n| n.alive && n.up.is_some()).unwrap_or(false))
             .collect();
         sibs.sort_unstable();
-        let mut candidates: Vec<AdoptCandidate> = sibs
+        let sib_loads: Vec<(NodePos, usize)> =
+            sibs.iter().map(|&p| (p, rt.nodes[&p].children.len())).collect();
+        let mut spares: Vec<NodePos> = rt
+            .spare_pool
             .iter()
-            .map(|&p| AdoptCandidate {
-                pos: p,
-                load: rt.nodes[&p].children.len(),
-                bound: bound_for(&rt, p),
-                tier: 0,
-            })
+            .copied()
+            .filter(|p| rt.nodes.get(p).map(|n| n.alive).unwrap_or(false))
             .collect();
+        spares.sort_unstable();
         // g's effective load: `dead` is leaving its child list, but only
         // when g actually lists it (g may be a further ancestor reached by
         // walking past a dead direct parent).
         let g_load =
             rt.nodes[&g].children.len() - usize::from(rt.nodes[&g].children.contains(&dead));
-        candidates.push(AdoptCandidate { pos: g, load: g_load, bound: bound_for(&rt, g), tier: 1 });
+        let designed = rt.base_fanout.get(dead.level as usize).copied().unwrap_or(0);
+        let candidates =
+            adoption_candidates(&sib_loads, &spares, designed, (g, g_load, bound_for(&rt, g)));
         let adoptions = plan_adoption(&orphans, &candidates);
+
+        // Spares the plan consumed: they attach under `g` and become
+        // ordinary interior nodes.
+        let spare_set: HashSet<NodePos> = spares.iter().copied().collect();
+        let mut spares_used: Vec<NodePos> =
+            adoptions.iter().map(|(_, a)| *a).filter(|a| spare_set.contains(a)).collect();
+        spares_used.sort_unstable();
+        spares_used.dedup();
 
         let mut adopt_by: BTreeMap<NodePos, Vec<ChildLink>> = BTreeMap::new();
         for (o, a) in &adoptions {
             let down = rt.nodes[o].down.clone().expect("non-root orphan has a down link");
             adopt_by.entry(*a).or_default().push(ChildLink { pos: *o, down });
+        }
+        // `g` adopts every activated spare alongside whatever orphans the
+        // plan gave it directly.
+        for &s in &spares_used {
+            let down = rt.nodes[&s].down.clone().expect("spare has a down link");
+            adopt_by.entry(g).or_default().push(ChildLink { pos: s, down });
         }
 
         // 1. Reconfigure the grandparent and every adopter.
@@ -512,7 +642,18 @@ impl FrontEndpoint {
             }
         }
 
-        // 2. Rewire every orphan onto its adopter's up channel.
+        // 2. Rewire activated spares onto `g`, *then* every orphan onto
+        //    its adopter. Spare-first matters: a spare's Rewire must sit in
+        //    its control mailbox before any orphan learns the spare's up
+        //    channel, so the spare can never complete a wave into its
+        //    still-dangling build-time up link (the comm loop drains its
+        //    whole mailbox before touching up-traffic).
+        let g_up = rt.nodes[&g].up.clone().expect("adopting ancestor can parent");
+        for &s in &spares_used {
+            if let Some(ctl) = rt.nodes[&s].ctl.clone() {
+                let _ = ctl.send(RecoveryCmd::Rewire { epoch: e, parent: g, up: g_up.clone() });
+            }
+        }
         for (o, a) in &adoptions {
             let up = if *a == root {
                 rt.nodes[&root].up.clone().expect("root has an up channel")
@@ -524,8 +665,18 @@ impl FrontEndpoint {
             }
         }
 
-        // 3. Route bookkeeping: move the orphans, drop the dead node (its
-        //    last link handles die with the entry).
+        // 3. Route bookkeeping: move the orphans, activate the spares,
+        //    drop the dead node (its last link handles die with the entry).
+        for &s in &spares_used {
+            if let Some(n) = rt.nodes.get_mut(&s) {
+                n.parent = Some(g);
+            }
+            if let Some(n) = rt.nodes.get_mut(&g) {
+                n.children.push(s);
+                n.children.sort_unstable();
+            }
+            rt.spare_pool.retain(|p| *p != s);
+        }
         for (o, a) in &adoptions {
             if let Some(n) = rt.nodes.get_mut(o) {
                 n.parent = Some(*a);
@@ -546,16 +697,32 @@ impl FrontEndpoint {
         rt.nodes.remove(&dead);
         drop(rt);
 
-        // 4. Waves gathered under the old epoch are stale: count and drop
-        //    them rather than let a shrunken child set "complete" a
-        //    partial aggregate.
-        let stale: usize = self.pending.values().map(|m| m.len()).sum();
-        if stale > 0 {
-            self.stats.add_stale_packets(stale as u64);
-            self.stats.add_stale_waves(self.pending.len() as u64);
+        // 4. Partial waves gathered under the old epoch are stale: count
+        //    and drop them rather than let a shrunken child set "complete"
+        //    a partial aggregate. Waves every pre-repair child had already
+        //    contributed to are *complete* data — a drain's flush, or a
+        //    fully-delivered wave the caller had not gathered yet — and are
+        //    preserved for the next gather instead of thrown away.
+        let mut stale_packets = 0u64;
+        let mut stale_waves = 0u64;
+        for (key, wave) in std::mem::take(&mut self.pending) {
+            let complete =
+                wave.len() == pre_children.len() && wave.keys().all(|k| pre_children.contains(k));
+            if complete {
+                self.flushed.insert(key, wave);
+            } else {
+                stale_packets += wave.len() as u64;
+                stale_waves += 1;
+            }
         }
-        self.pending.clear();
+        if stale_packets > 0 {
+            self.stats.add_stale_packets(stale_packets);
+            self.stats.add_stale_waves(stale_waves);
+        }
         self.dead_pending.retain(|p| *p != dead);
+        // Heartbeat attributions from superseded epochs can never be
+        // re-reported (the dedupe key includes the epoch): prune them.
+        self.reported_missing.retain(|(_, ep)| *ep == e);
 
         for (o, a) in &adoptions {
             self.events.push(RecoveryEvent::Adopted { orphan: *o, adopter: *a, epoch: e });
@@ -563,7 +730,8 @@ impl FrontEndpoint {
         self.events.push(RecoveryEvent::Healed { repaired: dead, epoch: e });
         self.stats.add_repairs(1);
         self.stats.add_adopted(adoptions.len() as u64);
-        Ok(RepairReport { dead, epoch: e, adoptions, grandparent: g })
+        self.stats.add_spares_activated(spares_used.len() as u64);
+        Ok(RepairReport { dead, epoch: e, adoptions, grandparent: g, spares_used })
     }
 
     /// Detect-and-repair in one call: drain failure notices, repair every
@@ -580,10 +748,129 @@ impl FrontEndpoint {
         Ok(reports)
     }
 
+    /// Start background phi-accrual failure suspicion (DESIGN.md §12):
+    /// every interior comm daemon — idle spares included — is enrolled to
+    /// beat over a dedicated channel (never the tree, so liveness traffic
+    /// cannot perturb wave aggregation or fault counters), and a monitor
+    /// thread grades each node Alive → Suspect → Dead from its
+    /// inter-arrival history. A suspicion death lands in the shared route
+    /// table, exactly where [`FrontEndpoint::poll_failures`] and
+    /// [`FrontEndpoint::heal_failures`] already look — silent halts feed
+    /// the normal repair path with no caller-driven sweep.
+    ///
+    /// Returns the live suspicion table (the `/metrics` per-child gauge
+    /// source). The monitor stops when the front end is dropped.
+    pub fn start_suspicion(&mut self, params: PhiAccrualParams) -> Arc<SuspicionTable> {
+        let (beat_tx, beat_rx) = unbounded();
+        {
+            let rt = self.route.lock();
+            for (pos, n) in rt.nodes.iter() {
+                if pos.level != 0 && n.up.is_some() {
+                    if let Some(ctl) = n.ctl.clone() {
+                        let _ = ctl.send(RecoveryCmd::StartBeats {
+                            beat: beat_tx.clone(),
+                            interval: params.beat_interval,
+                        });
+                    }
+                }
+            }
+        }
+        // Only the enrolled daemons hold senders now: when the last one
+        // exits at teardown, the channel disconnect stops the monitor.
+        drop(beat_tx);
+        let handle = spawn_monitor(
+            beat_rx,
+            params,
+            self.route.clone(),
+            self.stats.clone(),
+            self.draining.clone(),
+        );
+        let table = handle.table();
+        self.suspicion = Some(handle);
+        table
+    }
+
+    /// Replace one comm daemon: drain it (loss-free), let the repair
+    /// re-attach its subtree (preferring an idle hot spare), then verify
+    /// the healed overlay with a full heartbeat sweep. Counted in
+    /// `upgrades_completed` / `upgrades_failed`.
+    pub fn upgrade_comm(&mut self, pos: NodePos, timeout: Duration) -> TbonResult<UpgradeStep> {
+        let start = Instant::now();
+        let report = match self.drain_comm(pos, timeout) {
+            Ok(r) => r,
+            Err(e) => {
+                self.stats.add_upgrades_failed(1);
+                return Err(e);
+            }
+        };
+        let drain = start.elapsed();
+        // Post-heal verification: the broadcast ping must reach every
+        // re-parented node — adopted orphans and activated spares alike —
+        // and come back.
+        let missing = self.heartbeat(timeout);
+        if !missing.is_empty() {
+            self.stats.add_upgrades_failed(1);
+            return Err(TbonError::LaunchFailed(format!(
+                "post-upgrade verification after replacing {pos:?}: {} unresponsive: {missing:?}",
+                missing.len()
+            )));
+        }
+        self.stats.add_upgrades(1);
+        Ok(UpgradeStep {
+            pos,
+            drain,
+            total: start.elapsed(),
+            spare_used: report.spares_used.first().copied(),
+            epoch: report.epoch,
+        })
+    }
+
+    /// Rolling upgrade: walk every interior comm daemon — deepest level
+    /// first, then index order, snapshot taken up front so replacement
+    /// daemons are not themselves walked — and run
+    /// [`FrontEndpoint::upgrade_comm`] on each. Between steps the walk
+    /// pauses to heal *unplanned* failures (a crash or suspicion death
+    /// that raced the upgrade); a walked node that was repaired away in
+    /// the meantime is skipped.
+    pub fn rolling_upgrade(&mut self, per_node_timeout: Duration) -> TbonResult<UpgradeReport> {
+        let mut walk: Vec<NodePos> = {
+            let rt = self.route.lock();
+            rt.nodes
+                .iter()
+                .filter(|(p, n)| p.level != 0 && n.alive && n.up.is_some())
+                .map(|(p, _)| *p)
+                .filter(|p| !rt.spare_pool.contains(p))
+                .collect()
+        };
+        walk.sort_by_key(|p| (std::cmp::Reverse(p.level), p.index));
+        let mut report = UpgradeReport::default();
+        for pos in walk {
+            let repaired = self.heal_failures()?;
+            report.unplanned_repairs += repaired.len();
+            if !self.route.is_alive(pos) {
+                continue;
+            }
+            report.steps.push(self.upgrade_comm(pos, per_node_timeout)?);
+        }
+        let repaired = self.heal_failures()?;
+        report.unplanned_repairs += repaired.len();
+        report.epoch = self.epoch;
+        Ok(report)
+    }
+
     /// Gather one aggregated packet for `(stream, tag)`: waits for every
     /// direct child's contribution and applies the stream filter once more.
+    ///
+    /// A wave that completed just before a repair (and was preserved by
+    /// it) is served first — data a drain flushed is never lost to the
+    /// epoch bump that followed it.
     pub fn gather(&mut self, stream: u16, tag: u16, timeout: Duration) -> TbonResult<Packet> {
         let filter = self.streams.get(&stream).cloned().ok_or(TbonError::NoSuchStream(stream))?;
+        if let Some(by_pos) = self.flushed.remove(&(stream, tag)) {
+            let inputs: Vec<Vec<u8>> = by_pos.into_values().map(|p| p.payload.to_vec()).collect();
+            let payload = self.registry.apply(&filter, inputs);
+            return Ok(Packet::new(stream, tag, payload));
+        }
         let deadline = std::time::Instant::now() + timeout;
         loop {
             let want = self.children.len();
@@ -647,6 +934,34 @@ impl Drop for FrontEndpoint {
     }
 }
 
+/// One completed step of a rolling upgrade (see
+/// [`FrontEndpoint::rolling_upgrade`]).
+#[derive(Debug, Clone)]
+pub struct UpgradeStep {
+    /// The interior comm daemon replaced in this step.
+    pub pos: NodePos,
+    /// Drain latency: request → `Drained` confirmation → subtree repaired.
+    pub drain: Duration,
+    /// Total step latency, post-heal verification sweep included.
+    pub total: Duration,
+    /// The hot spare that took over, when the pool had one idle (`None`
+    /// means siblings absorbed the subtree).
+    pub spare_used: Option<NodePos>,
+    /// The epoch the overlay settled on after this step.
+    pub epoch: u64,
+}
+
+/// What one [`FrontEndpoint::rolling_upgrade`] walk did.
+#[derive(Debug, Clone, Default)]
+pub struct UpgradeReport {
+    /// Completed steps, in walk order (deepest level first).
+    pub steps: Vec<UpgradeStep>,
+    /// Unplanned failures healed while the walk was paused between steps.
+    pub unplanned_repairs: usize,
+    /// The final overlay epoch.
+    pub epoch: u64,
+}
+
 /// A fully built (but not yet running) overlay.
 pub struct Overlay {
     /// The front-end endpoint.
@@ -660,10 +975,24 @@ pub struct Overlay {
 impl Overlay {
     /// Build all links for `spec`.
     pub fn build(spec: &TopologySpec, registry: FilterRegistry) -> Overlay {
-        let route = Arc::new(RouteTable::new(spec));
-        let stats = Arc::new(OverlayStats::default());
+        Self::build_shared(spec, registry, Arc::new(OverlayStats::default()))
+    }
 
-        // Per-node down + ctl channels and per-parent up channels.
+    /// [`Overlay::build`] with caller-supplied stats: an embedding daemon
+    /// can aggregate several overlays' counters into one `/metrics`
+    /// ledger.
+    pub fn build_shared(
+        spec: &TopologySpec,
+        registry: FilterRegistry,
+        stats: Arc<OverlayStats>,
+    ) -> Overlay {
+        let route = Arc::new(RouteTable::new(spec));
+
+        // Per-node down + ctl channels and per-parent up channels. Hot
+        // spares get the full set — they can parent once activated — plus
+        // a registration count in the stats ledger.
+        let spare_positions = spec.spare_positions();
+        stats.add_spares_registered(spare_positions.len() as u64);
         let mut down_tx: HashMap<NodePos, Sender<Down>> = HashMap::new();
         let mut down_rx: HashMap<NodePos, Receiver<Down>> = HashMap::new();
         let mut ctl_tx: HashMap<NodePos, Sender<RecoveryCmd>> = HashMap::new();
@@ -673,10 +1002,12 @@ impl Overlay {
         let root = NodePos { level: 0, index: 0 };
         let mut all_parents = vec![root];
         all_parents.extend(spec.comm_positions());
+        all_parents.extend(spare_positions.iter().copied());
         for p in &all_parents {
             up_pair.insert(*p, unbounded());
         }
         let mut non_roots = spec.comm_positions();
+        non_roots.extend(spare_positions.iter().copied());
         non_roots.extend(spec.leaf_positions());
         for n in &non_roots {
             let (dtx, drx) = unbounded();
@@ -721,9 +1052,14 @@ impl Overlay {
             dead_pending: Vec::new(),
             ping_seq: 0,
             pongs: HashSet::new(),
+            flushed: HashMap::new(),
+            draining: Arc::new(Mutex::new(HashSet::new())),
+            drained_pending: HashSet::new(),
+            reported_missing: HashSet::new(),
+            suspicion: None,
         };
 
-        let comm = spec
+        let mut comm: Vec<CommHarness> = spec
             .comm_positions()
             .into_iter()
             .map(|pos| {
@@ -740,6 +1076,23 @@ impl Overlay {
                 }
             })
             .collect();
+        // Spare harnesses ride after the regular comms (fault-plan indices
+        // in the chaos suite stay stable): parentless, childless, and with
+        // a deliberately dangling up link until a repair rewires them —
+        // an idle spare has nothing to forward and nobody to forward to.
+        for &pos in &spare_positions {
+            let (dangling_up, _) = unbounded();
+            comm.push(CommHarness {
+                pos,
+                down_rx: down_rx[&pos].clone(),
+                ctl_rx: ctl_rx[&pos].clone(),
+                up_rx: up_pair[&pos].1.clone(),
+                up_tx: dangling_up,
+                children: Vec::new(),
+                route: route.clone(),
+                stats: stats.clone(),
+            });
+        }
 
         let leaves = spec
             .leaf_positions()
@@ -827,6 +1180,10 @@ impl CommFault {
 enum Exit {
     /// Run the deterministic crash path and return.
     Crash,
+    /// Exit silently — no FIN, no notice, no death mark (`kill -9`).
+    Silent,
+    /// Planned drain finished flushing: close links and confirm `Drained`.
+    Drained,
     /// Forward shutdown to the subtree and return.
     Shutdown,
     /// A link disconnected: the overlay is being dropped.
@@ -845,6 +1202,12 @@ struct CommNode {
     registry: FilterRegistry,
     route: Arc<RouteTable>,
     stats: Arc<OverlayStats>,
+    /// A planned drain is underway: exit as soon as `waves` is empty.
+    draining: bool,
+    /// Suspicion enrollment: beat channel + nominal interval.
+    beat: Option<(Sender<NodePos>, Duration)>,
+    /// When the next beat is due (meaningful only while enrolled).
+    next_beat: Instant,
 }
 
 impl CommNode {
@@ -901,6 +1264,21 @@ impl CommNode {
                 None
             }
             RecoveryCmd::Crash => Some(Exit::Crash),
+            RecoveryCmd::Halt => Some(Exit::Silent),
+            RecoveryCmd::Drain => {
+                // Not an exit yet: the loop keeps sweeping until every
+                // in-flight wave has flushed, then exits `Drained`.
+                self.draining = true;
+                None
+            }
+            RecoveryCmd::StartBeats { beat, interval } => {
+                // Beat immediately (the monitor seeds the node's history
+                // from the first arrival) and schedule the next.
+                let _ = beat.send(self.pos);
+                self.next_beat = Instant::now() + interval;
+                self.beat = Some((beat, interval));
+                None
+            }
             RecoveryCmd::Shutdown => Some(Exit::Shutdown),
         }
     }
@@ -971,6 +1349,25 @@ impl CommNode {
             let _ = c.down.send(Down::Ctl(Control::Shutdown));
         }
     }
+
+    /// The planned-teardown close path: like [`CommNode::crash`] it FINs
+    /// every reachable child (they mark the parent lost and await
+    /// adoption), but it confirms with a `Drained` notice instead of
+    /// `ChildGone` and leaves no death mark — the front end repairs the
+    /// route under its draining guard, outside the failure ledger.
+    fn drained(&mut self) {
+        for c in &self.children {
+            if !self.severed.contains(&c.pos) {
+                let _ = c.down.send(Down::Ctl(Control::LinkDown));
+                self.stats.add_link_down(1);
+            }
+        }
+        let _ = self.up_tx.send(Up {
+            from: self.pos,
+            epoch: self.epoch,
+            kind: UpKind::Drained { pos: self.pos },
+        });
+    }
 }
 
 /// Run a communication daemon until shutdown: forward downstream traffic,
@@ -1006,6 +1403,9 @@ pub fn run_comm_node_with_faults(harness: CommHarness, registry: FilterRegistry,
         registry,
         route,
         stats,
+        draining: false,
+        beat: None,
+        next_beat: Instant::now(),
     };
 
     // Deterministic sever close (the satellite fix): a severed child gets a
@@ -1134,7 +1534,7 @@ pub fn run_comm_node_with_faults(harness: CommHarness, registry: FilterRegistry,
                     continue;
                 }
                 match up.kind {
-                    UpKind::Pong { .. } | UpKind::ChildGone { .. } => {
+                    UpKind::Pong { .. } | UpKind::ChildGone { .. } | UpKind::Drained { .. } => {
                         // Liveness traffic is epoch-free: forward as-is.
                         let _ = node.up_tx.send(Up {
                             from: node.pos,
@@ -1165,17 +1565,44 @@ pub fn run_comm_node_with_faults(harness: CommHarness, registry: FilterRegistry,
             }
         }
 
+        // A planned drain is done the moment no wave is mid-flight: every
+        // contribution this daemon was holding has been aggregated and
+        // forwarded (new waves cannot start — the front end is blocked in
+        // `drain_comm` and sends nothing down).
+        if node.draining && node.waves.is_empty() {
+            break Exit::Drained;
+        }
+
         // A disconnected link means the overlay itself is being dropped.
         if torn {
             break Exit::Torn;
         }
 
-        // Idle: block until any link signals readiness.
-        waker.wait(wepoch);
+        // Suspicion beat, when enrolled and due.
+        if let Some((beat, interval)) = &node.beat {
+            let now = Instant::now();
+            if now >= node.next_beat {
+                let _ = beat.send(node.pos);
+                node.next_beat = now + *interval;
+            }
+        }
+
+        // Idle: block until any link signals readiness — capped at the
+        // next beat deadline while enrolled in suspicion, so silence on
+        // every link cannot silence the daemon itself.
+        match &node.beat {
+            Some(_) => {
+                let until = node.next_beat.saturating_duration_since(Instant::now());
+                waker.wait_timeout(wepoch, until.max(Duration::from_millis(1)));
+            }
+            None => waker.wait(wepoch),
+        }
     };
 
     match exit {
         Exit::Crash => node.crash(),
+        Exit::Silent => {}
+        Exit::Drained => node.drained(),
         Exit::Shutdown => node.forward_shutdown(),
         Exit::Torn => {}
     }
@@ -1810,6 +2237,228 @@ mod tests {
         let mut got = pkt.payload.to_vec();
         got.sort_unstable();
         assert_eq!(got, (0..16u8).collect::<Vec<u8>>());
+        front.shutdown();
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+
+    // -- planned maintenance (DESIGN.md §12) --------------------------------
+
+    #[test]
+    fn drain_flushes_in_flight_waves_before_detaching() {
+        // Drive comm (1,0) by hand: three of its four leaf contributions
+        // arrive, then the drain request, then the fourth. The daemon must
+        // hold the drain until the wave completes, flush the aggregate, and
+        // only then confirm `Drained` — strictly in that order on the
+        // parent link.
+        let spec = TopologySpec::parse("1x2x8").unwrap();
+        let mut overlay = Overlay::build(&spec, FilterRegistry::new());
+        let idx = overlay.comm.iter().position(|c| c.pos == pos(1, 0)).unwrap();
+        let harness = overlay.comm.remove(idx);
+        let front = overlay.front;
+        let (c0_up, c0_ctl) = {
+            let route = front.route_table();
+            let rt = route.lock();
+            let n = &rt.nodes[&pos(1, 0)];
+            (n.up.clone().unwrap(), n.ctl.clone().unwrap())
+        };
+        let join = std::thread::spawn(move || run_comm_node(harness, FilterRegistry::new()));
+
+        for i in 0..3u32 {
+            c0_up
+                .send(Up {
+                    from: pos(2, i),
+                    epoch: 0,
+                    kind: UpKind::Packet(Packet::new(5, 1, vec![i as u8])),
+                })
+                .unwrap();
+        }
+        c0_ctl.send(RecoveryCmd::Drain).unwrap();
+        std::thread::sleep(Duration::from_millis(50));
+        assert!(front.up_rx.try_recv().is_err(), "must not confirm with a wave in flight");
+
+        c0_up
+            .send(Up {
+                from: pos(2, 3),
+                epoch: 0,
+                kind: UpKind::Packet(Packet::new(5, 1, vec![3])),
+            })
+            .unwrap();
+        let first = front.up_rx.recv_timeout(Duration::from_secs(5)).unwrap();
+        match first.kind {
+            UpKind::Packet(p) => {
+                assert_eq!(p.payload, vec![0, 1, 2, 3], "the flush carries the full aggregate")
+            }
+            other => panic!("expected the flushed wave first, got {other:?}"),
+        }
+        let second = front.up_rx.recv_timeout(Duration::from_secs(5)).unwrap();
+        assert!(
+            matches!(second.kind, UpKind::Drained { pos: p } if p == pos(1, 0)),
+            "drain confirmed only after the flush"
+        );
+        join.join().unwrap();
+    }
+
+    #[test]
+    fn drain_comm_removes_a_daemon_without_entering_the_failure_path() {
+        let (mut front, handles) = run_overlay("1x2x8", FilterRegistry::new(), echo_leaf());
+        front.await_connections(8, Duration::from_secs(5)).unwrap();
+        let stream = front.open_stream(FilterKind::Concat).unwrap();
+        front.broadcast(stream, 1, vec![]).unwrap();
+        front.gather(stream, 1, Duration::from_secs(5)).unwrap();
+
+        let report = front.drain_comm(pos(1, 0), Duration::from_secs(5)).unwrap();
+        assert_eq!(report.epoch, 1);
+        assert!(report.spares_used.is_empty(), "no pool in this spec");
+        assert!(report.adoptions.iter().all(|(_, a)| *a == pos(1, 1)), "{:?}", report.adoptions);
+
+        // Planned removal: a drain, never a death.
+        let stats = front.stats();
+        assert_eq!(stats.drains_completed, 1);
+        assert_eq!(stats.deaths_detected, 0, "a drain must not read as a failure");
+        let events = front.take_recovery_events();
+        assert!(
+            matches!(events.first(), Some(RecoveryEvent::Draining { node, epoch: 0 }) if *node == pos(1, 0)),
+            "{events:?}"
+        );
+        assert!(!events.iter().any(|e| matches!(e, RecoveryEvent::Degraded { .. })), "{events:?}");
+
+        front.broadcast(stream, 2, vec![]).unwrap();
+        let healed = front.gather(stream, 2, Duration::from_secs(5)).unwrap();
+        let mut got = healed.payload.to_vec();
+        got.sort_unstable();
+        assert_eq!(got, (0..8u8).collect::<Vec<u8>>(), "no session interruption");
+        front.shutdown();
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn heartbeat_double_attribution_is_deduped_per_epoch() {
+        let (mut front, handles) = run_overlay("1x2x8", FilterRegistry::new(), echo_leaf());
+        front.await_connections(8, Duration::from_secs(5)).unwrap();
+
+        front.crash_comm(pos(1, 0)).unwrap();
+        front.wait_failure(Duration::from_secs(5)).unwrap();
+        // First sweep attributes the severed subtree...
+        let first = front.heartbeat(Duration::from_millis(300));
+        assert_eq!(first, (0..4).map(|i| pos(2, i)).collect::<Vec<_>>());
+        // ...and a second sweep straddling the same crash must not report
+        // it again — the repair below is planned exactly once.
+        let second = front.heartbeat(Duration::from_millis(300));
+        assert!(second.is_empty(), "double attribution: {second:?}");
+
+        front.repair(pos(1, 0)).unwrap();
+        // Post-repair (new epoch) the attribution re-arms: everyone
+        // answers now, and a *new* failure is reported afresh.
+        assert!(front.heartbeat(Duration::from_secs(2)).is_empty());
+        front.crash_comm(pos(1, 1)).unwrap();
+        front.wait_failure(Duration::from_secs(5)).unwrap();
+        let third = front.heartbeat(Duration::from_millis(300));
+        assert_eq!(third.len(), 8, "all 8 leaves behind the new crash: {third:?}");
+        front.shutdown();
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn spare_takes_over_a_crashed_comm_at_designed_fanout() {
+        let (mut front, handles) = run_overlay("1x2x8+1", FilterRegistry::new(), echo_leaf());
+        front.await_connections(8, Duration::from_secs(5)).unwrap();
+        let stream = front.open_stream(FilterKind::Concat).unwrap();
+        assert_eq!(front.stats().spares_registered, 1);
+
+        front.crash_comm(pos(1, 0)).unwrap();
+        front.wait_failure(Duration::from_secs(5)).unwrap();
+        let report = front.repair(pos(1, 0)).unwrap();
+        assert_eq!(report.spares_used, vec![pos(1, 2)], "the idle spare takes the subtree");
+        assert!(
+            report.adoptions.iter().all(|(_, a)| *a == pos(1, 2)),
+            "the sibling stays at its designed fan-out: {:?}",
+            report.adoptions
+        );
+        assert!(front.route_table().idle_spares().is_empty());
+        assert_eq!(front.stats().spares_activated, 1);
+
+        front.broadcast(stream, 1, vec![]).unwrap();
+        let pkt = front.gather(stream, 1, Duration::from_secs(5)).unwrap();
+        let mut got = pkt.payload.to_vec();
+        got.sort_unstable();
+        assert_eq!(got, (0..8u8).collect::<Vec<u8>>(), "the replacement serves its subtree");
+        front.shutdown();
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn suspicion_catches_a_silent_halt_and_feeds_repair() {
+        let (mut front, handles) = run_overlay("1x2x8", FilterRegistry::new(), echo_leaf());
+        front.await_connections(8, Duration::from_secs(5)).unwrap();
+        let stream = front.open_stream(FilterKind::Concat).unwrap();
+        let table = front.start_suspicion(PhiAccrualParams {
+            beat_interval: Duration::from_millis(5),
+            window: 16,
+            suspect_phi: 1.0,
+            dead_phi: 3.0,
+            min_stddev: Duration::from_millis(2),
+        });
+        // Let some beat history accrue, then kill -9: no FIN, no notice,
+        // no route-table mark — only the beats stop.
+        std::thread::sleep(Duration::from_millis(100));
+        front.halt_comm(pos(1, 0)).unwrap();
+
+        let deadline = std::time::Instant::now() + Duration::from_secs(10);
+        while front.route_table().is_alive(pos(1, 0)) {
+            assert!(std::time::Instant::now() < deadline, "suspicion never declared the halt");
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        assert_eq!(table.level(pos(1, 0)), Some(crate::suspicion::SuspicionLevel::Dead));
+        assert!(front.stats().suspicion_deaths >= 1);
+        assert!(front.stats().beats_received > 0);
+
+        // The suspicion death feeds the exact same repair path.
+        front.heal_failures().unwrap();
+        front.broadcast(stream, 1, vec![]).unwrap();
+        let pkt = front.gather(stream, 1, Duration::from_secs(5)).unwrap();
+        let mut got = pkt.payload.to_vec();
+        got.sort_unstable();
+        assert_eq!(got, (0..8u8).collect::<Vec<u8>>(), "the silent death healed end to end");
+        front.shutdown();
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn rolling_upgrade_swaps_every_comm_for_a_spare_with_zero_wave_loss() {
+        let (mut front, handles) = run_overlay("1x2x8+2", FilterRegistry::new(), echo_leaf());
+        front.await_connections(8, Duration::from_secs(5)).unwrap();
+        let stream = front.open_stream(FilterKind::Concat).unwrap();
+        front.broadcast(stream, 1, vec![]).unwrap();
+        front.gather(stream, 1, Duration::from_secs(5)).unwrap();
+
+        let report = front.rolling_upgrade(Duration::from_secs(5)).unwrap();
+        assert_eq!(report.steps.len(), 2, "both designed comm daemons walked: {report:?}");
+        assert_eq!(report.unplanned_repairs, 0);
+        let spares: Vec<_> = report.steps.iter().map(|s| s.spare_used).collect();
+        assert_eq!(spares, vec![Some(pos(1, 2)), Some(pos(1, 3))], "one spare per step");
+        assert_eq!(report.epoch, 2);
+
+        let stats = front.stats();
+        assert_eq!(stats.upgrades_completed, 2);
+        assert_eq!(stats.drains_completed, 2);
+        assert_eq!(stats.spares_activated, 2);
+        assert_eq!(stats.deaths_detected, 0, "a planned upgrade is never a failure");
+
+        front.broadcast(stream, 2, vec![]).unwrap();
+        let pkt = front.gather(stream, 2, Duration::from_secs(5)).unwrap();
+        let mut got = pkt.payload.to_vec();
+        got.sort_unstable();
+        assert_eq!(got, (0..8u8).collect::<Vec<u8>>(), "zero session interruption");
         front.shutdown();
         for h in handles {
             h.join().unwrap();

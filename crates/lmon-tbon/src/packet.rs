@@ -82,6 +82,11 @@ pub(crate) enum UpKind {
     /// deterministically (the crash fault path's FIN). Forwarded unmodified
     /// to the root, where it triggers failure detection.
     ChildGone { pos: NodePos },
+    /// Planned-teardown confirmation: `pos` finished flushing every
+    /// in-flight wave and exited cleanly in response to a drain request.
+    /// Forwarded unmodified to the root, where it completes
+    /// `FrontEndpoint::drain_comm` *without* entering the failure path.
+    Drained { pos: NodePos },
 }
 
 #[cfg(test)]

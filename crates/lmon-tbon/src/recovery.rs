@@ -18,6 +18,7 @@
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
 
 use crossbeam_channel::Sender;
 use parking_lot::Mutex;
@@ -44,6 +45,23 @@ pub(crate) enum RecoveryCmd {
     /// Deterministic crash injection (the bench/chaos kill switch): the
     /// daemon runs its crash fault path as if a `CommFault` fired.
     Crash,
+    /// Silent-death injection (`kill -9` without the crash path's FIN): the
+    /// daemon exits without LinkDown/ChildGone notices. Only background
+    /// suspicion (DESIGN.md §12) can detect this.
+    Halt,
+    /// Planned teardown: stop as soon as every in-flight wave has flushed,
+    /// close child links, and confirm with an `UpKind::Drained` notice
+    /// instead of the crash path's `ChildGone`.
+    Drain,
+    /// Enroll in background failure suspicion: send this node's position on
+    /// `beat` every `interval` (plus once immediately), over a channel the
+    /// monitor thread timestamps on arrival.
+    StartBeats {
+        /// Arrival-history channel into the suspicion monitor.
+        beat: Sender<NodePos>,
+        /// Nominal inter-beat interval.
+        interval: Duration,
+    },
     /// Tear down. Delivered out of band so orphans whose tree path died
     /// with their parent still exit promptly.
     Shutdown,
@@ -70,6 +88,10 @@ pub(crate) struct RouteInner {
     /// that level); adoption bounds derive from it.
     pub base_fanout: Vec<usize>,
     pub nodes: HashMap<NodePos, RouteNode>,
+    /// Idle hot spares (routed, alive, but holding no tree position yet).
+    /// Consumed front-to-back by repairs; activated spares leave the pool
+    /// and become ordinary interior nodes.
+    pub spare_pool: Vec<NodePos>,
 }
 
 /// The front end's authoritative view of the overlay: current topology,
@@ -104,7 +126,24 @@ impl RouteTable {
                 },
             );
         }
-        RouteTable { inner: Mutex::new(RouteInner { epoch: 0, base_fanout, nodes }) }
+        // Spares are routed and alive from the start, but parentless and
+        // childless: no tree traffic reaches them until a repair activates
+        // one.
+        let spare_pool = spec.spare_positions();
+        for &pos in &spare_pool {
+            nodes.insert(
+                pos,
+                RouteNode {
+                    alive: true,
+                    parent: None,
+                    children: Vec::new(),
+                    down: None,
+                    ctl: None,
+                    up: None,
+                },
+            );
+        }
+        RouteTable { inner: Mutex::new(RouteInner { epoch: 0, base_fanout, nodes, spare_pool }) }
     }
 
     pub(crate) fn lock(&self) -> parking_lot::MutexGuard<'_, RouteInner> {
@@ -121,6 +160,12 @@ impl RouteTable {
         self.inner.lock().nodes.get(&pos).map(|n| n.alive).unwrap_or(false)
     }
 
+    /// Whether `pos` is still in the route table at all (dead-but-unrepaired
+    /// nodes are; repaired-away nodes are not).
+    pub(crate) fn is_routed(&self, pos: NodePos) -> bool {
+        self.inner.lock().nodes.contains_key(&pos)
+    }
+
     /// Nodes currently marked dead but not yet repaired away.
     pub fn dead_nodes(&self) -> Vec<NodePos> {
         let inner = self.inner.lock();
@@ -134,6 +179,20 @@ impl RouteTable {
     pub fn live_count(&self) -> usize {
         let inner = self.inner.lock();
         inner.nodes.iter().filter(|(p, n)| p.level != 0 && n.alive).count()
+    }
+
+    /// Idle hot spares still available to repairs, in position order
+    /// (dead spares are skipped — a spare can die like any other daemon).
+    pub fn idle_spares(&self) -> Vec<NodePos> {
+        let inner = self.inner.lock();
+        let mut spares: Vec<NodePos> = inner
+            .spare_pool
+            .iter()
+            .copied()
+            .filter(|p| inner.nodes.get(p).map(|n| n.alive).unwrap_or(false))
+            .collect();
+        spares.sort_unstable();
+        spares
     }
 
     /// The node's *current* parent (None for the root or unrouted nodes).
@@ -180,12 +239,65 @@ pub struct AdoptCandidate {
     pub pos: NodePos,
     /// Its current child count.
     pub load: usize,
-    /// Soft fan-out bound (2× the level's original fan-out): exceeded only
-    /// when every candidate is already at its bound — liveness over shape.
+    /// Soft fan-out bound: exceeded only when every candidate is already at
+    /// its bound — liveness over shape. With no spare pool this is 2× the
+    /// level's original fan-out; when idle spares exist it is the *designed*
+    /// fan-out, because a spare can absorb the overflow instead (see
+    /// [`adoption_candidates`]).
     pub bound: usize,
-    /// Preference tier: 0 = sibling of the dead node (preferred, keeps the
-    /// root's fan-out low), 1 = the grandparent itself.
+    /// Preference tier, lowest first. Without spares: 0 = sibling of the
+    /// dead node, 1 = the grandparent. With an idle spare pool: 0 = sibling
+    /// (at designed fan-out), 1..=N = the N idle spares in pool order (one
+    /// tier each, so a repair packs a single spare before tapping the
+    /// next), N+1 = the grandparent.
     pub tier: u8,
+}
+
+/// Build the tiered candidate list for repairing one dead interior node.
+///
+/// Pure — the spare-preference policy is property-testable in isolation.
+/// `siblings` are the dead node's live siblings as `(pos, current load)`,
+/// `spares` the idle pool, `level_fanout` the designed fan-out at the dead
+/// node's level, and `grandparent` the fallback ancestor as
+/// `(pos, load, bound)`.
+///
+/// With at least one idle spare, siblings are bounded at the *designed*
+/// fan-out (tier 0) and spares absorb what doesn't fit (one tier each in
+/// pool order, load 0, same designed bound — so one spare is packed to the
+/// designed fan-out before the next is touched), and a repair never
+/// inflates a survivor to the 2× soft bound while capacity sits idle; the
+/// grandparent remains the last resort (the tier after the last spare).
+/// With an empty pool the list degenerates to exactly the original plan:
+/// siblings at the 2× soft bound (tier 0), then the grandparent (tier 1).
+pub fn adoption_candidates(
+    siblings: &[(NodePos, usize)],
+    spares: &[NodePos],
+    level_fanout: usize,
+    grandparent: (NodePos, usize, usize),
+) -> Vec<AdoptCandidate> {
+    let designed = level_fanout.max(1);
+    let (g_pos, g_load, g_bound) = grandparent;
+    let mut out = Vec::with_capacity(siblings.len() + spares.len() + 1);
+    if spares.is_empty() {
+        for &(pos, load) in siblings {
+            out.push(AdoptCandidate { pos, load, bound: 2 * designed, tier: 0 });
+        }
+        out.push(AdoptCandidate { pos: g_pos, load: g_load, bound: g_bound, tier: 1 });
+    } else {
+        for &(pos, load) in siblings {
+            out.push(AdoptCandidate { pos, load, bound: designed, tier: 0 });
+        }
+        // Each spare gets its own tier so a repair packs one spare up to the
+        // designed fan-out (1:1 replacement of the dead node) before tapping
+        // the next, instead of round-robining orphans across the whole pool.
+        for (k, &pos) in spares.iter().enumerate() {
+            let tier = u8::try_from(k + 1).unwrap_or(u8::MAX - 1);
+            out.push(AdoptCandidate { pos, load: 0, bound: designed, tier });
+        }
+        let g_tier = u8::try_from(spares.len() + 1).unwrap_or(u8::MAX);
+        out.push(AdoptCandidate { pos: g_pos, load: g_load, bound: g_bound, tier: g_tier });
+    }
+    out
 }
 
 /// Assign each orphan a new parent.
@@ -230,6 +342,14 @@ pub fn plan_adoption(
 /// A state transition in the overlay's health, recorded at the front end.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum RecoveryEvent {
+    /// A planned drain began: the node keeps flushing in-flight waves and
+    /// will confirm with a `Drained` notice; this is *not* a failure.
+    Draining {
+        /// The node being drained.
+        node: NodePos,
+        /// The epoch the drain started under.
+        epoch: u64,
+    },
     /// A node was detected dead; its subtree is orphaned until repaired.
     Degraded {
         /// The dead node.
@@ -268,6 +388,10 @@ pub struct RepairReport {
     pub adoptions: Vec<(NodePos, NodePos)>,
     /// The live ancestor whose subtree absorbed the orphans.
     pub grandparent: NodePos,
+    /// Hot spares activated by this repair (attached under the
+    /// grandparent), in position order. Empty when siblings had room or the
+    /// pool was empty.
+    pub spares_used: Vec<NodePos>,
 }
 
 // ---------------------------------------------------------------------------
@@ -286,6 +410,14 @@ pub struct OverlayStats {
     pongs_received: AtomicU64,
     repairs_completed: AtomicU64,
     orphans_adopted: AtomicU64,
+    drains_completed: AtomicU64,
+    spares_registered: AtomicU64,
+    spares_activated: AtomicU64,
+    beats_received: AtomicU64,
+    suspicions_raised: AtomicU64,
+    suspicion_deaths: AtomicU64,
+    upgrades_completed: AtomicU64,
+    upgrades_failed: AtomicU64,
 }
 
 macro_rules! stat {
@@ -306,6 +438,14 @@ impl OverlayStats {
     stat!(add_pongs, pongs_received);
     stat!(add_repairs, repairs_completed);
     stat!(add_adopted, orphans_adopted);
+    stat!(add_drains, drains_completed);
+    stat!(add_spares_registered, spares_registered);
+    stat!(add_spares_activated, spares_activated);
+    stat!(add_beats, beats_received);
+    stat!(add_suspicions, suspicions_raised);
+    stat!(add_suspicion_deaths, suspicion_deaths);
+    stat!(add_upgrades, upgrades_completed);
+    stat!(add_upgrades_failed, upgrades_failed);
 
     /// A point-in-time copy of every counter.
     pub fn snapshot(&self) -> OverlayStatsSnapshot {
@@ -319,6 +459,14 @@ impl OverlayStats {
             pongs_received: self.pongs_received.load(Ordering::Relaxed),
             repairs_completed: self.repairs_completed.load(Ordering::Relaxed),
             orphans_adopted: self.orphans_adopted.load(Ordering::Relaxed),
+            drains_completed: self.drains_completed.load(Ordering::Relaxed),
+            spares_registered: self.spares_registered.load(Ordering::Relaxed),
+            spares_activated: self.spares_activated.load(Ordering::Relaxed),
+            beats_received: self.beats_received.load(Ordering::Relaxed),
+            suspicions_raised: self.suspicions_raised.load(Ordering::Relaxed),
+            suspicion_deaths: self.suspicion_deaths.load(Ordering::Relaxed),
+            upgrades_completed: self.upgrades_completed.load(Ordering::Relaxed),
+            upgrades_failed: self.upgrades_failed.load(Ordering::Relaxed),
         }
     }
 }
@@ -344,6 +492,22 @@ pub struct OverlayStatsSnapshot {
     pub repairs_completed: u64,
     /// Orphans re-parented across all repairs.
     pub orphans_adopted: u64,
+    /// Planned drains that flushed and confirmed (never counted as deaths).
+    pub drains_completed: u64,
+    /// Hot spares registered at overlay build time.
+    pub spares_registered: u64,
+    /// Hot spares consumed by repairs (idle = registered − activated).
+    pub spares_activated: u64,
+    /// Suspicion heartbeats that reached the monitor thread.
+    pub beats_received: u64,
+    /// Alive→Suspect transitions raised by phi-accrual suspicion.
+    pub suspicions_raised: u64,
+    /// Nodes declared dead by suspicion (φ crossed the dead threshold).
+    pub suspicion_deaths: u64,
+    /// Rolling-upgrade steps that drained, re-adopted, and verified.
+    pub upgrades_completed: u64,
+    /// Rolling-upgrade steps that failed drain or post-heal verification.
+    pub upgrades_failed: u64,
 }
 
 #[cfg(test)]
@@ -421,6 +585,53 @@ mod tests {
     #[test]
     fn empty_candidates_strand_nothing_quietly() {
         assert!(plan_adoption(&[pos(2, 0)], &[]).is_empty());
+    }
+
+    #[test]
+    fn spare_candidates_prefer_siblings_at_designed_fanout_then_spares() {
+        // Dead node had 4 children; siblings sit at the designed fan-out of
+        // 4 already. With two idle spares, the whole subtree lands on the
+        // first spare — nobody is inflated to the 2x soft bound.
+        let orphans: Vec<NodePos> = (0..4).map(|i| pos(2, i)).collect();
+        let siblings: Vec<(NodePos, usize)> = (0..3).map(|i| (pos(1, i), 4)).collect();
+        let spares = vec![pos(1, 8), pos(1, 9)];
+        let cands = adoption_candidates(&siblings, &spares, 4, (pos(0, 0), 4, 8));
+        let plan = plan_adoption(&orphans, &cands);
+        assert!(plan.iter().all(|(_, a)| *a == pos(1, 8)), "first spare absorbs all: {plan:?}");
+
+        // A sibling with designed-fanout headroom still wins over a spare.
+        let siblings = vec![(pos(1, 0), 3), (pos(1, 1), 4)];
+        let cands = adoption_candidates(&siblings, &spares, 4, (pos(0, 0), 4, 8));
+        let plan = plan_adoption(&[pos(2, 0), pos(2, 1)], &cands);
+        assert_eq!(plan[0].1, pos(1, 0), "under-designed-bound sibling first");
+        assert_eq!(plan[1].1, pos(1, 8), "overflow goes to the spare, not past the bound");
+    }
+
+    #[test]
+    fn empty_spare_pool_degenerates_to_original_plan() {
+        let orphans: Vec<NodePos> = (0..8).map(|i| pos(2, i)).collect();
+        let siblings: Vec<(NodePos, usize)> =
+            [0, 1, 2, 4, 5, 6, 7].iter().map(|&i| (pos(1, i), 8)).collect();
+        let cands = adoption_candidates(&siblings, &[], 8, (pos(0, 0), 7, 16));
+        // Same tiering and bounds as the hand-built PR 5 candidate list.
+        assert!(cands.iter().take(7).all(|c| c.tier == 0 && c.bound == 16));
+        assert_eq!((cands[7].tier, cands[7].bound), (1, 16));
+        let adopters: Vec<u32> =
+            plan_adoption(&orphans, &cands).iter().map(|(_, a)| a.index).collect();
+        assert_eq!(adopters, vec![0, 1, 2, 4, 5, 6, 7, 0]);
+    }
+
+    #[test]
+    fn route_table_registers_spares_idle_and_parentless() {
+        let spec = TopologySpec::parse("1x2x4+2").unwrap();
+        let rt = RouteTable::new(&spec);
+        assert_eq!(rt.idle_spares(), vec![pos(1, 2), pos(1, 3)]);
+        assert!(rt.is_alive(pos(1, 2)));
+        assert_eq!(rt.current_parent(pos(1, 2)), None);
+        assert!(rt.current_children(pos(1, 2)).is_empty());
+        // A dead spare drops out of the idle pool.
+        assert!(rt.mark_dead(pos(1, 2)));
+        assert_eq!(rt.idle_spares(), vec![pos(1, 3)]);
     }
 
     #[test]

@@ -4,13 +4,21 @@
 //! front end, 4 communication daemons, and 16 leaves. `"1x512"` is the
 //! paper's "1-deep" topology: every leaf attached directly to the front
 //! end (the configuration both Figure 6 curves use).
+//!
+//! A trailing `+N` requests a hot-spare pool: `"1x8x64+2"` builds the
+//! `1x8x64` tree plus 2 pre-launched idle comm daemons that repair and
+//! rolling upgrades can swap in (DESIGN.md §12). Spares are addressed past
+//! the designed width of the first comm level — `(1, 8)` and `(1, 9)` here
+//! — and carry no children until the recovery layer activates them.
 
 use crate::error::{TbonError, TbonResult};
 
-/// Parsed topology: level widths, root (width 1) first.
+/// Parsed topology: level widths, root (width 1) first, plus the size of
+/// the optional hot-spare comm pool.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TopologySpec {
     levels: Vec<u32>,
+    spares: u32,
 }
 
 /// A node's position in the tree.
@@ -23,10 +31,21 @@ pub struct NodePos {
 }
 
 impl TopologySpec {
-    /// Parse `"1x4x16"` (also accepts `:`-separated).
+    /// Parse `"1x4x16"` (also accepts `:`-separated), with an optional
+    /// trailing `+N` hot-spare pool (`"1x4x16+2"`).
     pub fn parse(s: &str) -> TbonResult<Self> {
-        let parts: Vec<&str> = s.split(['x', ':']).collect();
-        if parts.is_empty() || s.trim().is_empty() {
+        let (tree, spares) = match s.split_once('+') {
+            Some((tree, n)) => {
+                let spares: u32 = n
+                    .trim()
+                    .parse()
+                    .map_err(|_| TbonError::BadSpec(format!("non-numeric spare count in `{s}`")))?;
+                (tree, spares)
+            }
+            None => (s, 0),
+        };
+        let parts: Vec<&str> = tree.split(['x', ':']).collect();
+        if parts.is_empty() || tree.trim().is_empty() {
             return Err(TbonError::BadSpec(format!("empty spec `{s}`")));
         }
         let mut levels = Vec::with_capacity(parts.len());
@@ -54,12 +73,17 @@ impl TopologySpec {
                 )));
             }
         }
-        Ok(TopologySpec { levels })
+        if spares > 0 && levels.len() <= 2 {
+            return Err(TbonError::BadSpec(format!(
+                "spare pool needs an interior comm level, none in `{s}`"
+            )));
+        }
+        Ok(TopologySpec { levels, spares })
     }
 
     /// A 1-deep topology over `n` leaves (the Figure 6 shape).
     pub fn one_deep(n: u32) -> Self {
-        TopologySpec { levels: vec![1, n.max(1)] }
+        TopologySpec { levels: vec![1, n.max(1)], spares: 0 }
     }
 
     /// A balanced spec with the given fanout: levels grow by `fanout` until
@@ -80,7 +104,7 @@ impl TopologySpec {
             levels.push(width as u32);
         }
         levels.push(leaves);
-        TopologySpec { levels }
+        TopologySpec { levels, spares: 0 }
     }
 
     /// Level widths, root first.
@@ -159,9 +183,30 @@ impl TopologySpec {
         (0..self.leaf_count()).map(|i| NodePos { level: l, index: i }).collect()
     }
 
-    /// Render back to the `1x4x16` form.
+    /// Size of the hot-spare comm pool (`0` without a `+N` suffix).
+    pub fn spares(&self) -> u32 {
+        self.spares
+    }
+
+    /// Positions of the hot-spare comm daemons: addressed on the first comm
+    /// level, past its designed width, so they never collide with tree
+    /// nodes. Empty when the spec carries no `+N` suffix.
+    pub fn spare_positions(&self) -> Vec<NodePos> {
+        if self.spares == 0 || self.levels.len() <= 2 {
+            return Vec::new();
+        }
+        let width = self.levels[1];
+        (0..self.spares).map(|i| NodePos { level: 1, index: width + i }).collect()
+    }
+
+    /// Render back to the `1x4x16` form (`1x4x16+2` with a spare pool).
     pub fn to_spec_string(&self) -> String {
-        self.levels.iter().map(u32::to_string).collect::<Vec<_>>().join("x")
+        let tree = self.levels.iter().map(u32::to_string).collect::<Vec<_>>().join("x");
+        if self.spares > 0 {
+            format!("{tree}+{}", self.spares)
+        } else {
+            tree
+        }
     }
 }
 
@@ -184,9 +229,28 @@ mod tests {
 
     #[test]
     fn parse_rejects_malformed() {
-        for s in ["", "0x4", "2x4", "1xx4", "1x4x2", "1xab"] {
+        for s in ["", "0x4", "2x4", "1xx4", "1x4x2", "1xab", "1x4x16+x", "1x16+2", "+2"] {
             assert!(TopologySpec::parse(s).is_err(), "`{s}` should fail");
         }
+    }
+
+    #[test]
+    fn spare_pool_parses_and_addresses_past_designed_width() {
+        let spec = TopologySpec::parse("1x8x64+2").unwrap();
+        assert_eq!(spec.spares(), 2);
+        assert_eq!(spec.to_spec_string(), "1x8x64+2");
+        assert_eq!(
+            spec.spare_positions(),
+            vec![NodePos { level: 1, index: 8 }, NodePos { level: 1, index: 9 }]
+        );
+        // Spares change neither the tree shape nor the designed fan-out.
+        assert_eq!(spec.comm_count(), 8);
+        assert_eq!(spec.comm_positions().len(), 8);
+        assert_eq!(spec.base_fanout(0), 8);
+        assert_eq!(spec.base_fanout(1), 8);
+        let plain = TopologySpec::parse("1x8x64").unwrap();
+        assert_eq!(plain.spares(), 0);
+        assert!(plain.spare_positions().is_empty());
     }
 
     #[test]

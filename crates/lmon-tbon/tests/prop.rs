@@ -1,0 +1,92 @@
+//! Property tests for the spare-aware adoption planner (DESIGN.md §12).
+//!
+//! The planner is pure (`adoption_candidates` + `plan_adoption`), so the
+//! two load-bearing guarantees of the hot-spare pool are checked over the
+//! whole input space instead of a handful of hand-picked shapes:
+//!
+//! 1. with enough idle spare capacity, a repair never inflates any adopter
+//!    past the *designed* fan-out (the 2× overflow bound is never needed);
+//! 2. with an empty pool, the plan is byte-identical to the original
+//!    sibling-split plan — the spare machinery is invisible when unused.
+
+use std::collections::HashMap;
+
+use lmon_tbon::recovery::{adoption_candidates, plan_adoption, AdoptCandidate};
+use lmon_tbon::spec::NodePos;
+use proptest::prelude::*;
+
+fn pos(level: u32, index: u32) -> NodePos {
+    NodePos { level, index }
+}
+
+/// Clamp raw generated values into a coherent repair scene: sibling loads
+/// never exceed the designed fan-out, and the dead node cannot have held
+/// more orphans than its bound allowed.
+fn clamp_scene(
+    fanout: usize,
+    raw_loads: Vec<usize>,
+    raw_orphans: usize,
+) -> (Vec<(NodePos, usize)>, Vec<NodePos>) {
+    let siblings: Vec<(NodePos, usize)> =
+        raw_loads.iter().enumerate().map(|(i, &l)| (pos(1, i as u32 + 1), l.min(fanout))).collect();
+    let orphans: Vec<NodePos> =
+        (0..raw_orphans.clamp(1, fanout)).map(|i| pos(2, i as u32)).collect();
+    (siblings, orphans)
+}
+
+proptest! {
+    #[test]
+    fn enough_spares_never_exceed_designed_fanout(
+        fanout in 2usize..=8,
+        raw_loads in proptest::collection::vec(0usize..=8, 0..6),
+        raw_orphans in 1usize..=8,
+        extra_spares in 0usize..4,
+    ) {
+        let (siblings, orphan_list) = clamp_scene(fanout, raw_loads, raw_orphans);
+        // "Enough" capacity: one whole spare per orphan (plus slack), so
+        // the planner always has an under-bound candidate available.
+        let spares: Vec<NodePos> =
+            (0..orphan_list.len() + extra_spares).map(|i| pos(1, 100 + i as u32)).collect();
+        let grandparent = (pos(0, 0), siblings.len() + 1, 2 * fanout);
+
+        let cands = adoption_candidates(&siblings, &spares, fanout, grandparent);
+        let plan = plan_adoption(&orphan_list, &cands);
+        prop_assert_eq!(plan.len(), orphan_list.len(), "every orphan placed");
+
+        let mut load: HashMap<NodePos, usize> = siblings.iter().copied().collect();
+        for (_, adopter) in &plan {
+            *load.entry(*adopter).or_insert(0) += 1;
+        }
+        for (&adopter, &l) in &load {
+            // The grandparent keeps its own (2x) bound; every sibling and
+            // spare must stay at the designed fan-out.
+            if adopter != pos(0, 0) {
+                prop_assert!(
+                    l <= fanout,
+                    "adopter {:?} inflated to {} > designed {}", adopter, l, fanout
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn empty_pool_degenerates_to_the_original_sibling_split(
+        fanout in 2usize..=8,
+        raw_loads in proptest::collection::vec(0usize..=8, 0..6),
+        raw_orphans in 1usize..=8,
+    ) {
+        let (siblings, orphan_list) = clamp_scene(fanout, raw_loads, raw_orphans);
+        let g = (pos(0, 0), siblings.len(), 2 * fanout);
+
+        let cands = adoption_candidates(&siblings, &[], fanout, g);
+        // Hand-rolled pre-spare candidate list: siblings at the 2x soft
+        // bound (tier 0), grandparent last (tier 1).
+        let mut manual: Vec<AdoptCandidate> = siblings
+            .iter()
+            .map(|&(p, load)| AdoptCandidate { pos: p, load, bound: 2 * fanout, tier: 0 })
+            .collect();
+        manual.push(AdoptCandidate { pos: g.0, load: g.1, bound: g.2, tier: 1 });
+
+        prop_assert_eq!(plan_adoption(&orphan_list, &cands), plan_adoption(&orphan_list, &manual));
+    }
+}

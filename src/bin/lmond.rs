@@ -6,11 +6,20 @@
 //! lmond ping    [--socket PATH | --tcp ADDR]
 //! lmond status  [GSID] [--socket PATH | --tcp ADDR]
 //! lmond launch  APP NODES TASKS_PER_NODE [BODY] [--socket ... | --tcp ...]
+//! lmond runjob  APP NODES TASKS_PER_NODE [...]
+//! lmond attach  PID [PID...] [BODY] [...]
+//! lmond upgrade [SHAPE] [...]
 //! lmond detach  GSID   [...]
 //! lmond kill    GSID   [...]
 //! lmond metrics [...]
 //! lmond stop    [...]
 //! ```
+//!
+//! `runjob` starts a plain (tool-free) job and prints the launcher pid;
+//! `attach` then attaches tool daemons to that pid — the paper's
+//! attach-to-running-job workflow over the control socket. `upgrade` runs a
+//! rolling comm-daemon upgrade drill (drain → hot-spare takeover → verify;
+//! DESIGN.md §12) and prints per-step drain latency percentiles.
 //!
 //! Client subcommands lazily start a daemon when `--socket` is used and no
 //! daemon is serving (bind-as-mutex; see `lmon_daemon::client`). `serve`
@@ -33,8 +42,8 @@ fn say(text: impl std::fmt::Display) {
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: lmond <serve|ping|status|launch|detach|kill|metrics|stop> [args] \
-         [--socket PATH] [--tcp ADDR]\n       see `src/bin/lmond.rs` docs for details"
+        "usage: lmond <serve|ping|status|launch|runjob|attach|upgrade|detach|kill|metrics|stop> \
+         [args] [--socket PATH] [--tcp ADDR]\n       see `src/bin/lmond.rs` docs for details"
     );
     ExitCode::FAILURE
 }
@@ -170,6 +179,48 @@ fn run() -> Result<(), String> {
                 .launch(app, parse_flag(nodes)?, parse_flag(tpn)?, body)
                 .map_err(|e| e.to_string())?;
             say(gsid);
+            Ok(())
+        }
+        "runjob" => {
+            let [app, nodes, tpn] = opts.positional.as_slice() else {
+                return Err("usage: lmond runjob APP NODES TASKS_PER_NODE".into());
+            };
+            let (pid, job) = connect(&opts)?
+                .run_job(app, parse_flag(nodes)?, parse_flag(tpn)?)
+                .map_err(|e| e.to_string())?;
+            say(format_args!("pid={pid} job={job}"));
+            Ok(())
+        }
+        "attach" => {
+            if opts.positional.is_empty() {
+                return Err("usage: lmond attach PID [PID...] [BODY]".into());
+            }
+            // Leading numeric arguments are pids; one trailing non-numeric
+            // argument names the daemon body (mirrors the wire grammar).
+            let mut pids = Vec::new();
+            let mut body = "sleeper";
+            for (i, arg) in opts.positional.iter().enumerate() {
+                match arg.parse::<u64>() {
+                    Ok(pid) => pids.push(pid),
+                    Err(_) if i == opts.positional.len() - 1 => body = arg,
+                    Err(_) => return Err(format!("bad pid {arg:?}")),
+                }
+            }
+            if pids.is_empty() {
+                return Err("usage: lmond attach PID [PID...] [BODY]".into());
+            }
+            let gsids = connect(&opts)?.attach(&pids, body).map_err(|e| e.to_string())?;
+            for gsid in gsids {
+                say(gsid);
+            }
+            Ok(())
+        }
+        "upgrade" => {
+            let shape = opts.positional.first().map(String::as_str);
+            let reply = connect(&opts)?.upgrade(shape).map_err(|e| e.to_string())?;
+            for (k, v) in &reply.fields {
+                say(format_args!("{k}={v}"));
+            }
             Ok(())
         }
         "detach" | "kill" => {

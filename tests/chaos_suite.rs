@@ -36,7 +36,7 @@ use launchmon::tbon::bootstrap::{bootstrap_adhoc, LeafMain};
 use launchmon::tbon::filter::{FilterKind, FilterRegistry};
 use launchmon::tbon::overlay::{run_comm_node_with_faults, LeafEvent, Overlay};
 use launchmon::tbon::spec::NodePos;
-use launchmon::tbon::{RecoveryEvent, TbonError, TopologySpec};
+use launchmon::tbon::{FrontEndpoint, PhiAccrualParams, RecoveryEvent, TbonError, TopologySpec};
 use launchmon::testkit::{assert_identical_runs, chaos_seed, FaultPlan, LiveOverlay, Scenario};
 
 fn ms(n: u64) -> SimDuration {
@@ -705,6 +705,140 @@ fn chaos_launch_storm_survives_comm_crash_mid_bring_up() {
 
     handle.shutdown();
     let _ = std::fs::remove_file(&socket);
+}
+
+// ---------------------------------------------------------------------------
+// Planned-maintenance scenario (DESIGN.md §12, ISSUE 9): a rolling
+// comm-daemon upgrade across a spare-backed overlay, with one unplanned
+// silent halt mid-walk that only phi-accrual suspicion can see, racing a
+// live FE session fleet. Zero session interruption: the fleet's reports
+// are bit-identical to a control run with no upgrade at all.
+// ---------------------------------------------------------------------------
+
+/// Run the jobsnap fleet: `sessions` FE sessions of echo daemons, each
+/// round-tripping `rounds` seed-derived payloads. Returns one report per
+/// session — the concatenation of every echoed reply, in request order.
+fn jobsnap_fleet(sessions: usize, rounds: usize, seed: u64) -> Vec<Vec<u8>> {
+    let cluster = VirtualCluster::new(ClusterConfig::with_nodes(16));
+    let rm: Arc<dyn ResourceManager> = Arc::new(SlurmRm::new(cluster));
+    let fe = LmonFrontEnd::init(rm).unwrap();
+    let echo: BeMain = Arc::new(move |be| {
+        if be.am_i_master() {
+            for _ in 0..rounds {
+                let Ok(data) = be.recv_usrdata(Duration::from_secs(20)) else { break };
+                let _ = be.send_usrdata(data);
+            }
+        }
+        let _ = be.wait_shutdown();
+    });
+    let sids: Vec<_> = (0..sessions)
+        .map(|s| {
+            let sid = fe.create_session();
+            fe.launch_and_spawn(
+                sid,
+                &format!("jobsnap{s}"),
+                &[],
+                2,
+                1,
+                DaemonSpec::bare("d"),
+                echo.clone(),
+            )
+            .unwrap();
+            sid
+        })
+        .collect();
+    let mut reports = vec![Vec::new(); sessions];
+    for round in 0..rounds {
+        for (s, sid) in sids.iter().enumerate() {
+            let mut payload = seed.to_le_bytes().to_vec();
+            payload.extend([round as u8, s as u8]);
+            fe.send_usrdata(*sid, payload).unwrap();
+        }
+        for (s, sid) in sids.iter().enumerate() {
+            reports[s].extend(fe.recv_usrdata(*sid, Duration::from_secs(20)).unwrap());
+        }
+        // Stretch the fleet across the concurrent upgrade walk.
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    for sid in sids {
+        fe.kill(sid).unwrap();
+    }
+    fe.shutdown().unwrap();
+    reports
+}
+
+/// Broadcast-and-gather one probe wave; every one of the 64 leaves must
+/// answer regardless of how many comms have been replaced so far.
+fn probe_wave(front: &mut FrontEndpoint, stream: u16, tag: u16) {
+    front.broadcast(stream, tag, vec![]).unwrap();
+    let pkt = front.gather(stream, tag, Duration::from_secs(10)).unwrap();
+    let mut p = pkt.payload.to_vec();
+    p.sort_unstable();
+    assert_eq!(p, (0..64u8).collect::<Vec<u8>>(), "wave {tag} lost leaves mid-maintenance");
+}
+
+#[test]
+fn chaos_rolling_upgrade_with_unplanned_halt_keeps_sessions_whole() {
+    let seed = chaos_seed();
+    // Control: the fleet with no overlay maintenance anywhere in sight.
+    let control = jobsnap_fleet(3, 6, seed);
+
+    // Upgrade run: bring the spare-backed overlay up first so the walk and
+    // the fleet genuinely overlap once the fleet thread starts.
+    let mut live = LiveOverlay::launch_echo("1x8x64+8", &FaultPlan::new());
+    let step = Duration::from_secs(10);
+    live.front.await_connections(64, step).unwrap();
+    let _table = live.front.start_suspicion(PhiAccrualParams::default());
+    let stream = live.front.open_stream(FilterKind::Concat).unwrap();
+    probe_wave(&mut live.front, stream, 1);
+
+    let fleet = std::thread::spawn(move || jobsnap_fleet(3, 6, seed));
+
+    // Walk the original interior comms one at a time with a probe wave
+    // after every step. Just before step 5, comm 6 — not yet walked —
+    // dies silently (the `kill -9` analogue): no close notices, no route
+    // mark; only background suspicion can flag it, and the flag must feed
+    // the exact same repair path mid-walk.
+    let mut tag = 2u16;
+    let mut planned = 0usize;
+    let mut unplanned = 0usize;
+    for idx in 0..8u32 {
+        if idx == 5 {
+            live.front.halt_comm(NodePos { level: 1, index: 6 }).unwrap();
+            let dead = live.front.wait_failure(step).expect("suspicion flags the silent halt");
+            assert_eq!(dead, NodePos { level: 1, index: 6 });
+            unplanned += live.front.heal_failures().unwrap().len();
+            probe_wave(&mut live.front, stream, tag);
+            tag += 1;
+        }
+        if idx == 6 {
+            continue; // already replaced by the unplanned repair
+        }
+        let report = live.front.upgrade_comm(NodePos { level: 1, index: idx }, step).unwrap();
+        assert!(report.spare_used.is_some(), "hot spare available for step {idx}");
+        planned += 1;
+        probe_wave(&mut live.front, stream, tag);
+        tag += 1;
+    }
+
+    assert_eq!((planned, unplanned), (7, 1));
+    assert_eq!(live.front.overlay_epoch(), 8, "one epoch bump per replacement");
+    let stats = live.front.stats();
+    assert_eq!(stats.drains_completed, 7, "every planned step drained loss-free");
+    assert_eq!(stats.upgrades_completed, 7);
+    assert_eq!(stats.upgrades_failed, 0);
+    assert_eq!(stats.spares_registered, 8);
+    assert_eq!(stats.spares_activated, 8, "7 planned steps + 1 repair drain the pool exactly");
+    assert_eq!(stats.suspicion_deaths, 1, "only the halt was graded dead");
+    assert_eq!(stats.deaths_detected, 1, "planned drains never enter the failure ledger");
+    assert!(stats.beats_received > 0, "the suspicion monitor ran throughout");
+    live.shutdown();
+
+    // Zero interruption: the racing fleet saw exactly what the control
+    // fleet saw, byte for byte, and every report is non-trivial.
+    let raced = fleet.join().unwrap();
+    assert!(raced.iter().all(|r| r.len() == 6 * 10), "every session completed every round");
+    assert_eq!(raced, control, "fleet reports must be bit-identical with and without the upgrade");
 }
 
 // ---------------------------------------------------------------------------

@@ -1,0 +1,149 @@
+//! Attach-path and planned-maintenance daemon tests (DESIGN.md §12,
+//! ISSUE 9): the `RUNJOB`/`ATTACH` control verbs round-tripped over a real
+//! Unix socket, and the `UPGRADE` rolling-upgrade drill with its `/metrics`
+//! ledger — every drain, spare activation, and suspicion counter the drill
+//! produces must land on the scrape, `daemon_storm`-style.
+
+#![cfg(unix)]
+
+use launchmon::daemon::client::scratch_socket_path;
+use launchmon::daemon::{bind_and_start, DaemonClient, DaemonConfig};
+
+fn config() -> DaemonConfig {
+    DaemonConfig {
+        backends: 1,
+        cluster_nodes: 64,
+        admission_limit: 8,
+        queue_capacity: 64,
+        ..DaemonConfig::default()
+    }
+}
+
+/// Extract the value of the first sample line starting with `name`.
+fn metric(text: &str, name: &str) -> f64 {
+    text.lines()
+        .find(|l| l.starts_with(name) && !l.starts_with("# "))
+        .and_then(|l| l.split_whitespace().last()?.parse().ok())
+        .unwrap_or_else(|| panic!("metric {name} missing from:\n{text}"))
+}
+
+/// The paper's attach-mode workflow over the control socket: start a plain
+/// job (`RUNJOB`), attach tool daemons to its launcher pid (`ATTACH`),
+/// inspect the session, detach — job keeps running, session retires.
+#[test]
+fn runjob_then_attach_round_trip() {
+    let socket = scratch_socket_path("attach-rt");
+    let _ = std::fs::remove_file(&socket);
+    let handle = bind_and_start(config(), &socket, None).expect("daemon up");
+
+    let mut client = DaemonClient::connect_unix(&socket).expect("connect");
+    let (pid, job) = client.run_job("attach_app", 4, 2).expect("runjob");
+    assert!(pid > 0 && job > 0);
+
+    let gsids = client.attach(&[pid], "sleeper").expect("attach");
+    assert_eq!(gsids.len(), 1);
+
+    let status = client.session_status(gsids[0]).expect("session status");
+    assert_eq!(status.field("app"), Some(format!("attach:pid={pid}").as_str()));
+    assert_eq!(status.field_as::<usize>("daemons"), Some(4), "one daemon per job node");
+
+    let daemon_status = client.status().expect("status");
+    assert_eq!(daemon_status.field_as::<usize>("sessions"), Some(1));
+
+    client.detach(gsids[0]).expect("detach");
+    assert_eq!(client.status().unwrap().field_as::<usize>("sessions"), Some(0));
+
+    // A pid nobody is running must be rejected up front, before any
+    // session or permit is created.
+    let err = client.attach(&[999_999_999], "sleeper").unwrap_err();
+    assert!(err.to_string().contains("no running process"), "got: {err}");
+
+    handle.shutdown();
+    let _ = std::fs::remove_file(&socket);
+}
+
+/// One `ATTACH` line with several pids creates one admitted session per
+/// pid, all reported in request order.
+#[test]
+fn attach_multiple_pids_in_one_request() {
+    let socket = scratch_socket_path("attach-multi");
+    let _ = std::fs::remove_file(&socket);
+    let handle = bind_and_start(config(), &socket, None).expect("daemon up");
+    let daemon = std::sync::Arc::clone(handle.daemon());
+
+    let mut client = DaemonClient::connect_unix(&socket).expect("connect");
+    let (pid_a, _) = client.run_job("job_a", 2, 1).expect("runjob a");
+    let (pid_b, _) = client.run_job("job_b", 3, 1).expect("runjob b");
+
+    let gsids = client.attach(&[pid_a, pid_b], "sleeper").expect("attach both");
+    assert_eq!(gsids.len(), 2);
+    assert_eq!(daemon.sessions_active(), 2);
+    let daemons_a = client.session_status(gsids[0]).unwrap().field_as::<usize>("daemons");
+    let daemons_b = client.session_status(gsids[1]).unwrap().field_as::<usize>("daemons");
+    assert_eq!((daemons_a, daemons_b), (Some(2), Some(3)), "gsids are in pid order");
+
+    // Each attach holds its own admission permit; both free on detach.
+    assert_eq!(daemon.admission().stats().in_flight, 2);
+    for gsid in gsids {
+        client.detach(gsid).expect("detach");
+    }
+    assert_eq!(daemon.admission().stats().in_flight, 0);
+
+    handle.shutdown();
+    let _ = std::fs::remove_file(&socket);
+}
+
+/// The rolling-upgrade drill: every interior comm daemon of a spare-backed
+/// overlay is drained and replaced with zero unplanned repairs, and the
+/// whole maintenance ledger — drains, spares, beats, suspicion, upgrade
+/// counters — lands on `/metrics`.
+#[test]
+fn upgrade_drill_reports_and_feeds_the_metrics_ledger() {
+    let socket = scratch_socket_path("upgrade-drill");
+    let _ = std::fs::remove_file(&socket);
+    let handle = bind_and_start(config(), &socket, None).expect("daemon up");
+
+    let mut client = DaemonClient::connect_unix(&socket).expect("connect");
+    let reply = client.upgrade(Some("1x4x16+4")).expect("upgrade drill");
+    assert_eq!(reply.field_as::<usize>("nodes_upgraded"), Some(4), "all 4 interior comms walked");
+    assert_eq!(reply.field_as::<usize>("spares_used"), Some(4), "one spare per step");
+    assert_eq!(reply.field_as::<usize>("unplanned_repairs"), Some(0));
+    assert_eq!(reply.field_as::<u64>("epoch"), Some(4), "one epoch bump per replaced comm");
+    assert_eq!(reply.field("waves_intact"), Some("1"));
+    assert!(reply.field_as::<u64>("drain_p50_us").is_some());
+    assert!(
+        reply.field_as::<u64>("drain_p99_us").unwrap()
+            >= reply.field_as::<u64>("drain_p50_us").unwrap()
+    );
+
+    let status = client.status().expect("status");
+    assert_eq!(status.field_as::<u64>("upgrades"), Some(1));
+
+    // Ledger assertions, daemon_storm-style: the drill shares the daemon's
+    // overlay stats, so every counter is scrapeable afterwards.
+    let text = client.metrics().expect("metrics scrape");
+    assert_eq!(metric(&text, "lmond_overlay_drains_completed_total"), 4.0, "{text}");
+    assert_eq!(metric(&text, "lmond_overlay_spares_registered_total"), 4.0, "{text}");
+    assert_eq!(metric(&text, "lmond_overlay_spares_activated_total"), 4.0, "{text}");
+    assert_eq!(metric(&text, "lmond_overlay_spares_idle"), 0.0, "pool fully consumed");
+    assert_eq!(metric(&text, "lmond_overlay_upgrades_completed_total"), 4.0, "{text}");
+    assert_eq!(metric(&text, "lmond_overlay_upgrades_failed_total"), 0.0, "{text}");
+    assert_eq!(
+        metric(&text, "lmond_overlay_deaths_detected_total"),
+        0.0,
+        "a planned walk must never take the failure path"
+    );
+    assert!(metric(&text, "lmond_overlay_beats_received_total") > 0.0, "suspicion monitor ran");
+    assert!(
+        text.lines().any(|l| l.starts_with("lmond_overlay_suspicion_level{")),
+        "per-child suspicion gauge exported:\n{text}"
+    );
+
+    // A malformed shape is a clean protocol error, not a daemon wedge.
+    let err = client.upgrade(Some("not-a-shape")).unwrap_err();
+    assert!(err.to_string().contains("bad shape"), "got: {err}");
+    client.ping().expect("daemon still serving after the bad request");
+
+    handle.shutdown();
+    let _ = std::fs::remove_file(&socket);
+}
