@@ -56,8 +56,8 @@ fn run_storm(limit: usize, plan: &StormPlan, tag: &str) -> StormResult {
                 start_line.wait();
                 for l in launches {
                     match client.launch("bench_app", l.nodes, l.tasks_per_node, "oneshot") {
-                        Ok(gsid) => {
-                            if client.kill(gsid).is_err() {
+                        Ok(resp) => {
+                            if client.kill(resp.gsid).is_err() {
                                 failures.fetch_add(1, Ordering::SeqCst);
                             }
                         }

@@ -88,7 +88,7 @@ fn one_upgrade_cycle(shape: &str) -> UpgradeCycle {
     let leaves = spec.leaf_count();
     let mut live = LiveOverlay::launch_echo(shape, &FaultPlan::new());
     live.front.await_connections(leaves, Duration::from_secs(20)).expect("connect");
-    let _table = live.front.start_suspicion(PhiAccrualParams::default());
+    let _table = live.front.maintenance().start_suspicion(PhiAccrualParams::default());
     let stream = live.front.open_stream(FilterKind::Concat).expect("stream");
 
     // Healthy round trip (wave 1): the same-run hardware normalizer.
@@ -99,7 +99,8 @@ fn one_upgrade_cycle(shape: &str) -> UpgradeCycle {
     assert_eq!(pkt.payload.len(), leaves as usize);
 
     let t0 = Instant::now();
-    let report = live.front.rolling_upgrade(Duration::from_secs(20)).expect("rolling upgrade");
+    let report =
+        live.front.maintenance().rolling_upgrade(Duration::from_secs(20)).expect("rolling upgrade");
     let rolling_total_us = t0.elapsed().as_secs_f64() * 1e6;
 
     // Zero interruption: no unplanned repairs anywhere in the walk, and
@@ -121,7 +122,7 @@ fn one_phi_detect_cycle(shape: &str) -> f64 {
     let victim = NodePos { level: 1, index: spec.levels()[1] / 2 };
     let mut live = LiveOverlay::launch_echo(shape, &FaultPlan::new());
     live.front.await_connections(spec.leaf_count(), Duration::from_secs(20)).expect("connect");
-    let _table = live.front.start_suspicion(PhiAccrualParams::default());
+    let _table = live.front.maintenance().start_suspicion(PhiAccrualParams::default());
     let t0 = Instant::now();
     live.front.halt_comm(victim).expect("halt switch");
     let dead = live.front.wait_failure(Duration::from_secs(20)).expect("suspicion detects");

@@ -16,6 +16,7 @@
 //! | `daemon_storm` | §2 launch storm through `lmond` admission control → `BENCH_daemon.json` |
 //! | `launch_latency` | per-phase time-to-ready, parallel vs sequential fan-out, self-gating vs `BENCH_launch.json` |
 //! | `upgrade_rolling` | rolling comm-daemon upgrade + phi vs sweep detection, self-gating vs `BENCH_upgrade.json` |
+//! | `federation_routing` | per-group federation constants + million-node projection, self-gating vs `BENCH_federation.json` |
 //!
 //! This library holds the shared table-rendering helpers and the paper's
 //! reference numbers, so each bench can print paper-vs-reproduction

@@ -270,6 +270,9 @@ pub struct LmonFrontEnd {
     /// Per-session overlay health (degraded → healed transitions recorded
     /// by recovery-aware integration layers), bounded for daemon lifetimes.
     health: Mutex<HealthLedger>,
+    /// Federation shard tag (`"g0"` style) when this FE serves one group of
+    /// a sharded pool (DESIGN.md §13); `None` for standalone front ends.
+    shard_label: Mutex<Option<String>>,
 }
 
 impl LmonFrontEnd {
@@ -291,7 +294,21 @@ impl LmonFrontEnd {
             handshake_fault: Mutex::new(None),
             handshake_timeout: Mutex::new(HANDSHAKE_TIMEOUT),
             health: Mutex::new(HealthLedger::new()),
+            shard_label: Mutex::new(None),
         })
+    }
+
+    /// Tag this front end as serving one federation group of a sharded
+    /// pool (e.g. `"g2"`). Purely observational: placement stays with the
+    /// shard pool in `lmon-daemon`, but the label makes logs, metrics and
+    /// failover reports attributable to a group.
+    pub fn set_shard_label(&self, label: impl Into<String>) {
+        *self.shard_label.lock() = Some(label.into());
+    }
+
+    /// The federation shard tag, when [`Self::set_shard_label`] was called.
+    pub fn shard_label(&self) -> Option<String> {
+        self.shard_label.lock().clone()
     }
 
     /// Record a session health transition (called by recovery-aware

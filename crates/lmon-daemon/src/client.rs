@@ -48,9 +48,13 @@ use std::path::{Path, PathBuf};
 use std::sync::Arc;
 use std::time::Duration;
 
-use crate::control::{parse_reply_header, ParsedReply, HELLO_BANNER};
+use crate::control::{parse_reply_header, ParsedReply, HELLO_BANNER, PROTOCOL_VERSION};
 use crate::daemon::{start_daemon, Daemon, DaemonConfig, DaemonHandle};
 use crate::error::{DaemonError, DaemonResult};
+use crate::responses::{
+    AttachResponse, LaunchResponse, RunJobResponse, SessionStatusResponse, StatusResponse,
+    UpgradeResponse,
+};
 
 /// Connect retry schedule for lazy start: exponential backoff from
 /// [`BACKOFF_START`] doubling to at most [`BACKOFF_CAP`], [`MAX_RETRIES`]
@@ -112,6 +116,9 @@ pub struct DaemonClient {
     writer: ClientStream,
     /// The daemon's hello banner, kept for version checks/debugging.
     banner: String,
+    /// Protocol version negotiated from the banner (see
+    /// [`DaemonClient::negotiated_version`]).
+    negotiated: u32,
 }
 
 impl DaemonClient {
@@ -133,8 +140,11 @@ impl DaemonClient {
     fn handshake(read_half: ClientStream, mut writer: ClientStream) -> DaemonResult<DaemonClient> {
         read_half.set_read_timeout(Some(crate::control::CLIENT_REPLY_TIMEOUT))?;
         let mut reader = BufReader::new(read_half);
-        // Client speaks first (see `control` docs): ask for the banner.
-        writeln!(writer, "HELLO")?;
+        // Client speaks first (see `control` docs): offer our max version
+        // and take whatever the server's banner answers. A v1 server
+        // ignores the argument and banners `LMOND 1`, so the handshake
+        // line is both the v2 offer and the v1-compatible hello.
+        writeln!(writer, "HELLO {PROTOCOL_VERSION}")?;
         writer.flush()?;
         let mut banner = String::new();
         reader.read_line(&mut banner)?;
@@ -144,34 +154,62 @@ impl DaemonClient {
                 "unexpected hello {banner:?} (want {HELLO_BANNER:?})"
             )));
         }
-        Ok(DaemonClient { reader, writer, banner })
+        // Negotiated version = min(ours, the server's banner version).
+        // A malformed/absent version token is treated as a v1 server.
+        let negotiated = banner
+            .split_whitespace()
+            .nth(1)
+            .and_then(|v| v.parse::<u32>().ok())
+            .unwrap_or(1)
+            .min(PROTOCOL_VERSION);
+        Ok(DaemonClient { reader, writer, banner, negotiated })
     }
 
-    /// The daemon's hello banner (e.g. `"LMOND 1"`).
+    /// The daemon's hello banner (e.g. `"LMOND 2 versions=1,2"`).
     pub fn banner(&self) -> &str {
         &self.banner
     }
 
-    /// Send one request line and read its (possibly multi-line) reply.
-    pub fn request(&mut self, line: &str) -> DaemonResult<ParsedReply> {
+    /// The control-protocol version this connection settled on: the lower
+    /// of the client's [`PROTOCOL_VERSION`] and the server's banner.
+    pub fn negotiated_version(&self) -> u32 {
+        self.negotiated
+    }
+
+    /// Send one request line and return the reply *bytes* verbatim —
+    /// header line plus any body lines, trailing newlines intact. This is
+    /// the raw-scrape escape hatch the typed wrappers are built over;
+    /// `ERR` replies come back as `Ok(raw line)` here, not as errors.
+    pub fn request_raw(&mut self, line: &str) -> DaemonResult<String> {
         writeln!(self.writer, "{line}")?;
         self.writer.flush()?;
-        let mut header = String::new();
-        if self.reader.read_line(&mut header)? == 0 {
+        let mut raw = String::new();
+        if self.reader.read_line(&mut raw)? == 0 {
             return Err(DaemonError::Protocol("daemon closed the connection".into()));
         }
-        let (mut reply, body_lines) =
-            parse_reply_header(header.trim_end()).map_err(DaemonError::Remote)?;
-        if let Some(n) = body_lines {
-            for _ in 0..n {
-                let mut l = String::new();
-                if self.reader.read_line(&mut l)? == 0 {
-                    return Err(DaemonError::Protocol("truncated multi-line reply".into()));
-                }
-                let t = l.trim_end().to_string();
-                reply.body.push(t);
+        let body_lines = match parse_reply_header(raw.trim_end()) {
+            Ok((_, n)) => n.unwrap_or(0),
+            Err(_) => 0, // ERR replies are single-line
+        };
+        for _ in 0..body_lines {
+            let mut l = String::new();
+            if self.reader.read_line(&mut l)? == 0 {
+                return Err(DaemonError::Protocol("truncated multi-line reply".into()));
             }
+            raw.push_str(&l);
         }
+        Ok(raw)
+    }
+
+    /// Send one request line and read its (possibly multi-line) reply,
+    /// parsed into the field bag. `ERR` replies become
+    /// [`DaemonError::Remote`].
+    pub fn request(&mut self, line: &str) -> DaemonResult<ParsedReply> {
+        let raw = self.request_raw(line)?;
+        let mut lines = raw.lines();
+        let header = lines.next().unwrap_or("");
+        let (mut reply, _) = parse_reply_header(header).map_err(DaemonError::Remote)?;
+        reply.body.extend(lines.map(str::to_string));
         Ok(reply)
     }
 
@@ -182,75 +220,61 @@ impl DaemonClient {
         self.request("PING").map(|_| ())
     }
 
-    /// Launch a session; returns the daemon-wide session id.
+    /// Launch a session; returns the typed [`LaunchResponse`] (gsid,
+    /// placement, admission/launch timings).
     pub fn launch(
         &mut self,
         app: &str,
         nodes: usize,
         tasks_per_node: usize,
         body: &str,
-    ) -> DaemonResult<u64> {
+    ) -> DaemonResult<LaunchResponse> {
         let reply = self.request(&format!("LAUNCH {app} {nodes} {tasks_per_node} {body}"))?;
-        reply
-            .field_as::<u64>("gsid")
-            .ok_or_else(|| DaemonError::Protocol("LAUNCH reply without gsid".into()))
+        LaunchResponse::from_reply(reply)
     }
 
-    /// Start a plain job (no tool attached); returns `(launcher pid, job id)`
-    /// — the pid a later [`DaemonClient::attach`] targets.
+    /// Start a plain job (no tool attached); the reply's `pid` is what a
+    /// later [`DaemonClient::attach`] targets.
     pub fn run_job(
         &mut self,
         app: &str,
         nodes: usize,
         tasks_per_node: usize,
-    ) -> DaemonResult<(u64, u64)> {
+    ) -> DaemonResult<RunJobResponse> {
         let reply = self.request(&format!("RUNJOB {app} {nodes} {tasks_per_node}"))?;
-        let pid = reply
-            .field_as::<u64>("pid")
-            .ok_or_else(|| DaemonError::Protocol("RUNJOB reply without pid".into()))?;
-        let job = reply
-            .field_as::<u64>("job")
-            .ok_or_else(|| DaemonError::Protocol("RUNJOB reply without job".into()))?;
-        Ok((pid, job))
+        RunJobResponse::from_reply(reply)
     }
 
-    /// Attach tool daemons to running jobs by launcher pid; returns one
-    /// daemon-wide session id per pid, in request order.
-    pub fn attach(&mut self, pids: &[u64], body: &str) -> DaemonResult<Vec<u64>> {
+    /// Attach tool daemons to running jobs by launcher pid; the reply
+    /// carries one daemon-wide session id per pid, in request order.
+    pub fn attach(&mut self, pids: &[u64], body: &str) -> DaemonResult<AttachResponse> {
         if pids.is_empty() {
             return Err(DaemonError::Protocol("attach needs at least one pid".into()));
         }
         let pid_list = pids.iter().map(|p| p.to_string()).collect::<Vec<_>>().join(" ");
         let reply = self.request(&format!("ATTACH {pid_list} {body}"))?;
-        let gsids = reply
-            .field("gsids")
-            .ok_or_else(|| DaemonError::Protocol("ATTACH reply without gsids".into()))?;
-        gsids
-            .split(',')
-            .map(|g| {
-                g.parse::<u64>()
-                    .map_err(|_| DaemonError::Protocol(format!("bad gsid in ATTACH reply: {g:?}")))
-            })
-            .collect()
+        AttachResponse::from_reply(reply)
     }
 
-    /// Run a rolling-upgrade drill (`None` = the daemon's default shape);
-    /// returns the reply fields (`nodes_upgraded`, `drain_p50_us`, ...).
-    pub fn upgrade(&mut self, shape: Option<&str>) -> DaemonResult<ParsedReply> {
-        match shape {
-            Some(s) => self.request(&format!("UPGRADE {s}")),
-            None => self.request("UPGRADE"),
-        }
+    /// Run a rolling-upgrade drill (`None` = the daemon's default shape).
+    pub fn upgrade(&mut self, shape: Option<&str>) -> DaemonResult<UpgradeResponse> {
+        let reply = match shape {
+            Some(s) => self.request(&format!("UPGRADE {s}"))?,
+            None => self.request("UPGRADE")?,
+        };
+        UpgradeResponse::from_reply(reply)
     }
 
-    /// Daemon-wide status fields.
-    pub fn status(&mut self) -> DaemonResult<ParsedReply> {
-        self.request("STATUS")
+    /// Daemon-wide status.
+    pub fn status(&mut self) -> DaemonResult<StatusResponse> {
+        let reply = self.request("STATUS")?;
+        StatusResponse::from_reply(reply)
     }
 
-    /// One session's status fields.
-    pub fn session_status(&mut self, gsid: u64) -> DaemonResult<ParsedReply> {
-        self.request(&format!("STATUS {gsid}"))
+    /// One session's status.
+    pub fn session_status(&mut self, gsid: u64) -> DaemonResult<SessionStatusResponse> {
+        let reply = self.request(&format!("STATUS {gsid}"))?;
+        SessionStatusResponse::from_reply(reply)
     }
 
     /// Detach a session (job keeps running).

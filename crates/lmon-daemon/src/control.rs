@@ -11,6 +11,14 @@
 //! daemon writing first would corrupt HTTP scrapes, which expect the
 //! status line to be the first bytes on the wire.
 //!
+//! The protocol is **versioned** (v2): a client may ask for a version
+//! (`HELLO 2`) and the daemon answers [`HELLO_BANNER`], which names its
+//! newest version and echoes the full supported set (`LMOND 2
+//! versions=1,2`). A bare `HELLO` negotiates v1 — v1 clients only ever
+//! prefix-matched `LMOND`, so they connect unchanged. Unknown verbs get a
+//! typed `unsupported-verb` error naming the connection's negotiated
+//! version ([`ParseError::UnsupportedVerb`]).
+//!
 //! As a convenience for scrape tooling, a request line that looks like an
 //! HTTP `GET /metrics` is answered with a minimal HTTP/1.0 response carrying
 //! the same exposition text `METRICS` returns (so `curl` and Prometheus can
@@ -18,14 +26,34 @@
 
 use std::time::Duration;
 
-/// Banner the daemon answers a `HELLO` line with.
-pub const HELLO_BANNER: &str = "LMOND 1";
+/// Highest control-protocol version this daemon speaks.
+pub const PROTOCOL_VERSION: u32 = 2;
+
+/// Every version the daemon accepts, oldest first.
+pub const SUPPORTED_VERSIONS: &[u32] = &[1, 2];
+
+/// Banner the daemon answers a `HELLO` line with: its newest version plus
+/// the full supported set. v1 clients only check the `LMOND` prefix, so
+/// they keep connecting; v2 clients read the version tokens and pick.
+pub const HELLO_BANNER: &str = "LMOND 2 versions=1,2";
+
+/// Pick the version a connection runs at, from the (optional) version the
+/// client's `HELLO` carried. A bare `HELLO` is a v1 client; a client
+/// asking for a newer version than the daemon speaks is clamped down to
+/// [`PROTOCOL_VERSION`] (it learns the daemon's ceiling from the banner).
+pub fn negotiate(requested: Option<u32>) -> u32 {
+    requested.unwrap_or(1).clamp(1, PROTOCOL_VERSION)
+}
 
 /// A parsed control request.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Request {
     /// Protocol handshake: answered with the raw [`HELLO_BANNER`] line.
-    Hello,
+    Hello {
+        /// Version the client asked for (`HELLO 2`); a bare `HELLO` is a
+        /// v1 client.
+        version: Option<u32>,
+    },
     /// Liveness probe.
     Ping,
     /// Admit (queueing if necessary) and launch a session.
@@ -94,16 +122,62 @@ pub enum Request {
 /// Default daemon body used when a `LAUNCH` line omits one.
 pub const DEFAULT_BODY: &str = "sleeper";
 
+/// Why a request line failed to parse. The two cases render differently:
+/// a malformed known verb carries its usage string, while an unknown verb
+/// becomes a typed `unsupported-verb` error naming the connection's
+/// negotiated version and the daemon's supported set
+/// ([`ParseError::reply`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseError {
+    /// A known verb with bad arguments; carries the reason/usage text.
+    Malformed(String),
+    /// A verb the daemon does not speak (at any version); carries the verb.
+    UnsupportedVerb(String),
+}
+
+impl ParseError {
+    /// The `ERR` reply for this parse failure on a connection negotiated
+    /// at `version`.
+    pub fn reply(&self, version: u32) -> Reply {
+        match self {
+            ParseError::Malformed(reason) => Reply::Err(reason.clone()),
+            ParseError::UnsupportedVerb(verb) => {
+                let supported =
+                    SUPPORTED_VERSIONS.iter().map(u32::to_string).collect::<Vec<_>>().join(",");
+                Reply::Err(format!(
+                    "unsupported-verb {verb:?} version={version} supported={supported}"
+                ))
+            }
+        }
+    }
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ParseError::Malformed(reason) => f.write_str(reason),
+            ParseError::UnsupportedVerb(verb) => write!(f, "unsupported-verb {verb:?}"),
+        }
+    }
+}
+
+fn malformed(reason: impl Into<String>) -> ParseError {
+    ParseError::Malformed(reason.into())
+}
+
 impl Request {
-    /// Parse one request line. `Err` carries the reason for an `ERR` reply.
-    pub fn parse(line: &str) -> Result<Request, String> {
+    /// Parse one request line.
+    pub fn parse(line: &str) -> Result<Request, ParseError> {
         let mut toks = line.split_whitespace();
         let Some(cmd) = toks.next() else {
-            return Err("empty request".into());
+            return Err(malformed("empty request"));
         };
         let rest: Vec<&str> = toks.collect();
         match (cmd.to_ascii_uppercase().as_str(), rest.as_slice()) {
-            ("HELLO", _) => Ok(Request::Hello),
+            ("HELLO", []) => Ok(Request::Hello { version: None }),
+            ("HELLO", [v, ..]) => {
+                Ok(Request::Hello { version: Some(parse_num(v, "protocol version")?) })
+            }
             ("PING", []) => Ok(Request::Ping),
             ("LAUNCH", [app, nodes, tpn]) => Ok(Request::Launch {
                 app: (*app).to_string(),
@@ -117,8 +191,8 @@ impl Request {
                 tasks_per_node: parse_num(tpn, "tasks_per_node")?,
                 body: (*body).to_string(),
             }),
-            ("LAUNCH", _) => Err("usage: LAUNCH <app> <nodes> <tasks_per_node> [body]".into()),
-            ("ATTACH", []) => Err("usage: ATTACH <pid> [<pid>...] [body]".into()),
+            ("LAUNCH", _) => Err(malformed("usage: LAUNCH <app> <nodes> <tasks_per_node> [body]")),
+            ("ATTACH", []) => Err(malformed("usage: ATTACH <pid> [<pid>...] [body]")),
             ("ATTACH", toks) => {
                 // Every leading numeric token is a pid; one trailing
                 // non-numeric token names the daemon body.
@@ -128,11 +202,11 @@ impl Request {
                     match tok.parse::<u64>() {
                         Ok(pid) => pids.push(pid),
                         Err(_) if i == toks.len() - 1 => body = (*tok).to_string(),
-                        Err(_) => return Err(format!("bad pid: {tok:?}")),
+                        Err(_) => return Err(malformed(format!("bad pid: {tok:?}"))),
                     }
                 }
                 if pids.is_empty() {
-                    return Err("usage: ATTACH <pid> [<pid>...] [body]".into());
+                    return Err(malformed("usage: ATTACH <pid> [<pid>...] [body]"));
                 }
                 Ok(Request::Attach { pids, body })
             }
@@ -141,10 +215,10 @@ impl Request {
                 nodes: parse_num(nodes, "nodes")?,
                 tasks_per_node: parse_num(tpn, "tasks_per_node")?,
             }),
-            ("RUNJOB", _) => Err("usage: RUNJOB <app> <nodes> <tasks_per_node>".into()),
+            ("RUNJOB", _) => Err(malformed("usage: RUNJOB <app> <nodes> <tasks_per_node>")),
             ("UPGRADE", []) => Ok(Request::Upgrade { shape: None }),
             ("UPGRADE", [shape]) => Ok(Request::Upgrade { shape: Some((*shape).to_string()) }),
-            ("UPGRADE", _) => Err("usage: UPGRADE [shape]".into()),
+            ("UPGRADE", _) => Err(malformed("usage: UPGRADE [shape]")),
             ("STATUS", []) => Ok(Request::Status),
             ("STATUS", [gsid]) => Ok(Request::SessionStatus { gsid: parse_num(gsid, "gsid")? }),
             ("DETACH", [gsid]) => Ok(Request::Detach { gsid: parse_num(gsid, "gsid")? }),
@@ -153,13 +227,13 @@ impl Request {
             ("SHUTDOWN", []) => Ok(Request::Shutdown),
             // `GET /metrics HTTP/1.1` — tolerate any trailing HTTP version.
             ("GET", [path, ..]) => Ok(Request::HttpGet { path: (*path).to_string() }),
-            (other, _) => Err(format!("unknown command {other:?}")),
+            (other, _) => Err(ParseError::UnsupportedVerb(other.to_string())),
         }
     }
 }
 
-fn parse_num<T: std::str::FromStr>(tok: &str, what: &str) -> Result<T, String> {
-    tok.parse().map_err(|_| format!("bad {what}: {tok:?}"))
+fn parse_num<T: std::str::FromStr>(tok: &str, what: &str) -> Result<T, ParseError> {
+    tok.parse().map_err(|_| malformed(format!("bad {what}: {tok:?}")))
 }
 
 /// A control reply, ready to serialize.
@@ -259,7 +333,8 @@ mod tests {
 
     #[test]
     fn parses_the_full_grammar() {
-        assert_eq!(Request::parse("HELLO").unwrap(), Request::Hello);
+        assert_eq!(Request::parse("HELLO").unwrap(), Request::Hello { version: None });
+        assert_eq!(Request::parse("HELLO 2").unwrap(), Request::Hello { version: Some(2) });
         assert_eq!(Request::parse("PING").unwrap(), Request::Ping);
         assert_eq!(
             Request::parse("LAUNCH app 4 2").unwrap(),
@@ -310,16 +385,43 @@ mod tests {
 
     #[test]
     fn rejects_malformed_requests_with_reasons() {
-        assert!(Request::parse("").unwrap_err().contains("empty"));
-        assert!(Request::parse("LAUNCH app").unwrap_err().contains("usage"));
-        assert!(Request::parse("LAUNCH app x 2").unwrap_err().contains("bad nodes"));
-        assert!(Request::parse("DETACH abc").unwrap_err().contains("bad gsid"));
-        assert!(Request::parse("ATTACH").unwrap_err().contains("usage"));
-        assert!(Request::parse("ATTACH body 17").unwrap_err().contains("bad pid"));
-        assert!(Request::parse("ATTACH oneshot").unwrap_err().contains("usage"));
-        assert!(Request::parse("RUNJOB app 4").unwrap_err().contains("usage"));
-        assert!(Request::parse("UPGRADE a b").unwrap_err().contains("usage"));
-        assert!(Request::parse("FROB 1").unwrap_err().contains("unknown command"));
+        let reason = |line: &str| Request::parse(line).unwrap_err().to_string();
+        assert!(reason("").contains("empty"));
+        assert!(reason("LAUNCH app").contains("usage"));
+        assert!(reason("LAUNCH app x 2").contains("bad nodes"));
+        assert!(reason("DETACH abc").contains("bad gsid"));
+        assert!(reason("ATTACH").contains("usage"));
+        assert!(reason("ATTACH body 17").contains("bad pid"));
+        assert!(reason("ATTACH oneshot").contains("usage"));
+        assert!(reason("RUNJOB app 4").contains("usage"));
+        assert!(reason("UPGRADE a b").contains("usage"));
+        assert!(reason("HELLO two").contains("bad protocol version"));
+        // Malformed known verbs are not "unsupported": the typed variant
+        // is reserved for verbs the daemon does not speak at all.
+        assert!(matches!(Request::parse("LAUNCH app").unwrap_err(), ParseError::Malformed(_)));
+    }
+
+    #[test]
+    fn unknown_verbs_are_typed_and_name_the_negotiated_version() {
+        let err = Request::parse("FROB 1").unwrap_err();
+        assert_eq!(err, ParseError::UnsupportedVerb("FROB".into()));
+        let rendered = err.reply(2).render();
+        assert_eq!(rendered, "ERR unsupported-verb \"FROB\" version=2 supported=1,2\n");
+        // The same failure on a v1 connection names v1.
+        assert!(err.reply(1).render().contains("version=1"));
+    }
+
+    #[test]
+    fn negotiation_clamps_to_the_supported_set() {
+        assert_eq!(negotiate(None), 1, "a bare HELLO is a v1 client");
+        assert_eq!(negotiate(Some(1)), 1);
+        assert_eq!(negotiate(Some(2)), 2);
+        assert_eq!(negotiate(Some(99)), PROTOCOL_VERSION, "future clients clamp down");
+        assert_eq!(negotiate(Some(0)), 1);
+        assert!(HELLO_BANNER.starts_with("LMOND"), "v1 clients prefix-match the banner");
+        for v in SUPPORTED_VERSIONS {
+            assert!(HELLO_BANNER.contains(&v.to_string()), "banner echoes the supported set");
+        }
     }
 
     #[test]

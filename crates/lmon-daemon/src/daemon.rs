@@ -30,7 +30,7 @@ use lmon_tbon::spec::TopologySpec;
 use lmon_tbon::{PhiAccrualParams, SuspicionTable};
 
 use crate::admission::{AdmissionError, AdmissionQueue, Permit};
-use crate::control::{Reply, Request, HELLO_BANNER};
+use crate::control::{negotiate, Reply, Request, HELLO_BANNER, SUPPORTED_VERSIONS};
 use crate::error::{DaemonError, DaemonResult};
 use crate::metrics::{render_prometheus, MetricsSnapshot};
 
@@ -48,6 +48,10 @@ const SUSPICION_TABLES_CAP: usize = 4;
 pub struct DaemonConfig {
     /// Pooled front ends (each with its own engine and virtual cluster).
     pub backends: usize,
+    /// Federation groups ([`FeShard`]s) the backend pool is partitioned
+    /// into. Sessions are pinned to a group by a deterministic hash of the
+    /// application name; clamped to `[1, backends]`.
+    pub groups: usize,
     /// Nodes per backend's virtual cluster.
     pub cluster_nodes: usize,
     /// Concurrent in-flight session bound (the admission limit).
@@ -65,6 +69,7 @@ impl Default for DaemonConfig {
     fn default() -> Self {
         DaemonConfig {
             backends: 2,
+            groups: 1,
             cluster_nodes: 64,
             admission_limit: 8,
             queue_capacity: 1024,
@@ -83,15 +88,60 @@ struct Backend {
 
 /// A live session's bookkeeping entry. Holds the admission [`Permit`]: the
 /// slot frees exactly when the entry is dropped (detach/kill/error), so no
-/// control path can leak admission capacity.
+/// control path can leak admission capacity. Launch sessions keep their
+/// launch parameters (`nodes`/`tasks_per_node`/`body`) so a whole-group FE
+/// failover can re-home them onto a sibling shard; attach sessions carry
+/// `body: None` — their launcher lives on the dead shard's cluster, so
+/// they are dropped (and counted) instead of re-homed.
 struct SessionEntry {
     fe_idx: usize,
+    group: usize,
     sid: SessionId,
     app: String,
     daemons: usize,
+    nodes: usize,
+    tasks_per_node: usize,
+    body: Option<String>,
     started: Instant,
     #[allow(dead_code)] // held for its Drop
     permit: Permit,
+}
+
+/// One federation group's slice of the backend pool: the [`FeShard`] a
+/// session is pinned to. Shard `g` owns backends `{ i | i % groups == g }`,
+/// so every group has at least one FE whenever `groups <= backends`.
+#[derive(Debug, Clone)]
+pub struct FeShard {
+    /// Group index (`0..groups`).
+    pub group: usize,
+    /// Backend indices this shard owns.
+    pub backends: Vec<usize>,
+    /// False after [`Daemon::fail_group`] took the group's FEs down.
+    pub alive: bool,
+}
+
+/// Outcome of a whole-group FE failover ([`Daemon::fail_group`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FailoverReport {
+    /// The group whose front ends were declared dead.
+    pub group: usize,
+    /// Inter-group federation epoch after the bump.
+    pub epoch: u64,
+    /// Launch sessions re-homed onto sibling shards.
+    pub rehomed: usize,
+    /// Sessions dropped (attach sessions, or re-launch failures).
+    pub dropped: usize,
+}
+
+/// FNV-1a over the app name: the deterministic session→group pin. Stable
+/// across runs and platforms, so chaos seeds reproduce placement exactly.
+fn fnv1a(s: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in s.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
 }
 
 /// The persistent multi-tenant launch service.
@@ -102,6 +152,15 @@ struct SessionEntry {
 pub struct Daemon {
     cfg: DaemonConfig,
     backends: Vec<Backend>,
+    /// Effective federation group count (`cfg.groups` clamped to the pool).
+    groups: usize,
+    /// Per-group liveness; flipped by [`Daemon::fail_group`].
+    shard_alive: Vec<AtomicBool>,
+    /// Inter-group federation epoch: bumps on every group failover, so
+    /// overlay re-attaches and route publishes from before the failover
+    /// are recognizably stale (the PR 5 rule, across group boundaries).
+    fed_epoch: AtomicU64,
+    fed_failovers: AtomicU64,
     next_backend: AtomicUsize,
     sessions: Mutex<HashMap<u64, SessionEntry>>,
     next_gsid: AtomicU64,
@@ -132,17 +191,24 @@ struct BoundEndpoints {
 impl Daemon {
     /// Build the service (front-end pool up, nothing listening yet).
     pub fn new(cfg: DaemonConfig) -> DaemonResult<Arc<Daemon>> {
-        let mut backends = Vec::with_capacity(cfg.backends.max(1));
-        for _ in 0..cfg.backends.max(1) {
+        let pool = cfg.backends.max(1);
+        let groups = cfg.groups.clamp(1, pool);
+        let mut backends = Vec::with_capacity(pool);
+        for idx in 0..pool {
             let cluster = VirtualCluster::new(ClusterConfig::with_nodes(cfg.cluster_nodes));
             let rm: Arc<dyn ResourceManager> = Arc::new(SlurmRm::new(cluster.clone()));
             let fe = Arc::new(LmonFrontEnd::init(rm).map_err(DaemonError::Core)?);
             fe.set_health_history_capacity(cfg.health_history_cap);
+            fe.set_shard_label(format!("g{}", idx % groups));
             backends.push(Backend { fe, cluster });
         }
         let admission = AdmissionQueue::new(cfg.admission_limit, cfg.queue_capacity);
         let daemon = Arc::new(Daemon {
             backends,
+            groups,
+            shard_alive: (0..groups).map(|_| AtomicBool::new(true)).collect(),
+            fed_epoch: AtomicU64::new(0),
+            fed_failovers: AtomicU64::new(0),
             next_backend: AtomicUsize::new(0),
             sessions: Mutex::new(HashMap::new()),
             next_gsid: AtomicU64::new(1),
@@ -215,6 +281,125 @@ impl Daemon {
         self.backends.get(idx).map(|b| &b.fe)
     }
 
+    // --- FeShard pool -----------------------------------------------------
+
+    /// Effective federation group count (≥ 1).
+    pub fn groups(&self) -> usize {
+        self.groups
+    }
+
+    /// Current inter-group federation epoch (bumps on every failover).
+    pub fn fed_epoch(&self) -> u64 {
+        self.fed_epoch.load(Ordering::SeqCst)
+    }
+
+    /// The [`FeShard`] view of group `g` (its backend slice + liveness).
+    pub fn shard(&self, group: usize) -> Option<FeShard> {
+        if group >= self.groups {
+            return None;
+        }
+        Some(FeShard {
+            group,
+            backends: (0..self.backends.len()).filter(|i| i % self.groups == group).collect(),
+            alive: self.shard_alive[group].load(Ordering::SeqCst),
+        })
+    }
+
+    /// The group `app`'s sessions are pinned to: FNV-1a of the name modulo
+    /// the group count, linearly probed past dead shards so a failed group
+    /// deterministically hands its keyspace to the next live sibling.
+    pub fn group_of_app(&self, app: &str) -> usize {
+        let home = (fnv1a(app) % self.groups as u64) as usize;
+        (0..self.groups)
+            .map(|off| (home + off) % self.groups)
+            .find(|&g| self.shard_alive[g].load(Ordering::SeqCst))
+            .unwrap_or(home)
+    }
+
+    /// Round-robin over a group's backends.
+    fn pick_backend(&self, group: usize) -> usize {
+        let shard: Vec<usize> =
+            (0..self.backends.len()).filter(|i| i % self.groups == group).collect();
+        let n = self.next_backend.fetch_add(1, Ordering::Relaxed);
+        shard[n % shard.len()]
+    }
+
+    /// Declare a whole group's front ends dead and fail its sessions over:
+    /// the federation epoch bumps *first* (so any in-flight publish from
+    /// the dead group is droppably stale), then every launch session
+    /// pinned to the group is re-launched on a sibling shard's FE under
+    /// the same gsid and admission permit. Attach sessions cannot follow —
+    /// their launcher ran on the dead shard's cluster — so they are
+    /// dropped and counted. DESIGN.md §13 gives the ordering argument.
+    pub fn fail_group(&self, group: usize) -> FailoverReport {
+        let epoch = self.fed_epoch.fetch_add(1, Ordering::SeqCst) + 1;
+        self.fed_failovers.fetch_add(1, Ordering::SeqCst);
+        if group < self.groups {
+            self.shard_alive[group].store(false, Ordering::SeqCst);
+        }
+        let mut report = FailoverReport { group, epoch, rehomed: 0, dropped: 0 };
+
+        let victims: Vec<u64> = {
+            let sessions = self.sessions.lock();
+            sessions.iter().filter(|(_, e)| e.group == group).map(|(g, _)| *g).collect()
+        };
+        for gsid in victims {
+            let Some(entry) = self.sessions.lock().remove(&gsid) else { continue };
+            let Some(body_name) = entry.body.clone() else {
+                report.dropped += 1; // attach session: launcher died with the shard
+                continue;
+            };
+            let sibling = self.group_of_app(&entry.app);
+            if sibling == group || !self.shard_alive[sibling].load(Ordering::SeqCst) {
+                report.dropped += 1; // no live sibling left to re-home onto
+                continue;
+            }
+            let body_fn = self.bodies.lock().get(&body_name).cloned();
+            let Some(body_fn) = body_fn else {
+                report.dropped += 1;
+                continue;
+            };
+            let fe_idx = self.pick_backend(sibling);
+            let fe = &self.backends[fe_idx].fe;
+            let sid = fe.create_session();
+            match fe.launch_and_spawn(
+                sid,
+                &entry.app,
+                &[],
+                entry.nodes,
+                entry.tasks_per_node,
+                DaemonSpec::bare(format!("lmond_be_{body_name}")),
+                body_fn,
+            ) {
+                Ok(outcome) => {
+                    fe.record_session_health(
+                        sid,
+                        HealthState::Healed,
+                        0,
+                        format!("re-homed from dead group g{group} (gsid {gsid}, epoch {epoch})"),
+                    );
+                    self.sessions.lock().insert(
+                        gsid,
+                        SessionEntry {
+                            fe_idx,
+                            group: sibling,
+                            sid,
+                            daemons: outcome.daemon_count,
+                            started: Instant::now(),
+                            ..entry
+                        },
+                    );
+                    report.rehomed += 1;
+                }
+                Err(_) => {
+                    self.launch_failures_total.fetch_add(1, Ordering::Relaxed);
+                    report.dropped += 1; // entry (and permit) already removed
+                }
+            }
+        }
+        report
+    }
+
     /// Live session count.
     pub fn sessions_active(&self) -> usize {
         self.sessions.lock().len()
@@ -247,7 +432,15 @@ impl Daemon {
     /// API used by tests that bypass sockets).
     pub fn dispatch(&self, req: &Request) -> Reply {
         match req {
-            Request::Hello => Reply::ok(&[("banner", HELLO_BANNER.replace(' ', "/"))]),
+            Request::Hello { version } => {
+                let supported =
+                    SUPPORTED_VERSIONS.iter().map(u32::to_string).collect::<Vec<_>>().join(",");
+                Reply::ok(&[
+                    ("banner", HELLO_BANNER.replace(' ', "/")),
+                    ("version", negotiate(*version).to_string()),
+                    ("supported", supported),
+                ])
+            }
             Request::Ping => Reply::ok(&[
                 ("pong", "1".into()),
                 ("uptime_s", self.started_at.elapsed().as_secs().to_string()),
@@ -299,7 +492,8 @@ impl Daemon {
         };
         let wait_ms = queued_at.elapsed().as_millis();
 
-        let fe_idx = self.next_backend.fetch_add(1, Ordering::Relaxed) % self.backends.len();
+        let group = self.group_of_app(app);
+        let fe_idx = self.pick_backend(group);
         let fe = &self.backends[fe_idx].fe;
         let sid = fe.create_session();
         let launch_started = Instant::now();
@@ -327,9 +521,13 @@ impl Daemon {
                     gsid,
                     SessionEntry {
                         fe_idx,
+                        group,
                         sid,
                         app: app.to_string(),
                         daemons: outcome.daemon_count,
+                        nodes,
+                        tasks_per_node,
+                        body: Some(body.to_string()),
                         started: launch_started,
                         permit,
                     },
@@ -338,6 +536,7 @@ impl Daemon {
                 Reply::ok(&[
                     ("gsid", gsid.to_string()),
                     ("fe", fe_idx.to_string()),
+                    ("group", group.to_string()),
                     ("daemons", outcome.daemon_count.to_string()),
                     ("wait_ms", wait_ms.to_string()),
                     ("launch_ms", launch_started.elapsed().as_millis().to_string()),
@@ -364,7 +563,7 @@ impl Daemon {
                 self.cfg.cluster_nodes
             ));
         }
-        let fe_idx = self.next_backend.fetch_add(1, Ordering::Relaxed) % self.backends.len();
+        let fe_idx = self.pick_backend(self.group_of_app(app));
         let rm = self.backends[fe_idx].fe.rm();
         match rm.launch_job(&JobSpec::new(app, nodes, tasks_per_node), false) {
             Ok(handle) => Reply::ok(&[
@@ -432,9 +631,13 @@ impl Daemon {
                         gsid,
                         SessionEntry {
                             fe_idx,
+                            group: fe_idx % self.groups,
                             sid,
                             app: format!("attach:pid={pid}"),
                             daemons: outcome.daemon_count,
+                            nodes: 0,
+                            tasks_per_node: 0,
+                            body: None,
                             started,
                             permit,
                         },
@@ -544,6 +747,9 @@ impl Daemon {
         Reply::ok(&[
             ("uptime_s", self.started_at.elapsed().as_secs().to_string()),
             ("backends", self.backends.len().to_string()),
+            ("groups", self.groups.to_string()),
+            ("fed_epoch", self.fed_epoch().to_string()),
+            ("fed_failovers", self.fed_failovers.load(Ordering::SeqCst).to_string()),
             ("sessions", self.sessions_active().to_string()),
             ("in_flight", adm.in_flight.to_string()),
             ("queue_depth", adm.waiting.to_string()),
@@ -572,6 +778,7 @@ impl Daemon {
         Reply::ok(&[
             ("gsid", gsid.to_string()),
             ("fe", entry.fe_idx.to_string()),
+            ("group", entry.group.to_string()),
             ("app", entry.app.clone()),
             ("daemons", entry.daemons.to_string()),
             ("state", state),
@@ -622,6 +829,9 @@ impl Daemon {
             .collect();
         MetricsSnapshot {
             uptime: self.started_at.elapsed(),
+            fed_groups: self.groups,
+            fed_epoch: self.fed_epoch(),
+            fed_failovers: self.fed_failovers.load(Ordering::SeqCst),
             sessions_active: active,
             launches_total: self.launches_total.load(Ordering::Relaxed),
             launch_failures_total: self.launch_failures_total.load(Ordering::Relaxed),
@@ -659,6 +869,9 @@ impl Daemon {
     fn serve_conn<S: std::io::Read + Write>(self: &Arc<Self>, stream: S, writer: &mut S) {
         let mut reader = BufReader::new(stream);
         let mut line = String::new();
+        // Until a HELLO negotiates otherwise, a connection is a v1 client
+        // (v1 clients may skip the handshake and go straight to verbs).
+        let mut negotiated: u32 = 1;
         loop {
             line.clear();
             match reader.read_line(&mut line) {
@@ -670,7 +883,10 @@ impl Daemon {
                 continue;
             }
             match Request::parse(trimmed) {
-                Ok(Request::Hello) => {
+                Ok(Request::Hello { version }) => {
+                    negotiated = negotiate(version);
+                    // The banner always advertises the full supported set;
+                    // the client takes the min (see `control` docs).
                     if writeln!(writer, "{HELLO_BANNER}").is_err() || writer.flush().is_err() {
                         return;
                     }
@@ -692,8 +908,10 @@ impl Daemon {
                         return;
                     }
                 }
-                Err(reason) => {
-                    if writer.write_all(Reply::Err(reason).render().as_bytes()).is_err() {
+                Err(err) => {
+                    // Typed parse errors: unknown verbs name the negotiated
+                    // version and the supported set (satellite 1).
+                    if writer.write_all(err.reply(negotiated).render().as_bytes()).is_err() {
                         return;
                     }
                 }
@@ -712,7 +930,7 @@ fn run_upgrade_drill(
 ) -> Result<(Arc<SuspicionTable>, UpgradeReport), String> {
     let step = Duration::from_secs(20);
     front.await_connections(leaves, step).map_err(|e| format!("connect: {e}"))?;
-    let table = front.start_suspicion(PhiAccrualParams::default());
+    let table = front.maintenance().start_suspicion(PhiAccrualParams::default());
     let stream = front.open_stream(FilterKind::Concat).map_err(|e| format!("open stream: {e}"))?;
 
     front.broadcast(stream, 1, vec![]).map_err(|e| format!("pre-upgrade broadcast: {e}"))?;
@@ -721,7 +939,8 @@ fn run_upgrade_drill(
         return Err(format!("pre-upgrade wave incomplete: {} of {leaves}", pkt.payload.len()));
     }
 
-    let report = front.rolling_upgrade(step).map_err(|e| format!("rolling upgrade: {e}"))?;
+    let report =
+        front.maintenance().rolling_upgrade(step).map_err(|e| format!("rolling upgrade: {e}"))?;
 
     front.broadcast(stream, 2, vec![]).map_err(|e| format!("post-upgrade broadcast: {e}"))?;
     let pkt = front.gather(stream, 2, step).map_err(|e| format!("post-upgrade gather: {e}"))?;
@@ -1002,5 +1221,56 @@ mod tests {
             },
         );
         assert_eq!(daemon.active_conns.load(Ordering::SeqCst), 0);
+    }
+
+    fn fields(reply: &Reply) -> crate::control::ParsedReply {
+        let rendered = reply.render();
+        let header = rendered.lines().next().unwrap();
+        crate::control::parse_reply_header(header).expect("OK reply").0
+    }
+
+    /// Tentpole: killing a whole group's FE re-homes its launch sessions
+    /// onto a sibling shard under a bumped federation epoch, preserving
+    /// the gsid (clients keep their handle across the failover).
+    #[test]
+    fn group_failover_rehomes_launch_sessions() {
+        let daemon = Daemon::new(DaemonConfig {
+            backends: 4,
+            groups: 2,
+            cluster_nodes: 8,
+            admission_limit: 8,
+            queue_capacity: 16,
+            ..DaemonConfig::default()
+        })
+        .unwrap();
+        assert_eq!(daemon.groups(), 2);
+
+        let reply = daemon.dispatch(&Request::parse("LAUNCH psweep 2 1 sleeper").unwrap());
+        let f = fields(&reply);
+        let gsid: u64 = f.field_as("gsid").unwrap();
+        let group: usize = f.field_as("group").unwrap();
+        assert_eq!(group, daemon.group_of_app("psweep"));
+
+        let report = daemon.fail_group(group);
+        assert_eq!(report.epoch, 1, "first failover bumps the epoch to 1");
+        assert_eq!(report.rehomed, 1, "the launch session follows its gsid");
+        assert_eq!(report.dropped, 0);
+        assert!(!daemon.shard(group).unwrap().alive);
+
+        let f = fields(&daemon.dispatch(&Request::parse(&format!("STATUS {gsid}")).unwrap()));
+        let new_group: usize = f.field_as("group").unwrap();
+        assert_ne!(new_group, group, "session re-homed to a sibling shard");
+
+        let f = fields(&daemon.dispatch(&Request::parse("STATUS").unwrap()));
+        assert_eq!(f.field_as::<u64>("fed_epoch"), Some(1));
+        assert_eq!(f.field_as::<u64>("fed_failovers"), Some(1));
+
+        // The re-homed session is still fully manageable by its old gsid.
+        let reply = daemon.dispatch(&Request::parse(&format!("KILL {gsid}")).unwrap());
+        assert!(matches!(reply, Reply::Ok(_)), "kill after failover: {}", reply.render());
+
+        // New launches for the dead group's keyspace land on the sibling.
+        let f = fields(&daemon.dispatch(&Request::parse("LAUNCH psweep 2 1 sleeper").unwrap()));
+        assert_eq!(f.field_as::<usize>("group"), Some(new_group));
     }
 }

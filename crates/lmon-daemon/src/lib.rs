@@ -31,14 +31,19 @@ pub mod control;
 pub mod daemon;
 pub mod error;
 pub mod metrics;
+pub mod responses;
 
 pub use admission::{AdmissionError, AdmissionQueue, AdmissionStats, Permit};
 #[cfg(unix)]
 pub use client::connect_or_start;
 pub use client::{DaemonClient, LazyStartOutcome};
-pub use control::{ParsedReply, Reply, Request};
+pub use control::{negotiate, ParseError, ParsedReply, Reply, Request, PROTOCOL_VERSION};
 #[cfg(unix)]
 pub use daemon::bind_and_start;
-pub use daemon::{start_daemon, Daemon, DaemonConfig, DaemonHandle};
+pub use daemon::{start_daemon, Daemon, DaemonConfig, DaemonHandle, FailoverReport, FeShard};
 pub use error::{DaemonError, DaemonResult};
 pub use metrics::{render_prometheus, MetricsSnapshot};
+pub use responses::{
+    AttachResponse, LaunchResponse, RunJobResponse, SessionStatusResponse, StatusResponse,
+    UpgradeResponse,
+};

@@ -39,6 +39,7 @@
 
 pub mod bootstrap;
 pub mod error;
+pub mod federation;
 pub mod filter;
 pub mod overlay;
 pub mod packet;
@@ -47,8 +48,14 @@ pub mod spec;
 pub mod suspicion;
 
 pub use error::{TbonError, TbonResult};
+pub use federation::{
+    account_connections, initial_route, ConnectionAccount, FederatedOverlay, FederationRouter,
+    FederationSpec, GroupOverlay, GroupRoute, RouterStatsSnapshot,
+};
 pub use filter::FilterKind;
-pub use overlay::{CommFault, FrontEndpoint, LeafEndpoint, Overlay, UpgradeReport, UpgradeStep};
+pub use overlay::{
+    CommFault, FrontEndpoint, LeafEndpoint, Maintenance, Overlay, UpgradeReport, UpgradeStep,
+};
 pub use packet::Packet;
 pub use recovery::{OverlayStatsSnapshot, RecoveryEvent, RepairReport, RouteTable};
 pub use spec::TopologySpec;

@@ -14,13 +14,15 @@
 //! under a bumped overlay *epoch*. Packets stamped with a pre-repair epoch
 //! are counted in [`OverlayStats`] and dropped, never mis-routed.
 //!
-//! On top of the failure path sits **planned maintenance** (DESIGN.md §12):
-//! [`FrontEndpoint::drain_comm`] quiesces a daemon without losing a packet
+//! On top of the failure path sits **planned maintenance** (DESIGN.md §12),
+//! consolidated behind the [`FrontEndpoint::maintenance`] handle:
+//! [`Maintenance::drain`] quiesces a daemon without losing a packet
 //! (it flushes every in-flight wave before detaching), a `+N` spec suffix
 //! pre-launches a hot-spare pool that repairs prefer over inflating
-//! sibling fan-out, [`FrontEndpoint::start_suspicion`] runs background
-//! phi-accrual failure detection, and [`FrontEndpoint::rolling_upgrade`]
-//! walks the overlay replacing one comm daemon at a time.
+//! sibling fan-out, [`Maintenance::start_suspicion`] runs background
+//! phi-accrual failure detection, and [`Maintenance::rolling_upgrade`]
+//! walks the overlay replacing one comm daemon at a time. The old flat
+//! `FrontEndpoint` methods remain as deprecated shims for one release.
 
 use std::collections::{BTreeMap, HashMap, HashSet};
 use std::sync::Arc;
@@ -261,6 +263,15 @@ impl FrontEndpoint {
         self.stats.snapshot()
     }
 
+    /// The planned-maintenance surface (DESIGN.md §12), one handle for
+    /// the whole drain / upgrade / suspicion family:
+    /// `fe.maintenance().drain(pos, timeout)`,
+    /// `.upgrade(pos, timeout)`, `.rolling_upgrade(timeout)`,
+    /// `.start_suspicion(params)`.
+    pub fn maintenance(&mut self) -> Maintenance<'_> {
+        Maintenance { fe: self }
+    }
+
     /// Recovery events recorded so far, in occurrence order.
     pub fn recovery_events(&self) -> &[RecoveryEvent] {
         &self.events
@@ -467,7 +478,7 @@ impl FrontEndpoint {
     /// Inject a *silent* death into the comm daemon at `pos`: the daemon
     /// exits without the crash path's `LinkDown`/`ChildGone` notices or
     /// route-table mark — the in-process analogue of `kill -9`. Only
-    /// background suspicion ([`FrontEndpoint::start_suspicion`]) can detect
+    /// background suspicion ([`Maintenance::start_suspicion`]) can detect
     /// it; the bench and chaos suites use exactly that to measure
     /// phi-accrual detection latency.
     pub fn halt_comm(&self, pos: NodePos) -> TbonResult<()> {
@@ -492,7 +503,12 @@ impl FrontEndpoint {
     /// Returns the repair report once the subtree is whole again; on
     /// timeout the node keeps running (the drain guard is rolled back) and
     /// the caller may fall back to [`FrontEndpoint::crash_comm`].
+    #[deprecated(since = "0.1.0", note = "use `fe.maintenance().drain(pos, timeout)`")]
     pub fn drain_comm(&mut self, pos: NodePos, timeout: Duration) -> TbonResult<RepairReport> {
+        self.drain_comm_inner(pos, timeout)
+    }
+
+    fn drain_comm_inner(&mut self, pos: NodePos, timeout: Duration) -> TbonResult<RepairReport> {
         let ctl = self.comm_ctl(pos)?;
         self.events.push(RecoveryEvent::Draining { node: pos, epoch: self.epoch });
         self.draining.lock().insert(pos);
@@ -760,7 +776,12 @@ impl FrontEndpoint {
     ///
     /// Returns the live suspicion table (the `/metrics` per-child gauge
     /// source). The monitor stops when the front end is dropped.
+    #[deprecated(since = "0.1.0", note = "use `fe.maintenance().start_suspicion(params)`")]
     pub fn start_suspicion(&mut self, params: PhiAccrualParams) -> Arc<SuspicionTable> {
+        self.start_suspicion_inner(params)
+    }
+
+    fn start_suspicion_inner(&mut self, params: PhiAccrualParams) -> Arc<SuspicionTable> {
         let (beat_tx, beat_rx) = unbounded();
         {
             let rt = self.route.lock();
@@ -794,9 +815,14 @@ impl FrontEndpoint {
     /// re-attach its subtree (preferring an idle hot spare), then verify
     /// the healed overlay with a full heartbeat sweep. Counted in
     /// `upgrades_completed` / `upgrades_failed`.
+    #[deprecated(since = "0.1.0", note = "use `fe.maintenance().upgrade(pos, timeout)`")]
     pub fn upgrade_comm(&mut self, pos: NodePos, timeout: Duration) -> TbonResult<UpgradeStep> {
+        self.upgrade_comm_inner(pos, timeout)
+    }
+
+    fn upgrade_comm_inner(&mut self, pos: NodePos, timeout: Duration) -> TbonResult<UpgradeStep> {
         let start = Instant::now();
-        let report = match self.drain_comm(pos, timeout) {
+        let report = match self.drain_comm_inner(pos, timeout) {
             Ok(r) => r,
             Err(e) => {
                 self.stats.add_upgrades_failed(1);
@@ -828,11 +854,16 @@ impl FrontEndpoint {
     /// Rolling upgrade: walk every interior comm daemon — deepest level
     /// first, then index order, snapshot taken up front so replacement
     /// daemons are not themselves walked — and run
-    /// [`FrontEndpoint::upgrade_comm`] on each. Between steps the walk
+    /// [`Maintenance::upgrade`] on each. Between steps the walk
     /// pauses to heal *unplanned* failures (a crash or suspicion death
     /// that raced the upgrade); a walked node that was repaired away in
     /// the meantime is skipped.
+    #[deprecated(since = "0.1.0", note = "use `fe.maintenance().rolling_upgrade(timeout)`")]
     pub fn rolling_upgrade(&mut self, per_node_timeout: Duration) -> TbonResult<UpgradeReport> {
+        self.rolling_upgrade_inner(per_node_timeout)
+    }
+
+    fn rolling_upgrade_inner(&mut self, per_node_timeout: Duration) -> TbonResult<UpgradeReport> {
         let mut walk: Vec<NodePos> = {
             let rt = self.route.lock();
             rt.nodes
@@ -850,7 +881,7 @@ impl FrontEndpoint {
             if !self.route.is_alive(pos) {
                 continue;
             }
-            report.steps.push(self.upgrade_comm(pos, per_node_timeout)?);
+            report.steps.push(self.upgrade_comm_inner(pos, per_node_timeout)?);
         }
         let repaired = self.heal_failures()?;
         report.unplanned_repairs += repaired.len();
@@ -934,8 +965,48 @@ impl Drop for FrontEndpoint {
     }
 }
 
+/// The planned-maintenance handle (DESIGN.md §12), obtained from
+/// [`FrontEndpoint::maintenance`]: drains, upgrades, and background
+/// suspicion live here, leaving `FrontEndpoint` itself to the data and
+/// failure planes. The handle borrows the front end mutably, so a
+/// maintenance walk can never interleave with another maintenance call on
+/// the same overlay.
+pub struct Maintenance<'a> {
+    fe: &'a mut FrontEndpoint,
+}
+
+impl Maintenance<'_> {
+    /// Planned, loss-free removal of the comm daemon at `pos`: flush its
+    /// in-flight waves, detach it, re-parent its subtree under the
+    /// draining guard. See the former `FrontEndpoint::drain_comm` for the
+    /// full contract.
+    pub fn drain(&mut self, pos: NodePos, timeout: Duration) -> TbonResult<RepairReport> {
+        self.fe.drain_comm_inner(pos, timeout)
+    }
+
+    /// Replace one comm daemon: drain it (loss-free), let the repair
+    /// re-attach its subtree (preferring an idle hot spare), then verify
+    /// the healed overlay with a heartbeat sweep.
+    pub fn upgrade(&mut self, pos: NodePos, timeout: Duration) -> TbonResult<UpgradeStep> {
+        self.fe.upgrade_comm_inner(pos, timeout)
+    }
+
+    /// Rolling upgrade: walk every interior comm daemon (deepest level
+    /// first) and [`Maintenance::upgrade`] each, healing unplanned
+    /// failures between steps.
+    pub fn rolling_upgrade(&mut self, per_node_timeout: Duration) -> TbonResult<UpgradeReport> {
+        self.fe.rolling_upgrade_inner(per_node_timeout)
+    }
+
+    /// Start background phi-accrual failure suspicion; returns the live
+    /// suspicion table. The monitor stops when the front end is dropped.
+    pub fn start_suspicion(&mut self, params: PhiAccrualParams) -> Arc<SuspicionTable> {
+        self.fe.start_suspicion_inner(params)
+    }
+}
+
 /// One completed step of a rolling upgrade (see
-/// [`FrontEndpoint::rolling_upgrade`]).
+/// [`Maintenance::rolling_upgrade`]).
 #[derive(Debug, Clone)]
 pub struct UpgradeStep {
     /// The interior comm daemon replaced in this step.
@@ -951,7 +1022,7 @@ pub struct UpgradeStep {
     pub epoch: u64,
 }
 
-/// What one [`FrontEndpoint::rolling_upgrade`] walk did.
+/// What one [`Maintenance::rolling_upgrade`] walk did.
 #[derive(Debug, Clone, Default)]
 pub struct UpgradeReport {
     /// Completed steps, in walk order (deepest level first).
@@ -2308,7 +2379,7 @@ mod tests {
         front.broadcast(stream, 1, vec![]).unwrap();
         front.gather(stream, 1, Duration::from_secs(5)).unwrap();
 
-        let report = front.drain_comm(pos(1, 0), Duration::from_secs(5)).unwrap();
+        let report = front.maintenance().drain(pos(1, 0), Duration::from_secs(5)).unwrap();
         assert_eq!(report.epoch, 1);
         assert!(report.spares_used.is_empty(), "no pool in this spec");
         assert!(report.adoptions.iter().all(|(_, a)| *a == pos(1, 1)), "{:?}", report.adoptions);
@@ -2399,7 +2470,7 @@ mod tests {
         let (mut front, handles) = run_overlay("1x2x8", FilterRegistry::new(), echo_leaf());
         front.await_connections(8, Duration::from_secs(5)).unwrap();
         let stream = front.open_stream(FilterKind::Concat).unwrap();
-        let table = front.start_suspicion(PhiAccrualParams {
+        let table = front.maintenance().start_suspicion(PhiAccrualParams {
             beat_interval: Duration::from_millis(5),
             window: 16,
             suspect_phi: 1.0,
@@ -2441,7 +2512,7 @@ mod tests {
         front.broadcast(stream, 1, vec![]).unwrap();
         front.gather(stream, 1, Duration::from_secs(5)).unwrap();
 
-        let report = front.rolling_upgrade(Duration::from_secs(5)).unwrap();
+        let report = front.maintenance().rolling_upgrade(Duration::from_secs(5)).unwrap();
         assert_eq!(report.steps.len(), 2, "both designed comm daemons walked: {report:?}");
         assert_eq!(report.unplanned_repairs, 0);
         let spares: Vec<_> = report.steps.iter().map(|s| s.spare_used).collect();
@@ -2459,6 +2530,28 @@ mod tests {
         let mut got = pkt.payload.to_vec();
         got.sort_unstable();
         assert_eq!(got, (0..8u8).collect::<Vec<u8>>(), "zero session interruption");
+        front.shutdown();
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+
+    /// The one place the deprecated flat maintenance methods are still
+    /// exercised: they must keep delegating to the same machinery for one
+    /// release before removal.
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_maintenance_shims_still_delegate() {
+        let (mut front, handles) = run_overlay("1x2x8+2", FilterRegistry::new(), echo_leaf());
+        front.await_connections(8, Duration::from_secs(5)).unwrap();
+        let _table = front.start_suspicion(PhiAccrualParams::default());
+        let report = front.drain_comm(pos(1, 0), Duration::from_secs(5)).unwrap();
+        assert_eq!(report.spares_used, vec![pos(1, 2)]);
+        let step = front.upgrade_comm(pos(1, 1), Duration::from_secs(5)).unwrap();
+        assert_eq!(step.spare_used, Some(pos(1, 3)));
+        let rolled = front.rolling_upgrade(Duration::from_secs(5)).unwrap();
+        assert_eq!(rolled.unplanned_repairs, 0);
+        assert_eq!(front.stats().deaths_detected, 0, "shims stay on the planned path");
         front.shutdown();
         for h in handles {
             h.join().unwrap();

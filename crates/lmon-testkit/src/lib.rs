@@ -53,6 +53,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod fed;
 pub mod launch_sim;
 pub mod live;
 pub mod plan;
@@ -60,6 +61,7 @@ pub mod scenario;
 pub mod storm;
 pub mod trace;
 
+pub use fed::LiveFederation;
 pub use launch_sim::{LaunchParams, LaunchReport, LaunchSim};
 pub use live::{LiveLeafMain, LiveOverlay};
 pub use plan::{FaultPlan, SimFault, SimFaultKind, SimFaultTarget};

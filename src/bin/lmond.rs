@@ -1,8 +1,8 @@
 //! `lmond` — CLI for the persistent LaunchMON launch daemon.
 //!
 //! ```text
-//! lmond serve   [--socket PATH] [--tcp ADDR] [--backends N] [--nodes N]
-//!               [--limit N] [--queue N]
+//! lmond serve   [--socket PATH] [--tcp ADDR] [--backends N] [--groups N]
+//!               [--nodes N] [--limit N] [--queue N]
 //! lmond ping    [--socket PATH | --tcp ADDR]
 //! lmond status  [GSID] [--socket PATH | --tcp ADDR]
 //! lmond launch  APP NODES TASKS_PER_NODE [BODY] [--socket ... | --tcp ...]
@@ -56,6 +56,7 @@ struct CommonOpts {
     positional: Vec<String>,
     /// Flag values for `serve` tunables.
     backends: Option<usize>,
+    groups: Option<usize>,
     nodes: Option<usize>,
     limit: Option<usize>,
     queue: Option<usize>,
@@ -71,6 +72,7 @@ fn parse_opts(args: &[String]) -> Result<CommonOpts, String> {
         tcp: None,
         positional: Vec::new(),
         backends: None,
+        groups: None,
         nodes: None,
         limit: None,
         queue: None,
@@ -87,6 +89,7 @@ fn parse_opts(args: &[String]) -> Result<CommonOpts, String> {
                 opts.tcp = Some(v.parse().map_err(|e| format!("bad --tcp {v:?}: {e}"))?);
             }
             "--backends" => opts.backends = Some(parse_flag(flag_value("--backends")?)?),
+            "--groups" => opts.groups = Some(parse_flag(flag_value("--groups")?)?),
             "--nodes" => opts.nodes = Some(parse_flag(flag_value("--nodes")?)?),
             "--limit" => opts.limit = Some(parse_flag(flag_value("--limit")?)?),
             "--queue" => opts.queue = Some(parse_flag(flag_value("--queue")?)?),
@@ -105,6 +108,9 @@ fn config_from(opts: &CommonOpts) -> DaemonConfig {
     let mut cfg = DaemonConfig::default();
     if let Some(n) = opts.backends {
         cfg.backends = n;
+    }
+    if let Some(n) = opts.groups {
+        cfg.groups = n;
     }
     if let Some(n) = opts.nodes {
         cfg.cluster_nodes = n;
@@ -159,14 +165,21 @@ fn run() -> Result<(), String> {
         }
         "status" => {
             let mut client = connect(&opts)?;
-            let reply = match opts.positional.first() {
+            // Typed views validate the reply; the raw field bag is what we
+            // print, so forward-compat fields still show up.
+            match opts.positional.first() {
                 Some(gsid) => {
-                    client.session_status(parse_flag(gsid)?).map_err(|e| e.to_string())?
+                    let st = client.session_status(parse_flag(gsid)?).map_err(|e| e.to_string())?;
+                    for (k, v) in &st.raw().fields {
+                        say(format_args!("{k}={v}"));
+                    }
                 }
-                None => client.status().map_err(|e| e.to_string())?,
-            };
-            for (k, v) in &reply.fields {
-                say(format_args!("{k}={v}"));
+                None => {
+                    let st = client.status().map_err(|e| e.to_string())?;
+                    for (k, v) in &st.raw().fields {
+                        say(format_args!("{k}={v}"));
+                    }
+                }
             }
             Ok(())
         }
@@ -175,20 +188,20 @@ fn run() -> Result<(), String> {
                 return Err("usage: lmond launch APP NODES TASKS_PER_NODE [BODY]".into());
             };
             let body = rest.first().map(String::as_str).unwrap_or("sleeper");
-            let gsid = connect(&opts)?
+            let resp = connect(&opts)?
                 .launch(app, parse_flag(nodes)?, parse_flag(tpn)?, body)
                 .map_err(|e| e.to_string())?;
-            say(gsid);
+            say(resp.gsid);
             Ok(())
         }
         "runjob" => {
             let [app, nodes, tpn] = opts.positional.as_slice() else {
                 return Err("usage: lmond runjob APP NODES TASKS_PER_NODE".into());
             };
-            let (pid, job) = connect(&opts)?
+            let resp = connect(&opts)?
                 .run_job(app, parse_flag(nodes)?, parse_flag(tpn)?)
                 .map_err(|e| e.to_string())?;
-            say(format_args!("pid={pid} job={job}"));
+            say(format_args!("pid={} job={}", resp.pid, resp.job));
             Ok(())
         }
         "attach" => {
@@ -209,16 +222,16 @@ fn run() -> Result<(), String> {
             if pids.is_empty() {
                 return Err("usage: lmond attach PID [PID...] [BODY]".into());
             }
-            let gsids = connect(&opts)?.attach(&pids, body).map_err(|e| e.to_string())?;
-            for gsid in gsids {
+            let resp = connect(&opts)?.attach(&pids, body).map_err(|e| e.to_string())?;
+            for gsid in resp.gsids {
                 say(gsid);
             }
             Ok(())
         }
         "upgrade" => {
             let shape = opts.positional.first().map(String::as_str);
-            let reply = connect(&opts)?.upgrade(shape).map_err(|e| e.to_string())?;
-            for (k, v) in &reply.fields {
+            let resp = connect(&opts)?.upgrade(shape).map_err(|e| e.to_string())?;
+            for (k, v) in &resp.raw().fields {
                 say(format_args!("{k}={v}"));
             }
             Ok(())

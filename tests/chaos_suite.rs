@@ -675,8 +675,8 @@ fn chaos_launch_storm_survives_comm_crash_mid_bring_up() {
                 start.wait();
                 for l in launches {
                     match client.launch("storm_app", l.nodes, l.tasks_per_node, "oneshot") {
-                        Ok(gsid) => {
-                            client.kill(gsid).expect("kill");
+                        Ok(resp) => {
+                            client.kill(resp.gsid).expect("kill");
                             completed.fetch_add(1, Ordering::SeqCst);
                         }
                         Err(e) => {
@@ -788,7 +788,7 @@ fn chaos_rolling_upgrade_with_unplanned_halt_keeps_sessions_whole() {
     let mut live = LiveOverlay::launch_echo("1x8x64+8", &FaultPlan::new());
     let step = Duration::from_secs(10);
     live.front.await_connections(64, step).unwrap();
-    let _table = live.front.start_suspicion(PhiAccrualParams::default());
+    let _table = live.front.maintenance().start_suspicion(PhiAccrualParams::default());
     let stream = live.front.open_stream(FilterKind::Concat).unwrap();
     probe_wave(&mut live.front, stream, 1);
 
@@ -814,7 +814,8 @@ fn chaos_rolling_upgrade_with_unplanned_halt_keeps_sessions_whole() {
         if idx == 6 {
             continue; // already replaced by the unplanned repair
         }
-        let report = live.front.upgrade_comm(NodePos { level: 1, index: idx }, step).unwrap();
+        let report =
+            live.front.maintenance().upgrade(NodePos { level: 1, index: idx }, step).unwrap();
         assert!(report.spare_used.is_some(), "hot spare available for step {idx}");
         planned += 1;
         probe_wave(&mut live.front, stream, tag);
@@ -839,6 +840,208 @@ fn chaos_rolling_upgrade_with_unplanned_halt_keeps_sessions_whole() {
     let raced = fleet.join().unwrap();
     assert!(raced.iter().all(|r| r.len() == 6 * 10), "every session completed every round");
     assert_eq!(raced, control, "fleet reports must be bit-identical with and without the upgrade");
+}
+
+// ---------------------------------------------------------------------------
+// Federation scenario (DESIGN.md §13, ISSUE 10): a four-group fleet where
+// one group's FE dies mid-fleet. Its sessions re-home to a sibling group's
+// FE (same gsid-level identity, replayed from round 0 — the launcher died
+// with the group's cluster), and the final reports are bit-identical to a
+// no-fault control run. A second test holds the overlay-level story: a
+// whole-group kill + re-attach never pushes any node past its connection
+// bound, and the deposed group's late route publish is dropped as stale.
+// ---------------------------------------------------------------------------
+
+const FED_GROUPS: usize = 4;
+const FED_SESSIONS_PER_GROUP: usize = 2;
+const FED_ROUNDS: usize = 6;
+/// Group whose FE dies, and the round boundary at which it dies.
+const FED_VICTIM: usize = 1;
+const FED_FAIL_AT_ROUND: usize = 2;
+
+/// Run one round for every session of logical group `g` hosted on `fe`.
+fn fed_round(
+    fe: &LmonFrontEnd,
+    sids: &[launchmon::core::SessionId],
+    reports: &mut [Vec<u8>],
+    seed: u64,
+    round: usize,
+    g: usize,
+) {
+    for (s, sid) in sids.iter().enumerate() {
+        let mut payload = seed.to_le_bytes().to_vec();
+        payload.extend([round as u8, g as u8, s as u8]);
+        fe.send_usrdata(*sid, payload).unwrap();
+    }
+    for (s, sid) in sids.iter().enumerate() {
+        reports[s].extend(fe.recv_usrdata(*sid, Duration::from_secs(20)).unwrap());
+    }
+}
+
+/// Launch [`FED_SESSIONS_PER_GROUP`] jobsnap echo sessions for logical
+/// group `g` on `fe`.
+fn fed_launch_group(fe: &LmonFrontEnd, g: usize) -> Vec<launchmon::core::SessionId> {
+    let echo: BeMain = Arc::new(move |be| {
+        if be.am_i_master() {
+            for _ in 0..FED_ROUNDS {
+                let Ok(data) = be.recv_usrdata(Duration::from_secs(20)) else { break };
+                let _ = be.send_usrdata(data);
+            }
+        }
+        let _ = be.wait_shutdown();
+    });
+    (0..FED_SESSIONS_PER_GROUP)
+        .map(|s| {
+            let sid = fe.create_session();
+            fe.launch_and_spawn(
+                sid,
+                &format!("fedsnap_g{g}s{s}"),
+                &[],
+                2,
+                1,
+                DaemonSpec::bare("d"),
+                echo.clone(),
+            )
+            .unwrap();
+            sid
+        })
+        .collect()
+}
+
+/// The four-group fleet: each group is an FE with its own virtual cluster.
+/// With `fail` set, [`FED_VICTIM`]'s FE dies at the [`FED_FAIL_AT_ROUND`]
+/// boundary; its sessions re-home to the next group's FE and replay from
+/// round 0 (the group's cluster died with its launcher, so there is no
+/// partial state to resume — exactly `Daemon::fail_group`'s contract).
+/// Returns one report per (group, session).
+fn fed_fleet(seed: u64, fail: bool) -> Vec<Vec<Vec<u8>>> {
+    let mut fes: Vec<Option<LmonFrontEnd>> = (0..FED_GROUPS)
+        .map(|_| {
+            let cluster = VirtualCluster::new(ClusterConfig::with_nodes(16));
+            let rm: Arc<dyn ResourceManager> = Arc::new(SlurmRm::new(cluster));
+            Some(LmonFrontEnd::init(rm).unwrap())
+        })
+        .collect();
+    // `homes[g]` = which FE hosts group g's sessions (failover re-points it).
+    let mut homes: Vec<usize> = (0..FED_GROUPS).collect();
+    let mut sids: Vec<Vec<_>> =
+        (0..FED_GROUPS).map(|g| fed_launch_group(fes[g].as_ref().unwrap(), g)).collect();
+    let mut reports = vec![vec![Vec::new(); FED_SESSIONS_PER_GROUP]; FED_GROUPS];
+
+    for round in 0..FED_ROUNDS {
+        if fail && round == FED_FAIL_AT_ROUND {
+            // The victim group's FE dies, abandoning its in-flight
+            // sessions (no kill, no detach — the launcher is gone and the
+            // group's cluster with it).
+            let dead = fes[FED_VICTIM].take().unwrap();
+            let _ = dead.shutdown();
+            // Re-home to the sibling and replay the finished rounds: the
+            // payloads are pure functions of (seed, round, group, session),
+            // so the replay reproduces the lost prefix byte for byte.
+            let sibling = (FED_VICTIM + 1) % FED_GROUPS;
+            homes[FED_VICTIM] = sibling;
+            sids[FED_VICTIM] = fed_launch_group(fes[sibling].as_ref().unwrap(), FED_VICTIM);
+            reports[FED_VICTIM] = vec![Vec::new(); FED_SESSIONS_PER_GROUP];
+            for replay in 0..FED_FAIL_AT_ROUND {
+                fed_round(
+                    fes[sibling].as_ref().unwrap(),
+                    &sids[FED_VICTIM],
+                    &mut reports[FED_VICTIM],
+                    seed,
+                    replay,
+                    FED_VICTIM,
+                );
+            }
+        }
+        for g in 0..FED_GROUPS {
+            fed_round(fes[homes[g]].as_ref().unwrap(), &sids[g], &mut reports[g], seed, round, g);
+        }
+        std::thread::sleep(Duration::from_millis(2));
+    }
+
+    for g in 0..FED_GROUPS {
+        let fe = fes[homes[g]].as_ref().unwrap();
+        for sid in &sids[g] {
+            fe.kill(*sid).unwrap();
+        }
+    }
+    for fe in fes.into_iter().flatten() {
+        fe.shutdown().unwrap();
+    }
+    reports
+}
+
+#[test]
+fn chaos_group_fe_death_mid_fleet_rehomes_with_identical_reports() {
+    let seed = chaos_seed();
+    let control = fed_fleet(seed, false);
+    let failed = fed_fleet(seed, true);
+    // Every session of every group completed every round: 11 bytes per
+    // round (8 seed + round + group + session).
+    for (g, group) in failed.iter().enumerate() {
+        for (s, report) in group.iter().enumerate() {
+            assert_eq!(report.len(), FED_ROUNDS * 11, "g{g}s{s} lost rounds to the failover");
+        }
+    }
+    assert_eq!(
+        failed, control,
+        "fleet reports must be bit-identical with and without the group-FE death"
+    );
+}
+
+#[test]
+fn chaos_federation_group_kill_and_reattach_holds_connection_bounds() {
+    use launchmon::tbon::{initial_route, FederationSpec};
+    use launchmon::testkit::LiveFederation;
+
+    let mut fed = LiveFederation::launch_echo("1x2x8 * 4g");
+    let spec = FederationSpec::parse("1x2x8 * 4g").unwrap();
+
+    // Probe every group, then capture a route the doomed FE could publish
+    // late (stamped with the pre-failure epoch).
+    for g in 0..4 {
+        let stream = fed.front(g).open_stream(FilterKind::Concat).unwrap();
+        fed.front(g).broadcast(stream, 0, vec![]).unwrap();
+        let pkt = fed.front(g).gather(stream, 0, Duration::from_secs(5)).unwrap();
+        assert_eq!(pkt.payload.len(), 8, "group g{g} lost leaves at launch");
+    }
+    let late = initial_route(&spec, 2, fed.front(2), 0);
+
+    let epoch = fed.fail_group(2);
+    assert_eq!(epoch, 1);
+    assert_eq!(fed.router().live_groups(), vec![0, 1, 3]);
+    // The deposed FE's late publish carries the superseded epoch: counted
+    // and dropped, never applied (the PR 5 rule across group boundaries).
+    assert!(!fed.router().publish(late));
+    assert_eq!(fed.router().stats().stale_dropped, 1);
+
+    // Survivors keep gathering while group 2 is down.
+    let stream = fed.front(0).open_stream(FilterKind::Concat).unwrap();
+    fed.front(0).broadcast(stream, 1, vec![]).unwrap();
+    assert_eq!(fed.front(0).gather(stream, 1, Duration::from_secs(5)).unwrap().payload.len(), 8);
+
+    assert_eq!(fed.reattach_group(2), epoch);
+    assert_eq!(fed.router().live_groups(), vec![0, 1, 2, 3]);
+    let stream = fed.front(2).open_stream(FilterKind::Concat).unwrap();
+    fed.front(2).broadcast(stream, 2, vec![]).unwrap();
+    assert_eq!(fed.front(2).gather(stream, 2, Duration::from_secs(5)).unwrap().payload.len(), 8);
+
+    // The no-concentration invariant: after the kill + re-attach cycle, no
+    // node of any group exceeds its in-group bound plus (on the gateway
+    // comm only) the federation's router links.
+    let accounts = fed.accounts();
+    assert_eq!(accounts.len(), 4 * 11, "root + 2 comms + 8 leaves per group");
+    for a in &accounts {
+        assert!(a.links <= a.bound, "{a:?} exceeds its connection bound after failover");
+    }
+    let gateways: Vec<_> = accounts.iter().filter(|a| a.pos == spec.gateway_pos()).collect();
+    assert_eq!(gateways.len(), 4);
+    for gw in gateways {
+        assert_eq!(gw.bound, spec.connection_bound(1) + spec.gateway_links());
+    }
+    let stats = fed.router().stats();
+    assert_eq!((stats.epoch, stats.failovers), (1, 1));
+    fed.shutdown();
 }
 
 // ---------------------------------------------------------------------------

@@ -62,10 +62,10 @@ fn storm_of_504_sessions_queues_instead_of_failing() {
                 // `oneshot` bodies exit after the bootstrap barrier, so a
                 // session's cost is pure launch + teardown.
                 match client.launch("storm_app", l.nodes, l.tasks_per_node, "oneshot") {
-                    Ok(gsid) => {
+                    Ok(resp) => {
                         // Kill releases the allocation; the permit frees
                         // only after teardown, keeping in-flight honest.
-                        if client.kill(gsid).is_err() {
+                        if client.kill(resp.gsid).is_err() {
                             failures.fetch_add(1, Ordering::SeqCst);
                         } else {
                             completed.fetch_add(1, Ordering::SeqCst);
@@ -159,11 +159,11 @@ fn storm_time_to_ready_tail_stays_bounded() {
                 start.wait();
                 for l in launches {
                     let t0 = std::time::Instant::now();
-                    let gsid = client
+                    let resp = client
                         .launch("tail_app", l.nodes, l.tasks_per_node, "oneshot")
                         .expect("storm launch");
                     let ready_ms = t0.elapsed().as_secs_f64() * 1e3;
-                    client.kill(gsid).expect("kill");
+                    client.kill(resp.gsid).expect("kill");
                     samples.lock().unwrap().push(ready_ms);
                 }
             })
@@ -210,7 +210,8 @@ fn admission_queue_drains_monotonically() {
 
     // Fill the limit with sleeper sessions we control.
     let mut holder = DaemonClient::connect_unix(&socket).unwrap();
-    let held: Vec<u64> = (0..2).map(|_| holder.launch("hold", 1, 1, "sleeper").unwrap()).collect();
+    let held: Vec<u64> =
+        (0..2).map(|_| holder.launch("hold", 1, 1, "sleeper").unwrap().gsid).collect();
 
     // Park 4 more launches behind the full limit.
     let waiters: Vec<_> = (0..4)
@@ -218,7 +219,7 @@ fn admission_queue_drains_monotonically() {
             let socket = socket.clone();
             std::thread::spawn(move || {
                 let mut c = DaemonClient::connect_unix(&socket).unwrap();
-                let gsid = c.launch("queued", 1, 1, "oneshot").unwrap();
+                let gsid = c.launch("queued", 1, 1, "oneshot").unwrap().gsid;
                 c.kill(gsid).unwrap();
             })
         })
@@ -275,7 +276,7 @@ fn overflowing_the_queue_is_a_clean_rejection() {
     let handle = bind_and_start(cfg, &socket, None).expect("daemon up");
 
     let mut a = DaemonClient::connect_unix(&socket).unwrap();
-    let gsid = a.launch("first", 1, 1, "sleeper").unwrap();
+    let gsid = a.launch("first", 1, 1, "sleeper").unwrap().gsid;
 
     let mut b = DaemonClient::connect_unix(&socket).unwrap();
     let err = b.launch("second", 1, 1, "oneshot").unwrap_err();
@@ -285,7 +286,7 @@ fn overflowing_the_queue_is_a_clean_rejection() {
     );
 
     a.kill(gsid).unwrap();
-    let retry = b.launch("second", 1, 1, "oneshot").unwrap();
+    let retry = b.launch("second", 1, 1, "oneshot").unwrap().gsid;
     b.kill(retry).unwrap();
 
     handle.shutdown();

@@ -37,21 +37,22 @@ fn runjob_then_attach_round_trip() {
     let handle = bind_and_start(config(), &socket, None).expect("daemon up");
 
     let mut client = DaemonClient::connect_unix(&socket).expect("connect");
-    let (pid, job) = client.run_job("attach_app", 4, 2).expect("runjob");
-    assert!(pid > 0 && job > 0);
+    let job = client.run_job("attach_app", 4, 2).expect("runjob");
+    assert!(job.pid > 0 && job.job > 0);
+    let pid = job.pid;
 
-    let gsids = client.attach(&[pid], "sleeper").expect("attach");
-    assert_eq!(gsids.len(), 1);
+    let attached = client.attach(&[pid], "sleeper").expect("attach");
+    assert_eq!(attached.gsids.len(), 1);
 
-    let status = client.session_status(gsids[0]).expect("session status");
-    assert_eq!(status.field("app"), Some(format!("attach:pid={pid}").as_str()));
-    assert_eq!(status.field_as::<usize>("daemons"), Some(4), "one daemon per job node");
+    let status = client.session_status(attached.gsids[0]).expect("session status");
+    assert_eq!(status.app, format!("attach:pid={pid}"));
+    assert_eq!(status.daemons, 4, "one daemon per job node");
 
     let daemon_status = client.status().expect("status");
-    assert_eq!(daemon_status.field_as::<usize>("sessions"), Some(1));
+    assert_eq!(daemon_status.sessions, 1);
 
-    client.detach(gsids[0]).expect("detach");
-    assert_eq!(client.status().unwrap().field_as::<usize>("sessions"), Some(0));
+    client.detach(attached.gsids[0]).expect("detach");
+    assert_eq!(client.status().unwrap().sessions, 0);
 
     // A pid nobody is running must be rejected up front, before any
     // session or permit is created.
@@ -72,15 +73,16 @@ fn attach_multiple_pids_in_one_request() {
     let daemon = std::sync::Arc::clone(handle.daemon());
 
     let mut client = DaemonClient::connect_unix(&socket).expect("connect");
-    let (pid_a, _) = client.run_job("job_a", 2, 1).expect("runjob a");
-    let (pid_b, _) = client.run_job("job_b", 3, 1).expect("runjob b");
+    let pid_a = client.run_job("job_a", 2, 1).expect("runjob a").pid;
+    let pid_b = client.run_job("job_b", 3, 1).expect("runjob b").pid;
 
-    let gsids = client.attach(&[pid_a, pid_b], "sleeper").expect("attach both");
+    let attached = client.attach(&[pid_a, pid_b], "sleeper").expect("attach both");
+    let gsids = attached.gsids;
     assert_eq!(gsids.len(), 2);
     assert_eq!(daemon.sessions_active(), 2);
-    let daemons_a = client.session_status(gsids[0]).unwrap().field_as::<usize>("daemons");
-    let daemons_b = client.session_status(gsids[1]).unwrap().field_as::<usize>("daemons");
-    assert_eq!((daemons_a, daemons_b), (Some(2), Some(3)), "gsids are in pid order");
+    let daemons_a = client.session_status(gsids[0]).unwrap().daemons;
+    let daemons_b = client.session_status(gsids[1]).unwrap().daemons;
+    assert_eq!((daemons_a, daemons_b), (2, 3), "gsids are in pid order");
 
     // Each attach holds its own admission permit; both free on detach.
     assert_eq!(daemon.admission().stats().in_flight, 2);
@@ -105,19 +107,15 @@ fn upgrade_drill_reports_and_feeds_the_metrics_ledger() {
 
     let mut client = DaemonClient::connect_unix(&socket).expect("connect");
     let reply = client.upgrade(Some("1x4x16+4")).expect("upgrade drill");
-    assert_eq!(reply.field_as::<usize>("nodes_upgraded"), Some(4), "all 4 interior comms walked");
-    assert_eq!(reply.field_as::<usize>("spares_used"), Some(4), "one spare per step");
-    assert_eq!(reply.field_as::<usize>("unplanned_repairs"), Some(0));
-    assert_eq!(reply.field_as::<u64>("epoch"), Some(4), "one epoch bump per replaced comm");
-    assert_eq!(reply.field("waves_intact"), Some("1"));
-    assert!(reply.field_as::<u64>("drain_p50_us").is_some());
-    assert!(
-        reply.field_as::<u64>("drain_p99_us").unwrap()
-            >= reply.field_as::<u64>("drain_p50_us").unwrap()
-    );
+    assert_eq!(reply.nodes_upgraded, 4, "all 4 interior comms walked");
+    assert_eq!(reply.spares_used, 4, "one spare per step");
+    assert_eq!(reply.unplanned_repairs, 0);
+    assert_eq!(reply.epoch, 4, "one epoch bump per replaced comm");
+    assert_eq!(reply.raw().field("waves_intact"), Some("1"));
+    assert!(reply.drain_p99_us >= reply.drain_p50_us);
 
     let status = client.status().expect("status");
-    assert_eq!(status.field_as::<u64>("upgrades"), Some(1));
+    assert_eq!(status.raw().field_as::<u64>("upgrades"), Some(1));
 
     // Ledger assertions, daemon_storm-style: the drill shares the daemon's
     // overlay stats, so every counter is scrapeable afterwards.
@@ -144,6 +142,63 @@ fn upgrade_drill_reports_and_feeds_the_metrics_ledger() {
     assert!(err.to_string().contains("bad shape"), "got: {err}");
     client.ping().expect("daemon still serving after the bad request");
 
+    handle.shutdown();
+    let _ = std::fs::remove_file(&socket);
+}
+
+/// The typed wrappers are *pure parsing* over the v1 wire bytes: for the
+/// same request line, a typed [`DaemonClient`] and a raw line-oriented
+/// client read byte-identical replies, and the typed view agrees with a
+/// hand parse of those bytes (ISSUE 10 satellite).
+#[test]
+fn typed_and_raw_clients_see_identical_bytes() {
+    use std::io::{BufRead as _, BufReader, Write as _};
+    use std::os::unix::net::UnixStream;
+
+    let socket = scratch_socket_path("typed-raw");
+    let _ = std::fs::remove_file(&socket);
+    let handle = bind_and_start(config(), &socket, None).expect("daemon up");
+
+    let mut typed = DaemonClient::connect_unix(&socket).expect("typed connect");
+    let launched = typed.launch("bytes_app", 2, 1, "sleeper").expect("launch");
+    let gsid = launched.gsid;
+
+    // A raw client on its own connection, same HELLO offer as the typed
+    // one sends, reading whole reply lines with no parsing.
+    let raw_stream = UnixStream::connect(&socket).expect("raw connect");
+    let mut raw_writer = raw_stream.try_clone().expect("clone");
+    let mut raw_reader = BufReader::new(raw_stream);
+    let mut raw_line = |req: &str| -> String {
+        writeln!(raw_writer, "{req}").unwrap();
+        raw_writer.flush().unwrap();
+        let mut line = String::new();
+        raw_reader.read_line(&mut line).unwrap();
+        line
+    };
+    let banner = raw_line(&format!("HELLO {}", launchmon::daemon::PROTOCOL_VERSION));
+    assert_eq!(banner.trim_end(), typed.banner(), "both clients negotiate the same banner");
+
+    // Same request, both transports: the bytes must match exactly. The
+    // session-status reply is a pure function of daemon state (no
+    // timestamps beyond whole-second age, and the session is seconds old).
+    for req in [format!("STATUS {gsid}"), "FROB".to_string(), format!("KILL {}", u64::MAX)] {
+        let via_typed = typed.request_raw(&req).expect("typed raw bytes");
+        let via_raw = raw_line(&req);
+        assert_eq!(via_typed, via_raw, "reply bytes diverged for {req:?}");
+    }
+
+    // And the typed wrapper is exactly a parse of those bytes.
+    let bytes = typed.request_raw(&format!("STATUS {gsid}")).expect("raw scrape");
+    let status = typed.session_status(gsid).expect("typed view");
+    for (key, value) in &status.raw().fields {
+        assert!(
+            bytes.contains(&format!("{key}={value}")),
+            "typed field {key}={value} not present in raw bytes {bytes:?}"
+        );
+    }
+    assert_eq!(status.gsid, gsid);
+
+    typed.kill(gsid).expect("kill");
     handle.shutdown();
     let _ = std::fs::remove_file(&socket);
 }
